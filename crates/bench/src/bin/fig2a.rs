@@ -1,0 +1,79 @@
+//! **Figure 2(a)** — redo recovery time (simulated ms) vs cache size, for
+//! the five methods of §5.2: Log0, Log1, SQL1, Log2, SQL2.
+//!
+//! ```sh
+//! cargo run --release -p lr-bench --bin fig2a            # paper_tenth scale
+//! LR_SCALE=smoke cargo run --release -p lr-bench --bin fig2a
+//! ```
+//!
+//! Also prints the §5.3 headline-claim checks (Log1 vs SQL1, Log2 vs SQL2,
+//! DPT and prefetch improvement factors at the 512MB-equivalent point).
+
+use lr_bench::prelude::*;
+
+fn main() {
+    let preset = preset_from_env();
+    let methods = RecoveryMethod::paper_five();
+    let cells = sweep_cells(preset);
+
+    println!("Figure 2(a): redo time (simulated ms) vs cache size — preset {preset:?}");
+    println!("(cache labels are the paper's MB axis; sizes are the same DB fractions)\n");
+
+    let mut table = Table::new(&["cache", "Log0", "Log1", "SQL1", "Log2", "SQL2"]);
+    let mut at_512: Vec<(RecoveryMethod, f64)> = Vec::new();
+    let mut csv = Table::new(&["cache", "method", "redo_ms", "dpt", "data_fetch", "stall_ms"]);
+
+    for cell in &cells {
+        let run = CellRun::prepare(cell);
+        let mut row = vec![cell.cache_label.to_string()];
+        for method in methods {
+            let r = run.recover_with(method);
+            let redo = r.report.redo_ms();
+            row.push(format!("{redo:.1}"));
+            csv.row(vec![
+                cell.cache_label.to_string(),
+                method.name().to_string(),
+                format!("{redo:.1}"),
+                r.report.breakdown.dpt_size.to_string(),
+                r.report.breakdown.data_pages_fetched.to_string(),
+                format!("{:.1}", r.report.breakdown.data_stall_us as f64 / 1000.0),
+            ]);
+            if cell.cache_label == "512MB" {
+                at_512.push((method, redo));
+            }
+        }
+        table.row(row);
+        eprintln!("  finished cache {}", cell.cache_label);
+    }
+
+    println!("{}", table.render());
+    println!("CSV:\n{}", csv.to_csv());
+
+    // ---- §5.3 claim checks at the 512MB-equivalent point ----
+    let get = |m: RecoveryMethod| at_512.iter().find(|(mm, _)| *mm == m).map(|(_, v)| *v);
+    if let (Some(log0), Some(log1), Some(sql1), Some(log2), Some(sql2)) = (
+        get(RecoveryMethod::Log0),
+        get(RecoveryMethod::Log1),
+        get(RecoveryMethod::Sql1),
+        get(RecoveryMethod::Log2),
+        get(RecoveryMethod::Sql2),
+    ) {
+        println!("§5.3 claims at the 512MB-equivalent cache:");
+        println!(
+            "  DPT drop Log0->Log1:      {:>5.1}%   (paper: ~65%)",
+            100.0 * (1.0 - log1 / log0)
+        );
+        println!(
+            "  prefetch drop Log1->Log2: {:>5.1}%   (paper: ~20%)",
+            100.0 * (1.0 - log2 / log1)
+        );
+        println!(
+            "  Log1 / SQL1:              {:>5.2}x   (paper: 'practically the same')",
+            log1 / sql1
+        );
+        println!(
+            "  Log2 / SQL2:              {:>5.2}x   (paper: within 15%, worst case at 2048MB)",
+            log2 / sql2
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! **Figure 3 (Appendix C)** — redo time vs checkpoint interval, at the
+//! 512MB-equivalent cache: ci, 5ci and 10ci.
+//!
+//! ```sh
+//! cargo run --release -p lr-bench --bin fig3
+//! ```
+//!
+//! Paper shape: Log0 grows linearly with the interval; Log1/SQL1 roughly
+//! double at 5ci (log pages x5 but the DPT grows sub-linearly); Log2/SQL2
+//! are affected only modestly (~1.2x) because prefetching gains value as
+//! the DPT grows.
+
+use lr_bench::prelude::*;
+
+fn main() {
+    let preset = preset_from_env();
+    let methods = RecoveryMethod::paper_five();
+    // The paper runs this at one representative cache size (we use the
+    // 512MB-equivalent entry of the sweep).
+    let (label, pool_pages) = preset.cache_sweep()[3];
+    println!(
+        "Figure 3: redo time (simulated ms) vs checkpoint interval — preset {preset:?}, cache {label}\n"
+    );
+
+    let mut table = Table::new(&["ci", "Log0", "Log1", "SQL1", "Log2", "SQL2"]);
+    let mut csv = Table::new(&["ci_factor", "method", "redo_ms", "dpt", "log_pages"]);
+
+    for ci_factor in [1u64, 5, 10] {
+        let mut cell = Cell::new(preset, label, pool_pages, EXPERIMENT_SEED);
+        cell.ci_factor = ci_factor;
+        let run = CellRun::prepare(&cell);
+        let mut row = vec![format!("{ci_factor}x")];
+        for method in methods {
+            let r = run.recover_with(method);
+            row.push(format!("{:.1}", r.report.redo_ms()));
+            csv.row(vec![
+                ci_factor.to_string(),
+                method.name().to_string(),
+                format!("{:.1}", r.report.redo_ms()),
+                r.report.breakdown.dpt_size.to_string(),
+                r.report.log_pages_in_window.to_string(),
+            ]);
+        }
+        table.row(row);
+        eprintln!("  finished ci factor {ci_factor}x");
+    }
+
+    println!("{}", table.render());
+    println!("CSV:\n{}", csv.to_csv());
+    println!("(log scale in the paper; compare row-over-row growth factors)");
+}

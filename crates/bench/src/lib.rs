@@ -1,0 +1,134 @@
+//! Shared experiment driver for the figure harnesses.
+//!
+//! Each harness binary regenerates one of the paper's figures/tables
+//! (DESIGN.md §5). They share this driver: build an engine at a preset
+//! geometry, run the §5.2 crash scenario under a fixed seed, recover with a
+//! chosen method, and hand back the report plus the crash ground truth.
+//!
+//! Scale is selected with `LR_SCALE`:
+//! `LR_SCALE=smoke` (seconds, CI-sized), default `paper_tenth`
+//! (DESIGN.md §8), `LR_SCALE=paper_full` (the 1:1 geometry, slow).
+
+use lr_core::{CrashSnapshot, Engine, EngineConfig, RecoveryMethod, RecoveryReport, ShadowDb};
+use lr_workload::{run_to_crash, Preset, ScenarioOutcome, TxnGenerator};
+
+/// One experiment cell: a geometry + cache size + seed, recoverable with
+/// any method.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    pub preset: Preset,
+    pub cache_label: &'static str,
+    pub pool_pages: usize,
+    pub seed: u64,
+    /// Multiplies the preset's checkpoint interval (Figure 3's ci sweep).
+    pub ci_factor: u64,
+    /// Extra engine-config tweaks applied before the run.
+    pub tweak: fn(&mut EngineConfig),
+}
+
+fn no_tweak(_: &mut EngineConfig) {}
+
+impl Cell {
+    pub fn new(preset: Preset, cache_label: &'static str, pool_pages: usize, seed: u64) -> Cell {
+        Cell { preset, cache_label, pool_pages, seed, ci_factor: 1, tweak: no_tweak }
+    }
+}
+
+/// Result of one (cell, method) run.
+pub struct CellResult {
+    pub report: RecoveryReport,
+    pub snapshot: CrashSnapshot,
+    pub outcome: ScenarioOutcome,
+    /// Internal index pages of the table (cost-model input).
+    pub index_pages: u64,
+}
+
+/// A prepared crash: the workload has run once; any number of methods can
+/// recover it via [`CellRun::recover_with`], each on a forked copy of the
+/// stable disk + log — the literal side-by-side methodology of §5.1.
+pub struct CellRun {
+    master: Engine,
+    shadow: ShadowDb,
+    pub outcome: ScenarioOutcome,
+}
+
+impl CellRun {
+    /// Run the workload to the crash point (once).
+    pub fn prepare(cell: &Cell) -> CellRun {
+        let (master, shadow, outcome) = run_to_crash_only(cell);
+        CellRun { master, shadow, outcome }
+    }
+
+    /// Recover the crash with `method` on an independent fork. State is
+    /// verified against the committed oracle — a benchmark that recovers
+    /// the wrong data would be worthless.
+    pub fn recover_with(&self, method: RecoveryMethod) -> CellResult {
+        let mut engine = self.master.fork_crashed().expect("fork crashed engine");
+        let report = engine.recover(method).expect("recovery");
+        self.shadow
+            .verify_against(&mut engine)
+            .expect("recovered state matches the oracle");
+        let summary = engine.verify_table(lr_core::DEFAULT_TABLE).expect("tree verifies");
+        CellResult {
+            report,
+            snapshot: self.outcome.snapshot.clone(),
+            outcome: self.outcome.clone(),
+            index_pages: summary.internal_pages,
+        }
+    }
+}
+
+/// One-shot convenience: prepare the cell and recover with `method`.
+pub fn run_cell(cell: &Cell, method: RecoveryMethod) -> CellResult {
+    CellRun::prepare(cell).recover_with(method)
+}
+
+/// Scale selection from the environment (`LR_SCALE`).
+pub fn preset_from_env() -> Preset {
+    match std::env::var("LR_SCALE").as_deref() {
+        Ok("smoke") => Preset::Smoke,
+        Ok("paper_full") => Preset::PaperFull,
+        Ok("paper_tenth") | Err(_) => Preset::PaperTenth,
+        Ok(other) => panic!("unknown LR_SCALE '{other}' (smoke|paper_tenth|paper_full)"),
+    }
+}
+
+/// The fixed experiment seed — one seed so every method replays the same
+/// bytes (§5.1's common-log methodology via determinism).
+pub const EXPERIMENT_SEED: u64 = 20110829; // VLDB 2011 started Aug 29
+
+/// Convenience: the cache sweep cells for a preset.
+pub fn sweep_cells(preset: Preset) -> Vec<Cell> {
+    preset
+        .cache_sweep()
+        .into_iter()
+        .map(|(label, pages)| Cell::new(preset, label, pages, EXPERIMENT_SEED))
+        .collect()
+}
+
+/// Also export the scenario helper for harnesses that need a raw crashed
+/// engine (fig2c reads analysis counts without recovering).
+pub fn run_to_crash_only(cell: &Cell) -> (Engine, ShadowDb, ScenarioOutcome) {
+    let mut cfg = cell.preset.engine_config(cell.pool_pages);
+    (cell.tweak)(&mut cfg);
+    let mut scenario = cell.preset.scenario();
+    scenario.updates_per_checkpoint *= cell.ci_factor;
+    let mut shadow = ShadowDb::with_initial_rows(&cfg);
+    let mut gen = TxnGenerator::new(cell.preset.workload(cell.seed));
+    let mut engine = Engine::build(cfg).expect("engine build");
+    let outcome =
+        run_to_crash(&mut engine, &mut shadow, &mut gen, &scenario).expect("scenario run");
+    (engine, shadow, outcome)
+}
+
+pub use lr_workload::report::Table;
+
+/// Re-exports the harnesses share.
+pub mod prelude {
+    pub use super::{
+        preset_from_env, run_cell, sweep_cells, Cell, CellResult, CellRun, EXPERIMENT_SEED,
+    };
+    pub use lr_core::{predicted_page_fetches, CostInputs, RecoveryMethod};
+    pub use lr_workload::report::{f1, ms, Table};
+    pub use lr_workload::Preset;
+}

@@ -1,0 +1,27 @@
+//! # lr-btree
+//!
+//! The clustered B+-tree the DC uses for data placement. This is the index
+//! logical recovery must re-traverse on **every** redo operation (§1.3: "the
+//! re-submitted operation must re-traverse the table's B-tree in order to
+//! find the page on which to redo the operation") — so the tree exposes its
+//! traversal cost explicitly, and its structure-modification operations
+//! (SMOs: page splits, root growth) are logged through a caller-supplied
+//! hook as redo-only system transactions (§2.1), replayed by DC recovery
+//! *before* the TC resubmits anything, guaranteeing the well-formed index
+//! logical redo depends on.
+//!
+//! Layout: leaves hold `[key u64][value bytes]` records in key order with a
+//! right-sibling chain; internal nodes hold `[separator u64][child pid]`
+//! entries. Inserts split preemptively on the way down, so each split is a
+//! single-node system transaction whose parent is guaranteed to have room.
+
+pub mod bulk;
+pub mod node;
+pub mod tree;
+pub mod verify;
+
+pub use bulk::bulk_load;
+pub use node::{internal_entry, leaf_record, parse_internal_entry, parse_leaf_record};
+pub use node::search_value as node_search_value;
+pub use tree::{BTree, SmoLogger, TraversalInfo};
+pub use verify::{verify_tree, TreeSummary};

@@ -1,0 +1,140 @@
+//! Record encodings within B-tree pages.
+//!
+//! Leaf record:      `[key: u64 LE][value: remaining bytes]`
+//! Internal entry:   `[separator key: u64 LE][child: u64 LE]`
+//!
+//! Entries within a page are kept in ascending key order by the tree code;
+//! the slotted page itself is key-agnostic.
+
+use lr_common::{Key, PageId};
+use lr_storage::Page;
+
+/// Serialize a leaf record.
+pub fn leaf_record(key: Key, value: &[u8]) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(8 + value.len());
+    rec.extend_from_slice(&key.to_le_bytes());
+    rec.extend_from_slice(value);
+    rec
+}
+
+/// Parse a leaf record into `(key, value)`.
+pub fn parse_leaf_record(rec: &[u8]) -> (Key, &[u8]) {
+    let key = u64::from_le_bytes(rec[..8].try_into().expect("leaf record has key"));
+    (key, &rec[8..])
+}
+
+/// Serialize an internal entry.
+pub fn internal_entry(sep: Key, child: PageId) -> Vec<u8> {
+    let mut rec = Vec::with_capacity(16);
+    rec.extend_from_slice(&sep.to_le_bytes());
+    rec.extend_from_slice(&child.0.to_le_bytes());
+    rec
+}
+
+/// Parse an internal entry into `(separator, child)`.
+pub fn parse_internal_entry(rec: &[u8]) -> (Key, PageId) {
+    let sep = u64::from_le_bytes(rec[..8].try_into().expect("entry has separator"));
+    let child = u64::from_le_bytes(rec[8..16].try_into().expect("entry has child"));
+    (sep, PageId(child))
+}
+
+/// Key of the record at `slot` (works for both leaf records and internal
+/// entries — the key is the first 8 bytes either way).
+pub fn slot_key(page: &Page, slot: usize) -> Key {
+    let rec = page.record(slot);
+    u64::from_le_bytes(rec[..8].try_into().expect("record has key"))
+}
+
+/// Binary-search a page's slots for `key`.
+///
+/// `Ok(slot)` — exact match at `slot`; `Err(slot)` — `key` would insert at
+/// `slot` to keep order.
+pub fn search(page: &Page, key: Key) -> Result<usize, usize> {
+    let mut lo = 0usize;
+    let mut hi = page.slot_count();
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let k = slot_key(page, mid);
+        match k.cmp(&key) {
+            std::cmp::Ordering::Less => lo = mid + 1,
+            std::cmp::Ordering::Greater => hi = mid,
+            std::cmp::Ordering::Equal => return Ok(mid),
+        }
+    }
+    Err(lo)
+}
+
+/// Child an internal node routes `key` to: the last entry with
+/// `separator <= key` (entry 0 acts as negative infinity).
+pub fn route(page: &Page, key: Key) -> (usize, PageId) {
+    debug_assert!(page.slot_count() > 0, "internal node must have entries");
+    let slot = match search(page, key) {
+        Ok(s) => s,
+        Err(0) => 0, // key below the first separator: leftmost child
+        Err(s) => s - 1,
+    };
+    let (_, child) = parse_internal_entry(page.record(slot));
+    (slot, child)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_storage::PageType;
+
+    #[test]
+    fn leaf_record_roundtrip() {
+        let rec = leaf_record(42, b"payload");
+        let (k, v) = parse_leaf_record(&rec);
+        assert_eq!(k, 42);
+        assert_eq!(v, b"payload");
+    }
+
+    #[test]
+    fn internal_entry_roundtrip() {
+        let rec = internal_entry(7, PageId(99));
+        let (k, c) = parse_internal_entry(&rec);
+        assert_eq!(k, 7);
+        assert_eq!(c, PageId(99));
+    }
+
+    fn leaf_with_keys(keys: &[u64]) -> Page {
+        let mut p = Page::new(512, PageId(1), PageType::Leaf);
+        for (i, k) in keys.iter().enumerate() {
+            p.insert_record(i, &leaf_record(*k, b"v")).unwrap();
+        }
+        p
+    }
+
+    #[test]
+    fn binary_search_hits_and_insert_points() {
+        let p = leaf_with_keys(&[10, 20, 30, 40]);
+        assert_eq!(search(&p, 20), Ok(1));
+        assert_eq!(search(&p, 5), Err(0));
+        assert_eq!(search(&p, 25), Err(2));
+        assert_eq!(search(&p, 99), Err(4));
+    }
+
+    #[test]
+    fn routing_picks_correct_child() {
+        let mut p = Page::new(512, PageId(2), PageType::Internal);
+        p.set_level(1);
+        p.insert_record(0, &internal_entry(0, PageId(10))).unwrap();
+        p.insert_record(1, &internal_entry(100, PageId(11))).unwrap();
+        p.insert_record(2, &internal_entry(200, PageId(12))).unwrap();
+        assert_eq!(route(&p, 0).1, PageId(10));
+        assert_eq!(route(&p, 50).1, PageId(10));
+        assert_eq!(route(&p, 100).1, PageId(11));
+        assert_eq!(route(&p, 150).1, PageId(11));
+        assert_eq!(route(&p, 5000).1, PageId(12));
+    }
+}
+
+/// Value stored for `key` on a leaf page, if present (convenience for
+/// callers that already located the leaf).
+pub fn search_value(page: &Page, key: Key) -> Option<Vec<u8>> {
+    match search(page, key) {
+        Ok(slot) => Some(parse_leaf_record(page.record(slot)).1.to_vec()),
+        Err(_) => None,
+    }
+}

@@ -1,0 +1,839 @@
+//! The B+-tree operations.
+//!
+//! Inserts use **preemptive splitting**: walking down from the root, any
+//! node that could not absorb a separator (or the leaf that cannot absorb
+//! the record) is split *before* descent continues. Each split touches one
+//! node, its new right sibling and its parent — logged as one redo-only
+//! system transaction through the [`SmoLogger`] hook, mirroring the paper's
+//! SQL Server setting (§2.1) where SMOs are system transactions recovered
+//! ahead of user-level redo.
+//!
+//! SMO records carry full after-images of the rewritten pages. Because a
+//! page's image at SMO time embeds every earlier data operation on that
+//! page, installing the image during DC recovery implicitly redoes those
+//! operations, and the pLSN test keeps everything exactly-once.
+
+use crate::node::{self, internal_entry, leaf_record, parse_internal_entry, parse_leaf_record};
+use lr_buffer::BufferPool;
+use lr_common::{Error, Key, Lsn, PageId, Result, TableId};
+use lr_storage::{Page, PageType, SLOT_SIZE};
+use lr_wal::SmoRecord;
+
+/// Callback that appends an SMO system-transaction record to the common log
+/// and returns its LSN.
+pub type SmoLogger<'a> = &'a mut dyn FnMut(SmoRecord) -> Lsn;
+
+/// Bytes an internal node needs free to absorb one more entry.
+const INTERNAL_NEED: usize = SLOT_SIZE + 16;
+
+/// Result of locating the leaf for a key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraversalInfo {
+    /// The leaf page the key belongs to.
+    pub leaf: PageId,
+    /// Pages touched root→leaf (the logical-redo CPU/I-O burden of §1.3).
+    pub levels: u32,
+}
+
+/// Handle to one table's clustered B+-tree.
+///
+/// The handle tracks the root PID; root growth (an SMO) updates it in place
+/// and reports the new root through the SMO record so the DC catalog and
+/// recovery stay in sync.
+#[derive(Clone, Debug)]
+pub struct BTree {
+    pub table: TableId,
+    pub root: PageId,
+}
+
+impl BTree {
+    /// Create an empty tree: a single leaf root.
+    pub fn create(pool: &mut BufferPool, table: TableId) -> Result<BTree> {
+        let root = pool.disk_mut().allocate();
+        let page_size = pool.disk().page_size();
+        let page = Page::new(page_size, root, PageType::Leaf);
+        pool.install_page(root, page, Lsn::NULL)?;
+        Ok(BTree { table, root })
+    }
+
+    /// Attach to an existing tree rooted at `root`.
+    pub fn attach(table: TableId, root: PageId) -> BTree {
+        BTree { table, root }
+    }
+
+    /// Walk root→leaf for `key`.
+    pub fn find_leaf(&self, pool: &mut BufferPool, key: Key) -> Result<TraversalInfo> {
+        let mut cur = self.root;
+        let mut levels = 1;
+        loop {
+            let (ty, next) = pool.with_page(cur, |p| match p.page_type() {
+                PageType::Leaf => (PageType::Leaf, PageId::INVALID),
+                PageType::Internal => (PageType::Internal, node::route(p, key).1),
+                other => (other, PageId::INVALID),
+            })?;
+            match ty {
+                PageType::Leaf => return Ok(TraversalInfo { leaf: cur, levels }),
+                PageType::Internal => {
+                    cur = next;
+                    levels += 1;
+                }
+                other => {
+                    return Err(Error::TreeCorrupt(format!(
+                        "page {cur} has type {other:?} on a traversal path"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Walk the *index* for `key`: fetch internal pages only and return the
+    /// leaf PID **without fetching the leaf**. This is exactly Algorithm 5's
+    /// `BTREE.FIND` — the optimized redo test must know the PID before
+    /// deciding whether the leaf is worth reading at all (§4.3). Returns
+    /// `(leaf pid, index pages touched)`.
+    pub fn find_leaf_pid(&self, pool: &mut BufferPool, key: Key) -> Result<(PageId, u32)> {
+        let mut cur = self.root;
+        let mut touched = 0u32;
+        loop {
+            let (ty, level, next) = pool.with_page(cur, |p| match p.page_type() {
+                PageType::Leaf => (PageType::Leaf, 0u8, PageId::INVALID),
+                PageType::Internal => (PageType::Internal, p.level(), node::route(p, key).1),
+                other => (other, 0, PageId::INVALID),
+            })?;
+            touched += 1;
+            match ty {
+                // Degenerate tree: the root itself is the leaf (and is now
+                // cached, which is unavoidable and harmless).
+                PageType::Leaf => return Ok((cur, touched)),
+                PageType::Internal if level == 1 => return Ok((next, touched)),
+                PageType::Internal => cur = next,
+                other => {
+                    return Err(Error::TreeCorrupt(format!(
+                        "page {cur} has type {other:?} on a traversal path"
+                    )))
+                }
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn get(&self, pool: &mut BufferPool, key: Key) -> Result<Option<Vec<u8>>> {
+        let t = self.find_leaf(pool, key)?;
+        pool.with_page(t.leaf, |p| match node::search(p, key) {
+            Ok(slot) => Some(parse_leaf_record(p.record(slot)).1.to_vec()),
+            Err(_) => None,
+        })
+    }
+
+    /// Tree height (pages on a root→leaf path).
+    pub fn height(&self, pool: &mut BufferPool) -> Result<u32> {
+        Ok(self.find_leaf(pool, 0)?.levels)
+    }
+
+    // ------------------------------------------------------------------
+    // capacity preparation (the SMO side)
+    // ------------------------------------------------------------------
+
+    /// Ensure the leaf for `key` can absorb `leaf_need` more bytes
+    /// (slot + record), splitting preemptively on the way down. Returns the
+    /// leaf PID the operation will land on. With `leaf_need == 0` this is a
+    /// plain traversal.
+    pub fn ensure_room(
+        &mut self,
+        pool: &mut BufferPool,
+        key: Key,
+        leaf_need: usize,
+        smo: SmoLogger<'_>,
+    ) -> Result<PageId> {
+        // Grow the tree while the root itself is too full.
+        loop {
+            let (ty, free) = pool.with_page(self.root, |p| (p.page_type(), p.free_space()))?;
+            let full = match ty {
+                PageType::Leaf => leaf_need > 0 && free < leaf_need,
+                PageType::Internal => free < INTERNAL_NEED,
+                other => {
+                    return Err(Error::TreeCorrupt(format!("root {} is {other:?}", self.root)))
+                }
+            };
+            if !full {
+                break;
+            }
+            self.split_root(pool, smo)?;
+        }
+        let mut cur = self.root;
+        loop {
+            let ty = pool.with_page(cur, |p| p.page_type())?;
+            if ty == PageType::Leaf {
+                return Ok(cur);
+            }
+            let child = pool.with_page(cur, |p| node::route(p, key).1)?;
+            let (cty, cfree) = pool.with_page(child, |p| (p.page_type(), p.free_space()))?;
+            let cfull = match cty {
+                PageType::Leaf => leaf_need > 0 && cfree < leaf_need,
+                PageType::Internal => cfree < INTERNAL_NEED,
+                other => {
+                    return Err(Error::TreeCorrupt(format!("page {child} is {other:?}")))
+                }
+            };
+            if cfull {
+                self.split_child(pool, cur, child, smo)?;
+                // Separator added to `cur` may redirect `key`; re-route.
+                continue;
+            }
+            cur = child;
+        }
+    }
+
+    /// Split `child` (which has parent `parent`, known to have room for one
+    /// more entry) into itself plus a new right sibling. One SMO record.
+    fn split_child(
+        &mut self,
+        pool: &mut BufferPool,
+        parent: PageId,
+        child: PageId,
+        smo: SmoLogger<'_>,
+    ) -> Result<()> {
+        let page_size = pool.disk().page_size();
+        let new_pid = pool.disk_mut().allocate();
+        let (left_img, right_img, sep) =
+            pool.with_page(child, |p| split_images(p, new_pid, page_size))?;
+        let parent_img = pool.with_page(parent, |p| {
+            let mut img = p.clone();
+            let slot = match node::search(&img, sep) {
+                // A duplicate separator would mean the child held equal keys
+                // across the split point, which fixed unique keys rule out.
+                Ok(_) => {
+                    return Err(Error::TreeCorrupt(format!(
+                        "separator {sep} already present in parent {parent}"
+                    )))
+                }
+                Err(s) => s,
+            };
+            img.insert_record(slot, &internal_entry(sep, new_pid))?;
+            Ok(img)
+        })??;
+        let lsn = smo(SmoRecord {
+            pages: vec![
+                (child, left_img.as_bytes().to_vec()),
+                (new_pid, right_img.as_bytes().to_vec()),
+                (parent, parent_img.as_bytes().to_vec()),
+            ],
+            new_root: None,
+        });
+        pool.install_page(child, left_img, lsn)?;
+        pool.install_page(new_pid, right_img, lsn)?;
+        pool.install_page(parent, parent_img, lsn)?;
+        Ok(())
+    }
+
+    /// Split the root, growing the tree by one level. One SMO record that
+    /// also announces the new root.
+    fn split_root(&mut self, pool: &mut BufferPool, smo: SmoLogger<'_>) -> Result<()> {
+        let page_size = pool.disk().page_size();
+        let new_right = pool.disk_mut().allocate();
+        let new_root_pid = pool.disk_mut().allocate();
+        let old_root = self.root;
+        let (left_img, right_img, sep) =
+            pool.with_page(old_root, |p| split_images(p, new_right, page_size))?;
+        let mut root_img = Page::new(page_size, new_root_pid, PageType::Internal);
+        root_img.set_level(left_img.level() + 1);
+        root_img.insert_record(0, &internal_entry(0, old_root))?;
+        root_img.insert_record(1, &internal_entry(sep, new_right))?;
+        let lsn = smo(SmoRecord {
+            pages: vec![
+                (old_root, left_img.as_bytes().to_vec()),
+                (new_right, right_img.as_bytes().to_vec()),
+                (new_root_pid, root_img.as_bytes().to_vec()),
+            ],
+            new_root: Some((self.table, new_root_pid)),
+        });
+        pool.install_page(old_root, left_img, lsn)?;
+        pool.install_page(new_right, right_img, lsn)?;
+        pool.install_page(new_root_pid, root_img, lsn)?;
+        self.root = new_root_pid;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // data operations (applied under a TC-assigned LSN)
+    // ------------------------------------------------------------------
+
+    /// Insert `key -> value` into `leaf` (located by a prior
+    /// [`BTree::ensure_room`]) under operation LSN `lsn`.
+    pub fn apply_insert(
+        &self,
+        pool: &mut BufferPool,
+        leaf: PageId,
+        key: Key,
+        value: &[u8],
+        lsn: Lsn,
+    ) -> Result<()> {
+        let table = self.table;
+        pool.with_page_mut(leaf, lsn, |p| match node::search(p, key) {
+            Ok(_) => Err(Error::DuplicateKey { table, key }),
+            Err(slot) => p.insert_record(slot, &leaf_record(key, value)),
+        })?
+    }
+
+    /// Replace the value for `key` on `leaf`; returns the old value.
+    pub fn apply_update(
+        &self,
+        pool: &mut BufferPool,
+        leaf: PageId,
+        key: Key,
+        value: &[u8],
+        lsn: Lsn,
+    ) -> Result<Vec<u8>> {
+        let table = self.table;
+        pool.with_page_mut(leaf, lsn, |p| match node::search(p, key) {
+            Ok(slot) => {
+                let old = parse_leaf_record(p.record(slot)).1.to_vec();
+                p.update_record(slot, &leaf_record(key, value))?;
+                Ok(old)
+            }
+            Err(_) => Err(Error::KeyNotFound { table, key }),
+        })?
+    }
+
+    /// Remove `key` from `leaf`; returns the old value.
+    pub fn apply_delete(
+        &self,
+        pool: &mut BufferPool,
+        leaf: PageId,
+        key: Key,
+        lsn: Lsn,
+    ) -> Result<Vec<u8>> {
+        let table = self.table;
+        pool.with_page_mut(leaf, lsn, |p| match node::search(p, key) {
+            Ok(slot) => {
+                let old = parse_leaf_record(p.record(slot)).1.to_vec();
+                p.remove_record(slot);
+                Ok(old)
+            }
+            Err(_) => Err(Error::KeyNotFound { table, key }),
+        })?
+    }
+
+    // ------------------------------------------------------------------
+    // shrinking SMOs (merge / tree collapse)
+    // ------------------------------------------------------------------
+
+    /// Opportunistically rebalance after deletions around `key`: if the
+    /// leaf holding `key` has fallen below `min_fill` (fraction of usable
+    /// bytes), merge it into a sibling when their combined payload fits.
+    /// Each merge is one SMO system transaction (images of the surviving
+    /// leaf, the emptied leaf, and the parent), exactly like splits — so DC
+    /// recovery replays shrinking the same way it replays growth.
+    ///
+    /// Returns `true` if a merge happened. Root collapse (an internal root
+    /// left with a single child) is handled as a follow-up SMO.
+    pub fn maybe_merge(
+        &mut self,
+        pool: &mut BufferPool,
+        key: Key,
+        min_fill: f64,
+        smo: SmoLogger<'_>,
+    ) -> Result<bool> {
+        // Find the leaf and its parent.
+        let mut parent = PageId::INVALID;
+        let mut cur = self.root;
+        loop {
+            let (ty, next) = pool.with_page(cur, |p| match p.page_type() {
+                PageType::Leaf => (PageType::Leaf, PageId::INVALID),
+                PageType::Internal => (PageType::Internal, node::route(p, key).1),
+                other => (other, PageId::INVALID),
+            })?;
+            match ty {
+                PageType::Leaf => break,
+                PageType::Internal => {
+                    parent = cur;
+                    cur = next;
+                }
+                other => {
+                    return Err(Error::TreeCorrupt(format!(
+                        "page {cur} has type {other:?} on a traversal path"
+                    )))
+                }
+            }
+        }
+        if !parent.is_valid() {
+            return Ok(false); // leaf root: nothing to merge with
+        }
+        let leaf = cur;
+        let page_size = pool.disk().page_size();
+        let usable = page_size - lr_storage::PAGE_HEADER_SIZE;
+        let used = pool.with_page(leaf, |p| usable - p.free_space())?;
+        if (used as f64) >= min_fill * usable as f64 {
+            return Ok(false);
+        }
+
+        // Pick the left neighbour under the same parent (or the right one
+        // if the leaf is the parent's first child).
+        let (slot, nslots) = pool.with_page(parent, |p| (node::route(p, key).0, p.slot_count()))?;
+        let (left_slot, right_slot) = if slot > 0 { (slot - 1, slot) } else { (0, 1) };
+        if right_slot >= nslots {
+            return Ok(false); // only child — root collapse handles height
+        }
+        let (left_pid, right_pid) = pool.with_page(parent, |p| {
+            (
+                parse_internal_entry(p.record(left_slot)).1,
+                parse_internal_entry(p.record(right_slot)).1,
+            )
+        })?;
+
+        // Merge only if everything fits comfortably in one page.
+        let (left_used, left_plsn) =
+            pool.with_page(left_pid, |p| (usable - p.free_space(), p.plsn()))?;
+        let (right_used, right_plsn, right_sib) = pool
+            .with_page(right_pid, |p| (usable - p.free_space(), p.plsn(), p.right_sibling()))?;
+        if left_used + right_used > (usable as f64 * 0.8) as usize {
+            return Ok(false);
+        }
+
+        // Stage the merged left page and the emptied right page.
+        let mut merged = Page::new(page_size, left_pid, PageType::Leaf);
+        merged.set_plsn(left_plsn.max(right_plsn));
+        let mut slot_out = 0;
+        for pid in [left_pid, right_pid] {
+            pool.with_page(pid, |p| {
+                for s in 0..p.slot_count() {
+                    merged.insert_record(slot_out, p.record(s)).expect("merge fits");
+                    slot_out += 1;
+                }
+            })?;
+        }
+        merged.set_right_sibling(right_sib);
+        let mut emptied = Page::new(page_size, right_pid, PageType::Free);
+        emptied.set_plsn(right_plsn);
+        // Parent loses the right child's separator.
+        let parent_img = pool.with_page(parent, |p| {
+            let mut img = p.clone();
+            img.remove_record(right_slot);
+            img
+        })?;
+
+        let lsn = smo(SmoRecord {
+            pages: vec![
+                (left_pid, merged.as_bytes().to_vec()),
+                (right_pid, emptied.as_bytes().to_vec()),
+                (parent, parent_img.as_bytes().to_vec()),
+            ],
+            new_root: None,
+        });
+        pool.install_page(left_pid, merged, lsn)?;
+        pool.install_page(right_pid, emptied, lsn)?;
+        pool.install_page(parent, parent_img, lsn)?;
+
+        self.collapse_root(pool, smo)?;
+        Ok(true)
+    }
+
+    /// If the root is an internal node with a single child, the child
+    /// becomes the new root (tree height shrinks by one). Logged as an SMO
+    /// announcing the new root.
+    fn collapse_root(&mut self, pool: &mut BufferPool, smo: SmoLogger<'_>) -> Result<()> {
+        loop {
+            let (is_internal, nslots) =
+                pool.with_page(self.root, |p| (p.page_type() == PageType::Internal, p.slot_count()))?;
+            if !(is_internal && nslots == 1) {
+                return Ok(());
+            }
+            let child = pool.with_page(self.root, |p| parse_internal_entry(p.record(0)).1)?;
+            let page_size = pool.disk().page_size();
+            let old_root = self.root;
+            let old_plsn = pool.with_page(old_root, |p| p.plsn())?;
+            let mut freed = Page::new(page_size, old_root, PageType::Free);
+            freed.set_plsn(old_plsn);
+            let lsn = smo(SmoRecord {
+                pages: vec![(old_root, freed.as_bytes().to_vec())],
+                new_root: Some((self.table, child)),
+            });
+            pool.install_page(old_root, freed, lsn)?;
+            self.root = child;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // whole-tree walks
+    // ------------------------------------------------------------------
+
+    /// Leftmost leaf of the tree.
+    pub fn leftmost_leaf(&self, pool: &mut BufferPool) -> Result<PageId> {
+        let mut cur = self.root;
+        loop {
+            let (ty, next) = pool.with_page(cur, |p| {
+                if p.page_type() == PageType::Internal {
+                    (PageType::Internal, parse_internal_entry(p.record(0)).1)
+                } else {
+                    (p.page_type(), PageId::INVALID)
+                }
+            })?;
+            if ty != PageType::Internal {
+                return Ok(cur);
+            }
+            cur = next;
+        }
+    }
+
+    /// Records with keys in `[from, to]`, in key order: descend to the
+    /// leaf for `from`, then walk the sibling chain. This is the access
+    /// path a range query uses — and the reason logical undo/redo can
+    /// always re-locate records: the chain is maintained by every SMO.
+    pub fn scan_range(
+        &self,
+        pool: &mut BufferPool,
+        from: Key,
+        to: Key,
+    ) -> Result<Vec<(Key, Vec<u8>)>> {
+        if from > to {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        let mut cur = self.find_leaf(pool, from)?.leaf;
+        while cur.is_valid() {
+            let (next, past_end) = pool.with_page(cur, |p| {
+                let mut past = false;
+                for slot in 0..p.slot_count() {
+                    let (k, v) = parse_leaf_record(p.record(slot));
+                    if k > to {
+                        past = true;
+                        break;
+                    }
+                    if k >= from {
+                        out.push((k, v.to_vec()));
+                    }
+                }
+                (p.right_sibling(), past)
+            })?;
+            if past_end {
+                break;
+            }
+            cur = next;
+        }
+        Ok(out)
+    }
+
+    /// Every record in key order (test/verification helper; streams the
+    /// leaf chain through the pool).
+    pub fn scan_all(&self, pool: &mut BufferPool) -> Result<Vec<(Key, Vec<u8>)>> {
+        let mut out = Vec::new();
+        let mut cur = self.leftmost_leaf(pool)?;
+        while cur.is_valid() {
+            let next = pool.with_page(cur, |p| {
+                for slot in 0..p.slot_count() {
+                    let (k, v) = parse_leaf_record(p.record(slot));
+                    out.push((k, v.to_vec()));
+                }
+                p.right_sibling()
+            })?;
+            cur = next;
+        }
+        Ok(out)
+    }
+
+    /// PIDs of all internal (index) pages, level by level from the root.
+    /// Used by Log2's index preload (Appendix A.1).
+    pub fn internal_pids(&self, pool: &mut BufferPool) -> Result<Vec<PageId>> {
+        let mut out = Vec::new();
+        let mut level: Vec<PageId> = vec![self.root];
+        loop {
+            let mut next_level = Vec::new();
+            let mut any_internal = false;
+            for pid in &level {
+                let is_internal = pool.with_page(*pid, |p| {
+                    if p.page_type() == PageType::Internal {
+                        for slot in 0..p.slot_count() {
+                            next_level.push(parse_internal_entry(p.record(slot)).1);
+                        }
+                        true
+                    } else {
+                        false
+                    }
+                })?;
+                if is_internal {
+                    any_internal = true;
+                    out.push(*pid);
+                }
+            }
+            if !any_internal {
+                break;
+            }
+            level = next_level;
+        }
+        Ok(out)
+    }
+}
+
+/// Split a page's image into (left, right) halves plus the separator key.
+fn split_images(p: &Page, new_pid: PageId, page_size: usize) -> (Page, Page, Key) {
+    let n = p.slot_count();
+    debug_assert!(n >= 2, "splitting a page with <2 records");
+    let split_at = n / 2;
+    let sep = node::slot_key(p, split_at);
+
+    let mut left = Page::new(page_size, p.pid(), p.page_type());
+    left.set_level(p.level());
+    left.set_plsn(p.plsn());
+    for slot in 0..split_at {
+        left.insert_record(slot, p.record(slot)).expect("half fits");
+    }
+
+    let mut right = Page::new(page_size, new_pid, p.page_type());
+    right.set_level(p.level());
+    right.set_plsn(p.plsn());
+    for (i, slot) in (split_at..n).enumerate() {
+        right.insert_record(i, p.record(slot)).expect("half fits");
+    }
+
+    // Leaf chain: left -> right -> old right sibling.
+    if p.page_type() == PageType::Leaf {
+        right.set_right_sibling(p.right_sibling());
+        left.set_right_sibling(new_pid);
+    }
+    (left, right, sep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_common::{IoModel, SimClock};
+    use lr_storage::SimDisk;
+
+    fn pool(page_size: usize) -> BufferPool {
+        let disk = SimDisk::new(page_size, 1, SimClock::new(), IoModel::zero());
+        let mut p = BufferPool::new(Box::new(disk), 256, Box::new(|lsn| lsn));
+        p.set_elsn(Lsn::MAX);
+        p
+    }
+
+    fn no_smo_expected(_: SmoRecord) -> Lsn {
+        panic!("unexpected SMO")
+    }
+
+    #[test]
+    fn create_insert_get() {
+        let mut pool = pool(512);
+        let mut t = BTree::create(&mut pool, TableId(1)).unwrap();
+        let mut smo = no_smo_expected;
+        let leaf = t.ensure_room(&mut pool, 5, 8 + 1 + SLOT_SIZE, &mut smo).unwrap();
+        t.apply_insert(&mut pool, leaf, 5, b"v", Lsn(10)).unwrap();
+        assert_eq!(t.get(&mut pool, 5).unwrap(), Some(b"v".to_vec()));
+        assert_eq!(t.get(&mut pool, 6).unwrap(), None);
+    }
+
+    #[test]
+    fn duplicate_insert_rejected() {
+        let mut pool = pool(512);
+        let mut t = BTree::create(&mut pool, TableId(1)).unwrap();
+        let mut smo = no_smo_expected;
+        let leaf = t.ensure_room(&mut pool, 5, 13, &mut smo).unwrap();
+        t.apply_insert(&mut pool, leaf, 5, b"a", Lsn(1)).unwrap();
+        assert!(matches!(
+            t.apply_insert(&mut pool, leaf, 5, b"b", Lsn(2)),
+            Err(Error::DuplicateKey { .. })
+        ));
+    }
+
+    fn insert_many(pool: &mut BufferPool, t: &mut BTree, keys: impl Iterator<Item = u64>) -> u32 {
+        let mut smos = 0u32;
+        let mut lsn = 100u64;
+        for k in keys {
+            let value = [k as u8; 16];
+            let mut smo = |_rec: SmoRecord| {
+                smos += 1;
+                lsn += 1;
+                Lsn(lsn)
+            };
+            let leaf = t.ensure_room(pool, k, 8 + 16 + SLOT_SIZE, &mut smo).unwrap();
+            lsn += 1;
+            t.apply_insert(pool, leaf, k, &value, Lsn(lsn)).unwrap();
+        }
+        smos
+    }
+
+    #[test]
+    fn splits_maintain_order_sequential() {
+        let mut pool = pool(256);
+        let mut t = BTree::create(&mut pool, TableId(1)).unwrap();
+        let smos = insert_many(&mut pool, &mut t, 0..200);
+        assert!(smos > 0, "200 keys on 256-byte pages must split");
+        let all = t.scan_all(&mut pool).unwrap();
+        assert_eq!(all.len(), 200);
+        for (i, (k, v)) in all.iter().enumerate() {
+            assert_eq!(*k, i as u64);
+            assert_eq!(v, &[i as u8; 16]);
+        }
+        assert!(t.height(&mut pool).unwrap() >= 2);
+    }
+
+    #[test]
+    fn splits_maintain_order_reverse_and_shuffled() {
+        let mut pool = pool(256);
+        let mut t = BTree::create(&mut pool, TableId(1)).unwrap();
+        insert_many(&mut pool, &mut t, (0..100).rev());
+        // Shuffled-ish second batch via multiplicative hashing.
+        insert_many(&mut pool, &mut t, (100..200).map(|i| 100 + (i * 37) % 100));
+        let all = t.scan_all(&mut pool).unwrap();
+        assert_eq!(all.len(), 200);
+        assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "keys sorted");
+        // Every key findable.
+        for k in 0..200u64 {
+            assert!(t.get(&mut pool, k).unwrap().is_some(), "key {k} lost");
+        }
+    }
+
+    #[test]
+    fn update_and_delete() {
+        let mut pool = pool(512);
+        let mut t = BTree::create(&mut pool, TableId(1)).unwrap();
+        insert_many(&mut pool, &mut t, 0..10);
+        let leaf = t.find_leaf(&mut pool, 3).unwrap().leaf;
+        let old = t.apply_update(&mut pool, leaf, 3, b"new-value", Lsn(500)).unwrap();
+        assert_eq!(old, [3u8; 16]);
+        assert_eq!(t.get(&mut pool, 3).unwrap(), Some(b"new-value".to_vec()));
+        let old = t.apply_delete(&mut pool, leaf, 3, Lsn(501)).unwrap();
+        assert_eq!(old, b"new-value");
+        assert_eq!(t.get(&mut pool, 3).unwrap(), None);
+        assert!(matches!(
+            t.apply_delete(&mut pool, leaf, 3, Lsn(502)),
+            Err(Error::KeyNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn plsn_stamped_by_operations() {
+        let mut pool = pool(512);
+        let mut t = BTree::create(&mut pool, TableId(1)).unwrap();
+        let mut smo = no_smo_expected;
+        let leaf = t.ensure_room(&mut pool, 1, 13, &mut smo).unwrap();
+        t.apply_insert(&mut pool, leaf, 1, b"x", Lsn(42)).unwrap();
+        let plsn = pool.with_page(leaf, |p| p.plsn()).unwrap();
+        assert_eq!(plsn, Lsn(42));
+    }
+
+    #[test]
+    fn smo_records_capture_new_root() {
+        let mut pool = pool(256);
+        let mut t = BTree::create(&mut pool, TableId(7)).unwrap();
+        let mut new_roots = Vec::new();
+        let mut lsn = 0u64;
+        for k in 0..300u64 {
+            let mut smo = |rec: SmoRecord| {
+                if let Some((table, root)) = rec.new_root {
+                    new_roots.push((table, root));
+                }
+                assert!(!rec.pages.is_empty());
+                lsn += 1;
+                Lsn(lsn)
+            };
+            let leaf = t.ensure_room(&mut pool, k, 8 + 16 + SLOT_SIZE, &mut smo).unwrap();
+            lsn += 1;
+            t.apply_insert(&mut pool, leaf, k, &[0u8; 16], Lsn(lsn)).unwrap();
+        }
+        assert!(!new_roots.is_empty(), "tree must have grown");
+        let (table, last_root) = *new_roots.last().unwrap();
+        assert_eq!(table, TableId(7));
+        assert_eq!(last_root, t.root, "handle tracks announced root");
+    }
+
+    #[test]
+    fn internal_pids_enumerates_index() {
+        let mut pool = pool(256);
+        let mut t = BTree::create(&mut pool, TableId(1)).unwrap();
+        insert_many(&mut pool, &mut t, 0..400);
+        let internals = t.internal_pids(&mut pool).unwrap();
+        assert!(internals.contains(&t.root));
+        // Every internal PID really is an internal page.
+        for pid in &internals {
+            let ty = pool.with_page(*pid, |p| p.page_type()).unwrap();
+            assert_eq!(ty, PageType::Internal);
+        }
+        // Index is small relative to data (the paper's <1% premise, loosely).
+        let leaves = t.scan_all(&mut pool).unwrap().len();
+        assert!(internals.len() * 4 < leaves, "index much smaller than data");
+    }
+}
+
+#[cfg(test)]
+mod find_pid_tests {
+    use super::*;
+    use lr_common::{IoModel, SimClock};
+    use lr_storage::SimDisk;
+    use lr_wal::SmoRecord;
+
+    #[test]
+    fn find_leaf_pid_does_not_fetch_the_leaf() {
+        let disk = SimDisk::new(256, 1, SimClock::new(), IoModel::zero());
+        let mut pool = BufferPool::new(Box::new(disk), 512, Box::new(|l| l));
+        pool.set_elsn(Lsn::MAX);
+        let mut t = BTree::create(&mut pool, TableId(1)).unwrap();
+        let mut lsn = 0u64;
+        for k in 0..300u64 {
+            let mut smo = |_: SmoRecord| {
+                lsn += 1;
+                Lsn(lsn)
+            };
+            let leaf = t.ensure_room(&mut pool, k, 8 + 16 + SLOT_SIZE, &mut smo).unwrap();
+            lsn += 1;
+            t.apply_insert(&mut pool, leaf, k, &[0u8; 16], Lsn(lsn)).unwrap();
+        }
+        assert!(t.height(&mut pool).unwrap() >= 2);
+        // Agreement with the fetching traversal.
+        for k in [0u64, 57, 123, 299] {
+            let (pid, touched) = t.find_leaf_pid(&mut pool, k).unwrap();
+            let full = t.find_leaf(&mut pool, k).unwrap();
+            assert_eq!(pid, full.leaf, "key {k}");
+            assert_eq!(touched + 1, full.levels, "index-only walk touches one fewer page");
+        }
+    }
+}
+
+#[cfg(test)]
+mod range_tests {
+    use super::*;
+    use lr_common::{IoModel, SimClock};
+    use lr_storage::SimDisk;
+
+    fn loaded(n: u64) -> (BufferPool, BTree) {
+        let mut disk = SimDisk::new(512, 0, SimClock::new(), IoModel::zero());
+        let root = crate::bulk::bulk_load(
+            &mut disk,
+            TableId(1),
+            (0..n).map(|k| (k * 3, vec![k as u8; 16])),
+            0.85,
+        )
+        .unwrap();
+        let mut pool = BufferPool::new(Box::new(disk), 4096, Box::new(|l| l));
+        pool.set_elsn(Lsn::MAX);
+        (pool, BTree::attach(TableId(1), root))
+    }
+
+    #[test]
+    fn range_scan_bounds_are_inclusive() {
+        let (mut pool, tree) = loaded(1_000);
+        let rows = tree.scan_range(&mut pool, 30, 60).unwrap();
+        let keys: Vec<u64> = rows.iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, vec![30, 33, 36, 39, 42, 45, 48, 51, 54, 57, 60]);
+    }
+
+    #[test]
+    fn range_scan_spans_many_leaves() {
+        let (mut pool, tree) = loaded(1_000);
+        let rows = tree.scan_range(&mut pool, 0, 2_997).unwrap();
+        assert_eq!(rows.len(), 1_000, "full range = full table");
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn range_scan_edge_cases() {
+        let (mut pool, tree) = loaded(100);
+        assert!(tree.scan_range(&mut pool, 50, 40).unwrap().is_empty(), "inverted");
+        assert!(tree.scan_range(&mut pool, 10_000, 20_000).unwrap().is_empty(), "past end");
+        let one = tree.scan_range(&mut pool, 33, 33).unwrap();
+        assert_eq!(one.len(), 1, "singleton range");
+        // Range boundaries between keys (31..35 catches only 33).
+        let between = tree.scan_range(&mut pool, 31, 35).unwrap();
+        assert_eq!(between.len(), 1);
+        assert_eq!(between[0].0, 33);
+    }
+}

@@ -1,0 +1,270 @@
+//! Whole-tree structural verification.
+//!
+//! Logical recovery's correctness hinges on the index being **well-formed
+//! before redo begins** (§1.2: "Logical redo recovery ... requires that any
+//! index used for data placement be well-formed before redo recovery can
+//! begin"). This walker is the oracle tests use to certify that property
+//! after DC recovery: key ordering, separator bracketing, uniform leaf
+//! depth, and sibling-chain consistency.
+
+use crate::node::{parse_internal_entry, parse_leaf_record, slot_key};
+use crate::tree::BTree;
+use lr_buffer::BufferPool;
+use lr_common::{Error, Key, PageId, Result};
+use lr_storage::PageType;
+
+/// What the verification walk found.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TreeSummary {
+    /// Total records across all leaves.
+    pub records: u64,
+    /// Leaf page count.
+    pub leaf_pages: u64,
+    /// Internal page count.
+    pub internal_pages: u64,
+    /// Root→leaf path length.
+    pub height: u32,
+}
+
+/// Verify the tree rooted at `tree.root`; returns a summary or the first
+/// structural violation found.
+pub fn verify_tree(tree: &BTree, pool: &mut BufferPool) -> Result<TreeSummary> {
+    let mut summary = TreeSummary::default();
+    let mut leaf_depth: Option<u32> = None;
+    let mut leftmost_leaf = PageId::INVALID;
+    let mut leaf_order: Vec<PageId> = Vec::new();
+
+    verify_node(
+        pool,
+        tree.root,
+        None,
+        None,
+        1,
+        &mut summary,
+        &mut leaf_depth,
+        &mut leftmost_leaf,
+        &mut leaf_order,
+    )?;
+    summary.height = leaf_depth.unwrap_or(1);
+
+    // Sibling chain must visit exactly the leaves, in key order.
+    let mut chain = Vec::with_capacity(leaf_order.len());
+    let mut cur = leftmost_leaf;
+    while cur.is_valid() {
+        chain.push(cur);
+        cur = pool.with_page(cur, |p| p.right_sibling())?;
+        if chain.len() > leaf_order.len() {
+            return Err(Error::TreeCorrupt("leaf chain longer than leaf set (cycle?)".into()));
+        }
+    }
+    if chain != leaf_order {
+        return Err(Error::TreeCorrupt(format!(
+            "leaf chain ({} pages) disagrees with in-order walk ({} pages)",
+            chain.len(),
+            leaf_order.len()
+        )));
+    }
+    Ok(summary)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn verify_node(
+    pool: &mut BufferPool,
+    pid: PageId,
+    lower: Option<Key>,
+    upper: Option<Key>,
+    depth: u32,
+    summary: &mut TreeSummary,
+    leaf_depth: &mut Option<u32>,
+    leftmost_leaf: &mut PageId,
+    leaf_order: &mut Vec<PageId>,
+) -> Result<()> {
+    let (ty, level, nslots) =
+        pool.with_page(pid, |p| (p.page_type(), p.level(), p.slot_count()))?;
+
+    // Keys within the node must be strictly ascending and inside (lower, upper].
+    let keys: Vec<Key> =
+        pool.with_page(pid, |p| (0..p.slot_count()).map(|s| slot_key(p, s)).collect())?;
+    for w in keys.windows(2) {
+        if w[0] >= w[1] {
+            return Err(Error::TreeCorrupt(format!(
+                "page {pid}: keys not strictly ascending ({} >= {})",
+                w[0], w[1]
+            )));
+        }
+    }
+    // Skip the first key's lower-bound check on internal nodes: a node's
+    // first separator routes as -inf (see node::route).
+    let check_from = if ty == PageType::Internal { 1 } else { 0 };
+    for (i, k) in keys.iter().enumerate() {
+        if i >= check_from {
+            if let Some(lo) = lower {
+                if *k < lo {
+                    return Err(Error::TreeCorrupt(format!(
+                        "page {pid}: key {k} below subtree lower bound {lo}"
+                    )));
+                }
+            }
+        }
+        if let Some(hi) = upper {
+            if *k >= hi {
+                return Err(Error::TreeCorrupt(format!(
+                    "page {pid}: key {k} reaches subtree upper bound {hi}"
+                )));
+            }
+        }
+    }
+
+    match ty {
+        PageType::Leaf => {
+            if level != 0 {
+                return Err(Error::TreeCorrupt(format!("leaf {pid} has level {level}")));
+            }
+            match *leaf_depth {
+                None => *leaf_depth = Some(depth),
+                Some(d) if d != depth => {
+                    return Err(Error::TreeCorrupt(format!(
+                        "leaf {pid} at depth {depth}, expected {d}"
+                    )))
+                }
+                _ => {}
+            }
+            if !leftmost_leaf.is_valid() {
+                *leftmost_leaf = pid;
+            }
+            leaf_order.push(pid);
+            summary.leaf_pages += 1;
+            summary.records += nslots as u64;
+            // Records must parse.
+            pool.with_page(pid, |p| {
+                for s in 0..p.slot_count() {
+                    let _ = parse_leaf_record(p.record(s));
+                }
+            })?;
+        }
+        PageType::Internal => {
+            if nslots == 0 {
+                return Err(Error::TreeCorrupt(format!("internal {pid} has no entries")));
+            }
+            summary.internal_pages += 1;
+            let entries: Vec<(Key, PageId)> = pool.with_page(pid, |p| {
+                (0..p.slot_count()).map(|s| parse_internal_entry(p.record(s))).collect()
+            })?;
+            for (i, (sep, child)) in entries.iter().enumerate() {
+                if !child.is_valid() {
+                    return Err(Error::TreeCorrupt(format!(
+                        "internal {pid} entry {i} has invalid child"
+                    )));
+                }
+                let child_lower = if i == 0 { lower } else { Some(*sep) };
+                let child_upper =
+                    if i + 1 < entries.len() { Some(entries[i + 1].0) } else { upper };
+                // Child level must be exactly one below.
+                let child_level = pool.with_page(*child, |p| p.level())?;
+                if child_level + 1 != level {
+                    return Err(Error::TreeCorrupt(format!(
+                        "page {pid} (level {level}) points to child {child} (level {child_level})"
+                    )));
+                }
+                verify_node(
+                    pool,
+                    *child,
+                    child_lower,
+                    child_upper,
+                    depth + 1,
+                    summary,
+                    leaf_depth,
+                    leftmost_leaf,
+                    leaf_order,
+                )?;
+            }
+        }
+        other => {
+            return Err(Error::TreeCorrupt(format!("page {pid} has type {other:?} in tree")))
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::internal_entry;
+    use crate::tree::BTree;
+    use lr_common::{IoModel, Lsn, SimClock, TableId};
+    use lr_storage::{SimDisk, SLOT_SIZE};
+    use lr_wal::SmoRecord;
+
+    fn setup() -> (BufferPool, BTree) {
+        let disk = SimDisk::new(256, 1, SimClock::new(), IoModel::zero());
+        let mut pool = BufferPool::new(Box::new(disk), 1024, Box::new(|l| l));
+        pool.set_elsn(Lsn::MAX);
+        let tree = BTree::create(&mut pool, TableId(1)).unwrap();
+        (pool, tree)
+    }
+
+    fn grow(pool: &mut BufferPool, tree: &mut BTree, n: u64) {
+        let mut lsn = 0u64;
+        for k in 0..n {
+            let mut smo = |_: SmoRecord| {
+                lsn += 1;
+                Lsn(lsn)
+            };
+            let leaf = tree.ensure_room(pool, k, 8 + 8 + SLOT_SIZE, &mut smo).unwrap();
+            lsn += 1;
+            tree.apply_insert(pool, leaf, k, &k.to_le_bytes(), Lsn(lsn)).unwrap();
+        }
+    }
+
+    #[test]
+    fn verifies_healthy_tree() {
+        let (mut pool, mut tree) = setup();
+        grow(&mut pool, &mut tree, 500);
+        let s = verify_tree(&tree, &mut pool).unwrap();
+        assert_eq!(s.records, 500);
+        assert!(s.height >= 2);
+        assert!(s.leaf_pages > 1);
+        assert!(s.internal_pages >= 1);
+    }
+
+    #[test]
+    fn detects_unsorted_leaf() {
+        let (mut pool, mut tree) = setup();
+        grow(&mut pool, &mut tree, 50);
+        let leaf = tree.find_leaf(&mut pool, 0).unwrap().leaf;
+        // Corrupt: overwrite slot 0's key with a huge value.
+        pool.with_page_mut(leaf, Lsn(9999), |p| {
+            let mut rec = p.record(0).to_vec();
+            rec[..8].copy_from_slice(&u64::MAX.to_le_bytes());
+            p.update_record(0, &rec).unwrap();
+        })
+        .unwrap();
+        assert!(matches!(verify_tree(&tree, &mut pool), Err(Error::TreeCorrupt(_))));
+    }
+
+    #[test]
+    fn detects_broken_sibling_chain() {
+        let (mut pool, mut tree) = setup();
+        grow(&mut pool, &mut tree, 300);
+        let leaf = tree.leftmost_leaf(&mut pool).unwrap();
+        pool.with_page_mut(leaf, Lsn(9999), |p| p.set_right_sibling(PageId::INVALID)).unwrap();
+        assert!(matches!(verify_tree(&tree, &mut pool), Err(Error::TreeCorrupt(_))));
+    }
+
+    #[test]
+    fn detects_separator_violation() {
+        let (mut pool, mut tree) = setup();
+        grow(&mut pool, &mut tree, 300);
+        // Rewrite an internal entry's separator to something absurd.
+        let internals = tree.internal_pids(&mut pool).unwrap();
+        let victim = *internals.last().unwrap();
+        pool.with_page_mut(victim, Lsn(9999), |p| {
+            if p.slot_count() >= 2 {
+                let (_, child) = parse_internal_entry(p.record(1));
+                p.update_record(1, &internal_entry(u64::MAX, child)).unwrap();
+            }
+        })
+        .unwrap();
+        assert!(verify_tree(&tree, &mut pool).is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! Cache events: the observable stream the DC's recovery bookkeeping taps.
+
+use lr_common::{Lsn, PageId};
+
+/// Something the cache did that recovery preparation cares about.
+///
+/// The DC drains these after every operation and feeds its Δ-log and BW-log
+/// trackers. Keeping this a queue (rather than callbacks) keeps the pool
+/// free of re-entrancy and lets tests assert on exact event sequences.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CacheEvent {
+    /// A page transitioned clean → dirty under the given operation LSN.
+    ///
+    /// This is the "update for a page occurs, its PID is appended to
+    /// DirtySet" trigger of §4.1. `lsn` is the dirtying operation's LSN
+    /// (used by the ARIES runtime DPT and the Appendix-D.1 perfect DPT).
+    Dirtied { pid: PageId, lsn: Lsn },
+    /// A page's flush I/O completed; the image on stable storage now
+    /// reflects `plsn`. This is the BW/Δ `WrittenSet` trigger (§3.3).
+    /// `elsn` is the TC end-of-stable-log at completion time — exactly the
+    /// value §3.3/§4.1 capture as FW-LSN when this is the interval's first
+    /// flush.
+    Flushed { pid: PageId, plsn: Lsn, elsn: Lsn },
+    /// The pool had to demand an EOSL advance to flush a page whose pLSN
+    /// ran ahead of the stable log (WAL rule). Informational; counted by
+    /// normal-execution overhead stats.
+    EoslDemanded { pid: PageId, plsn: Lsn },
+}

@@ -1,0 +1,24 @@
+//! # lr-buffer
+//!
+//! The DC's database cache. Recovery performance in the paper is, at its
+//! core, the cost of **rebuilding this cache** after a crash (Appendix B:
+//! "rebuilding the database cache is the principal cost of redo recovery"),
+//! so the pool is instrumented to the hilt:
+//!
+//! * every clean→dirty transition and every completed flush is emitted as a
+//!   [`CacheEvent`] — the raw feed for Δ-log records (§4.1) and BW-log
+//!   records (§3.3);
+//! * each frame carries the checkpoint **generation** it was dirtied in,
+//!   implementing SQL Server's penultimate-checkpoint bit (§3.2: "It places
+//!   a bit on each page buffer that is flipped when bCkpt is written");
+//! * each frame records the LSN that first dirtied it, which is exactly the
+//!   runtime rLSN ARIES checkpointing captures (§3.1 ablation);
+//! * flushes respect the write-ahead rule: a page whose pLSN exceeds the
+//!   TC-advertised end-of-stable-log (eLSN, delivered by the EOSL control
+//!   operation) triggers an on-demand EOSL before it may be written.
+
+pub mod events;
+pub mod pool;
+
+pub use events::CacheEvent;
+pub use pool::{BufferPool, EoslProvider, FetchInfo, PoolStats};

@@ -1,0 +1,683 @@
+//! The buffer pool proper.
+
+use crate::events::CacheEvent;
+use lr_common::{Error, Histogram, Lsn, PageId, Result};
+use lr_storage::{Disk, Page, PageType};
+use std::collections::{BTreeSet, HashMap};
+
+/// Supplies an eLSN at least as large as the requested LSN — the on-demand
+/// EOSL path. The engine wires this to "TC: ensure the log is stable through
+/// `lsn`, tell me the new end-of-stable-log".
+pub type EoslProvider = Box<dyn FnMut(Lsn) -> Lsn + Send>;
+
+/// Outcome of ensuring a page is cached.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FetchInfo {
+    /// Simulated µs the caller stalled on the device (0 on a cache hit).
+    pub stall_us: u64,
+    /// True if a prefetch satisfied the read.
+    pub prefetched: bool,
+    /// True if the page was already cached.
+    pub hit: bool,
+    /// The page's type (valid whether hit or miss).
+    pub page_type: PageType,
+}
+
+/// Aggregate pool counters for a measurement window.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Distribution of per-fetch stall times (µs) for data pages — the
+    /// §5.3 prefetching discussion is about reshaping this histogram.
+    pub data_stall_hist: Histogram,
+    pub hits: u64,
+    pub misses: u64,
+    pub evictions: u64,
+    pub dirty_evictions: u64,
+    pub flushes: u64,
+    pub eosl_demands: u64,
+    /// Misses broken out by what was fetched.
+    pub data_page_misses: u64,
+    pub index_page_misses: u64,
+    /// Stall time broken out the same way (simulated µs).
+    pub data_stall_us: u64,
+    pub index_stall_us: u64,
+    pub data_stall_events: u64,
+    pub index_stall_events: u64,
+}
+
+struct Frame {
+    page: Page,
+    dirty: bool,
+    /// Checkpoint generation in which the frame was first dirtied
+    /// (penultimate-checkpoint scheme; see [`BufferPool::begin_checkpoint`]).
+    dirty_gen: u64,
+    /// LSN of the operation that first dirtied this frame (runtime rLSN).
+    first_dirty_lsn: Lsn,
+    pins: u32,
+    last_used: u64,
+}
+
+/// An LRU page cache over a [`Disk`], with dirty/flush bookkeeping.
+pub struct BufferPool {
+    disk: Box<dyn Disk>,
+    frames: HashMap<PageId, Frame>,
+    /// Recency index: `(last_used tick, pid)`, kept in lock-step with the
+    /// frames' `last_used` fields so eviction is O(log n), not O(n).
+    lru: BTreeSet<(u64, PageId)>,
+    capacity: usize,
+    tick: u64,
+    ckpt_gen: u64,
+    elsn: Lsn,
+    eosl: EoslProvider,
+    events: Vec<CacheEvent>,
+    stats: PoolStats,
+}
+
+impl BufferPool {
+    /// A pool of `capacity` frames over `disk`. `eosl` services on-demand
+    /// write-ahead-log advances (see [`EoslProvider`]).
+    pub fn new(disk: Box<dyn Disk>, capacity: usize, eosl: EoslProvider) -> BufferPool {
+        assert!(capacity >= 4, "pool needs at least 4 frames (got {capacity})");
+        BufferPool {
+            disk,
+            frames: HashMap::with_capacity(capacity),
+            lru: BTreeSet::new(),
+            capacity,
+            tick: 0,
+            ckpt_gen: 0,
+            elsn: Lsn::NULL,
+            eosl,
+            events: Vec::new(),
+            stats: PoolStats::default(),
+        }
+    }
+
+    /// Frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Cached page count.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Count of dirty frames right now (the paper's Figure 2(b) numerator
+    /// at crash time).
+    pub fn dirty_count(&self) -> usize {
+        self.frames.values().filter(|f| f.dirty).count()
+    }
+
+    /// Whether `pid` is currently cached.
+    pub fn contains(&self, pid: PageId) -> bool {
+        self.frames.contains_key(&pid)
+    }
+
+    /// Direct disk access (allocation, recovery-time raw reads).
+    pub fn disk_mut(&mut self) -> &mut dyn Disk {
+        &mut *self.disk
+    }
+
+    pub fn disk(&self) -> &dyn Disk {
+        &*self.disk
+    }
+
+    /// Latest eLSN delivered by EOSL (regular or on-demand).
+    pub fn current_elsn(&self) -> Lsn {
+        self.elsn
+    }
+
+    /// Regular EOSL delivery from the TC.
+    pub fn set_elsn(&mut self, elsn: Lsn) {
+        self.elsn = self.elsn.max(elsn);
+    }
+
+    /// Drain the pending cache events (dirty transitions, flushes).
+    pub fn take_events(&mut self) -> Vec<CacheEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Window counters.
+    pub fn stats(&self) -> PoolStats {
+        self.stats.clone()
+    }
+
+    pub fn reset_stats(&mut self) {
+        self.stats = PoolStats::default();
+        self.disk.reset_stats();
+    }
+
+    // ------------------------------------------------------------------
+    // fetch / pin
+    // ------------------------------------------------------------------
+
+    fn touch(
+        frames: &mut HashMap<PageId, Frame>,
+        lru: &mut BTreeSet<(u64, PageId)>,
+        tick: &mut u64,
+        pid: PageId,
+    ) {
+        *tick += 1;
+        if let Some(f) = frames.get_mut(&pid) {
+            lru.remove(&(f.last_used, pid));
+            f.last_used = *tick;
+            lru.insert((*tick, pid));
+        }
+    }
+
+    /// Ensure `pid` is cached, evicting if necessary. Returns how the fetch
+    /// was satisfied.
+    pub fn fetch(&mut self, pid: PageId) -> Result<FetchInfo> {
+        if let Some(f) = self.frames.get(&pid) {
+            let ty = f.page.page_type();
+            Self::touch(&mut self.frames, &mut self.lru, &mut self.tick, pid);
+            self.stats.hits += 1;
+            return Ok(FetchInfo { stall_us: 0, prefetched: false, hit: true, page_type: ty });
+        }
+        self.make_room()?;
+        let (page, outcome) = self.disk.read(pid)?;
+        let ty = page.page_type();
+        self.stats.misses += 1;
+        match ty {
+            PageType::Internal | PageType::Meta => {
+                self.stats.index_page_misses += 1;
+                if outcome.stall_us > 0 {
+                    self.stats.index_stall_events += 1;
+                    self.stats.index_stall_us += outcome.stall_us;
+                }
+            }
+            _ => {
+                self.stats.data_page_misses += 1;
+                if outcome.stall_us > 0 {
+                    self.stats.data_stall_events += 1;
+                    self.stats.data_stall_us += outcome.stall_us;
+                }
+                self.stats.data_stall_hist.record(outcome.stall_us);
+            }
+        }
+        self.tick += 1;
+        self.frames.insert(
+            pid,
+            Frame {
+                page,
+                dirty: false,
+                dirty_gen: 0,
+                first_dirty_lsn: Lsn::NULL,
+                pins: 0,
+                last_used: self.tick,
+            },
+        );
+        self.lru.insert((self.tick, pid));
+        Ok(FetchInfo {
+            stall_us: outcome.stall_us,
+            prefetched: outcome.prefetched,
+            hit: false,
+            page_type: ty,
+        })
+    }
+
+    /// Pin `pid` (fetching if absent): pinned frames are never evicted.
+    pub fn pin(&mut self, pid: PageId) -> Result<FetchInfo> {
+        let info = self.fetch(pid)?;
+        self.frames.get_mut(&pid).expect("just fetched").pins += 1;
+        Ok(info)
+    }
+
+    /// Release one pin.
+    pub fn unpin(&mut self, pid: PageId) {
+        if let Some(f) = self.frames.get_mut(&pid) {
+            debug_assert!(f.pins > 0, "unpin of unpinned page {pid}");
+            f.pins = f.pins.saturating_sub(1);
+        }
+    }
+
+    /// Read access to a cached-or-fetched page.
+    pub fn with_page<R>(&mut self, pid: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
+        self.fetch(pid)?;
+        Ok(f(&self.frames[&pid].page))
+    }
+
+    /// Mutate a page under operation LSN `lsn`: fetches, emits a
+    /// [`CacheEvent::Dirtied`] on the clean→dirty transition, applies `f`,
+    /// then stamps the pLSN (if `lsn` is non-null — SMO installs stamp
+    /// their own).
+    pub fn with_page_mut<R>(
+        &mut self,
+        pid: PageId,
+        lsn: Lsn,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> Result<R> {
+        self.fetch(pid)?;
+        self.mark_dirty(pid, lsn);
+        let frame = self.frames.get_mut(&pid).expect("fetched above");
+        let r = f(&mut frame.page);
+        if !lsn.is_null() {
+            frame.page.set_plsn(lsn);
+        }
+        Ok(r)
+    }
+
+    /// Replace a page's entire image (SMO application) under `lsn`.
+    pub fn install_page(&mut self, pid: PageId, mut page: Page, lsn: Lsn) -> Result<()> {
+        if !self.frames.contains_key(&pid) {
+            self.make_room()?;
+            self.tick += 1;
+            self.frames.insert(
+                pid,
+                Frame {
+                    page: page.clone(),
+                    dirty: false,
+                    dirty_gen: 0,
+                    first_dirty_lsn: Lsn::NULL,
+                    pins: 0,
+                    last_used: self.tick,
+                },
+            );
+            self.lru.insert((self.tick, pid));
+        }
+        self.mark_dirty(pid, lsn);
+        if !lsn.is_null() {
+            page.set_plsn(lsn);
+        }
+        self.frames.get_mut(&pid).expect("inserted above").page = page;
+        Ok(())
+    }
+
+    fn mark_dirty(&mut self, pid: PageId, lsn: Lsn) {
+        let gen = self.ckpt_gen;
+        let f = self.frames.get_mut(&pid).expect("mark_dirty of uncached page");
+        self.lru.remove(&(f.last_used, pid));
+        Self::touch_frame(f, &mut self.tick);
+        self.lru.insert((f.last_used, pid));
+        if !f.dirty {
+            f.dirty = true;
+            f.dirty_gen = gen;
+            f.first_dirty_lsn = lsn;
+            self.events.push(CacheEvent::Dirtied { pid, lsn });
+        }
+    }
+
+    fn touch_frame(f: &mut Frame, tick: &mut u64) {
+        *tick += 1;
+        f.last_used = *tick;
+    }
+
+    // ------------------------------------------------------------------
+    // eviction / flushing
+    // ------------------------------------------------------------------
+
+    fn make_room(&mut self) -> Result<()> {
+        while self.frames.len() >= self.capacity {
+            self.evict_one()?;
+        }
+        Ok(())
+    }
+
+    fn evict_one(&mut self) -> Result<()> {
+        // Plain LRU over unpinned frames, via the recency index.
+        let victim = self
+            .lru
+            .iter()
+            .map(|(_, pid)| *pid)
+            .find(|pid| self.frames.get(pid).map(|f| f.pins == 0).unwrap_or(false))
+            .ok_or(Error::PoolExhausted { capacity: self.capacity })?;
+        let dirty = self.frames[&victim].dirty;
+        if dirty {
+            self.flush_page(victim)?;
+            self.stats.dirty_evictions += 1;
+        }
+        let f = self.frames.remove(&victim).expect("victim cached");
+        self.lru.remove(&(f.last_used, victim));
+        self.stats.evictions += 1;
+        Ok(())
+    }
+
+    /// Flush one dirty page to stable storage, enforcing the WAL rule.
+    /// Emits [`CacheEvent::Flushed`]; the frame becomes clean but stays
+    /// cached.
+    pub fn flush_page(&mut self, pid: PageId) -> Result<()> {
+        let plsn = {
+            let f = self.frames.get(&pid).ok_or(Error::RecoveryInvariant(format!(
+                "flush of uncached page {pid}"
+            )))?;
+            if !f.dirty {
+                return Ok(());
+            }
+            f.page.plsn()
+        };
+        if plsn > self.elsn {
+            // WAL rule would be violated: demand an EOSL advance.
+            let new_elsn = (self.eosl)(plsn);
+            self.stats.eosl_demands += 1;
+            self.events.push(CacheEvent::EoslDemanded { pid, plsn });
+            self.elsn = self.elsn.max(new_elsn);
+            if plsn > self.elsn {
+                return Err(Error::WalViolation { pid, plsn, elsn: self.elsn });
+            }
+        }
+        let f = self.frames.get_mut(&pid).expect("checked above");
+        self.disk.write(pid, &f.page)?;
+        f.dirty = false;
+        f.first_dirty_lsn = Lsn::NULL;
+        self.stats.flushes += 1;
+        let elsn = self.elsn;
+        self.events.push(CacheEvent::Flushed { pid, plsn, elsn });
+        Ok(())
+    }
+
+    /// Begin a checkpoint: flip the generation "bit". Pages dirtied from now
+    /// on belong to the new generation and will *not* be flushed by
+    /// [`BufferPool::checkpoint_flush`] — exactly SQL Server's scheme
+    /// (§3.2).
+    pub fn begin_checkpoint(&mut self) -> u64 {
+        self.ckpt_gen += 1;
+        self.ckpt_gen
+    }
+
+    /// Flush every page dirtied in a generation **before** the current one.
+    /// Returns the number of pages flushed.
+    pub fn checkpoint_flush(&mut self) -> Result<usize> {
+        let gen = self.ckpt_gen;
+        let mut victims: Vec<PageId> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty && f.dirty_gen < gen)
+            .map(|(pid, _)| *pid)
+            .collect();
+        victims.sort_unstable(); // deterministic order
+        for pid in &victims {
+            self.flush_page(*pid)?;
+        }
+        Ok(victims.len())
+    }
+
+    /// Flush up to `max` of the coldest (least-recently-used) dirty,
+    /// unpinned pages without evicting them — the background-writer
+    /// ("lazywriter") behaviour of the modelled engine: it keeps the dirty
+    /// fraction of the cache bounded during normal execution, which is what
+    /// keeps the DPT small (§5.3 / Figure 2(b)). Returns pages flushed.
+    pub fn clean_coldest(&mut self, max: usize) -> Result<usize> {
+        if max == 0 {
+            return Ok(0);
+        }
+        let victims: Vec<PageId> = self
+            .lru
+            .iter()
+            .map(|(_, pid)| *pid)
+            .filter(|pid| {
+                self.frames.get(pid).map(|f| f.dirty && f.pins == 0).unwrap_or(false)
+            })
+            .take(max)
+            .collect();
+        for pid in &victims {
+            self.flush_page(*pid)?;
+        }
+        Ok(victims.len())
+    }
+
+    /// Flush everything dirty (clean shutdown; not used by crash paths).
+    pub fn flush_all(&mut self) -> Result<usize> {
+        let mut victims: Vec<PageId> =
+            self.frames.iter().filter(|(_, f)| f.dirty).map(|(pid, _)| *pid).collect();
+        victims.sort_unstable();
+        for pid in &victims {
+            self.flush_page(*pid)?;
+        }
+        Ok(victims.len())
+    }
+
+    /// The runtime dirty-page table: `(pid, first-dirty LSN)` for every
+    /// dirty frame. This is what ARIES checkpointing snapshots into its
+    /// checkpoint record (§3.1 ablation).
+    pub fn runtime_dpt(&self) -> Vec<(PageId, Lsn)> {
+        let mut v: Vec<(PageId, Lsn)> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.dirty)
+            .map(|(pid, f)| (*pid, f.first_dirty_lsn))
+            .collect();
+        v.sort_unstable_by_key(|(pid, _)| *pid);
+        v
+    }
+
+    /// PIDs of all dirty frames (ground truth for DPT-safety tests).
+    pub fn dirty_pids(&self) -> Vec<PageId> {
+        let mut v: Vec<PageId> =
+            self.frames.iter().filter(|(_, f)| f.dirty).map(|(pid, _)| *pid).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Issue read-ahead for pages neither cached nor already in flight.
+    ///
+    /// Issue order follows request order — prefetch lists are built in the
+    /// order redo will need the pages (log order / PF-list order), and
+    /// reordering would make arrivals race ahead of or behind the scan.
+    /// Runs that are *already* contiguous in the request are coalesced into
+    /// block reads. Returns (device ops, pages requested).
+    pub fn prefetch(&mut self, pids: &[PageId]) -> (usize, usize) {
+        let mut wanted: Vec<PageId> = Vec::with_capacity(pids.len());
+        let mut seen = std::collections::HashSet::with_capacity(pids.len());
+        for pid in pids {
+            if !self.frames.contains_key(pid) && !self.disk.is_inflight(*pid) && seen.insert(*pid)
+            {
+                wanted.push(*pid);
+            }
+        }
+        if wanted.is_empty() {
+            return (0, 0);
+        }
+        let mut ios = 0;
+        let pages = wanted.len();
+        // Split into contiguous runs (in request order) for block coalescing.
+        let mut run_start = 0;
+        for i in 1..=wanted.len() {
+            let run_ends = i == wanted.len() || wanted[i].0 != wanted[i - 1].0 + 1;
+            if run_ends {
+                ios += self.disk.prefetch(&wanted[run_start..i]);
+                run_start = i;
+            }
+        }
+        (ios, pages)
+    }
+
+    /// Crash: drop every frame and all pending events; power-cycle the
+    /// device model. Stable storage (the disk) is untouched.
+    pub fn crash(&mut self) {
+        self.frames.clear();
+        self.lru.clear();
+        self.events.clear();
+        self.disk.reset_device();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_common::{IoModel, SimClock};
+    use lr_storage::SimDisk;
+
+    fn pool(capacity: usize, pages: u64) -> BufferPool {
+        let disk = SimDisk::new(256, pages, SimClock::new(), IoModel::zero());
+        BufferPool::new(Box::new(disk), capacity, Box::new(|lsn| lsn))
+    }
+
+    fn write_leaf(pool: &mut BufferPool, pid: PageId) {
+        // Format the page as a leaf so page-type stats see data pages.
+        pool.with_page_mut(pid, Lsn::NULL, |p| {
+            p.set_page_type(PageType::Leaf);
+            p.set_pid(pid);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut p = pool(4, 8);
+        p.fetch(PageId(0)).unwrap();
+        let info = p.fetch(PageId(0)).unwrap();
+        assert!(info.hit);
+        let s = p.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+    }
+
+    #[test]
+    fn lru_eviction_prefers_least_recent() {
+        let mut p = pool(4, 16);
+        for i in 0..4 {
+            p.fetch(PageId(i)).unwrap();
+        }
+        p.fetch(PageId(0)).unwrap(); // refresh 0; LRU is now 1
+        p.fetch(PageId(10)).unwrap(); // evicts 1
+        assert!(p.contains(PageId(0)));
+        assert!(!p.contains(PageId(1)));
+        assert_eq!(p.stats().evictions, 1);
+    }
+
+    #[test]
+    fn pinned_frames_survive_eviction() {
+        let mut p = pool(4, 16);
+        p.pin(PageId(0)).unwrap();
+        for i in 1..8 {
+            p.fetch(PageId(i)).unwrap();
+        }
+        assert!(p.contains(PageId(0)), "pinned page never evicted");
+        p.unpin(PageId(0));
+        for i in 8..12 {
+            p.fetch(PageId(i)).unwrap();
+        }
+        assert!(!p.contains(PageId(0)), "unpinned page evictable again");
+    }
+
+    #[test]
+    fn all_pinned_pool_errors() {
+        let mut p = pool(4, 16);
+        for i in 0..4 {
+            p.pin(PageId(i)).unwrap();
+        }
+        assert!(matches!(p.fetch(PageId(5)), Err(Error::PoolExhausted { .. })));
+    }
+
+    #[test]
+    fn dirty_transition_emits_event_once() {
+        let mut p = pool(4, 8);
+        write_leaf(&mut p, PageId(2));
+        p.take_events();
+        p.with_page_mut(PageId(2), Lsn(100), |pg| pg.insert_record(0, b"x").unwrap()).unwrap();
+        p.with_page_mut(PageId(2), Lsn(101), |pg| pg.update_record(0, b"y").unwrap()).unwrap();
+        let dirtied: Vec<_> = p
+            .take_events()
+            .into_iter()
+            .filter(|e| matches!(e, CacheEvent::Dirtied { .. }))
+            .collect();
+        // write_leaf already dirtied it once with NULL lsn... we took those
+        // events; page is still dirty, so the next mutations add nothing.
+        assert!(dirtied.is_empty(), "no second Dirtied while already dirty: {dirtied:?}");
+        // After a flush, the next write is a fresh transition.
+        p.set_elsn(Lsn(1000));
+        p.flush_page(PageId(2)).unwrap();
+        p.take_events();
+        p.with_page_mut(PageId(2), Lsn(102), |pg| pg.update_record(0, b"z").unwrap()).unwrap();
+        let ev = p.take_events();
+        assert_eq!(ev, vec![CacheEvent::Dirtied { pid: PageId(2), lsn: Lsn(102) }]);
+    }
+
+    #[test]
+    fn flush_respects_wal_rule_via_eosl() {
+        let disk = SimDisk::new(256, 8, SimClock::new(), IoModel::zero());
+        // Provider grants stability exactly as requested.
+        let mut p = BufferPool::new(Box::new(disk), 4, Box::new(|lsn| lsn));
+        write_leaf(&mut p, PageId(1));
+        p.with_page_mut(PageId(1), Lsn(500), |pg| pg.insert_record(0, b"w").unwrap()).unwrap();
+        assert_eq!(p.current_elsn(), Lsn::NULL);
+        p.flush_page(PageId(1)).unwrap();
+        assert_eq!(p.stats().eosl_demands, 1);
+        assert_eq!(p.current_elsn(), Lsn(500));
+        let ev = p.take_events();
+        assert!(ev.contains(&CacheEvent::EoslDemanded { pid: PageId(1), plsn: Lsn(500) }));
+        assert!(ev.contains(&CacheEvent::Flushed { pid: PageId(1), plsn: Lsn(500), elsn: Lsn(500) }));
+    }
+
+    #[test]
+    fn flush_fails_if_eosl_cannot_advance() {
+        let disk = SimDisk::new(256, 8, SimClock::new(), IoModel::zero());
+        let mut p = BufferPool::new(Box::new(disk), 4, Box::new(|_| Lsn::NULL));
+        write_leaf(&mut p, PageId(1));
+        p.with_page_mut(PageId(1), Lsn(500), |pg| pg.insert_record(0, b"w").unwrap()).unwrap();
+        assert!(matches!(p.flush_page(PageId(1)), Err(Error::WalViolation { .. })));
+    }
+
+    #[test]
+    fn penultimate_checkpoint_scheme() {
+        let mut p = pool(8, 16);
+        p.set_elsn(Lsn::MAX);
+        write_leaf(&mut p, PageId(1));
+        write_leaf(&mut p, PageId(2));
+        p.with_page_mut(PageId(1), Lsn(10), |pg| pg.insert_record(0, b"a").unwrap()).unwrap();
+        p.with_page_mut(PageId(2), Lsn(11), |pg| pg.insert_record(0, b"b").unwrap()).unwrap();
+        p.begin_checkpoint();
+        // Page 3 dirtied DURING the checkpoint: must not be flushed by it.
+        write_leaf(&mut p, PageId(3));
+        p.with_page_mut(PageId(3), Lsn(12), |pg| pg.insert_record(0, b"c").unwrap()).unwrap();
+        let flushed = p.checkpoint_flush().unwrap();
+        assert_eq!(flushed, 2);
+        assert_eq!(p.dirty_pids(), vec![PageId(3)]);
+    }
+
+    #[test]
+    fn runtime_dpt_tracks_first_dirty_lsn() {
+        let mut p = pool(8, 16);
+        p.set_elsn(Lsn::MAX);
+        write_leaf(&mut p, PageId(4));
+        p.flush_page(PageId(4)).unwrap();
+        p.with_page_mut(PageId(4), Lsn(40), |pg| pg.insert_record(0, b"x").unwrap()).unwrap();
+        p.with_page_mut(PageId(4), Lsn(44), |pg| pg.update_record(0, b"y").unwrap()).unwrap();
+        assert_eq!(p.runtime_dpt(), vec![(PageId(4), Lsn(40))]);
+    }
+
+    #[test]
+    fn crash_clears_cache_but_not_disk() {
+        let mut p = pool(4, 8);
+        p.set_elsn(Lsn::MAX);
+        write_leaf(&mut p, PageId(1));
+        p.with_page_mut(PageId(1), Lsn(9), |pg| pg.insert_record(0, b"keep").unwrap()).unwrap();
+        p.flush_page(PageId(1)).unwrap();
+        p.with_page_mut(PageId(1), Lsn(10), |pg| pg.update_record(0, b"lost").unwrap()).unwrap();
+        p.crash();
+        assert_eq!(p.len(), 0);
+        let rec = p.with_page(PageId(1), |pg| pg.record(0).to_vec()).unwrap();
+        assert_eq!(rec, b"keep", "stable image survives, volatile update lost");
+    }
+
+    #[test]
+    fn prefetch_skips_cached_and_dedups() {
+        let mut p = pool(4, 16);
+        p.fetch(PageId(3)).unwrap();
+        let (_ios, pages) = p.prefetch(&[PageId(3), PageId(5), PageId(5), PageId(6)]);
+        assert_eq!(pages, 2, "cached and duplicate PIDs filtered");
+        // Re-requesting in-flight pages is also filtered. SimDisk with zero
+        // model is untimed so nothing is actually inflight; just ensure no
+        // panic and stable behaviour.
+        let (_, pages2) = p.prefetch(&[PageId(5)]);
+        assert!(pages2 <= 1);
+    }
+
+    #[test]
+    fn flush_all_cleans_everything() {
+        let mut p = pool(8, 16);
+        p.set_elsn(Lsn::MAX);
+        for i in 0..5 {
+            write_leaf(&mut p, PageId(i));
+            p.with_page_mut(PageId(i), Lsn(20 + i), |pg| pg.insert_record(0, b"d").unwrap())
+                .unwrap();
+        }
+        assert_eq!(p.dirty_count(), 5);
+        assert_eq!(p.flush_all().unwrap(), 5);
+        assert_eq!(p.dirty_count(), 0);
+    }
+}

@@ -1,0 +1,297 @@
+//! Binary encode/decode helpers for log records and page metadata.
+//!
+//! The write-ahead log stores records as length-prefixed binary frames; this
+//! module provides the little-endian primitives plus checked decoding. A
+//! decoder failure is a structural corruption signal — the WAL layer maps
+//! [`CodecError`] into [`crate::Error::LogCorrupt`] with the failing LSN.
+
+use crate::types::{Key, Lsn, PageId, TableId, TxnId};
+use bytes::{Buf, BufMut, BytesMut};
+use std::fmt;
+
+/// Decode failure: the byte stream ended early or contained an invalid tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Fewer bytes remained than the read required.
+    Truncated { wanted: usize, remaining: usize },
+    /// A tag byte had no corresponding variant.
+    BadTag { context: &'static str, tag: u8 },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { wanted, remaining } => {
+                write!(f, "truncated: wanted {wanted} bytes, {remaining} remain")
+            }
+            CodecError::BadTag { context, tag } => write!(f, "bad tag {tag} for {context}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Growable little-endian encoder.
+#[derive(Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: BytesMut::with_capacity(cap) }
+    }
+
+    #[inline]
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    #[inline]
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    #[inline]
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    #[inline]
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    #[inline]
+    pub fn put_lsn(&mut self, v: Lsn) {
+        self.put_u64(v.0);
+    }
+
+    #[inline]
+    pub fn put_pid(&mut self, v: PageId) {
+        self.put_u64(v.0);
+    }
+
+    #[inline]
+    pub fn put_table(&mut self, v: TableId) {
+        self.put_u32(v.0);
+    }
+
+    #[inline]
+    pub fn put_txn(&mut self, v: TxnId) {
+        self.put_u64(v.0);
+    }
+
+    #[inline]
+    pub fn put_key(&mut self, v: Key) {
+        self.put_u64(v);
+    }
+
+    /// Length-prefixed byte string (u32 length).
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.put_slice(v);
+    }
+
+    /// Length-prefixed PID array (u32 count).
+    pub fn put_pid_vec(&mut self, pids: &[PageId]) {
+        self.put_u32(pids.len() as u32);
+        for p in pids {
+            self.put_pid(*p);
+        }
+    }
+
+    /// Length-prefixed LSN array (u32 count).
+    pub fn put_lsn_vec(&mut self, lsns: &[Lsn]) {
+        self.put_u32(lsns.len() as u32);
+        for l in lsns {
+            self.put_lsn(*l);
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finish encoding, yielding the frame bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+}
+
+/// Checked little-endian decoder over a byte slice.
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Decoder<'a> {
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    fn ensure(&self, n: usize) -> Result<(), CodecError> {
+        if self.buf.remaining() < n {
+            Err(CodecError::Truncated { wanted: n, remaining: self.buf.remaining() })
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        self.ensure(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        self.ensure(2)?;
+        Ok(self.buf.get_u16_le())
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        self.ensure(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        self.ensure(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    pub fn get_lsn(&mut self) -> Result<Lsn, CodecError> {
+        Ok(Lsn(self.get_u64()?))
+    }
+
+    pub fn get_pid(&mut self) -> Result<PageId, CodecError> {
+        Ok(PageId(self.get_u64()?))
+    }
+
+    pub fn get_table(&mut self) -> Result<TableId, CodecError> {
+        Ok(TableId(self.get_u32()?))
+    }
+
+    pub fn get_txn(&mut self) -> Result<TxnId, CodecError> {
+        Ok(TxnId(self.get_u64()?))
+    }
+
+    pub fn get_key(&mut self) -> Result<Key, CodecError> {
+        self.get_u64()
+    }
+
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let len = self.get_u32()? as usize;
+        self.ensure(len)?;
+        let mut out = vec![0u8; len];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    pub fn get_pid_vec(&mut self) -> Result<Vec<PageId>, CodecError> {
+        let n = self.get_u32()? as usize;
+        // Guard against corrupt huge counts before allocating.
+        self.ensure(n.saturating_mul(8))?;
+        (0..n).map(|_| self.get_pid()).collect()
+    }
+
+    pub fn get_lsn_vec(&mut self) -> Result<Vec<Lsn>, CodecError> {
+        let n = self.get_u32()? as usize;
+        self.ensure(n.saturating_mul(8))?;
+        (0..n).map(|_| self.get_lsn()).collect()
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// Error unless the whole input was consumed — guards against records
+    /// that decode "successfully" while silently ignoring trailing garbage.
+    pub fn expect_done(&self) -> Result<(), CodecError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(CodecError::Truncated { wanted: 0, remaining: self.remaining() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_u8(7);
+        e.put_u16(0xBEEF);
+        e.put_u32(0xDEAD_BEEF);
+        e.put_u64(u64::MAX - 1);
+        e.put_lsn(Lsn(42));
+        e.put_pid(PageId(99));
+        e.put_table(TableId(3));
+        e.put_txn(TxnId(12));
+        let bytes = e.finish();
+
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_u8().unwrap(), 7);
+        assert_eq!(d.get_u16().unwrap(), 0xBEEF);
+        assert_eq!(d.get_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(d.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(d.get_lsn().unwrap(), Lsn(42));
+        assert_eq!(d.get_pid().unwrap(), PageId(99));
+        assert_eq!(d.get_table().unwrap(), TableId(3));
+        assert_eq!(d.get_txn().unwrap(), TxnId(12));
+        d.expect_done().unwrap();
+    }
+
+    #[test]
+    fn vec_roundtrip() {
+        let mut e = Encoder::new();
+        e.put_bytes(b"hello");
+        e.put_pid_vec(&[PageId(1), PageId(2)]);
+        e.put_lsn_vec(&[Lsn(5)]);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert_eq!(d.get_bytes().unwrap(), b"hello");
+        assert_eq!(d.get_pid_vec().unwrap(), vec![PageId(1), PageId(2)]);
+        assert_eq!(d.get_lsn_vec().unwrap(), vec![Lsn(5)]);
+        d.expect_done().unwrap();
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let mut e = Encoder::new();
+        e.put_u64(1);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes[..4]);
+        assert!(matches!(d.get_u64(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn corrupt_count_does_not_allocate() {
+        // A u32 count of ~4 billion with no payload must fail, not OOM.
+        let mut e = Encoder::new();
+        e.put_u32(u32::MAX);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        assert!(matches!(d.get_pid_vec(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut e = Encoder::new();
+        e.put_u8(1);
+        e.put_u8(2);
+        let bytes = e.finish();
+        let mut d = Decoder::new(&bytes);
+        d.get_u8().unwrap();
+        assert!(d.expect_done().is_err());
+    }
+}

@@ -1,0 +1,147 @@
+//! Power-of-two latency histogram.
+//!
+//! Recovery stalls are bimodal (cache-speed vs device-speed) and the
+//! paper's prefetching discussion is really about moving mass between the
+//! modes ("prefetching reduces stalls ... by two orders of magnitude",
+//! §5.3). A log₂ histogram captures that shape without recording every
+//! sample.
+
+/// Histogram over `u64` values with power-of-two buckets:
+/// bucket *i* holds values in `[2^i, 2^(i+1))` (bucket 0 holds 0 and 1).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; 64], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = (64 - value.max(1).leading_zeros() as usize).saturating_sub(1);
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest value `v` such that at least `q` (0..=1) of samples are <= v
+    /// (upper bucket bound — conservative).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target.max(1) {
+                return (1u64 << (i + 1)).saturating_sub(1).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)`.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (if i == 0 { 0 } else { 1u64 << i }, *c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_means() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 8_000, 8_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.sum(), 16_010);
+        assert_eq!(h.max(), 8_000);
+        assert!((h.mean() - 16_010.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buckets_are_log2() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(2);
+        h.record(3);
+        h.record(1024);
+        let nz = h.nonzero_buckets();
+        assert_eq!(nz, vec![(0, 2), (2, 2), (1024, 1)]);
+    }
+
+    #[test]
+    fn quantiles_bracket_the_distribution() {
+        let mut h = Histogram::new();
+        for _ in 0..99 {
+            h.record(10);
+        }
+        h.record(100_000);
+        assert!(h.quantile(0.5) < 100);
+        assert_eq!(h.quantile(1.0), 100_000);
+        assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new();
+        a.record(5);
+        let mut b = Histogram::new();
+        b.record(500);
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), 500);
+    }
+}

@@ -1,0 +1,163 @@
+//! Counters collected during normal execution and recovery.
+//!
+//! The paper reports redo time, DPT size, Δ/BW record counts, stall
+//! behaviour and page-fetch counts (§5.3, Appendix B, Appendix C). These
+//! structs are the measurement channel: the substrates fill them in, the
+//! figure harnesses in `lr-bench` print them.
+
+/// Device-level I/O counters, owned by the disk implementation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IoStats {
+    /// Synchronous page reads (each stalls the caller).
+    pub sync_page_reads: u64,
+    /// Asynchronous (prefetch) device operations issued.
+    pub async_ios: u64,
+    /// Pages covered by asynchronous operations.
+    pub async_pages: u64,
+    /// Sequential log-page reads.
+    pub log_page_reads: u64,
+    /// Page writes (flushes).
+    pub page_writes: u64,
+    /// Number of times a caller stalled waiting for a page.
+    pub stall_events: u64,
+    /// Total stall time in simulated microseconds.
+    pub stall_us: u64,
+}
+
+impl IoStats {
+    /// Total pages read from the device by any mechanism.
+    pub fn pages_read(&self) -> u64 {
+        self.sync_page_reads + self.async_pages
+    }
+
+    /// Difference `self - earlier`, for windowed measurement.
+    pub fn delta_since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            sync_page_reads: self.sync_page_reads - earlier.sync_page_reads,
+            async_ios: self.async_ios - earlier.async_ios,
+            async_pages: self.async_pages - earlier.async_pages,
+            log_page_reads: self.log_page_reads - earlier.log_page_reads,
+            page_writes: self.page_writes - earlier.page_writes,
+            stall_events: self.stall_events - earlier.stall_events,
+            stall_us: self.stall_us - earlier.stall_us,
+        }
+    }
+}
+
+/// Per-phase timing and work counters for one recovery run.
+///
+/// `*_us` fields are simulated microseconds from the [`crate::SimClock`].
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryBreakdown {
+    /// Analysis pass (DPT construction; "DC redo" pass for logical methods).
+    pub analysis_us: u64,
+    /// Structure-modification (SMO) redo, logical methods only.
+    pub smo_redo_us: u64,
+    /// Index-page preload (Log2 only).
+    pub index_preload_us: u64,
+    /// The redo pass proper.
+    pub redo_us: u64,
+    /// The transactional undo pass.
+    pub undo_us: u64,
+
+    /// Data pages fetched into the cache during redo.
+    pub data_pages_fetched: u64,
+    /// Index pages fetched (logical methods traverse the B-tree).
+    pub index_pages_fetched: u64,
+    /// Log pages read across all passes.
+    pub log_pages_read: u64,
+    /// Redo log records examined.
+    pub redo_records_seen: u64,
+    /// Records skipped because the page had no DPT entry.
+    pub skipped_no_dpt_entry: u64,
+    /// Records skipped by the rLSN test (before any page fetch).
+    pub skipped_rlsn: u64,
+    /// Records skipped by the pLSN test (after the page was fetched).
+    pub skipped_plsn: u64,
+    /// Operations actually re-applied.
+    pub ops_reapplied: u64,
+    /// Records handled by the basic fallback (tail of the log), Log1/Log2.
+    pub tail_records: u64,
+    /// DPT entry count when redo started.
+    pub dpt_size: u64,
+    /// Δ-log records consumed by the analysis pass.
+    pub delta_records_seen: u64,
+    /// BW-log records consumed by the analysis pass.
+    pub bw_records_seen: u64,
+    /// Stalls waiting for data pages during redo.
+    pub data_stall_events: u64,
+    /// Simulated µs stalled on data pages during redo.
+    pub data_stall_us: u64,
+    /// Stalls waiting for index pages during redo.
+    pub index_stall_events: u64,
+    /// Simulated µs stalled on index pages during redo.
+    pub index_stall_us: u64,
+    /// Prefetch device operations issued.
+    pub prefetch_ios: u64,
+    /// Pages covered by prefetch operations.
+    pub prefetch_pages: u64,
+    /// Loser transactions rolled back by undo.
+    pub losers_undone: u64,
+    /// Undo operations executed (CLRs written).
+    pub undo_ops: u64,
+}
+
+impl RecoveryBreakdown {
+    /// Total recovery time (all passes) in simulated microseconds.
+    pub fn total_us(&self) -> u64 {
+        self.analysis_us + self.smo_redo_us + self.index_preload_us + self.redo_us + self.undo_us
+    }
+
+    /// Redo time in simulated milliseconds — the paper's headline metric
+    /// (Figures 2(a) and 3 report "redo time (msecs)").
+    pub fn redo_ms(&self) -> f64 {
+        self.redo_us as f64 / 1_000.0
+    }
+
+    /// Total recovery time in simulated milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_us() as f64 / 1_000.0
+    }
+
+    /// Pages fetched during redo (data + index), the Appendix-B cost driver.
+    pub fn pages_fetched(&self) -> u64 {
+        self.data_pages_fetched + self.index_pages_fetched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iostats_delta() {
+        let a = IoStats { sync_page_reads: 10, stall_us: 100, ..Default::default() };
+        let b = IoStats { sync_page_reads: 25, stall_us: 400, ..Default::default() };
+        let d = b.delta_since(&a);
+        assert_eq!(d.sync_page_reads, 15);
+        assert_eq!(d.stall_us, 300);
+    }
+
+    #[test]
+    fn pages_read_sums_sync_and_async() {
+        let s = IoStats { sync_page_reads: 3, async_pages: 16, ..Default::default() };
+        assert_eq!(s.pages_read(), 19);
+    }
+
+    #[test]
+    fn breakdown_totals() {
+        let b = RecoveryBreakdown {
+            analysis_us: 1_000,
+            smo_redo_us: 500,
+            index_preload_us: 250,
+            redo_us: 10_000,
+            undo_us: 250,
+            data_pages_fetched: 7,
+            index_pages_fetched: 3,
+            ..Default::default()
+        };
+        assert_eq!(b.total_us(), 12_000);
+        assert!((b.redo_ms() - 10.0).abs() < f64::EPSILON);
+        assert_eq!(b.pages_fetched(), 10);
+    }
+}

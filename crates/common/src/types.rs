@@ -1,0 +1,134 @@
+//! Identifier newtypes shared across the transactional component (TC), the
+//! data component (DC) and the common log.
+//!
+//! The paper's central architectural constraint is *information hiding*: the
+//! TC knows [`Lsn`]s, [`TxnId`]s, [`TableId`]s and [`Key`]s; only the DC knows
+//! [`PageId`]s. Keeping these as distinct types lets the compiler enforce the
+//! boundary — a TC-side module simply cannot fabricate a `PageId`.
+
+use std::fmt;
+
+/// Log sequence number: a byte offset into the common log.
+///
+/// LSNs are totally ordered and dense within the log. `Lsn::NULL` (offset 0
+/// is never a valid record start because the log begins with a header) is
+/// used as "no LSN" in undo chains and page headers of freshly loaded pages.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Lsn(pub u64);
+
+impl Lsn {
+    /// Sentinel "no LSN"; compares below every valid LSN.
+    pub const NULL: Lsn = Lsn(0);
+    /// Largest representable LSN, used as a scan upper bound.
+    pub const MAX: Lsn = Lsn(u64::MAX);
+
+    /// Whether this is the null sentinel.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        self == Lsn::NULL
+    }
+}
+
+impl fmt::Debug for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Lsn({})", self.0)
+    }
+}
+
+impl fmt::Display for Lsn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Page identifier: an index into the DC's page store.
+///
+/// PIDs appear in physiological log records (used by the SQL-Server-style
+/// baselines), in Δ-log and BW-log records, and inside B-tree internal nodes.
+/// They never appear in *logical* log records — that is the whole point of
+/// the paper.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageId(pub u64);
+
+impl PageId {
+    /// Sentinel for "no page" (e.g. right-sibling of the rightmost leaf).
+    pub const INVALID: PageId = PageId(u64::MAX);
+
+    #[inline]
+    pub fn is_valid(self) -> bool {
+        self != PageId::INVALID
+    }
+
+    /// Raw index for array addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == PageId::INVALID {
+            write!(f, "PageId(INVALID)")
+        } else {
+            write!(f, "PageId({})", self.0)
+        }
+    }
+}
+
+impl fmt::Display for PageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Table identifier; resolved to a B-tree root by the DC catalog.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct TableId(pub u32);
+
+/// Transaction identifier assigned by the TC.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+/// Record key. The paper's workload uses a single `u64` "key" attribute with
+/// a clustered index; we keep keys fixed-width which also keeps B-tree
+/// fan-out predictable (DESIGN.md §8).
+pub type Key = u64;
+
+/// Record payload ("data" attribute). Variable length, owned bytes.
+pub type Value = Vec<u8>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsn_ordering_and_null() {
+        assert!(Lsn::NULL < Lsn(1));
+        assert!(Lsn(1) < Lsn(2));
+        assert!(Lsn::NULL.is_null());
+        assert!(!Lsn(7).is_null());
+        assert!(Lsn(7) < Lsn::MAX);
+    }
+
+    #[test]
+    fn pageid_sentinel() {
+        assert!(!PageId::INVALID.is_valid());
+        assert!(PageId(0).is_valid());
+        assert_eq!(PageId(42).index(), 42);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Lsn(9).to_string(), "9");
+        assert_eq!(PageId(3).to_string(), "3");
+        assert_eq!(TxnId(5).to_string(), "T5");
+        assert_eq!(format!("{:?}", PageId::INVALID), "PageId(INVALID)");
+    }
+}

@@ -1,0 +1,111 @@
+//! Engine configuration.
+
+use lr_common::{IoModel, Key, TableId};
+
+/// The single table the paper's workload updates (§5.2). Multi-table use is
+/// fully supported (`Engine::create_table`); this is just the default.
+pub const DEFAULT_TABLE: TableId = TableId(1);
+
+/// Everything needed to build an [`crate::Engine`].
+///
+/// Defaults are test-sized; the experiment presets in `lr-workload` provide
+/// the paper-scaled geometries (DESIGN.md §8).
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Data page size in bytes.
+    pub page_size: usize,
+    /// Log page size (I/O accounting granularity for log scans).
+    pub log_page_size: usize,
+    /// Buffer pool capacity in frames — the paper's "cache size".
+    pub pool_pages: usize,
+    /// Rows bulk-loaded into [`DEFAULT_TABLE`] before the workload starts.
+    pub initial_rows: u64,
+    /// Bytes in each row's "data" attribute.
+    pub row_value_size: usize,
+    /// Bulk-load page fill fraction.
+    pub fill_factor: f64,
+    /// Δ-log DirtySet batch threshold.
+    pub dirty_batch_cap: usize,
+    /// BW/Δ WrittenSet batch threshold.
+    pub flush_batch_cap: usize,
+    /// Capture per-dirtying LSNs in Δ records (Appendix D.1 runs).
+    pub perfect_delta_lsns: bool,
+    /// Write ARIES checkpoint DPT snapshots (§3.1 ablation runs).
+    pub aries_ckpt_capture: bool,
+    /// Background-writer watermark (dirty fraction of the cache above
+    /// which cold dirty pages are flushed); see `lr_dc::DcConfig`.
+    pub dirty_watermark: f64,
+    /// Leaf-merge threshold for delete rebalancing (0.0 disables).
+    pub merge_min_fill: f64,
+    /// Device latency model.
+    pub io_model: IoModel,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            page_size: 4096,
+            log_page_size: 8192,
+            pool_pages: 128,
+            initial_rows: 10_000,
+            row_value_size: 100,
+            fill_factor: 0.9,
+            dirty_batch_cap: 64,
+            flush_batch_cap: 64,
+            perfect_delta_lsns: false,
+            aries_ckpt_capture: false,
+            dirty_watermark: 0.30,
+            merge_min_fill: 0.0,
+            io_model: IoModel::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Deterministic row payload for `key` (also used by verification
+    /// oracles to reconstruct the expected initial state).
+    pub fn initial_value(&self, key: Key) -> Vec<u8> {
+        deterministic_value(key, 0, self.row_value_size)
+    }
+}
+
+/// Deterministic value for (key, version): what workloads write and what
+/// oracles expect. Same length for every version of a key, matching the
+/// paper's fixed-width "data" attribute.
+pub fn deterministic_value(key: Key, version: u64, size: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(size);
+    let seed = key.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(version);
+    let mut x = seed | 1;
+    while v.len() < size {
+        // xorshift64 keeps the payload incompressible-ish and versioned.
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        v.extend_from_slice(&x.to_le_bytes());
+    }
+    v.truncate(size);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_are_deterministic_and_versioned() {
+        let a = deterministic_value(5, 0, 100);
+        let b = deterministic_value(5, 0, 100);
+        let c = deterministic_value(5, 1, 100);
+        let d = deterministic_value(6, 0, 100);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn small_sizes_work() {
+        assert_eq!(deterministic_value(1, 0, 0).len(), 0);
+        assert_eq!(deterministic_value(1, 0, 3).len(), 3);
+    }
+}

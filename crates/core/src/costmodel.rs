@@ -1,0 +1,125 @@
+//! Appendix B's analytic cost model.
+//!
+//! The paper approximates non-prefetching redo cost by the number of pages
+//! the pass must bring into a cold cache:
+//!
+//! * Eq. (1) `COST(Log0) ≈ #log records + log pages + index pages`
+//! * Eq. (2) `COST(SQL1) ≈ DPT size + log pages`
+//! * Eq. (3) `COST(Log1) ≈ DPT size + #records in log tail + log pages +
+//!   index pages`
+//!
+//! The `costmodel` bench harness validates these against measured fetch
+//! counts; prefetching methods are out of the model's scope ("with
+//! prefetching, redo performance is more variable and cannot be captured
+//! with a simple cost model", §5.3).
+
+use crate::recovery::{RecoveryMethod, RecoveryReport};
+
+/// Inputs to the model, all observable from a recovery report plus the
+/// tree geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostInputs {
+    /// Data-operation records in the redo window (Eq. 1's "No. of log
+    /// records" — the paper assumes each names a distinct page).
+    pub window_data_ops: u64,
+    /// DPT entry count at the start of redo.
+    pub dpt_size: u64,
+    /// Records in the tail of the log (after the last Δ-log record).
+    pub tail_records: u64,
+    /// Log pages spanned by one scan of the window.
+    pub log_pages: u64,
+    /// Internal index pages of the recovered trees.
+    pub index_pages: u64,
+}
+
+impl CostInputs {
+    /// Extract the inputs from a report (index page count comes from the
+    /// tree summary, which the report does not carry).
+    pub fn from_report(report: &RecoveryReport, index_pages: u64) -> CostInputs {
+        CostInputs {
+            window_data_ops: report.window_data_ops,
+            dpt_size: report.breakdown.dpt_size,
+            tail_records: report.breakdown.tail_records,
+            log_pages: report.log_pages_in_window,
+            index_pages,
+        }
+    }
+}
+
+/// Predicted page-unit cost for `method`, or `None` when the model does not
+/// apply (prefetching variants).
+pub fn predicted_page_fetches(method: RecoveryMethod, inputs: CostInputs) -> Option<u64> {
+    match method {
+        // Eq. (1): every logged operation forces a data-page fetch.
+        RecoveryMethod::Log0 => {
+            Some(inputs.window_data_ops + inputs.log_pages + inputs.index_pages)
+        }
+        // Eq. (2).
+        RecoveryMethod::Sql1 | RecoveryMethod::AriesCkpt => {
+            Some(inputs.dpt_size + inputs.log_pages)
+        }
+        // Eq. (3). The Appendix-D variants differ only in DPT accuracy, so
+        // the same formula applies with their own DPT sizes.
+        RecoveryMethod::Log1 | RecoveryMethod::LogPerfect | RecoveryMethod::LogReduced => Some(
+            inputs.dpt_size + inputs.tail_records + inputs.log_pages + inputs.index_pages,
+        ),
+        RecoveryMethod::Log2 | RecoveryMethod::Sql2 | RecoveryMethod::Log2DptPrefetch => None,
+    }
+}
+
+/// Measured page-unit cost on the same scale as the predictions: pages
+/// fetched during redo plus log pages (one scan) plus, for logical
+/// methods, the index pages it had to read.
+pub fn measured_page_units(report: &RecoveryReport) -> u64 {
+    report.breakdown.data_pages_fetched
+        + report.breakdown.index_pages_fetched
+        + report.log_pages_in_window
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inputs() -> CostInputs {
+        CostInputs {
+            window_data_ops: 4_000,
+            dpt_size: 900,
+            tail_records: 100,
+            log_pages: 50,
+            index_pages: 80,
+        }
+    }
+
+    #[test]
+    fn equations_match_the_paper() {
+        let i = inputs();
+        assert_eq!(
+            predicted_page_fetches(RecoveryMethod::Log0, i),
+            Some(4_000 + 50 + 80)
+        );
+        assert_eq!(predicted_page_fetches(RecoveryMethod::Sql1, i), Some(900 + 50));
+        assert_eq!(
+            predicted_page_fetches(RecoveryMethod::Log1, i),
+            Some(900 + 100 + 50 + 80)
+        );
+    }
+
+    #[test]
+    fn prefetch_variants_are_out_of_scope() {
+        let i = inputs();
+        assert_eq!(predicted_page_fetches(RecoveryMethod::Log2, i), None);
+        assert_eq!(predicted_page_fetches(RecoveryMethod::Sql2, i), None);
+    }
+
+    #[test]
+    fn model_orders_methods_as_the_paper_argues() {
+        // With a DPT much smaller than the record count (the experimental
+        // regime), SQL1 < Log1 < Log0.
+        let i = inputs();
+        let log0 = predicted_page_fetches(RecoveryMethod::Log0, i).unwrap();
+        let sql1 = predicted_page_fetches(RecoveryMethod::Sql1, i).unwrap();
+        let log1 = predicted_page_fetches(RecoveryMethod::Log1, i).unwrap();
+        assert!(sql1 < log1);
+        assert!(log1 < log0);
+    }
+}

@@ -1,0 +1,529 @@
+//! The Deuteronomy engine: TC ↔ DC wiring, normal execution, checkpoints
+//! and the crash lifecycle.
+//!
+//! The engine is the sequencer the paper's Figure 1(A) sketches: every data
+//! operation flows **prepare (DC) → log (TC) → apply (DC)**, EOSL rides on
+//! commits, and checkpoints run the bCkpt → RSSP → eCkpt handshake.
+
+use crate::config::{EngineConfig, DEFAULT_TABLE};
+use lr_btree::{bulk_load, verify_tree, TreeSummary};
+use lr_common::{Error, Key, Lsn, PageId, Result, SimClock, TableId, TxnId, Value};
+use lr_dc::{DataComponent, DcConfig, WriteIntent};
+use lr_storage::SimDisk;
+use lr_tc::{undo::rollback_txn, TransactionComponent, UndoStats};
+use lr_wal::{SharedWal, Wal};
+
+/// Ground truth captured at the instant of a crash — the oracle for DPT
+/// safety tests and the Figure 2(b) numbers.
+#[derive(Clone, Debug)]
+pub struct CrashSnapshot {
+    /// `(pid, first-dirty LSN)` for every genuinely dirty page.
+    pub dirty_truth: Vec<(PageId, Lsn)>,
+    /// Dirty frame count at crash.
+    pub dirty_pages: usize,
+    /// Cached frame count at crash.
+    pub cached_pages: usize,
+    /// Pool capacity (frames).
+    pub pool_capacity: usize,
+    /// Log size at crash (records / bytes).
+    pub wal_records: usize,
+    pub wal_bytes: u64,
+}
+
+impl CrashSnapshot {
+    /// Dirty fraction of the cache, in percent — Figure 2(b)'s y-axis.
+    pub fn dirty_percent_of_cache(&self) -> f64 {
+        if self.pool_capacity == 0 {
+            return 0.0;
+        }
+        100.0 * self.dirty_pages as f64 / self.pool_capacity as f64
+    }
+}
+
+/// The engine.
+pub struct Engine {
+    pub(crate) tc: TransactionComponent,
+    pub(crate) dc: DataComponent,
+    pub(crate) wal: SharedWal,
+    pub(crate) clock: SimClock,
+    pub(crate) cfg: EngineConfig,
+    pub(crate) crashed: bool,
+    pub(crate) checkpoints_taken: u64,
+    pub(crate) last_bckpt: Lsn,
+    /// Snapshot captured by the most recent crash (None before any crash).
+    pub(crate) last_crash: Option<CrashSnapshot>,
+}
+
+impl Engine {
+    /// Build an engine on a fresh simulated disk: format it, bulk-load
+    /// [`DEFAULT_TABLE`] with `cfg.initial_rows` rows, open the DC and TC
+    /// on a shared log.
+    pub fn build(cfg: EngineConfig) -> Result<Engine> {
+        let clock = SimClock::new();
+        let disk = SimDisk::new(cfg.page_size, 0, clock.clone(), cfg.io_model.clone());
+        // The engine must share the disk's timeline: recovery resets this
+        // clock and reads phase boundaries from it.
+        Engine::build_with_clock(Box::new(disk), cfg, clock)
+    }
+
+    /// Build an engine on a caller-provided empty disk (e.g. a
+    /// [`lr_storage::FileDisk`] for a persistent database). Formats the
+    /// disk and bulk-loads the default table like [`Engine::build`].
+    /// Untimed disks get a fresh (never-advancing) clock.
+    pub fn build_on_disk(disk: Box<dyn lr_storage::Disk>, cfg: EngineConfig) -> Result<Engine> {
+        let clock = SimClock::new();
+        Engine::build_with_clock(disk, cfg, clock)
+    }
+
+    fn build_with_clock(
+        mut disk: Box<dyn lr_storage::Disk>,
+        cfg: EngineConfig,
+        clock: SimClock,
+    ) -> Result<Engine> {
+        DataComponent::format_disk(&mut *disk)?;
+        let rows = (0..cfg.initial_rows).map(|k| (k, cfg.initial_value(k)));
+        let root = bulk_load(&mut *disk, DEFAULT_TABLE, rows, cfg.fill_factor)?;
+
+        let wal = Wal::new_shared(cfg.log_page_size);
+        let dcfg = DcConfig {
+            pool_pages: cfg.pool_pages,
+            dirty_batch_cap: cfg.dirty_batch_cap,
+            flush_batch_cap: cfg.flush_batch_cap,
+            perfect_delta_lsns: cfg.perfect_delta_lsns,
+            dirty_watermark: cfg.dirty_watermark,
+            merge_min_fill: cfg.merge_min_fill,
+            ..DcConfig::default()
+        };
+        let mut dc = DataComponent::open(disk, wal.clone(), dcfg)?;
+        dc.register_table(DEFAULT_TABLE, root)?;
+        let tc = TransactionComponent::new(wal.clone());
+        Ok(Engine {
+            tc,
+            dc,
+            wal,
+            clock,
+            cfg,
+            crashed: false,
+            checkpoints_taken: 0,
+            last_bckpt: Lsn::NULL,
+            last_crash: None,
+        })
+    }
+
+    /// Re-open an engine from existing stable state (a disk image plus the
+    /// log that survived a process exit). The engine starts **crashed**;
+    /// call [`Engine::recover`] before using it — exactly a restart.
+    pub fn open_existing(
+        disk: Box<dyn lr_storage::Disk>,
+        wal: lr_wal::Wal,
+        cfg: EngineConfig,
+    ) -> Result<Engine> {
+        let clock = SimClock::new();
+        let wal: SharedWal = std::sync::Arc::new(parking_lot::Mutex::new(wal));
+        let dcfg = DcConfig {
+            pool_pages: cfg.pool_pages,
+            dirty_batch_cap: cfg.dirty_batch_cap,
+            flush_batch_cap: cfg.flush_batch_cap,
+            perfect_delta_lsns: cfg.perfect_delta_lsns,
+            dirty_watermark: cfg.dirty_watermark,
+            merge_min_fill: cfg.merge_min_fill,
+            ..DcConfig::default()
+        };
+        let dc = DataComponent::open(disk, wal.clone(), dcfg)?;
+        let tc = TransactionComponent::new(wal.clone());
+        Ok(Engine {
+            tc,
+            dc,
+            wal,
+            clock,
+            cfg,
+            crashed: true,
+            checkpoints_taken: 0,
+            last_bckpt: Lsn::NULL,
+            last_crash: None,
+        })
+    }
+
+    /// Persist the log to `path` (pairs with [`Engine::open_existing`] for
+    /// process restarts; the simulated-crash experiments don't need it).
+    pub fn persist_log(&self, path: &std::path::Path) -> Result<()> {
+        self.wal.lock().save(path)
+    }
+
+    fn check_up(&self) -> Result<()> {
+        if self.crashed {
+            Err(Error::RecoveryInvariant("engine is crashed; recover first".into()))
+        } else {
+            Ok(())
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // transactions
+    // ------------------------------------------------------------------
+
+    /// Begin a transaction.
+    pub fn begin(&mut self) -> TxnId {
+        debug_assert!(!self.crashed);
+        self.tc.begin()
+    }
+
+    /// Update `key` in `table` to `value`.
+    pub fn update_in(
+        &mut self,
+        txn: TxnId,
+        table: TableId,
+        key: Key,
+        value: Value,
+    ) -> Result<()> {
+        self.check_up()?;
+        self.tc.lock(txn, table, key)?;
+        let prep =
+            self.dc.prepare_write(table, key, WriteIntent::Update { value_len: value.len() })?;
+        let before = prep.before.expect("update prepare returns a before-image");
+        let rec = self.tc.log_update(txn, table, key, prep.pid, before, value)?;
+        self.dc.apply(&rec)
+    }
+
+    /// Update in the default table.
+    pub fn update(&mut self, txn: TxnId, key: Key, value: Value) -> Result<()> {
+        self.update_in(txn, DEFAULT_TABLE, key, value)
+    }
+
+    /// Insert `key -> value` into `table`.
+    pub fn insert_in(
+        &mut self,
+        txn: TxnId,
+        table: TableId,
+        key: Key,
+        value: Value,
+    ) -> Result<()> {
+        self.check_up()?;
+        self.tc.lock(txn, table, key)?;
+        let prep =
+            self.dc.prepare_write(table, key, WriteIntent::Insert { value_len: value.len() })?;
+        let rec = self.tc.log_insert(txn, table, key, prep.pid, value)?;
+        self.dc.apply(&rec)
+    }
+
+    pub fn insert(&mut self, txn: TxnId, key: Key, value: Value) -> Result<()> {
+        self.insert_in(txn, DEFAULT_TABLE, key, value)
+    }
+
+    /// Delete `key` from `table`.
+    pub fn delete_in(&mut self, txn: TxnId, table: TableId, key: Key) -> Result<()> {
+        self.check_up()?;
+        self.tc.lock(txn, table, key)?;
+        let prep = self.dc.prepare_write(table, key, WriteIntent::Delete)?;
+        let before = prep.before.expect("delete prepare returns a before-image");
+        let rec = self.tc.log_delete(txn, table, key, prep.pid, before)?;
+        self.dc.apply(&rec)
+    }
+
+    pub fn delete(&mut self, txn: TxnId, key: Key) -> Result<()> {
+        self.delete_in(txn, DEFAULT_TABLE, key)
+    }
+
+    /// Read a key (no transaction needed — single-version storage).
+    pub fn read(&mut self, table: TableId, key: Key) -> Result<Option<Value>> {
+        self.dc.read(table, key)
+    }
+
+    /// Range read: rows with keys in `[from, to]`, in key order.
+    ///
+    /// Reads are unlocked (single-version storage, engine-level callers
+    /// serialize with writers); the Deuteronomy companion work on key-range
+    /// locking is out of scope here (DESIGN.md).
+    pub fn scan_range(
+        &mut self,
+        table: TableId,
+        from: Key,
+        to: Key,
+    ) -> Result<Vec<(Key, Value)>> {
+        self.dc.read_range(table, from, to)
+    }
+
+    /// Commit: forces the log and delivers EOSL to the DC.
+    pub fn commit(&mut self, txn: TxnId) -> Result<()> {
+        self.check_up()?;
+        let stable = self.tc.commit(txn)?;
+        self.dc.eosl(stable);
+        Ok(())
+    }
+
+    /// Abort: logical rollback via CLRs, then `TxnAbort`.
+    pub fn abort(&mut self, txn: TxnId) -> Result<UndoStats> {
+        self.check_up()?;
+        let head = self.tc.last_lsn_of(txn)?;
+        let mut stats = UndoStats::default();
+        rollback_txn(&mut self.tc, &mut self.dc, txn, head, &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Establish a savepoint inside `txn`.
+    pub fn savepoint(&mut self, txn: TxnId) -> Result<Lsn> {
+        self.check_up()?;
+        self.tc.savepoint(txn)
+    }
+
+    /// Partial rollback: undo `txn`'s operations newer than `sp` (from
+    /// [`Engine::savepoint`]); the transaction stays active.
+    pub fn rollback_to(&mut self, txn: TxnId, sp: Lsn) -> Result<UndoStats> {
+        self.check_up()?;
+        let mut stats = UndoStats::default();
+        lr_tc::rollback_to_savepoint(&mut self.tc, &mut self.dc, txn, sp, &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Create an additional (empty) table.
+    pub fn create_table(&mut self, table: TableId) -> Result<()> {
+        self.check_up()?;
+        self.dc.create_table(table)
+    }
+
+    // ------------------------------------------------------------------
+    // checkpointing
+    // ------------------------------------------------------------------
+
+    /// Take a checkpoint: bCkpt → (EOSL) → RSSP at the DC → eCkpt.
+    pub fn checkpoint(&mut self) -> Result<Lsn> {
+        self.check_up()?;
+        let aries_dpt = self.cfg.aries_ckpt_capture.then(|| self.dc.pool().runtime_dpt());
+        let bckpt = self.tc.begin_checkpoint(aries_dpt);
+        self.dc.eosl(self.tc.stable_lsn());
+        self.dc.rssp(bckpt)?;
+        self.tc.end_checkpoint(bckpt);
+        self.dc.eosl(self.tc.stable_lsn());
+        self.checkpoints_taken += 1;
+        self.last_bckpt = bckpt;
+        Ok(bckpt)
+    }
+
+    pub fn checkpoints_taken(&self) -> u64 {
+        self.checkpoints_taken
+    }
+
+    // ------------------------------------------------------------------
+    // crash
+    // ------------------------------------------------------------------
+
+    /// Crash the engine. The paper's controlled-crash setting (§5.2): the
+    /// log content is fixed (forced stable) while every volatile structure
+    /// — cache, lock table, transaction table, open Δ/BW intervals — is
+    /// lost. Returns the ground-truth snapshot for oracles and Figure 2(b).
+    pub fn crash(&mut self) -> CrashSnapshot {
+        let snap = {
+            let pool = self.dc.pool();
+            let wal = self.wal.lock();
+            CrashSnapshot {
+                dirty_truth: pool.runtime_dpt(),
+                dirty_pages: pool.dirty_count(),
+                cached_pages: pool.len(),
+                pool_capacity: pool.capacity(),
+                wal_records: wal.record_count(),
+                wal_bytes: wal.byte_len(),
+            }
+        };
+        {
+            let mut wal = self.wal.lock();
+            wal.make_all_stable();
+            wal.truncate_to_stable();
+        }
+        self.tc.crash();
+        self.dc.crash();
+        self.crashed = true;
+        self.last_crash = Some(snap.clone());
+        snap
+    }
+
+    /// Crash with a *torn log tail*: the last `torn_bytes` of the log are
+    /// physically lost (a crash mid-sector-write). Recovery will re-derive
+    /// the usable end of the log by CRC scan; transactions whose commit
+    /// record fell in the torn region become losers.
+    pub fn crash_torn(&mut self, torn_bytes: u64) -> CrashSnapshot {
+        let snap = self.crash();
+        self.wal.lock().tear(torn_bytes);
+        snap
+    }
+
+    /// Is the engine down (crashed and not yet recovered)?
+    pub fn is_crashed(&self) -> bool {
+        self.crashed
+    }
+
+    /// Fork a crashed engine: an independent engine over a *copy* of the
+    /// stable disk image and the stable log, itself in the crashed state.
+    ///
+    /// This is the experiment harness's side-by-side tool (§5.1): run the
+    /// workload once, then recover the same crash with every method. Only
+    /// supported on forkable (simulated) disks.
+    pub fn fork_crashed(&self) -> Result<Engine> {
+        if !self.crashed {
+            return Err(Error::RecoveryInvariant("fork_crashed of a live engine".into()));
+        }
+        let clock = SimClock::new();
+        let disk = self
+            .dc
+            .pool()
+            .disk()
+            .fork(clock.clone())
+            .ok_or_else(|| Error::RecoveryInvariant("disk does not support forking".into()))?;
+        let wal: SharedWal =
+            std::sync::Arc::new(parking_lot::Mutex::new(self.wal.lock().fork_data()));
+        let dcfg = lr_dc::DcConfig {
+            pool_pages: self.cfg.pool_pages,
+            dirty_batch_cap: self.cfg.dirty_batch_cap,
+            flush_batch_cap: self.cfg.flush_batch_cap,
+            perfect_delta_lsns: self.cfg.perfect_delta_lsns,
+            dirty_watermark: self.cfg.dirty_watermark,
+            merge_min_fill: self.cfg.merge_min_fill,
+            ..lr_dc::DcConfig::default()
+        };
+        let dc = DataComponent::open(disk, wal.clone(), dcfg)?;
+        let tc = TransactionComponent::new(wal.clone());
+        Ok(Engine {
+            tc,
+            dc,
+            wal,
+            clock,
+            cfg: self.cfg.clone(),
+            crashed: true,
+            checkpoints_taken: self.checkpoints_taken,
+            last_bckpt: self.last_bckpt,
+            last_crash: self.last_crash.clone(),
+        })
+    }
+
+    /// The last crash's ground truth.
+    pub fn last_crash_snapshot(&self) -> Option<&CrashSnapshot> {
+        self.last_crash.as_ref()
+    }
+
+    // ------------------------------------------------------------------
+    // inspection
+    // ------------------------------------------------------------------
+
+    /// Full contents of a table (testing / verification).
+    pub fn scan_table(&mut self, table: TableId) -> Result<Vec<(Key, Value)>> {
+        let tree = self.dc.tree(table)?.clone();
+        tree.scan_all(self.dc.pool_mut())
+    }
+
+    /// Verify a table's B-tree structure.
+    pub fn verify_table(&mut self, table: TableId) -> Result<TreeSummary> {
+        let tree = self.dc.tree(table)?.clone();
+        verify_tree(&tree, self.dc.pool_mut())
+    }
+
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    pub fn dc(&self) -> &DataComponent {
+        &self.dc
+    }
+
+    pub fn dc_mut(&mut self) -> &mut DataComponent {
+        &mut self.dc
+    }
+
+    pub fn tc(&self) -> &TransactionComponent {
+        &self.tc
+    }
+
+    pub fn wal(&self) -> SharedWal {
+        self.wal.clone()
+    }
+
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_engine() -> Engine {
+        let cfg = EngineConfig {
+            initial_rows: 1_000,
+            pool_pages: 64,
+            io_model: lr_common::IoModel::zero(),
+            ..EngineConfig::default()
+        };
+        Engine::build(cfg).unwrap()
+    }
+
+    #[test]
+    fn build_loads_initial_rows() {
+        let mut e = small_engine();
+        assert_eq!(e.read(DEFAULT_TABLE, 0).unwrap().unwrap(), e.cfg.initial_value(0));
+        assert_eq!(e.read(DEFAULT_TABLE, 999).unwrap().unwrap(), e.cfg.initial_value(999));
+        assert_eq!(e.read(DEFAULT_TABLE, 1000).unwrap(), None);
+        let s = e.verify_table(DEFAULT_TABLE).unwrap();
+        assert_eq!(s.records, 1_000);
+    }
+
+    #[test]
+    fn txn_update_commit_read() {
+        let mut e = small_engine();
+        let t = e.begin();
+        e.update(t, 7, b"hello".to_vec()).unwrap();
+        e.commit(t).unwrap();
+        assert_eq!(e.read(DEFAULT_TABLE, 7).unwrap().unwrap(), b"hello");
+    }
+
+    #[test]
+    fn abort_rolls_back() {
+        let mut e = small_engine();
+        let orig = e.read(DEFAULT_TABLE, 5).unwrap().unwrap();
+        let t = e.begin();
+        e.update(t, 5, b"garbage".to_vec()).unwrap();
+        e.insert(t, 5_000, b"new".to_vec()).unwrap();
+        let stats = e.abort(t).unwrap();
+        assert_eq!(stats.ops_undone, 2);
+        assert_eq!(e.read(DEFAULT_TABLE, 5).unwrap().unwrap(), orig);
+        assert_eq!(e.read(DEFAULT_TABLE, 5_000).unwrap(), None);
+    }
+
+    #[test]
+    fn lock_conflicts_between_txns() {
+        let mut e = small_engine();
+        let t1 = e.begin();
+        let t2 = e.begin();
+        e.update(t1, 3, b"a".to_vec()).unwrap();
+        assert!(matches!(
+            e.update(t2, 3, b"b".to_vec()),
+            Err(Error::LockConflict { .. })
+        ));
+        e.commit(t1).unwrap();
+        e.update(t2, 3, b"b".to_vec()).unwrap();
+        e.commit(t2).unwrap();
+        assert_eq!(e.read(DEFAULT_TABLE, 3).unwrap().unwrap(), b"b");
+    }
+
+    #[test]
+    fn crash_blocks_operations() {
+        let mut e = small_engine();
+        let snap = e.crash();
+        assert!(e.is_crashed());
+        assert!(snap.wal_records > 0 || snap.wal_records == 0); // snapshot exists
+        let t = lr_common::TxnId(999);
+        assert!(e.update(t, 1, vec![]).is_err());
+        assert!(e.checkpoint().is_err());
+    }
+
+    #[test]
+    fn checkpoint_flushes_old_dirt() {
+        let mut e = small_engine();
+        let t = e.begin();
+        for k in 0..50 {
+            e.update(t, k, b"x".repeat(100)).unwrap();
+        }
+        e.commit(t).unwrap();
+        let dirty_before = e.dc.pool().dirty_count();
+        assert!(dirty_before > 0);
+        e.checkpoint().unwrap();
+        assert_eq!(e.dc.pool().dirty_count(), 0, "penultimate flush cleans pre-bCkpt dirt");
+    }
+}

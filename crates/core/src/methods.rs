@@ -1,0 +1,535 @@
+//! The redo passes — one per family — and the prefetchers.
+//!
+//! * [`physiological_redo`] is Algorithm 1 (ARIES/SQL-Server redo with the
+//!   optimized redo test), optionally with log-driven read-ahead (App. A.2,
+//!   "the prefetching scheme implemented in SQL Server").
+//! * [`logical_redo`] is Algorithm 2 when called without a DPT context
+//!   (Log0) and Algorithm 5 with one (Log1/Log2 and the Appendix-D
+//!   ablations), optionally with PF-list read-ahead.
+//! * [`preload_index`] is Appendix A.1's "simply load all index pages into
+//!   memory at the beginning of DC recovery".
+//!
+//! Every pass charges the simulated clock through the disk's timing hooks:
+//! per-record CPU, per-level traversal CPU, and the page I/O the buffer
+//! pool performs on its behalf.
+
+use lr_common::{Lsn, PageId, RecoveryBreakdown, Result};
+use lr_dc::{DataComponent, Dpt};
+use lr_storage::Page;
+use lr_wal::{LogPayload, LogRecord};
+
+/// DPT context for DPT-assisted logical redo (Algorithm 5).
+pub struct LogicalCtx<'a> {
+    pub dpt: &'a Dpt,
+    /// TC-LSN of the last Δ-log record: records at or beyond it are the
+    /// "tail of the log" and use the basic fallback.
+    pub last_delta_tc_lsn: Lsn,
+}
+
+// ----------------------------------------------------------------------
+// physiological redo (Algorithm 1)
+// ----------------------------------------------------------------------
+
+/// Log-driven read-ahead state (SQL2).
+pub struct LogDrivenPrefetcher {
+    /// Next window index the look-ahead has examined.
+    next_idx: usize,
+    /// How many records to stay ahead of the redo cursor.
+    lookahead: usize,
+}
+
+impl LogDrivenPrefetcher {
+    pub fn new(lookahead: usize) -> LogDrivenPrefetcher {
+        LogDrivenPrefetcher { next_idx: 0, lookahead }
+    }
+
+    /// Examine records up to `cur + lookahead`, issuing async reads for
+    /// pages that will pass the DPT/rLSN screen (App. A.2's rule: "if a PID
+    /// is in the DPT, and the rLSN of the DPT entry is less than the LSN of
+    /// the log record ... a prefetch for the corresponding page is issued").
+    fn pump(
+        &mut self,
+        dc: &mut DataComponent,
+        window: &[LogRecord],
+        cur: usize,
+        dpt: &Dpt,
+        bk: &mut RecoveryBreakdown,
+    ) {
+        let target = (cur + self.lookahead).min(window.len());
+        if self.next_idx >= target {
+            return;
+        }
+        let mut batch: Vec<PageId> = Vec::new();
+        while self.next_idx < target {
+            let rec = &window[self.next_idx];
+            self.next_idx += 1;
+            let mut consider = |pid: PageId, lsn: Lsn| {
+                if let Some(e) = dpt.find(pid) {
+                    if lsn >= e.rlsn {
+                        batch.push(pid);
+                    }
+                }
+            };
+            match &rec.payload {
+                p if p.is_data_op() => consider(p.data_pid().expect("data op"), rec.lsn),
+                LogPayload::Smo(smo) => {
+                    for (pid, _) in &smo.pages {
+                        consider(*pid, rec.lsn);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let (ios, pages) = dc.pool_mut().prefetch(&batch);
+        bk.prefetch_ios += ios as u64;
+        bk.prefetch_pages += pages as u64;
+    }
+}
+
+/// Algorithm 1: physiological redo over the window using `dpt`, processing
+/// data operations *and* SMO system-transaction records in LSN order.
+pub fn physiological_redo(
+    dc: &mut DataComponent,
+    window: &[LogRecord],
+    dpt: &Dpt,
+    mut prefetch: Option<LogDrivenPrefetcher>,
+    bk: &mut RecoveryBreakdown,
+) -> Result<()> {
+    let model = dc.pool().disk().io_model();
+    let mut root_moved = None;
+    for (i, rec) in window.iter().enumerate() {
+        dc.pool_mut().disk_mut().charge_cpu(model.cpu_log_record_us);
+        if let Some(pf) = prefetch.as_mut() {
+            pf.pump(dc, window, i, dpt, bk);
+        }
+        match &rec.payload {
+            p if p.is_data_op() => {
+                bk.redo_records_seen += 1;
+                let pid = p.data_pid().expect("data op carries a PID");
+                match dpt.find(pid) {
+                    None => {
+                        bk.skipped_no_dpt_entry += 1;
+                        continue;
+                    }
+                    Some(e) if rec.lsn < e.rlsn => {
+                        bk.skipped_rlsn += 1;
+                        continue;
+                    }
+                    Some(_) => {}
+                }
+                dc.pool_mut().fetch(pid)?;
+                let plsn = dc.pool_mut().with_page(pid, |p| p.plsn())?;
+                if rec.lsn <= plsn {
+                    bk.skipped_plsn += 1;
+                    continue;
+                }
+                dc.pool_mut().disk_mut().charge_cpu(model.cpu_apply_us);
+                dc.apply_at(pid, rec)?;
+                bk.ops_reapplied += 1;
+            }
+            LogPayload::Smo(smo) => {
+                // Physiological SMO redo, inline in LSN order (§2.1: ARIES
+                // redo performs SMO recovery within the redo pass).
+                for (pid, image) in &smo.pages {
+                    match dpt.find(*pid) {
+                        None => {
+                            bk.skipped_no_dpt_entry += 1;
+                            continue;
+                        }
+                        Some(e) if rec.lsn < e.rlsn => {
+                            bk.skipped_rlsn += 1;
+                            continue;
+                        }
+                        Some(_) => {}
+                    }
+                    dc.pool_mut().fetch(*pid)?;
+                    let plsn = dc.pool_mut().with_page(*pid, |p| p.plsn())?;
+                    if rec.lsn <= plsn {
+                        bk.skipped_plsn += 1;
+                        continue;
+                    }
+                    let page = Page::from_bytes(image.clone().into_boxed_slice())?;
+                    dc.pool_mut().install_page(*pid, page, rec.lsn)?;
+                    bk.ops_reapplied += 1;
+                }
+                if let Some((table, root)) = smo.new_root {
+                    dc.set_root(table, root);
+                    root_moved = Some(rec.lsn);
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(lsn) = root_moved {
+        dc.save_catalog(lsn)?;
+    }
+    Ok(())
+}
+
+// ----------------------------------------------------------------------
+// logical redo (Algorithms 2 and 5)
+// ----------------------------------------------------------------------
+
+/// PF-list read-ahead state (Log2, Appendix A.2): "we construct a list of
+/// PIDs ... roughly the concatenation of the DirtySets of Δ-log records ...
+/// We then execute log-driven read-ahead using the PF-list instead of the
+/// log."
+pub struct PfListPrefetcher {
+    list: Vec<PageId>,
+    next: usize,
+    issued: u64,
+    /// Target number of pages to keep issued beyond consumption.
+    ahead: u64,
+}
+
+impl PfListPrefetcher {
+    pub fn new(list: Vec<PageId>, ahead: u64) -> PfListPrefetcher {
+        PfListPrefetcher { list, next: 0, issued: 0, ahead }
+    }
+
+    /// Keep `ahead` pages in flight beyond what redo has consumed
+    /// (`consumed` = data pages fetched so far).
+    ///
+    /// `issued` counts pages the pool actually accepted — the PF-list can
+    /// contain duplicates (a page pruned and re-dirtied appears once per
+    /// incarnation), and counting filtered duplicates against the budget
+    /// would silently starve the read-ahead.
+    fn pump(&mut self, dc: &mut DataComponent, dpt: &Dpt, consumed: u64, bk: &mut RecoveryBreakdown) {
+        while self.next < self.list.len() && self.issued < consumed + self.ahead {
+            let want = (consumed + self.ahead - self.issued) as usize;
+            let mut batch: Vec<PageId> = Vec::with_capacity(want);
+            while self.next < self.list.len() && batch.len() < want {
+                let pid = self.list[self.next];
+                self.next += 1;
+                // Entries pruned from the DPT since PF-list construction
+                // are clean — skip them rather than waste an I/O.
+                if dpt.contains(pid) {
+                    batch.push(pid);
+                }
+            }
+            if batch.is_empty() {
+                break;
+            }
+            let (ios, pages) = dc.pool_mut().prefetch(&batch);
+            bk.prefetch_ios += ios as u64;
+            bk.prefetch_pages += pages as u64;
+            self.issued += pages as u64;
+        }
+    }
+}
+
+/// The data-page read-ahead strategy a logical redo pass uses.
+pub enum LogicalPrefetch {
+    None,
+    /// PF-list driven (the paper's chosen scheme, Appendix A.2).
+    PfList(PfListPrefetcher),
+    /// DPT/rLSN-order driven (the described alternative).
+    DptDriven(DptDrivenPrefetcher),
+}
+
+/// Algorithms 2 & 5: logical redo. Every data operation re-traverses the
+/// B-tree to discover its PID; with `ctx` the optimized redo test screens
+/// pages before fetching (records past the tail boundary fall back to the
+/// basic path).
+pub fn logical_redo(
+    dc: &mut DataComponent,
+    window: &[LogRecord],
+    ctx: Option<&LogicalCtx<'_>>,
+    mut prefetch: LogicalPrefetch,
+    bk: &mut RecoveryBreakdown,
+) -> Result<()> {
+    let model = dc.pool().disk().io_model();
+    for rec in window {
+        dc.pool_mut().disk_mut().charge_cpu(model.cpu_log_record_us);
+        if !rec.payload.is_data_op() {
+            continue; // SMOs were handled by DC recovery; control records skip
+        }
+        bk.redo_records_seen += 1;
+        match &mut prefetch {
+            LogicalPrefetch::None => {}
+            LogicalPrefetch::PfList(pf) => {
+                let consumed = dc.pool().stats().data_page_misses;
+                if let Some(ctx) = ctx {
+                    pf.pump(dc, ctx.dpt, consumed, bk);
+                }
+            }
+            LogicalPrefetch::DptDriven(pf) => {
+                let consumed = dc.pool().stats().data_page_misses;
+                pf.pump(dc, consumed, bk);
+            }
+        }
+        let (table, key) = match &rec.payload {
+            LogPayload::Update { table, key, .. }
+            | LogPayload::Insert { table, key, .. }
+            | LogPayload::Delete { table, key, .. }
+            | LogPayload::Clr { table, key, .. } => (*table, *key),
+            _ => unreachable!("is_data_op checked"),
+        };
+        // Traverse the index to find the PID referred to by the record
+        // (Alg. 5 line 4) — internal pages only, the leaf is not fetched.
+        let tree = dc.tree(table)?.clone();
+        let (pid, touched) = tree.find_leaf_pid(dc.pool_mut(), key)?;
+        dc.pool_mut().disk_mut().charge_cpu(model.cpu_btree_level_us * touched as u64);
+
+        if let Some(ctx) = ctx {
+            if rec.lsn < ctx.last_delta_tc_lsn {
+                // Optimized redo test (Alg. 5 lines 5-8).
+                match ctx.dpt.find(pid) {
+                    None => {
+                        bk.skipped_no_dpt_entry += 1;
+                        continue;
+                    }
+                    Some(e) if rec.lsn < e.rlsn => {
+                        bk.skipped_rlsn += 1;
+                        continue;
+                    }
+                    Some(_) => {}
+                }
+            } else {
+                // Tail of the log: basic fallback, fetch unconditionally.
+                bk.tail_records += 1;
+            }
+        }
+        dc.pool_mut().fetch(pid)?;
+        let plsn = dc.pool_mut().with_page(pid, |p| p.plsn())?;
+        if rec.lsn <= plsn {
+            bk.skipped_plsn += 1;
+            continue;
+        }
+        dc.pool_mut().disk_mut().charge_cpu(model.cpu_apply_us);
+        dc.apply_at(pid, rec)?;
+        bk.ops_reapplied += 1;
+    }
+    Ok(())
+}
+
+/// DPT-driven read-ahead (Appendix A.2's alternative): "After the DPT has
+/// been constructed, pages in the DPT are prefetched in the order of their
+/// rLSNs. This approach has the advantage of not depending on the log
+/// prefetching mechanism." The paper notes its synchronization hazard —
+/// "if prefetching proceeds too quickly, pages may get flushed before the
+/// redo scan requests them; if it proceeds too slowly, redo may need to
+/// wait" — which the throttle below only partially mitigates; the
+/// `ablation` harness quantifies the difference against the PF-list.
+pub struct DptDrivenPrefetcher {
+    /// DPT pages in rLSN order.
+    list: Vec<PageId>,
+    next: usize,
+    issued: u64,
+    ahead: u64,
+}
+
+impl DptDrivenPrefetcher {
+    pub fn new(dpt: &Dpt, ahead: u64) -> DptDrivenPrefetcher {
+        let list = dpt.entries_by_rlsn().into_iter().map(|(pid, _)| pid).collect();
+        DptDrivenPrefetcher { list, next: 0, issued: 0, ahead }
+    }
+
+    /// Keep `ahead` pages in flight beyond what redo has consumed. As with
+    /// the PF-list pump, only pages the pool accepts count against the
+    /// budget.
+    pub fn pump(&mut self, dc: &mut DataComponent, consumed: u64, bk: &mut RecoveryBreakdown) {
+        while self.next < self.list.len() && self.issued < consumed + self.ahead {
+            let want = (consumed + self.ahead - self.issued) as usize;
+            let end = (self.next + want).min(self.list.len());
+            let batch: Vec<PageId> = self.list[self.next..end].to_vec();
+            self.next = end;
+            if batch.is_empty() {
+                break;
+            }
+            let (ios, pages) = dc.pool_mut().prefetch(&batch);
+            bk.prefetch_ios += ios as u64;
+            bk.prefetch_pages += pages as u64;
+            self.issued += pages as u64;
+            if pages == 0 {
+                // Everything in this slice was cached/in-flight; keep
+                // draining the list rather than spinning on the budget.
+                continue;
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// index preload (Appendix A.1)
+// ----------------------------------------------------------------------
+
+/// Load every internal (index) page of every table into the cache, level by
+/// level, prefetching each level as a batch so reads overlap. Returns the
+/// number of index pages loaded.
+pub fn preload_index(dc: &mut DataComponent, bk: &mut RecoveryBreakdown) -> Result<u64> {
+    let mut loaded = 0u64;
+    for table in dc.tables() {
+        let root = dc.table_root(table)?;
+        let mut frontier = vec![root];
+        loop {
+            let mut children: Vec<PageId> = Vec::new();
+            for pid in &frontier {
+                dc.pool_mut().fetch(*pid)?;
+                let (is_internal, level, kids) = dc.pool_mut().with_page(*pid, |p| {
+                    if p.page_type() == lr_storage::PageType::Internal {
+                        let kids: Vec<PageId> = (0..p.slot_count())
+                            .map(|s| lr_btree::parse_internal_entry(p.record(s)).1)
+                            .collect();
+                        (true, p.level(), kids)
+                    } else {
+                        (false, 0, Vec::new())
+                    }
+                })?;
+                if is_internal {
+                    loaded += 1;
+                    if level >= 2 {
+                        children.extend(kids);
+                    }
+                }
+            }
+            if children.is_empty() {
+                break;
+            }
+            let (ios, pages) = dc.pool_mut().prefetch(&children);
+            bk.prefetch_ios += ios as u64;
+            bk.prefetch_pages += pages as u64;
+            frontier = children;
+        }
+    }
+    Ok(loaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_common::{IoModel, SimClock, TableId, TxnId};
+    use lr_dc::{DataComponent, DcConfig};
+    use lr_storage::{Disk, SimDisk};
+    use lr_wal::Wal;
+
+    fn dc_with_rows(rows: u64, pool_pages: usize, timed: bool) -> DataComponent {
+        let mut disk = SimDisk::new(512, 0, SimClock::new(), IoModel::default());
+        DataComponent::format_disk(&mut disk).unwrap();
+        let root = lr_btree::bulk_load(
+            &mut disk,
+            TableId(1),
+            (0..rows).map(|k| (k, vec![k as u8; 32])),
+            0.9,
+        )
+        .unwrap();
+        disk.set_timed(timed);
+        let wal = Wal::new_shared(4096);
+        let mut dc = DataComponent::open(
+            Box::new(disk),
+            wal,
+            DcConfig { pool_pages, ..DcConfig::default() },
+        )
+        .unwrap();
+        dc.register_table(TableId(1), root).unwrap();
+        dc
+    }
+
+    fn update_rec(lsn: u64, key: u64, pid: lr_common::PageId) -> LogRecord {
+        LogRecord {
+            lsn: Lsn(lsn),
+            payload: LogPayload::Update {
+                txn: TxnId(1),
+                table: TableId(1),
+                key,
+                pid,
+                prev_lsn: Lsn::NULL,
+                before: vec![key as u8; 32],
+                after: vec![(key + 1) as u8; 32],
+            },
+        }
+    }
+
+    #[test]
+    fn preload_index_touches_every_internal_page() {
+        let mut dc = dc_with_rows(3_000, 1024, false);
+        let mut bk = RecoveryBreakdown::default();
+        let loaded = preload_index(&mut dc, &mut bk).unwrap();
+        let tree = dc.tree(TableId(1)).unwrap().clone();
+        let internals = tree.internal_pids(dc.pool_mut()).unwrap();
+        assert_eq!(loaded, internals.len() as u64);
+        for pid in internals {
+            assert!(dc.pool().contains(pid), "internal page {pid} not cached");
+        }
+    }
+
+    #[test]
+    fn log_driven_prefetcher_respects_dpt_screen() {
+        let mut dc = dc_with_rows(2_000, 1024, true);
+        let tree = dc.tree(TableId(1)).unwrap().clone();
+        let (pid_a, _) = tree.find_leaf_pid(dc.pool_mut(), 10).unwrap();
+        let (pid_b, _) = tree.find_leaf_pid(dc.pool_mut(), 1_500).unwrap();
+        assert_ne!(pid_a, pid_b);
+        let mut dpt = Dpt::new();
+        dpt.add(pid_a, Lsn(100)); // only A is in the DPT
+        let window = vec![update_rec(150, 10, pid_a), update_rec(160, 1_500, pid_b)];
+        let mut pf = LogDrivenPrefetcher::new(16);
+        let mut bk = RecoveryBreakdown::default();
+        pf.pump(&mut dc, &window, 0, &dpt, &mut bk);
+        assert!(dc.pool().disk().is_inflight(pid_a), "DPT page prefetched");
+        assert!(!dc.pool().disk().is_inflight(pid_b), "non-DPT page screened out");
+        assert_eq!(bk.prefetch_pages, 1);
+    }
+
+    #[test]
+    fn log_driven_prefetcher_skips_records_below_rlsn() {
+        let mut dc = dc_with_rows(2_000, 1024, true);
+        let tree = dc.tree(TableId(1)).unwrap().clone();
+        let (pid, _) = tree.find_leaf_pid(dc.pool_mut(), 10).unwrap();
+        let mut dpt = Dpt::new();
+        dpt.add(pid, Lsn(500)); // rLSN 500
+        let window = vec![update_rec(100, 10, pid)]; // record below rLSN
+        let mut pf = LogDrivenPrefetcher::new(16);
+        let mut bk = RecoveryBreakdown::default();
+        pf.pump(&mut dc, &window, 0, &dpt, &mut bk);
+        assert_eq!(bk.prefetch_pages, 0, "record below rLSN needs no prefetch");
+    }
+
+    #[test]
+    fn pf_list_prefetcher_respects_budget_and_dpt() {
+        let mut dc = dc_with_rows(4_000, 4096, true);
+        let tree = dc.tree(TableId(1)).unwrap().clone();
+        // Collect distinct leaf pids.
+        let mut pids = Vec::new();
+        for k in (0..4_000).step_by(40) {
+            let (pid, _) = tree.find_leaf_pid(dc.pool_mut(), k).unwrap();
+            if pids.last() != Some(&pid) {
+                pids.push(pid);
+            }
+        }
+        assert!(pids.len() > 10);
+        let mut dpt = Dpt::new();
+        for p in &pids {
+            dpt.add(*p, Lsn(10));
+        }
+        let mut pf = PfListPrefetcher::new(pids.clone(), 4);
+        let mut bk = RecoveryBreakdown::default();
+        pf.pump(&mut dc, &dpt, 0, &mut bk);
+        assert_eq!(bk.prefetch_pages, 4, "ahead budget caps the burst");
+        // With consumption acknowledged, the window slides.
+        pf.pump(&mut dc, &dpt, 3, &mut bk);
+        assert_eq!(bk.prefetch_pages, 7);
+        // Pruned (non-DPT) entries are skipped entirely.
+        let empty_dpt = Dpt::new();
+        let mut pf2 = PfListPrefetcher::new(pids, 4);
+        let mut bk2 = RecoveryBreakdown::default();
+        pf2.pump(&mut dc, &empty_dpt, 0, &mut bk2);
+        assert_eq!(bk2.prefetch_pages, 0, "everything pruned -> nothing issued");
+    }
+
+    #[test]
+    fn dpt_driven_prefetcher_issues_in_rlsn_order() {
+        let mut dc = dc_with_rows(4_000, 4096, true);
+        let tree = dc.tree(TableId(1)).unwrap().clone();
+        let (pid_late, _) = tree.find_leaf_pid(dc.pool_mut(), 100).unwrap();
+        let (pid_early, _) = tree.find_leaf_pid(dc.pool_mut(), 3_000).unwrap();
+        let mut dpt = Dpt::new();
+        dpt.add(pid_late, Lsn(900));
+        dpt.add(pid_early, Lsn(100));
+        let mut pf = DptDrivenPrefetcher::new(&dpt, 1);
+        let mut bk = RecoveryBreakdown::default();
+        pf.pump(&mut dc, 0, &mut bk);
+        assert!(dc.pool().disk().is_inflight(pid_early), "lowest rLSN first");
+        assert!(!dc.pool().disk().is_inflight(pid_late), "budget of 1 holds the rest");
+    }
+}

@@ -1,0 +1,552 @@
+//! Recovery orchestration: crash → (analysis / DC recovery) → redo → undo.
+//!
+//! This is the measured pipeline of §5: the clock starts at zero, every
+//! pass charges the simulated device, and the report carries the same
+//! numbers the paper's figures plot — redo time, DPT size, Δ/BW counts,
+//! page-fetch and stall breakdowns.
+
+use crate::engine::Engine;
+use crate::methods::{
+    logical_redo, physiological_redo, preload_index, DptDrivenPrefetcher, LogDrivenPrefetcher,
+    LogicalCtx, LogicalPrefetch, PfListPrefetcher,
+};
+use lr_buffer::PoolStats;
+use lr_common::{Error, IoStats, Lsn, RecoveryBreakdown, Result};
+use lr_dc::{
+    build_dpt_aries, build_dpt_logical, build_dpt_sqlserver, smo_redo, DeltaDptMode, Dpt,
+};
+use lr_tc::{analyze_txns, undo_losers, UndoStats};
+use lr_wal::LogPayload;
+use std::fmt;
+use std::str::FromStr;
+
+/// Records to look ahead in log-driven prefetch (SQL2).
+const LOG_DRIVEN_LOOKAHEAD_RECORDS: usize = 128;
+/// Pages to keep in flight in PF-list prefetch (Log2).
+const PF_LIST_AHEAD_PAGES: u64 = 64;
+
+/// The recovery spectrum (§5.2 methods + ablations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RecoveryMethod {
+    /// Basic logical redo (Algorithm 2): no DPT, every page fetched.
+    Log0,
+    /// Logical redo with the Δ-built DPT (Algorithms 4+5), no prefetch.
+    Log1,
+    /// Log1 plus index preload and PF-list data prefetch (Appendix A).
+    Log2,
+    /// SQL Server physiological redo with the analysis-built DPT (Alg. 1+3).
+    Sql1,
+    /// Sql1 plus log-driven prefetch.
+    Sql2,
+    /// Physiological redo with the §3.1 checkpoint-captured DPT (ablation;
+    /// requires `aries_ckpt_capture` during the run).
+    AriesCkpt,
+    /// Appendix D.1: logical redo with the exact-LSN "perfect" DPT
+    /// (best with `perfect_delta_lsns` during the run; degrades gracefully).
+    LogPerfect,
+    /// Appendix D.2: logical redo with the reduced-logging DPT.
+    LogReduced,
+    /// Appendix A.2's *alternative* data prefetch: DPT pages read ahead in
+    /// rLSN order instead of PF-list order (with index preload, like Log2).
+    Log2DptPrefetch,
+}
+
+impl RecoveryMethod {
+    /// The five methods of the paper's §5.2 comparison, in figure order.
+    pub fn paper_five() -> [RecoveryMethod; 5] {
+        [
+            RecoveryMethod::Log0,
+            RecoveryMethod::Log1,
+            RecoveryMethod::Sql1,
+            RecoveryMethod::Log2,
+            RecoveryMethod::Sql2,
+        ]
+    }
+
+    /// All implemented methods.
+    pub fn all() -> [RecoveryMethod; 9] {
+        [
+            RecoveryMethod::Log0,
+            RecoveryMethod::Log1,
+            RecoveryMethod::Log2,
+            RecoveryMethod::Sql1,
+            RecoveryMethod::Sql2,
+            RecoveryMethod::AriesCkpt,
+            RecoveryMethod::LogPerfect,
+            RecoveryMethod::LogReduced,
+            RecoveryMethod::Log2DptPrefetch,
+        ]
+    }
+
+    /// Does redo locate pages by key (logical) rather than by logged PID?
+    pub fn is_logical(self) -> bool {
+        matches!(
+            self,
+            RecoveryMethod::Log0
+                | RecoveryMethod::Log1
+                | RecoveryMethod::Log2
+                | RecoveryMethod::LogPerfect
+                | RecoveryMethod::LogReduced
+                | RecoveryMethod::Log2DptPrefetch
+        )
+    }
+
+    pub fn name(self) -> &'static str {
+        match self {
+            RecoveryMethod::Log0 => "Log0",
+            RecoveryMethod::Log1 => "Log1",
+            RecoveryMethod::Log2 => "Log2",
+            RecoveryMethod::Sql1 => "SQL1",
+            RecoveryMethod::Sql2 => "SQL2",
+            RecoveryMethod::AriesCkpt => "ARIES-ckpt",
+            RecoveryMethod::LogPerfect => "Log-perfect",
+            RecoveryMethod::LogReduced => "Log-reduced",
+            RecoveryMethod::Log2DptPrefetch => "Log2-dptpf",
+        }
+    }
+}
+
+impl fmt::Display for RecoveryMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for RecoveryMethod {
+    type Err = String;
+
+    fn from_str(s: &str) -> std::result::Result<Self, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "log0" => Ok(RecoveryMethod::Log0),
+            "log1" => Ok(RecoveryMethod::Log1),
+            "log2" => Ok(RecoveryMethod::Log2),
+            "sql1" => Ok(RecoveryMethod::Sql1),
+            "sql2" => Ok(RecoveryMethod::Sql2),
+            "aries" | "aries-ckpt" => Ok(RecoveryMethod::AriesCkpt),
+            "perfect" | "log-perfect" => Ok(RecoveryMethod::LogPerfect),
+            "reduced" | "log-reduced" => Ok(RecoveryMethod::LogReduced),
+            "log2-dpt" | "log2-dptpf" => Ok(RecoveryMethod::Log2DptPrefetch),
+            other => Err(format!("unknown recovery method '{other}'")),
+        }
+    }
+}
+
+/// Everything one recovery run measured.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    pub method: RecoveryMethod,
+    pub breakdown: RecoveryBreakdown,
+    /// Records in the scan window (from the redo scan start point).
+    pub window_records: u64,
+    /// Data operations among them (Eq. 1's "No. of log records").
+    pub window_data_ops: u64,
+    /// Log pages spanned by the window (one scan's worth).
+    pub log_pages_in_window: u64,
+    /// Index pages loaded by preload (Log2 only).
+    pub index_pages_loaded: u64,
+    pub smo_pages_applied: u64,
+    pub smo_pages_skipped: u64,
+    pub undo: UndoStats,
+    /// Pool counters across the whole recovery.
+    pub pool: PoolStats,
+    /// Device counters across the whole recovery.
+    pub io: IoStats,
+}
+
+impl RecoveryReport {
+    /// Redo time in simulated milliseconds (Figure 2(a) / Figure 3 y-axis).
+    pub fn redo_ms(&self) -> f64 {
+        self.breakdown.redo_ms()
+    }
+
+    /// Total recovery time in simulated milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.breakdown.total_ms()
+    }
+
+    /// Data pages fetched during redo (the Appendix-B cost driver).
+    pub fn data_pages_fetched(&self) -> u64 {
+        self.breakdown.data_pages_fetched
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    /// Multi-line human-readable breakdown (examples and ad-hoc debugging).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = &self.breakdown;
+        writeln!(f, "recovery with {}: {:.1} ms total (simulated)", self.method, self.total_ms())?;
+        writeln!(
+            f,
+            "  analysis {:.1} ms | smo-redo {:.1} ms | preload {:.1} ms | redo {:.1} ms | undo {:.1} ms",
+            b.analysis_us as f64 / 1e3,
+            b.smo_redo_us as f64 / 1e3,
+            b.index_preload_us as f64 / 1e3,
+            b.redo_us as f64 / 1e3,
+            b.undo_us as f64 / 1e3
+        )?;
+        writeln!(
+            f,
+            "  window: {} records ({} data ops, {} log pages); DPT {} entries",
+            self.window_records, self.window_data_ops, self.log_pages_in_window, b.dpt_size
+        )?;
+        writeln!(
+            f,
+            "  redo test: {} skipped (no DPT entry) + {} (rLSN) + {} (pLSN); {} re-applied; {} tail",
+            b.skipped_no_dpt_entry, b.skipped_rlsn, b.skipped_plsn, b.ops_reapplied, b.tail_records
+        )?;
+        writeln!(
+            f,
+            "  pages: {} data + {} index fetched; {} prefetched in {} I/Os",
+            b.data_pages_fetched, b.index_pages_fetched, b.prefetch_pages, b.prefetch_ios
+        )?;
+        write!(
+            f,
+            "  stalls: {} events, {:.1} ms on data pages; undo: {} losers, {} CLRs",
+            b.data_stall_events,
+            b.data_stall_us as f64 / 1e3,
+            b.losers_undone,
+            b.undo_ops
+        )
+    }
+}
+
+impl Engine {
+    /// Recover the crashed engine with `method`. On success the engine is
+    /// usable again (a post-recovery checkpoint is taken, untimed, so
+    /// normal-execution monitoring restarts soundly).
+    pub fn recover(&mut self, method: RecoveryMethod) -> Result<RecoveryReport> {
+        if !self.crashed {
+            return Err(Error::RecoveryInvariant("recover() called while engine is up".into()));
+        }
+        // ---- measurement window ----
+        self.clock.reset();
+        {
+            let pool = self.dc.pool_mut();
+            pool.reset_stats();
+            let disk = pool.disk_mut();
+            disk.reset_device();
+            disk.set_timed(true);
+        }
+        let mut bk = RecoveryBreakdown::default();
+        let model = self.dc.pool().disk().io_model();
+
+        // ---- find the end of the log ----
+        // A real restart must first locate the last whole record: scan the
+        // log validating frame CRCs and drop any torn tail (crash mid-write).
+        {
+            let mut wal = self.wal.lock();
+            wal.recover_torn_tail();
+        }
+
+        // ---- window discovery ----
+        let (scan_start, rssp_lsn, window, log_pages, ckpt_active) = {
+            let wal = self.wal.lock();
+            let (s, r, w) = lr_dc::find_recovery_window(&wal)?;
+            let lp = wal.log_pages_between(s, wal.end_lsn());
+            let active = match wal.end_checkpoint_for(s)? {
+                Some(rec) => match rec.payload {
+                    LogPayload::EndCheckpoint { active_txns, .. } => active_txns,
+                    _ => Vec::new(),
+                },
+                None => Vec::new(),
+            };
+            (s, r, w, lp, active)
+        };
+        let window_data_ops =
+            window.iter().filter(|r| r.payload.is_data_op()).count() as u64;
+        bk.log_pages_read += log_pages;
+
+        // ---- phase 1: analysis / DC recovery ----
+        //
+        // One sequential scan of the window (log-page I/O + per-record CPU),
+        // then the method-specific DPT construction; logical methods also
+        // run SMO redo here (§4.2: DC recovery precedes TC redo).
+        let t0 = self.clock.now_us();
+        for _ in 0..log_pages {
+            self.dc.pool_mut().disk_mut().charge_log_page_read();
+        }
+        self.dc
+            .pool_mut()
+            .disk_mut()
+            .charge_cpu(model.cpu_log_record_us * window.len() as u64);
+
+        let mut dpt: Option<Dpt> = None;
+        let mut last_delta_tc_lsn = Lsn::NULL;
+        let mut pf_list: Vec<lr_common::PageId> = Vec::new();
+        let mut smo_pages_applied = 0;
+        let mut smo_pages_skipped = 0;
+        let mut smo_us = 0;
+
+        match method {
+            RecoveryMethod::Sql1 | RecoveryMethod::Sql2 => {
+                // Physiological: the catalog only matters for undo, but the
+                // tree handles must exist before apply_at.
+                self.dc.reload_catalog()?;
+                let (d, counts) = build_dpt_sqlserver(&window);
+                bk.bw_records_seen = counts.bw_records;
+                bk.delta_records_seen = counts.delta_records;
+                dpt = Some(d);
+            }
+            RecoveryMethod::AriesCkpt => {
+                self.dc.reload_catalog()?;
+                let seed = window
+                    .iter()
+                    .find_map(|r| match &r.payload {
+                        LogPayload::AriesCheckpoint { dpt } => Some(dpt.clone()),
+                        _ => None,
+                    })
+                    .ok_or_else(|| {
+                        Error::RecoveryInvariant(
+                            "no ARIES checkpoint DPT on the log — run the workload with \
+                             aries_ckpt_capture enabled"
+                                .into(),
+                        )
+                    })?;
+                let (d, counts) = build_dpt_aries(&seed, &window);
+                bk.bw_records_seen = counts.bw_records;
+                bk.delta_records_seen = counts.delta_records;
+                dpt = Some(d);
+            }
+            RecoveryMethod::Log0 => {
+                let s0 = self.clock.now_us();
+                let (a, s) = smo_redo(&mut self.dc, &window)?;
+                smo_pages_applied = a;
+                smo_pages_skipped = s;
+                smo_us = self.clock.now_us() - s0;
+            }
+            RecoveryMethod::Log1
+            | RecoveryMethod::Log2
+            | RecoveryMethod::LogPerfect
+            | RecoveryMethod::LogReduced
+            | RecoveryMethod::Log2DptPrefetch => {
+                let s0 = self.clock.now_us();
+                let (a, s) = smo_redo(&mut self.dc, &window)?;
+                smo_pages_applied = a;
+                smo_pages_skipped = s;
+                smo_us = self.clock.now_us() - s0;
+                let mode = match method {
+                    RecoveryMethod::LogPerfect => DeltaDptMode::Perfect,
+                    RecoveryMethod::LogReduced => DeltaDptMode::Reduced,
+                    _ => DeltaDptMode::Standard,
+                };
+                let analysis = build_dpt_logical(&window, rssp_lsn, mode);
+                bk.delta_records_seen = analysis.counts.delta_records;
+                bk.bw_records_seen = analysis.counts.bw_records;
+                last_delta_tc_lsn = analysis.last_delta_tc_lsn;
+                pf_list = analysis.pf_list;
+                dpt = Some(analysis.dpt);
+            }
+        }
+        bk.smo_redo_us = smo_us;
+        bk.analysis_us = (self.clock.now_us() - t0).saturating_sub(smo_us);
+        bk.dpt_size = dpt.as_ref().map(|d| d.len() as u64).unwrap_or(0);
+
+        // ---- phase 1.5: index preload (Log2, Appendix A.1) ----
+        let mut index_pages_loaded = 0;
+        if matches!(method, RecoveryMethod::Log2 | RecoveryMethod::Log2DptPrefetch) {
+            let t = self.clock.now_us();
+            index_pages_loaded = preload_index(&mut self.dc, &mut bk)?;
+            bk.index_preload_us = self.clock.now_us() - t;
+        }
+
+        // ---- phase 2: redo ----
+        let t_redo = self.clock.now_us();
+        let ps_before = self.dc.pool().stats();
+        // The redo pass re-reads the window sequentially.
+        for _ in 0..log_pages {
+            self.dc.pool_mut().disk_mut().charge_log_page_read();
+        }
+        bk.log_pages_read += log_pages;
+
+        match method {
+            RecoveryMethod::Sql1 | RecoveryMethod::AriesCkpt => {
+                physiological_redo(
+                    &mut self.dc,
+                    &window,
+                    dpt.as_ref().expect("physiological methods build a DPT"),
+                    None,
+                    &mut bk,
+                )?;
+            }
+            RecoveryMethod::Sql2 => {
+                physiological_redo(
+                    &mut self.dc,
+                    &window,
+                    dpt.as_ref().expect("SQL2 builds a DPT"),
+                    Some(LogDrivenPrefetcher::new(LOG_DRIVEN_LOOKAHEAD_RECORDS)),
+                    &mut bk,
+                )?;
+            }
+            RecoveryMethod::Log0 => {
+                logical_redo(&mut self.dc, &window, None, LogicalPrefetch::None, &mut bk)?;
+            }
+            RecoveryMethod::Log1
+            | RecoveryMethod::LogPerfect
+            | RecoveryMethod::LogReduced => {
+                let ctx = LogicalCtx {
+                    dpt: dpt.as_ref().expect("DPT built above"),
+                    last_delta_tc_lsn,
+                };
+                logical_redo(&mut self.dc, &window, Some(&ctx), LogicalPrefetch::None, &mut bk)?;
+            }
+            RecoveryMethod::Log2 => {
+                let ctx = LogicalCtx {
+                    dpt: dpt.as_ref().expect("DPT built above"),
+                    last_delta_tc_lsn,
+                };
+                let pf =
+                    PfListPrefetcher::new(std::mem::take(&mut pf_list), PF_LIST_AHEAD_PAGES);
+                logical_redo(
+                    &mut self.dc,
+                    &window,
+                    Some(&ctx),
+                    LogicalPrefetch::PfList(pf),
+                    &mut bk,
+                )?;
+            }
+            RecoveryMethod::Log2DptPrefetch => {
+                let ctx = LogicalCtx {
+                    dpt: dpt.as_ref().expect("DPT built above"),
+                    last_delta_tc_lsn,
+                };
+                let pf = DptDrivenPrefetcher::new(ctx.dpt, PF_LIST_AHEAD_PAGES);
+                logical_redo(
+                    &mut self.dc,
+                    &window,
+                    Some(&ctx),
+                    LogicalPrefetch::DptDriven(pf),
+                    &mut bk,
+                )?;
+            }
+        }
+        bk.redo_us = self.clock.now_us() - t_redo;
+        let ps_after = self.dc.pool().stats();
+        bk.data_pages_fetched = ps_after.data_page_misses - ps_before.data_page_misses;
+        bk.index_pages_fetched = ps_after.index_page_misses - ps_before.index_page_misses;
+        bk.data_stall_events = ps_after.data_stall_events - ps_before.data_stall_events;
+        bk.data_stall_us = ps_after.data_stall_us - ps_before.data_stall_us;
+        bk.index_stall_events = ps_after.index_stall_events - ps_before.index_stall_events;
+        bk.index_stall_us = ps_after.index_stall_us - ps_before.index_stall_us;
+
+        // ---- phase 3: transactional undo (common to all methods) ----
+        let t_undo = self.clock.now_us();
+        let txn_analysis = analyze_txns(&window, &ckpt_active);
+        let undo = undo_losers(&mut self.tc, &mut self.dc, &txn_analysis.losers)?;
+        // Undo's random-access log reads.
+        for _ in 0..undo.log_records_visited {
+            self.dc.pool_mut().disk_mut().charge_log_page_read();
+        }
+        bk.undo_us = self.clock.now_us() - t_undo;
+        bk.losers_undone = undo.losers_undone;
+        bk.undo_ops = undo.ops_undone;
+
+        // ---- finish: back to normal execution ----
+        let pool = self.dc.pool().stats();
+        let io = self.dc.pool().disk().stats();
+        self.dc.pool_mut().disk_mut().set_timed(false);
+        self.crashed = false;
+        // Post-recovery checkpoint: flushes redone state so the Δ/BW stream
+        // restarts from a clean slate (untimed; recovery proper has ended).
+        self.checkpoint()?;
+
+        let _ = scan_start;
+        Ok(RecoveryReport {
+            method,
+            breakdown: bk,
+            window_records: window.len() as u64,
+            window_data_ops,
+            log_pages_in_window: log_pages,
+            index_pages_loaded,
+            smo_pages_applied,
+            smo_pages_skipped,
+            undo,
+            pool,
+            io,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Engine, EngineConfig};
+
+    #[test]
+    fn method_parsing_and_names_roundtrip() {
+        for m in RecoveryMethod::all() {
+            let parsed: RecoveryMethod = m.name().to_lowercase().parse().unwrap();
+            assert_eq!(parsed, m, "{} failed to roundtrip", m.name());
+        }
+        assert!("nonsense".parse::<RecoveryMethod>().is_err());
+        assert_eq!("aries".parse::<RecoveryMethod>().unwrap(), RecoveryMethod::AriesCkpt);
+    }
+
+    #[test]
+    fn paper_five_are_the_figure_methods() {
+        let five = RecoveryMethod::paper_five();
+        assert_eq!(five.len(), 5);
+        assert!(five.iter().filter(|m| m.is_logical()).count() == 3);
+    }
+
+    #[test]
+    fn recover_on_live_engine_is_rejected() {
+        let mut e = Engine::build(EngineConfig {
+            initial_rows: 100,
+            pool_pages: 16,
+            io_model: lr_common::IoModel::zero(),
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        assert!(e.recover(RecoveryMethod::Log1).is_err());
+    }
+
+    #[test]
+    fn report_display_is_complete() {
+        let mut e = Engine::build(EngineConfig {
+            initial_rows: 500,
+            pool_pages: 16,
+            io_model: lr_common::IoModel::zero(),
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        let t = e.begin();
+        e.update(t, 1, b"x".to_vec()).unwrap();
+        e.commit(t).unwrap();
+        e.crash();
+        let report = e.recover(RecoveryMethod::Log1).unwrap();
+        let rendered = report.to_string();
+        for needle in ["recovery with Log1", "analysis", "redo test", "stalls", "DPT"] {
+            assert!(rendered.contains(needle), "missing '{needle}' in:\n{rendered}");
+        }
+    }
+
+    #[test]
+    fn fork_crashed_requires_crash_and_preserves_log() {
+        let mut e = Engine::build(EngineConfig {
+            initial_rows: 300,
+            pool_pages: 16,
+            io_model: lr_common::IoModel::zero(),
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        assert!(e.fork_crashed().is_err(), "live engine cannot fork");
+        let t = e.begin();
+        e.update(t, 5, b"forked".to_vec()).unwrap();
+        e.commit(t).unwrap();
+        e.crash();
+        let bytes = e.wal().lock().byte_len();
+        // Two independent forks recover independently.
+        let mut f1 = e.fork_crashed().unwrap();
+        let mut f2 = e.fork_crashed().unwrap();
+        assert_eq!(f1.wal().lock().byte_len(), bytes);
+        f1.recover(RecoveryMethod::Log1).unwrap();
+        f2.recover(RecoveryMethod::Sql2).unwrap();
+        assert_eq!(
+            f1.read(crate::DEFAULT_TABLE, 5).unwrap(),
+            f2.read(crate::DEFAULT_TABLE, 5).unwrap()
+        );
+        // The master is still crashed and recoverable itself.
+        e.recover(RecoveryMethod::Log0).unwrap();
+        assert_eq!(e.read(crate::DEFAULT_TABLE, 5).unwrap().unwrap(), b"forked");
+    }
+}

@@ -1,0 +1,160 @@
+//! Logical log shipping to a physically non-isomorphic replica.
+//!
+//! §1.1: "logical recovery can be useful to maintain replicas at sites
+//! without a physically isomorphic environment. That is, the data can be
+//! replicated in a database using a different kind of stable storage, e.g.
+//! a disk with different page size ... Because the log records shipped to
+//! the replica are logical, they can be applied to disparate physical
+//! system configurations."
+//!
+//! This module is that claim, executable: take the primary's common log,
+//! keep only committed transactions' *logical* content (table, key,
+//! images — the piggybacked PIDs are meaningless on the replica and are
+//! ignored), and apply it to a [`DataComponent`] with a different page
+//! size, a different disk, a differently-shaped B-tree.
+
+use lr_common::{Result, TxnId};
+use lr_dc::{DataComponent, WriteIntent};
+use lr_wal::{LogPayload, LogRecord};
+use std::collections::HashSet;
+
+/// Transactions with a `TxnCommit` in `records`.
+pub fn committed_txns(records: &[LogRecord]) -> HashSet<TxnId> {
+    records
+        .iter()
+        .filter_map(|r| match r.payload {
+            LogPayload::TxnCommit { txn } => Some(txn),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Apply the logical content of every committed transaction in `records`
+/// to `replica`, in log order. Returns the number of operations applied.
+///
+/// The replica locates every operation through **its own** B-tree — the
+/// primary's PIDs never participate — so any page size / fill factor /
+/// tree shape works.
+pub fn apply_committed_ops(replica: &mut DataComponent, records: &[LogRecord]) -> Result<u64> {
+    let committed = committed_txns(records);
+    let mut applied = 0u64;
+    for rec in records {
+        let Some(txn) = rec.payload.txn() else { continue };
+        if !committed.contains(&txn) {
+            continue; // losers and in-flight work never reach the replica
+        }
+        match &rec.payload {
+            LogPayload::Update { table, key, after, .. } => {
+                let info = replica.prepare_write(
+                    *table,
+                    *key,
+                    WriteIntent::Update { value_len: after.len() },
+                )?;
+                replica.apply_at(info.pid, rec)?;
+                replica.pump_events();
+                applied += 1;
+            }
+            LogPayload::Insert { table, key, value, .. } => {
+                let info = replica.prepare_write(
+                    *table,
+                    *key,
+                    WriteIntent::Insert { value_len: value.len() },
+                )?;
+                replica.apply_at(info.pid, rec)?;
+                replica.pump_events();
+                applied += 1;
+            }
+            LogPayload::Delete { table, key, .. } => {
+                let info = replica.prepare_write(*table, *key, WriteIntent::Delete)?;
+                replica.apply_at(info.pid, rec)?;
+                replica.pump_events();
+                applied += 1;
+            }
+            // Committed transactions carry no CLRs in this engine (no
+            // partial rollback), and DC bookkeeping records are primary-
+            // local physical detail.
+            _ => {}
+        }
+    }
+    Ok(applied)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DEFAULT_TABLE;
+    use crate::engine::Engine;
+    use crate::EngineConfig;
+    use lr_common::{IoModel, SimClock};
+    use lr_dc::DcConfig;
+    use lr_storage::SimDisk;
+    use lr_wal::Wal;
+
+    #[test]
+    fn replica_with_different_page_size_converges() {
+        // Primary: 4 KiB pages.
+        let cfg = EngineConfig {
+            initial_rows: 500,
+            page_size: 4096,
+            pool_pages: 64,
+            io_model: IoModel::zero(),
+            ..EngineConfig::default()
+        };
+        let mut primary = Engine::build(cfg).unwrap();
+        let t1 = primary.begin();
+        for k in 0..50 {
+            primary.update(t1, k, format!("v{k}").into_bytes()).unwrap();
+        }
+        primary.commit(t1).unwrap();
+        let t2 = primary.begin();
+        primary.insert(t2, 10_000, b"replicated-insert".to_vec()).unwrap();
+        primary.delete(t2, 5).unwrap();
+        primary.commit(t2).unwrap();
+        // An aborted transaction must NOT reach the replica.
+        let t3 = primary.begin();
+        primary.update(t3, 7, b"must-not-appear".to_vec()).unwrap();
+        primary.abort(t3).unwrap();
+
+        // Replica: 1 KiB pages, fresh empty table + the primary's loaded rows
+        // bootstrapped logically (a replica starts from a snapshot; here we
+        // replay the initial state as inserts).
+        let mut disk = SimDisk::new(1024, 0, SimClock::new(), IoModel::zero());
+        DataComponent::format_disk(&mut disk).unwrap();
+        let wal = Wal::new_shared(4096);
+        let mut replica =
+            DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
+        replica.create_table(DEFAULT_TABLE).unwrap();
+        for k in 0..500u64 {
+            let v = primary.config().initial_value(k);
+            let info = replica
+                .prepare_write(DEFAULT_TABLE, k, WriteIntent::Insert { value_len: v.len() })
+                .unwrap();
+            let rec = lr_wal::LogRecord {
+                lsn: lr_common::Lsn(1), // snapshot bootstrap: any base LSN
+                payload: LogPayload::Insert {
+                    txn: TxnId(0),
+                    table: DEFAULT_TABLE,
+                    key: k,
+                    pid: info.pid,
+                    prev_lsn: lr_common::Lsn::NULL,
+                    value: v,
+                },
+            };
+            replica.apply_at(info.pid, &rec).unwrap();
+        }
+
+        // Ship the log.
+        let records = primary.wal().lock().scan_from(lr_common::Lsn::NULL).unwrap();
+        let applied = apply_committed_ops(&mut replica, &records).unwrap();
+        assert!(applied >= 52, "50 updates + insert + delete, got {applied}");
+
+        // Logical contents agree, physical shapes differ.
+        let primary_rows = primary.scan_table(DEFAULT_TABLE).unwrap();
+        let replica_tree = replica.tree(DEFAULT_TABLE).unwrap().clone();
+        let replica_rows = replica_tree.scan_all(replica.pool_mut()).unwrap();
+        assert_eq!(primary_rows, replica_rows);
+        // Key 7: committed as "v7" by t1; t3's aborted overwrite invisible.
+        assert_eq!(replica.read(DEFAULT_TABLE, 7).unwrap().unwrap(), b"v7");
+        assert_eq!(replica.read(DEFAULT_TABLE, 5).unwrap(), None, "delete replicated");
+    }
+}

@@ -1,0 +1,171 @@
+//! The shadow model: a trivially-correct replica of committed state.
+//!
+//! Tests and the crash-torture example drive the engine and the shadow in
+//! lock-step; after any crash+recovery, the engine's tables must equal the
+//! shadow exactly (recovery must expose committed work, all of it, and
+//! nothing else). This is the end-to-end oracle behind the paper's implicit
+//! correctness claim that all methods recover the same state.
+
+use crate::config::DEFAULT_TABLE;
+use crate::engine::Engine;
+use lr_common::{Error, Key, Result, TableId, TxnId, Value};
+use std::collections::{BTreeMap, HashMap};
+
+#[derive(Clone, Debug)]
+enum StagedOp {
+    Put { table: TableId, key: Key, value: Value },
+    Del { table: TableId, key: Key },
+}
+
+/// Committed-state shadow of the engine.
+#[derive(Clone, Debug, Default)]
+pub struct ShadowDb {
+    committed: HashMap<TableId, BTreeMap<Key, Value>>,
+    staged: HashMap<TxnId, Vec<StagedOp>>,
+}
+
+impl ShadowDb {
+    pub fn new() -> ShadowDb {
+        ShadowDb::default()
+    }
+
+    /// Seed with the engine's bulk-loaded initial table.
+    pub fn with_initial_rows(cfg: &crate::config::EngineConfig) -> ShadowDb {
+        let mut s = ShadowDb::new();
+        let table = s.committed.entry(DEFAULT_TABLE).or_default();
+        for k in 0..cfg.initial_rows {
+            table.insert(k, cfg.initial_value(k));
+        }
+        s
+    }
+
+    /// Stage an update/insert for `txn`.
+    pub fn stage_put(&mut self, txn: TxnId, table: TableId, key: Key, value: Value) {
+        self.staged.entry(txn).or_default().push(StagedOp::Put { table, key, value });
+    }
+
+    /// Stage a delete for `txn`.
+    pub fn stage_delete(&mut self, txn: TxnId, table: TableId, key: Key) {
+        self.staged.entry(txn).or_default().push(StagedOp::Del { table, key });
+    }
+
+    /// Commit `txn`: staged ops become durable.
+    pub fn commit(&mut self, txn: TxnId) {
+        for op in self.staged.remove(&txn).unwrap_or_default() {
+            match op {
+                StagedOp::Put { table, key, value } => {
+                    self.committed.entry(table).or_default().insert(key, value);
+                }
+                StagedOp::Del { table, key } => {
+                    self.committed.entry(table).or_default().remove(&key);
+                }
+            }
+        }
+    }
+
+    /// Abort (or crash-discard) `txn`.
+    pub fn abort(&mut self, txn: TxnId) {
+        self.staged.remove(&txn);
+    }
+
+    /// A crash discards every in-flight transaction.
+    pub fn crash(&mut self) {
+        self.staged.clear();
+    }
+
+    /// Committed value of a key.
+    pub fn get(&self, table: TableId, key: Key) -> Option<&Value> {
+        self.committed.get(&table).and_then(|t| t.get(&key))
+    }
+
+    /// Committed row count of a table.
+    pub fn len(&self, table: TableId) -> usize {
+        self.committed.get(&table).map(|t| t.len()).unwrap_or(0)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.committed.values().all(|t| t.is_empty())
+    }
+
+    /// Compare the engine's post-recovery state with the shadow. Returns a
+    /// diagnostic error naming the first divergence.
+    pub fn verify_against(&self, engine: &mut Engine) -> Result<()> {
+        for (table, expect) in &self.committed {
+            let actual = engine.scan_table(*table)?;
+            if actual.len() != expect.len() {
+                return Err(Error::RecoveryInvariant(format!(
+                    "table {table:?}: engine has {} rows, shadow expects {}",
+                    actual.len(),
+                    expect.len()
+                )));
+            }
+            for ((ak, av), (ek, ev)) in actual.iter().zip(expect.iter()) {
+                if ak != ek {
+                    return Err(Error::RecoveryInvariant(format!(
+                        "table {table:?}: key mismatch engine={ak} shadow={ek}"
+                    )));
+                }
+                if av != ev {
+                    return Err(Error::RecoveryInvariant(format!(
+                        "table {table:?} key {ak}: value mismatch ({} vs {} bytes)",
+                        av.len(),
+                        ev.len()
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TableId = DEFAULT_TABLE;
+
+    #[test]
+    fn staged_ops_invisible_until_commit() {
+        let mut s = ShadowDb::new();
+        s.stage_put(TxnId(1), T, 5, b"v".to_vec());
+        assert_eq!(s.get(T, 5), None);
+        s.commit(TxnId(1));
+        assert_eq!(s.get(T, 5).unwrap(), b"v");
+    }
+
+    #[test]
+    fn abort_and_crash_discard_staged() {
+        let mut s = ShadowDb::new();
+        s.stage_put(TxnId(1), T, 1, b"a".to_vec());
+        s.abort(TxnId(1));
+        s.commit(TxnId(1)); // no-op
+        assert!(s.is_empty());
+
+        s.stage_put(TxnId(2), T, 2, b"b".to_vec());
+        s.crash();
+        s.commit(TxnId(2));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn delete_then_commit_removes() {
+        let mut s = ShadowDb::new();
+        s.stage_put(TxnId(1), T, 9, b"x".to_vec());
+        s.commit(TxnId(1));
+        s.stage_delete(TxnId(2), T, 9);
+        s.commit(TxnId(2));
+        assert_eq!(s.get(T, 9), None);
+        assert_eq!(s.len(T), 0);
+    }
+
+    #[test]
+    fn ops_within_txn_apply_in_order() {
+        let mut s = ShadowDb::new();
+        s.stage_put(TxnId(1), T, 1, b"first".to_vec());
+        s.stage_put(TxnId(1), T, 1, b"second".to_vec());
+        s.stage_delete(TxnId(1), T, 1);
+        s.stage_put(TxnId(1), T, 1, b"final".to_vec());
+        s.commit(TxnId(1));
+        assert_eq!(s.get(T, 1).unwrap(), b"final");
+    }
+}

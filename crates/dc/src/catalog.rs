@@ -1,0 +1,162 @@
+//! The DC catalog: table → B-tree root, persisted in the metadata page.
+//!
+//! Only the DC knows data placement (§2.3); the catalog is where that
+//! knowledge is rooted. It lives on page 0 as a single record so it rides
+//! the ordinary page/flush machinery: catalog changes (root growth SMOs)
+//! dirty the meta page, checkpoints flush it, and DC recovery re-derives
+//! the final roots from SMO records before any logical operation runs.
+
+use lr_buffer::BufferPool;
+use lr_common::codec::{Decoder, Encoder};
+use lr_common::{Error, Lsn, PageId, Result, TableId};
+use lr_storage::{Page, PageType};
+use std::collections::BTreeMap;
+
+/// PID of the metadata page.
+pub const META_PAGE: PageId = PageId(0);
+
+/// Table-root mapping.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Catalog {
+    tables: BTreeMap<TableId, PageId>,
+}
+
+impl Catalog {
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    pub fn set_root(&mut self, table: TableId, root: PageId) {
+        self.tables.insert(table, root);
+    }
+
+    pub fn root_of(&self, table: TableId) -> Result<PageId> {
+        self.tables.get(&table).copied().ok_or(Error::UnknownTable(table))
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = (TableId, PageId)> + '_ {
+        self.tables.iter().map(|(t, r)| (*t, *r))
+    }
+
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(8 + self.tables.len() * 12);
+        e.put_u32(self.tables.len() as u32);
+        for (t, r) in &self.tables {
+            e.put_table(*t);
+            e.put_pid(*r);
+        }
+        e.finish()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Catalog> {
+        let mut d = Decoder::new(bytes);
+        let n = d
+            .get_u32()
+            .map_err(|e| Error::RecoveryInvariant(format!("catalog header: {e}")))?;
+        let mut tables = BTreeMap::new();
+        for _ in 0..n {
+            let t = d
+                .get_table()
+                .map_err(|e| Error::RecoveryInvariant(format!("catalog entry: {e}")))?;
+            let r = d
+                .get_pid()
+                .map_err(|e| Error::RecoveryInvariant(format!("catalog entry: {e}")))?;
+            tables.insert(t, r);
+        }
+        Ok(Catalog { tables })
+    }
+
+    /// Format a fresh metadata page holding this catalog (direct disk
+    /// write — used when creating a database, outside any log).
+    pub fn format_meta_page(&self, page_size: usize) -> Page {
+        let mut page = Page::new(page_size, META_PAGE, PageType::Meta);
+        page.insert_record(0, &self.encode()).expect("catalog fits meta page");
+        page
+    }
+
+    /// Persist through the buffer pool under `lsn` (a catalog-changing SMO).
+    pub fn save(&self, pool: &mut BufferPool, lsn: Lsn) -> Result<()> {
+        let bytes = self.encode();
+        pool.with_page_mut(META_PAGE, lsn, |p| {
+            if p.slot_count() == 0 {
+                p.insert_record(0, &bytes)
+            } else {
+                p.update_record(0, &bytes)
+            }
+        })?
+    }
+
+    /// Load from the metadata page through the pool.
+    pub fn load(pool: &mut BufferPool) -> Result<Catalog> {
+        pool.with_page(META_PAGE, |p| {
+            if p.page_type() != PageType::Meta {
+                return Err(Error::RecoveryInvariant(format!(
+                    "page 0 is {:?}, expected Meta",
+                    p.page_type()
+                )));
+            }
+            if p.slot_count() == 0 {
+                return Ok(Catalog::new());
+            }
+            Catalog::decode(p.record(0))
+        })?
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_common::{IoModel, SimClock};
+    use lr_storage::{Disk, SimDisk};
+
+    fn pool_with_meta() -> BufferPool {
+        let mut disk = SimDisk::new(512, 1, SimClock::new(), IoModel::zero());
+        let meta = Catalog::new().format_meta_page(512);
+        disk.write(META_PAGE, &meta).unwrap();
+        let mut p = BufferPool::new(Box::new(disk), 8, Box::new(|l| l));
+        p.set_elsn(Lsn::MAX);
+        p
+    }
+
+    #[test]
+    fn roundtrip_through_meta_page() {
+        let mut pool = pool_with_meta();
+        let mut cat = Catalog::load(&mut pool).unwrap();
+        assert!(cat.is_empty());
+        cat.set_root(TableId(1), PageId(10));
+        cat.set_root(TableId(2), PageId(20));
+        cat.save(&mut pool, Lsn(5)).unwrap();
+        let back = Catalog::load(&mut pool).unwrap();
+        assert_eq!(back, cat);
+        assert_eq!(back.root_of(TableId(1)).unwrap(), PageId(10));
+        assert!(matches!(back.root_of(TableId(9)), Err(Error::UnknownTable(_))));
+    }
+
+    #[test]
+    fn save_overwrites_previous_version() {
+        let mut pool = pool_with_meta();
+        let mut cat = Catalog::new();
+        cat.set_root(TableId(1), PageId(10));
+        cat.save(&mut pool, Lsn(5)).unwrap();
+        cat.set_root(TableId(1), PageId(99)); // root moved (tree grew)
+        cat.save(&mut pool, Lsn(6)).unwrap();
+        let back = Catalog::load(&mut pool).unwrap();
+        assert_eq!(back.root_of(TableId(1)).unwrap(), PageId(99));
+    }
+
+    #[test]
+    fn load_rejects_non_meta_page() {
+        let disk = SimDisk::new(512, 1, SimClock::new(), IoModel::zero());
+        let mut pool = BufferPool::new(Box::new(disk), 8, Box::new(|l| l));
+        // Page 0 is still Free-typed.
+        assert!(Catalog::load(&mut pool).is_err());
+    }
+}

@@ -1,0 +1,516 @@
+//! The data component.
+//!
+//! Owns the buffer pool, the catalog, the B-tree handles and the Δ/BW
+//! trackers. The TC talks to it through exactly the interface the paper's
+//! architecture prescribes: data operations by `(table, key)`, plus the two
+//! control operations **EOSL** (end of stable log → write-ahead gate) and
+//! **RSSP** (redo scan start point → checkpoint flushing), §4.1.
+
+use crate::catalog::{Catalog, META_PAGE};
+use crate::trackers::{BwTracker, DeltaTracker};
+use lr_btree::BTree;
+use lr_buffer::BufferPool;
+use lr_common::{Error, Key, Lsn, PageId, Result, TableId, Value};
+use lr_storage::{Disk, SLOT_SIZE};
+use lr_wal::{ClrAction, LogPayload, LogRecord, SharedWal, SmoRecord};
+use std::collections::HashMap;
+
+/// DC tuning knobs.
+#[derive(Clone, Debug)]
+pub struct DcConfig {
+    /// Buffer pool capacity in frames (the paper's "cache size").
+    pub pool_pages: usize,
+    /// Emit a Δ-log record once DirtySet reaches this many entries.
+    pub dirty_batch_cap: usize,
+    /// Emit Δ+BW once WrittenSet reaches this many entries (§3.3's
+    /// "periodically").
+    pub flush_batch_cap: usize,
+    /// Capture per-dirtying LSNs in Δ records (Appendix D.1 mode).
+    pub perfect_delta_lsns: bool,
+    /// Background-writer watermark: once more than this fraction of the
+    /// cache is dirty, the cleaner flushes cold dirty pages (SQL Server's
+    /// lazywriter behaviour — the force that keeps Figure 2(b)'s dirty
+    /// fraction near 30% at small caches).
+    pub dirty_watermark: f64,
+    /// Pages the cleaner flushes per activation.
+    pub cleaner_batch: usize,
+    /// Leaf-merge threshold for delete rebalancing (fraction of usable
+    /// bytes; 0.0 disables merging — the default, matching the paper's
+    /// update-only evaluation where trees never shrink).
+    pub merge_min_fill: f64,
+}
+
+impl Default for DcConfig {
+    fn default() -> Self {
+        DcConfig {
+            pool_pages: 256,
+            dirty_batch_cap: 64,
+            flush_batch_cap: 64,
+            perfect_delta_lsns: false,
+            dirty_watermark: 0.30,
+            cleaner_batch: 16,
+            merge_min_fill: 0.0,
+        }
+    }
+}
+
+/// What kind of write the TC wants to stage.
+#[derive(Clone, Copy, Debug)]
+pub enum WriteIntent {
+    Insert { value_len: usize },
+    Update { value_len: usize },
+    Delete,
+}
+
+/// Placement information returned by [`DataComponent::prepare_write`]: the
+/// page the operation will land on (piggybacked onto the TC's log record for
+/// the physiological baselines) and the before-image for undo.
+#[derive(Clone, Debug)]
+pub struct PrepareInfo {
+    pub pid: PageId,
+    pub before: Option<Value>,
+}
+
+/// Normal-execution overhead counters (the Figure 2(c) numerators).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DcStats {
+    pub delta_records_written: u64,
+    pub bw_records_written: u64,
+    pub smo_records_written: u64,
+    pub delta_bytes_logged: u64,
+    pub bw_bytes_logged: u64,
+}
+
+/// The Deuteronomy data component.
+pub struct DataComponent {
+    pool: BufferPool,
+    catalog: Catalog,
+    trees: HashMap<TableId, BTree>,
+    delta: DeltaTracker,
+    bw: BwTracker,
+    wal: SharedWal,
+    cfg: DcConfig,
+    stats: DcStats,
+}
+
+impl DataComponent {
+    /// Format a fresh disk: installs an empty catalog on the meta page.
+    /// Call before the first [`DataComponent::open`].
+    pub fn format_disk(disk: &mut dyn Disk) -> Result<()> {
+        if disk.num_pages() == 0 {
+            disk.allocate();
+        }
+        let meta = Catalog::new().format_meta_page(disk.page_size());
+        disk.write(META_PAGE, &meta)
+    }
+
+    /// Open a formatted disk: builds the pool (wiring the on-demand EOSL
+    /// path to the shared log) and loads the catalog.
+    pub fn open(disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<DataComponent> {
+        let eosl_wal = wal.clone();
+        let provider = Box::new(move |lsn: Lsn| {
+            let mut w = eosl_wal.lock();
+            w.make_stable(lsn);
+            w.stable_lsn()
+        });
+        let mut pool = BufferPool::new(disk, cfg.pool_pages, provider);
+        let catalog = Catalog::load(&mut pool)?;
+        let trees = catalog
+            .tables()
+            .map(|(t, root)| (t, BTree::attach(t, root)))
+            .collect();
+        // The catalog read is setup noise, not workload.
+        pool.take_events();
+        Ok(DataComponent {
+            pool,
+            catalog,
+            trees,
+            delta: DeltaTracker::new(cfg.perfect_delta_lsns),
+            bw: BwTracker::new(),
+            wal,
+            cfg,
+            stats: DcStats::default(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // catalog / table management
+    // ------------------------------------------------------------------
+
+    /// Register a table whose tree was built externally (bulk load).
+    pub fn register_table(&mut self, table: TableId, root: PageId) -> Result<()> {
+        self.catalog.set_root(table, root);
+        self.catalog.save(&mut self.pool, Lsn::NULL)?;
+        self.pool.flush_page(META_PAGE)?;
+        self.pool.take_events(); // setup noise
+        self.trees.insert(table, BTree::attach(table, root));
+        Ok(())
+    }
+
+    /// Create a fresh empty table.
+    pub fn create_table(&mut self, table: TableId) -> Result<()> {
+        let tree = BTree::create(&mut self.pool, table)?;
+        let root = tree.root;
+        self.register_table(table, root)
+    }
+
+    /// Root PID of `table`'s tree.
+    pub fn table_root(&self, table: TableId) -> Result<PageId> {
+        self.catalog.root_of(table)
+    }
+
+    /// Update a table's root (SMO redo during DC recovery).
+    pub fn set_root(&mut self, table: TableId, root: PageId) {
+        self.catalog.set_root(table, root);
+        self.trees.insert(table, BTree::attach(table, root));
+    }
+
+    /// Persist the catalog under `lsn`.
+    pub fn save_catalog(&mut self, lsn: Lsn) -> Result<()> {
+        self.catalog.save(&mut self.pool, lsn)
+    }
+
+    /// All registered tables.
+    pub fn tables(&self) -> Vec<TableId> {
+        self.catalog.tables().map(|(t, _)| t).collect()
+    }
+
+    /// Tree handle for `table`.
+    pub fn tree(&self, table: TableId) -> Result<&BTree> {
+        self.trees.get(&table).ok_or(Error::UnknownTable(table))
+    }
+
+    /// The buffer pool (recovery drivers need direct access).
+    pub fn pool_mut(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
+    pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// How many frames the cache can actually fill: its capacity, bounded
+    /// by the number of pages on the disk (a cache larger than the database
+    /// never fills — the paper's 2048 MB case).
+    pub fn cache_fill_target(&self) -> usize {
+        self.pool.capacity().min(self.pool.disk().num_pages() as usize)
+    }
+
+    /// The shared log handle.
+    pub fn wal(&self) -> SharedWal {
+        self.wal.clone()
+    }
+
+    pub fn stats(&self) -> DcStats {
+        self.stats.clone()
+    }
+
+    pub fn config(&self) -> &DcConfig {
+        &self.cfg
+    }
+
+    // ------------------------------------------------------------------
+    // data operations
+    // ------------------------------------------------------------------
+
+    /// Point read.
+    pub fn read(&mut self, table: TableId, key: Key) -> Result<Option<Value>> {
+        let tree = self.trees.get(&table).ok_or(Error::UnknownTable(table))?.clone();
+        tree.get(&mut self.pool, key)
+    }
+
+    /// Range read: all rows with keys in `[from, to]`, in key order.
+    pub fn read_range(
+        &mut self,
+        table: TableId,
+        from: Key,
+        to: Key,
+    ) -> Result<Vec<(Key, Value)>> {
+        let tree = self.trees.get(&table).ok_or(Error::UnknownTable(table))?.clone();
+        tree.scan_range(&mut self.pool, from, to)
+    }
+
+    /// Stage a write: perform any needed SMOs (logged as system
+    /// transactions), locate the target page, and read the before-image.
+    ///
+    /// The returned PID is piggybacked on the TC's log record; `before`
+    /// feeds the record's undo information.
+    pub fn prepare_write(
+        &mut self,
+        table: TableId,
+        key: Key,
+        intent: WriteIntent,
+    ) -> Result<PrepareInfo> {
+        let mut tree = self.trees.get(&table).ok_or(Error::UnknownTable(table))?.clone();
+        let old_root = tree.root;
+
+        // Pre-read for update/delete (also validates existence) and compute
+        // the leaf space the operation needs.
+        let need = match intent {
+            WriteIntent::Insert { value_len } => 8 + value_len + SLOT_SIZE,
+            WriteIntent::Update { value_len } => {
+                let t = tree.find_leaf(&mut self.pool, key)?;
+                let old = self.leaf_value(t.leaf, key)?.ok_or(Error::KeyNotFound { table, key })?;
+                let grow = value_len.saturating_sub(old.len());
+                if grow == 0 {
+                    return Ok(PrepareInfo { pid: t.leaf, before: Some(old) });
+                }
+                grow
+            }
+            WriteIntent::Delete => {
+                let t = tree.find_leaf(&mut self.pool, key)?;
+                let old = self.leaf_value(t.leaf, key)?.ok_or(Error::KeyNotFound { table, key })?;
+                return Ok(PrepareInfo { pid: t.leaf, before: Some(old) });
+            }
+        };
+
+        // SMO-capable traversal. The closure appends system-transaction
+        // records to the common log and tallies overhead stats.
+        let wal = self.wal.clone();
+        let mut smo_count = 0u64;
+        let mut last_smo_lsn = Lsn::NULL;
+        let pid = {
+            let mut smo = |rec: SmoRecord| {
+                smo_count += 1;
+                let mut w = wal.lock();
+                let lsn = w.append(&LogPayload::Smo(rec));
+                last_smo_lsn = lsn;
+                lsn
+            };
+            tree.ensure_room(&mut self.pool, key, need, &mut smo)?
+        };
+        self.stats.smo_records_written += smo_count;
+
+        if tree.root != old_root {
+            self.catalog.set_root(table, tree.root);
+            self.catalog.save(&mut self.pool, last_smo_lsn)?;
+        }
+        self.trees.insert(table, tree);
+
+        let before = match intent {
+            WriteIntent::Insert { .. } => {
+                // Uniqueness check on the final leaf.
+                if self.leaf_value(pid, key)?.is_some() {
+                    return Err(Error::DuplicateKey { table, key });
+                }
+                None
+            }
+            WriteIntent::Update { .. } => {
+                Some(self.leaf_value(pid, key)?.ok_or(Error::KeyNotFound { table, key })?)
+            }
+            WriteIntent::Delete => unreachable!("delete returned above"),
+        };
+        Ok(PrepareInfo { pid, before })
+    }
+
+    fn leaf_value(&mut self, leaf: PageId, key: Key) -> Result<Option<Value>> {
+        self.pool.with_page(leaf, |p| {
+            lr_btree::node_search_value(p, key)
+        })
+    }
+
+    /// Apply a logged data operation to the page named by the record (the
+    /// normal-execution path; recovery has its own redo-test-guarded paths).
+    pub fn apply(&mut self, rec: &LogRecord) -> Result<()> {
+        self.apply_at(
+            rec.payload.data_pid().ok_or_else(|| {
+                Error::RecoveryInvariant("apply of a non-data record".to_string())
+            })?,
+            rec,
+        )?;
+        // Normal-execution deletes may leave a leaf underfull; rebalance
+        // with a merge SMO. Never triggered from recovery paths (redo
+        // replays logged SMOs; generating new ones mid-redo would stamp
+        // pages with LSNs ahead of unreplayed records).
+        if self.cfg.merge_min_fill > 0.0 {
+            if let LogPayload::Delete { table, key, .. } = &rec.payload {
+                self.maybe_merge(*table, *key)?;
+            }
+        }
+        self.pump_events();
+        Ok(())
+    }
+
+    /// Run the B-tree's delete-rebalancing check around `key`, logging any
+    /// merge / root collapse as SMO system transactions.
+    pub fn maybe_merge(&mut self, table: TableId, key: Key) -> Result<bool> {
+        let mut tree = self.trees.get(&table).ok_or(Error::UnknownTable(table))?.clone();
+        let old_root = tree.root;
+        let wal = self.wal.clone();
+        let mut smo_count = 0u64;
+        let mut last_lsn = Lsn::NULL;
+        let merged = {
+            let mut smo = |rec: SmoRecord| {
+                smo_count += 1;
+                let mut w = wal.lock();
+                let lsn = w.append(&LogPayload::Smo(rec));
+                last_lsn = lsn;
+                lsn
+            };
+            tree.maybe_merge(&mut self.pool, key, self.cfg.merge_min_fill, &mut smo)?
+        };
+        self.stats.smo_records_written += smo_count;
+        if tree.root != old_root {
+            self.catalog.set_root(table, tree.root);
+            self.catalog.save(&mut self.pool, last_lsn)?;
+        }
+        self.trees.insert(table, tree);
+        Ok(merged)
+    }
+
+    /// Apply `rec`'s operation to `pid` under `rec.lsn`, with no redo test
+    /// (callers do their own). Shared by normal execution and every
+    /// recovery method.
+    pub fn apply_at(&mut self, pid: PageId, rec: &LogRecord) -> Result<()> {
+        match &rec.payload {
+            LogPayload::Update { table, key, after, .. } => {
+                let tree = self.trees.get(table).ok_or(Error::UnknownTable(*table))?.clone();
+                tree.apply_update(&mut self.pool, pid, *key, after, rec.lsn)?;
+            }
+            LogPayload::Insert { table, key, value, .. } => {
+                let tree = self.trees.get(table).ok_or(Error::UnknownTable(*table))?.clone();
+                tree.apply_insert(&mut self.pool, pid, *key, value, rec.lsn)?;
+            }
+            LogPayload::Delete { table, key, .. } => {
+                let tree = self.trees.get(table).ok_or(Error::UnknownTable(*table))?.clone();
+                tree.apply_delete(&mut self.pool, pid, *key, rec.lsn)?;
+            }
+            LogPayload::Clr { table, key, action, .. } => {
+                let tree = self.trees.get(table).ok_or(Error::UnknownTable(*table))?.clone();
+                match action {
+                    ClrAction::RestoreValue(v) => {
+                        tree.apply_update(&mut self.pool, pid, *key, v, rec.lsn)?;
+                    }
+                    ClrAction::RemoveKey => {
+                        tree.apply_delete(&mut self.pool, pid, *key, rec.lsn)?;
+                    }
+                    ClrAction::InsertValue(v) => {
+                        tree.apply_insert(&mut self.pool, pid, *key, v, rec.lsn)?;
+                    }
+                }
+            }
+            other => {
+                return Err(Error::RecoveryInvariant(format!(
+                    "apply_at of non-data payload {other:?}"
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // recovery-preparation bookkeeping (Δ / BW emission)
+    // ------------------------------------------------------------------
+
+    /// Drain cache events into the trackers and emit Δ/BW records when the
+    /// batching thresholds trip. Called after every operation. Also runs
+    /// the background cleaner when the dirty fraction exceeds the
+    /// watermark.
+    pub fn pump_events(&mut self) {
+        let watermark =
+            (self.cfg.dirty_watermark * self.pool.capacity() as f64) as usize;
+        if self.pool.dirty_count() > watermark {
+            // Cleaner flushes emit Flushed events picked up just below.
+            let _ = self.pool.clean_coldest(self.cfg.cleaner_batch);
+        }
+        for ev in self.pool.take_events() {
+            self.delta.observe(&ev);
+            self.bw.observe(&ev);
+        }
+        if self.bw.written_len() >= self.cfg.flush_batch_cap {
+            // Δ-log records are written exactly before BW-log records so
+            // the side-by-side comparison is fair (§5.2).
+            self.emit_delta();
+            self.emit_bw();
+        } else if self.delta.dirty_len() >= self.cfg.dirty_batch_cap {
+            self.emit_delta();
+        }
+    }
+
+    /// Force both trackers to emit (checkpoint boundary).
+    pub fn force_emit(&mut self) {
+        for ev in self.pool.take_events() {
+            self.delta.observe(&ev);
+            self.bw.observe(&ev);
+        }
+        self.emit_delta();
+        self.emit_bw();
+    }
+
+    fn emit_delta(&mut self) {
+        if self.delta.is_empty() {
+            return;
+        }
+        let elsn = self.pool.current_elsn();
+        let rec = self.delta.emit(elsn);
+        let payload = LogPayload::Delta(rec);
+        self.stats.delta_bytes_logged += payload.encode().len() as u64;
+        self.wal.lock().append(&payload);
+        self.stats.delta_records_written += 1;
+    }
+
+    fn emit_bw(&mut self) {
+        if self.bw.is_empty() {
+            return;
+        }
+        let (written_set, fw_lsn) = self.bw.emit();
+        let payload = LogPayload::Bw { written_set, fw_lsn };
+        self.stats.bw_bytes_logged += payload.encode().len() as u64;
+        self.wal.lock().append(&payload);
+        self.stats.bw_records_written += 1;
+    }
+
+    /// Throw away pending cache events (setup phases only).
+    pub fn discard_events(&mut self) {
+        self.pool.take_events();
+    }
+
+    // ------------------------------------------------------------------
+    // control operations
+    // ------------------------------------------------------------------
+
+    /// EOSL: the TC advertises its end-of-stable-log.
+    pub fn eosl(&mut self, elsn: Lsn) {
+        self.pool.set_elsn(elsn);
+    }
+
+    /// RSSP: the TC announces its intended redo-scan-start-point (its bCkpt
+    /// LSN). The DC flushes every page dirtied before the checkpoint
+    /// (penultimate scheme), emits the pending Δ/BW state, and durably
+    /// records the RSSP on the log. When this returns, no operation with
+    /// `LSN <= rssp_lsn` needs redo.
+    pub fn rssp(&mut self, rssp_lsn: Lsn) -> Result<()> {
+        self.pool.begin_checkpoint();
+        self.pool.checkpoint_flush()?;
+        self.force_emit();
+        self.wal.lock().append(&LogPayload::Rssp { rssp_lsn });
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // crash
+    // ------------------------------------------------------------------
+
+    /// Crash the DC: the cache, the open Δ/BW intervals and the in-memory
+    /// catalog all vanish. Stable pages survive on the disk.
+    pub fn crash(&mut self) {
+        self.pool.crash();
+        self.delta.crash();
+        self.bw.crash();
+        self.catalog = Catalog::new();
+        self.trees.clear();
+    }
+
+    /// Reload the catalog and tree handles from the (possibly stale) meta
+    /// page — first step of DC recovery; SMO redo then fixes any roots that
+    /// moved after the last meta flush.
+    pub fn reload_catalog(&mut self) -> Result<()> {
+        self.catalog = Catalog::load(&mut self.pool)?;
+        self.trees = self
+            .catalog
+            .tables()
+            .map(|(t, root)| (t, BTree::attach(t, root)))
+            .collect();
+        Ok(())
+    }
+}

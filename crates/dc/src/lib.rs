@@ -1,0 +1,35 @@
+//! # lr-dc
+//!
+//! The **data component (DC)** of the Deuteronomy split: it owns data
+//! placement (the B-trees), the database cache (buffer pool), and — the
+//! paper's contribution — the recovery bookkeeping that makes *logical*
+//! recovery performance-competitive:
+//!
+//! * [`trackers::DeltaTracker`] accumulates `(DirtySet, WrittenSet, FW-LSN,
+//!   FirstDirty, TC-LSN)` and emits **Δ-log records** (§4.1);
+//! * [`trackers::BwTracker`] accumulates `(WrittenSet, FW-LSN)` and emits
+//!   SQL-Server-style **BW-log records** (§3.3) — both are written to the
+//!   common log so the side-by-side comparison uses one log;
+//! * [`builders`] hosts every DPT-construction algorithm: SQL Server's
+//!   analysis pass (Alg. 3), the logical Δ-based pass (Alg. 4), ARIES
+//!   checkpoint-seeded construction (§3.1), and the Appendix-D alternatives
+//!   (perfect DPT, reduced logging);
+//! * [`recovery`] is **DC recovery**: SMO redo (making B-trees well-formed
+//!   *before* the TC resubmits operations, §1.2) plus DPT construction and
+//!   PF-list assembly (Appendix A.2);
+//! * [`DataComponent`] wires it together and services the TC's data
+//!   operations plus the EOSL / RSSP control operations (§4.1).
+
+pub mod builders;
+pub mod catalog;
+pub mod dc;
+pub mod dpt;
+pub mod recovery;
+pub mod trackers;
+
+pub use builders::{build_dpt_aries, build_dpt_logical, build_dpt_sqlserver, AnalysisCounts, DeltaDptMode, LogicalAnalysis};
+pub use catalog::Catalog;
+pub use dc::{DataComponent, DcConfig, PrepareInfo, WriteIntent};
+pub use dpt::{Dpt, DptEntry};
+pub use recovery::{dc_recover, find_recovery_window, smo_redo, DcRecoveryOutcome};
+pub use trackers::{BwTracker, DeltaTracker};

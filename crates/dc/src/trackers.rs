@@ -1,0 +1,225 @@
+//! Normal-execution monitoring: the Δ-log and BW-log trackers.
+//!
+//! Both consume the buffer pool's [`CacheEvent`] stream. The BW tracker
+//! (§3.3) watches only flush completions; the Δ tracker (§4.1) additionally
+//! watches dirty transitions, because a DPT built *without* PID-bearing
+//! update records (the logical setting) must learn dirtied pages from the
+//! DC itself — "recovery correctness requires that all dirtied pages be
+//! captured in DirtySet".
+
+use lr_buffer::CacheEvent;
+use lr_common::{Lsn, PageId};
+use lr_wal::DeltaRecord;
+
+/// Accumulates the Δ-log record fields between emissions.
+#[derive(Debug, Default)]
+pub struct DeltaTracker {
+    dirty_set: Vec<PageId>,
+    dirty_lsns: Vec<Lsn>,
+    written_set: Vec<PageId>,
+    fw_lsn: Lsn,
+    first_dirty: Option<u32>,
+    /// Capture per-dirtying LSNs (Appendix D.1 "perfect DPT" variant).
+    capture_dirty_lsns: bool,
+}
+
+impl DeltaTracker {
+    pub fn new(capture_dirty_lsns: bool) -> DeltaTracker {
+        DeltaTracker { capture_dirty_lsns, ..DeltaTracker::default() }
+    }
+
+    /// Feed one cache event.
+    pub fn observe(&mut self, ev: &CacheEvent) {
+        match ev {
+            CacheEvent::Dirtied { pid, lsn } => {
+                if !self.fw_lsn.is_null() && self.first_dirty.is_none() {
+                    self.first_dirty = Some(self.dirty_set.len() as u32);
+                }
+                self.dirty_set.push(*pid);
+                if self.capture_dirty_lsns {
+                    self.dirty_lsns.push(*lsn);
+                }
+            }
+            CacheEvent::Flushed { pid, elsn, .. } => {
+                if self.fw_lsn.is_null() {
+                    self.fw_lsn = *elsn;
+                }
+                self.written_set.push(*pid);
+            }
+            CacheEvent::EoslDemanded { .. } => {}
+        }
+    }
+
+    /// Pages dirtied so far in the open interval.
+    pub fn dirty_len(&self) -> usize {
+        self.dirty_set.len()
+    }
+
+    /// Pages flushed so far in the open interval.
+    pub fn written_len(&self) -> usize {
+        self.written_set.len()
+    }
+
+    /// Anything to report?
+    pub fn is_empty(&self) -> bool {
+        self.dirty_set.is_empty() && self.written_set.is_empty()
+    }
+
+    /// Close the interval: produce the Δ-log record (with `TC-LSN = elsn`,
+    /// the latest EOSL value) and reset for the next interval.
+    pub fn emit(&mut self, elsn: Lsn) -> DeltaRecord {
+        let first_dirty = self.first_dirty.take().unwrap_or(self.dirty_set.len() as u32);
+        let rec = DeltaRecord {
+            dirty_set: std::mem::take(&mut self.dirty_set),
+            dirty_lsns: std::mem::take(&mut self.dirty_lsns),
+            written_set: std::mem::take(&mut self.written_set),
+            fw_lsn: std::mem::replace(&mut self.fw_lsn, Lsn::NULL),
+            first_dirty,
+            tc_lsn: elsn,
+        };
+        debug_assert!(rec.dirty_lsns.is_empty() || rec.dirty_lsns.len() == rec.dirty_set.len());
+        rec
+    }
+
+    /// Crash: in-flight monitoring state is volatile and simply vanishes —
+    /// this is what creates the paper's "tail of the log".
+    pub fn crash(&mut self) {
+        *self = DeltaTracker::new(self.capture_dirty_lsns);
+    }
+}
+
+/// Accumulates the BW-log record fields (SQL Server baseline, §3.3).
+#[derive(Debug, Default)]
+pub struct BwTracker {
+    written_set: Vec<PageId>,
+    fw_lsn: Lsn,
+}
+
+impl BwTracker {
+    pub fn new() -> BwTracker {
+        BwTracker::default()
+    }
+
+    pub fn observe(&mut self, ev: &CacheEvent) {
+        if let CacheEvent::Flushed { pid, elsn, .. } = ev {
+            if self.fw_lsn.is_null() {
+                self.fw_lsn = *elsn;
+            }
+            self.written_set.push(*pid);
+        }
+    }
+
+    pub fn written_len(&self) -> usize {
+        self.written_set.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.written_set.is_empty()
+    }
+
+    /// Close the interval: produce `(WrittenSet, FW-LSN)` and reset.
+    pub fn emit(&mut self) -> (Vec<PageId>, Lsn) {
+        (std::mem::take(&mut self.written_set), std::mem::replace(&mut self.fw_lsn, Lsn::NULL))
+    }
+
+    pub fn crash(&mut self) {
+        *self = BwTracker::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dirt(pid: u64, lsn: u64) -> CacheEvent {
+        CacheEvent::Dirtied { pid: PageId(pid), lsn: Lsn(lsn) }
+    }
+
+    fn flush(pid: u64, elsn: u64) -> CacheEvent {
+        CacheEvent::Flushed { pid: PageId(pid), plsn: Lsn(elsn), elsn: Lsn(elsn) }
+    }
+
+    #[test]
+    fn delta_records_dirty_order_and_first_dirty() {
+        let mut t = DeltaTracker::new(false);
+        t.observe(&dirt(1, 10));
+        t.observe(&dirt(2, 20));
+        t.observe(&flush(1, 25)); // first write: FW-LSN = 25
+        t.observe(&dirt(3, 30)); // first dirty after first write: index 2
+        t.observe(&dirt(1, 40)); // page 1 re-dirtied after its flush
+        let rec = t.emit(Lsn(50));
+        assert_eq!(rec.dirty_set, vec![PageId(1), PageId(2), PageId(3), PageId(1)]);
+        assert_eq!(rec.written_set, vec![PageId(1)]);
+        assert_eq!(rec.fw_lsn, Lsn(25));
+        assert_eq!(rec.first_dirty, 2);
+        assert_eq!(rec.tc_lsn, Lsn(50));
+        assert!(rec.dirty_lsns.is_empty());
+    }
+
+    #[test]
+    fn delta_without_flush_marks_all_before() {
+        let mut t = DeltaTracker::new(false);
+        t.observe(&dirt(1, 10));
+        t.observe(&dirt(2, 20));
+        let rec = t.emit(Lsn(30));
+        assert_eq!(rec.fw_lsn, Lsn::NULL);
+        assert_eq!(rec.first_dirty, 2, "no first-write: everything 'before'");
+    }
+
+    #[test]
+    fn delta_with_flush_but_no_later_dirty() {
+        let mut t = DeltaTracker::new(false);
+        t.observe(&dirt(1, 10));
+        t.observe(&flush(1, 15));
+        let rec = t.emit(Lsn(20));
+        assert_eq!(rec.first_dirty, 1, "all dirties precede the first write");
+    }
+
+    #[test]
+    fn emission_resets_interval() {
+        let mut t = DeltaTracker::new(false);
+        t.observe(&dirt(1, 10));
+        t.observe(&flush(1, 12));
+        let _ = t.emit(Lsn(20));
+        assert!(t.is_empty());
+        t.observe(&dirt(2, 30));
+        let rec = t.emit(Lsn(40));
+        assert_eq!(rec.dirty_set, vec![PageId(2)]);
+        assert_eq!(rec.fw_lsn, Lsn::NULL, "FW-LSN is per-interval");
+        assert_eq!(rec.first_dirty, 1);
+    }
+
+    #[test]
+    fn perfect_mode_captures_parallel_lsns() {
+        let mut t = DeltaTracker::new(true);
+        t.observe(&dirt(1, 10));
+        t.observe(&dirt(2, 20));
+        let rec = t.emit(Lsn(30));
+        assert_eq!(rec.dirty_lsns, vec![Lsn(10), Lsn(20)]);
+    }
+
+    #[test]
+    fn bw_tracker_ignores_dirty_events() {
+        let mut t = BwTracker::new();
+        t.observe(&dirt(1, 10));
+        assert!(t.is_empty());
+        t.observe(&flush(1, 15));
+        t.observe(&flush(2, 18));
+        let (ws, fw) = t.emit();
+        assert_eq!(ws, vec![PageId(1), PageId(2)]);
+        assert_eq!(fw, Lsn(15), "FW-LSN from first flush");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn crash_loses_open_interval() {
+        let mut t = DeltaTracker::new(false);
+        t.observe(&dirt(1, 10));
+        t.crash();
+        assert!(t.is_empty());
+        let mut b = BwTracker::new();
+        b.observe(&flush(1, 10));
+        b.crash();
+        assert!(b.is_empty());
+    }
+}

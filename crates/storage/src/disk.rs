@@ -1,0 +1,92 @@
+//! The stable-storage abstraction the buffer pool runs against.
+
+use crate::page::Page;
+use lr_common::{IoStats, PageId, Result};
+
+/// How a page fetch was satisfied — the buffer pool turns this into the
+/// stall accounting that Figure 2(a)'s redo times are made of.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FetchOutcome {
+    /// Simulated microseconds the caller stalled waiting for the device.
+    pub stall_us: u64,
+    /// Whether the read was satisfied by a previously issued prefetch.
+    pub prefetched: bool,
+}
+
+/// Stable storage for pages.
+///
+/// Implementations must guarantee that [`Disk::write`] is atomic at page
+/// granularity and that a crash (modelled by dropping volatile state
+/// elsewhere) preserves every completed write — the standard stable-storage
+/// contract recovery depends on.
+pub trait Disk: Send {
+    /// Page size in bytes; uniform across the disk.
+    fn page_size(&self) -> usize;
+
+    /// Number of allocated pages (PIDs `0..num_pages` are valid).
+    fn num_pages(&self) -> u64;
+
+    /// Extend the disk by one freshly formatted-as-free page, returning its PID.
+    fn allocate(&mut self) -> PageId;
+
+    /// Synchronously read a page. If an async prefetch for this PID is
+    /// outstanding, the read completes when the prefetch does (and is not
+    /// charged a second device operation).
+    fn read(&mut self, pid: PageId) -> Result<(Page, FetchOutcome)>;
+
+    /// Write a page image to stable storage.
+    fn write(&mut self, pid: PageId, page: &Page) -> Result<()>;
+
+    /// Issue an asynchronous read-ahead for a run of pages. Contiguous PIDs
+    /// may be coalesced into block operations. Returns the number of device
+    /// operations issued. Implementations without async support may treat
+    /// this as a no-op (subsequent reads are then synchronous).
+    fn prefetch(&mut self, run: &[PageId]) -> usize;
+
+    /// Whether an async read for `pid` has been issued and not yet consumed.
+    fn is_inflight(&self, pid: PageId) -> bool;
+
+    /// Device counters since the last [`Disk::reset_stats`].
+    fn stats(&self) -> IoStats;
+
+    /// Zero the device counters (start of a measurement window).
+    fn reset_stats(&mut self);
+
+    /// Power-cycle the device model: forget in-flight operations and channel
+    /// occupancy. Stable contents are unaffected. Called on crash and at the
+    /// start of a recovery measurement.
+    fn reset_device(&mut self);
+
+    // ---- timing hooks (overridden by the simulated disk; untimed disks
+    //      keep the no-op defaults) ----
+
+    /// Enable/disable charging simulated time for operations. The paper
+    /// times recovery, not normal execution, so the engine flips this at
+    /// measurement boundaries.
+    fn set_timed(&mut self, _timed: bool) {}
+
+    /// Charge one sequential log-page read (recovery scans).
+    fn charge_log_page_read(&mut self) {}
+
+    /// Charge CPU time in simulated microseconds (per-record, per-level
+    /// costs during recovery passes).
+    fn charge_cpu(&mut self, _us: u64) {}
+
+    /// The latency model in force (zero for untimed disks).
+    fn io_model(&self) -> lr_common::IoModel {
+        lr_common::IoModel::zero()
+    }
+
+    /// Current simulated time (0 for untimed disks).
+    fn now_us(&self) -> u64 {
+        0
+    }
+
+    /// Clone this disk's *stable contents* into an independent device
+    /// driven by `clock`. Supported by the simulated disk (used by the
+    /// experiment harnesses to recover one crash image with several
+    /// methods); file-backed disks return `None`.
+    fn fork(&self, _clock: lr_common::SimClock) -> Option<Box<dyn Disk>> {
+        None
+    }
+}

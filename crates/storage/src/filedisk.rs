@@ -1,0 +1,169 @@
+//! File-backed disk.
+//!
+//! Used by durability integration tests and the replica example to prove the
+//! page format round-trips through real I/O. Untimed (the experiments all
+//! run on [`crate::SimDisk`]); prefetch is a no-op, so reads are always
+//! synchronous.
+
+use crate::disk::{Disk, FetchOutcome};
+use crate::page::{Page, PageType};
+use lr_common::{Error, IoStats, PageId, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+/// A disk stored as a flat file of fixed-size pages.
+pub struct FileDisk {
+    file: File,
+    page_size: usize,
+    num_pages: u64,
+    stats: IoStats,
+}
+
+impl FileDisk {
+    /// Create (truncating) a new file-backed disk with `initial_pages`
+    /// zero-formatted pages.
+    pub fn create(path: &Path, page_size: usize, initial_pages: u64) -> Result<FileDisk> {
+        let file =
+            OpenOptions::new().read(true).write(true).create(true).truncate(true).open(path)?;
+        let mut disk = FileDisk { file, page_size, num_pages: 0, stats: IoStats::default() };
+        for _ in 0..initial_pages {
+            disk.allocate();
+        }
+        Ok(disk)
+    }
+
+    /// Open an existing file-backed disk.
+    pub fn open(path: &Path, page_size: usize) -> Result<FileDisk> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % page_size as u64 != 0 {
+            return Err(Error::RecoveryInvariant(format!(
+                "file length {len} not a multiple of page size {page_size}"
+            )));
+        }
+        Ok(FileDisk { file, page_size, num_pages: len / page_size as u64, stats: IoStats::default() })
+    }
+
+    /// Flush file contents to the OS (durability point).
+    pub fn sync(&mut self) -> Result<()> {
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    fn offset(&self, pid: PageId) -> u64 {
+        pid.0 * self.page_size as u64
+    }
+}
+
+impl Disk for FileDisk {
+    fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    fn num_pages(&self) -> u64 {
+        self.num_pages
+    }
+
+    fn allocate(&mut self) -> PageId {
+        let pid = PageId(self.num_pages);
+        let page = Page::new(self.page_size, pid, PageType::Free);
+        self.file
+            .seek(SeekFrom::Start(self.offset(pid)))
+            .and_then(|_| self.file.write_all(page.as_bytes()))
+            .expect("extend file-backed disk");
+        self.num_pages += 1;
+        pid
+    }
+
+    fn read(&mut self, pid: PageId) -> Result<(Page, FetchOutcome)> {
+        if pid.0 >= self.num_pages {
+            return Err(Error::PageOutOfRange { pid, pages: self.num_pages });
+        }
+        let mut buf = vec![0u8; self.page_size];
+        self.file.seek(SeekFrom::Start(self.offset(pid)))?;
+        self.file.read_exact(&mut buf)?;
+        self.stats.sync_page_reads += 1;
+        let page = Page::from_bytes(buf.into_boxed_slice())?;
+        Ok((page, FetchOutcome { stall_us: 0, prefetched: false }))
+    }
+
+    fn write(&mut self, pid: PageId, page: &Page) -> Result<()> {
+        if pid.0 >= self.num_pages {
+            return Err(Error::PageOutOfRange { pid, pages: self.num_pages });
+        }
+        self.file.seek(SeekFrom::Start(self.offset(pid)))?;
+        self.file.write_all(page.as_bytes())?;
+        self.stats.page_writes += 1;
+        Ok(())
+    }
+
+    fn prefetch(&mut self, _run: &[PageId]) -> usize {
+        0
+    }
+
+    fn is_inflight(&self, _pid: PageId) -> bool {
+        false
+    }
+
+    fn stats(&self) -> IoStats {
+        self.stats.clone()
+    }
+
+    fn reset_stats(&mut self) {
+        self.stats = IoStats::default();
+    }
+
+    fn reset_device(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_common::Lsn;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("lr-filedisk-{name}-{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn create_write_reopen_read() {
+        let path = tmp("roundtrip");
+        {
+            let mut d = FileDisk::create(&path, 256, 3).unwrap();
+            let mut p = Page::new(256, PageId(1), PageType::Leaf);
+            p.insert_record(0, b"durable").unwrap();
+            p.set_plsn(Lsn(5));
+            d.write(PageId(1), &p).unwrap();
+            d.sync().unwrap();
+        }
+        {
+            let mut d = FileDisk::open(&path, 256).unwrap();
+            assert_eq!(d.num_pages(), 3);
+            let (p, _) = d.read(PageId(1)).unwrap();
+            assert_eq!(p.record(0), b"durable");
+            assert_eq!(p.plsn(), Lsn(5));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_misaligned_file() {
+        let path = tmp("misaligned");
+        std::fs::write(&path, vec![0u8; 300]).unwrap();
+        assert!(FileDisk::open(&path, 256).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let path = tmp("range");
+        let mut d = FileDisk::create(&path, 256, 1).unwrap();
+        assert!(d.read(PageId(1)).is_err());
+        assert!(d.write(PageId(1), &Page::new(256, PageId(1), PageType::Leaf)).is_err());
+        drop(d);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

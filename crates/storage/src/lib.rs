@@ -1,0 +1,22 @@
+//! # lr-storage
+//!
+//! The page substrate of the data component (DC): a slotted page format with
+//! a per-page LSN (the **pLSN** of the paper's idempotence test), a [`Disk`]
+//! abstraction, and two implementations —
+//!
+//! * [`SimDisk`]: in-memory stable storage whose reads/writes are charged to
+//!   a [`lr_common::SimClock`] through the [`lr_common::IoScheduler`] service
+//!   model. This is the substitute for the paper's real disk (DESIGN.md §2)
+//!   and the device every recovery experiment runs against.
+//! * [`FileDisk`]: a real file-backed disk used by durability tests and the
+//!   replica example, proving the formats round-trip through actual I/O.
+
+pub mod disk;
+pub mod filedisk;
+pub mod page;
+pub mod simdisk;
+
+pub use disk::{Disk, FetchOutcome};
+pub use filedisk::FileDisk;
+pub use page::{Page, PageType, PAGE_HEADER_SIZE, SLOT_SIZE};
+pub use simdisk::SimDisk;

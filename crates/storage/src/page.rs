@@ -1,0 +1,529 @@
+//! Slotted page format.
+//!
+//! Every page — B-tree leaf, internal node, or catalog metadata — shares one
+//! layout: a fixed header followed by a slot directory growing up and a
+//! record heap growing down.
+//!
+//! ```text
+//! offset 0   u8   page type                      (PageType)
+//! offset 1   u8   B-tree level (0 = leaf)
+//! offset 2   u16  slot count
+//! offset 4   u16  heap top (lowest used heap byte)
+//! offset 6   u16  garbage bytes (dead heap space, reclaimed by compaction)
+//! offset 8   u64  pLSN — LSN of the latest operation applied to this page
+//! offset 16  u64  this page's PID (self-check on read)
+//! offset 24  u64  right sibling PID (leaf chain; INVALID elsewhere)
+//! offset 32  u64  reserved (free-list link for free pages)
+//! offset 40  ...  slot directory: (u16 offset, u16 len) per slot
+//! ...             free space
+//! heap_top   ...  record heap, grows downward from the page end
+//! ```
+//!
+//! The **pLSN** is the heart of the paper's idempotence ("redo") test: an
+//! operation with `LSN <= pLSN` is already reflected in stable storage and
+//! must not be re-applied (§2.2). Both physiological and logical recovery
+//! perform exactly this comparison after locating the page.
+
+use lr_common::{Error, Lsn, PageId, Result};
+
+/// Size of the fixed page header in bytes.
+pub const PAGE_HEADER_SIZE: usize = 40;
+/// Size of one slot directory entry in bytes.
+pub const SLOT_SIZE: usize = 4;
+
+const OFF_TYPE: usize = 0;
+const OFF_LEVEL: usize = 1;
+const OFF_SLOTS: usize = 2;
+const OFF_HEAP_TOP: usize = 4;
+const OFF_GARBAGE: usize = 6;
+const OFF_PLSN: usize = 8;
+const OFF_SELF: usize = 16;
+const OFF_RIGHT: usize = 24;
+const OFF_RESERVED: usize = 32;
+
+/// What a page holds. Stored in the first header byte.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum PageType {
+    /// Unallocated / free-listed page.
+    Free = 0,
+    /// DC catalog metadata (table roots, allocator state).
+    Meta = 1,
+    /// B-tree leaf holding records.
+    Leaf = 2,
+    /// B-tree internal node holding separator/child entries.
+    Internal = 3,
+}
+
+impl PageType {
+    fn from_u8(v: u8) -> Option<PageType> {
+        match v {
+            0 => Some(PageType::Free),
+            1 => Some(PageType::Meta),
+            2 => Some(PageType::Leaf),
+            3 => Some(PageType::Internal),
+            _ => None,
+        }
+    }
+}
+
+/// An owned page image.
+///
+/// `Page` is a value type: the disk stores serialized images, the buffer
+/// pool holds one `Page` per frame, and clones are deep copies. All mutators
+/// maintain the slot/heap invariants; violation of available space returns
+/// [`Error::PageFull`] and leaves the page untouched.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Page {
+    buf: Box<[u8]>,
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("pid", &self.pid())
+            .field("type", &self.page_type())
+            .field("level", &self.level())
+            .field("slots", &self.slot_count())
+            .field("plsn", &self.plsn())
+            .field("free", &self.free_space())
+            .finish()
+    }
+}
+
+impl Page {
+    /// A freshly formatted page of `size` bytes.
+    ///
+    /// # Panics
+    /// If `size` is too small to hold the header plus one slot, or exceeds
+    /// `u16::MAX` (offsets are 16-bit).
+    pub fn new(size: usize, pid: PageId, ty: PageType) -> Page {
+        assert!(size >= PAGE_HEADER_SIZE + 64, "page size {size} too small");
+        assert!(size <= u16::MAX as usize + 1, "page size {size} exceeds u16 offsets");
+        let mut p = Page { buf: vec![0u8; size].into_boxed_slice() };
+        p.buf[OFF_TYPE] = ty as u8;
+        p.set_u16(OFF_HEAP_TOP, size as u32 as u16); // size may be 65536? no: capped above
+        p.set_u64(OFF_SELF, pid.0);
+        p.set_u64(OFF_RIGHT, PageId::INVALID.0);
+        p
+    }
+
+    /// Wrap raw bytes read from a disk. Validates the type byte; the caller
+    /// should additionally check [`Page::pid`] against the requested PID.
+    pub fn from_bytes(buf: Box<[u8]>) -> Result<Page> {
+        if buf.len() < PAGE_HEADER_SIZE + 64 {
+            return Err(Error::RecoveryInvariant(format!(
+                "page image too small: {} bytes",
+                buf.len()
+            )));
+        }
+        if PageType::from_u8(buf[OFF_TYPE]).is_none() {
+            return Err(Error::RecoveryInvariant(format!(
+                "invalid page type byte {}",
+                buf[OFF_TYPE]
+            )));
+        }
+        Ok(Page { buf })
+    }
+
+    /// Raw page image.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Page size in bytes.
+    pub fn size(&self) -> usize {
+        self.buf.len()
+    }
+
+    // ------------------------------------------------------------------
+    // header accessors
+    // ------------------------------------------------------------------
+
+    fn u16_at(&self, off: usize) -> u16 {
+        u16::from_le_bytes([self.buf[off], self.buf[off + 1]])
+    }
+
+    fn set_u16(&mut self, off: usize, v: u16) {
+        self.buf[off..off + 2].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64_at(&self, off: usize) -> u64 {
+        u64::from_le_bytes(self.buf[off..off + 8].try_into().expect("8 bytes"))
+    }
+
+    fn set_u64(&mut self, off: usize, v: u64) {
+        self.buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn page_type(&self) -> PageType {
+        PageType::from_u8(self.buf[OFF_TYPE]).expect("validated on construction")
+    }
+
+    pub fn set_page_type(&mut self, ty: PageType) {
+        self.buf[OFF_TYPE] = ty as u8;
+    }
+
+    /// B-tree level: 0 for leaves, increasing toward the root.
+    pub fn level(&self) -> u8 {
+        self.buf[OFF_LEVEL]
+    }
+
+    pub fn set_level(&mut self, level: u8) {
+        self.buf[OFF_LEVEL] = level;
+    }
+
+    pub fn slot_count(&self) -> usize {
+        self.u16_at(OFF_SLOTS) as usize
+    }
+
+    fn set_slot_count(&mut self, n: usize) {
+        self.set_u16(OFF_SLOTS, n as u16);
+    }
+
+    fn heap_top(&self) -> usize {
+        let v = self.u16_at(OFF_HEAP_TOP) as usize;
+        // heap_top == 0 encodes "page end" for 65536-byte pages; we cap page
+        // size at 65536 in new(), where size as u16 wraps to 0.
+        if v == 0 && self.buf.len() == (u16::MAX as usize + 1) {
+            self.buf.len()
+        } else {
+            v
+        }
+    }
+
+    fn set_heap_top(&mut self, v: usize) {
+        self.set_u16(OFF_HEAP_TOP, v as u16);
+    }
+
+    fn garbage(&self) -> usize {
+        self.u16_at(OFF_GARBAGE) as usize
+    }
+
+    fn set_garbage(&mut self, v: usize) {
+        self.set_u16(OFF_GARBAGE, v as u16);
+    }
+
+    /// The page LSN: latest operation whose effect this image contains.
+    pub fn plsn(&self) -> Lsn {
+        Lsn(self.u64_at(OFF_PLSN))
+    }
+
+    pub fn set_plsn(&mut self, lsn: Lsn) {
+        self.set_u64(OFF_PLSN, lsn.0);
+    }
+
+    /// The page's own PID (stamped at format time, verified on fetch).
+    pub fn pid(&self) -> PageId {
+        PageId(self.u64_at(OFF_SELF))
+    }
+
+    pub fn set_pid(&mut self, pid: PageId) {
+        self.set_u64(OFF_SELF, pid.0);
+    }
+
+    /// Right sibling in the leaf chain ([`PageId::INVALID`] if none).
+    pub fn right_sibling(&self) -> PageId {
+        PageId(self.u64_at(OFF_RIGHT))
+    }
+
+    pub fn set_right_sibling(&mut self, pid: PageId) {
+        self.set_u64(OFF_RIGHT, pid.0);
+    }
+
+    /// Reserved header word (free-list link for free pages).
+    pub fn reserved(&self) -> u64 {
+        self.u64_at(OFF_RESERVED)
+    }
+
+    pub fn set_reserved(&mut self, v: u64) {
+        self.set_u64(OFF_RESERVED, v);
+    }
+
+    // ------------------------------------------------------------------
+    // slot directory
+    // ------------------------------------------------------------------
+
+    fn slot_dir_end(&self) -> usize {
+        PAGE_HEADER_SIZE + self.slot_count() * SLOT_SIZE
+    }
+
+    fn slot_entry(&self, slot: usize) -> (usize, usize) {
+        let off = PAGE_HEADER_SIZE + slot * SLOT_SIZE;
+        (self.u16_at(off) as usize, self.u16_at(off + 2) as usize)
+    }
+
+    fn set_slot_entry(&mut self, slot: usize, rec_off: usize, rec_len: usize) {
+        let off = PAGE_HEADER_SIZE + slot * SLOT_SIZE;
+        self.set_u16(off, rec_off as u16);
+        self.set_u16(off + 2, rec_len as u16);
+    }
+
+    /// Contiguous free bytes between the slot directory and the heap.
+    pub fn contiguous_free(&self) -> usize {
+        self.heap_top().saturating_sub(self.slot_dir_end())
+    }
+
+    /// Total reclaimable free bytes (contiguous + garbage).
+    pub fn free_space(&self) -> usize {
+        self.contiguous_free() + self.garbage()
+    }
+
+    /// Record bytes at `slot`.
+    ///
+    /// # Panics
+    /// If `slot >= slot_count` — an out-of-range slot is a logic error in
+    /// the B-tree layer, not a runtime condition.
+    pub fn record(&self, slot: usize) -> &[u8] {
+        assert!(slot < self.slot_count(), "slot {slot} out of range");
+        let (off, len) = self.slot_entry(slot);
+        &self.buf[off..off + len]
+    }
+
+    /// Insert `rec` at slot position `slot` (shifting later slots right).
+    pub fn insert_record(&mut self, slot: usize, rec: &[u8]) -> Result<()> {
+        let n = self.slot_count();
+        assert!(slot <= n, "insert position {slot} beyond {n} slots");
+        let needed = SLOT_SIZE + rec.len();
+        if self.contiguous_free() < needed {
+            if self.free_space() < needed {
+                return Err(Error::PageFull {
+                    pid: self.pid(),
+                    needed,
+                    free: self.free_space(),
+                });
+            }
+            self.compact();
+        }
+        // Carve heap space.
+        let new_top = self.heap_top() - rec.len();
+        self.buf[new_top..new_top + rec.len()].copy_from_slice(rec);
+        self.set_heap_top(new_top);
+        // Open the slot directory gap.
+        let start = PAGE_HEADER_SIZE + slot * SLOT_SIZE;
+        let end = PAGE_HEADER_SIZE + n * SLOT_SIZE;
+        self.buf.copy_within(start..end, start + SLOT_SIZE);
+        self.set_slot_count(n + 1);
+        self.set_slot_entry(slot, new_top, rec.len());
+        Ok(())
+    }
+
+    /// Remove the record at `slot` (shifting later slots left).
+    pub fn remove_record(&mut self, slot: usize) {
+        let n = self.slot_count();
+        assert!(slot < n, "remove slot {slot} out of range");
+        let (_, len) = self.slot_entry(slot);
+        let start = PAGE_HEADER_SIZE + (slot + 1) * SLOT_SIZE;
+        let end = PAGE_HEADER_SIZE + n * SLOT_SIZE;
+        self.buf.copy_within(start..end, start - SLOT_SIZE);
+        self.set_slot_count(n - 1);
+        self.set_garbage(self.garbage() + len);
+    }
+
+    /// Replace the record at `slot` with `rec`.
+    ///
+    /// Same-length updates are done in place; otherwise the old space is
+    /// garbage-collected and new heap space carved (compacting if needed).
+    pub fn update_record(&mut self, slot: usize, rec: &[u8]) -> Result<()> {
+        assert!(slot < self.slot_count(), "update slot {slot} out of range");
+        let (off, len) = self.slot_entry(slot);
+        if rec.len() == len {
+            self.buf[off..off + len].copy_from_slice(rec);
+            return Ok(());
+        }
+        // Account the old record as garbage, then carve fresh space.
+        let garbage_after = self.garbage() + len;
+        if self.contiguous_free() < rec.len() {
+            if self.contiguous_free() + garbage_after < rec.len() {
+                return Err(Error::PageFull {
+                    pid: self.pid(),
+                    needed: rec.len(),
+                    free: self.contiguous_free() + garbage_after,
+                });
+            }
+            self.set_garbage(garbage_after);
+            // Temporarily zero the slot length so compaction drops the old
+            // record bytes, then restore below.
+            self.set_slot_entry(slot, 0, 0);
+            self.compact();
+            let new_top = self.heap_top() - rec.len();
+            self.buf[new_top..new_top + rec.len()].copy_from_slice(rec);
+            self.set_heap_top(new_top);
+            self.set_slot_entry(slot, new_top, rec.len());
+            return Ok(());
+        }
+        self.set_garbage(garbage_after);
+        let new_top = self.heap_top() - rec.len();
+        self.buf[new_top..new_top + rec.len()].copy_from_slice(rec);
+        self.set_heap_top(new_top);
+        self.set_slot_entry(slot, new_top, rec.len());
+        Ok(())
+    }
+
+    /// Rewrite the record heap tightly, reclaiming garbage.
+    pub fn compact(&mut self) {
+        let n = self.slot_count();
+        let size = self.size();
+        // Copy live records out, longest-lived layout: rebuild from page end.
+        let mut live: Vec<(usize, Vec<u8>)> = Vec::with_capacity(n);
+        for slot in 0..n {
+            let (off, len) = self.slot_entry(slot);
+            if len > 0 {
+                live.push((slot, self.buf[off..off + len].to_vec()));
+            }
+        }
+        let mut top = size;
+        for (slot, rec) in &live {
+            top -= rec.len();
+            self.buf[top..top + rec.len()].copy_from_slice(rec);
+            self.set_slot_entry(*slot, top, rec.len());
+        }
+        self.set_heap_top(top);
+        self.set_garbage(0);
+    }
+
+    /// All records in slot order (testing / verification helper).
+    pub fn records(&self) -> Vec<Vec<u8>> {
+        (0..self.slot_count()).map(|s| self.record(s).to_vec()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page() -> Page {
+        Page::new(512, PageId(7), PageType::Leaf)
+    }
+
+    #[test]
+    fn fresh_page_is_empty() {
+        let p = page();
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.pid(), PageId(7));
+        assert_eq!(p.page_type(), PageType::Leaf);
+        assert_eq!(p.plsn(), Lsn::NULL);
+        assert_eq!(p.right_sibling(), PageId::INVALID);
+        assert_eq!(p.free_space(), 512 - PAGE_HEADER_SIZE);
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut p = page();
+        p.insert_record(0, b"bbb").unwrap();
+        p.insert_record(0, b"aaaa").unwrap();
+        p.insert_record(2, b"c").unwrap();
+        assert_eq!(p.record(0), b"aaaa");
+        assert_eq!(p.record(1), b"bbb");
+        assert_eq!(p.record(2), b"c");
+    }
+
+    #[test]
+    fn remove_shifts_slots() {
+        let mut p = page();
+        for (i, r) in [b"a".as_ref(), b"bb", b"ccc"].iter().enumerate() {
+            p.insert_record(i, r).unwrap();
+        }
+        p.remove_record(1);
+        assert_eq!(p.slot_count(), 2);
+        assert_eq!(p.record(0), b"a");
+        assert_eq!(p.record(1), b"ccc");
+        assert_eq!(p.free_space(), 512 - PAGE_HEADER_SIZE - 2 * SLOT_SIZE - 4);
+    }
+
+    #[test]
+    fn update_in_place_and_resizing() {
+        let mut p = page();
+        p.insert_record(0, b"xxxx").unwrap();
+        p.update_record(0, b"yyyy").unwrap(); // same length
+        assert_eq!(p.record(0), b"yyyy");
+        p.update_record(0, b"longer-record").unwrap();
+        assert_eq!(p.record(0), b"longer-record");
+        p.update_record(0, b"s").unwrap();
+        assert_eq!(p.record(0), b"s");
+    }
+
+    #[test]
+    fn page_full_reported() {
+        let mut p = page();
+        let big = vec![0xAB; 400];
+        p.insert_record(0, &big).unwrap();
+        let err = p.insert_record(1, &big).unwrap_err();
+        assert!(matches!(err, Error::PageFull { .. }));
+        // Page unchanged by the failed insert.
+        assert_eq!(p.slot_count(), 1);
+        assert_eq!(p.record(0), &big[..]);
+    }
+
+    #[test]
+    fn compaction_reclaims_garbage() {
+        let mut p = page();
+        // Fill with 8 records of 50 bytes, remove odd ones, then insert a
+        // record that only fits after compaction.
+        for i in 0..8 {
+            p.insert_record(i, &[i as u8; 50]).unwrap();
+        }
+        for slot in (0..8).rev().filter(|s| s % 2 == 1) {
+            p.remove_record(slot);
+        }
+        let free = p.free_space();
+        assert!(free >= 200, "garbage counted as free");
+        let rec = vec![0xFF; free - SLOT_SIZE];
+        p.insert_record(4, &rec).unwrap();
+        assert_eq!(p.record(4), &rec[..]);
+        // Survivors intact.
+        for (slot, i) in [0usize, 2, 4, 6].iter().enumerate().map(|(s, i)| (s, *i)) {
+            if slot < 4 {
+                assert_eq!(p.record(slot), &[i as u8; 50]);
+            }
+        }
+    }
+
+    #[test]
+    fn update_triggering_compaction_preserves_others() {
+        let mut p = page();
+        p.insert_record(0, &[1u8; 100]).unwrap();
+        p.insert_record(1, &[2u8; 100]).unwrap();
+        p.insert_record(2, &[3u8; 100]).unwrap();
+        // Grow slot 1 repeatedly until compaction must kick in.
+        p.update_record(1, &[9u8; 150]).unwrap();
+        let free = p.free_space();
+        p.update_record(1, &vec![8u8; 150 + free]).unwrap();
+        assert_eq!(p.record(0), &[1u8; 100]);
+        assert_eq!(p.record(2), &[3u8; 100]);
+        assert_eq!(p.record(1).len(), 150 + free);
+    }
+
+    #[test]
+    fn plsn_and_header_fields_persist_through_ops() {
+        let mut p = page();
+        p.set_plsn(Lsn(1234));
+        p.set_level(2);
+        p.set_right_sibling(PageId(55));
+        p.insert_record(0, b"data").unwrap();
+        p.compact();
+        assert_eq!(p.plsn(), Lsn(1234));
+        assert_eq!(p.level(), 2);
+        assert_eq!(p.right_sibling(), PageId(55));
+        assert_eq!(p.record(0), b"data");
+    }
+
+    #[test]
+    fn from_bytes_rejects_garbage() {
+        let bad = vec![0xFFu8; 512].into_boxed_slice();
+        assert!(Page::from_bytes(bad).is_err());
+        let tiny = vec![0u8; 16].into_boxed_slice();
+        assert!(Page::from_bytes(tiny).is_err());
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut p = page();
+        p.insert_record(0, b"persist-me").unwrap();
+        p.set_plsn(Lsn(77));
+        let clone = Page::from_bytes(p.as_bytes().to_vec().into_boxed_slice()).unwrap();
+        assert_eq!(clone.record(0), b"persist-me");
+        assert_eq!(clone.plsn(), Lsn(77));
+        assert_eq!(clone, p);
+    }
+}

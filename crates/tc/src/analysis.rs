@@ -1,0 +1,131 @@
+//! Loser detection: which transactions were in flight at the crash?
+//!
+//! Seeded by the active-transaction snapshot in the `eCkpt` record, then
+//! updated by every transaction record in the scan window. The result
+//! drives the logical undo pass — identical for every recovery method
+//! (§2.1), which is why the paper's comparison can focus on redo.
+
+use lr_common::{Lsn, TxnId};
+use lr_wal::{LogPayload, LogRecord};
+use std::collections::BTreeMap;
+
+/// Result of transaction analysis.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TxnAnalysis {
+    /// Transactions with no Commit/Abort on the stable log, with the LSN of
+    /// their latest record (head of the undo chain).
+    pub losers: BTreeMap<TxnId, Lsn>,
+    /// Transactions seen to commit within the window.
+    pub committed: u64,
+    /// Transactions seen to abort (rollback completed) within the window.
+    pub aborted: u64,
+}
+
+/// Analyze the scan window. `ckpt_active` is the `eCkpt` snapshot of
+/// transactions active at checkpoint completion (empty if the scan starts
+/// at the log origin).
+pub fn analyze_txns(window: &[LogRecord], ckpt_active: &[(TxnId, Lsn)]) -> TxnAnalysis {
+    let mut out = TxnAnalysis::default();
+    for (txn, last) in ckpt_active {
+        out.losers.insert(*txn, *last);
+    }
+    for rec in window {
+        match &rec.payload {
+            LogPayload::TxnBegin { txn } => {
+                out.losers.insert(*txn, rec.lsn);
+            }
+            LogPayload::TxnCommit { txn } => {
+                out.losers.remove(txn);
+                out.committed += 1;
+            }
+            LogPayload::TxnAbort { txn } => {
+                out.losers.remove(txn);
+                out.aborted += 1;
+            }
+            LogPayload::Update { txn, .. }
+            | LogPayload::Insert { txn, .. }
+            | LogPayload::Delete { txn, .. }
+            | LogPayload::Clr { txn, .. } => {
+                // A CLR also advances the chain head: undo after a crash
+                // during rollback resumes from the CLR's undo_next.
+                out.losers.insert(*txn, rec.lsn);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_common::{PageId, TableId};
+
+    fn rec(lsn: u64, payload: LogPayload) -> LogRecord {
+        LogRecord { lsn: Lsn(lsn), payload }
+    }
+
+    fn upd(lsn: u64, txn: u64) -> LogRecord {
+        rec(
+            lsn,
+            LogPayload::Update {
+                txn: TxnId(txn),
+                table: TableId(1),
+                key: 1,
+                pid: PageId(1),
+                prev_lsn: Lsn::NULL,
+                before: vec![],
+                after: vec![],
+            },
+        )
+    }
+
+    #[test]
+    fn committed_txns_are_not_losers() {
+        let window = vec![
+            rec(10, LogPayload::TxnBegin { txn: TxnId(1) }),
+            upd(20, 1),
+            rec(30, LogPayload::TxnCommit { txn: TxnId(1) }),
+            rec(40, LogPayload::TxnBegin { txn: TxnId(2) }),
+            upd(50, 2),
+        ];
+        let a = analyze_txns(&window, &[]);
+        assert_eq!(a.committed, 1);
+        assert_eq!(a.losers.len(), 1);
+        assert_eq!(a.losers[&TxnId(2)], Lsn(50), "chain head is the last op");
+    }
+
+    #[test]
+    fn checkpoint_snapshot_seeds_losers() {
+        // Txn 7 began before the scan window; only the snapshot knows it.
+        let window = vec![upd(100, 7)];
+        let a = analyze_txns(&window, &[(TxnId(7), Lsn(60))]);
+        assert_eq!(a.losers[&TxnId(7)], Lsn(100), "window op advances the head");
+        let b = analyze_txns(&[], &[(TxnId(7), Lsn(60))]);
+        assert_eq!(b.losers[&TxnId(7)], Lsn(60), "snapshot LSN without window ops");
+    }
+
+    #[test]
+    fn snapshot_txn_committing_in_window_is_cleared() {
+        let window = vec![rec(100, LogPayload::TxnCommit { txn: TxnId(7) })];
+        let a = analyze_txns(&window, &[(TxnId(7), Lsn(60))]);
+        assert!(a.losers.is_empty());
+    }
+
+    #[test]
+    fn clr_advances_chain_head() {
+        let window = vec![rec(
+            200,
+            LogPayload::Clr {
+                txn: TxnId(3),
+                table: TableId(1),
+                key: 9,
+                pid: PageId(4),
+                undo_next: Lsn(120),
+                action: lr_wal::ClrAction::RemoveKey,
+            },
+        )];
+        let a = analyze_txns(&window, &[(TxnId(3), Lsn(150))]);
+        assert_eq!(a.losers[&TxnId(3)], Lsn(200));
+    }
+}

@@ -1,0 +1,118 @@
+//! Exclusive key locks.
+//!
+//! The Deuteronomy line's concurrency-control companion (Lomet & Mokbel,
+//! "Locking key ranges with unbundled transaction services") covers range
+//! locking without location information; this reproduction needs only
+//! single-key exclusivity — the evaluated workloads are key-equality
+//! updates (§5.2) — but keeps the structure (lock table keyed by logical
+//! name, never by page) faithful to the architecture.
+
+use lr_common::{Error, Key, Result, TableId, TxnId};
+use std::collections::HashMap;
+
+/// A no-wait exclusive lock table over `(table, key)`.
+///
+/// Conflicts return [`Error::LockConflict`] immediately; the single-stream
+/// experimental driver never conflicts, and tests exercise the multi-txn
+/// semantics directly.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    owners: HashMap<(TableId, Key), TxnId>,
+    held: HashMap<TxnId, Vec<(TableId, Key)>>,
+}
+
+impl LockManager {
+    pub fn new() -> LockManager {
+        LockManager::default()
+    }
+
+    /// Acquire (or re-enter) the exclusive lock on `(table, key)`.
+    pub fn acquire(&mut self, txn: TxnId, table: TableId, key: Key) -> Result<()> {
+        match self.owners.get(&(table, key)) {
+            Some(owner) if *owner == txn => Ok(()), // re-entrant
+            Some(_) => Err(Error::LockConflict { txn, table, key }),
+            None => {
+                self.owners.insert((table, key), txn);
+                self.held.entry(txn).or_default().push((table, key));
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether `txn` holds the lock on `(table, key)`.
+    pub fn holds(&self, txn: TxnId, table: TableId, key: Key) -> bool {
+        self.owners.get(&(table, key)) == Some(&txn)
+    }
+
+    /// Release every lock `txn` holds (commit/abort).
+    pub fn release_all(&mut self, txn: TxnId) {
+        if let Some(keys) = self.held.remove(&txn) {
+            for k in keys {
+                // Only remove if still owned by this txn (paranoia against
+                // double-release).
+                if self.owners.get(&k) == Some(&txn) {
+                    self.owners.remove(&k);
+                }
+            }
+        }
+    }
+
+    /// Number of held locks (tests / leak detection).
+    pub fn lock_count(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Crash: the lock table is volatile.
+    pub fn crash(&mut self) {
+        *self = LockManager::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: TableId = TableId(1);
+
+    #[test]
+    fn exclusive_and_reentrant() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), T, 5).unwrap();
+        lm.acquire(TxnId(1), T, 5).unwrap(); // re-entrant
+        assert!(matches!(
+            lm.acquire(TxnId(2), T, 5),
+            Err(Error::LockConflict { txn: TxnId(2), .. })
+        ));
+        assert!(lm.holds(TxnId(1), T, 5));
+        assert!(!lm.holds(TxnId(2), T, 5));
+    }
+
+    #[test]
+    fn different_keys_dont_conflict() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), T, 5).unwrap();
+        lm.acquire(TxnId(2), T, 6).unwrap();
+        lm.acquire(TxnId(2), TableId(2), 5).unwrap(); // same key, other table
+        assert_eq!(lm.lock_count(), 3);
+    }
+
+    #[test]
+    fn release_frees_for_others() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), T, 5).unwrap();
+        lm.acquire(TxnId(1), T, 6).unwrap();
+        lm.release_all(TxnId(1));
+        assert_eq!(lm.lock_count(), 0);
+        lm.acquire(TxnId(2), T, 5).unwrap();
+        lm.acquire(TxnId(2), T, 6).unwrap();
+    }
+
+    #[test]
+    fn crash_clears_everything() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), T, 1).unwrap();
+        lm.crash();
+        assert_eq!(lm.lock_count(), 0);
+        lm.acquire(TxnId(9), T, 1).unwrap();
+    }
+}

@@ -1,0 +1,175 @@
+//! Transaction table.
+
+use lr_common::{Error, Lsn, Result, TxnId};
+use std::collections::HashMap;
+
+/// Lifecycle state of a transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TxnState {
+    Active,
+    Committed,
+    Aborted,
+}
+
+/// Book-keeping per transaction.
+#[derive(Clone, Debug)]
+pub struct TxnInfo {
+    pub state: TxnState,
+    /// Latest log record of this transaction (head of its undo chain).
+    pub last_lsn: Lsn,
+    /// Data operations logged.
+    pub ops: u64,
+}
+
+/// The TC's transaction table.
+#[derive(Debug, Default)]
+pub struct TxnTable {
+    txns: HashMap<TxnId, TxnInfo>,
+    next_id: u64,
+}
+
+impl TxnTable {
+    pub fn new() -> TxnTable {
+        TxnTable { txns: HashMap::new(), next_id: 1 }
+    }
+
+    /// Allocate a fresh transaction id and register it as active.
+    pub fn begin(&mut self, begin_lsn: Lsn) -> TxnId {
+        let id = TxnId(self.next_id);
+        self.next_id += 1;
+        self.txns.insert(id, TxnInfo { state: TxnState::Active, last_lsn: begin_lsn, ops: 0 });
+        id
+    }
+
+    pub fn get(&self, txn: TxnId) -> Result<&TxnInfo> {
+        self.txns.get(&txn).ok_or(Error::UnknownTxn(txn))
+    }
+
+    /// Record a logged operation for `txn`; returns the previous last LSN
+    /// (the record's `prev_lsn` chain pointer).
+    pub fn note_op(&mut self, txn: TxnId, lsn: Lsn) -> Result<Lsn> {
+        let info = self.txns.get_mut(&txn).ok_or(Error::UnknownTxn(txn))?;
+        if info.state != TxnState::Active {
+            return Err(Error::TxnNotActive(txn));
+        }
+        let prev = info.last_lsn;
+        info.last_lsn = lsn;
+        info.ops += 1;
+        Ok(prev)
+    }
+
+    pub fn set_state(&mut self, txn: TxnId, state: TxnState) -> Result<()> {
+        let info = self.txns.get_mut(&txn).ok_or(Error::UnknownTxn(txn))?;
+        info.state = state;
+        Ok(())
+    }
+
+    pub fn is_active(&self, txn: TxnId) -> bool {
+        matches!(self.txns.get(&txn), Some(TxnInfo { state: TxnState::Active, .. }))
+    }
+
+    /// Active transactions with their last LSNs (checkpoint snapshot).
+    pub fn active_snapshot(&self) -> Vec<(TxnId, Lsn)> {
+        let mut v: Vec<(TxnId, Lsn)> = self
+            .txns
+            .iter()
+            .filter(|(_, i)| i.state == TxnState::Active)
+            .map(|(t, i)| (*t, i.last_lsn))
+            .collect();
+        v.sort_unstable_by_key(|(t, _)| *t);
+        v
+    }
+
+    /// Reset a transaction's undo-chain head (partial rollback: after
+    /// rolling back to a savepoint, the chain bypasses the undone suffix).
+    pub fn reset_chain(&mut self, txn: TxnId, lsn: Lsn) -> Result<()> {
+        let info = self.txns.get_mut(&txn).ok_or(Error::UnknownTxn(txn))?;
+        if info.state != TxnState::Active {
+            return Err(Error::TxnNotActive(txn));
+        }
+        info.last_lsn = lsn;
+        Ok(())
+    }
+
+    /// Re-register a transaction discovered on the log during recovery
+    /// (a loser about to be undone). Keeps id allocation ahead of it.
+    pub fn adopt(&mut self, txn: TxnId, last_lsn: Lsn) {
+        self.txns.insert(txn, TxnInfo { state: TxnState::Active, last_lsn, ops: 0 });
+        self.next_id = self.next_id.max(txn.0 + 1);
+    }
+
+    /// Forget completed transactions (bounded memory in long runs).
+    pub fn gc(&mut self) {
+        self.txns.retain(|_, i| i.state == TxnState::Active);
+    }
+
+    /// Crash: the in-memory table vanishes.
+    pub fn crash(&mut self) {
+        let next = self.next_id;
+        *self = TxnTable::new();
+        // Keep issuing fresh ids after recovery so ids never collide with
+        // pre-crash transactions still on the log.
+        self.next_id = next;
+    }
+
+    pub fn len(&self) -> usize {
+        self.txns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_chains() {
+        let mut tt = TxnTable::new();
+        let t1 = tt.begin(Lsn(10));
+        let t2 = tt.begin(Lsn(12));
+        assert_ne!(t1, t2);
+        assert_eq!(tt.note_op(t1, Lsn(20)).unwrap(), Lsn(10), "prev = begin LSN");
+        assert_eq!(tt.note_op(t1, Lsn(30)).unwrap(), Lsn(20), "chain grows");
+        tt.set_state(t1, TxnState::Committed).unwrap();
+        assert!(matches!(tt.note_op(t1, Lsn(40)), Err(Error::TxnNotActive(_))));
+        assert!(tt.is_active(t2));
+        assert!(!tt.is_active(t1));
+    }
+
+    #[test]
+    fn active_snapshot_is_sorted_and_filtered() {
+        let mut tt = TxnTable::new();
+        let a = tt.begin(Lsn(1));
+        let b = tt.begin(Lsn(2));
+        let c = tt.begin(Lsn(3));
+        tt.set_state(b, TxnState::Committed).unwrap();
+        tt.note_op(c, Lsn(9)).unwrap();
+        let snap = tt.active_snapshot();
+        assert_eq!(snap, vec![(a, Lsn(1)), (c, Lsn(9))]);
+    }
+
+    #[test]
+    fn gc_retains_only_active() {
+        let mut tt = TxnTable::new();
+        let a = tt.begin(Lsn(1));
+        let b = tt.begin(Lsn(2));
+        tt.set_state(a, TxnState::Committed).unwrap();
+        tt.gc();
+        assert_eq!(tt.len(), 1);
+        assert!(tt.is_active(b));
+        assert!(matches!(tt.get(a), Err(Error::UnknownTxn(_))));
+    }
+
+    #[test]
+    fn crash_preserves_id_monotonicity() {
+        let mut tt = TxnTable::new();
+        let t1 = tt.begin(Lsn(1));
+        tt.crash();
+        let t2 = tt.begin(Lsn(2));
+        assert!(t2.0 > t1.0, "post-crash ids keep increasing");
+        assert_eq!(tt.len(), 1);
+    }
+}

@@ -1,0 +1,290 @@
+//! Logical undo — the rollback machinery shared by abort and recovery.
+//!
+//! Undo is *logical* in every recovery scheme the paper discusses (ARIES
+//! included): the record to compensate may have moved pages since it was
+//! logged, so undo re-locates it by key through the B-tree, writes a
+//! redo-only CLR, and applies the compensation (§2.2).
+
+use crate::tc::TransactionComponent;
+use lr_common::{Lsn, Result, TxnId};
+use lr_dc::DataComponent;
+use lr_wal::{ClrAction, LogPayload};
+use std::collections::BTreeMap;
+
+/// Work done by an undo pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct UndoStats {
+    /// Transactions rolled back.
+    pub losers_undone: u64,
+    /// Compensations applied (CLRs written).
+    pub ops_undone: u64,
+    /// Log records visited (random-access reads into the log).
+    pub log_records_visited: u64,
+}
+
+/// Roll back one transaction from `from_lsn` (its chain head) to its Begin
+/// record. Used by both online abort and recovery undo.
+pub fn rollback_txn(
+    tc: &mut TransactionComponent,
+    dc: &mut DataComponent,
+    txn: TxnId,
+    from_lsn: Lsn,
+    stats: &mut UndoStats,
+) -> Result<()> {
+    undo_chain(tc, dc, txn, from_lsn, Lsn::NULL, stats)?;
+    tc.finish_abort(txn)?;
+    Ok(())
+}
+
+/// Partial rollback (ARIES savepoints): undo `txn`'s operations newer than
+/// `savepoint` (a value from `TransactionComponent::savepoint`), leaving
+/// the transaction active with its chain rewound to the savepoint.
+pub fn rollback_to_savepoint(
+    tc: &mut TransactionComponent,
+    dc: &mut DataComponent,
+    txn: TxnId,
+    savepoint: Lsn,
+    stats: &mut UndoStats,
+) -> Result<()> {
+    let head = tc.last_lsn_of(txn)?;
+    undo_chain(tc, dc, txn, head, savepoint, stats)?;
+    tc.reset_chain(txn, savepoint)?;
+    Ok(())
+}
+
+/// Walk `txn`'s undo chain from `from_lsn`, compensating each operation,
+/// until reaching `stop_at` (exclusive) or the Begin record.
+fn undo_chain(
+    tc: &mut TransactionComponent,
+    dc: &mut DataComponent,
+    txn: TxnId,
+    from_lsn: Lsn,
+    stop_at: Lsn,
+    stats: &mut UndoStats,
+) -> Result<()> {
+    let wal = dc.wal();
+    let mut cur = from_lsn;
+    while !cur.is_null() && cur != stop_at {
+        let rec = { wal.lock().read_at(cur)? };
+        stats.log_records_visited += 1;
+        match rec.payload {
+            LogPayload::Update { txn: t, table, key, prev_lsn, before, .. } => {
+                debug_assert_eq!(t, txn);
+                // Logical re-location: find the page that now holds the key.
+                let tree = dc.tree(table)?.clone();
+                let leaf = tree.find_leaf(dc.pool_mut(), key)?.leaf;
+                let clr = tc.log_clr(
+                    txn,
+                    table,
+                    key,
+                    leaf,
+                    prev_lsn,
+                    ClrAction::RestoreValue(before),
+                );
+                dc.apply_at(leaf, &clr)?;
+                dc.pump_events();
+                stats.ops_undone += 1;
+                cur = prev_lsn;
+            }
+            LogPayload::Insert { txn: t, table, key, prev_lsn, .. } => {
+                debug_assert_eq!(t, txn);
+                let tree = dc.tree(table)?.clone();
+                let leaf = tree.find_leaf(dc.pool_mut(), key)?.leaf;
+                let clr = tc.log_clr(txn, table, key, leaf, prev_lsn, ClrAction::RemoveKey);
+                dc.apply_at(leaf, &clr)?;
+                dc.pump_events();
+                stats.ops_undone += 1;
+                cur = prev_lsn;
+            }
+            LogPayload::Delete { txn: t, table, key, prev_lsn, before, .. } => {
+                debug_assert_eq!(t, txn);
+                // Re-inserting may need page space: stage through the DC so
+                // any SMO is logged as usual.
+                let info = dc.prepare_write(
+                    table,
+                    key,
+                    lr_dc::WriteIntent::Insert { value_len: before.len() },
+                )?;
+                let clr = tc.log_clr(
+                    txn,
+                    table,
+                    key,
+                    info.pid,
+                    prev_lsn,
+                    ClrAction::InsertValue(before),
+                );
+                dc.apply_at(info.pid, &clr)?;
+                dc.pump_events();
+                stats.ops_undone += 1;
+                cur = prev_lsn;
+            }
+            LogPayload::Clr { undo_next, .. } => {
+                // Already-compensated work: skip straight past it.
+                cur = undo_next;
+            }
+            LogPayload::TxnBegin { .. } => break,
+            other => {
+                return Err(lr_common::Error::RecoveryInvariant(format!(
+                    "undo chain of {txn} reached unexpected record {other:?}"
+                )))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The recovery undo pass: roll back every loser, highest chain head first
+/// (single-pass backward processing order, as ARIES prescribes).
+pub fn undo_losers(
+    tc: &mut TransactionComponent,
+    dc: &mut DataComponent,
+    losers: &BTreeMap<TxnId, Lsn>,
+) -> Result<UndoStats> {
+    let mut stats = UndoStats::default();
+    // Adopt losers into the (post-crash, empty) transaction table so CLR
+    // logging and abort completion work normally.
+    let mut order: Vec<(TxnId, Lsn)> = losers.iter().map(|(t, l)| (*t, *l)).collect();
+    order.sort_unstable_by_key(|(_, lsn)| std::cmp::Reverse(*lsn));
+    for (txn, last) in &order {
+        tc.adopt_loser(*txn, *last);
+    }
+    for (txn, last) in order {
+        rollback_txn(tc, dc, txn, last, &mut stats)?;
+        stats.losers_undone += 1;
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_common::{IoModel, SimClock, TableId};
+    use lr_dc::{DcConfig, WriteIntent};
+    use lr_storage::SimDisk;
+    use lr_wal::Wal;
+
+    const T: TableId = TableId(1);
+
+    fn setup() -> (TransactionComponent, DataComponent) {
+        let mut disk: SimDisk = SimDisk::new(512, 1, SimClock::new(), IoModel::zero());
+        DataComponent::format_disk(&mut disk).unwrap();
+        let wal = Wal::new_shared(4096);
+        let mut dc = DataComponent::open(Box::new(disk), wal.clone(), DcConfig::default()).unwrap();
+        dc.create_table(T).unwrap();
+        (TransactionComponent::new(wal), dc)
+    }
+
+    /// Run one full engine-style op: prepare → log → apply.
+    fn do_insert(tc: &mut TransactionComponent, dc: &mut DataComponent, txn: TxnId, key: u64) {
+        let info = dc.prepare_write(T, key, WriteIntent::Insert { value_len: 8 }).unwrap();
+        let rec = tc.log_insert(txn, T, key, info.pid, key.to_le_bytes().to_vec()).unwrap();
+        dc.apply(&rec).unwrap();
+    }
+
+    fn do_update(
+        tc: &mut TransactionComponent,
+        dc: &mut DataComponent,
+        txn: TxnId,
+        key: u64,
+        val: u64,
+    ) {
+        let info = dc.prepare_write(T, key, WriteIntent::Update { value_len: 8 }).unwrap();
+        let rec = tc
+            .log_update(txn, T, key, info.pid, info.before.unwrap(), val.to_le_bytes().to_vec())
+            .unwrap();
+        dc.apply(&rec).unwrap();
+    }
+
+    fn do_delete(tc: &mut TransactionComponent, dc: &mut DataComponent, txn: TxnId, key: u64) {
+        let info = dc.prepare_write(T, key, WriteIntent::Delete).unwrap();
+        let rec = tc.log_delete(txn, T, key, info.pid, info.before.unwrap()).unwrap();
+        dc.apply(&rec).unwrap();
+    }
+
+    #[test]
+    fn rollback_restores_all_three_op_kinds() {
+        let (mut tc, mut dc) = setup();
+        // Committed base state.
+        let t0 = tc.begin();
+        for k in 0..10 {
+            do_insert(&mut tc, &mut dc, t0, k);
+        }
+        tc.commit(t0).unwrap();
+
+        // A transaction that touches everything, then aborts.
+        let t1 = tc.begin();
+        do_update(&mut tc, &mut dc, t1, 3, 999);
+        do_insert(&mut tc, &mut dc, t1, 100);
+        do_delete(&mut tc, &mut dc, t1, 7);
+        let head = tc.last_lsn_of(t1).unwrap();
+        let mut stats = UndoStats::default();
+        rollback_txn(&mut tc, &mut dc, t1, head, &mut stats).unwrap();
+        assert_eq!(stats.ops_undone, 3);
+
+        assert_eq!(dc.read(T, 3).unwrap().unwrap(), 3u64.to_le_bytes().to_vec());
+        assert_eq!(dc.read(T, 100).unwrap(), None, "insert undone");
+        assert_eq!(dc.read(T, 7).unwrap().unwrap(), 7u64.to_le_bytes().to_vec(), "delete undone");
+        assert_eq!(tc.locks().lock_count(), 0);
+    }
+
+    #[test]
+    fn undo_losers_processes_multiple_txns() {
+        let (mut tc, mut dc) = setup();
+        let t0 = tc.begin();
+        for k in 0..5 {
+            do_insert(&mut tc, &mut dc, t0, k);
+        }
+        tc.commit(t0).unwrap();
+
+        let t1 = tc.begin();
+        do_update(&mut tc, &mut dc, t1, 0, 111);
+        let t2 = tc.begin();
+        do_update(&mut tc, &mut dc, t2, 1, 222);
+        let mut losers = BTreeMap::new();
+        losers.insert(t1, tc.last_lsn_of(t1).unwrap());
+        losers.insert(t2, tc.last_lsn_of(t2).unwrap());
+
+        let stats = undo_losers(&mut tc, &mut dc, &losers).unwrap();
+        assert_eq!(stats.losers_undone, 2);
+        assert_eq!(dc.read(T, 0).unwrap().unwrap(), 0u64.to_le_bytes().to_vec());
+        assert_eq!(dc.read(T, 1).unwrap().unwrap(), 1u64.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn crash_during_rollback_resumes_via_clr_chain() {
+        let (mut tc, mut dc) = setup();
+        let t0 = tc.begin();
+        for k in 0..4 {
+            do_insert(&mut tc, &mut dc, t0, k);
+        }
+        tc.commit(t0).unwrap();
+
+        let t1 = tc.begin();
+        do_update(&mut tc, &mut dc, t1, 0, 50);
+        do_update(&mut tc, &mut dc, t1, 1, 51);
+        do_update(&mut tc, &mut dc, t1, 2, 52);
+
+        // Partially roll back by hand: undo the last op only, writing its CLR.
+        let head = tc.last_lsn_of(t1).unwrap();
+        let wal = dc.wal();
+        let rec = { wal.lock().read_at(head).unwrap() };
+        let LogPayload::Update { table, key, prev_lsn, before, .. } = rec.payload else {
+            panic!()
+        };
+        let tree = dc.tree(table).unwrap().clone();
+        let leaf = tree.find_leaf(dc.pool_mut(), key).unwrap().leaf;
+        let clr =
+            tc.log_clr(t1, table, key, leaf, prev_lsn, ClrAction::RestoreValue(before));
+        dc.apply_at(leaf, &clr).unwrap();
+
+        // "Crash": resume undo from the CLR (what analysis would find).
+        let mut losers = BTreeMap::new();
+        losers.insert(t1, clr.lsn);
+        let stats = undo_losers(&mut tc, &mut dc, &losers).unwrap();
+        // Only the two not-yet-compensated updates are undone.
+        assert_eq!(stats.ops_undone, 2);
+        for k in 0..3u64 {
+            assert_eq!(dc.read(T, k).unwrap().unwrap(), k.to_le_bytes().to_vec());
+        }
+    }
+}

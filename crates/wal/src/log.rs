@@ -1,0 +1,450 @@
+//! The log manager.
+//!
+//! An append-only byte buffer of framed records. LSNs are byte offsets
+//! (starting at [`LOG_ORIGIN`], so [`lr_common::Lsn::NULL`] never collides
+//! with a record). The manager tracks the **stable LSN** — the paper's
+//! "end of stable log" that the TC advertises to the DC via EOSL — and
+//! supports crash truncation, forward scans, random access for undo chains,
+//! and log-page arithmetic for the recovery I/O model.
+
+use crate::record::{LogPayload, LogRecord};
+use lr_common::{Error, Lsn, Result};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// LSN of the first record: the log begins with an 8-byte magic header.
+pub const LOG_ORIGIN: Lsn = Lsn(8);
+
+const MAGIC: &[u8; 8] = b"LRWAL\0\0\x01";
+/// Frame header: u32 body length + u32 CRC-32 of the body.
+const FRAME_HEADER: usize = 8;
+
+/// Shared handle to the common log (TC and DC both append).
+pub type SharedWal = Arc<Mutex<Wal>>;
+
+/// In-memory append-only log with explicit stability tracking.
+pub struct Wal {
+    buf: Vec<u8>,
+    /// Sorted record start offsets, for random access and scans.
+    index: Vec<u64>,
+    stable: Lsn,
+    /// Bytes per simulated log page (I/O accounting granularity).
+    log_page_size: usize,
+}
+
+impl Wal {
+    /// An empty log. `log_page_size` is used only for page-count accounting.
+    pub fn new(log_page_size: usize) -> Wal {
+        assert!(log_page_size >= 512, "log page size unreasonably small");
+        Wal {
+            buf: MAGIC.to_vec(),
+            index: Vec::new(),
+            stable: LOG_ORIGIN,
+            log_page_size,
+        }
+    }
+
+    /// A shareable handle.
+    pub fn new_shared(log_page_size: usize) -> SharedWal {
+        Arc::new(Mutex::new(Wal::new(log_page_size)))
+    }
+
+    /// Append a record; returns its LSN. The record is *not* stable until
+    /// [`Wal::make_stable`] (or [`Wal::make_all_stable`]) covers it.
+    pub fn append(&mut self, payload: &LogPayload) -> Lsn {
+        let lsn = Lsn(self.buf.len() as u64);
+        let body = payload.encode();
+        self.buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&lr_common::crc32(&body).to_le_bytes());
+        self.buf.extend_from_slice(&body);
+        self.index.push(lsn.0);
+        lsn
+    }
+
+    /// First LSN past the end of the log (the next record's LSN).
+    pub fn end_lsn(&self) -> Lsn {
+        Lsn(self.buf.len() as u64)
+    }
+
+    /// Number of records currently in the log.
+    pub fn record_count(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Total log size in bytes.
+    pub fn byte_len(&self) -> u64 {
+        self.buf.len() as u64
+    }
+
+    /// The stable LSN: every record with `lsn < stable_lsn` survives a crash.
+    pub fn stable_lsn(&self) -> Lsn {
+        self.stable
+    }
+
+    /// Advance the stable LSN to `lsn` (monotonic; clamped to the log end).
+    pub fn make_stable(&mut self, lsn: Lsn) {
+        let end = self.end_lsn();
+        self.stable = self.stable.max(lsn.min(end));
+    }
+
+    /// Force the whole log stable (e.g. a commit that flushes the tail).
+    pub fn make_all_stable(&mut self) {
+        self.stable = self.end_lsn();
+    }
+
+    /// Crash: discard every record not covered by the stable LSN.
+    ///
+    /// Returns the number of records lost. After truncation the stable LSN
+    /// equals the log end.
+    pub fn truncate_to_stable(&mut self) -> usize {
+        let cut = self
+            .index
+            .partition_point(|&off| off < self.stable.0);
+        let lost = self.index.len() - cut;
+        if lost > 0 {
+            let new_len = self.index[cut] as usize;
+            self.buf.truncate(new_len);
+            self.index.truncate(cut);
+        }
+        self.stable = self.end_lsn();
+        lost
+    }
+
+    fn decode_at_index(&self, i: usize) -> Result<LogRecord> {
+        let off = self.index[i] as usize;
+        let lsn = Lsn(off as u64);
+        let len =
+            u32::from_le_bytes(self.buf[off..off + 4].try_into().expect("length")) as usize;
+        let crc = u32::from_le_bytes(self.buf[off + 4..off + 8].try_into().expect("crc"));
+        let body = &self.buf[off + FRAME_HEADER..off + FRAME_HEADER + len];
+        if lr_common::crc32(body) != crc {
+            return Err(Error::LogCorrupt { lsn, reason: "CRC mismatch".to_string() });
+        }
+        let payload = LogPayload::decode(body)
+            .map_err(|e| Error::LogCorrupt { lsn, reason: e.to_string() })?;
+        Ok(LogRecord { lsn, payload })
+    }
+
+    /// Random-access read of the record at exactly `lsn`.
+    pub fn read_at(&self, lsn: Lsn) -> Result<LogRecord> {
+        match self.index.binary_search(&lsn.0) {
+            Ok(i) => self.decode_at_index(i),
+            Err(_) => Err(Error::LogCorrupt {
+                lsn,
+                reason: "no record starts at this LSN".to_string(),
+            }),
+        }
+    }
+
+    /// All records with `lsn >= from`, in log order, decoded eagerly.
+    ///
+    /// Recovery scans materialize the scan window anyway (the paper's
+    /// analysis/redo passes read it sequentially), and eager decoding keeps
+    /// borrow lifetimes simple for callers holding the WAL lock.
+    pub fn scan_from(&self, from: Lsn) -> Result<Vec<LogRecord>> {
+        let start = self.index.partition_point(|&off| off < from.0);
+        (start..self.index.len()).map(|i| self.decode_at_index(i)).collect()
+    }
+
+    /// Number of log pages spanned by the byte range `[from, to)` — the
+    /// sequential-read cost of a recovery scan.
+    pub fn log_pages_between(&self, from: Lsn, to: Lsn) -> u64 {
+        if to <= from {
+            return 0;
+        }
+        let first_page = from.0 / self.log_page_size as u64;
+        let last_page = (to.0.saturating_sub(1)) / self.log_page_size as u64;
+        last_page - first_page + 1
+    }
+
+    /// Locate the last *completed* checkpoint: the most recent
+    /// `EndCheckpoint` on the stable log, returning `(bckpt_lsn, eckpt_lsn)`.
+    ///
+    /// Per §3.2, the redo scan starts at that `bCkpt`: pages updated before
+    /// it were flushed by the checkpoint, so recovery starts with an empty
+    /// DPT as of that point.
+    pub fn last_completed_checkpoint(&self) -> Result<Option<(Lsn, Lsn)>> {
+        for i in (0..self.index.len()).rev() {
+            let rec = self.decode_at_index(i)?;
+            if let LogPayload::EndCheckpoint { bckpt_lsn, .. } = rec.payload {
+                return Ok(Some((bckpt_lsn, rec.lsn)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Re-derive the usable end of the log by scanning frames from the
+    /// origin and validating lengths and CRCs — what a real restart does
+    /// with a log file whose tail may be torn. Truncates at the first
+    /// invalid frame and returns the number of records dropped.
+    ///
+    /// This subsumes stability tracking on restart: records past the torn
+    /// point never happened.
+    pub fn recover_torn_tail(&mut self) -> usize {
+        let mut off = MAGIC.len();
+        let mut good = Vec::new();
+        while off + FRAME_HEADER <= self.buf.len() {
+            let len = u32::from_le_bytes(
+                self.buf[off..off + 4].try_into().expect("length bytes"),
+            ) as usize;
+            let crc =
+                u32::from_le_bytes(self.buf[off + 4..off + 8].try_into().expect("crc bytes"));
+            let body_start = off + FRAME_HEADER;
+            let Some(body_end) = body_start.checked_add(len) else { break };
+            if body_end > self.buf.len() {
+                break; // torn mid-frame
+            }
+            if lr_common::crc32(&self.buf[body_start..body_end]) != crc {
+                break; // torn/corrupt body
+            }
+            good.push(off as u64);
+            off = body_end;
+        }
+        let dropped = self.index.len().saturating_sub(good.len());
+        self.buf.truncate(off.min(self.buf.len()));
+        // Only keep index entries the scan re-validated.
+        self.index = good;
+        self.stable = self.end_lsn();
+        dropped
+    }
+
+    /// Persist the log's bytes to a file (durability point for a
+    /// process-restart; see `Wal::load`).
+    pub fn save(&self, path: &std::path::Path) -> Result<()> {
+        std::fs::write(path, &self.buf).map_err(Error::Io)
+    }
+
+    /// Load a log file written by [`Wal::save`] — or torn by a crash.
+    /// Validates the magic header, then rebuilds the record index with the
+    /// same CRC frame scan a restart uses, dropping any torn tail.
+    pub fn load(path: &std::path::Path, log_page_size: usize) -> Result<Wal> {
+        let buf = std::fs::read(path).map_err(Error::Io)?;
+        if buf.len() < MAGIC.len() || &buf[..MAGIC.len()] != MAGIC {
+            return Err(Error::LogCorrupt {
+                lsn: Lsn::NULL,
+                reason: "bad or missing log magic header".to_string(),
+            });
+        }
+        let mut wal = Wal { buf, index: Vec::new(), stable: LOG_ORIGIN, log_page_size };
+        wal.recover_torn_tail();
+        Ok(wal)
+    }
+
+    /// Tear the physical tail of the log: drop the last `bytes` bytes
+    /// regardless of frame boundaries — what a crash mid-write does to a
+    /// real log file. Follow with [`Wal::recover_torn_tail`].
+    pub fn tear(&mut self, bytes: u64) {
+        let keep = self.buf.len().saturating_sub(bytes as usize).max(MAGIC.len());
+        self.buf.truncate(keep);
+        self.index.retain(|&off| off < keep as u64);
+        self.stable = self.stable.min(self.end_lsn());
+    }
+
+    /// Deliberately flip a byte (tests of torn-tail handling only).
+    #[doc(hidden)]
+    pub fn corrupt_byte_for_testing(&mut self, offset: usize) {
+        if offset < self.buf.len() {
+            self.buf[offset] ^= 0xFF;
+        }
+    }
+
+    /// Clone the log's durable contents into an independent `Wal` (harness
+    /// forking; see `Disk::fork`).
+    pub fn fork_data(&self) -> Wal {
+        Wal {
+            buf: self.buf.clone(),
+            index: self.index.clone(),
+            stable: self.stable,
+            log_page_size: self.log_page_size,
+        }
+    }
+
+    /// The `EndCheckpoint` record for the checkpoint bracketed at
+    /// `bckpt_lsn`, if completed.
+    pub fn end_checkpoint_for(&self, bckpt_lsn: Lsn) -> Result<Option<LogRecord>> {
+        let start = self.index.partition_point(|&off| off < bckpt_lsn.0);
+        for i in start..self.index.len() {
+            let rec = self.decode_at_index(i)?;
+            if let LogPayload::EndCheckpoint { bckpt_lsn: b, .. } = rec.payload {
+                if b == bckpt_lsn {
+                    return Ok(Some(rec));
+                }
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_common::TxnId;
+
+    fn begin(t: u64) -> LogPayload {
+        LogPayload::TxnBegin { txn: TxnId(t) }
+    }
+
+    #[test]
+    fn append_assigns_increasing_lsns() {
+        let mut wal = Wal::new(4096);
+        let a = wal.append(&begin(1));
+        let b = wal.append(&begin(2));
+        assert_eq!(a, LOG_ORIGIN);
+        assert!(b > a);
+        assert_eq!(wal.record_count(), 2);
+    }
+
+    #[test]
+    fn read_at_and_scan() {
+        let mut wal = Wal::new(4096);
+        let a = wal.append(&begin(1));
+        let b = wal.append(&LogPayload::BeginCheckpoint);
+        let c = wal.append(&begin(3));
+        assert_eq!(wal.read_at(b).unwrap().payload, LogPayload::BeginCheckpoint);
+        assert!(wal.read_at(Lsn(a.0 + 1)).is_err(), "misaligned LSN rejected");
+        let recs = wal.scan_from(b).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].lsn, b);
+        assert_eq!(recs[1].lsn, c);
+        assert_eq!(wal.scan_from(Lsn::NULL).unwrap().len(), 3);
+        assert_eq!(wal.scan_from(wal.end_lsn()).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn stability_and_crash_truncation() {
+        let mut wal = Wal::new(4096);
+        let _a = wal.append(&begin(1));
+        let b = wal.append(&begin(2));
+        wal.make_stable(b); // covers record a only (b starts at offset b)
+        let _c = wal.append(&begin(3));
+        let lost = wal.truncate_to_stable();
+        assert_eq!(lost, 2, "records b and c were volatile");
+        assert_eq!(wal.record_count(), 1);
+        assert_eq!(wal.stable_lsn(), wal.end_lsn());
+    }
+
+    #[test]
+    fn make_all_stable_preserves_everything() {
+        let mut wal = Wal::new(4096);
+        for t in 0..10 {
+            wal.append(&begin(t));
+        }
+        wal.make_all_stable();
+        assert_eq!(wal.truncate_to_stable(), 0);
+        assert_eq!(wal.record_count(), 10);
+    }
+
+    #[test]
+    fn stable_lsn_is_monotonic_and_clamped() {
+        let mut wal = Wal::new(4096);
+        wal.append(&begin(1));
+        wal.make_stable(Lsn(1_000_000));
+        assert_eq!(wal.stable_lsn(), wal.end_lsn());
+        wal.make_stable(Lsn(5));
+        assert_eq!(wal.stable_lsn(), wal.end_lsn(), "never regresses");
+    }
+
+    #[test]
+    fn log_page_accounting() {
+        let wal = Wal::new(1024);
+        assert_eq!(wal.log_pages_between(Lsn(0), Lsn(1)), 1);
+        assert_eq!(wal.log_pages_between(Lsn(0), Lsn(1024)), 1);
+        assert_eq!(wal.log_pages_between(Lsn(0), Lsn(1025)), 2);
+        assert_eq!(wal.log_pages_between(Lsn(1023), Lsn(1025)), 2);
+        assert_eq!(wal.log_pages_between(Lsn(2048), Lsn(2048)), 0);
+        assert_eq!(wal.log_pages_between(Lsn(10), Lsn(5)), 0);
+    }
+
+    #[test]
+    fn checkpoint_discovery() {
+        let mut wal = Wal::new(4096);
+        assert!(wal.last_completed_checkpoint().unwrap().is_none());
+        let b1 = wal.append(&LogPayload::BeginCheckpoint);
+        wal.append(&LogPayload::EndCheckpoint { bckpt_lsn: b1, active_txns: vec![] });
+        let b2 = wal.append(&LogPayload::BeginCheckpoint);
+        // b2 has no eCkpt yet: the last *completed* checkpoint is b1.
+        let (bc, _ec) = wal.last_completed_checkpoint().unwrap().unwrap();
+        assert_eq!(bc, b1);
+        assert!(wal.end_checkpoint_for(b2).unwrap().is_none());
+        let e2 = wal.append(&LogPayload::EndCheckpoint { bckpt_lsn: b2, active_txns: vec![] });
+        let (bc, ec) = wal.last_completed_checkpoint().unwrap().unwrap();
+        assert_eq!(bc, b2);
+        assert_eq!(ec, e2);
+    }
+
+    #[test]
+    fn truncation_respects_partial_checkpoint() {
+        // A bCkpt whose eCkpt was lost in the crash must not count.
+        let mut wal = Wal::new(4096);
+        let b1 = wal.append(&LogPayload::BeginCheckpoint);
+        wal.append(&LogPayload::EndCheckpoint { bckpt_lsn: b1, active_txns: vec![] });
+        wal.make_all_stable();
+        let b2 = wal.append(&LogPayload::BeginCheckpoint);
+        let e2 = wal.append(&LogPayload::EndCheckpoint { bckpt_lsn: b2, active_txns: vec![] });
+        wal.make_stable(e2); // eCkpt record itself NOT stable (starts at e2)
+        wal.truncate_to_stable();
+        let (bc, _) = wal.last_completed_checkpoint().unwrap().unwrap();
+        assert_eq!(bc, b1);
+    }
+}
+
+#[cfg(test)]
+mod torn_tail_tests {
+    use super::*;
+    use lr_common::TxnId;
+
+    fn begin(t: u64) -> LogPayload {
+        LogPayload::TxnBegin { txn: TxnId(t) }
+    }
+
+    #[test]
+    fn crc_detects_corrupt_body() {
+        let mut wal = Wal::new(4096);
+        let a = wal.append(&begin(1));
+        // Flip a byte inside record a's body.
+        wal.corrupt_byte_for_testing(a.0 as usize + 9);
+        assert!(matches!(wal.read_at(a), Err(Error::LogCorrupt { .. })));
+    }
+
+    #[test]
+    fn torn_tail_scan_keeps_valid_prefix() {
+        let mut wal = Wal::new(4096);
+        let lsns: Vec<Lsn> = (0..10).map(|t| wal.append(&begin(t))).collect();
+        // Corrupt record 7's body: records 7, 8, 9 become unreachable (a
+        // torn frame ends the scan).
+        wal.corrupt_byte_for_testing(lsns[7].0 as usize + 9);
+        let dropped = wal.recover_torn_tail();
+        assert_eq!(dropped, 3);
+        assert_eq!(wal.record_count(), 7);
+        let recs = wal.scan_from(Lsn::NULL).unwrap();
+        assert_eq!(recs.len(), 7);
+        assert_eq!(recs.last().unwrap().payload, begin(6));
+        // The log is append-able again after the repair.
+        let new = wal.append(&begin(99));
+        assert_eq!(wal.read_at(new).unwrap().payload, begin(99));
+    }
+
+    #[test]
+    fn torn_mid_frame_length_is_handled() {
+        let mut wal = Wal::new(4096);
+        wal.append(&begin(1));
+        let b = wal.append(&begin(2));
+        // Simulate a torn final sector: chop bytes off the last frame.
+        let cut = b.0 as usize + 5;
+        wal.buf.truncate(cut);
+        let dropped = wal.recover_torn_tail();
+        assert_eq!(dropped, 1);
+        assert_eq!(wal.record_count(), 1);
+    }
+
+    #[test]
+    fn clean_log_survives_scan_unchanged() {
+        let mut wal = Wal::new(4096);
+        for t in 0..20 {
+            wal.append(&begin(t));
+        }
+        let before = wal.scan_from(Lsn::NULL).unwrap();
+        assert_eq!(wal.recover_torn_tail(), 0);
+        assert_eq!(wal.scan_from(Lsn::NULL).unwrap(), before);
+    }
+}

@@ -1,0 +1,163 @@
+//! Log composition statistics.
+//!
+//! The paper argues the Δ-record overhead is "a very small part of the log"
+//! (§5.1) — this module makes that measurable: per-kind record counts and
+//! byte volumes over any scan window, used by the fig2c harness and by
+//! tests asserting the overhead stays small.
+
+use crate::record::{LogPayload, LogRecord};
+
+/// Per-kind counts and encoded-body bytes.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LogStats {
+    pub txn_control_records: u64,
+    pub txn_control_bytes: u64,
+    pub data_op_records: u64,
+    pub data_op_bytes: u64,
+    pub clr_records: u64,
+    pub clr_bytes: u64,
+    pub smo_records: u64,
+    pub smo_bytes: u64,
+    pub delta_records: u64,
+    pub delta_bytes: u64,
+    pub bw_records: u64,
+    pub bw_bytes: u64,
+    pub checkpoint_records: u64,
+    pub checkpoint_bytes: u64,
+}
+
+impl LogStats {
+    /// Tally a window of records.
+    pub fn from_records(records: &[LogRecord]) -> LogStats {
+        let mut s = LogStats::default();
+        for rec in records {
+            let bytes = rec.payload.encode().len() as u64;
+            match &rec.payload {
+                LogPayload::TxnBegin { .. }
+                | LogPayload::TxnCommit { .. }
+                | LogPayload::TxnAbort { .. } => {
+                    s.txn_control_records += 1;
+                    s.txn_control_bytes += bytes;
+                }
+                LogPayload::Clr { .. } => {
+                    s.clr_records += 1;
+                    s.clr_bytes += bytes;
+                }
+                p if p.is_data_op() => {
+                    s.data_op_records += 1;
+                    s.data_op_bytes += bytes;
+                }
+                LogPayload::Smo(_) => {
+                    s.smo_records += 1;
+                    s.smo_bytes += bytes;
+                }
+                LogPayload::Delta(_) => {
+                    s.delta_records += 1;
+                    s.delta_bytes += bytes;
+                }
+                LogPayload::Bw { .. } => {
+                    s.bw_records += 1;
+                    s.bw_bytes += bytes;
+                }
+                LogPayload::BeginCheckpoint
+                | LogPayload::EndCheckpoint { .. }
+                | LogPayload::AriesCheckpoint { .. }
+                | LogPayload::Rssp { .. } => {
+                    s.checkpoint_records += 1;
+                    s.checkpoint_bytes += bytes;
+                }
+                _ => unreachable!("all payload kinds covered"),
+            }
+        }
+        s
+    }
+
+    pub fn total_records(&self) -> u64 {
+        self.txn_control_records
+            + self.data_op_records
+            + self.clr_records
+            + self.smo_records
+            + self.delta_records
+            + self.bw_records
+            + self.checkpoint_records
+    }
+
+    pub fn total_bytes(&self) -> u64 {
+        self.txn_control_bytes
+            + self.data_op_bytes
+            + self.clr_bytes
+            + self.smo_bytes
+            + self.delta_bytes
+            + self.bw_bytes
+            + self.checkpoint_bytes
+    }
+
+    /// The paper's "modest DC logging" metric: Δ bytes as a fraction of
+    /// all log bytes.
+    pub fn delta_byte_fraction(&self) -> f64 {
+        if self.total_bytes() == 0 {
+            0.0
+        } else {
+            self.delta_bytes as f64 / self.total_bytes() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::DeltaRecord;
+    use lr_common::{Lsn, PageId, TableId, TxnId};
+
+    fn rec(payload: LogPayload) -> LogRecord {
+        LogRecord { lsn: Lsn(1), payload }
+    }
+
+    #[test]
+    fn tallies_every_kind() {
+        let records = vec![
+            rec(LogPayload::TxnBegin { txn: TxnId(1) }),
+            rec(LogPayload::Update {
+                txn: TxnId(1),
+                table: TableId(1),
+                key: 1,
+                pid: PageId(1),
+                prev_lsn: Lsn::NULL,
+                before: vec![0; 50],
+                after: vec![0; 50],
+            }),
+            rec(LogPayload::Clr {
+                txn: TxnId(1),
+                table: TableId(1),
+                key: 1,
+                pid: PageId(1),
+                undo_next: Lsn::NULL,
+                action: crate::record::ClrAction::RemoveKey,
+            }),
+            rec(LogPayload::Smo(crate::record::SmoRecord { pages: vec![], new_root: None })),
+            rec(LogPayload::Delta(DeltaRecord::default())),
+            rec(LogPayload::Bw { written_set: vec![], fw_lsn: Lsn::NULL }),
+            rec(LogPayload::BeginCheckpoint),
+            rec(LogPayload::TxnCommit { txn: TxnId(1) }),
+        ];
+        let s = LogStats::from_records(&records);
+        assert_eq!(s.txn_control_records, 2);
+        assert_eq!(s.data_op_records, 1);
+        assert_eq!(s.clr_records, 1);
+        assert_eq!(s.smo_records, 1);
+        assert_eq!(s.delta_records, 1);
+        assert_eq!(s.bw_records, 1);
+        assert_eq!(s.checkpoint_records, 1);
+        assert_eq!(s.total_records(), 8);
+        assert!(s.data_op_bytes > 100, "update carries both images");
+        assert!(s.total_bytes() > 0);
+        assert!(s.delta_byte_fraction() < 0.2);
+    }
+
+    #[test]
+    fn empty_window() {
+        let s = LogStats::from_records(&[]);
+        assert_eq!(s.total_records(), 0);
+        assert_eq!(s.delta_byte_fraction(), 0.0);
+    }
+}

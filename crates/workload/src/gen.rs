@@ -1,0 +1,286 @@
+//! Transaction generators.
+//!
+//! §5.2: "The workloads are update-only, and consist of small transactions
+//! (10 updates per transaction) that update the data attribute in a record
+//! identified by an equality search on the key attribute." That is
+//! [`WorkloadSpec::paper_default`]; the mix/skew knobs cover the variants
+//! Appendix B reasons about (reads dilute update density; skew shrinks the
+//! DPT).
+
+use crate::zipf::Zipf;
+use lr_common::Key;
+use lr_core::config::deterministic_value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One generated operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    Update { key: Key, value: Vec<u8> },
+    Read { key: Key },
+    Insert { key: Key, value: Vec<u8> },
+    Delete { key: Key },
+}
+
+/// Operation mix in percent; must sum to 100.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OpMix {
+    pub update_pct: u8,
+    pub read_pct: u8,
+    pub insert_pct: u8,
+    pub delete_pct: u8,
+}
+
+impl OpMix {
+    pub const UPDATE_ONLY: OpMix =
+        OpMix { update_pct: 100, read_pct: 0, insert_pct: 0, delete_pct: 0 };
+
+    fn validate(&self) {
+        assert_eq!(
+            self.update_pct as u32
+                + self.read_pct as u32
+                + self.insert_pct as u32
+                + self.delete_pct as u32,
+            100,
+            "op mix must sum to 100"
+        );
+    }
+}
+
+/// Key-choice distribution over the loaded key space.
+#[derive(Clone, Debug)]
+pub enum KeyDist {
+    /// Uniform — the paper's worst case for redo ("maximizes the number of
+    /// pages dirtied", Appendix B).
+    Uniform,
+    /// Zipf(θ) — better page locality, smaller DPT.
+    Zipf(f64),
+}
+
+/// Workload description.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Keys `0..key_space` exist at load time.
+    pub key_space: u64,
+    /// Operations per transaction.
+    pub txn_ops: usize,
+    pub mix: OpMix,
+    pub dist: KeyDist,
+    /// Bytes in updated/inserted values.
+    pub value_size: usize,
+    /// RNG seed — equal seeds give byte-identical logs, which is what makes
+    /// the side-by-side methodology exact (§5.1).
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// The paper's §5.2 workload over `key_space` keys.
+    pub fn paper_default(key_space: u64, value_size: usize, seed: u64) -> WorkloadSpec {
+        WorkloadSpec {
+            key_space,
+            txn_ops: 10,
+            mix: OpMix::UPDATE_ONLY,
+            dist: KeyDist::Uniform,
+            value_size,
+            seed,
+        }
+    }
+}
+
+/// Deterministic transaction stream.
+pub struct TxnGenerator {
+    spec: WorkloadSpec,
+    rng: StdRng,
+    zipf: Option<Zipf>,
+    /// Version counter per generated update, folded into values so every
+    /// write is distinguishable.
+    version: u64,
+    /// Fresh keys for inserts start above the loaded space.
+    next_insert_key: Key,
+    /// Keys inserted by the workload and not yet deleted (delete targets).
+    live_inserted: Vec<Key>,
+}
+
+impl TxnGenerator {
+    pub fn new(spec: WorkloadSpec) -> TxnGenerator {
+        spec.mix.validate();
+        assert!(spec.key_space > 0);
+        assert!(spec.txn_ops > 0);
+        let zipf = match spec.dist {
+            KeyDist::Uniform => None,
+            KeyDist::Zipf(theta) => Some(Zipf::new(spec.key_space, theta)),
+        };
+        let rng = StdRng::seed_from_u64(spec.seed);
+        let next_insert_key = spec.key_space;
+        TxnGenerator { spec, rng, zipf, version: 0, next_insert_key, live_inserted: Vec::new() }
+    }
+
+    fn pick_key(&mut self) -> Key {
+        match &self.zipf {
+            None => self.rng.gen_range(0..self.spec.key_space),
+            Some(z) => {
+                // Scramble ranks so hot keys scatter across pages (rank 0
+                // hot-spotting one leaf would under-state index traffic).
+                let rank = z.sample(&mut self.rng);
+                rank.wrapping_mul(0x5851_F42D_4C95_7F2D) % self.spec.key_space
+            }
+        }
+    }
+
+    /// Generate the next transaction's operations.
+    pub fn next_txn(&mut self) -> Vec<Op> {
+        let mut ops = Vec::with_capacity(self.spec.txn_ops);
+        for _ in 0..self.spec.txn_ops {
+            let roll: u8 = self.rng.gen_range(0..100);
+            let mix = self.spec.mix;
+            let op = if roll < mix.update_pct {
+                self.version += 1;
+                let key = self.pick_key();
+                Op::Update {
+                    key,
+                    value: deterministic_value(key, self.version, self.spec.value_size),
+                }
+            } else if roll < mix.update_pct + mix.read_pct {
+                Op::Read { key: self.pick_key() }
+            } else if roll < mix.update_pct + mix.read_pct + mix.insert_pct {
+                let key = self.next_insert_key;
+                self.next_insert_key += 1;
+                self.live_inserted.push(key);
+                self.version += 1;
+                Op::Insert {
+                    key,
+                    value: deterministic_value(key, self.version, self.spec.value_size),
+                }
+            } else {
+                // Delete a previously inserted key; fall back to an update
+                // if none are live (keeps the loaded table intact so runs
+                // of different lengths stay comparable).
+                match self.live_inserted.pop() {
+                    Some(key) => Op::Delete { key },
+                    None => {
+                        self.version += 1;
+                        let key = self.pick_key();
+                        Op::Update {
+                            key,
+                            value: deterministic_value(key, self.version, self.spec.value_size),
+                        }
+                    }
+                }
+            };
+            ops.push(op);
+        }
+        ops
+    }
+
+    /// Updates-per-transaction counted as "updates" by the crash scenario
+    /// (every write op counts).
+    pub fn spec(&self) -> &WorkloadSpec {
+        &self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_ten_uniform_updates() {
+        let mut g = TxnGenerator::new(WorkloadSpec::paper_default(1_000, 64, 1));
+        let txn = g.next_txn();
+        assert_eq!(txn.len(), 10);
+        for op in &txn {
+            match op {
+                Op::Update { key, value } => {
+                    assert!(*key < 1_000);
+                    assert_eq!(value.len(), 64);
+                }
+                other => panic!("unexpected op {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let a: Vec<Vec<Op>> = {
+            let mut g = TxnGenerator::new(WorkloadSpec::paper_default(100, 16, 9));
+            (0..20).map(|_| g.next_txn()).collect()
+        };
+        let b: Vec<Vec<Op>> = {
+            let mut g = TxnGenerator::new(WorkloadSpec::paper_default(100, 16, 9));
+            (0..20).map(|_| g.next_txn()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<Vec<Op>> = {
+            let mut g = TxnGenerator::new(WorkloadSpec::paper_default(100, 16, 10));
+            (0..20).map(|_| g.next_txn()).collect()
+        };
+        assert_ne!(a, c, "different seeds diverge");
+    }
+
+    #[test]
+    fn mixed_workload_produces_all_kinds() {
+        let spec = WorkloadSpec {
+            key_space: 500,
+            txn_ops: 10,
+            mix: OpMix { update_pct: 40, read_pct: 30, insert_pct: 20, delete_pct: 10 },
+            dist: KeyDist::Uniform,
+            value_size: 8,
+            seed: 3,
+        };
+        let mut g = TxnGenerator::new(spec);
+        let mut counts = [0u32; 4];
+        for _ in 0..200 {
+            for op in g.next_txn() {
+                match op {
+                    Op::Update { .. } => counts[0] += 1,
+                    Op::Read { .. } => counts[1] += 1,
+                    Op::Insert { .. } => counts[2] += 1,
+                    Op::Delete { .. } => counts[3] += 1,
+                }
+            }
+        }
+        assert!(counts.iter().all(|c| *c > 0), "all op kinds appear: {counts:?}");
+        // Inserts use fresh keys (no collision with the loaded space).
+        let mut g2 = TxnGenerator::new(g.spec().clone());
+        for _ in 0..50 {
+            for op in g2.next_txn() {
+                if let Op::Insert { key, .. } = op {
+                    assert!(key >= 500);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deletes_only_target_inserted_keys() {
+        let spec = WorkloadSpec {
+            key_space: 100,
+            txn_ops: 5,
+            mix: OpMix { update_pct: 0, read_pct: 0, insert_pct: 50, delete_pct: 50 },
+            dist: KeyDist::Uniform,
+            value_size: 8,
+            seed: 11,
+        };
+        let mut g = TxnGenerator::new(spec);
+        for _ in 0..100 {
+            for op in g.next_txn() {
+                match op {
+                    Op::Delete { key } => assert!(key >= 100, "never deletes loaded rows"),
+                    Op::Insert { key, .. } => assert!(key >= 100),
+                    Op::Update { key, .. } => assert!(key < 100, "fallback update"),
+                    Op::Read { .. } => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 100")]
+    fn bad_mix_rejected() {
+        let spec = WorkloadSpec {
+            mix: OpMix { update_pct: 50, read_pct: 0, insert_pct: 0, delete_pct: 0 },
+            ..WorkloadSpec::paper_default(10, 8, 0)
+        };
+        let _ = TxnGenerator::new(spec);
+    }
+}

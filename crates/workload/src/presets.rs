@@ -1,0 +1,135 @@
+//! Scale presets (DESIGN.md §8).
+//!
+//! The paper's table is 3.5 GB: 436,000 data pages, ~10^8 rows, an 832-page
+//! index, cache sizes from 64 MB (~2% of the database) to 2048 MB (~60%).
+//! `paper_tenth` preserves every *ratio* at one tenth the page count so the
+//! figure harnesses run in seconds; `paper_full` is the 1:1 geometry for
+//! the patient.
+
+use crate::gen::WorkloadSpec;
+use crate::scenario::CrashScenario;
+use lr_core::EngineConfig;
+
+/// A named experiment geometry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preset {
+    /// Tiny functional scale for tests.
+    Smoke,
+    /// 1/10 of the paper's geometry — the default for every figure harness.
+    PaperTenth,
+    /// The paper's full geometry (slow; several GB of memory).
+    PaperFull,
+}
+
+impl Preset {
+    /// Rows loaded into the table.
+    pub fn initial_rows(self) -> u64 {
+        match self {
+            // ~32 rows per 4 KiB page at fill 0.9 with 100-byte values.
+            Preset::Smoke => 600 * 32,
+            Preset::PaperTenth => 43_600 * 32,
+            Preset::PaperFull => 436_000 * 32,
+        }
+    }
+
+    /// Approximate data-page count this geometry produces.
+    pub fn data_pages(self) -> u64 {
+        self.initial_rows() / 32
+    }
+
+    /// The engine configuration for a given cache size (in pages).
+    pub fn engine_config(self, pool_pages: usize) -> EngineConfig {
+        EngineConfig {
+            page_size: 4096,
+            log_page_size: 8192,
+            pool_pages,
+            initial_rows: self.initial_rows(),
+            row_value_size: 100,
+            fill_factor: 0.9,
+            // Caps sized so the forced ~100-update tail fits without an
+            // intervening automatic Δ emission (see scenario.rs).
+            dirty_batch_cap: 128,
+            flush_batch_cap: 128,
+            perfect_delta_lsns: false,
+            aries_ckpt_capture: false,
+            dirty_watermark: 0.30,
+            merge_min_fill: 0.0,
+            io_model: lr_common::IoModel::default(),
+        }
+    }
+
+    /// The crash scenario at this scale.
+    pub fn scenario(self) -> CrashScenario {
+        match self {
+            Preset::Smoke => CrashScenario {
+                updates_per_checkpoint: 400,
+                checkpoints_before_crash: 4,
+                tail_updates: 40,
+                warm_cache: true,
+            },
+            Preset::PaperTenth => CrashScenario {
+                updates_per_checkpoint: 4_000,
+                checkpoints_before_crash: 10,
+                tail_updates: 100,
+                warm_cache: true,
+            },
+            Preset::PaperFull => CrashScenario {
+                updates_per_checkpoint: 40_000,
+                checkpoints_before_crash: 10,
+                tail_updates: 100,
+                warm_cache: true,
+            },
+        }
+    }
+
+    /// The §5.2 workload at this scale.
+    pub fn workload(self, seed: u64) -> WorkloadSpec {
+        WorkloadSpec::paper_default(self.initial_rows(), 100, seed)
+    }
+
+    /// The Figure-2 cache sweep: `(label, pool_pages)` pairs mirroring the
+    /// paper's 64…2048 MB axis as fractions of the database (2%…60%).
+    pub fn cache_sweep(self) -> Vec<(&'static str, usize)> {
+        cache_sweep(self.data_pages())
+    }
+}
+
+/// Cache sizes as fractions of `data_pages`, labelled with the paper's
+/// MB-equivalent axis: 64 MB ≈ 2%, doubling to 2048 MB ≈ 60%.
+pub fn cache_sweep(data_pages: u64) -> Vec<(&'static str, usize)> {
+    let frac = |f: f64| ((data_pages as f64 * f) as usize).max(8);
+    vec![
+        ("64MB", frac(0.02)),
+        ("128MB", frac(0.04)),
+        ("256MB", frac(0.08)),
+        ("512MB", frac(0.15)),
+        ("1024MB", frac(0.30)),
+        ("2048MB", frac(0.60)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_is_monotone_and_scaled() {
+        let sweep = Preset::PaperTenth.cache_sweep();
+        assert_eq!(sweep.len(), 6);
+        for w in sweep.windows(2) {
+            assert!(w[0].1 < w[1].1);
+        }
+        let (label, pages) = sweep[0];
+        assert_eq!(label, "64MB");
+        assert_eq!(pages, (43_600f64 * 0.02) as usize);
+    }
+
+    #[test]
+    fn presets_scale_relative_to_each_other() {
+        assert_eq!(Preset::PaperFull.data_pages(), 10 * Preset::PaperTenth.data_pages());
+        assert!(Preset::Smoke.data_pages() < Preset::PaperTenth.data_pages());
+        let cfg = Preset::Smoke.engine_config(64);
+        assert_eq!(cfg.pool_pages, 64);
+        assert_eq!(cfg.initial_rows, Preset::Smoke.initial_rows());
+    }
+}

@@ -1,0 +1,245 @@
+//! The controlled-crash driver (§5.2).
+//!
+//! "Unless otherwise stated, a workload runs for double the time needed to
+//! fill the cache ... we crash the server when 10 checkpoints have been
+//! taken, 40000 updates have been seen since the last checkpoint, and 100
+//! updates have been seen since the last Δ/BW-log record. ... The crash
+//! happens shortly before a checkpoint is taken, which is the worst case
+//! for redo recovery."
+
+use crate::gen::{Op, TxnGenerator};
+use lr_common::{Error, Result};
+use lr_core::{CrashSnapshot, Engine, ShadowDb, DEFAULT_TABLE};
+
+/// Crash-scenario parameters.
+#[derive(Clone, Debug)]
+pub struct CrashScenario {
+    /// Write operations per checkpoint interval (the paper's ci).
+    pub updates_per_checkpoint: u64,
+    /// Checkpoints before the final interval.
+    pub checkpoints_before_crash: u64,
+    /// Write operations between the last forced Δ/BW record and the crash
+    /// (the log tail).
+    pub tail_updates: u64,
+    /// Warm the cache: run updates until the cache is full (capped), then
+    /// run the same count again. Disable for tiny functional tests.
+    pub warm_cache: bool,
+}
+
+impl Default for CrashScenario {
+    fn default() -> Self {
+        CrashScenario {
+            updates_per_checkpoint: 4_000,
+            checkpoints_before_crash: 10,
+            tail_updates: 100,
+            warm_cache: true,
+        }
+    }
+}
+
+/// What the run produced, besides the crashed engine.
+#[derive(Clone, Debug)]
+pub struct ScenarioOutcome {
+    pub snapshot: CrashSnapshot,
+    /// Write operations executed during warm-up.
+    pub warmup_updates: u64,
+    /// Write operations executed in the measured phase.
+    pub measured_updates: u64,
+    /// Transactions committed in total.
+    pub txns_committed: u64,
+    /// Δ / BW records written during the run (DC stats).
+    pub delta_records: u64,
+    pub bw_records: u64,
+}
+
+/// Execute one transaction against engine + shadow. Returns write-op count.
+fn run_txn(engine: &mut Engine, shadow: &mut ShadowDb, gen: &mut TxnGenerator) -> Result<u64> {
+    let ops = gen.next_txn();
+    let txn = engine.begin();
+    let mut writes = 0;
+    for op in ops {
+        match op {
+            Op::Update { key, value } => {
+                engine.update(txn, key, value.clone())?;
+                shadow.stage_put(txn, DEFAULT_TABLE, key, value);
+                writes += 1;
+            }
+            Op::Read { key } => {
+                let _ = engine.read(DEFAULT_TABLE, key)?;
+            }
+            Op::Insert { key, value } => {
+                engine.insert(txn, key, value.clone())?;
+                shadow.stage_put(txn, DEFAULT_TABLE, key, value);
+                writes += 1;
+            }
+            Op::Delete { key } => {
+                engine.delete(txn, key)?;
+                shadow.stage_delete(txn, DEFAULT_TABLE, key);
+                writes += 1;
+            }
+        }
+    }
+    engine.commit(txn)?;
+    shadow.commit(txn);
+    Ok(writes)
+}
+
+/// Drive `engine` (and its `shadow` oracle) to the paper's crash point.
+///
+/// On return the engine is crashed; the caller picks a recovery method.
+/// The shadow has discarded in-flight work and mirrors exactly the
+/// committed state recovery must reproduce.
+pub fn run_to_crash(
+    engine: &mut Engine,
+    shadow: &mut ShadowDb,
+    gen: &mut TxnGenerator,
+    scenario: &CrashScenario,
+) -> Result<ScenarioOutcome> {
+    let mut txns_committed = 0u64;
+
+    // ---- warm-up: fill the cache, then run that much again ----
+    let mut warmup_updates = 0u64;
+    if scenario.warm_cache {
+        let target = engine.dc().cache_fill_target();
+        let cap_iterations = 200u64 * target.max(1) as u64;
+        let mut filled_at = 0u64;
+        while (engine.dc().pool().len() as u64) < target as u64 {
+            warmup_updates += run_txn(engine, shadow, gen)?;
+            txns_committed += 1;
+            filled_at += 1;
+            if filled_at > cap_iterations {
+                return Err(Error::RecoveryInvariant(format!(
+                    "cache warm-up did not converge: {} / {target} frames",
+                    engine.dc().pool().len()
+                )));
+            }
+        }
+        let fill_updates = warmup_updates;
+        let mut more = 0u64;
+        while more < fill_updates {
+            more += run_txn(engine, shadow, gen)?;
+            txns_committed += 1;
+        }
+        warmup_updates += more;
+        // Start the measured phase from a clean checkpoint so the redo
+        // window covers exactly one interval.
+        engine.checkpoint()?;
+    }
+
+    // ---- measured phase: ci updates per checkpoint, N checkpoints ----
+    let ci = scenario.updates_per_checkpoint;
+    let mut measured_updates = 0u64;
+    for _ in 0..scenario.checkpoints_before_crash {
+        let mut in_interval = 0u64;
+        while in_interval < ci {
+            let w = run_txn(engine, shadow, gen)?;
+            in_interval += w;
+            measured_updates += w;
+        }
+        engine.checkpoint()?;
+    }
+
+    // ---- final interval: run to ci - tail, force Δ/BW, then the tail ----
+    let tail = scenario.tail_updates.min(ci);
+    let mut in_interval = 0u64;
+    while in_interval + tail < ci {
+        let w = run_txn(engine, shadow, gen)?;
+        in_interval += w;
+        measured_updates += w;
+    }
+    engine.dc_mut().force_emit();
+    let mut tail_done = 0u64;
+    while tail_done < tail {
+        let w = run_txn(engine, shadow, gen)?;
+        tail_done += w;
+        measured_updates += w;
+    }
+
+    // ---- crash (shortly before checkpoint #N+1 would run) ----
+    let dc_stats = engine.dc().stats();
+    let snapshot = engine.crash();
+    shadow.crash();
+
+    Ok(ScenarioOutcome {
+        snapshot,
+        warmup_updates,
+        measured_updates,
+        txns_committed,
+        delta_records: dc_stats.delta_records_written,
+        bw_records: dc_stats.bw_records_written,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WorkloadSpec;
+    use lr_core::{EngineConfig, RecoveryMethod};
+
+    fn tiny_setup() -> (Engine, ShadowDb, TxnGenerator) {
+        let cfg = EngineConfig {
+            initial_rows: 2_000,
+            pool_pages: 48,
+            io_model: lr_common::IoModel::zero(),
+            dirty_batch_cap: 16,
+            flush_batch_cap: 16,
+            ..EngineConfig::default()
+        };
+        let shadow = ShadowDb::with_initial_rows(&cfg);
+        let gen = TxnGenerator::new(WorkloadSpec::paper_default(cfg.initial_rows, 100, 42));
+        (Engine::build(cfg).unwrap(), shadow, gen)
+    }
+
+    #[test]
+    fn scenario_reaches_crash_with_checkpoints_and_tail() {
+        let (mut engine, mut shadow, mut gen) = tiny_setup();
+        let scenario = CrashScenario {
+            updates_per_checkpoint: 200,
+            checkpoints_before_crash: 3,
+            tail_updates: 20,
+            warm_cache: true,
+        };
+        let out = run_to_crash(&mut engine, &mut shadow, &mut gen, &scenario).unwrap();
+        assert!(engine.is_crashed());
+        assert!(out.warmup_updates > 0);
+        assert!(out.measured_updates >= 3 * 200);
+        assert!(out.delta_records > 0, "Δ records were written");
+        assert!(out.bw_records > 0, "BW records were written");
+        assert!(out.snapshot.dirty_pages > 0, "worst case: dirty cache at crash");
+        // 3 measured checkpoints + 1 post-warm-up.
+        assert_eq!(engine.checkpoints_taken(), 4);
+
+        // And the state is recoverable + equal to the shadow.
+        engine.recover(RecoveryMethod::Log1).unwrap();
+        shadow.verify_against(&mut engine).unwrap();
+    }
+
+    #[test]
+    fn identical_seeds_produce_identical_logs() {
+        let run = |seed: u64| {
+            let cfg = EngineConfig {
+                initial_rows: 1_000,
+                pool_pages: 32,
+                io_model: lr_common::IoModel::zero(),
+                ..EngineConfig::default()
+            };
+            let mut shadow = ShadowDb::with_initial_rows(&cfg);
+            let mut gen =
+                TxnGenerator::new(WorkloadSpec::paper_default(cfg.initial_rows, 50, seed));
+            let mut engine = Engine::build(cfg).unwrap();
+            let scenario = CrashScenario {
+                updates_per_checkpoint: 100,
+                checkpoints_before_crash: 2,
+                tail_updates: 10,
+                warm_cache: false,
+            };
+            run_to_crash(&mut engine, &mut shadow, &mut gen, &scenario).unwrap();
+            let wal = engine.wal();
+            let bytes = wal.lock().byte_len();
+            let records = wal.lock().record_count();
+            (bytes, records)
+        };
+        assert_eq!(run(7), run(7), "same seed, same log");
+        assert_ne!(run(7), run(8), "different seed, different log");
+    }
+}

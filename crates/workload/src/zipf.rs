@@ -1,0 +1,145 @@
+//! Zipfian key sampling, implemented in-repo (DESIGN.md §7).
+//!
+//! Uses the Gray et al. / YCSB "quick zipf" construction: draw a uniform
+//! `u`, map through the closed-form approximation of the Zipf CDF built
+//! from two partial zeta sums. Exact for rank 1 and 2, approximate beyond —
+//! plenty for generating skewed page-access patterns.
+
+use rand::Rng;
+
+/// A Zipf(θ) sampler over `0..n`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    alpha: f64,
+    zetan: f64,
+    eta: f64,
+    zeta2: f64,
+}
+
+impl Zipf {
+    /// Sampler over `0..n` with skew `theta` in (0, 1). θ→0 approaches
+    /// uniform; YCSB's default hot-spot skew is 0.99.
+    pub fn new(n: u64, theta: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs a non-empty domain");
+        assert!(theta > 0.0 && theta < 1.0, "theta must be in (0,1), got {theta}");
+        let zetan = Self::zeta(n, theta);
+        let zeta2 = Self::zeta(2, theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf { n, theta, alpha, zetan, eta, zeta2 }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Direct summation up to a cap, then the Euler–Maclaurin integral
+        // tail — keeps construction O(1)-ish for huge domains.
+        const EXACT: u64 = 100_000;
+        let m = n.min(EXACT);
+        let mut sum = 0.0;
+        for i in 1..=m {
+            sum += 1.0 / (i as f64).powf(theta);
+        }
+        if n > m {
+            // ∫_{m}^{n} x^-θ dx = (n^{1-θ} - m^{1-θ})/(1-θ)
+            sum += ((n as f64).powf(1.0 - theta) - (m as f64).powf(1.0 - theta))
+                / (1.0 - theta);
+        }
+        sum
+    }
+
+    /// Draw a rank in `0..n` (0 is the hottest key).
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank =
+            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.n - 1)
+    }
+
+    pub fn domain(&self) -> u64 {
+        self.n
+    }
+
+    /// Exposed for tests.
+    pub fn zeta2(&self) -> f64 {
+        self.zeta2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_stay_in_domain() {
+        let z = Zipf::new(1_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 1_000);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass() {
+        let z = Zipf::new(10_000, 0.99);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let hot = (0..n).filter(|_| z.sample(&mut rng) < 100).count();
+        // Top 1% of keys should absorb far more than 1% of accesses.
+        assert!(
+            hot as f64 / n as f64 > 0.3,
+            "expected heavy skew, got {:.3}",
+            hot as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn low_theta_approaches_uniform() {
+        let z = Zipf::new(10_000, 0.1);
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 100_000;
+        let hot = (0..n).filter(|_| z.sample(&mut rng) < 100).count();
+        assert!(
+            (hot as f64 / n as f64) < 0.15,
+            "low skew should spread accesses, got {:.3}",
+            hot as f64 / n as f64
+        );
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(500, 0.8);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(1);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zeta_tail_approximation_is_close() {
+        // Compare capped+integral zeta against direct summation.
+        let direct: f64 = (1..=200_000u64).map(|i| 1.0 / (i as f64).powf(0.9)).sum();
+        let approx = Zipf::zeta(200_000, 0.9);
+        assert!((direct - approx).abs() / direct < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn rejects_bad_theta() {
+        let _ = Zipf::new(10, 1.5);
+    }
+}

@@ -1,0 +1,52 @@
+//! Checkpoint-interval tuning (Appendix C in miniature): how the redo
+//! window and the recovery method interact with checkpoint frequency.
+//!
+//! ```sh
+//! cargo run --release -p lr-core --example checkpoint_tuning
+//! ```
+
+use lr_common::IoModel;
+use lr_core::{Engine, EngineConfig, RecoveryMethod, ShadowDb};
+use lr_workload::{run_to_crash, CrashScenario, TxnGenerator, WorkloadSpec};
+
+fn main() -> lr_common::Result<()> {
+    println!("redo time (simulated ms) as the checkpoint interval grows:\n");
+    println!("{:>10}  {:>10}  {:>10}  {:>10}", "interval", "Log0", "Log1", "Log2");
+
+    for factor in [1u64, 3, 9] {
+        let cfg = EngineConfig {
+            initial_rows: 16_000,
+            pool_pages: 150,
+            io_model: IoModel::default(),
+            dirty_batch_cap: 48,
+            flush_batch_cap: 48,
+            ..EngineConfig::default()
+        };
+        let scenario = CrashScenario {
+            updates_per_checkpoint: 500 * factor,
+            checkpoints_before_crash: 3,
+            tail_updates: 15,
+            warm_cache: true,
+        };
+        let mut shadow = ShadowDb::with_initial_rows(&cfg);
+        let mut gen = TxnGenerator::new(WorkloadSpec::paper_default(cfg.initial_rows, 100, 1));
+        let mut engine = Engine::build(cfg)?;
+        run_to_crash(&mut engine, &mut shadow, &mut gen, &scenario)
+            .expect("scenario runs to the crash point");
+
+        let mut row = vec![format!("{}x", factor)];
+        for method in [RecoveryMethod::Log0, RecoveryMethod::Log1, RecoveryMethod::Log2] {
+            let forked = engine.fork_crashed()?;
+            let mut forked = forked;
+            let report = forked.recover(method)?;
+            shadow.verify_against(&mut forked)?;
+            row.push(format!("{:.1}", report.redo_ms()));
+        }
+        println!("{:>10}  {:>10}  {:>10}  {:>10}", row[0], row[1], row[2], row[3]);
+    }
+
+    println!("\nLonger intervals mean longer redo logs: naive logical redo (Log0) pays");
+    println!("linearly, the DPT caps Log1 near the dirty-cache equilibrium, and");
+    println!("prefetching (Log2) shrugs the interval off almost entirely (App. C).");
+    Ok(())
+}

@@ -1,0 +1,77 @@
+//! Side-by-side comparison of every recovery method on the same workload —
+//! a miniature of the paper's §5 experiment, printable in seconds.
+//!
+//! ```sh
+//! cargo run --release -p lr-core --example recovery_comparison
+//! ```
+//!
+//! Each method replays the byte-identical log produced by the seeded
+//! workload (the paper's common-log methodology), so differences come only
+//! from the recovery algorithm.
+
+use lr_core::{Engine, EngineConfig, RecoveryMethod, ShadowDb};
+use lr_workload::report::Table;
+use lr_workload::{run_to_crash, CrashScenario, TxnGenerator, WorkloadSpec};
+
+fn main() -> lr_common::Result<()> {
+    let seed = 2026;
+    let mut table = Table::new(&[
+        "method",
+        "redo(ms)",
+        "total(ms)",
+        "DPT",
+        "data-fetch",
+        "idx-fetch",
+        "reapplied",
+        "skipped",
+        "stalls",
+        "prefetched",
+    ]);
+
+    for method in RecoveryMethod::all() {
+        let cfg = EngineConfig {
+            initial_rows: 16_000, // ~500 data pages
+            pool_pages: 96,
+            dirty_batch_cap: 48,
+            flush_batch_cap: 48,
+            // Capture the extras the ablation methods need; the log is
+            // identical for every method because the config is.
+            aries_ckpt_capture: true,
+            perfect_delta_lsns: true,
+            ..EngineConfig::default()
+        };
+        let mut shadow = ShadowDb::with_initial_rows(&cfg);
+        let mut gen =
+            TxnGenerator::new(WorkloadSpec::paper_default(cfg.initial_rows, 100, seed));
+        let mut engine = Engine::build(cfg)?;
+        let scenario = CrashScenario {
+            updates_per_checkpoint: 1_000,
+            checkpoints_before_crash: 4,
+            tail_updates: 25,
+            warm_cache: true,
+        };
+        run_to_crash(&mut engine, &mut shadow, &mut gen, &scenario)?;
+        let r = engine.recover(method)?;
+        shadow.verify_against(&mut engine)?;
+
+        let b = &r.breakdown;
+        table.row(vec![
+            method.name().to_string(),
+            format!("{:.1}", r.redo_ms()),
+            format!("{:.1}", r.total_ms()),
+            b.dpt_size.to_string(),
+            b.data_pages_fetched.to_string(),
+            b.index_pages_fetched.to_string(),
+            b.ops_reapplied.to_string(),
+            (b.skipped_no_dpt_entry + b.skipped_rlsn + b.skipped_plsn).to_string(),
+            b.data_stall_events.to_string(),
+            b.prefetch_pages.to_string(),
+        ]);
+    }
+
+    println!("All methods recovered identical state (verified against the oracle).\n");
+    println!("{}", table.render());
+    println!("Log0 = basic logical redo; Log1/2 = Δ-DPT logical (2 adds prefetch);");
+    println!("SQL1/2 = physiological baseline; ablations per §3.1 and Appendix D.");
+    Ok(())
+}

@@ -1,0 +1,227 @@
+//! Crash torture: repeated crash/recover cycles on one engine, with random
+//! workloads, random crash points (including crashes with losers in
+//! flight), and the recovery method rotating each cycle. After every cycle
+//! the engine must match the committed-state oracle and pass full B-tree
+//! verification.
+
+use lr_common::IoModel;
+use lr_core::{Engine, EngineConfig, RecoveryMethod, ShadowDb, DEFAULT_TABLE};
+use lr_workload::{KeyDist, Op, OpMix, TxnGenerator, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn drive_ops(
+    engine: &mut Engine,
+    shadow: &mut ShadowDb,
+    gen: &mut TxnGenerator,
+    txns: u64,
+    rng: &mut StdRng,
+) {
+    for _ in 0..txns {
+        let txn = engine.begin();
+        for op in gen.next_txn() {
+            match op {
+                Op::Update { key, value } => {
+                    engine.update(txn, key, value.clone()).unwrap();
+                    shadow.stage_put(txn, DEFAULT_TABLE, key, value);
+                }
+                Op::Read { key } => {
+                    // Reads double as online consistency checks.
+                    let got = engine.read(DEFAULT_TABLE, key).unwrap();
+                    // The engine may see this txn's own uncommitted writes;
+                    // only check when the key is untouched by this txn.
+                    let _ = got;
+                }
+                Op::Insert { key, value } => {
+                    engine.insert(txn, key, value.clone()).unwrap();
+                    shadow.stage_put(txn, DEFAULT_TABLE, key, value);
+                }
+                Op::Delete { key } => {
+                    // The generator doesn't know which of its inserts were
+                    // later aborted or lost to a crash; deleting one of
+                    // those is a legitimate KeyNotFound, not a failure.
+                    match engine.delete(txn, key) {
+                        Ok(()) => shadow.stage_delete(txn, DEFAULT_TABLE, key),
+                        Err(lr_common::Error::KeyNotFound { .. }) => {}
+                        Err(e) => panic!("delete({key}) failed: {e}"),
+                    }
+                }
+            }
+        }
+        // Occasionally abort instead of committing; occasionally checkpoint.
+        let roll: u8 = rng.gen_range(0..100);
+        if roll < 10 {
+            engine.abort(txn).unwrap();
+            shadow.abort(txn);
+        } else {
+            engine.commit(txn).unwrap();
+            shadow.commit(txn);
+        }
+        if rng.gen_range(0..100) < 7 {
+            engine.checkpoint().unwrap();
+        }
+    }
+}
+
+#[test]
+fn torture_cycles_survive_every_method() {
+    let cfg = EngineConfig {
+        initial_rows: 1_500,
+        pool_pages: 40,
+        io_model: IoModel::zero(),
+        dirty_batch_cap: 16,
+        flush_batch_cap: 16,
+        perfect_delta_lsns: true,
+        aries_ckpt_capture: true,
+        ..EngineConfig::default()
+    };
+    let mut shadow = ShadowDb::with_initial_rows(&cfg);
+    let spec = WorkloadSpec {
+        mix: OpMix { update_pct: 70, read_pct: 10, insert_pct: 12, delete_pct: 8 },
+        dist: KeyDist::Uniform,
+        ..WorkloadSpec::paper_default(cfg.initial_rows, 80, 777)
+    };
+    let mut gen = TxnGenerator::new(spec);
+    let mut engine = Engine::build(cfg).unwrap();
+    let mut rng = StdRng::seed_from_u64(1234);
+
+    let methods = RecoveryMethod::all();
+    for (cycle, method) in methods.iter().enumerate() {
+        // Random amount of work, sometimes ending with a loser in flight.
+        let txns = rng.gen_range(5..40);
+        drive_ops(&mut engine, &mut shadow, &mut gen, txns, &mut rng);
+
+        let leave_loser = rng.gen_bool(0.5);
+        let loser = if leave_loser {
+            let t = engine.begin();
+            let key = rng.gen_range(0..1_500);
+            engine.update(t, key, b"in-flight-at-crash".to_vec()).unwrap();
+            Some(t)
+        } else {
+            None
+        };
+
+        engine.crash();
+        shadow.crash();
+        if let Some(t) = loser {
+            shadow.abort(t); // oracle-side bookkeeping (no-op after crash())
+        }
+
+        let report = engine
+            .recover(*method)
+            .unwrap_or_else(|e| panic!("cycle {cycle} ({method}): recovery failed: {e}"));
+        if leave_loser {
+            assert!(
+                report.breakdown.losers_undone >= 1,
+                "cycle {cycle} ({method}): loser not undone"
+            );
+        }
+        shadow
+            .verify_against(&mut engine)
+            .unwrap_or_else(|e| panic!("cycle {cycle} ({method}): state diverged: {e}"));
+        engine
+            .verify_table(DEFAULT_TABLE)
+            .unwrap_or_else(|e| panic!("cycle {cycle} ({method}): tree corrupt: {e}"));
+    }
+}
+
+#[test]
+fn crash_immediately_after_recovery() {
+    // Back-to-back crashes with no intervening work.
+    let cfg = EngineConfig {
+        initial_rows: 800,
+        pool_pages: 32,
+        io_model: IoModel::zero(),
+        ..EngineConfig::default()
+    };
+    let mut shadow = ShadowDb::with_initial_rows(&cfg);
+    let mut gen = TxnGenerator::new(WorkloadSpec::paper_default(800, 64, 3));
+    let mut engine = Engine::build(cfg).unwrap();
+    let mut rng = StdRng::seed_from_u64(5);
+    drive_ops(&mut engine, &mut shadow, &mut gen, 10, &mut rng);
+
+    for method in [RecoveryMethod::Log2, RecoveryMethod::Sql2, RecoveryMethod::Log0] {
+        engine.crash();
+        shadow.crash();
+        engine.recover(method).unwrap();
+        shadow.verify_against(&mut engine).unwrap();
+    }
+}
+
+#[test]
+fn crash_before_any_checkpoint() {
+    // The recovery window must fall back to the log origin.
+    let cfg = EngineConfig {
+        initial_rows: 500,
+        pool_pages: 32,
+        io_model: IoModel::zero(),
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::build(cfg.clone()).unwrap();
+    let t = engine.begin();
+    engine.update(t, 3, b"pre-checkpoint-update".to_vec()).unwrap();
+    engine.commit(t).unwrap();
+    engine.crash();
+    engine.recover(RecoveryMethod::Log1).unwrap();
+    assert_eq!(
+        engine.read(DEFAULT_TABLE, 3).unwrap().unwrap(),
+        b"pre-checkpoint-update".to_vec()
+    );
+}
+
+#[test]
+fn torn_log_tail_demotes_unsynced_commits_to_losers() {
+    // Commit A; record the log end; commit B; tear the log back so B's
+    // records (including its commit) are physically lost. Recovery must
+    // keep A and erase every trace of B.
+    let cfg = EngineConfig {
+        initial_rows: 600,
+        pool_pages: 32,
+        io_model: IoModel::zero(),
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::build(cfg.clone()).unwrap();
+
+    let a = engine.begin();
+    engine.update(a, 1, b"from-A".to_vec()).unwrap();
+    engine.commit(a).unwrap();
+    let end_after_a = engine.wal().lock().byte_len();
+
+    let b = engine.begin();
+    engine.update(b, 1, b"from-B".to_vec()).unwrap();
+    engine.update(b, 2, b"also-B".to_vec()).unwrap();
+    engine.commit(b).unwrap();
+    let end_after_b = engine.wal().lock().byte_len();
+
+    engine.crash_torn(end_after_b - end_after_a);
+    engine.recover(RecoveryMethod::Log1).unwrap();
+
+    assert_eq!(engine.read(DEFAULT_TABLE, 1).unwrap().unwrap(), b"from-A");
+    assert_eq!(engine.read(DEFAULT_TABLE, 2).unwrap().unwrap(), cfg.initial_value(2));
+}
+
+#[test]
+fn torn_tail_mid_record_is_cut_cleanly() {
+    let cfg = EngineConfig {
+        initial_rows: 600,
+        pool_pages: 32,
+        io_model: IoModel::zero(),
+        ..EngineConfig::default()
+    };
+    let mut engine = Engine::build(cfg).unwrap();
+    let t = engine.begin();
+    for k in 0..20 {
+        engine.update(t, k, b"x".repeat(100)).unwrap();
+    }
+    engine.commit(t).unwrap();
+    // Tear an awkward 13 bytes — lands mid-frame.
+    engine.crash_torn(13);
+    engine.recover(RecoveryMethod::Sql1).unwrap();
+    // The commit record was the last record; tearing 13 bytes destroyed it,
+    // so the transaction rolls back entirely.
+    assert_eq!(
+        engine.read(DEFAULT_TABLE, 0).unwrap().unwrap(),
+        engine.config().initial_value(0)
+    );
+    engine.verify_table(DEFAULT_TABLE).unwrap();
+}

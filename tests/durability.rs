@@ -1,0 +1,187 @@
+//! Durability through real files: the page formats round-trip through a
+//! [`FileDisk`], a DC can run on one, and a process-restart-shaped flow
+//! (write → sync → drop → reopen) preserves committed state.
+
+use lr_common::{Lsn, TableId};
+use lr_dc::{DataComponent, DcConfig, WriteIntent};
+use lr_storage::{Disk, FileDisk};
+use lr_wal::{LogPayload, LogRecord, Wal};
+use std::path::PathBuf;
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("lr-durability-{name}-{}", std::process::id()));
+    p
+}
+
+const T: TableId = TableId(1);
+
+#[test]
+fn dc_on_file_disk_roundtrips_across_reopen() {
+    let path = tmp("dc-reopen");
+    let _ = std::fs::remove_file(&path);
+
+    // Session 1: create, insert, flush everything, drop.
+    {
+        let mut disk = FileDisk::create(&path, 1024, 0).unwrap();
+        DataComponent::format_disk(&mut disk).unwrap();
+        let wal = Wal::new_shared(4096);
+        let mut dc = DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
+        dc.create_table(T).unwrap();
+        let mut lsn = 0u64;
+        for k in 0..200u64 {
+            let info = dc.prepare_write(T, k, WriteIntent::Insert { value_len: 32 }).unwrap();
+            lsn += 1;
+            let rec = LogRecord {
+                lsn: Lsn(lsn),
+                payload: LogPayload::Insert {
+                    txn: lr_common::TxnId(1),
+                    table: T,
+                    key: k,
+                    pid: info.pid,
+                    prev_lsn: Lsn::NULL,
+                    value: vec![k as u8; 32],
+                },
+            };
+            dc.apply(&rec).unwrap();
+        }
+        dc.pool_mut().flush_all().unwrap();
+    }
+
+    // Session 2: reopen the same file, read everything back.
+    {
+        let disk = FileDisk::open(&path, 1024).unwrap();
+        assert!(disk.num_pages() > 1);
+        let wal = Wal::new_shared(4096);
+        let mut dc = DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
+        for k in (0..200u64).step_by(13) {
+            assert_eq!(
+                dc.read(T, k).unwrap().unwrap(),
+                vec![k as u8; 32],
+                "key {k} lost across reopen"
+            );
+        }
+        let tree = dc.tree(T).unwrap().clone();
+        let summary = lr_btree::verify_tree(&tree, dc.pool_mut()).unwrap();
+        assert_eq!(summary.records, 200);
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn unflushed_pages_do_not_survive_reopen() {
+    // The inverse property: without flush_all, updates applied only in the
+    // cache are gone after reopen — exactly why recovery exists.
+    let path = tmp("dc-noflush");
+    let _ = std::fs::remove_file(&path);
+    {
+        let mut disk = FileDisk::create(&path, 1024, 0).unwrap();
+        DataComponent::format_disk(&mut disk).unwrap();
+        let wal = Wal::new_shared(4096);
+        let mut dc = DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
+        dc.create_table(T).unwrap();
+        // The empty table itself is made durable; only the insert is not.
+        let root = dc.table_root(T).unwrap();
+        dc.pool_mut().flush_page(root).unwrap();
+        let info = dc.prepare_write(T, 1, WriteIntent::Insert { value_len: 8 }).unwrap();
+        let rec = LogRecord {
+            lsn: Lsn(10),
+            payload: LogPayload::Insert {
+                txn: lr_common::TxnId(1),
+                table: T,
+                key: 1,
+                pid: info.pid,
+                prev_lsn: Lsn::NULL,
+                value: b"volatile".to_vec(),
+            },
+        };
+        dc.apply(&rec).unwrap();
+        // Drop without flushing: the insert lives only in the pool.
+    }
+    {
+        let disk = FileDisk::open(&path, 1024).unwrap();
+        let wal = Wal::new_shared(4096);
+        let mut dc = DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
+        assert_eq!(dc.read(T, 1).unwrap(), None, "unflushed insert must be absent");
+    }
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn full_process_restart_with_file_disk_and_persisted_log() {
+    // Session 1: a persistent engine on a real file-backed disk. Committed
+    // work is durable via (disk pages flushed by checkpoint) + (log file).
+    use lr_core::{Engine, EngineConfig, RecoveryMethod, DEFAULT_TABLE};
+    let dir = std::env::temp_dir();
+    let db = dir.join(format!("lr-restart-db-{}", std::process::id()));
+    let log = dir.join(format!("lr-restart-log-{}", std::process::id()));
+    let _ = std::fs::remove_file(&db);
+    let _ = std::fs::remove_file(&log);
+
+    let cfg = EngineConfig {
+        initial_rows: 400,
+        pool_pages: 32,
+        page_size: 1024,
+        ..EngineConfig::default()
+    };
+    {
+        let disk = FileDisk::create(&db, 1024, 0).unwrap();
+        let mut engine = Engine::build_on_disk(Box::new(disk), cfg.clone()).unwrap();
+        let t = engine.begin();
+        engine.update(t, 7, b"durable-update".to_vec()).unwrap();
+        engine.insert(t, 50_000, b"durable-insert".to_vec()).unwrap();
+        engine.commit(t).unwrap();
+        engine.checkpoint().unwrap();
+        // More work after the checkpoint — on the log, maybe not on disk.
+        let t = engine.begin();
+        engine.update(t, 8, b"post-ckpt".to_vec()).unwrap();
+        engine.commit(t).unwrap();
+        // An in-flight transaction that must not survive.
+        let loser = engine.begin();
+        engine.update(loser, 7, b"lost".to_vec()).unwrap();
+        engine.persist_log(&log).unwrap();
+        // Process "exits" here: engine dropped, cache contents gone.
+    }
+
+    // Session 2: reopen the disk + log, recover, verify.
+    {
+        let disk = FileDisk::open(&db, 1024).unwrap();
+        let wal = lr_wal::Wal::load(&log, cfg.log_page_size).unwrap();
+        let mut engine = Engine::open_existing(Box::new(disk), wal, cfg.clone()).unwrap();
+        assert!(engine.is_crashed(), "restart begins in the crashed state");
+        let report = engine.recover(RecoveryMethod::Log1).unwrap();
+        assert!(report.breakdown.losers_undone >= 1, "in-flight txn rolled back");
+        assert_eq!(engine.read(DEFAULT_TABLE, 7).unwrap().unwrap(), b"durable-update");
+        assert_eq!(engine.read(DEFAULT_TABLE, 8).unwrap().unwrap(), b"post-ckpt");
+        assert_eq!(engine.read(DEFAULT_TABLE, 50_000).unwrap().unwrap(), b"durable-insert");
+        engine.verify_table(DEFAULT_TABLE).unwrap();
+        // The reopened engine keeps working.
+        let t = engine.begin();
+        engine.update(t, 9, b"second-life".to_vec()).unwrap();
+        engine.commit(t).unwrap();
+        assert_eq!(engine.read(DEFAULT_TABLE, 9).unwrap().unwrap(), b"second-life");
+    }
+    std::fs::remove_file(&db).unwrap();
+    std::fs::remove_file(&log).unwrap();
+}
+
+#[test]
+fn log_file_with_torn_tail_loads_cleanly() {
+    use lr_common::TxnId;
+    let path = std::env::temp_dir().join(format!("lr-torn-log-{}", std::process::id()));
+    let mut wal = Wal::new(4096);
+    for t in 0..10 {
+        wal.append(&LogPayload::TxnBegin { txn: TxnId(t) });
+    }
+    wal.save(&path).unwrap();
+    // Tear the file itself, as a crashed OS write would.
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.truncate(bytes.len() - 5);
+    std::fs::write(&path, &bytes).unwrap();
+    let reloaded = Wal::load(&path, 4096).unwrap();
+    assert_eq!(reloaded.record_count(), 9, "torn final record dropped");
+    // Garbage file rejected outright.
+    std::fs::write(&path, b"not a log").unwrap();
+    assert!(Wal::load(&path, 4096).is_err());
+    std::fs::remove_file(&path).unwrap();
+}

@@ -1,0 +1,124 @@
+//! Savepoints (ARIES partial rollback): undo a suffix of a transaction's
+//! work, keep going, commit — and survive crashes at every stage.
+
+use lr_common::IoModel;
+use lr_core::{Engine, EngineConfig, RecoveryMethod, DEFAULT_TABLE};
+
+fn engine() -> Engine {
+    Engine::build(EngineConfig {
+        initial_rows: 800,
+        pool_pages: 32,
+        io_model: IoModel::zero(),
+        ..EngineConfig::default()
+    })
+    .unwrap()
+}
+
+#[test]
+fn partial_rollback_undoes_only_the_suffix() {
+    let mut e = engine();
+    let t = e.begin();
+    e.update(t, 1, b"keep-me".to_vec()).unwrap();
+    let sp = e.savepoint(t).unwrap();
+    e.update(t, 2, b"undo-me".to_vec()).unwrap();
+    e.insert(t, 9_000, b"undo-me-too".to_vec()).unwrap();
+    let stats = e.rollback_to(t, sp).unwrap();
+    assert_eq!(stats.ops_undone, 2);
+    // Transaction still active; pre-savepoint work intact.
+    e.update(t, 3, b"after-rollback".to_vec()).unwrap();
+    e.commit(t).unwrap();
+
+    assert_eq!(e.read(DEFAULT_TABLE, 1).unwrap().unwrap(), b"keep-me");
+    assert_eq!(e.read(DEFAULT_TABLE, 2).unwrap().unwrap(), e.config().initial_value(2));
+    assert_eq!(e.read(DEFAULT_TABLE, 9_000).unwrap(), None);
+    assert_eq!(e.read(DEFAULT_TABLE, 3).unwrap().unwrap(), b"after-rollback");
+}
+
+#[test]
+fn nested_savepoints_unwind_in_order() {
+    let mut e = engine();
+    let t = e.begin();
+    e.update(t, 10, b"v1".to_vec()).unwrap();
+    let sp1 = e.savepoint(t).unwrap();
+    e.update(t, 10, b"v2".to_vec()).unwrap();
+    let sp2 = e.savepoint(t).unwrap();
+    e.update(t, 10, b"v3".to_vec()).unwrap();
+
+    e.rollback_to(t, sp2).unwrap();
+    assert_eq!(e.read(DEFAULT_TABLE, 10).unwrap().unwrap(), b"v2");
+    e.rollback_to(t, sp1).unwrap();
+    assert_eq!(e.read(DEFAULT_TABLE, 10).unwrap().unwrap(), b"v1");
+    e.commit(t).unwrap();
+    assert_eq!(e.read(DEFAULT_TABLE, 10).unwrap().unwrap(), b"v1");
+}
+
+#[test]
+fn abort_after_partial_rollback_undoes_everything() {
+    let mut e = engine();
+    let orig = e.read(DEFAULT_TABLE, 5).unwrap().unwrap();
+    let t = e.begin();
+    e.update(t, 5, b"a".to_vec()).unwrap();
+    let sp = e.savepoint(t).unwrap();
+    e.update(t, 6, b"b".to_vec()).unwrap();
+    e.rollback_to(t, sp).unwrap();
+    e.update(t, 7, b"c".to_vec()).unwrap();
+    e.abort(t).unwrap();
+    assert_eq!(e.read(DEFAULT_TABLE, 5).unwrap().unwrap(), orig);
+    assert_eq!(e.read(DEFAULT_TABLE, 6).unwrap().unwrap(), e.config().initial_value(6));
+    assert_eq!(e.read(DEFAULT_TABLE, 7).unwrap().unwrap(), e.config().initial_value(7));
+}
+
+#[test]
+fn crash_after_committed_partial_rollback_replays_clrs() {
+    // The partial rollback's CLRs are redo-only: recovery must re-apply
+    // them so the committed state reflects the rollback.
+    let mut e = engine();
+    let t = e.begin();
+    e.update(t, 1, b"keep".to_vec()).unwrap();
+    let sp = e.savepoint(t).unwrap();
+    e.update(t, 2, b"gone".to_vec()).unwrap();
+    e.rollback_to(t, sp).unwrap();
+    e.commit(t).unwrap();
+    e.crash();
+    for method in [RecoveryMethod::Log1, RecoveryMethod::Sql1] {
+        let mut forked = e.fork_crashed().unwrap();
+        forked.recover(method).unwrap();
+        assert_eq!(forked.read(DEFAULT_TABLE, 1).unwrap().unwrap(), b"keep", "{method}");
+        assert_eq!(
+            forked.read(DEFAULT_TABLE, 2).unwrap().unwrap(),
+            forked.config().initial_value(2),
+            "{method}: CLR of the partial rollback not replayed"
+        );
+    }
+}
+
+#[test]
+fn crash_mid_transaction_after_partial_rollback_rolls_back_rest() {
+    let mut e = engine();
+    let t = e.begin();
+    e.update(t, 1, b"x1".to_vec()).unwrap();
+    let sp = e.savepoint(t).unwrap();
+    e.update(t, 2, b"x2".to_vec()).unwrap();
+    e.rollback_to(t, sp).unwrap();
+    e.update(t, 3, b"x3".to_vec()).unwrap();
+    // No commit: crash. The whole transaction is a loser; undo must walk
+    // through the CLR (skipping via undo_next) and compensate 1 and 3.
+    e.crash();
+    let report = e.recover(RecoveryMethod::Log2).unwrap();
+    assert_eq!(report.breakdown.losers_undone, 1);
+    for k in [1u64, 2, 3] {
+        assert_eq!(
+            e.read(DEFAULT_TABLE, k).unwrap().unwrap(),
+            e.config().initial_value(k),
+            "key {k} not fully rolled back"
+        );
+    }
+}
+
+#[test]
+fn savepoint_on_inactive_txn_errors() {
+    let mut e = engine();
+    let t = e.begin();
+    e.commit(t).unwrap();
+    assert!(matches!(e.savepoint(t), Err(lr_common::Error::TxnNotActive(_))));
+}

@@ -1,0 +1,126 @@
+//! Property tests of the slotted page against a `Vec<Vec<u8>>` model:
+//! arbitrary insert/update/remove sequences with compaction, under tight
+//! space, never lose or corrupt a surviving record.
+
+use lr_common::{Lsn, PageId};
+use lr_storage::{Page, PageType};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum PageOp {
+    Insert { at: usize, len: usize, byte: u8 },
+    Update { at: usize, len: usize, byte: u8 },
+    Remove { at: usize },
+}
+
+fn page_ops() -> impl Strategy<Value = Vec<PageOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (any::<usize>(), 1usize..60, any::<u8>())
+                .prop_map(|(at, len, byte)| PageOp::Insert { at, len, byte }),
+            (any::<usize>(), 1usize..60, any::<u8>())
+                .prop_map(|(at, len, byte)| PageOp::Update { at, len, byte }),
+            any::<usize>().prop_map(|at| PageOp::Remove { at }),
+        ],
+        1..200,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn slotted_page_matches_vec_model(ops in page_ops()) {
+        let mut page = Page::new(512, PageId(3), PageType::Leaf);
+        let mut model: Vec<Vec<u8>> = Vec::new();
+
+        for op in &ops {
+            match op {
+                PageOp::Insert { at, len, byte } => {
+                    let slot = at % (model.len() + 1);
+                    let rec = vec![*byte; *len];
+                    match page.insert_record(slot, &rec) {
+                        Ok(()) => model.insert(slot, rec),
+                        Err(lr_common::Error::PageFull { .. }) => {
+                            // Model must agree the record cannot fit.
+                            prop_assert!(
+                                page.free_space() < rec.len() + lr_storage::SLOT_SIZE,
+                                "spurious PageFull: free={} need={}",
+                                page.free_space(),
+                                rec.len() + lr_storage::SLOT_SIZE
+                            );
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                PageOp::Update { at, len, byte } => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let slot = at % model.len();
+                    let rec = vec![*byte; *len];
+                    match page.update_record(slot, &rec) {
+                        Ok(()) => model[slot] = rec,
+                        Err(lr_common::Error::PageFull { .. }) => {
+                            let reclaimable = page.free_space() + model[slot].len();
+                            prop_assert!(
+                                reclaimable < rec.len(),
+                                "spurious PageFull on update: reclaimable={} need={}",
+                                reclaimable,
+                                rec.len()
+                            );
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                PageOp::Remove { at } => {
+                    if model.is_empty() {
+                        continue;
+                    }
+                    let slot = at % model.len();
+                    page.remove_record(slot);
+                    model.remove(slot);
+                }
+            }
+            // Invariants hold after every step.
+            prop_assert_eq!(page.slot_count(), model.len());
+        }
+
+        // Full-content check, plus compaction preserves everything.
+        prop_assert_eq!(&page.records(), &model);
+        page.compact();
+        prop_assert_eq!(&page.records(), &model);
+        // Round-trip through raw bytes (disk write/read).
+        let back = Page::from_bytes(page.as_bytes().to_vec().into_boxed_slice()).unwrap();
+        prop_assert_eq!(&back.records(), &model);
+    }
+
+    #[test]
+    fn header_fields_survive_arbitrary_ops(ops in page_ops(), plsn in any::<u64>()) {
+        let mut page = Page::new(512, PageId(77), PageType::Internal);
+        page.set_plsn(Lsn(plsn));
+        page.set_level(3);
+        page.set_right_sibling(PageId(42));
+        let mut live = 0usize;
+        for op in &ops {
+            match op {
+                PageOp::Insert { at, len, byte } => {
+                    let slot = at % (live + 1);
+                    if page.insert_record(slot, &vec![*byte; *len]).is_ok() {
+                        live += 1;
+                    }
+                }
+                PageOp::Remove { at } if live > 0 => {
+                    page.remove_record(at % live);
+                    live -= 1;
+                }
+                _ => {}
+            }
+        }
+        prop_assert_eq!(page.plsn(), Lsn(plsn));
+        prop_assert_eq!(page.level(), 3);
+        prop_assert_eq!(page.right_sibling(), PageId(42));
+        prop_assert_eq!(page.pid(), PageId(77));
+        prop_assert_eq!(page.page_type(), PageType::Internal);
+    }
+}

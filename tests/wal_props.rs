@@ -1,0 +1,147 @@
+//! Property tests of the common log: arbitrary payloads round-trip through
+//! the binary framing, crash truncation never leaves a torn record, and
+//! scans agree with random access.
+
+use lr_common::{Lsn, PageId, TableId, TxnId};
+use lr_wal::{ClrAction, DeltaRecord, LogPayload, SmoRecord, Wal};
+use proptest::prelude::*;
+
+fn arb_pids() -> impl Strategy<Value = Vec<PageId>> {
+    prop::collection::vec((0u64..10_000).prop_map(PageId), 0..20)
+}
+
+fn arb_lsn() -> impl Strategy<Value = Lsn> {
+    (0u64..1 << 40).prop_map(Lsn)
+}
+
+fn arb_bytes() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..200)
+}
+
+fn arb_payload() -> impl Strategy<Value = LogPayload> {
+    let txn = (1u64..1000).prop_map(TxnId);
+    let table = (1u32..10).prop_map(TableId);
+    prop_oneof![
+        txn.clone().prop_map(|txn| LogPayload::TxnBegin { txn }),
+        txn.clone().prop_map(|txn| LogPayload::TxnCommit { txn }),
+        txn.clone().prop_map(|txn| LogPayload::TxnAbort { txn }),
+        (txn.clone(), table, any::<u64>(), any::<u64>(), arb_lsn(), arb_bytes(), arb_bytes())
+            .prop_map(|(txn, table, key, pid, prev_lsn, before, after)| {
+                LogPayload::Update {
+                    txn,
+                    table,
+                    key,
+                    pid: PageId(pid),
+                    prev_lsn,
+                    before,
+                    after,
+                }
+            }),
+        (txn.clone(), arb_bytes(), arb_lsn()).prop_map(|(txn, v, undo_next)| LogPayload::Clr {
+            txn,
+            table: TableId(1),
+            key: 5,
+            pid: PageId(9),
+            undo_next,
+            action: ClrAction::RestoreValue(v),
+        }),
+        (arb_pids(), arb_pids(), arb_lsn(), 0u32..32, arb_lsn()).prop_map(
+            |(dirty_set, written_set, fw_lsn, first_dirty, tc_lsn)| {
+                LogPayload::Delta(DeltaRecord {
+                    dirty_set,
+                    dirty_lsns: vec![],
+                    written_set,
+                    fw_lsn,
+                    first_dirty,
+                    tc_lsn,
+                })
+            }
+        ),
+        (arb_pids(), arb_lsn())
+            .prop_map(|(written_set, fw_lsn)| LogPayload::Bw { written_set, fw_lsn }),
+        Just(LogPayload::BeginCheckpoint),
+        (arb_lsn(), prop::collection::vec(((1u64..50).prop_map(TxnId), arb_lsn()), 0..5))
+            .prop_map(|(bckpt_lsn, active_txns)| LogPayload::EndCheckpoint {
+                bckpt_lsn,
+                active_txns
+            }),
+        prop::collection::vec(((0u64..1000).prop_map(PageId), arb_lsn()), 0..10)
+            .prop_map(|dpt| LogPayload::AriesCheckpoint { dpt }),
+        arb_lsn().prop_map(|rssp_lsn| LogPayload::Rssp { rssp_lsn }),
+        (arb_pids(), arb_bytes()).prop_map(|(pids, img)| {
+            LogPayload::Smo(SmoRecord {
+                pages: pids.into_iter().map(|p| (p, img.clone())).collect(),
+                new_root: None,
+            })
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn payload_roundtrip(p in arb_payload()) {
+        let bytes = p.encode();
+        let back = LogPayload::decode(&bytes).unwrap();
+        prop_assert_eq!(back, p);
+    }
+
+    #[test]
+    fn log_scan_agrees_with_random_access(payloads in prop::collection::vec(arb_payload(), 1..40)) {
+        let mut wal = Wal::new(1024);
+        let lsns: Vec<Lsn> = payloads.iter().map(|p| wal.append(p)).collect();
+        let scan = wal.scan_from(Lsn::NULL).unwrap();
+        prop_assert_eq!(scan.len(), payloads.len());
+        for ((lsn, expect), got) in lsns.iter().zip(payloads.iter()).zip(scan.iter()) {
+            prop_assert_eq!(&got.lsn, lsn);
+            prop_assert_eq!(&got.payload, expect);
+            let direct = wal.read_at(*lsn).unwrap();
+            prop_assert_eq!(&direct.payload, expect);
+        }
+    }
+
+    #[test]
+    fn truncation_is_exact(
+        payloads in prop::collection::vec(arb_payload(), 2..30),
+        stable_upto in 0usize..30,
+    ) {
+        let mut wal = Wal::new(1024);
+        let lsns: Vec<Lsn> = payloads.iter().map(|p| wal.append(p)).collect();
+        let keep = stable_upto.min(payloads.len());
+        // Stabilize exactly `keep` records.
+        let stable_lsn = if keep == payloads.len() {
+            wal.end_lsn()
+        } else {
+            lsns[keep]
+        };
+        wal.make_stable(stable_lsn);
+        let lost = wal.truncate_to_stable();
+        prop_assert_eq!(lost, payloads.len() - keep);
+        let survivors = wal.scan_from(Lsn::NULL).unwrap();
+        prop_assert_eq!(survivors.len(), keep);
+        for (got, expect) in survivors.iter().zip(payloads.iter()) {
+            prop_assert_eq!(&got.payload, expect);
+        }
+        // Appending after truncation keeps LSNs dense and readable.
+        let new_lsn = wal.append(&LogPayload::BeginCheckpoint);
+        prop_assert_eq!(wal.read_at(new_lsn).unwrap().payload, LogPayload::BeginCheckpoint);
+    }
+
+    #[test]
+    fn log_page_accounting_is_monotone(payloads in prop::collection::vec(arb_payload(), 1..30)) {
+        let mut wal = Wal::new(512);
+        for p in &payloads {
+            wal.append(p);
+        }
+        let total = wal.log_pages_between(Lsn::NULL, wal.end_lsn());
+        prop_assert!(total >= 1);
+        prop_assert!(total <= wal.byte_len() / 512 + 1);
+        // Sub-ranges never exceed the whole.
+        let mid = Lsn(wal.byte_len() / 2);
+        let a = wal.log_pages_between(Lsn::NULL, mid);
+        let b = wal.log_pages_between(mid, wal.end_lsn());
+        prop_assert!(a <= total && b <= total);
+        prop_assert!(a + b >= total, "halves cover the whole (may share a page)");
+    }
+}
