@@ -61,42 +61,38 @@ fn bench_slotted_page(c: &mut Criterion) {
 
 fn tree_fixture(rows: u64) -> (BufferPool, lr_btree::BTree) {
     let mut disk = SimDisk::new(4096, 0, SimClock::new(), IoModel::zero());
-    let root = lr_btree::bulk_load(
-        &mut disk,
-        TableId(1),
-        (0..rows).map(|k| (k, vec![k as u8; 100])),
-        0.9,
-    )
-    .unwrap();
-    let mut pool = BufferPool::new(Box::new(disk), 1 << 16, Box::new(|l| l));
+    let root =
+        lr_btree::bulk_load(&mut disk, TableId(1), (0..rows).map(|k| (k, vec![k as u8; 100])), 0.9)
+            .unwrap();
+    let pool = BufferPool::new(Box::new(disk), 1 << 16, Box::new(|l| l));
     pool.set_elsn(Lsn::MAX);
     (pool, lr_btree::BTree::attach(TableId(1), root))
 }
 
 fn bench_btree(c: &mut Criterion) {
     let mut g = c.benchmark_group("btree");
-    let (mut pool, tree) = tree_fixture(100_000);
+    let (pool, tree) = tree_fixture(100_000);
     let mut rng = StdRng::seed_from_u64(1);
     g.throughput(Throughput::Elements(1));
     g.bench_function("get_100k_rows", |b| {
         b.iter(|| {
             let k = rng.gen_range(0..100_000);
-            tree.get(&mut pool, k).unwrap()
+            tree.get(&pool, k).unwrap()
         })
     });
     g.bench_function("find_leaf_pid_100k_rows", |b| {
         b.iter(|| {
             let k = rng.gen_range(0..100_000);
-            tree.find_leaf_pid(&mut pool, k).unwrap()
+            tree.find_leaf_pid(&pool, k).unwrap()
         })
     });
     g.bench_function("update_in_place_100k_rows", |b| {
         let mut lsn = 1_000_000u64;
         b.iter(|| {
             let k = rng.gen_range(0..100_000);
-            let leaf = tree.find_leaf(&mut pool, k).unwrap().leaf;
+            let leaf = tree.find_leaf(&pool, k).unwrap().leaf;
             lsn += 1;
-            tree.apply_update(&mut pool, leaf, k, &[9u8; 100], Lsn(lsn)).unwrap()
+            tree.apply_update(&pool, leaf, k, &[9u8; 100], Lsn(lsn)).unwrap()
         })
     });
     g.finish();
@@ -214,7 +210,7 @@ fn bench_recovery_end_to_end(c: &mut Criterion) {
                         io_model: IoModel::default(),
                         ..EngineConfig::default()
                     };
-                    let mut engine = Engine::build(cfg).unwrap();
+                    let engine = Engine::build(cfg).unwrap();
                     let t = engine.begin();
                     for i in 0..500u64 {
                         engine.update(t, (i * 37) % 8_000, vec![i as u8; 100]).unwrap();
@@ -229,7 +225,7 @@ fn bench_recovery_end_to_end(c: &mut Criterion) {
                     engine.crash();
                     engine
                 },
-                |mut engine| engine.recover(method).unwrap().breakdown.dpt_size,
+                |engine| engine.recover(method).unwrap().breakdown.dpt_size,
                 BatchSize::SmallInput,
             )
         });

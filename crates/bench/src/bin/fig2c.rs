@@ -25,7 +25,7 @@ fn main() {
 
     for cell in sweep_cells(preset) {
         // The analysis-window counts come from any DPT-building recovery.
-        let (mut engine, _shadow, outcome) = lr_bench::run_to_crash_only(&cell);
+        let (engine, _shadow, outcome) = lr_bench::run_to_crash_only(&cell);
         let report = engine.recover(RecoveryMethod::Log1).expect("recovery");
         let seen_delta = report.breakdown.delta_records_seen;
         let seen_bw = report.breakdown.bw_records_seen;

@@ -63,11 +63,9 @@ impl CellRun {
     /// verified against the committed oracle — a benchmark that recovers
     /// the wrong data would be worthless.
     pub fn recover_with(&self, method: RecoveryMethod) -> CellResult {
-        let mut engine = self.master.fork_crashed().expect("fork crashed engine");
+        let engine = self.master.fork_crashed().expect("fork crashed engine");
         let report = engine.recover(method).expect("recovery");
-        self.shadow
-            .verify_against(&mut engine)
-            .expect("recovered state matches the oracle");
+        self.shadow.verify_against(&engine).expect("recovered state matches the oracle");
         let summary = engine.verify_table(lr_core::DEFAULT_TABLE).expect("tree verifies");
         CellResult {
             report,

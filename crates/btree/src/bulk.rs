@@ -135,29 +135,29 @@ mod tests {
         let mut disk = SimDisk::new(page_size, 1, SimClock::new(), IoModel::zero());
         let rows = (0..n).map(|k| (k * 2, format!("val-{k:08}").into_bytes()));
         let root = bulk_load(&mut disk, TableId(1), rows, fill).unwrap();
-        let mut pool = BufferPool::new(Box::new(disk), 4096, Box::new(|l| l));
+        let pool = BufferPool::new(Box::new(disk), 4096, Box::new(|l| l));
         pool.set_elsn(Lsn::MAX);
         (pool, BTree::attach(TableId(1), root))
     }
 
     #[test]
     fn loads_and_finds_everything() {
-        let (mut pool, tree) = load(5_000, 512, 0.9);
+        let (pool, tree) = load(5_000, 512, 0.9);
         for k in [0u64, 2, 4998 * 2, 9998] {
-            assert!(tree.get(&mut pool, k).unwrap().is_some(), "key {k} missing");
+            assert!(tree.get(&pool, k).unwrap().is_some(), "key {k} missing");
         }
         // Odd keys were never loaded.
-        assert!(tree.get(&mut pool, 1).unwrap().is_none());
-        assert!(tree.get(&mut pool, 9999).unwrap().is_none());
-        let summary = verify_tree(&tree, &mut pool).unwrap();
+        assert!(tree.get(&pool, 1).unwrap().is_none());
+        assert!(tree.get(&pool, 9999).unwrap().is_none());
+        let summary = verify_tree(&tree, &pool).unwrap();
         assert_eq!(summary.records, 5_000);
         assert!(summary.height >= 2);
     }
 
     #[test]
     fn scan_returns_sorted_rows() {
-        let (mut pool, tree) = load(1_000, 512, 0.8);
-        let all = tree.scan_all(&mut pool).unwrap();
+        let (pool, tree) = load(1_000, 512, 0.8);
+        let all = tree.scan_all(&pool).unwrap();
         assert_eq!(all.len(), 1_000);
         assert!(all.windows(2).all(|w| w[0].0 < w[1].0));
         assert_eq!(all[0].0, 0);
@@ -168,25 +168,25 @@ mod tests {
     fn empty_load_gives_empty_leaf_root() {
         let mut disk = SimDisk::new(512, 1, SimClock::new(), IoModel::zero());
         let root = bulk_load(&mut disk, TableId(1), std::iter::empty(), 0.9).unwrap();
-        let mut pool = BufferPool::new(Box::new(disk), 16, Box::new(|l| l));
+        let pool = BufferPool::new(Box::new(disk), 16, Box::new(|l| l));
         let tree = BTree::attach(TableId(1), root);
-        assert_eq!(tree.get(&mut pool, 1).unwrap(), None);
-        assert_eq!(tree.scan_all(&mut pool).unwrap().len(), 0);
+        assert_eq!(tree.get(&pool, 1).unwrap(), None);
+        assert_eq!(tree.scan_all(&pool).unwrap().len(), 0);
     }
 
     #[test]
     fn single_page_load() {
-        let (mut pool, tree) = load(3, 512, 0.9);
-        assert_eq!(tree.height(&mut pool).unwrap(), 1, "3 rows fit in the root leaf");
-        assert_eq!(tree.scan_all(&mut pool).unwrap().len(), 3);
+        let (pool, tree) = load(3, 512, 0.9);
+        assert_eq!(tree.height(&pool).unwrap(), 1, "3 rows fit in the root leaf");
+        assert_eq!(tree.scan_all(&pool).unwrap().len(), 3);
     }
 
     #[test]
     fn fill_factor_leaves_headroom() {
-        let (mut pool, tree) = load(2_000, 512, 0.5);
+        let (pool, tree) = load(2_000, 512, 0.5);
         // With 50% fill, every leaf should have room for at least one more
         // small record without splitting.
-        let mut cur = tree.leftmost_leaf(&mut pool).unwrap();
+        let mut cur = tree.leftmost_leaf(&pool).unwrap();
         while cur.is_valid() {
             let (free, next) =
                 pool.with_page(cur, |p| (p.free_space(), p.right_sibling())).unwrap();

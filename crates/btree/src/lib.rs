@@ -21,7 +21,7 @@ pub mod tree;
 pub mod verify;
 
 pub use bulk::bulk_load;
-pub use node::{internal_entry, leaf_record, parse_internal_entry, parse_leaf_record};
 pub use node::search_value as node_search_value;
+pub use node::{internal_entry, leaf_record, parse_internal_entry, parse_leaf_record};
 pub use tree::{BTree, SmoLogger, TraversalInfo};
 pub use verify::{verify_tree, TreeSummary};

@@ -77,6 +77,15 @@ pub fn route(page: &Page, key: Key) -> (usize, PageId) {
     (slot, child)
 }
 
+/// Value stored for `key` on a leaf page, if present (convenience for
+/// callers that already located the leaf).
+pub fn search_value(page: &Page, key: Key) -> Option<Vec<u8>> {
+    match search(page, key) {
+        Ok(slot) => Some(parse_leaf_record(page.record(slot)).1.to_vec()),
+        Err(_) => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -127,14 +136,5 @@ mod tests {
         assert_eq!(route(&p, 100).1, PageId(11));
         assert_eq!(route(&p, 150).1, PageId(11));
         assert_eq!(route(&p, 5000).1, PageId(12));
-    }
-}
-
-/// Value stored for `key` on a leaf page, if present (convenience for
-/// callers that already located the leaf).
-pub fn search_value(page: &Page, key: Key) -> Option<Vec<u8>> {
-    match search(page, key) {
-        Ok(slot) => Some(parse_leaf_record(page.record(slot)).1.to_vec()),
-        Err(_) => None,
     }
 }

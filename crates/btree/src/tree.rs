@@ -48,7 +48,7 @@ pub struct BTree {
 
 impl BTree {
     /// Create an empty tree: a single leaf root.
-    pub fn create(pool: &mut BufferPool, table: TableId) -> Result<BTree> {
+    pub fn create(pool: &BufferPool, table: TableId) -> Result<BTree> {
         let root = pool.disk_mut().allocate();
         let page_size = pool.disk().page_size();
         let page = Page::new(page_size, root, PageType::Leaf);
@@ -62,7 +62,7 @@ impl BTree {
     }
 
     /// Walk root→leaf for `key`.
-    pub fn find_leaf(&self, pool: &mut BufferPool, key: Key) -> Result<TraversalInfo> {
+    pub fn find_leaf(&self, pool: &BufferPool, key: Key) -> Result<TraversalInfo> {
         let mut cur = self.root;
         let mut levels = 1;
         loop {
@@ -91,7 +91,7 @@ impl BTree {
     /// `BTREE.FIND` — the optimized redo test must know the PID before
     /// deciding whether the leaf is worth reading at all (§4.3). Returns
     /// `(leaf pid, index pages touched)`.
-    pub fn find_leaf_pid(&self, pool: &mut BufferPool, key: Key) -> Result<(PageId, u32)> {
+    pub fn find_leaf_pid(&self, pool: &BufferPool, key: Key) -> Result<(PageId, u32)> {
         let mut cur = self.root;
         let mut touched = 0u32;
         loop {
@@ -117,7 +117,7 @@ impl BTree {
     }
 
     /// Point lookup.
-    pub fn get(&self, pool: &mut BufferPool, key: Key) -> Result<Option<Vec<u8>>> {
+    pub fn get(&self, pool: &BufferPool, key: Key) -> Result<Option<Vec<u8>>> {
         let t = self.find_leaf(pool, key)?;
         pool.with_page(t.leaf, |p| match node::search(p, key) {
             Ok(slot) => Some(parse_leaf_record(p.record(slot)).1.to_vec()),
@@ -126,7 +126,7 @@ impl BTree {
     }
 
     /// Tree height (pages on a root→leaf path).
-    pub fn height(&self, pool: &mut BufferPool) -> Result<u32> {
+    pub fn height(&self, pool: &BufferPool) -> Result<u32> {
         Ok(self.find_leaf(pool, 0)?.levels)
     }
 
@@ -140,7 +140,7 @@ impl BTree {
     /// plain traversal.
     pub fn ensure_room(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         key: Key,
         leaf_need: usize,
         smo: SmoLogger<'_>,
@@ -171,9 +171,7 @@ impl BTree {
             let cfull = match cty {
                 PageType::Leaf => leaf_need > 0 && cfree < leaf_need,
                 PageType::Internal => cfree < INTERNAL_NEED,
-                other => {
-                    return Err(Error::TreeCorrupt(format!("page {child} is {other:?}")))
-                }
+                other => return Err(Error::TreeCorrupt(format!("page {child} is {other:?}"))),
             };
             if cfull {
                 self.split_child(pool, cur, child, smo)?;
@@ -188,7 +186,7 @@ impl BTree {
     /// more entry) into itself plus a new right sibling. One SMO record.
     fn split_child(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         parent: PageId,
         child: PageId,
         smo: SmoLogger<'_>,
@@ -228,7 +226,7 @@ impl BTree {
 
     /// Split the root, growing the tree by one level. One SMO record that
     /// also announces the new root.
-    fn split_root(&mut self, pool: &mut BufferPool, smo: SmoLogger<'_>) -> Result<()> {
+    fn split_root(&mut self, pool: &BufferPool, smo: SmoLogger<'_>) -> Result<()> {
         let page_size = pool.disk().page_size();
         let new_right = pool.disk_mut().allocate();
         let new_root_pid = pool.disk_mut().allocate();
@@ -262,7 +260,7 @@ impl BTree {
     /// [`BTree::ensure_room`]) under operation LSN `lsn`.
     pub fn apply_insert(
         &self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         leaf: PageId,
         key: Key,
         value: &[u8],
@@ -278,7 +276,7 @@ impl BTree {
     /// Replace the value for `key` on `leaf`; returns the old value.
     pub fn apply_update(
         &self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         leaf: PageId,
         key: Key,
         value: &[u8],
@@ -298,7 +296,7 @@ impl BTree {
     /// Remove `key` from `leaf`; returns the old value.
     pub fn apply_delete(
         &self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         leaf: PageId,
         key: Key,
         lsn: Lsn,
@@ -329,7 +327,7 @@ impl BTree {
     /// left with a single child) is handled as a follow-up SMO.
     pub fn maybe_merge(
         &mut self,
-        pool: &mut BufferPool,
+        pool: &BufferPool,
         key: Key,
         min_fill: f64,
         smo: SmoLogger<'_>,
@@ -384,8 +382,8 @@ impl BTree {
         // Merge only if everything fits comfortably in one page.
         let (left_used, left_plsn) =
             pool.with_page(left_pid, |p| (usable - p.free_space(), p.plsn()))?;
-        let (right_used, right_plsn, right_sib) = pool
-            .with_page(right_pid, |p| (usable - p.free_space(), p.plsn(), p.right_sibling()))?;
+        let (right_used, right_plsn, right_sib) =
+            pool.with_page(right_pid, |p| (usable - p.free_space(), p.plsn(), p.right_sibling()))?;
         if left_used + right_used > (usable as f64 * 0.8) as usize {
             return Ok(false);
         }
@@ -431,10 +429,10 @@ impl BTree {
     /// If the root is an internal node with a single child, the child
     /// becomes the new root (tree height shrinks by one). Logged as an SMO
     /// announcing the new root.
-    fn collapse_root(&mut self, pool: &mut BufferPool, smo: SmoLogger<'_>) -> Result<()> {
+    fn collapse_root(&mut self, pool: &BufferPool, smo: SmoLogger<'_>) -> Result<()> {
         loop {
-            let (is_internal, nslots) =
-                pool.with_page(self.root, |p| (p.page_type() == PageType::Internal, p.slot_count()))?;
+            let (is_internal, nslots) = pool
+                .with_page(self.root, |p| (p.page_type() == PageType::Internal, p.slot_count()))?;
             if !(is_internal && nslots == 1) {
                 return Ok(());
             }
@@ -458,7 +456,7 @@ impl BTree {
     // ------------------------------------------------------------------
 
     /// Leftmost leaf of the tree.
-    pub fn leftmost_leaf(&self, pool: &mut BufferPool) -> Result<PageId> {
+    pub fn leftmost_leaf(&self, pool: &BufferPool) -> Result<PageId> {
         let mut cur = self.root;
         loop {
             let (ty, next) = pool.with_page(cur, |p| {
@@ -479,12 +477,7 @@ impl BTree {
     /// leaf for `from`, then walk the sibling chain. This is the access
     /// path a range query uses — and the reason logical undo/redo can
     /// always re-locate records: the chain is maintained by every SMO.
-    pub fn scan_range(
-        &self,
-        pool: &mut BufferPool,
-        from: Key,
-        to: Key,
-    ) -> Result<Vec<(Key, Vec<u8>)>> {
+    pub fn scan_range(&self, pool: &BufferPool, from: Key, to: Key) -> Result<Vec<(Key, Vec<u8>)>> {
         if from > to {
             return Ok(Vec::new());
         }
@@ -515,7 +508,7 @@ impl BTree {
 
     /// Every record in key order (test/verification helper; streams the
     /// leaf chain through the pool).
-    pub fn scan_all(&self, pool: &mut BufferPool) -> Result<Vec<(Key, Vec<u8>)>> {
+    pub fn scan_all(&self, pool: &BufferPool) -> Result<Vec<(Key, Vec<u8>)>> {
         let mut out = Vec::new();
         let mut cur = self.leftmost_leaf(pool)?;
         while cur.is_valid() {
@@ -533,7 +526,7 @@ impl BTree {
 
     /// PIDs of all internal (index) pages, level by level from the root.
     /// Used by Log2's index preload (Appendix A.1).
-    pub fn internal_pids(&self, pool: &mut BufferPool) -> Result<Vec<PageId>> {
+    pub fn internal_pids(&self, pool: &BufferPool) -> Result<Vec<PageId>> {
         let mut out = Vec::new();
         let mut level: Vec<PageId> = vec![self.root];
         loop {
@@ -601,7 +594,7 @@ mod tests {
 
     fn pool(page_size: usize) -> BufferPool {
         let disk = SimDisk::new(page_size, 1, SimClock::new(), IoModel::zero());
-        let mut p = BufferPool::new(Box::new(disk), 256, Box::new(|lsn| lsn));
+        let p = BufferPool::new(Box::new(disk), 256, Box::new(|lsn| lsn));
         p.set_elsn(Lsn::MAX);
         p
     }
@@ -612,29 +605,29 @@ mod tests {
 
     #[test]
     fn create_insert_get() {
-        let mut pool = pool(512);
-        let mut t = BTree::create(&mut pool, TableId(1)).unwrap();
+        let pool = pool(512);
+        let mut t = BTree::create(&pool, TableId(1)).unwrap();
         let mut smo = no_smo_expected;
-        let leaf = t.ensure_room(&mut pool, 5, 8 + 1 + SLOT_SIZE, &mut smo).unwrap();
-        t.apply_insert(&mut pool, leaf, 5, b"v", Lsn(10)).unwrap();
-        assert_eq!(t.get(&mut pool, 5).unwrap(), Some(b"v".to_vec()));
-        assert_eq!(t.get(&mut pool, 6).unwrap(), None);
+        let leaf = t.ensure_room(&pool, 5, 8 + 1 + SLOT_SIZE, &mut smo).unwrap();
+        t.apply_insert(&pool, leaf, 5, b"v", Lsn(10)).unwrap();
+        assert_eq!(t.get(&pool, 5).unwrap(), Some(b"v".to_vec()));
+        assert_eq!(t.get(&pool, 6).unwrap(), None);
     }
 
     #[test]
     fn duplicate_insert_rejected() {
-        let mut pool = pool(512);
-        let mut t = BTree::create(&mut pool, TableId(1)).unwrap();
+        let pool = pool(512);
+        let mut t = BTree::create(&pool, TableId(1)).unwrap();
         let mut smo = no_smo_expected;
-        let leaf = t.ensure_room(&mut pool, 5, 13, &mut smo).unwrap();
-        t.apply_insert(&mut pool, leaf, 5, b"a", Lsn(1)).unwrap();
+        let leaf = t.ensure_room(&pool, 5, 13, &mut smo).unwrap();
+        t.apply_insert(&pool, leaf, 5, b"a", Lsn(1)).unwrap();
         assert!(matches!(
-            t.apply_insert(&mut pool, leaf, 5, b"b", Lsn(2)),
+            t.apply_insert(&pool, leaf, 5, b"b", Lsn(2)),
             Err(Error::DuplicateKey { .. })
         ));
     }
 
-    fn insert_many(pool: &mut BufferPool, t: &mut BTree, keys: impl Iterator<Item = u64>) -> u32 {
+    fn insert_many(pool: &BufferPool, t: &mut BTree, keys: impl Iterator<Item = u64>) -> u32 {
         let mut smos = 0u32;
         let mut lsn = 100u64;
         for k in keys {
@@ -653,68 +646,65 @@ mod tests {
 
     #[test]
     fn splits_maintain_order_sequential() {
-        let mut pool = pool(256);
-        let mut t = BTree::create(&mut pool, TableId(1)).unwrap();
-        let smos = insert_many(&mut pool, &mut t, 0..200);
+        let pool = pool(256);
+        let mut t = BTree::create(&pool, TableId(1)).unwrap();
+        let smos = insert_many(&pool, &mut t, 0..200);
         assert!(smos > 0, "200 keys on 256-byte pages must split");
-        let all = t.scan_all(&mut pool).unwrap();
+        let all = t.scan_all(&pool).unwrap();
         assert_eq!(all.len(), 200);
         for (i, (k, v)) in all.iter().enumerate() {
             assert_eq!(*k, i as u64);
             assert_eq!(v, &[i as u8; 16]);
         }
-        assert!(t.height(&mut pool).unwrap() >= 2);
+        assert!(t.height(&pool).unwrap() >= 2);
     }
 
     #[test]
     fn splits_maintain_order_reverse_and_shuffled() {
-        let mut pool = pool(256);
-        let mut t = BTree::create(&mut pool, TableId(1)).unwrap();
-        insert_many(&mut pool, &mut t, (0..100).rev());
+        let pool = pool(256);
+        let mut t = BTree::create(&pool, TableId(1)).unwrap();
+        insert_many(&pool, &mut t, (0..100).rev());
         // Shuffled-ish second batch via multiplicative hashing.
-        insert_many(&mut pool, &mut t, (100..200).map(|i| 100 + (i * 37) % 100));
-        let all = t.scan_all(&mut pool).unwrap();
+        insert_many(&pool, &mut t, (100..200).map(|i| 100 + (i * 37) % 100));
+        let all = t.scan_all(&pool).unwrap();
         assert_eq!(all.len(), 200);
         assert!(all.windows(2).all(|w| w[0].0 < w[1].0), "keys sorted");
         // Every key findable.
         for k in 0..200u64 {
-            assert!(t.get(&mut pool, k).unwrap().is_some(), "key {k} lost");
+            assert!(t.get(&pool, k).unwrap().is_some(), "key {k} lost");
         }
     }
 
     #[test]
     fn update_and_delete() {
-        let mut pool = pool(512);
-        let mut t = BTree::create(&mut pool, TableId(1)).unwrap();
-        insert_many(&mut pool, &mut t, 0..10);
-        let leaf = t.find_leaf(&mut pool, 3).unwrap().leaf;
-        let old = t.apply_update(&mut pool, leaf, 3, b"new-value", Lsn(500)).unwrap();
+        let pool = pool(512);
+        let mut t = BTree::create(&pool, TableId(1)).unwrap();
+        insert_many(&pool, &mut t, 0..10);
+        let leaf = t.find_leaf(&pool, 3).unwrap().leaf;
+        let old = t.apply_update(&pool, leaf, 3, b"new-value", Lsn(500)).unwrap();
         assert_eq!(old, [3u8; 16]);
-        assert_eq!(t.get(&mut pool, 3).unwrap(), Some(b"new-value".to_vec()));
-        let old = t.apply_delete(&mut pool, leaf, 3, Lsn(501)).unwrap();
+        assert_eq!(t.get(&pool, 3).unwrap(), Some(b"new-value".to_vec()));
+        let old = t.apply_delete(&pool, leaf, 3, Lsn(501)).unwrap();
         assert_eq!(old, b"new-value");
-        assert_eq!(t.get(&mut pool, 3).unwrap(), None);
-        assert!(matches!(
-            t.apply_delete(&mut pool, leaf, 3, Lsn(502)),
-            Err(Error::KeyNotFound { .. })
-        ));
+        assert_eq!(t.get(&pool, 3).unwrap(), None);
+        assert!(matches!(t.apply_delete(&pool, leaf, 3, Lsn(502)), Err(Error::KeyNotFound { .. })));
     }
 
     #[test]
     fn plsn_stamped_by_operations() {
-        let mut pool = pool(512);
-        let mut t = BTree::create(&mut pool, TableId(1)).unwrap();
+        let pool = pool(512);
+        let mut t = BTree::create(&pool, TableId(1)).unwrap();
         let mut smo = no_smo_expected;
-        let leaf = t.ensure_room(&mut pool, 1, 13, &mut smo).unwrap();
-        t.apply_insert(&mut pool, leaf, 1, b"x", Lsn(42)).unwrap();
+        let leaf = t.ensure_room(&pool, 1, 13, &mut smo).unwrap();
+        t.apply_insert(&pool, leaf, 1, b"x", Lsn(42)).unwrap();
         let plsn = pool.with_page(leaf, |p| p.plsn()).unwrap();
         assert_eq!(plsn, Lsn(42));
     }
 
     #[test]
     fn smo_records_capture_new_root() {
-        let mut pool = pool(256);
-        let mut t = BTree::create(&mut pool, TableId(7)).unwrap();
+        let pool = pool(256);
+        let mut t = BTree::create(&pool, TableId(7)).unwrap();
         let mut new_roots = Vec::new();
         let mut lsn = 0u64;
         for k in 0..300u64 {
@@ -726,9 +716,9 @@ mod tests {
                 lsn += 1;
                 Lsn(lsn)
             };
-            let leaf = t.ensure_room(&mut pool, k, 8 + 16 + SLOT_SIZE, &mut smo).unwrap();
+            let leaf = t.ensure_room(&pool, k, 8 + 16 + SLOT_SIZE, &mut smo).unwrap();
             lsn += 1;
-            t.apply_insert(&mut pool, leaf, k, &[0u8; 16], Lsn(lsn)).unwrap();
+            t.apply_insert(&pool, leaf, k, &[0u8; 16], Lsn(lsn)).unwrap();
         }
         assert!(!new_roots.is_empty(), "tree must have grown");
         let (table, last_root) = *new_roots.last().unwrap();
@@ -738,10 +728,10 @@ mod tests {
 
     #[test]
     fn internal_pids_enumerates_index() {
-        let mut pool = pool(256);
-        let mut t = BTree::create(&mut pool, TableId(1)).unwrap();
-        insert_many(&mut pool, &mut t, 0..400);
-        let internals = t.internal_pids(&mut pool).unwrap();
+        let pool = pool(256);
+        let mut t = BTree::create(&pool, TableId(1)).unwrap();
+        insert_many(&pool, &mut t, 0..400);
+        let internals = t.internal_pids(&pool).unwrap();
         assert!(internals.contains(&t.root));
         // Every internal PID really is an internal page.
         for pid in &internals {
@@ -749,7 +739,7 @@ mod tests {
             assert_eq!(ty, PageType::Internal);
         }
         // Index is small relative to data (the paper's <1% premise, loosely).
-        let leaves = t.scan_all(&mut pool).unwrap().len();
+        let leaves = t.scan_all(&pool).unwrap().len();
         assert!(internals.len() * 4 < leaves, "index much smaller than data");
     }
 }
@@ -764,24 +754,24 @@ mod find_pid_tests {
     #[test]
     fn find_leaf_pid_does_not_fetch_the_leaf() {
         let disk = SimDisk::new(256, 1, SimClock::new(), IoModel::zero());
-        let mut pool = BufferPool::new(Box::new(disk), 512, Box::new(|l| l));
+        let pool = BufferPool::new(Box::new(disk), 512, Box::new(|l| l));
         pool.set_elsn(Lsn::MAX);
-        let mut t = BTree::create(&mut pool, TableId(1)).unwrap();
+        let mut t = BTree::create(&pool, TableId(1)).unwrap();
         let mut lsn = 0u64;
         for k in 0..300u64 {
             let mut smo = |_: SmoRecord| {
                 lsn += 1;
                 Lsn(lsn)
             };
-            let leaf = t.ensure_room(&mut pool, k, 8 + 16 + SLOT_SIZE, &mut smo).unwrap();
+            let leaf = t.ensure_room(&pool, k, 8 + 16 + SLOT_SIZE, &mut smo).unwrap();
             lsn += 1;
-            t.apply_insert(&mut pool, leaf, k, &[0u8; 16], Lsn(lsn)).unwrap();
+            t.apply_insert(&pool, leaf, k, &[0u8; 16], Lsn(lsn)).unwrap();
         }
-        assert!(t.height(&mut pool).unwrap() >= 2);
+        assert!(t.height(&pool).unwrap() >= 2);
         // Agreement with the fetching traversal.
         for k in [0u64, 57, 123, 299] {
-            let (pid, touched) = t.find_leaf_pid(&mut pool, k).unwrap();
-            let full = t.find_leaf(&mut pool, k).unwrap();
+            let (pid, touched) = t.find_leaf_pid(&pool, k).unwrap();
+            let full = t.find_leaf(&pool, k).unwrap();
             assert_eq!(pid, full.leaf, "key {k}");
             assert_eq!(touched + 1, full.levels, "index-only walk touches one fewer page");
         }
@@ -803,36 +793,36 @@ mod range_tests {
             0.85,
         )
         .unwrap();
-        let mut pool = BufferPool::new(Box::new(disk), 4096, Box::new(|l| l));
+        let pool = BufferPool::new(Box::new(disk), 4096, Box::new(|l| l));
         pool.set_elsn(Lsn::MAX);
         (pool, BTree::attach(TableId(1), root))
     }
 
     #[test]
     fn range_scan_bounds_are_inclusive() {
-        let (mut pool, tree) = loaded(1_000);
-        let rows = tree.scan_range(&mut pool, 30, 60).unwrap();
+        let (pool, tree) = loaded(1_000);
+        let rows = tree.scan_range(&pool, 30, 60).unwrap();
         let keys: Vec<u64> = rows.iter().map(|(k, _)| *k).collect();
         assert_eq!(keys, vec![30, 33, 36, 39, 42, 45, 48, 51, 54, 57, 60]);
     }
 
     #[test]
     fn range_scan_spans_many_leaves() {
-        let (mut pool, tree) = loaded(1_000);
-        let rows = tree.scan_range(&mut pool, 0, 2_997).unwrap();
+        let (pool, tree) = loaded(1_000);
+        let rows = tree.scan_range(&pool, 0, 2_997).unwrap();
         assert_eq!(rows.len(), 1_000, "full range = full table");
         assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
     }
 
     #[test]
     fn range_scan_edge_cases() {
-        let (mut pool, tree) = loaded(100);
-        assert!(tree.scan_range(&mut pool, 50, 40).unwrap().is_empty(), "inverted");
-        assert!(tree.scan_range(&mut pool, 10_000, 20_000).unwrap().is_empty(), "past end");
-        let one = tree.scan_range(&mut pool, 33, 33).unwrap();
+        let (pool, tree) = loaded(100);
+        assert!(tree.scan_range(&pool, 50, 40).unwrap().is_empty(), "inverted");
+        assert!(tree.scan_range(&pool, 10_000, 20_000).unwrap().is_empty(), "past end");
+        let one = tree.scan_range(&pool, 33, 33).unwrap();
         assert_eq!(one.len(), 1, "singleton range");
         // Range boundaries between keys (31..35 catches only 33).
-        let between = tree.scan_range(&mut pool, 31, 35).unwrap();
+        let between = tree.scan_range(&pool, 31, 35).unwrap();
         assert_eq!(between.len(), 1);
         assert_eq!(between[0].0, 33);
     }

@@ -28,7 +28,7 @@ pub struct TreeSummary {
 
 /// Verify the tree rooted at `tree.root`; returns a summary or the first
 /// structural violation found.
-pub fn verify_tree(tree: &BTree, pool: &mut BufferPool) -> Result<TreeSummary> {
+pub fn verify_tree(tree: &BTree, pool: &BufferPool) -> Result<TreeSummary> {
     let mut summary = TreeSummary::default();
     let mut leaf_depth: Option<u32> = None;
     let mut leftmost_leaf = PageId::INVALID;
@@ -69,7 +69,7 @@ pub fn verify_tree(tree: &BTree, pool: &mut BufferPool) -> Result<TreeSummary> {
 
 #[allow(clippy::too_many_arguments)]
 fn verify_node(
-    pool: &mut BufferPool,
+    pool: &BufferPool,
     pid: PageId,
     lower: Option<Key>,
     upper: Option<Key>,
@@ -179,9 +179,7 @@ fn verify_node(
                 )?;
             }
         }
-        other => {
-            return Err(Error::TreeCorrupt(format!("page {pid} has type {other:?} in tree")))
-        }
+        other => return Err(Error::TreeCorrupt(format!("page {pid} has type {other:?} in tree"))),
     }
     Ok(())
 }
@@ -197,13 +195,13 @@ mod tests {
 
     fn setup() -> (BufferPool, BTree) {
         let disk = SimDisk::new(256, 1, SimClock::new(), IoModel::zero());
-        let mut pool = BufferPool::new(Box::new(disk), 1024, Box::new(|l| l));
+        let pool = BufferPool::new(Box::new(disk), 1024, Box::new(|l| l));
         pool.set_elsn(Lsn::MAX);
-        let tree = BTree::create(&mut pool, TableId(1)).unwrap();
+        let tree = BTree::create(&pool, TableId(1)).unwrap();
         (pool, tree)
     }
 
-    fn grow(pool: &mut BufferPool, tree: &mut BTree, n: u64) {
+    fn grow(pool: &BufferPool, tree: &mut BTree, n: u64) {
         let mut lsn = 0u64;
         for k in 0..n {
             let mut smo = |_: SmoRecord| {
@@ -218,9 +216,9 @@ mod tests {
 
     #[test]
     fn verifies_healthy_tree() {
-        let (mut pool, mut tree) = setup();
-        grow(&mut pool, &mut tree, 500);
-        let s = verify_tree(&tree, &mut pool).unwrap();
+        let (pool, mut tree) = setup();
+        grow(&pool, &mut tree, 500);
+        let s = verify_tree(&tree, &pool).unwrap();
         assert_eq!(s.records, 500);
         assert!(s.height >= 2);
         assert!(s.leaf_pages > 1);
@@ -229,9 +227,9 @@ mod tests {
 
     #[test]
     fn detects_unsorted_leaf() {
-        let (mut pool, mut tree) = setup();
-        grow(&mut pool, &mut tree, 50);
-        let leaf = tree.find_leaf(&mut pool, 0).unwrap().leaf;
+        let (pool, mut tree) = setup();
+        grow(&pool, &mut tree, 50);
+        let leaf = tree.find_leaf(&pool, 0).unwrap().leaf;
         // Corrupt: overwrite slot 0's key with a huge value.
         pool.with_page_mut(leaf, Lsn(9999), |p| {
             let mut rec = p.record(0).to_vec();
@@ -239,24 +237,24 @@ mod tests {
             p.update_record(0, &rec).unwrap();
         })
         .unwrap();
-        assert!(matches!(verify_tree(&tree, &mut pool), Err(Error::TreeCorrupt(_))));
+        assert!(matches!(verify_tree(&tree, &pool), Err(Error::TreeCorrupt(_))));
     }
 
     #[test]
     fn detects_broken_sibling_chain() {
-        let (mut pool, mut tree) = setup();
-        grow(&mut pool, &mut tree, 300);
-        let leaf = tree.leftmost_leaf(&mut pool).unwrap();
+        let (pool, mut tree) = setup();
+        grow(&pool, &mut tree, 300);
+        let leaf = tree.leftmost_leaf(&pool).unwrap();
         pool.with_page_mut(leaf, Lsn(9999), |p| p.set_right_sibling(PageId::INVALID)).unwrap();
-        assert!(matches!(verify_tree(&tree, &mut pool), Err(Error::TreeCorrupt(_))));
+        assert!(matches!(verify_tree(&tree, &pool), Err(Error::TreeCorrupt(_))));
     }
 
     #[test]
     fn detects_separator_violation() {
-        let (mut pool, mut tree) = setup();
-        grow(&mut pool, &mut tree, 300);
+        let (pool, mut tree) = setup();
+        grow(&pool, &mut tree, 300);
         // Rewrite an internal entry's separator to something absurd.
-        let internals = tree.internal_pids(&mut pool).unwrap();
+        let internals = tree.internal_pids(&pool).unwrap();
         let victim = *internals.last().unwrap();
         pool.with_page_mut(victim, Lsn(9999), |p| {
             if p.slot_count() >= 2 {
@@ -265,6 +263,6 @@ mod tests {
             }
         })
         .unwrap();
-        assert!(verify_tree(&tree, &mut pool).is_err());
+        assert!(verify_tree(&tree, &pool).is_err());
     }
 }

@@ -1,14 +1,30 @@
-//! The buffer pool proper.
+//! The buffer pool proper — safe for concurrent sessions.
+//!
+//! Layout: the page table is sharded (one mutex per shard of the
+//! `PageId → frame` map), and every frame carries its own reader-writer
+//! latch, so page reads from different sessions share and writes to
+//! *different* pages never serialize on a pool-wide lock. The disk sits
+//! behind its own mutex (device access is short and simulated); counters
+//! are atomics. Lock order everywhere: shard → frame latch → device/WAL —
+//! no path acquires a shard lock while holding a frame latch or the log.
 
 use crate::events::CacheEvent;
 use lr_common::{Error, Histogram, Lsn, PageId, Result};
 use lr_storage::{Disk, Page, PageType};
-use std::collections::{BTreeSet, HashMap};
+use parking_lot::{Mutex, MutexGuard, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Supplies an eLSN at least as large as the requested LSN — the on-demand
 /// EOSL path. The engine wires this to "TC: ensure the log is stable through
-/// `lsn`, tell me the new end-of-stable-log".
-pub type EoslProvider = Box<dyn FnMut(Lsn) -> Lsn + Send>;
+/// `lsn`, tell me the new end-of-stable-log". Called with a frame latch
+/// held, so implementations must not re-enter the pool.
+pub type EoslProvider = Box<dyn Fn(Lsn) -> Lsn + Send + Sync>;
+
+/// Page-table shards. A power of two well above typical thread counts keeps
+/// shard collisions rare without bloating the pool struct.
+const SHARDS: usize = 64;
 
 /// Outcome of ensuring a page is cached.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -45,6 +61,23 @@ pub struct PoolStats {
     pub index_stall_events: u64,
 }
 
+#[derive(Default)]
+struct PoolCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    dirty_evictions: AtomicU64,
+    flushes: AtomicU64,
+    eosl_demands: AtomicU64,
+    data_page_misses: AtomicU64,
+    index_page_misses: AtomicU64,
+    data_stall_us: AtomicU64,
+    index_stall_us: AtomicU64,
+    data_stall_events: AtomicU64,
+    index_stall_events: AtomicU64,
+}
+
+/// Frame state guarded by the per-frame latch.
 struct Frame {
     page: Page,
     dirty: bool,
@@ -53,24 +86,54 @@ struct Frame {
     dirty_gen: u64,
     /// LSN of the operation that first dirtied this frame (runtime rLSN).
     first_dirty_lsn: Lsn,
-    pins: u32,
-    last_used: u64,
+    /// Set when the evictor has removed this frame from the table; holders
+    /// of a stale `Arc` must retry their lookup.
+    evicted: bool,
 }
 
-/// An LRU page cache over a [`Disk`], with dirty/flush bookkeeping.
+struct FrameCell {
+    latch: RwLock<Frame>,
+    pins: AtomicU32,
+    last_used: AtomicU64,
+}
+
+type Shard = Mutex<HashMap<PageId, Arc<FrameCell>>>;
+
+/// Guard-based access to the pool's disk; derefs to `Box<dyn Disk>` so call
+/// sites read exactly like direct access (`pool.disk().page_size()`).
+pub struct DiskRef<'a> {
+    guard: MutexGuard<'a, Box<dyn Disk>>,
+}
+
+impl std::ops::Deref for DiskRef<'_> {
+    type Target = Box<dyn Disk>;
+    fn deref(&self) -> &Box<dyn Disk> {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for DiskRef<'_> {
+    fn deref_mut(&mut self) -> &mut Box<dyn Disk> {
+        &mut self.guard
+    }
+}
+
+/// A sharded, frame-latched page cache over a [`Disk`], with dirty/flush
+/// bookkeeping. All methods take `&self`; the pool is `Sync`.
 pub struct BufferPool {
-    disk: Box<dyn Disk>,
-    frames: HashMap<PageId, Frame>,
-    /// Recency index: `(last_used tick, pid)`, kept in lock-step with the
-    /// frames' `last_used` fields so eviction is O(log n), not O(n).
-    lru: BTreeSet<(u64, PageId)>,
+    shards: Box<[Shard]>,
+    disk: Mutex<Box<dyn Disk>>,
+    page_size: usize,
     capacity: usize,
-    tick: u64,
-    ckpt_gen: u64,
-    elsn: Lsn,
+    len: AtomicUsize,
+    dirty: AtomicUsize,
+    tick: AtomicU64,
+    ckpt_gen: AtomicU64,
+    elsn: AtomicU64,
     eosl: EoslProvider,
-    events: Vec<CacheEvent>,
-    stats: PoolStats,
+    events: Mutex<Vec<CacheEvent>>,
+    stats: PoolCounters,
+    data_stall_hist: Mutex<Histogram>,
 }
 
 impl BufferPool {
@@ -78,18 +141,28 @@ impl BufferPool {
     /// write-ahead-log advances (see [`EoslProvider`]).
     pub fn new(disk: Box<dyn Disk>, capacity: usize, eosl: EoslProvider) -> BufferPool {
         assert!(capacity >= 4, "pool needs at least 4 frames (got {capacity})");
+        let shards = (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect::<Vec<_>>();
+        let page_size = disk.page_size();
         BufferPool {
-            disk,
-            frames: HashMap::with_capacity(capacity),
-            lru: BTreeSet::new(),
+            shards: shards.into_boxed_slice(),
+            disk: Mutex::new(disk),
+            page_size,
             capacity,
-            tick: 0,
-            ckpt_gen: 0,
-            elsn: Lsn::NULL,
+            len: AtomicUsize::new(0),
+            dirty: AtomicUsize::new(0),
+            tick: AtomicU64::new(0),
+            ckpt_gen: AtomicU64::new(0),
+            elsn: AtomicU64::new(Lsn::NULL.0),
             eosl,
-            events: Vec::new(),
-            stats: PoolStats::default(),
+            events: Mutex::new(Vec::new()),
+            stats: PoolCounters::default(),
+            data_stall_hist: Mutex::new(Histogram::default()),
         }
+    }
+
+    #[inline]
+    fn shard(&self, pid: PageId) -> &Shard {
+        &self.shards[lr_common::shard_index(pid.0, SHARDS)]
     }
 
     /// Frame capacity.
@@ -99,296 +172,457 @@ impl BufferPool {
 
     /// Cached page count.
     pub fn len(&self) -> usize {
-        self.frames.len()
+        self.len.load(Ordering::Acquire)
     }
 
     pub fn is_empty(&self) -> bool {
-        self.frames.is_empty()
+        self.len() == 0
     }
 
     /// Count of dirty frames right now (the paper's Figure 2(b) numerator
     /// at crash time).
     pub fn dirty_count(&self) -> usize {
-        self.frames.values().filter(|f| f.dirty).count()
+        self.dirty.load(Ordering::Acquire)
     }
 
     /// Whether `pid` is currently cached.
     pub fn contains(&self, pid: PageId) -> bool {
-        self.frames.contains_key(&pid)
+        self.shard(pid).lock().contains_key(&pid)
     }
 
-    /// Direct disk access (allocation, recovery-time raw reads).
-    pub fn disk_mut(&mut self) -> &mut dyn Disk {
-        &mut *self.disk
+    /// Exclusive device access (allocation, recovery-time raw reads). Do
+    /// not hold the returned guard across other pool calls.
+    pub fn disk_mut(&self) -> DiskRef<'_> {
+        DiskRef { guard: self.disk.lock() }
     }
 
-    pub fn disk(&self) -> &dyn Disk {
-        &*self.disk
+    /// Device access for read-style use; same guard as [`Self::disk_mut`].
+    pub fn disk(&self) -> DiskRef<'_> {
+        DiskRef { guard: self.disk.lock() }
     }
 
     /// Latest eLSN delivered by EOSL (regular or on-demand).
     pub fn current_elsn(&self) -> Lsn {
-        self.elsn
+        Lsn(self.elsn.load(Ordering::Acquire))
     }
 
-    /// Regular EOSL delivery from the TC.
-    pub fn set_elsn(&mut self, elsn: Lsn) {
-        self.elsn = self.elsn.max(elsn);
+    /// Regular EOSL delivery from the TC (monotonic).
+    pub fn set_elsn(&self, elsn: Lsn) {
+        self.elsn.fetch_max(elsn.0, Ordering::AcqRel);
     }
 
     /// Drain the pending cache events (dirty transitions, flushes).
-    pub fn take_events(&mut self) -> Vec<CacheEvent> {
-        std::mem::take(&mut self.events)
+    pub fn take_events(&self) -> Vec<CacheEvent> {
+        std::mem::take(&mut *self.events.lock())
     }
 
     /// Window counters.
     pub fn stats(&self) -> PoolStats {
-        self.stats.clone()
+        let s = &self.stats;
+        PoolStats {
+            data_stall_hist: self.data_stall_hist.lock().clone(),
+            hits: s.hits.load(Ordering::Relaxed),
+            misses: s.misses.load(Ordering::Relaxed),
+            evictions: s.evictions.load(Ordering::Relaxed),
+            dirty_evictions: s.dirty_evictions.load(Ordering::Relaxed),
+            flushes: s.flushes.load(Ordering::Relaxed),
+            eosl_demands: s.eosl_demands.load(Ordering::Relaxed),
+            data_page_misses: s.data_page_misses.load(Ordering::Relaxed),
+            index_page_misses: s.index_page_misses.load(Ordering::Relaxed),
+            data_stall_us: s.data_stall_us.load(Ordering::Relaxed),
+            index_stall_us: s.index_stall_us.load(Ordering::Relaxed),
+            data_stall_events: s.data_stall_events.load(Ordering::Relaxed),
+            index_stall_events: s.index_stall_events.load(Ordering::Relaxed),
+        }
     }
 
-    pub fn reset_stats(&mut self) {
-        self.stats = PoolStats::default();
-        self.disk.reset_stats();
+    pub fn reset_stats(&self) {
+        let s = &self.stats;
+        for c in [
+            &s.hits,
+            &s.misses,
+            &s.evictions,
+            &s.dirty_evictions,
+            &s.flushes,
+            &s.eosl_demands,
+            &s.data_page_misses,
+            &s.index_page_misses,
+            &s.data_stall_us,
+            &s.index_stall_us,
+            &s.data_stall_events,
+            &s.index_stall_events,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+        *self.data_stall_hist.lock() = Histogram::default();
+        self.disk.lock().reset_stats();
     }
 
     // ------------------------------------------------------------------
     // fetch / pin
     // ------------------------------------------------------------------
 
-    fn touch(
-        frames: &mut HashMap<PageId, Frame>,
-        lru: &mut BTreeSet<(u64, PageId)>,
-        tick: &mut u64,
-        pid: PageId,
-    ) {
-        *tick += 1;
-        if let Some(f) = frames.get_mut(&pid) {
-            lru.remove(&(f.last_used, pid));
-            f.last_used = *tick;
-            lru.insert((*tick, pid));
+    #[inline]
+    fn touch(&self, cell: &FrameCell) {
+        let t = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        cell.last_used.store(t, Ordering::Relaxed);
+    }
+
+    /// Get the cached frame for `pid`, loading it from the device on a
+    /// miss. The returned cell may have been concurrently evicted; callers
+    /// that latch it must check `Frame::evicted` and retry.
+    fn cell(&self, pid: PageId) -> Result<(Arc<FrameCell>, FetchInfo)> {
+        // The shard lock is released before the frame latch is touched: a
+        // flush holding the frame's write latch (device write + EOSL
+        // round-trip) must not stall every hit on the same shard.
+        let hit = self.shard(pid).lock().get(&pid).cloned();
+        if let Some(cell) = hit {
+            let ty = cell.latch.read().page.page_type();
+            self.touch(&cell);
+            self.stats.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((
+                cell,
+                FetchInfo { stall_us: 0, prefetched: false, hit: true, page_type: ty },
+            ));
         }
+        // ---- miss: reserve a frame slot atomically (the pool never
+        // exceeds its configured capacity, even under concurrent misses) ----
+        loop {
+            let cur = self.len.load(Ordering::Acquire);
+            if cur >= self.capacity {
+                self.evict_one()?;
+                continue;
+            }
+            if self.len.compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire).is_ok()
+            {
+                break;
+            }
+        }
+        // ---- publish a loading placeholder, then read outside the shard
+        // lock. Holding the frame's *write latch* across the device read is
+        // what makes the stale-image race impossible (a concurrent
+        // load→write→flush→evict cycle cannot touch this frame), while
+        // hits on other pages of the shard proceed immediately.
+        let cell = Arc::new(FrameCell {
+            latch: RwLock::new(Frame {
+                page: Page::new(self.page_size, pid, PageType::Free),
+                dirty: false,
+                dirty_gen: 0,
+                first_dirty_lsn: Lsn::NULL,
+                evicted: false,
+            }),
+            pins: AtomicU32::new(0),
+            last_used: AtomicU64::new(0),
+        });
+        self.touch(&cell);
+        // Latching an unpublished cell cannot contend or deadlock; it only
+        // becomes reachable at the insert below, and the evictor uses
+        // try_write (it skips loading frames).
+        let mut frame = cell.latch.write();
+        {
+            let mut shard = self.shard(pid).lock();
+            if let Some(existing) = shard.get(&pid).cloned() {
+                // A concurrent loader won the race; give the slot back.
+                drop(shard);
+                drop(frame);
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                let ty = existing.latch.read().page.page_type();
+                self.touch(&existing);
+                self.stats.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((
+                    existing,
+                    FetchInfo { stall_us: 0, prefetched: false, hit: true, page_type: ty },
+                ));
+            }
+            shard.insert(pid, cell.clone());
+        }
+        let (page, outcome) = match self.disk.lock().read(pid) {
+            Ok(v) => v,
+            Err(e) => {
+                // Unpublish the placeholder; waiters blocked on the latch
+                // see `evicted` and retry (and fail their own reads).
+                frame.evicted = true;
+                drop(frame);
+                self.shard(pid).lock().remove(&pid);
+                self.len.fetch_sub(1, Ordering::AcqRel);
+                return Err(e);
+            }
+        };
+        let ty = page.page_type();
+        frame.page = page;
+        drop(frame);
+
+        self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        match ty {
+            PageType::Internal | PageType::Meta => {
+                self.stats.index_page_misses.fetch_add(1, Ordering::Relaxed);
+                if outcome.stall_us > 0 {
+                    self.stats.index_stall_events.fetch_add(1, Ordering::Relaxed);
+                    self.stats.index_stall_us.fetch_add(outcome.stall_us, Ordering::Relaxed);
+                }
+            }
+            _ => {
+                self.stats.data_page_misses.fetch_add(1, Ordering::Relaxed);
+                if outcome.stall_us > 0 {
+                    self.stats.data_stall_events.fetch_add(1, Ordering::Relaxed);
+                    self.stats.data_stall_us.fetch_add(outcome.stall_us, Ordering::Relaxed);
+                }
+                self.data_stall_hist.lock().record(outcome.stall_us);
+            }
+        }
+        Ok((
+            cell,
+            FetchInfo {
+                stall_us: outcome.stall_us,
+                prefetched: outcome.prefetched,
+                hit: false,
+                page_type: ty,
+            },
+        ))
     }
 
     /// Ensure `pid` is cached, evicting if necessary. Returns how the fetch
     /// was satisfied.
-    pub fn fetch(&mut self, pid: PageId) -> Result<FetchInfo> {
-        if let Some(f) = self.frames.get(&pid) {
-            let ty = f.page.page_type();
-            Self::touch(&mut self.frames, &mut self.lru, &mut self.tick, pid);
-            self.stats.hits += 1;
-            return Ok(FetchInfo { stall_us: 0, prefetched: false, hit: true, page_type: ty });
-        }
-        self.make_room()?;
-        let (page, outcome) = self.disk.read(pid)?;
-        let ty = page.page_type();
-        self.stats.misses += 1;
-        match ty {
-            PageType::Internal | PageType::Meta => {
-                self.stats.index_page_misses += 1;
-                if outcome.stall_us > 0 {
-                    self.stats.index_stall_events += 1;
-                    self.stats.index_stall_us += outcome.stall_us;
-                }
-            }
-            _ => {
-                self.stats.data_page_misses += 1;
-                if outcome.stall_us > 0 {
-                    self.stats.data_stall_events += 1;
-                    self.stats.data_stall_us += outcome.stall_us;
-                }
-                self.stats.data_stall_hist.record(outcome.stall_us);
-            }
-        }
-        self.tick += 1;
-        self.frames.insert(
-            pid,
-            Frame {
-                page,
-                dirty: false,
-                dirty_gen: 0,
-                first_dirty_lsn: Lsn::NULL,
-                pins: 0,
-                last_used: self.tick,
-            },
-        );
-        self.lru.insert((self.tick, pid));
-        Ok(FetchInfo {
-            stall_us: outcome.stall_us,
-            prefetched: outcome.prefetched,
-            hit: false,
-            page_type: ty,
-        })
+    pub fn fetch(&self, pid: PageId) -> Result<FetchInfo> {
+        Ok(self.cell(pid)?.1)
     }
 
     /// Pin `pid` (fetching if absent): pinned frames are never evicted.
-    pub fn pin(&mut self, pid: PageId) -> Result<FetchInfo> {
-        let info = self.fetch(pid)?;
-        self.frames.get_mut(&pid).expect("just fetched").pins += 1;
-        Ok(info)
-    }
-
-    /// Release one pin.
-    pub fn unpin(&mut self, pid: PageId) {
-        if let Some(f) = self.frames.get_mut(&pid) {
-            debug_assert!(f.pins > 0, "unpin of unpinned page {pid}");
-            f.pins = f.pins.saturating_sub(1);
+    pub fn pin(&self, pid: PageId) -> Result<FetchInfo> {
+        loop {
+            let (cell, info) = self.cell(pid)?;
+            // Pins are taken under the frame latch: the evictor holds the
+            // write latch while it checks the pin count, so a pin taken
+            // here can never race past it.
+            let guard = cell.latch.read();
+            if guard.evicted {
+                continue;
+            }
+            cell.pins.fetch_add(1, Ordering::AcqRel);
+            return Ok(info);
         }
     }
 
-    /// Read access to a cached-or-fetched page.
-    pub fn with_page<R>(&mut self, pid: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
-        self.fetch(pid)?;
-        Ok(f(&self.frames[&pid].page))
+    /// Release one pin.
+    pub fn unpin(&self, pid: PageId) {
+        if let Some(cell) = self.shard(pid).lock().get(&pid) {
+            let prev = cell.pins.fetch_sub(1, Ordering::AcqRel);
+            debug_assert!(prev > 0, "unpin of unpinned page {pid}");
+            if prev == 0 {
+                cell.pins.fetch_add(1, Ordering::AcqRel); // repair underflow
+            }
+        }
     }
 
-    /// Mutate a page under operation LSN `lsn`: fetches, emits a
-    /// [`CacheEvent::Dirtied`] on the clean→dirty transition, applies `f`,
-    /// then stamps the pLSN (if `lsn` is non-null — SMO installs stamp
-    /// their own).
+    /// Read access to a cached-or-fetched page (shared frame latch).
+    pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
+        loop {
+            let (cell, _) = self.cell(pid)?;
+            let guard = cell.latch.read();
+            if guard.evicted {
+                continue;
+            }
+            return Ok(f(&guard.page));
+        }
+    }
+
+    /// Mutate a page under operation LSN `lsn` (exclusive frame latch):
+    /// fetches, emits a [`CacheEvent::Dirtied`] on the clean→dirty
+    /// transition, applies `f`, then advances the pLSN (if `lsn` is
+    /// non-null — SMO installs stamp their own). The pLSN advance is
+    /// monotonic: concurrent same-page operations may reach the latch out
+    /// of LSN order, and a pLSN regression would break the redo test.
     pub fn with_page_mut<R>(
-        &mut self,
+        &self,
         pid: PageId,
         lsn: Lsn,
         f: impl FnOnce(&mut Page) -> R,
     ) -> Result<R> {
-        self.fetch(pid)?;
-        self.mark_dirty(pid, lsn);
-        let frame = self.frames.get_mut(&pid).expect("fetched above");
-        let r = f(&mut frame.page);
-        if !lsn.is_null() {
-            frame.page.set_plsn(lsn);
+        loop {
+            let (cell, _) = self.cell(pid)?;
+            let mut guard = cell.latch.write();
+            if guard.evicted {
+                continue;
+            }
+            self.mark_dirty_locked(&mut guard, pid, lsn);
+            let r = f(&mut guard.page);
+            if !lsn.is_null() && lsn > guard.page.plsn() {
+                guard.page.set_plsn(lsn);
+            }
+            return Ok(r);
         }
-        Ok(r)
     }
 
     /// Replace a page's entire image (SMO application) under `lsn`.
-    pub fn install_page(&mut self, pid: PageId, mut page: Page, lsn: Lsn) -> Result<()> {
-        if !self.frames.contains_key(&pid) {
-            self.make_room()?;
-            self.tick += 1;
-            self.frames.insert(
-                pid,
-                Frame {
-                    page: page.clone(),
-                    dirty: false,
-                    dirty_gen: 0,
-                    first_dirty_lsn: Lsn::NULL,
-                    pins: 0,
-                    last_used: self.tick,
-                },
-            );
-            self.lru.insert((self.tick, pid));
-        }
-        self.mark_dirty(pid, lsn);
-        if !lsn.is_null() {
-            page.set_plsn(lsn);
-        }
-        self.frames.get_mut(&pid).expect("inserted above").page = page;
-        Ok(())
-    }
-
-    fn mark_dirty(&mut self, pid: PageId, lsn: Lsn) {
-        let gen = self.ckpt_gen;
-        let f = self.frames.get_mut(&pid).expect("mark_dirty of uncached page");
-        self.lru.remove(&(f.last_used, pid));
-        Self::touch_frame(f, &mut self.tick);
-        self.lru.insert((f.last_used, pid));
-        if !f.dirty {
-            f.dirty = true;
-            f.dirty_gen = gen;
-            f.first_dirty_lsn = lsn;
-            self.events.push(CacheEvent::Dirtied { pid, lsn });
+    pub fn install_page(&self, pid: PageId, mut page: Page, lsn: Lsn) -> Result<()> {
+        // Ensure a frame exists (reading whatever stale image the disk has
+        // is fine — it is replaced wholesale below).
+        loop {
+            let (cell, _) = self.cell(pid)?;
+            let mut guard = cell.latch.write();
+            if guard.evicted {
+                continue;
+            }
+            self.mark_dirty_locked(&mut guard, pid, lsn);
+            if !lsn.is_null() {
+                page.set_plsn(lsn);
+            }
+            guard.page = page;
+            return Ok(());
         }
     }
 
-    fn touch_frame(f: &mut Frame, tick: &mut u64) {
-        *tick += 1;
-        f.last_used = *tick;
+    /// Clean→dirty bookkeeping; caller holds the frame's write latch.
+    fn mark_dirty_locked(&self, frame: &mut Frame, pid: PageId, lsn: Lsn) {
+        if !frame.dirty {
+            frame.dirty = true;
+            frame.dirty_gen = self.ckpt_gen.load(Ordering::Acquire);
+            frame.first_dirty_lsn = lsn;
+            self.dirty.fetch_add(1, Ordering::AcqRel);
+            self.events.lock().push(CacheEvent::Dirtied { pid, lsn });
+        }
     }
 
     // ------------------------------------------------------------------
     // eviction / flushing
     // ------------------------------------------------------------------
 
-    fn make_room(&mut self) -> Result<()> {
-        while self.frames.len() >= self.capacity {
-            self.evict_one()?;
+    /// Evict the victim at `pid` if it is still present, unpinned and
+    /// unlatched. `Ok(true)` on eviction.
+    fn try_evict(&self, pid: PageId) -> Result<bool> {
+        let shard = self.shard(pid);
+        let mut map = shard.lock();
+        let Some(cell) = map.get(&pid).cloned() else { return Ok(false) };
+        if cell.pins.load(Ordering::Acquire) != 0 {
+            return Ok(false);
         }
-        Ok(())
+        let Some(mut frame) = cell.latch.try_write() else { return Ok(false) };
+        if frame.evicted || cell.pins.load(Ordering::Acquire) != 0 {
+            return Ok(false);
+        }
+        if frame.dirty {
+            self.flush_frame_locked(&mut frame, pid)?;
+            self.stats.dirty_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        frame.evicted = true;
+        drop(frame);
+        map.remove(&pid);
+        self.len.fetch_sub(1, Ordering::AcqRel);
+        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+        Ok(true)
     }
 
-    fn evict_one(&mut self) -> Result<()> {
-        // Plain LRU over unpinned frames, via the recency index.
-        let victim = self
-            .lru
-            .iter()
-            .map(|(_, pid)| *pid)
-            .find(|pid| self.frames.get(pid).map(|f| f.pins == 0).unwrap_or(false))
-            .ok_or(Error::PoolExhausted { capacity: self.capacity })?;
-        let dirty = self.frames[&victim].dirty;
-        if dirty {
-            self.flush_page(victim)?;
-            self.stats.dirty_evictions += 1;
+    fn evict_one(&self) -> Result<()> {
+        // LRU approximation: one O(frames) min-scan for the coldest
+        // unpinned frame (no sort, no candidate materialization), retried a
+        // few times if the victim gains a pin or a latch holder between the
+        // scan and the attempt. (ROADMAP: a clock-hand structure would
+        // remove the per-eviction scan entirely.)
+        const ATTEMPTS: usize = 8;
+        let mut skip: Vec<PageId> = Vec::new();
+        for _ in 0..ATTEMPTS {
+            let mut coldest: Option<(u64, PageId)> = None;
+            for shard in self.shards.iter() {
+                for (pid, cell) in shard.lock().iter() {
+                    if cell.pins.load(Ordering::Acquire) != 0 || skip.contains(pid) {
+                        continue;
+                    }
+                    let t = cell.last_used.load(Ordering::Relaxed);
+                    if coldest.map(|(ct, _)| t < ct).unwrap_or(true) {
+                        coldest = Some((t, *pid));
+                    }
+                }
+            }
+            let Some((_, pid)) = coldest else {
+                return Err(Error::PoolExhausted { capacity: self.capacity });
+            };
+            if self.try_evict(pid)? {
+                return Ok(());
+            }
+            // Victim slipped away (pinned, latched, or evicted by a peer).
+            // If a peer evicted, the pool is under capacity again;
+            // otherwise look for the next-coldest frame.
+            if self.len.load(Ordering::Acquire) < self.capacity {
+                return Ok(());
+            }
+            skip.push(pid);
         }
-        let f = self.frames.remove(&victim).expect("victim cached");
-        self.lru.remove(&(f.last_used, victim));
-        self.stats.evictions += 1;
+        Err(Error::PoolExhausted { capacity: self.capacity })
+    }
+
+    /// Write one dirty frame to stable storage, enforcing the WAL rule.
+    /// Caller holds the frame's write latch.
+    fn flush_frame_locked(&self, frame: &mut Frame, pid: PageId) -> Result<()> {
+        let plsn = frame.page.plsn();
+        if plsn > self.current_elsn() {
+            // WAL rule would be violated: demand an EOSL advance.
+            let new_elsn = (self.eosl)(plsn);
+            self.stats.eosl_demands.fetch_add(1, Ordering::Relaxed);
+            self.events.lock().push(CacheEvent::EoslDemanded { pid, plsn });
+            self.elsn.fetch_max(new_elsn.0, Ordering::AcqRel);
+            if plsn > self.current_elsn() {
+                return Err(Error::WalViolation { pid, plsn, elsn: self.current_elsn() });
+            }
+        }
+        self.disk.lock().write(pid, &frame.page)?;
+        frame.dirty = false;
+        frame.first_dirty_lsn = Lsn::NULL;
+        self.dirty.fetch_sub(1, Ordering::AcqRel);
+        self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        let elsn = self.current_elsn();
+        self.events.lock().push(CacheEvent::Flushed { pid, plsn, elsn });
         Ok(())
     }
 
     /// Flush one dirty page to stable storage, enforcing the WAL rule.
     /// Emits [`CacheEvent::Flushed`]; the frame becomes clean but stays
     /// cached.
-    pub fn flush_page(&mut self, pid: PageId) -> Result<()> {
-        let plsn = {
-            let f = self.frames.get(&pid).ok_or(Error::RecoveryInvariant(format!(
-                "flush of uncached page {pid}"
-            )))?;
-            if !f.dirty {
-                return Ok(());
-            }
-            f.page.plsn()
-        };
-        if plsn > self.elsn {
-            // WAL rule would be violated: demand an EOSL advance.
-            let new_elsn = (self.eosl)(plsn);
-            self.stats.eosl_demands += 1;
-            self.events.push(CacheEvent::EoslDemanded { pid, plsn });
-            self.elsn = self.elsn.max(new_elsn);
-            if plsn > self.elsn {
-                return Err(Error::WalViolation { pid, plsn, elsn: self.elsn });
-            }
+    pub fn flush_page(&self, pid: PageId) -> Result<()> {
+        let cell = self
+            .shard(pid)
+            .lock()
+            .get(&pid)
+            .cloned()
+            .ok_or_else(|| Error::RecoveryInvariant(format!("flush of uncached page {pid}")))?;
+        let mut frame = cell.latch.write();
+        if frame.evicted {
+            // Evicted concurrently — it was flushed (if dirty) on the way out.
+            return Ok(());
         }
-        let f = self.frames.get_mut(&pid).expect("checked above");
-        self.disk.write(pid, &f.page)?;
-        f.dirty = false;
-        f.first_dirty_lsn = Lsn::NULL;
-        self.stats.flushes += 1;
-        let elsn = self.elsn;
-        self.events.push(CacheEvent::Flushed { pid, plsn, elsn });
-        Ok(())
+        if !frame.dirty {
+            return Ok(());
+        }
+        self.flush_frame_locked(&mut frame, pid)
     }
 
     /// Begin a checkpoint: flip the generation "bit". Pages dirtied from now
     /// on belong to the new generation and will *not* be flushed by
     /// [`BufferPool::checkpoint_flush`] — exactly SQL Server's scheme
     /// (§3.2).
-    pub fn begin_checkpoint(&mut self) -> u64 {
-        self.ckpt_gen += 1;
-        self.ckpt_gen
+    pub fn begin_checkpoint(&self) -> u64 {
+        self.ckpt_gen.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Snapshot dirty PIDs matching `pred`, sorted for deterministic order.
+    fn dirty_matching(&self, pred: impl Fn(&Frame) -> bool) -> Vec<PageId> {
+        let mut v = Vec::new();
+        for shard in self.shards.iter() {
+            for (pid, cell) in shard.lock().iter() {
+                let frame = cell.latch.read();
+                if frame.dirty && !frame.evicted && pred(&frame) {
+                    v.push(*pid);
+                }
+            }
+        }
+        v.sort_unstable();
+        v
     }
 
     /// Flush every page dirtied in a generation **before** the current one.
     /// Returns the number of pages flushed.
-    pub fn checkpoint_flush(&mut self) -> Result<usize> {
-        let gen = self.ckpt_gen;
-        let mut victims: Vec<PageId> = self
-            .frames
-            .iter()
-            .filter(|(_, f)| f.dirty && f.dirty_gen < gen)
-            .map(|(pid, _)| *pid)
-            .collect();
-        victims.sort_unstable(); // deterministic order
+    pub fn checkpoint_flush(&self) -> Result<usize> {
+        let gen = self.ckpt_gen.load(Ordering::Acquire);
+        let victims = self.dirty_matching(|f| f.dirty_gen < gen);
         for pid in &victims {
             self.flush_page(*pid)?;
         }
@@ -400,30 +634,33 @@ impl BufferPool {
     /// ("lazywriter") behaviour of the modelled engine: it keeps the dirty
     /// fraction of the cache bounded during normal execution, which is what
     /// keeps the DPT small (§5.3 / Figure 2(b)). Returns pages flushed.
-    pub fn clean_coldest(&mut self, max: usize) -> Result<usize> {
+    pub fn clean_coldest(&self, max: usize) -> Result<usize> {
         if max == 0 {
             return Ok(0);
         }
-        let victims: Vec<PageId> = self
-            .lru
-            .iter()
-            .map(|(_, pid)| *pid)
-            .filter(|pid| {
-                self.frames.get(pid).map(|f| f.dirty && f.pins == 0).unwrap_or(false)
-            })
-            .take(max)
-            .collect();
-        for pid in &victims {
+        let mut victims: Vec<(u64, PageId)> = Vec::new();
+        for shard in self.shards.iter() {
+            for (pid, cell) in shard.lock().iter() {
+                if cell.pins.load(Ordering::Acquire) != 0 {
+                    continue;
+                }
+                let frame = cell.latch.read();
+                if frame.dirty && !frame.evicted {
+                    victims.push((cell.last_used.load(Ordering::Relaxed), *pid));
+                }
+            }
+        }
+        victims.sort_unstable();
+        victims.truncate(max);
+        for (_, pid) in &victims {
             self.flush_page(*pid)?;
         }
         Ok(victims.len())
     }
 
     /// Flush everything dirty (clean shutdown; not used by crash paths).
-    pub fn flush_all(&mut self) -> Result<usize> {
-        let mut victims: Vec<PageId> =
-            self.frames.iter().filter(|(_, f)| f.dirty).map(|(pid, _)| *pid).collect();
-        victims.sort_unstable();
+    pub fn flush_all(&self) -> Result<usize> {
+        let victims = self.dirty_matching(|_| true);
         for pid in &victims {
             self.flush_page(*pid)?;
         }
@@ -434,22 +671,22 @@ impl BufferPool {
     /// dirty frame. This is what ARIES checkpointing snapshots into its
     /// checkpoint record (§3.1 ablation).
     pub fn runtime_dpt(&self) -> Vec<(PageId, Lsn)> {
-        let mut v: Vec<(PageId, Lsn)> = self
-            .frames
-            .iter()
-            .filter(|(_, f)| f.dirty)
-            .map(|(pid, f)| (*pid, f.first_dirty_lsn))
-            .collect();
+        let mut v = Vec::new();
+        for shard in self.shards.iter() {
+            for (pid, cell) in shard.lock().iter() {
+                let frame = cell.latch.read();
+                if frame.dirty && !frame.evicted {
+                    v.push((*pid, frame.first_dirty_lsn));
+                }
+            }
+        }
         v.sort_unstable_by_key(|(pid, _)| *pid);
         v
     }
 
     /// PIDs of all dirty frames (ground truth for DPT-safety tests).
     pub fn dirty_pids(&self) -> Vec<PageId> {
-        let mut v: Vec<PageId> =
-            self.frames.iter().filter(|(_, f)| f.dirty).map(|(pid, _)| *pid).collect();
-        v.sort_unstable();
-        v
+        self.dirty_matching(|_| true)
     }
 
     /// Issue read-ahead for pages neither cached nor already in flight.
@@ -459,15 +696,19 @@ impl BufferPool {
     /// reordering would make arrivals race ahead of or behind the scan.
     /// Runs that are *already* contiguous in the request are coalesced into
     /// block reads. Returns (device ops, pages requested).
-    pub fn prefetch(&mut self, pids: &[PageId]) -> (usize, usize) {
+    pub fn prefetch(&self, pids: &[PageId]) -> (usize, usize) {
+        // Cache-residency screening happens before the device lock: the
+        // evictor acquires shard → device, so touching shards while holding
+        // the device here would invert the order (deadlock).
         let mut wanted: Vec<PageId> = Vec::with_capacity(pids.len());
         let mut seen = std::collections::HashSet::with_capacity(pids.len());
         for pid in pids {
-            if !self.frames.contains_key(pid) && !self.disk.is_inflight(*pid) && seen.insert(*pid)
-            {
+            if !self.contains(*pid) && seen.insert(*pid) {
                 wanted.push(*pid);
             }
         }
+        let mut disk = self.disk.lock();
+        wanted.retain(|pid| !disk.is_inflight(*pid));
         if wanted.is_empty() {
             return (0, 0);
         }
@@ -478,7 +719,7 @@ impl BufferPool {
         for i in 1..=wanted.len() {
             let run_ends = i == wanted.len() || wanted[i].0 != wanted[i - 1].0 + 1;
             if run_ends {
-                ios += self.disk.prefetch(&wanted[run_start..i]);
+                ios += disk.prefetch(&wanted[run_start..i]);
                 run_start = i;
             }
         }
@@ -487,11 +728,16 @@ impl BufferPool {
 
     /// Crash: drop every frame and all pending events; power-cycle the
     /// device model. Stable storage (the disk) is untouched.
-    pub fn crash(&mut self) {
-        self.frames.clear();
-        self.lru.clear();
-        self.events.clear();
-        self.disk.reset_device();
+    pub fn crash(&self) {
+        for shard in self.shards.iter() {
+            for (_, cell) in shard.lock().drain() {
+                cell.latch.write().evicted = true;
+            }
+        }
+        self.len.store(0, Ordering::Release);
+        self.dirty.store(0, Ordering::Release);
+        self.events.lock().clear();
+        self.disk.lock().reset_device();
     }
 }
 
@@ -506,7 +752,7 @@ mod tests {
         BufferPool::new(Box::new(disk), capacity, Box::new(|lsn| lsn))
     }
 
-    fn write_leaf(pool: &mut BufferPool, pid: PageId) {
+    fn write_leaf(pool: &BufferPool, pid: PageId) {
         // Format the page as a leaf so page-type stats see data pages.
         pool.with_page_mut(pid, Lsn::NULL, |p| {
             p.set_page_type(PageType::Leaf);
@@ -517,7 +763,7 @@ mod tests {
 
     #[test]
     fn hit_and_miss_accounting() {
-        let mut p = pool(4, 8);
+        let p = pool(4, 8);
         p.fetch(PageId(0)).unwrap();
         let info = p.fetch(PageId(0)).unwrap();
         assert!(info.hit);
@@ -528,7 +774,7 @@ mod tests {
 
     #[test]
     fn lru_eviction_prefers_least_recent() {
-        let mut p = pool(4, 16);
+        let p = pool(4, 16);
         for i in 0..4 {
             p.fetch(PageId(i)).unwrap();
         }
@@ -541,7 +787,7 @@ mod tests {
 
     #[test]
     fn pinned_frames_survive_eviction() {
-        let mut p = pool(4, 16);
+        let p = pool(4, 16);
         p.pin(PageId(0)).unwrap();
         for i in 1..8 {
             p.fetch(PageId(i)).unwrap();
@@ -556,7 +802,7 @@ mod tests {
 
     #[test]
     fn all_pinned_pool_errors() {
-        let mut p = pool(4, 16);
+        let p = pool(4, 16);
         for i in 0..4 {
             p.pin(PageId(i)).unwrap();
         }
@@ -565,8 +811,8 @@ mod tests {
 
     #[test]
     fn dirty_transition_emits_event_once() {
-        let mut p = pool(4, 8);
-        write_leaf(&mut p, PageId(2));
+        let p = pool(4, 8);
+        write_leaf(&p, PageId(2));
         p.take_events();
         p.with_page_mut(PageId(2), Lsn(100), |pg| pg.insert_record(0, b"x").unwrap()).unwrap();
         p.with_page_mut(PageId(2), Lsn(101), |pg| pg.update_record(0, b"y").unwrap()).unwrap();
@@ -591,8 +837,8 @@ mod tests {
     fn flush_respects_wal_rule_via_eosl() {
         let disk = SimDisk::new(256, 8, SimClock::new(), IoModel::zero());
         // Provider grants stability exactly as requested.
-        let mut p = BufferPool::new(Box::new(disk), 4, Box::new(|lsn| lsn));
-        write_leaf(&mut p, PageId(1));
+        let p = BufferPool::new(Box::new(disk), 4, Box::new(|lsn| lsn));
+        write_leaf(&p, PageId(1));
         p.with_page_mut(PageId(1), Lsn(500), |pg| pg.insert_record(0, b"w").unwrap()).unwrap();
         assert_eq!(p.current_elsn(), Lsn::NULL);
         p.flush_page(PageId(1)).unwrap();
@@ -600,29 +846,33 @@ mod tests {
         assert_eq!(p.current_elsn(), Lsn(500));
         let ev = p.take_events();
         assert!(ev.contains(&CacheEvent::EoslDemanded { pid: PageId(1), plsn: Lsn(500) }));
-        assert!(ev.contains(&CacheEvent::Flushed { pid: PageId(1), plsn: Lsn(500), elsn: Lsn(500) }));
+        assert!(ev.contains(&CacheEvent::Flushed {
+            pid: PageId(1),
+            plsn: Lsn(500),
+            elsn: Lsn(500)
+        }));
     }
 
     #[test]
     fn flush_fails_if_eosl_cannot_advance() {
         let disk = SimDisk::new(256, 8, SimClock::new(), IoModel::zero());
-        let mut p = BufferPool::new(Box::new(disk), 4, Box::new(|_| Lsn::NULL));
-        write_leaf(&mut p, PageId(1));
+        let p = BufferPool::new(Box::new(disk), 4, Box::new(|_| Lsn::NULL));
+        write_leaf(&p, PageId(1));
         p.with_page_mut(PageId(1), Lsn(500), |pg| pg.insert_record(0, b"w").unwrap()).unwrap();
         assert!(matches!(p.flush_page(PageId(1)), Err(Error::WalViolation { .. })));
     }
 
     #[test]
     fn penultimate_checkpoint_scheme() {
-        let mut p = pool(8, 16);
+        let p = pool(8, 16);
         p.set_elsn(Lsn::MAX);
-        write_leaf(&mut p, PageId(1));
-        write_leaf(&mut p, PageId(2));
+        write_leaf(&p, PageId(1));
+        write_leaf(&p, PageId(2));
         p.with_page_mut(PageId(1), Lsn(10), |pg| pg.insert_record(0, b"a").unwrap()).unwrap();
         p.with_page_mut(PageId(2), Lsn(11), |pg| pg.insert_record(0, b"b").unwrap()).unwrap();
         p.begin_checkpoint();
         // Page 3 dirtied DURING the checkpoint: must not be flushed by it.
-        write_leaf(&mut p, PageId(3));
+        write_leaf(&p, PageId(3));
         p.with_page_mut(PageId(3), Lsn(12), |pg| pg.insert_record(0, b"c").unwrap()).unwrap();
         let flushed = p.checkpoint_flush().unwrap();
         assert_eq!(flushed, 2);
@@ -631,9 +881,9 @@ mod tests {
 
     #[test]
     fn runtime_dpt_tracks_first_dirty_lsn() {
-        let mut p = pool(8, 16);
+        let p = pool(8, 16);
         p.set_elsn(Lsn::MAX);
-        write_leaf(&mut p, PageId(4));
+        write_leaf(&p, PageId(4));
         p.flush_page(PageId(4)).unwrap();
         p.with_page_mut(PageId(4), Lsn(40), |pg| pg.insert_record(0, b"x").unwrap()).unwrap();
         p.with_page_mut(PageId(4), Lsn(44), |pg| pg.update_record(0, b"y").unwrap()).unwrap();
@@ -642,9 +892,9 @@ mod tests {
 
     #[test]
     fn crash_clears_cache_but_not_disk() {
-        let mut p = pool(4, 8);
+        let p = pool(4, 8);
         p.set_elsn(Lsn::MAX);
-        write_leaf(&mut p, PageId(1));
+        write_leaf(&p, PageId(1));
         p.with_page_mut(PageId(1), Lsn(9), |pg| pg.insert_record(0, b"keep").unwrap()).unwrap();
         p.flush_page(PageId(1)).unwrap();
         p.with_page_mut(PageId(1), Lsn(10), |pg| pg.update_record(0, b"lost").unwrap()).unwrap();
@@ -656,7 +906,7 @@ mod tests {
 
     #[test]
     fn prefetch_skips_cached_and_dedups() {
-        let mut p = pool(4, 16);
+        let p = pool(4, 16);
         p.fetch(PageId(3)).unwrap();
         let (_ios, pages) = p.prefetch(&[PageId(3), PageId(5), PageId(5), PageId(6)]);
         assert_eq!(pages, 2, "cached and duplicate PIDs filtered");
@@ -669,15 +919,60 @@ mod tests {
 
     #[test]
     fn flush_all_cleans_everything() {
-        let mut p = pool(8, 16);
+        let p = pool(8, 16);
         p.set_elsn(Lsn::MAX);
         for i in 0..5 {
-            write_leaf(&mut p, PageId(i));
+            write_leaf(&p, PageId(i));
             p.with_page_mut(PageId(i), Lsn(20 + i), |pg| pg.insert_record(0, b"d").unwrap())
                 .unwrap();
         }
         assert_eq!(p.dirty_count(), 5);
         assert_eq!(p.flush_all().unwrap(), 5);
         assert_eq!(p.dirty_count(), 0);
+    }
+
+    #[test]
+    fn plsn_never_regresses_under_out_of_order_applies() {
+        let p = pool(4, 8);
+        p.set_elsn(Lsn::MAX);
+        write_leaf(&p, PageId(1));
+        p.with_page_mut(PageId(1), Lsn(100), |pg| pg.insert_record(0, b"a").unwrap()).unwrap();
+        // A lower-LSN apply arriving later must not move the pLSN backward.
+        p.with_page_mut(PageId(1), Lsn(90), |pg| pg.insert_record(1, b"b").unwrap()).unwrap();
+        let plsn = p.with_page(PageId(1), |pg| pg.plsn()).unwrap();
+        assert_eq!(plsn, Lsn(100));
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_distinct_pages() {
+        use std::sync::Arc;
+        let p = Arc::new(pool(64, 64));
+        p.set_elsn(Lsn::MAX);
+        for i in 0..8 {
+            write_leaf(&p, PageId(i));
+        }
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let p = p.clone();
+            handles.push(std::thread::spawn(move || {
+                let pid = PageId(t);
+                for i in 0..200u64 {
+                    p.with_page_mut(pid, Lsn(1000 + i), |pg| {
+                        if pg.slot_count() == 0 {
+                            pg.insert_record(0, b"v").unwrap();
+                        } else {
+                            pg.update_record(0, b"w").unwrap();
+                        }
+                    })
+                    .unwrap();
+                    let n = p.with_page(pid, |pg| pg.slot_count()).unwrap();
+                    assert_eq!(n, 1);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(p.dirty_count(), 8);
     }
 }

@@ -70,10 +70,9 @@ impl fmt::Display for Error {
             Error::LogCorrupt { lsn, reason } => {
                 write!(f, "log corrupt at LSN {lsn}: {reason}")
             }
-            Error::WalViolation { pid, plsn, elsn } => write!(
-                f,
-                "WAL violation: flushing page {pid} with pLSN {plsn} > eLSN {elsn}"
-            ),
+            Error::WalViolation { pid, plsn, elsn } => {
+                write!(f, "WAL violation: flushing page {pid} with pLSN {plsn} > eLSN {elsn}")
+            }
             Error::TreeCorrupt(msg) => write!(f, "B-tree corrupt: {msg}"),
             Error::RecoveryInvariant(msg) => write!(f, "recovery invariant violated: {msg}"),
             Error::Io(e) => write!(f, "I/O error: {e}"),
@@ -102,11 +101,7 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = Error::WalViolation {
-            pid: PageId(4),
-            plsn: Lsn(100),
-            elsn: Lsn(50),
-        };
+        let e = Error::WalViolation { pid: PageId(4), plsn: Lsn(100), elsn: Lsn(50) };
         let s = e.to_string();
         assert!(s.contains("WAL violation"));
         assert!(s.contains("100"));
@@ -115,7 +110,7 @@ mod tests {
 
     #[test]
     fn io_error_source_chains() {
-        let inner = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let inner = std::io::Error::other("boom");
         let e: Error = inner.into();
         assert!(std::error::Error::source(&e).is_some());
         assert!(e.to_string().contains("boom"));

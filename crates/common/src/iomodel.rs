@@ -148,11 +148,8 @@ impl IoScheduler {
     pub fn issue_async_run(&mut self, clock: &SimClock, run: &[PageId]) -> usize {
         let mut ios = 0;
         for chunk in run.chunks(self.model.block_pages.max(1)) {
-            let latency = if chunk.len() == 1 {
-                self.model.page_read_us
-            } else {
-                self.model.block_read_us
-            };
+            let latency =
+                if chunk.len() == 1 { self.model.page_read_us } else { self.model.block_read_us };
             let done = self.schedule(clock.now_us(), latency);
             ios += 1;
             for pid in chunk {

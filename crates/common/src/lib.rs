@@ -12,9 +12,9 @@
 //! Lomet/Tzoumas/Zwilling, VLDB 2011) reproducible here: two recovery methods
 //! replayed against the same log observe exactly the same simulated disk.
 
+pub mod clock;
 pub mod codec;
 pub mod crc;
-pub mod clock;
 pub mod error;
 pub mod histogram;
 pub mod iomodel;
@@ -27,4 +27,4 @@ pub use error::{Error, Result};
 pub use histogram::Histogram;
 pub use iomodel::{IoModel, IoScheduler};
 pub use stats::{IoStats, RecoveryBreakdown};
-pub use types::{Key, Lsn, PageId, TableId, TxnId, Value};
+pub use types::{shard_index, Key, Lsn, PageId, TableId, TxnId, Value};

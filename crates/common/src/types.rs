@@ -104,6 +104,16 @@ pub type Key = u64;
 /// Record payload ("data" attribute). Variable length, owned bytes.
 pub type Value = Vec<u8>;
 
+/// Map a 64-bit id onto one of `shards` slots via Fibonacci hashing —
+/// the one shard picker every sharded structure (lock table, page table,
+/// page-op latches) shares, so the mixing constant and shift are tuned in
+/// exactly one place.
+#[inline]
+pub fn shard_index(x: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    ((x.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) % shards
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

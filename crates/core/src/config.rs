@@ -39,6 +39,10 @@ pub struct EngineConfig {
     pub merge_min_fill: f64,
     /// Device latency model.
     pub io_model: IoModel,
+    /// Modelled real-time latency of one commit-time log force, in µs
+    /// (0 = instant). Group commit shares one force across concurrent
+    /// committers, so this is what the `throughput` bench amortizes.
+    pub commit_force_us: u64,
 }
 
 impl Default for EngineConfig {
@@ -57,6 +61,7 @@ impl Default for EngineConfig {
             dirty_watermark: 0.30,
             merge_min_fill: 0.0,
             io_model: IoModel::default(),
+            commit_force_us: 0,
         }
     }
 }

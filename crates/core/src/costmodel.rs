@@ -60,9 +60,9 @@ pub fn predicted_page_fetches(method: RecoveryMethod, inputs: CostInputs) -> Opt
         }
         // Eq. (3). The Appendix-D variants differ only in DPT accuracy, so
         // the same formula applies with their own DPT sizes.
-        RecoveryMethod::Log1 | RecoveryMethod::LogPerfect | RecoveryMethod::LogReduced => Some(
-            inputs.dpt_size + inputs.tail_records + inputs.log_pages + inputs.index_pages,
-        ),
+        RecoveryMethod::Log1 | RecoveryMethod::LogPerfect | RecoveryMethod::LogReduced => {
+            Some(inputs.dpt_size + inputs.tail_records + inputs.log_pages + inputs.index_pages)
+        }
         RecoveryMethod::Log2 | RecoveryMethod::Sql2 | RecoveryMethod::Log2DptPrefetch => None,
     }
 }
@@ -93,15 +93,9 @@ mod tests {
     #[test]
     fn equations_match_the_paper() {
         let i = inputs();
-        assert_eq!(
-            predicted_page_fetches(RecoveryMethod::Log0, i),
-            Some(4_000 + 50 + 80)
-        );
+        assert_eq!(predicted_page_fetches(RecoveryMethod::Log0, i), Some(4_000 + 50 + 80));
         assert_eq!(predicted_page_fetches(RecoveryMethod::Sql1, i), Some(900 + 50));
-        assert_eq!(
-            predicted_page_fetches(RecoveryMethod::Log1, i),
-            Some(900 + 100 + 50 + 80)
-        );
+        assert_eq!(predicted_page_fetches(RecoveryMethod::Log1, i), Some(900 + 100 + 50 + 80));
     }
 
     #[test]

@@ -4,6 +4,14 @@
 //! The engine is the sequencer the paper's Figure 1(A) sketches: every data
 //! operation flows **prepare (DC) → log (TC) → apply (DC)**, EOSL rides on
 //! commits, and checkpoints run the bCkpt → RSSP → eCkpt handshake.
+//!
+//! Every method takes `&self`: wrap the engine in an [`std::sync::Arc`]
+//! (see [`Engine::into_shared`]) and open one [`crate::Session`] per
+//! client thread. Single-threaded callers keep the exact same call shapes
+//! they had against the old `&mut Engine` API. Lock order on the write
+//! path: key lock (TC) → table latch (DC) → page-op latch (DC) → log
+//! latch → frame latch; the no-wait key locks at the top keep the whole
+//! stack deadlock-free.
 
 use crate::config::{EngineConfig, DEFAULT_TABLE};
 use lr_btree::{bulk_load, verify_tree, TreeSummary};
@@ -12,6 +20,9 @@ use lr_dc::{DataComponent, DcConfig, WriteIntent};
 use lr_storage::SimDisk;
 use lr_tc::{undo::rollback_txn, TransactionComponent, UndoStats};
 use lr_wal::{SharedWal, Wal};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Ground truth captured at the instant of a crash — the oracle for DPT
 /// safety tests and the Figure 2(b) numbers.
@@ -47,11 +58,14 @@ pub struct Engine {
     pub(crate) wal: SharedWal,
     pub(crate) clock: SimClock,
     pub(crate) cfg: EngineConfig,
-    pub(crate) crashed: bool,
-    pub(crate) checkpoints_taken: u64,
-    pub(crate) last_bckpt: Lsn,
+    pub(crate) crashed: AtomicBool,
+    pub(crate) checkpoints_taken: AtomicU64,
+    pub(crate) last_bckpt: AtomicU64,
+    /// Serializes the control-plane transitions (checkpoint, crash,
+    /// recover) against each other; the data plane never takes it.
+    pub(crate) lifecycle: Mutex<()>,
     /// Snapshot captured by the most recent crash (None before any crash).
-    pub(crate) last_crash: Option<CrashSnapshot>,
+    pub(crate) last_crash: Mutex<Option<CrashSnapshot>>,
 }
 
 impl Engine {
@@ -85,6 +99,7 @@ impl Engine {
         let root = bulk_load(&mut *disk, DEFAULT_TABLE, rows, cfg.fill_factor)?;
 
         let wal = Wal::new_shared(cfg.log_page_size);
+        wal.set_force_latency_us(cfg.commit_force_us);
         let dcfg = DcConfig {
             pool_pages: cfg.pool_pages,
             dirty_batch_cap: cfg.dirty_batch_cap,
@@ -94,7 +109,7 @@ impl Engine {
             merge_min_fill: cfg.merge_min_fill,
             ..DcConfig::default()
         };
-        let mut dc = DataComponent::open(disk, wal.clone(), dcfg)?;
+        let dc = DataComponent::open(disk, wal.clone(), dcfg)?;
         dc.register_table(DEFAULT_TABLE, root)?;
         let tc = TransactionComponent::new(wal.clone());
         Ok(Engine {
@@ -103,10 +118,11 @@ impl Engine {
             wal,
             clock,
             cfg,
-            crashed: false,
-            checkpoints_taken: 0,
-            last_bckpt: Lsn::NULL,
-            last_crash: None,
+            crashed: AtomicBool::new(false),
+            checkpoints_taken: AtomicU64::new(0),
+            last_bckpt: AtomicU64::new(Lsn::NULL.0),
+            lifecycle: Mutex::new(()),
+            last_crash: Mutex::new(None),
         })
     }
 
@@ -119,7 +135,8 @@ impl Engine {
         cfg: EngineConfig,
     ) -> Result<Engine> {
         let clock = SimClock::new();
-        let wal: SharedWal = std::sync::Arc::new(parking_lot::Mutex::new(wal));
+        let wal: SharedWal = SharedWal::new(wal);
+        wal.set_force_latency_us(cfg.commit_force_us);
         let dcfg = DcConfig {
             pool_pages: cfg.pool_pages,
             dirty_batch_cap: cfg.dirty_batch_cap,
@@ -137,11 +154,18 @@ impl Engine {
             wal,
             clock,
             cfg,
-            crashed: true,
-            checkpoints_taken: 0,
-            last_bckpt: Lsn::NULL,
-            last_crash: None,
+            crashed: AtomicBool::new(true),
+            checkpoints_taken: AtomicU64::new(0),
+            last_bckpt: AtomicU64::new(Lsn::NULL.0),
+            lifecycle: Mutex::new(()),
+            last_crash: Mutex::new(None),
         })
+    }
+
+    /// Move the engine behind an `Arc` so sessions on multiple threads can
+    /// share it (see [`crate::Session`]).
+    pub fn into_shared(self) -> Arc<Engine> {
+        Arc::new(self)
     }
 
     /// Persist the log to `path` (pairs with [`Engine::open_existing`] for
@@ -151,7 +175,7 @@ impl Engine {
     }
 
     fn check_up(&self) -> Result<()> {
-        if self.crashed {
+        if self.is_crashed() {
             Err(Error::RecoveryInvariant("engine is crashed; recover first".into()))
         } else {
             Ok(())
@@ -163,88 +187,83 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// Begin a transaction.
-    pub fn begin(&mut self) -> TxnId {
-        debug_assert!(!self.crashed);
+    pub fn begin(&self) -> TxnId {
+        debug_assert!(!self.is_crashed());
         self.tc.begin()
     }
 
     /// Update `key` in `table` to `value`.
-    pub fn update_in(
-        &mut self,
-        txn: TxnId,
-        table: TableId,
-        key: Key,
-        value: Value,
-    ) -> Result<()> {
+    pub fn update_in(&self, txn: TxnId, table: TableId, key: Key, value: Value) -> Result<()> {
         self.check_up()?;
         self.tc.lock(txn, table, key)?;
-        let prep =
-            self.dc.prepare_write(table, key, WriteIntent::Update { value_len: value.len() })?;
-        let before = prep.before.expect("update prepare returns a before-image");
+        let mut prep =
+            self.dc.prepare_op(table, key, WriteIntent::Update { value_len: value.len() })?;
+        let before = prep.before.take().expect("update prepare returns a before-image");
         let rec = self.tc.log_update(txn, table, key, prep.pid, before, value)?;
         self.dc.apply(&rec)
+        // `prep`'s latches drop here — after the apply they protected.
     }
 
     /// Update in the default table.
-    pub fn update(&mut self, txn: TxnId, key: Key, value: Value) -> Result<()> {
+    pub fn update(&self, txn: TxnId, key: Key, value: Value) -> Result<()> {
         self.update_in(txn, DEFAULT_TABLE, key, value)
     }
 
     /// Insert `key -> value` into `table`.
-    pub fn insert_in(
-        &mut self,
-        txn: TxnId,
-        table: TableId,
-        key: Key,
-        value: Value,
-    ) -> Result<()> {
+    pub fn insert_in(&self, txn: TxnId, table: TableId, key: Key, value: Value) -> Result<()> {
         self.check_up()?;
         self.tc.lock(txn, table, key)?;
         let prep =
-            self.dc.prepare_write(table, key, WriteIntent::Insert { value_len: value.len() })?;
+            self.dc.prepare_op(table, key, WriteIntent::Insert { value_len: value.len() })?;
         let rec = self.tc.log_insert(txn, table, key, prep.pid, value)?;
         self.dc.apply(&rec)
     }
 
-    pub fn insert(&mut self, txn: TxnId, key: Key, value: Value) -> Result<()> {
+    pub fn insert(&self, txn: TxnId, key: Key, value: Value) -> Result<()> {
         self.insert_in(txn, DEFAULT_TABLE, key, value)
     }
 
     /// Delete `key` from `table`.
-    pub fn delete_in(&mut self, txn: TxnId, table: TableId, key: Key) -> Result<()> {
+    pub fn delete_in(&self, txn: TxnId, table: TableId, key: Key) -> Result<()> {
         self.check_up()?;
         self.tc.lock(txn, table, key)?;
-        let prep = self.dc.prepare_write(table, key, WriteIntent::Delete)?;
-        let before = prep.before.expect("delete prepare returns a before-image");
+        let mut prep = self.dc.prepare_op(table, key, WriteIntent::Delete)?;
+        let before = prep.before.take().expect("delete prepare returns a before-image");
         let rec = self.tc.log_delete(txn, table, key, prep.pid, before)?;
         self.dc.apply(&rec)
     }
 
-    pub fn delete(&mut self, txn: TxnId, key: Key) -> Result<()> {
+    pub fn delete(&self, txn: TxnId, key: Key) -> Result<()> {
         self.delete_in(txn, DEFAULT_TABLE, key)
     }
 
     /// Read a key (no transaction needed — single-version storage).
-    pub fn read(&mut self, table: TableId, key: Key) -> Result<Option<Value>> {
+    pub fn read(&self, table: TableId, key: Key) -> Result<Option<Value>> {
+        self.dc.read(table, key)
+    }
+
+    /// Locking read: acquire `txn`'s exclusive lock on `(table, key)`
+    /// first, then read — the read-modify-write entry point (e.g. a bank
+    /// transfer reads both balances under locks before updating them).
+    /// No-wait: conflicts surface as [`Error::LockConflict`].
+    pub fn read_for_update(&self, txn: TxnId, table: TableId, key: Key) -> Result<Option<Value>> {
+        self.check_up()?;
+        self.tc.lock(txn, table, key)?;
         self.dc.read(table, key)
     }
 
     /// Range read: rows with keys in `[from, to]`, in key order.
     ///
-    /// Reads are unlocked (single-version storage, engine-level callers
-    /// serialize with writers); the Deuteronomy companion work on key-range
-    /// locking is out of scope here (DESIGN.md).
-    pub fn scan_range(
-        &mut self,
-        table: TableId,
-        from: Key,
-        to: Key,
-    ) -> Result<Vec<(Key, Value)>> {
+    /// Reads are unlocked (single-version storage; readers see committed or
+    /// in-flight values of concurrent writers, never torn pages — the
+    /// frame latches make each page access atomic); the Deuteronomy
+    /// companion work on key-range locking is out of scope here.
+    pub fn scan_range(&self, table: TableId, from: Key, to: Key) -> Result<Vec<(Key, Value)>> {
         self.dc.read_range(table, from, to)
     }
 
-    /// Commit: forces the log and delivers EOSL to the DC.
-    pub fn commit(&mut self, txn: TxnId) -> Result<()> {
+    /// Commit: forces the log (group commit) and delivers EOSL to the DC.
+    pub fn commit(&self, txn: TxnId) -> Result<()> {
         self.check_up()?;
         let stable = self.tc.commit(txn)?;
         self.dc.eosl(stable);
@@ -252,31 +271,31 @@ impl Engine {
     }
 
     /// Abort: logical rollback via CLRs, then `TxnAbort`.
-    pub fn abort(&mut self, txn: TxnId) -> Result<UndoStats> {
+    pub fn abort(&self, txn: TxnId) -> Result<UndoStats> {
         self.check_up()?;
         let head = self.tc.last_lsn_of(txn)?;
         let mut stats = UndoStats::default();
-        rollback_txn(&mut self.tc, &mut self.dc, txn, head, &mut stats)?;
+        rollback_txn(&self.tc, &self.dc, txn, head, &mut stats)?;
         Ok(stats)
     }
 
     /// Establish a savepoint inside `txn`.
-    pub fn savepoint(&mut self, txn: TxnId) -> Result<Lsn> {
+    pub fn savepoint(&self, txn: TxnId) -> Result<Lsn> {
         self.check_up()?;
         self.tc.savepoint(txn)
     }
 
     /// Partial rollback: undo `txn`'s operations newer than `sp` (from
     /// [`Engine::savepoint`]); the transaction stays active.
-    pub fn rollback_to(&mut self, txn: TxnId, sp: Lsn) -> Result<UndoStats> {
+    pub fn rollback_to(&self, txn: TxnId, sp: Lsn) -> Result<UndoStats> {
         self.check_up()?;
         let mut stats = UndoStats::default();
-        lr_tc::rollback_to_savepoint(&mut self.tc, &mut self.dc, txn, sp, &mut stats)?;
+        lr_tc::rollback_to_savepoint(&self.tc, &self.dc, txn, sp, &mut stats)?;
         Ok(stats)
     }
 
     /// Create an additional (empty) table.
-    pub fn create_table(&mut self, table: TableId) -> Result<()> {
+    pub fn create_table(&self, table: TableId) -> Result<()> {
         self.check_up()?;
         self.dc.create_table(table)
     }
@@ -285,22 +304,31 @@ impl Engine {
     // checkpointing
     // ------------------------------------------------------------------
 
-    /// Take a checkpoint: bCkpt → (EOSL) → RSSP at the DC → eCkpt.
-    pub fn checkpoint(&mut self) -> Result<Lsn> {
+    /// Take a checkpoint: bCkpt → (EOSL) → RSSP at the DC → eCkpt. Runs
+    /// against live sessions — writers keep committing while the DC
+    /// flushes; the penultimate-generation scheme keeps the bracket sound.
+    pub fn checkpoint(&self) -> Result<Lsn> {
+        let _lc = self.lifecycle.lock();
+        // Checked under the lifecycle lock: a checkpoint racing crash()
+        // must not append bCkpt/RSSP/eCkpt to the post-crash log.
         self.check_up()?;
         let aries_dpt = self.cfg.aries_ckpt_capture.then(|| self.dc.pool().runtime_dpt());
         let bckpt = self.tc.begin_checkpoint(aries_dpt);
+        // Every operation logged before bCkpt must be applied before the
+        // generation flip inside rssp(), or it escapes both the checkpoint
+        // flush and the redo scan window.
+        self.dc.drain_in_flight_ops();
         self.dc.eosl(self.tc.stable_lsn());
         self.dc.rssp(bckpt)?;
         self.tc.end_checkpoint(bckpt);
         self.dc.eosl(self.tc.stable_lsn());
-        self.checkpoints_taken += 1;
-        self.last_bckpt = bckpt;
+        self.checkpoints_taken.fetch_add(1, Ordering::AcqRel);
+        self.last_bckpt.store(bckpt.0, Ordering::Release);
         Ok(bckpt)
     }
 
     pub fn checkpoints_taken(&self) -> u64 {
-        self.checkpoints_taken
+        self.checkpoints_taken.load(Ordering::Acquire)
     }
 
     // ------------------------------------------------------------------
@@ -311,18 +339,29 @@ impl Engine {
     /// log content is fixed (forced stable) while every volatile structure
     /// — cache, lock table, transaction table, open Δ/BW intervals — is
     /// lost. Returns the ground-truth snapshot for oracles and Figure 2(b).
-    pub fn crash(&mut self) -> CrashSnapshot {
-        let snap = {
+    ///
+    /// Sessions racing this call observe the crashed flag on their next
+    /// operation; quiesce sessions first when the snapshot must be exact.
+    pub fn crash(&self) -> CrashSnapshot {
+        let _lc = self.lifecycle.lock();
+        // Pool first, log second — never hold the log latch while walking
+        // frames: a concurrent flush holds a frame latch and locks the log
+        // through the EOSL provider, so the reverse order would deadlock.
+        let (dirty_truth, dirty_pages, cached_pages, pool_capacity) = {
             let pool = self.dc.pool();
+            (pool.runtime_dpt(), pool.dirty_count(), pool.len(), pool.capacity())
+        };
+        let (wal_records, wal_bytes) = {
             let wal = self.wal.lock();
-            CrashSnapshot {
-                dirty_truth: pool.runtime_dpt(),
-                dirty_pages: pool.dirty_count(),
-                cached_pages: pool.len(),
-                pool_capacity: pool.capacity(),
-                wal_records: wal.record_count(),
-                wal_bytes: wal.byte_len(),
-            }
+            (wal.record_count(), wal.byte_len())
+        };
+        let snap = CrashSnapshot {
+            dirty_truth,
+            dirty_pages,
+            cached_pages,
+            pool_capacity,
+            wal_records,
+            wal_bytes,
         };
         {
             let mut wal = self.wal.lock();
@@ -331,8 +370,8 @@ impl Engine {
         }
         self.tc.crash();
         self.dc.crash();
-        self.crashed = true;
-        self.last_crash = Some(snap.clone());
+        self.crashed.store(true, Ordering::Release);
+        *self.last_crash.lock() = Some(snap.clone());
         snap
     }
 
@@ -340,7 +379,7 @@ impl Engine {
     /// physically lost (a crash mid-sector-write). Recovery will re-derive
     /// the usable end of the log by CRC scan; transactions whose commit
     /// record fell in the torn region become losers.
-    pub fn crash_torn(&mut self, torn_bytes: u64) -> CrashSnapshot {
+    pub fn crash_torn(&self, torn_bytes: u64) -> CrashSnapshot {
         let snap = self.crash();
         self.wal.lock().tear(torn_bytes);
         snap
@@ -348,7 +387,7 @@ impl Engine {
 
     /// Is the engine down (crashed and not yet recovered)?
     pub fn is_crashed(&self) -> bool {
-        self.crashed
+        self.crashed.load(Ordering::Acquire)
     }
 
     /// Fork a crashed engine: an independent engine over a *copy* of the
@@ -358,7 +397,7 @@ impl Engine {
     /// workload once, then recover the same crash with every method. Only
     /// supported on forkable (simulated) disks.
     pub fn fork_crashed(&self) -> Result<Engine> {
-        if !self.crashed {
+        if !self.is_crashed() {
             return Err(Error::RecoveryInvariant("fork_crashed of a live engine".into()));
         }
         let clock = SimClock::new();
@@ -368,8 +407,8 @@ impl Engine {
             .disk()
             .fork(clock.clone())
             .ok_or_else(|| Error::RecoveryInvariant("disk does not support forking".into()))?;
-        let wal: SharedWal =
-            std::sync::Arc::new(parking_lot::Mutex::new(self.wal.lock().fork_data()));
+        let wal: SharedWal = SharedWal::new(self.wal.lock().fork_data());
+        wal.set_force_latency_us(self.cfg.commit_force_us);
         let dcfg = lr_dc::DcConfig {
             pool_pages: self.cfg.pool_pages,
             dirty_batch_cap: self.cfg.dirty_batch_cap,
@@ -387,16 +426,17 @@ impl Engine {
             wal,
             clock,
             cfg: self.cfg.clone(),
-            crashed: true,
-            checkpoints_taken: self.checkpoints_taken,
-            last_bckpt: self.last_bckpt,
-            last_crash: self.last_crash.clone(),
+            crashed: AtomicBool::new(true),
+            checkpoints_taken: AtomicU64::new(self.checkpoints_taken()),
+            last_bckpt: AtomicU64::new(self.last_bckpt.load(Ordering::Acquire)),
+            lifecycle: Mutex::new(()),
+            last_crash: Mutex::new(self.last_crash.lock().clone()),
         })
     }
 
     /// The last crash's ground truth.
-    pub fn last_crash_snapshot(&self) -> Option<&CrashSnapshot> {
-        self.last_crash.as_ref()
+    pub fn last_crash_snapshot(&self) -> Option<CrashSnapshot> {
+        self.last_crash.lock().clone()
     }
 
     // ------------------------------------------------------------------
@@ -404,15 +444,15 @@ impl Engine {
     // ------------------------------------------------------------------
 
     /// Full contents of a table (testing / verification).
-    pub fn scan_table(&mut self, table: TableId) -> Result<Vec<(Key, Value)>> {
-        let tree = self.dc.tree(table)?.clone();
-        tree.scan_all(self.dc.pool_mut())
+    pub fn scan_table(&self, table: TableId) -> Result<Vec<(Key, Value)>> {
+        self.dc.scan_all(table)
     }
 
     /// Verify a table's B-tree structure.
-    pub fn verify_table(&mut self, table: TableId) -> Result<TreeSummary> {
-        let tree = self.dc.tree(table)?.clone();
-        verify_tree(&tree, self.dc.pool_mut())
+    pub fn verify_table(&self, table: TableId) -> Result<TreeSummary> {
+        let _t = self.dc.lock_table_shared(table);
+        let tree = self.dc.tree(table)?;
+        verify_tree(&tree, self.dc.pool())
     }
 
     pub fn config(&self) -> &EngineConfig {
@@ -423,8 +463,10 @@ impl Engine {
         &self.dc
     }
 
-    pub fn dc_mut(&mut self) -> &mut DataComponent {
-        &mut self.dc
+    /// Historical alias from the single-owner API (the DC itself is
+    /// interior-mutable now).
+    pub fn dc_mut(&mut self) -> &DataComponent {
+        &self.dc
     }
 
     pub fn tc(&self) -> &TransactionComponent {
@@ -455,8 +497,14 @@ mod tests {
     }
 
     #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Engine>();
+    }
+
+    #[test]
     fn build_loads_initial_rows() {
-        let mut e = small_engine();
+        let e = small_engine();
         assert_eq!(e.read(DEFAULT_TABLE, 0).unwrap().unwrap(), e.cfg.initial_value(0));
         assert_eq!(e.read(DEFAULT_TABLE, 999).unwrap().unwrap(), e.cfg.initial_value(999));
         assert_eq!(e.read(DEFAULT_TABLE, 1000).unwrap(), None);
@@ -466,7 +514,7 @@ mod tests {
 
     #[test]
     fn txn_update_commit_read() {
-        let mut e = small_engine();
+        let e = small_engine();
         let t = e.begin();
         e.update(t, 7, b"hello".to_vec()).unwrap();
         e.commit(t).unwrap();
@@ -475,7 +523,7 @@ mod tests {
 
     #[test]
     fn abort_rolls_back() {
-        let mut e = small_engine();
+        let e = small_engine();
         let orig = e.read(DEFAULT_TABLE, 5).unwrap().unwrap();
         let t = e.begin();
         e.update(t, 5, b"garbage".to_vec()).unwrap();
@@ -488,14 +536,11 @@ mod tests {
 
     #[test]
     fn lock_conflicts_between_txns() {
-        let mut e = small_engine();
+        let e = small_engine();
         let t1 = e.begin();
         let t2 = e.begin();
         e.update(t1, 3, b"a".to_vec()).unwrap();
-        assert!(matches!(
-            e.update(t2, 3, b"b".to_vec()),
-            Err(Error::LockConflict { .. })
-        ));
+        assert!(matches!(e.update(t2, 3, b"b".to_vec()), Err(Error::LockConflict { .. })));
         e.commit(t1).unwrap();
         e.update(t2, 3, b"b".to_vec()).unwrap();
         e.commit(t2).unwrap();
@@ -504,10 +549,10 @@ mod tests {
 
     #[test]
     fn crash_blocks_operations() {
-        let mut e = small_engine();
+        let e = small_engine();
         let snap = e.crash();
         assert!(e.is_crashed());
-        assert!(snap.wal_records > 0 || snap.wal_records == 0); // snapshot exists
+        assert_eq!(snap.pool_capacity, 64, "snapshot captured");
         let t = lr_common::TxnId(999);
         assert!(e.update(t, 1, vec![]).is_err());
         assert!(e.checkpoint().is_err());
@@ -515,7 +560,7 @@ mod tests {
 
     #[test]
     fn checkpoint_flushes_old_dirt() {
-        let mut e = small_engine();
+        let e = small_engine();
         let t = e.begin();
         for k in 0..50 {
             e.update(t, k, b"x".repeat(100)).unwrap();
@@ -525,5 +570,28 @@ mod tests {
         assert!(dirty_before > 0);
         e.checkpoint().unwrap();
         assert_eq!(e.dc.pool().dirty_count(), 0, "penultimate flush cleans pre-bCkpt dirt");
+    }
+
+    #[test]
+    fn concurrent_updates_different_keys_commit() {
+        let e = Arc::new(small_engine());
+        std::thread::scope(|s| {
+            for th in 0..4u64 {
+                let e = e.clone();
+                s.spawn(move || {
+                    for i in 0..25u64 {
+                        let t = e.begin();
+                        let key = th * 250 + i;
+                        e.update(t, key, format!("t{th}-{i}").into_bytes()).unwrap();
+                        e.commit(t).unwrap();
+                    }
+                });
+            }
+        });
+        for th in 0..4u64 {
+            let v = e.read(DEFAULT_TABLE, th * 250 + 24).unwrap().unwrap();
+            assert_eq!(v, format!("t{th}-24").into_bytes());
+        }
+        e.tc.locks().assert_no_leaks();
     }
 }

@@ -16,7 +16,7 @@
 //! | [`RecoveryMethod::LogPerfect`] | logical + DPT | Δ + DirtyLSNs (App. D.1) | none |
 //! | [`RecoveryMethod::LogReduced`] | logical + DPT | Δ without FW-LSN (App. D.2) | none |
 //!
-//! ## Quickstart
+//! ## Quickstart (single-threaded)
 //!
 //! ```
 //! use lr_core::{Engine, EngineConfig, RecoveryMethod, DEFAULT_TABLE};
@@ -24,7 +24,7 @@
 //! let mut cfg = EngineConfig::default();
 //! cfg.initial_rows = 2_000;
 //! cfg.pool_pages = 64;
-//! let mut engine = Engine::build(cfg).unwrap();
+//! let engine = Engine::build(cfg).unwrap();
 //!
 //! let txn = engine.begin();
 //! engine.update(txn, 42, b"new-value".to_vec()).unwrap();
@@ -40,6 +40,37 @@
 //! println!("redo took {:.1} simulated ms ({} dirty pages at crash)",
 //!          report.breakdown.redo_ms(), snap.dirty_pages);
 //! ```
+//!
+//! ## Concurrent sessions
+//!
+//! The engine is `Sync`: move it into an `Arc` and open one [`Session`]
+//! per client thread. Conflicting writers get no-wait lock conflicts and
+//! retry via [`Session::run_txn`]; commits share log forces through group
+//! commit.
+//!
+//! ```
+//! use lr_core::{Engine, EngineConfig, DEFAULT_TABLE};
+//!
+//! let mut cfg = EngineConfig::default();
+//! cfg.initial_rows = 1_000;
+//! cfg.io_model = lr_common::IoModel::zero();
+//! let engine = Engine::build(cfg).unwrap().into_shared();
+//!
+//! std::thread::scope(|s| {
+//!     for t in 0..4u64 {
+//!         let mut session = Engine::session(&engine);
+//!         s.spawn(move || {
+//!             session
+//!                 .run_txn(100, |s| {
+//!                     s.update(t, format!("worker-{t}").into_bytes())?;
+//!                     s.update(t + 500, b"and this".to_vec())
+//!                 })
+//!                 .unwrap();
+//!         });
+//!     }
+//! });
+//! assert_eq!(engine.read(DEFAULT_TABLE, 2).unwrap().unwrap(), b"worker-2");
+//! ```
 
 pub mod config;
 pub mod costmodel;
@@ -47,10 +78,12 @@ pub mod engine;
 pub mod methods;
 pub mod recovery;
 pub mod replica;
+pub mod session;
 pub mod verify;
 
 pub use config::{EngineConfig, DEFAULT_TABLE};
 pub use costmodel::{predicted_page_fetches, CostInputs};
 pub use engine::{CrashSnapshot, Engine};
 pub use recovery::{RecoveryMethod, RecoveryReport};
+pub use session::Session;
 pub use verify::ShadowDb;

@@ -49,7 +49,7 @@ impl LogDrivenPrefetcher {
     /// the log record ... a prefetch for the corresponding page is issued").
     fn pump(
         &mut self,
-        dc: &mut DataComponent,
+        dc: &DataComponent,
         window: &[LogRecord],
         cur: usize,
         dpt: &Dpt,
@@ -89,7 +89,7 @@ impl LogDrivenPrefetcher {
 /// Algorithm 1: physiological redo over the window using `dpt`, processing
 /// data operations *and* SMO system-transaction records in LSN order.
 pub fn physiological_redo(
-    dc: &mut DataComponent,
+    dc: &DataComponent,
     window: &[LogRecord],
     dpt: &Dpt,
     mut prefetch: Option<LogDrivenPrefetcher>,
@@ -194,7 +194,7 @@ impl PfListPrefetcher {
     /// contain duplicates (a page pruned and re-dirtied appears once per
     /// incarnation), and counting filtered duplicates against the budget
     /// would silently starve the read-ahead.
-    fn pump(&mut self, dc: &mut DataComponent, dpt: &Dpt, consumed: u64, bk: &mut RecoveryBreakdown) {
+    fn pump(&mut self, dc: &DataComponent, dpt: &Dpt, consumed: u64, bk: &mut RecoveryBreakdown) {
         while self.next < self.list.len() && self.issued < consumed + self.ahead {
             let want = (consumed + self.ahead - self.issued) as usize;
             let mut batch: Vec<PageId> = Vec::with_capacity(want);
@@ -232,7 +232,7 @@ pub enum LogicalPrefetch {
 /// pages before fetching (records past the tail boundary fall back to the
 /// basic path).
 pub fn logical_redo(
-    dc: &mut DataComponent,
+    dc: &DataComponent,
     window: &[LogRecord],
     ctx: Option<&LogicalCtx<'_>>,
     mut prefetch: LogicalPrefetch,
@@ -328,7 +328,7 @@ impl DptDrivenPrefetcher {
     /// Keep `ahead` pages in flight beyond what redo has consumed. As with
     /// the PF-list pump, only pages the pool accepts count against the
     /// budget.
-    pub fn pump(&mut self, dc: &mut DataComponent, consumed: u64, bk: &mut RecoveryBreakdown) {
+    pub fn pump(&mut self, dc: &DataComponent, consumed: u64, bk: &mut RecoveryBreakdown) {
         while self.next < self.list.len() && self.issued < consumed + self.ahead {
             let want = (consumed + self.ahead - self.issued) as usize;
             let end = (self.next + want).min(self.list.len());
@@ -357,7 +357,7 @@ impl DptDrivenPrefetcher {
 /// Load every internal (index) page of every table into the cache, level by
 /// level, prefetching each level as a batch so reads overlap. Returns the
 /// number of index pages loaded.
-pub fn preload_index(dc: &mut DataComponent, bk: &mut RecoveryBreakdown) -> Result<u64> {
+pub fn preload_index(dc: &DataComponent, bk: &mut RecoveryBreakdown) -> Result<u64> {
     let mut loaded = 0u64;
     for table in dc.tables() {
         let root = dc.table_root(table)?;
@@ -415,7 +415,7 @@ mod tests {
         .unwrap();
         disk.set_timed(timed);
         let wal = Wal::new_shared(4096);
-        let mut dc = DataComponent::open(
+        let dc = DataComponent::open(
             Box::new(disk),
             wal,
             DcConfig { pool_pages, ..DcConfig::default() },
@@ -442,9 +442,9 @@ mod tests {
 
     #[test]
     fn preload_index_touches_every_internal_page() {
-        let mut dc = dc_with_rows(3_000, 1024, false);
+        let dc = dc_with_rows(3_000, 1024, false);
         let mut bk = RecoveryBreakdown::default();
-        let loaded = preload_index(&mut dc, &mut bk).unwrap();
+        let loaded = preload_index(&dc, &mut bk).unwrap();
         let tree = dc.tree(TableId(1)).unwrap().clone();
         let internals = tree.internal_pids(dc.pool_mut()).unwrap();
         assert_eq!(loaded, internals.len() as u64);
@@ -455,7 +455,7 @@ mod tests {
 
     #[test]
     fn log_driven_prefetcher_respects_dpt_screen() {
-        let mut dc = dc_with_rows(2_000, 1024, true);
+        let dc = dc_with_rows(2_000, 1024, true);
         let tree = dc.tree(TableId(1)).unwrap().clone();
         let (pid_a, _) = tree.find_leaf_pid(dc.pool_mut(), 10).unwrap();
         let (pid_b, _) = tree.find_leaf_pid(dc.pool_mut(), 1_500).unwrap();
@@ -465,7 +465,7 @@ mod tests {
         let window = vec![update_rec(150, 10, pid_a), update_rec(160, 1_500, pid_b)];
         let mut pf = LogDrivenPrefetcher::new(16);
         let mut bk = RecoveryBreakdown::default();
-        pf.pump(&mut dc, &window, 0, &dpt, &mut bk);
+        pf.pump(&dc, &window, 0, &dpt, &mut bk);
         assert!(dc.pool().disk().is_inflight(pid_a), "DPT page prefetched");
         assert!(!dc.pool().disk().is_inflight(pid_b), "non-DPT page screened out");
         assert_eq!(bk.prefetch_pages, 1);
@@ -473,7 +473,7 @@ mod tests {
 
     #[test]
     fn log_driven_prefetcher_skips_records_below_rlsn() {
-        let mut dc = dc_with_rows(2_000, 1024, true);
+        let dc = dc_with_rows(2_000, 1024, true);
         let tree = dc.tree(TableId(1)).unwrap().clone();
         let (pid, _) = tree.find_leaf_pid(dc.pool_mut(), 10).unwrap();
         let mut dpt = Dpt::new();
@@ -481,13 +481,13 @@ mod tests {
         let window = vec![update_rec(100, 10, pid)]; // record below rLSN
         let mut pf = LogDrivenPrefetcher::new(16);
         let mut bk = RecoveryBreakdown::default();
-        pf.pump(&mut dc, &window, 0, &dpt, &mut bk);
+        pf.pump(&dc, &window, 0, &dpt, &mut bk);
         assert_eq!(bk.prefetch_pages, 0, "record below rLSN needs no prefetch");
     }
 
     #[test]
     fn pf_list_prefetcher_respects_budget_and_dpt() {
-        let mut dc = dc_with_rows(4_000, 4096, true);
+        let dc = dc_with_rows(4_000, 4096, true);
         let tree = dc.tree(TableId(1)).unwrap().clone();
         // Collect distinct leaf pids.
         let mut pids = Vec::new();
@@ -504,22 +504,22 @@ mod tests {
         }
         let mut pf = PfListPrefetcher::new(pids.clone(), 4);
         let mut bk = RecoveryBreakdown::default();
-        pf.pump(&mut dc, &dpt, 0, &mut bk);
+        pf.pump(&dc, &dpt, 0, &mut bk);
         assert_eq!(bk.prefetch_pages, 4, "ahead budget caps the burst");
         // With consumption acknowledged, the window slides.
-        pf.pump(&mut dc, &dpt, 3, &mut bk);
+        pf.pump(&dc, &dpt, 3, &mut bk);
         assert_eq!(bk.prefetch_pages, 7);
         // Pruned (non-DPT) entries are skipped entirely.
         let empty_dpt = Dpt::new();
         let mut pf2 = PfListPrefetcher::new(pids, 4);
         let mut bk2 = RecoveryBreakdown::default();
-        pf2.pump(&mut dc, &empty_dpt, 0, &mut bk2);
+        pf2.pump(&dc, &empty_dpt, 0, &mut bk2);
         assert_eq!(bk2.prefetch_pages, 0, "everything pruned -> nothing issued");
     }
 
     #[test]
     fn dpt_driven_prefetcher_issues_in_rlsn_order() {
-        let mut dc = dc_with_rows(4_000, 4096, true);
+        let dc = dc_with_rows(4_000, 4096, true);
         let tree = dc.tree(TableId(1)).unwrap().clone();
         let (pid_late, _) = tree.find_leaf_pid(dc.pool_mut(), 100).unwrap();
         let (pid_early, _) = tree.find_leaf_pid(dc.pool_mut(), 3_000).unwrap();
@@ -528,7 +528,7 @@ mod tests {
         dpt.add(pid_early, Lsn(100));
         let mut pf = DptDrivenPrefetcher::new(&dpt, 1);
         let mut bk = RecoveryBreakdown::default();
-        pf.pump(&mut dc, 0, &mut bk);
+        pf.pump(&dc, 0, &mut bk);
         assert!(dc.pool().disk().is_inflight(pid_early), "lowest rLSN first");
         assert!(!dc.pool().disk().is_inflight(pid_late), "budget of 1 holds the rest");
     }

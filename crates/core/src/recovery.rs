@@ -12,9 +12,7 @@ use crate::methods::{
 };
 use lr_buffer::PoolStats;
 use lr_common::{Error, IoStats, Lsn, RecoveryBreakdown, Result};
-use lr_dc::{
-    build_dpt_aries, build_dpt_logical, build_dpt_sqlserver, smo_redo, DeltaDptMode, Dpt,
-};
+use lr_dc::{build_dpt_aries, build_dpt_logical, build_dpt_sqlserver, smo_redo, DeltaDptMode, Dpt};
 use lr_tc::{analyze_txns, undo_losers, UndoStats};
 use lr_wal::LogPayload;
 use std::fmt;
@@ -214,8 +212,12 @@ impl Engine {
     /// Recover the crashed engine with `method`. On success the engine is
     /// usable again (a post-recovery checkpoint is taken, untimed, so
     /// normal-execution monitoring restarts soundly).
-    pub fn recover(&mut self, method: RecoveryMethod) -> Result<RecoveryReport> {
-        if !self.crashed {
+    pub fn recover(&self, method: RecoveryMethod) -> Result<RecoveryReport> {
+        let _lc = self.lifecycle.lock();
+        // The state check lives inside the lifecycle critical section: two
+        // racing recover() calls must not both pass it — the loser would
+        // re-run redo/undo against an already-live engine.
+        if !self.is_crashed() {
             return Err(Error::RecoveryInvariant("recover() called while engine is up".into()));
         }
         // ---- measurement window ----
@@ -223,7 +225,7 @@ impl Engine {
         {
             let pool = self.dc.pool_mut();
             pool.reset_stats();
-            let disk = pool.disk_mut();
+            let mut disk = pool.disk_mut();
             disk.reset_device();
             disk.set_timed(true);
         }
@@ -252,8 +254,7 @@ impl Engine {
             };
             (s, r, w, lp, active)
         };
-        let window_data_ops =
-            window.iter().filter(|r| r.payload.is_data_op()).count() as u64;
+        let window_data_ops = window.iter().filter(|r| r.payload.is_data_op()).count() as u64;
         bk.log_pages_read += log_pages;
 
         // ---- phase 1: analysis / DC recovery ----
@@ -265,10 +266,7 @@ impl Engine {
         for _ in 0..log_pages {
             self.dc.pool_mut().disk_mut().charge_log_page_read();
         }
-        self.dc
-            .pool_mut()
-            .disk_mut()
-            .charge_cpu(model.cpu_log_record_us * window.len() as u64);
+        self.dc.pool_mut().disk_mut().charge_cpu(model.cpu_log_record_us * window.len() as u64);
 
         let mut dpt: Option<Dpt> = None;
         let mut last_delta_tc_lsn = Lsn::NULL;
@@ -309,7 +307,7 @@ impl Engine {
             }
             RecoveryMethod::Log0 => {
                 let s0 = self.clock.now_us();
-                let (a, s) = smo_redo(&mut self.dc, &window)?;
+                let (a, s) = smo_redo(&self.dc, &window)?;
                 smo_pages_applied = a;
                 smo_pages_skipped = s;
                 smo_us = self.clock.now_us() - s0;
@@ -320,7 +318,7 @@ impl Engine {
             | RecoveryMethod::LogReduced
             | RecoveryMethod::Log2DptPrefetch => {
                 let s0 = self.clock.now_us();
-                let (a, s) = smo_redo(&mut self.dc, &window)?;
+                let (a, s) = smo_redo(&self.dc, &window)?;
                 smo_pages_applied = a;
                 smo_pages_skipped = s;
                 smo_us = self.clock.now_us() - s0;
@@ -345,7 +343,7 @@ impl Engine {
         let mut index_pages_loaded = 0;
         if matches!(method, RecoveryMethod::Log2 | RecoveryMethod::Log2DptPrefetch) {
             let t = self.clock.now_us();
-            index_pages_loaded = preload_index(&mut self.dc, &mut bk)?;
+            index_pages_loaded = preload_index(&self.dc, &mut bk)?;
             bk.index_preload_us = self.clock.now_us() - t;
         }
 
@@ -361,7 +359,7 @@ impl Engine {
         match method {
             RecoveryMethod::Sql1 | RecoveryMethod::AriesCkpt => {
                 physiological_redo(
-                    &mut self.dc,
+                    &self.dc,
                     &window,
                     dpt.as_ref().expect("physiological methods build a DPT"),
                     None,
@@ -370,7 +368,7 @@ impl Engine {
             }
             RecoveryMethod::Sql2 => {
                 physiological_redo(
-                    &mut self.dc,
+                    &self.dc,
                     &window,
                     dpt.as_ref().expect("SQL2 builds a DPT"),
                     Some(LogDrivenPrefetcher::new(LOG_DRIVEN_LOOKAHEAD_RECORDS)),
@@ -378,40 +376,25 @@ impl Engine {
                 )?;
             }
             RecoveryMethod::Log0 => {
-                logical_redo(&mut self.dc, &window, None, LogicalPrefetch::None, &mut bk)?;
+                logical_redo(&self.dc, &window, None, LogicalPrefetch::None, &mut bk)?;
             }
-            RecoveryMethod::Log1
-            | RecoveryMethod::LogPerfect
-            | RecoveryMethod::LogReduced => {
-                let ctx = LogicalCtx {
-                    dpt: dpt.as_ref().expect("DPT built above"),
-                    last_delta_tc_lsn,
-                };
-                logical_redo(&mut self.dc, &window, Some(&ctx), LogicalPrefetch::None, &mut bk)?;
+            RecoveryMethod::Log1 | RecoveryMethod::LogPerfect | RecoveryMethod::LogReduced => {
+                let ctx =
+                    LogicalCtx { dpt: dpt.as_ref().expect("DPT built above"), last_delta_tc_lsn };
+                logical_redo(&self.dc, &window, Some(&ctx), LogicalPrefetch::None, &mut bk)?;
             }
             RecoveryMethod::Log2 => {
-                let ctx = LogicalCtx {
-                    dpt: dpt.as_ref().expect("DPT built above"),
-                    last_delta_tc_lsn,
-                };
-                let pf =
-                    PfListPrefetcher::new(std::mem::take(&mut pf_list), PF_LIST_AHEAD_PAGES);
-                logical_redo(
-                    &mut self.dc,
-                    &window,
-                    Some(&ctx),
-                    LogicalPrefetch::PfList(pf),
-                    &mut bk,
-                )?;
+                let ctx =
+                    LogicalCtx { dpt: dpt.as_ref().expect("DPT built above"), last_delta_tc_lsn };
+                let pf = PfListPrefetcher::new(std::mem::take(&mut pf_list), PF_LIST_AHEAD_PAGES);
+                logical_redo(&self.dc, &window, Some(&ctx), LogicalPrefetch::PfList(pf), &mut bk)?;
             }
             RecoveryMethod::Log2DptPrefetch => {
-                let ctx = LogicalCtx {
-                    dpt: dpt.as_ref().expect("DPT built above"),
-                    last_delta_tc_lsn,
-                };
+                let ctx =
+                    LogicalCtx { dpt: dpt.as_ref().expect("DPT built above"), last_delta_tc_lsn };
                 let pf = DptDrivenPrefetcher::new(ctx.dpt, PF_LIST_AHEAD_PAGES);
                 logical_redo(
-                    &mut self.dc,
+                    &self.dc,
                     &window,
                     Some(&ctx),
                     LogicalPrefetch::DptDriven(pf),
@@ -431,7 +414,7 @@ impl Engine {
         // ---- phase 3: transactional undo (common to all methods) ----
         let t_undo = self.clock.now_us();
         let txn_analysis = analyze_txns(&window, &ckpt_active);
-        let undo = undo_losers(&mut self.tc, &mut self.dc, &txn_analysis.losers)?;
+        let undo = undo_losers(&self.tc, &self.dc, &txn_analysis.losers)?;
         // Undo's random-access log reads.
         for _ in 0..undo.log_records_visited {
             self.dc.pool_mut().disk_mut().charge_log_page_read();
@@ -444,9 +427,10 @@ impl Engine {
         let pool = self.dc.pool().stats();
         let io = self.dc.pool().disk().stats();
         self.dc.pool_mut().disk_mut().set_timed(false);
-        self.crashed = false;
+        self.crashed.store(false, std::sync::atomic::Ordering::Release);
         // Post-recovery checkpoint: flushes redone state so the Δ/BW stream
         // restarts from a clean slate (untimed; recovery proper has ended).
+        drop(_lc);
         self.checkpoint()?;
 
         let _ = scan_start;
@@ -490,7 +474,7 @@ mod tests {
 
     #[test]
     fn recover_on_live_engine_is_rejected() {
-        let mut e = Engine::build(EngineConfig {
+        let e = Engine::build(EngineConfig {
             initial_rows: 100,
             pool_pages: 16,
             io_model: lr_common::IoModel::zero(),
@@ -502,7 +486,7 @@ mod tests {
 
     #[test]
     fn report_display_is_complete() {
-        let mut e = Engine::build(EngineConfig {
+        let e = Engine::build(EngineConfig {
             initial_rows: 500,
             pool_pages: 16,
             io_model: lr_common::IoModel::zero(),
@@ -522,7 +506,7 @@ mod tests {
 
     #[test]
     fn fork_crashed_requires_crash_and_preserves_log() {
-        let mut e = Engine::build(EngineConfig {
+        let e = Engine::build(EngineConfig {
             initial_rows: 300,
             pool_pages: 16,
             io_model: lr_common::IoModel::zero(),
@@ -536,8 +520,8 @@ mod tests {
         e.crash();
         let bytes = e.wal().lock().byte_len();
         // Two independent forks recover independently.
-        let mut f1 = e.fork_crashed().unwrap();
-        let mut f2 = e.fork_crashed().unwrap();
+        let f1 = e.fork_crashed().unwrap();
+        let f2 = e.fork_crashed().unwrap();
         assert_eq!(f1.wal().lock().byte_len(), bytes);
         f1.recover(RecoveryMethod::Log1).unwrap();
         f2.recover(RecoveryMethod::Sql2).unwrap();

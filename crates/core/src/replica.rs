@@ -35,7 +35,7 @@ pub fn committed_txns(records: &[LogRecord]) -> HashSet<TxnId> {
 /// The replica locates every operation through **its own** B-tree — the
 /// primary's PIDs never participate — so any page size / fill factor /
 /// tree shape works.
-pub fn apply_committed_ops(replica: &mut DataComponent, records: &[LogRecord]) -> Result<u64> {
+pub fn apply_committed_ops(replica: &DataComponent, records: &[LogRecord]) -> Result<u64> {
     let committed = committed_txns(records);
     let mut applied = 0u64;
     for rec in records {
@@ -100,7 +100,7 @@ mod tests {
             io_model: IoModel::zero(),
             ..EngineConfig::default()
         };
-        let mut primary = Engine::build(cfg).unwrap();
+        let primary = Engine::build(cfg).unwrap();
         let t1 = primary.begin();
         for k in 0..50 {
             primary.update(t1, k, format!("v{k}").into_bytes()).unwrap();
@@ -121,8 +121,7 @@ mod tests {
         let mut disk = SimDisk::new(1024, 0, SimClock::new(), IoModel::zero());
         DataComponent::format_disk(&mut disk).unwrap();
         let wal = Wal::new_shared(4096);
-        let mut replica =
-            DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
+        let replica = DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
         replica.create_table(DEFAULT_TABLE).unwrap();
         for k in 0..500u64 {
             let v = primary.config().initial_value(k);
@@ -145,7 +144,7 @@ mod tests {
 
         // Ship the log.
         let records = primary.wal().lock().scan_from(lr_common::Lsn::NULL).unwrap();
-        let applied = apply_committed_ops(&mut replica, &records).unwrap();
+        let applied = apply_committed_ops(&replica, &records).unwrap();
         assert!(applied >= 52, "50 updates + insert + delete, got {applied}");
 
         // Logical contents agree, physical shapes differ.

@@ -1,0 +1,324 @@
+//! Per-client sessions over a shared engine.
+//!
+//! A [`Session`] is the public entry point for concurrent use: build the
+//! engine once, move it into an `Arc` ([`Engine::into_shared`]), and open
+//! one session per client thread. Sessions are cheap (an `Arc` clone plus
+//! an `Option<TxnId>`) and deliberately **not** `Sync` to share — each
+//! session runs at most one transaction at a time, which is the invariant
+//! that lets the TC's per-transaction state go un-latched.
+//!
+//! ```
+//! use lr_core::{Engine, EngineConfig, DEFAULT_TABLE};
+//!
+//! let mut cfg = EngineConfig::default();
+//! cfg.initial_rows = 100;
+//! cfg.io_model = lr_common::IoModel::zero();
+//! let engine = Engine::build(cfg).unwrap().into_shared();
+//!
+//! let mut handles = Vec::new();
+//! for t in 0..4u64 {
+//!     let mut session = Engine::session(&engine);
+//!     handles.push(std::thread::spawn(move || {
+//!         session.begin().unwrap();
+//!         session.update(t, format!("client-{t}").into_bytes()).unwrap();
+//!         session.commit().unwrap();
+//!     }));
+//! }
+//! for h in handles {
+//!     h.join().unwrap();
+//! }
+//! let probe = Engine::session(&engine);
+//! assert_eq!(probe.read(DEFAULT_TABLE, 3).unwrap().unwrap(), b"client-3");
+//! ```
+
+use crate::config::DEFAULT_TABLE;
+use crate::engine::Engine;
+use lr_common::{Error, Key, Lsn, Result, TableId, TxnId, Value};
+use lr_tc::UndoStats;
+use std::sync::Arc;
+
+/// A client handle onto a shared [`Engine`]: one open transaction at a
+/// time, with begin/read/update/insert/delete/commit/abort/savepoint.
+///
+/// Dropping a session with a transaction still open aborts it (best
+/// effort), so a panicking client thread cannot strand its key locks.
+pub struct Session {
+    engine: Arc<Engine>,
+    current: Option<TxnId>,
+}
+
+impl Engine {
+    /// Open a session on a shared engine.
+    pub fn session(self: &Arc<Engine>) -> Session {
+        Session { engine: self.clone(), current: None }
+    }
+}
+
+impl Session {
+    /// The shared engine this session runs against.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// The open transaction, if any.
+    pub fn current_txn(&self) -> Option<TxnId> {
+        self.current
+    }
+
+    /// Begin a transaction. Errors if one is already open on this session.
+    pub fn begin(&mut self) -> Result<TxnId> {
+        if let Some(t) = self.current {
+            return Err(Error::RecoveryInvariant(format!(
+                "session already has open transaction {t}"
+            )));
+        }
+        if self.engine.is_crashed() {
+            return Err(Error::RecoveryInvariant("engine is crashed; recover first".into()));
+        }
+        let txn = self.engine.begin();
+        self.current = Some(txn);
+        Ok(txn)
+    }
+
+    fn txn(&self) -> Result<TxnId> {
+        self.current
+            .ok_or_else(|| Error::RecoveryInvariant("no open transaction on session".into()))
+    }
+
+    /// Update `key` in `table` under the open transaction.
+    pub fn update_in(&mut self, table: TableId, key: Key, value: Value) -> Result<()> {
+        let txn = self.txn()?;
+        self.engine.update_in(txn, table, key, value)
+    }
+
+    /// Update in the default table.
+    pub fn update(&mut self, key: Key, value: Value) -> Result<()> {
+        self.update_in(DEFAULT_TABLE, key, value)
+    }
+
+    /// Insert `key -> value` into `table` under the open transaction.
+    pub fn insert_in(&mut self, table: TableId, key: Key, value: Value) -> Result<()> {
+        let txn = self.txn()?;
+        self.engine.insert_in(txn, table, key, value)
+    }
+
+    pub fn insert(&mut self, key: Key, value: Value) -> Result<()> {
+        self.insert_in(DEFAULT_TABLE, key, value)
+    }
+
+    /// Delete `key` from `table` under the open transaction.
+    pub fn delete_in(&mut self, table: TableId, key: Key) -> Result<()> {
+        let txn = self.txn()?;
+        self.engine.delete_in(txn, table, key)
+    }
+
+    pub fn delete(&mut self, key: Key) -> Result<()> {
+        self.delete_in(DEFAULT_TABLE, key)
+    }
+
+    /// Point read (no transaction required — single-version storage).
+    pub fn read(&self, table: TableId, key: Key) -> Result<Option<Value>> {
+        self.engine.read(table, key)
+    }
+
+    /// Locking read under the open transaction: takes the key's exclusive
+    /// lock (no-wait) before reading, so a later update of the same key in
+    /// this transaction cannot lose a race with another session.
+    pub fn read_for_update(&mut self, table: TableId, key: Key) -> Result<Option<Value>> {
+        let txn = self.txn()?;
+        self.engine.read_for_update(txn, table, key)
+    }
+
+    /// Range read over `[from, to]`.
+    pub fn scan_range(&self, table: TableId, from: Key, to: Key) -> Result<Vec<(Key, Value)>> {
+        self.engine.scan_range(table, from, to)
+    }
+
+    /// Commit the open transaction. The handle is released whether or not
+    /// the commit succeeds: a failed commit means the engine crashed under
+    /// us (the transaction's fate belongs to recovery) — keeping the stale
+    /// id would wedge the session forever.
+    pub fn commit(&mut self) -> Result<()> {
+        let txn = self.txn()?;
+        let r = self.engine.commit(txn);
+        self.current = None;
+        if r.is_err() && !self.engine.is_crashed() {
+            // Engine still up but the commit failed: release what we hold.
+            let _ = self.engine.abort(txn);
+        }
+        r
+    }
+
+    /// Abort the open transaction (logical rollback via CLRs). As with
+    /// [`Session::commit`], the handle is released even on failure.
+    pub fn abort(&mut self) -> Result<UndoStats> {
+        let txn = self.txn()?;
+        let r = self.engine.abort(txn);
+        self.current = None;
+        r
+    }
+
+    /// Establish a savepoint inside the open transaction.
+    pub fn savepoint(&mut self) -> Result<Lsn> {
+        let txn = self.txn()?;
+        self.engine.savepoint(txn)
+    }
+
+    /// Partial rollback to a savepoint; the transaction stays open.
+    pub fn rollback_to(&mut self, sp: Lsn) -> Result<UndoStats> {
+        let txn = self.txn()?;
+        self.engine.rollback_to(txn, sp)
+    }
+
+    /// Run `body` as one transaction with **no-wait conflict retry**: on
+    /// [`Error::LockConflict`] the transaction is aborted and retried (up
+    /// to `max_retries` times), which is the standard way to drive a
+    /// no-wait lock table from many sessions. Returns the number of
+    /// retries that were needed.
+    pub fn run_txn<F>(&mut self, max_retries: usize, mut body: F) -> Result<usize>
+    where
+        F: FnMut(&mut Session) -> Result<()>,
+    {
+        let mut retries = 0;
+        loop {
+            self.begin()?;
+            match body(self) {
+                Ok(()) => match self.commit() {
+                    Ok(()) => return Ok(retries),
+                    Err(e) => return Err(e),
+                },
+                Err(Error::LockConflict { .. }) if retries < max_retries => {
+                    // Roll back our partial work and release what we hold,
+                    // then retry from scratch.
+                    self.abort()?;
+                    retries += 1;
+                    std::thread::yield_now();
+                }
+                Err(e) => {
+                    let _ = self.abort();
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        if let Some(txn) = self.current.take() {
+            if !self.engine.is_crashed() {
+                // Best effort: strand no locks. Errors here mean the engine
+                // is mid-crash; the lock table is volatile anyway.
+                let _ = self.engine.abort(txn);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EngineConfig;
+
+    fn shared_engine() -> Arc<Engine> {
+        Engine::build(EngineConfig {
+            initial_rows: 500,
+            pool_pages: 64,
+            io_model: lr_common::IoModel::zero(),
+            ..EngineConfig::default()
+        })
+        .unwrap()
+        .into_shared()
+    }
+
+    #[test]
+    fn session_lifecycle() {
+        let engine = shared_engine();
+        let mut s = Engine::session(&engine);
+        assert!(s.commit().is_err(), "no open txn");
+        s.begin().unwrap();
+        assert!(s.begin().is_err(), "double begin rejected");
+        s.update(1, b"one".to_vec()).unwrap();
+        s.commit().unwrap();
+        assert_eq!(s.read(DEFAULT_TABLE, 1).unwrap().unwrap(), b"one");
+    }
+
+    #[test]
+    fn session_abort_and_savepoint() {
+        let engine = shared_engine();
+        let mut s = Engine::session(&engine);
+        s.begin().unwrap();
+        s.update(2, b"keep".to_vec()).unwrap();
+        let sp = s.savepoint().unwrap();
+        s.update(3, b"drop".to_vec()).unwrap();
+        let stats = s.rollback_to(sp).unwrap();
+        assert_eq!(stats.ops_undone, 1);
+        s.commit().unwrap();
+        assert_eq!(s.read(DEFAULT_TABLE, 2).unwrap().unwrap(), b"keep");
+        assert_ne!(s.read(DEFAULT_TABLE, 3).unwrap().unwrap(), b"drop");
+
+        s.begin().unwrap();
+        s.update(4, b"gone".to_vec()).unwrap();
+        s.abort().unwrap();
+        assert_ne!(s.read(DEFAULT_TABLE, 4).unwrap().unwrap(), b"gone");
+    }
+
+    #[test]
+    fn dropped_session_releases_locks() {
+        let engine = shared_engine();
+        {
+            let mut s = Engine::session(&engine);
+            s.begin().unwrap();
+            s.update(7, b"half-done".to_vec()).unwrap();
+            // dropped without commit
+        }
+        engine.tc().locks().assert_no_leaks();
+        let mut s2 = Engine::session(&engine);
+        s2.begin().unwrap();
+        s2.update(7, b"fresh".to_vec()).unwrap();
+        s2.commit().unwrap();
+        assert_eq!(s2.read(DEFAULT_TABLE, 7).unwrap().unwrap(), b"fresh");
+    }
+
+    #[test]
+    fn run_txn_retries_conflicts() {
+        let engine = shared_engine();
+        let mut a = Engine::session(&engine);
+        let mut b = Engine::session(&engine);
+        a.begin().unwrap();
+        a.update(9, b"held".to_vec()).unwrap();
+        // b conflicts, exhausts retries, surfaces the conflict.
+        let err = b.run_txn(2, |s| s.update(9, b"blocked".to_vec()));
+        assert!(matches!(err, Err(Error::LockConflict { .. })));
+        a.commit().unwrap();
+        // Now it goes through.
+        let retries = b.run_txn(2, |s| s.update(9, b"won".to_vec())).unwrap();
+        assert_eq!(retries, 0);
+        assert_eq!(b.read(DEFAULT_TABLE, 9).unwrap().unwrap(), b"won");
+        engine.tc().locks().assert_no_leaks();
+    }
+
+    #[test]
+    fn concurrent_sessions_conflict_and_retry() {
+        let engine = shared_engine();
+        let threads = 4;
+        let per = 40;
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                let mut s = Engine::session(&engine);
+                scope.spawn(move || {
+                    for i in 0..per {
+                        // All threads fight over the same 8 keys.
+                        s.run_txn(1_000, |s| {
+                            s.update(i % 8, vec![i as u8; 16])?;
+                            s.update((i + 3) % 8, vec![i as u8; 16])
+                        })
+                        .unwrap();
+                    }
+                });
+            }
+        });
+        engine.tc().locks().assert_no_leaks();
+        assert_eq!(engine.tc().stats().commits, (threads * per));
+    }
+}

@@ -89,7 +89,7 @@ impl ShadowDb {
 
     /// Compare the engine's post-recovery state with the shadow. Returns a
     /// diagnostic error naming the first divergence.
-    pub fn verify_against(&self, engine: &mut Engine) -> Result<()> {
+    pub fn verify_against(&self, engine: &Engine) -> Result<()> {
         for (table, expect) in &self.committed {
             let actual = engine.scan_table(*table)?;
             if actual.len() != expect.len() {

@@ -279,10 +279,7 @@ mod tests {
 
     #[test]
     fn logical_chained_intervals_use_prev_tc_lsn() {
-        let window = vec![
-            delta(500, &[1], &[], 0, 1, 490),
-            delta(600, &[2], &[], 0, 1, 590),
-        ];
+        let window = vec![delta(500, &[1], &[], 0, 1, 490), delta(600, &[2], &[], 0, 1, 590)];
         let out = build_dpt_logical(&window, Lsn(400), DeltaDptMode::Standard);
         assert_eq!(out.dpt.find(PageId(1)).unwrap().rlsn, Lsn(400));
         assert_eq!(out.dpt.find(PageId(2)).unwrap().rlsn, Lsn(490), "previous Δ's TC-LSN");
@@ -335,8 +332,7 @@ mod tests {
         let out = build_dpt_logical(&window, Lsn(400), DeltaDptMode::Reduced);
         assert!(out.dpt.contains(PageId(1)), "reduced cannot prune current interval");
         // But prior-interval entries can be pruned.
-        let window =
-            vec![delta(500, &[1], &[], 0, 1, 490), delta(600, &[], &[1], 520, 0, 590)];
+        let window = vec![delta(500, &[1], &[], 0, 1, 490), delta(600, &[], &[1], 520, 0, 590)];
         let out = build_dpt_logical(&window, Lsn(400), DeltaDptMode::Reduced);
         assert!(!out.dpt.contains(PageId(1)), "prior-interval entry pruned");
     }

@@ -58,17 +58,15 @@ impl Catalog {
 
     fn decode(bytes: &[u8]) -> Result<Catalog> {
         let mut d = Decoder::new(bytes);
-        let n = d
-            .get_u32()
-            .map_err(|e| Error::RecoveryInvariant(format!("catalog header: {e}")))?;
+        let n =
+            d.get_u32().map_err(|e| Error::RecoveryInvariant(format!("catalog header: {e}")))?;
         let mut tables = BTreeMap::new();
         for _ in 0..n {
             let t = d
                 .get_table()
                 .map_err(|e| Error::RecoveryInvariant(format!("catalog entry: {e}")))?;
-            let r = d
-                .get_pid()
-                .map_err(|e| Error::RecoveryInvariant(format!("catalog entry: {e}")))?;
+            let r =
+                d.get_pid().map_err(|e| Error::RecoveryInvariant(format!("catalog entry: {e}")))?;
             tables.insert(t, r);
         }
         Ok(Catalog { tables })
@@ -83,7 +81,7 @@ impl Catalog {
     }
 
     /// Persist through the buffer pool under `lsn` (a catalog-changing SMO).
-    pub fn save(&self, pool: &mut BufferPool, lsn: Lsn) -> Result<()> {
+    pub fn save(&self, pool: &BufferPool, lsn: Lsn) -> Result<()> {
         let bytes = self.encode();
         pool.with_page_mut(META_PAGE, lsn, |p| {
             if p.slot_count() == 0 {
@@ -95,7 +93,7 @@ impl Catalog {
     }
 
     /// Load from the metadata page through the pool.
-    pub fn load(pool: &mut BufferPool) -> Result<Catalog> {
+    pub fn load(pool: &BufferPool) -> Result<Catalog> {
         pool.with_page(META_PAGE, |p| {
             if p.page_type() != PageType::Meta {
                 return Err(Error::RecoveryInvariant(format!(
@@ -121,20 +119,20 @@ mod tests {
         let mut disk = SimDisk::new(512, 1, SimClock::new(), IoModel::zero());
         let meta = Catalog::new().format_meta_page(512);
         disk.write(META_PAGE, &meta).unwrap();
-        let mut p = BufferPool::new(Box::new(disk), 8, Box::new(|l| l));
+        let p = BufferPool::new(Box::new(disk), 8, Box::new(|l| l));
         p.set_elsn(Lsn::MAX);
         p
     }
 
     #[test]
     fn roundtrip_through_meta_page() {
-        let mut pool = pool_with_meta();
-        let mut cat = Catalog::load(&mut pool).unwrap();
+        let pool = pool_with_meta();
+        let mut cat = Catalog::load(&pool).unwrap();
         assert!(cat.is_empty());
         cat.set_root(TableId(1), PageId(10));
         cat.set_root(TableId(2), PageId(20));
-        cat.save(&mut pool, Lsn(5)).unwrap();
-        let back = Catalog::load(&mut pool).unwrap();
+        cat.save(&pool, Lsn(5)).unwrap();
+        let back = Catalog::load(&pool).unwrap();
         assert_eq!(back, cat);
         assert_eq!(back.root_of(TableId(1)).unwrap(), PageId(10));
         assert!(matches!(back.root_of(TableId(9)), Err(Error::UnknownTable(_))));
@@ -142,21 +140,21 @@ mod tests {
 
     #[test]
     fn save_overwrites_previous_version() {
-        let mut pool = pool_with_meta();
+        let pool = pool_with_meta();
         let mut cat = Catalog::new();
         cat.set_root(TableId(1), PageId(10));
-        cat.save(&mut pool, Lsn(5)).unwrap();
+        cat.save(&pool, Lsn(5)).unwrap();
         cat.set_root(TableId(1), PageId(99)); // root moved (tree grew)
-        cat.save(&mut pool, Lsn(6)).unwrap();
-        let back = Catalog::load(&mut pool).unwrap();
+        cat.save(&pool, Lsn(6)).unwrap();
+        let back = Catalog::load(&pool).unwrap();
         assert_eq!(back.root_of(TableId(1)).unwrap(), PageId(99));
     }
 
     #[test]
     fn load_rejects_non_meta_page() {
         let disk = SimDisk::new(512, 1, SimClock::new(), IoModel::zero());
-        let mut pool = BufferPool::new(Box::new(disk), 8, Box::new(|l| l));
+        let pool = BufferPool::new(Box::new(disk), 8, Box::new(|l| l));
         // Page 0 is still Free-typed.
-        assert!(Catalog::load(&mut pool).is_err());
+        assert!(Catalog::load(&pool).is_err());
     }
 }

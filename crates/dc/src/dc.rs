@@ -5,6 +5,25 @@
 //! architecture prescribes: data operations by `(table, key)`, plus the two
 //! control operations **EOSL** (end of stable log → write-ahead gate) and
 //! **RSSP** (redo scan start point → checkpoint flushing), §4.1.
+//!
+//! ## Concurrency discipline
+//!
+//! All methods take `&self`; sessions on different threads share one DC.
+//! Three latch tiers keep prepare → log → apply safe (engine lock order:
+//! key lock → table latch → page-op latch → log latch → frame latch):
+//!
+//! * a **table latch** (one `RwLock` per table-hash slot): shared for
+//!   operations that cannot change tree structure, exclusive for SMO-
+//!   capable paths (splits, merges, root moves). Shared holders can trust
+//!   leaf placement end-to-end;
+//! * a **page-op latch** (sharded by PID): serializes the log+apply pair
+//!   per page so per-page LSN order equals apply order — without it a page
+//!   could be flushed between two out-of-order applies and the pLSN redo
+//!   test would skip a record the stable image does not contain;
+//! * the pool's **frame latches** make each physical page access atomic.
+//!
+//! [`DataComponent::prepare_op`] packages the discipline: it returns a
+//! guard that pins the placement until the caller has logged and applied.
 
 use crate::catalog::{Catalog, META_PAGE};
 use crate::trackers::{BwTracker, DeltaTracker};
@@ -13,7 +32,15 @@ use lr_buffer::BufferPool;
 use lr_common::{Error, Key, Lsn, PageId, Result, TableId, Value};
 use lr_storage::{Disk, SLOT_SIZE};
 use lr_wal::{ClrAction, LogPayload, LogRecord, SharedWal, SmoRecord};
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Table-latch slots (tables hash onto these; collisions only cost
+/// unnecessary sharing, never correctness).
+const TABLE_LATCHES: usize = 16;
+/// Page-op latch shards.
+const PAGE_LATCHES: usize = 64;
 
 /// DC tuning knobs.
 #[derive(Clone, Debug)]
@@ -81,16 +108,50 @@ pub struct DcStats {
     pub bw_bytes_logged: u64,
 }
 
+#[derive(Default)]
+struct DcCounters {
+    delta_records_written: AtomicU64,
+    bw_records_written: AtomicU64,
+    smo_records_written: AtomicU64,
+    delta_bytes_logged: AtomicU64,
+    bw_bytes_logged: AtomicU64,
+}
+
+/// Either side of a table latch.
+enum TableLatch<'a> {
+    Shared(#[allow(dead_code)] RwLockReadGuard<'a, ()>),
+    Exclusive(#[allow(dead_code)] RwLockWriteGuard<'a, ()>),
+}
+
+/// A staged write: placement + before-image, with the latches that keep the
+/// placement valid held until the caller logged and applied the operation.
+pub struct PreparedOp<'a> {
+    pub pid: PageId,
+    pub before: Option<Value>,
+    _table: TableLatch<'a>,
+    /// Held on the shared path only; the exclusive table latch already
+    /// serializes same-table appliers.
+    _page: Option<MutexGuard<'a, ()>>,
+}
+
+impl PreparedOp<'_> {
+    pub fn info(&self) -> PrepareInfo {
+        PrepareInfo { pid: self.pid, before: self.before.clone() }
+    }
+}
+
 /// The Deuteronomy data component.
 pub struct DataComponent {
     pool: BufferPool,
-    catalog: Catalog,
-    trees: HashMap<TableId, BTree>,
-    delta: DeltaTracker,
-    bw: BwTracker,
+    catalog: Mutex<Catalog>,
+    trees: RwLock<HashMap<TableId, BTree>>,
+    delta: Mutex<DeltaTracker>,
+    bw: Mutex<BwTracker>,
     wal: SharedWal,
     cfg: DcConfig,
-    stats: DcStats,
+    stats: DcCounters,
+    table_latches: Box<[RwLock<()>]>,
+    page_latches: Box<[Mutex<()>]>,
 }
 
 impl DataComponent {
@@ -113,24 +174,57 @@ impl DataComponent {
             w.make_stable(lsn);
             w.stable_lsn()
         });
-        let mut pool = BufferPool::new(disk, cfg.pool_pages, provider);
-        let catalog = Catalog::load(&mut pool)?;
-        let trees = catalog
-            .tables()
-            .map(|(t, root)| (t, BTree::attach(t, root)))
-            .collect();
+        let pool = BufferPool::new(disk, cfg.pool_pages, provider);
+        let catalog = Catalog::load(&pool)?;
+        let trees = catalog.tables().map(|(t, root)| (t, BTree::attach(t, root))).collect();
         // The catalog read is setup noise, not workload.
         pool.take_events();
         Ok(DataComponent {
             pool,
-            catalog,
-            trees,
-            delta: DeltaTracker::new(cfg.perfect_delta_lsns),
-            bw: BwTracker::new(),
+            catalog: Mutex::new(catalog),
+            trees: RwLock::new(trees),
+            delta: Mutex::new(DeltaTracker::new(cfg.perfect_delta_lsns)),
+            bw: Mutex::new(BwTracker::new()),
             wal,
             cfg,
-            stats: DcStats::default(),
+            stats: DcCounters::default(),
+            table_latches: (0..TABLE_LATCHES).map(|_| RwLock::new(())).collect::<Vec<_>>().into(),
+            page_latches: (0..PAGE_LATCHES).map(|_| Mutex::new(())).collect::<Vec<_>>().into(),
         })
+    }
+
+    #[inline]
+    fn table_latch(&self, table: TableId) -> &RwLock<()> {
+        &self.table_latches[table.0 as usize % TABLE_LATCHES]
+    }
+
+    #[inline]
+    fn page_latch(&self, pid: PageId) -> &Mutex<()> {
+        &self.page_latches[lr_common::shard_index(pid.0, PAGE_LATCHES)]
+    }
+
+    /// Shared table latch for callers composing their own read sequences.
+    pub fn lock_table_shared(&self, table: TableId) -> RwLockReadGuard<'_, ()> {
+        self.table_latch(table).read()
+    }
+
+    /// Barrier for in-flight data operations: acquire and release every
+    /// table latch exclusively, one at a time. Writers hold their table
+    /// latch across the whole prepare → log → apply window, so when this
+    /// returns, every operation *logged* before the call has also been
+    /// *applied*. The checkpoint uses it between the bCkpt append and the
+    /// generation flip — otherwise an operation logged just before bCkpt
+    /// but applied just after the flip would be neither flushed by the
+    /// checkpoint nor covered by the redo scan window.
+    pub fn drain_in_flight_ops(&self) {
+        for latch in self.table_latches.iter() {
+            drop(latch.write());
+        }
+    }
+
+    /// Exclusive table latch (undo relocation, external SMO-capable flows).
+    pub fn lock_table_exclusive(&self, table: TableId) -> RwLockWriteGuard<'_, ()> {
+        self.table_latch(table).write()
     }
 
     // ------------------------------------------------------------------
@@ -138,54 +232,59 @@ impl DataComponent {
     // ------------------------------------------------------------------
 
     /// Register a table whose tree was built externally (bulk load).
-    pub fn register_table(&mut self, table: TableId, root: PageId) -> Result<()> {
-        self.catalog.set_root(table, root);
-        self.catalog.save(&mut self.pool, Lsn::NULL)?;
+    pub fn register_table(&self, table: TableId, root: PageId) -> Result<()> {
+        {
+            let mut catalog = self.catalog.lock();
+            catalog.set_root(table, root);
+            catalog.save(&self.pool, Lsn::NULL)?;
+        }
         self.pool.flush_page(META_PAGE)?;
         self.pool.take_events(); // setup noise
-        self.trees.insert(table, BTree::attach(table, root));
+        self.trees.write().insert(table, BTree::attach(table, root));
         Ok(())
     }
 
     /// Create a fresh empty table.
-    pub fn create_table(&mut self, table: TableId) -> Result<()> {
-        let tree = BTree::create(&mut self.pool, table)?;
+    pub fn create_table(&self, table: TableId) -> Result<()> {
+        let tree = BTree::create(&self.pool, table)?;
         let root = tree.root;
         self.register_table(table, root)
     }
 
     /// Root PID of `table`'s tree.
     pub fn table_root(&self, table: TableId) -> Result<PageId> {
-        self.catalog.root_of(table)
+        self.catalog.lock().root_of(table)
     }
 
     /// Update a table's root (SMO redo during DC recovery).
-    pub fn set_root(&mut self, table: TableId, root: PageId) {
-        self.catalog.set_root(table, root);
-        self.trees.insert(table, BTree::attach(table, root));
+    pub fn set_root(&self, table: TableId, root: PageId) {
+        self.catalog.lock().set_root(table, root);
+        self.trees.write().insert(table, BTree::attach(table, root));
     }
 
     /// Persist the catalog under `lsn`.
-    pub fn save_catalog(&mut self, lsn: Lsn) -> Result<()> {
-        self.catalog.save(&mut self.pool, lsn)
+    pub fn save_catalog(&self, lsn: Lsn) -> Result<()> {
+        self.catalog.lock().save(&self.pool, lsn)
     }
 
     /// All registered tables.
     pub fn tables(&self) -> Vec<TableId> {
-        self.catalog.tables().map(|(t, _)| t).collect()
+        self.catalog.lock().tables().map(|(t, _)| t).collect()
     }
 
-    /// Tree handle for `table`.
-    pub fn tree(&self, table: TableId) -> Result<&BTree> {
-        self.trees.get(&table).ok_or(Error::UnknownTable(table))
+    /// Snapshot of the tree handle for `table` (cheap: table id + root PID).
+    pub fn tree(&self, table: TableId) -> Result<BTree> {
+        self.trees.read().get(&table).cloned().ok_or(Error::UnknownTable(table))
     }
 
-    /// The buffer pool (recovery drivers need direct access).
-    pub fn pool_mut(&mut self) -> &mut BufferPool {
-        &mut self.pool
-    }
-
+    /// The buffer pool.
     pub fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    /// Historical alias from the single-owner engine; the pool's own
+    /// methods take `&self` now.
+    pub fn pool_mut(&self) -> &BufferPool {
         &self.pool
     }
 
@@ -202,7 +301,14 @@ impl DataComponent {
     }
 
     pub fn stats(&self) -> DcStats {
-        self.stats.clone()
+        let s = &self.stats;
+        DcStats {
+            delta_records_written: s.delta_records_written.load(Ordering::Relaxed),
+            bw_records_written: s.bw_records_written.load(Ordering::Relaxed),
+            smo_records_written: s.smo_records_written.load(Ordering::Relaxed),
+            delta_bytes_logged: s.delta_bytes_logged.load(Ordering::Relaxed),
+            bw_bytes_logged: s.bw_bytes_logged.load(Ordering::Relaxed),
+        }
     }
 
     pub fn config(&self) -> &DcConfig {
@@ -214,34 +320,120 @@ impl DataComponent {
     // ------------------------------------------------------------------
 
     /// Point read.
-    pub fn read(&mut self, table: TableId, key: Key) -> Result<Option<Value>> {
-        let tree = self.trees.get(&table).ok_or(Error::UnknownTable(table))?.clone();
-        tree.get(&mut self.pool, key)
+    pub fn read(&self, table: TableId, key: Key) -> Result<Option<Value>> {
+        let _t = self.lock_table_shared(table);
+        let tree = self.tree(table)?;
+        tree.get(&self.pool, key)
     }
 
     /// Range read: all rows with keys in `[from, to]`, in key order.
-    pub fn read_range(
-        &mut self,
+    pub fn read_range(&self, table: TableId, from: Key, to: Key) -> Result<Vec<(Key, Value)>> {
+        let _t = self.lock_table_shared(table);
+        let tree = self.tree(table)?;
+        tree.scan_range(&self.pool, from, to)
+    }
+
+    /// Every row of `table` (verification walks).
+    pub fn scan_all(&self, table: TableId) -> Result<Vec<(Key, Value)>> {
+        let _t = self.lock_table_shared(table);
+        let tree = self.tree(table)?;
+        tree.scan_all(&self.pool)
+    }
+
+    /// Stage a write with the full concurrency discipline: returns a
+    /// [`PreparedOp`] whose latches keep the placement valid until the
+    /// caller has logged and applied the operation (drop it after
+    /// [`DataComponent::apply`]).
+    ///
+    /// Fast path: operations that cannot change tree structure (same-size
+    /// updates, deletes without merging, inserts with leaf room) run under
+    /// the *shared* table latch plus the target page's op latch. Anything
+    /// needing an SMO retries under the exclusive latch via
+    /// [`DataComponent::prepare_write`].
+    pub fn prepare_op(
+        &self,
         table: TableId,
-        from: Key,
-        to: Key,
-    ) -> Result<Vec<(Key, Value)>> {
-        let tree = self.trees.get(&table).ok_or(Error::UnknownTable(table))?.clone();
-        tree.scan_range(&mut self.pool, from, to)
+        key: Key,
+        intent: WriteIntent,
+    ) -> Result<PreparedOp<'_>> {
+        // ---- shared attempt ----
+        {
+            let t = self.table_latch(table).read();
+            let tree = self.tree(table)?;
+            let leaf = tree.find_leaf(&self.pool, key)?.leaf;
+            // Latch the page *before* validating: the validation below must
+            // describe exactly what apply will see.
+            let page = self.page_latch(leaf).lock();
+            let (found, free) = self
+                .pool
+                .with_page(leaf, |p| (lr_btree::node_search_value(p, key), p.free_space()))?;
+            match intent {
+                WriteIntent::Update { value_len } => {
+                    let old = found.ok_or(Error::KeyNotFound { table, key })?;
+                    let grow = value_len.saturating_sub(old.len());
+                    if grow == 0 || free >= grow {
+                        return Ok(PreparedOp {
+                            pid: leaf,
+                            before: Some(old),
+                            _table: TableLatch::Shared(t),
+                            _page: Some(page),
+                        });
+                    }
+                }
+                WriteIntent::Delete => {
+                    let old = found.ok_or(Error::KeyNotFound { table, key })?;
+                    if self.cfg.merge_min_fill == 0.0 {
+                        return Ok(PreparedOp {
+                            pid: leaf,
+                            before: Some(old),
+                            _table: TableLatch::Shared(t),
+                            _page: Some(page),
+                        });
+                    }
+                    // Merging enabled: the apply may rebalance — exclusive.
+                }
+                WriteIntent::Insert { value_len } => {
+                    if found.is_some() {
+                        return Err(Error::DuplicateKey { table, key });
+                    }
+                    if free >= 8 + value_len + SLOT_SIZE {
+                        return Ok(PreparedOp {
+                            pid: leaf,
+                            before: None,
+                            _table: TableLatch::Shared(t),
+                            _page: Some(page),
+                        });
+                    }
+                }
+            }
+            // Fall through: needs structure modification.
+        }
+        // ---- exclusive path (SMO-capable) ----
+        let t = self.table_latch(table).write();
+        let info = self.prepare_write(table, key, intent)?;
+        Ok(PreparedOp {
+            pid: info.pid,
+            before: info.before,
+            _table: TableLatch::Exclusive(t),
+            _page: None,
+        })
     }
 
     /// Stage a write: perform any needed SMOs (logged as system
     /// transactions), locate the target page, and read the before-image.
     ///
     /// The returned PID is piggybacked on the TC's log record; `before`
-    /// feeds the record's undo information.
+    /// feeds the record's undo information. Latch-free: concurrent callers
+    /// must either hold the table latch exclusively (see
+    /// [`DataComponent::prepare_op`]) or be running single-threaded
+    /// (recovery, replicas).
     pub fn prepare_write(
-        &mut self,
+        &self,
         table: TableId,
         key: Key,
         intent: WriteIntent,
     ) -> Result<PrepareInfo> {
-        let mut tree = self.trees.get(&table).ok_or(Error::UnknownTable(table))?.clone();
+        let mut tree = self.tree(table)?;
         let old_root = tree.root;
 
         // Pre-read for update/delete (also validates existence) and compute
@@ -249,7 +441,7 @@ impl DataComponent {
         let need = match intent {
             WriteIntent::Insert { value_len } => 8 + value_len + SLOT_SIZE,
             WriteIntent::Update { value_len } => {
-                let t = tree.find_leaf(&mut self.pool, key)?;
+                let t = tree.find_leaf(&self.pool, key)?;
                 let old = self.leaf_value(t.leaf, key)?.ok_or(Error::KeyNotFound { table, key })?;
                 let grow = value_len.saturating_sub(old.len());
                 if grow == 0 {
@@ -258,7 +450,7 @@ impl DataComponent {
                 grow
             }
             WriteIntent::Delete => {
-                let t = tree.find_leaf(&mut self.pool, key)?;
+                let t = tree.find_leaf(&self.pool, key)?;
                 let old = self.leaf_value(t.leaf, key)?.ok_or(Error::KeyNotFound { table, key })?;
                 return Ok(PrepareInfo { pid: t.leaf, before: Some(old) });
             }
@@ -272,20 +464,20 @@ impl DataComponent {
         let pid = {
             let mut smo = |rec: SmoRecord| {
                 smo_count += 1;
-                let mut w = wal.lock();
-                let lsn = w.append(&LogPayload::Smo(rec));
+                let lsn = wal.append(&LogPayload::Smo(rec));
                 last_smo_lsn = lsn;
                 lsn
             };
-            tree.ensure_room(&mut self.pool, key, need, &mut smo)?
+            tree.ensure_room(&self.pool, key, need, &mut smo)?
         };
-        self.stats.smo_records_written += smo_count;
+        self.stats.smo_records_written.fetch_add(smo_count, Ordering::Relaxed);
 
         if tree.root != old_root {
-            self.catalog.set_root(table, tree.root);
-            self.catalog.save(&mut self.pool, last_smo_lsn)?;
+            let mut catalog = self.catalog.lock();
+            catalog.set_root(table, tree.root);
+            catalog.save(&self.pool, last_smo_lsn)?;
         }
-        self.trees.insert(table, tree);
+        self.trees.write().insert(table, tree);
 
         let before = match intent {
             WriteIntent::Insert { .. } => {
@@ -303,15 +495,14 @@ impl DataComponent {
         Ok(PrepareInfo { pid, before })
     }
 
-    fn leaf_value(&mut self, leaf: PageId, key: Key) -> Result<Option<Value>> {
-        self.pool.with_page(leaf, |p| {
-            lr_btree::node_search_value(p, key)
-        })
+    fn leaf_value(&self, leaf: PageId, key: Key) -> Result<Option<Value>> {
+        self.pool.with_page(leaf, |p| lr_btree::node_search_value(p, key))
     }
 
     /// Apply a logged data operation to the page named by the record (the
     /// normal-execution path; recovery has its own redo-test-guarded paths).
-    pub fn apply(&mut self, rec: &LogRecord) -> Result<()> {
+    /// Call while the corresponding [`PreparedOp`] guard is alive.
+    pub fn apply(&self, rec: &LogRecord) -> Result<()> {
         self.apply_at(
             rec.payload.data_pid().ok_or_else(|| {
                 Error::RecoveryInvariant("apply of a non-data record".to_string())
@@ -332,9 +523,10 @@ impl DataComponent {
     }
 
     /// Run the B-tree's delete-rebalancing check around `key`, logging any
-    /// merge / root collapse as SMO system transactions.
-    pub fn maybe_merge(&mut self, table: TableId, key: Key) -> Result<bool> {
-        let mut tree = self.trees.get(&table).ok_or(Error::UnknownTable(table))?.clone();
+    /// merge / root collapse as SMO system transactions. Callers must hold
+    /// the table latch exclusively (or be single-threaded).
+    pub fn maybe_merge(&self, table: TableId, key: Key) -> Result<bool> {
+        let mut tree = self.tree(table)?;
         let old_root = tree.root;
         let wal = self.wal.clone();
         let mut smo_count = 0u64;
@@ -342,50 +534,50 @@ impl DataComponent {
         let merged = {
             let mut smo = |rec: SmoRecord| {
                 smo_count += 1;
-                let mut w = wal.lock();
-                let lsn = w.append(&LogPayload::Smo(rec));
+                let lsn = wal.append(&LogPayload::Smo(rec));
                 last_lsn = lsn;
                 lsn
             };
-            tree.maybe_merge(&mut self.pool, key, self.cfg.merge_min_fill, &mut smo)?
+            tree.maybe_merge(&self.pool, key, self.cfg.merge_min_fill, &mut smo)?
         };
-        self.stats.smo_records_written += smo_count;
+        self.stats.smo_records_written.fetch_add(smo_count, Ordering::Relaxed);
         if tree.root != old_root {
-            self.catalog.set_root(table, tree.root);
-            self.catalog.save(&mut self.pool, last_lsn)?;
+            let mut catalog = self.catalog.lock();
+            catalog.set_root(table, tree.root);
+            catalog.save(&self.pool, last_lsn)?;
         }
-        self.trees.insert(table, tree);
+        self.trees.write().insert(table, tree);
         Ok(merged)
     }
 
     /// Apply `rec`'s operation to `pid` under `rec.lsn`, with no redo test
     /// (callers do their own). Shared by normal execution and every
     /// recovery method.
-    pub fn apply_at(&mut self, pid: PageId, rec: &LogRecord) -> Result<()> {
+    pub fn apply_at(&self, pid: PageId, rec: &LogRecord) -> Result<()> {
         match &rec.payload {
             LogPayload::Update { table, key, after, .. } => {
-                let tree = self.trees.get(table).ok_or(Error::UnknownTable(*table))?.clone();
-                tree.apply_update(&mut self.pool, pid, *key, after, rec.lsn)?;
+                let tree = self.tree(*table)?;
+                tree.apply_update(&self.pool, pid, *key, after, rec.lsn)?;
             }
             LogPayload::Insert { table, key, value, .. } => {
-                let tree = self.trees.get(table).ok_or(Error::UnknownTable(*table))?.clone();
-                tree.apply_insert(&mut self.pool, pid, *key, value, rec.lsn)?;
+                let tree = self.tree(*table)?;
+                tree.apply_insert(&self.pool, pid, *key, value, rec.lsn)?;
             }
             LogPayload::Delete { table, key, .. } => {
-                let tree = self.trees.get(table).ok_or(Error::UnknownTable(*table))?.clone();
-                tree.apply_delete(&mut self.pool, pid, *key, rec.lsn)?;
+                let tree = self.tree(*table)?;
+                tree.apply_delete(&self.pool, pid, *key, rec.lsn)?;
             }
             LogPayload::Clr { table, key, action, .. } => {
-                let tree = self.trees.get(table).ok_or(Error::UnknownTable(*table))?.clone();
+                let tree = self.tree(*table)?;
                 match action {
                     ClrAction::RestoreValue(v) => {
-                        tree.apply_update(&mut self.pool, pid, *key, v, rec.lsn)?;
+                        tree.apply_update(&self.pool, pid, *key, v, rec.lsn)?;
                     }
                     ClrAction::RemoveKey => {
-                        tree.apply_delete(&mut self.pool, pid, *key, rec.lsn)?;
+                        tree.apply_delete(&self.pool, pid, *key, rec.lsn)?;
                     }
                     ClrAction::InsertValue(v) => {
-                        tree.apply_insert(&mut self.pool, pid, *key, v, rec.lsn)?;
+                        tree.apply_insert(&self.pool, pid, *key, v, rec.lsn)?;
                     }
                 }
             }
@@ -406,62 +598,81 @@ impl DataComponent {
     /// batching thresholds trip. Called after every operation. Also runs
     /// the background cleaner when the dirty fraction exceeds the
     /// watermark.
-    pub fn pump_events(&mut self) {
-        let watermark =
-            (self.cfg.dirty_watermark * self.pool.capacity() as f64) as usize;
+    pub fn pump_events(&self) {
+        let watermark = (self.cfg.dirty_watermark * self.pool.capacity() as f64) as usize;
         if self.pool.dirty_count() > watermark {
             // Cleaner flushes emit Flushed events picked up just below.
             let _ = self.pool.clean_coldest(self.cfg.cleaner_batch);
         }
-        for ev in self.pool.take_events() {
-            self.delta.observe(&ev);
-            self.bw.observe(&ev);
-        }
-        if self.bw.written_len() >= self.cfg.flush_batch_cap {
+        let (dirty_len, written_len) = {
+            let events = self.pool.take_events();
+            let mut delta = self.delta.lock();
+            let mut bw = self.bw.lock();
+            for ev in &events {
+                delta.observe(ev);
+                bw.observe(ev);
+            }
+            (delta.dirty_len(), bw.written_len())
+        };
+        if written_len >= self.cfg.flush_batch_cap {
             // Δ-log records are written exactly before BW-log records so
             // the side-by-side comparison is fair (§5.2).
             self.emit_delta();
             self.emit_bw();
-        } else if self.delta.dirty_len() >= self.cfg.dirty_batch_cap {
+        } else if dirty_len >= self.cfg.dirty_batch_cap {
             self.emit_delta();
         }
     }
 
     /// Force both trackers to emit (checkpoint boundary).
-    pub fn force_emit(&mut self) {
-        for ev in self.pool.take_events() {
-            self.delta.observe(&ev);
-            self.bw.observe(&ev);
+    pub fn force_emit(&self) {
+        {
+            let events = self.pool.take_events();
+            let mut delta = self.delta.lock();
+            let mut bw = self.bw.lock();
+            for ev in &events {
+                delta.observe(ev);
+                bw.observe(ev);
+            }
         }
         self.emit_delta();
         self.emit_bw();
     }
 
-    fn emit_delta(&mut self) {
-        if self.delta.is_empty() {
+    fn emit_delta(&self) {
+        // The append happens *under the tracker latch*: emission order must
+        // equal log order, or a Δ record with an earlier interval could land
+        // after a later one and Algorithm 4's prev-Δ rLSN assignment would
+        // overestimate rLSNs — an unsafe DPT. (Latch order tracker → log;
+        // nothing acquires a tracker latch while holding the log.)
+        let mut delta = self.delta.lock();
+        if delta.is_empty() {
             return;
         }
         let elsn = self.pool.current_elsn();
-        let rec = self.delta.emit(elsn);
-        let payload = LogPayload::Delta(rec);
-        self.stats.delta_bytes_logged += payload.encode().len() as u64;
-        self.wal.lock().append(&payload);
-        self.stats.delta_records_written += 1;
+        let payload = LogPayload::Delta(delta.emit(elsn));
+        self.stats.delta_bytes_logged.fetch_add(payload.encode().len() as u64, Ordering::Relaxed);
+        self.wal.append(&payload);
+        drop(delta);
+        self.stats.delta_records_written.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn emit_bw(&mut self) {
-        if self.bw.is_empty() {
+    fn emit_bw(&self) {
+        // Same discipline as emit_delta: interval order == log order.
+        let mut bw = self.bw.lock();
+        if bw.is_empty() {
             return;
         }
-        let (written_set, fw_lsn) = self.bw.emit();
+        let (written_set, fw_lsn) = bw.emit();
         let payload = LogPayload::Bw { written_set, fw_lsn };
-        self.stats.bw_bytes_logged += payload.encode().len() as u64;
-        self.wal.lock().append(&payload);
-        self.stats.bw_records_written += 1;
+        self.stats.bw_bytes_logged.fetch_add(payload.encode().len() as u64, Ordering::Relaxed);
+        self.wal.append(&payload);
+        drop(bw);
+        self.stats.bw_records_written.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Throw away pending cache events (setup phases only).
-    pub fn discard_events(&mut self) {
+    pub fn discard_events(&self) {
         self.pool.take_events();
     }
 
@@ -470,7 +681,7 @@ impl DataComponent {
     // ------------------------------------------------------------------
 
     /// EOSL: the TC advertises its end-of-stable-log.
-    pub fn eosl(&mut self, elsn: Lsn) {
+    pub fn eosl(&self, elsn: Lsn) {
         self.pool.set_elsn(elsn);
     }
 
@@ -479,11 +690,11 @@ impl DataComponent {
     /// (penultimate scheme), emits the pending Δ/BW state, and durably
     /// records the RSSP on the log. When this returns, no operation with
     /// `LSN <= rssp_lsn` needs redo.
-    pub fn rssp(&mut self, rssp_lsn: Lsn) -> Result<()> {
+    pub fn rssp(&self, rssp_lsn: Lsn) -> Result<()> {
         self.pool.begin_checkpoint();
         self.pool.checkpoint_flush()?;
         self.force_emit();
-        self.wal.lock().append(&LogPayload::Rssp { rssp_lsn });
+        self.wal.append(&LogPayload::Rssp { rssp_lsn });
         Ok(())
     }
 
@@ -493,24 +704,22 @@ impl DataComponent {
 
     /// Crash the DC: the cache, the open Δ/BW intervals and the in-memory
     /// catalog all vanish. Stable pages survive on the disk.
-    pub fn crash(&mut self) {
+    pub fn crash(&self) {
         self.pool.crash();
-        self.delta.crash();
-        self.bw.crash();
-        self.catalog = Catalog::new();
-        self.trees.clear();
+        self.delta.lock().crash();
+        self.bw.lock().crash();
+        *self.catalog.lock() = Catalog::new();
+        self.trees.write().clear();
     }
 
     /// Reload the catalog and tree handles from the (possibly stale) meta
     /// page — first step of DC recovery; SMO redo then fixes any roots that
     /// moved after the last meta flush.
-    pub fn reload_catalog(&mut self) -> Result<()> {
-        self.catalog = Catalog::load(&mut self.pool)?;
-        self.trees = self
-            .catalog
-            .tables()
-            .map(|(t, root)| (t, BTree::attach(t, root)))
-            .collect();
+    pub fn reload_catalog(&self) -> Result<()> {
+        let catalog = Catalog::load(&self.pool)?;
+        *self.trees.write() =
+            catalog.tables().map(|(t, root)| (t, BTree::attach(t, root))).collect();
+        *self.catalog.lock() = catalog;
         Ok(())
     }
 }

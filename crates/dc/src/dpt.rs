@@ -87,16 +87,14 @@ impl Dpt {
 
     /// Entries sorted by PID (deterministic iteration for reports/tests).
     pub fn sorted_entries(&self) -> Vec<(PageId, DptEntry)> {
-        let mut v: Vec<(PageId, DptEntry)> =
-            self.entries.iter().map(|(p, e)| (*p, *e)).collect();
+        let mut v: Vec<(PageId, DptEntry)> = self.entries.iter().map(|(p, e)| (*p, *e)).collect();
         v.sort_unstable_by_key(|(p, _)| *p);
         v
     }
 
     /// Entries sorted by rLSN (the DPT-driven prefetch order, App. A.2).
     pub fn entries_by_rlsn(&self) -> Vec<(PageId, DptEntry)> {
-        let mut v: Vec<(PageId, DptEntry)> =
-            self.entries.iter().map(|(p, e)| (*p, *e)).collect();
+        let mut v: Vec<(PageId, DptEntry)> = self.entries.iter().map(|(p, e)| (*p, *e)).collect();
         v.sort_unstable_by_key(|(p, e)| (e.rlsn, *p));
         v
     }
@@ -119,15 +117,21 @@ impl Dpt {
             }
             match self.find(*pid) {
                 None => {
-                    return Some((*pid, format!(
-                        "dirty page {pid} (first dirtied at {first_dirty}) missing from DPT"
-                    )))
+                    return Some((
+                        *pid,
+                        format!(
+                            "dirty page {pid} (first dirtied at {first_dirty}) missing from DPT"
+                        ),
+                    ))
                 }
                 Some(e) if e.rlsn > *first_dirty => {
-                    return Some((*pid, format!(
-                        "DPT rLSN {} exceeds first-dirty LSN {first_dirty} for page {pid}",
-                        e.rlsn
-                    )))
+                    return Some((
+                        *pid,
+                        format!(
+                            "DPT rLSN {} exceeds first-dirty LSN {first_dirty} for page {pid}",
+                            e.rlsn
+                        ),
+                    ))
                 }
                 _ => {}
             }

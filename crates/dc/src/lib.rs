@@ -27,7 +27,10 @@ pub mod dpt;
 pub mod recovery;
 pub mod trackers;
 
-pub use builders::{build_dpt_aries, build_dpt_logical, build_dpt_sqlserver, AnalysisCounts, DeltaDptMode, LogicalAnalysis};
+pub use builders::{
+    build_dpt_aries, build_dpt_logical, build_dpt_sqlserver, AnalysisCounts, DeltaDptMode,
+    LogicalAnalysis,
+};
 pub use catalog::Catalog;
 pub use dc::{DataComponent, DcConfig, PrepareInfo, WriteIntent};
 pub use dpt::{Dpt, DptEntry};

@@ -44,7 +44,7 @@ pub struct DcRecoveryOutcome {
 ///
 /// This is the DC pass that even unoptimized logical recovery (Log0) must
 /// run — the index has to be well-formed before any logical redo (§1.2).
-pub fn smo_redo(dc: &mut DataComponent, window: &[LogRecord]) -> Result<(u64, u64)> {
+pub fn smo_redo(dc: &DataComponent, window: &[LogRecord]) -> Result<(u64, u64)> {
     // The crash wiped the in-memory catalog; restart from the stable meta
     // page. SMO redo below re-applies any root moves it missed.
     dc.reload_catalog()?;
@@ -84,7 +84,7 @@ pub fn smo_redo(dc: &mut DataComponent, window: &[LogRecord]) -> Result<(u64, u6
 
 /// Run DC recovery over `window` (records from the redo scan start point).
 pub fn dc_recover(
-    dc: &mut DataComponent,
+    dc: &DataComponent,
     window: &[LogRecord],
     rssp_lsn: Lsn,
     mode: DeltaDptMode,
@@ -112,9 +112,7 @@ pub fn dc_recover(
 /// `rssp_lsn` is the value of the last durable RSSP note at or after it
 /// (they coincide in normal operation). With no completed checkpoint, the
 /// scan covers the whole log and RSSP is null.
-pub fn find_recovery_window(
-    wal: &lr_wal::Wal,
-) -> Result<(Lsn, Lsn, Vec<LogRecord>)> {
+pub fn find_recovery_window(wal: &lr_wal::Wal) -> Result<(Lsn, Lsn, Vec<LogRecord>)> {
     let (scan_start, _eckpt) = match wal.last_completed_checkpoint()? {
         Some((b, e)) => (b, Some(e)),
         None => (lr_wal::LOG_ORIGIN, None),
@@ -142,7 +140,7 @@ mod tests {
         let mut disk = SimDisk::new(512, 1, SimClock::new(), IoModel::zero());
         DataComponent::format_disk(&mut disk).unwrap();
         let wal = Wal::new_shared(4096);
-        let mut dc = DataComponent::open(
+        let dc = DataComponent::open(
             Box::new(disk),
             wal,
             DcConfig { pool_pages: 64, ..DcConfig::default() },
@@ -154,7 +152,7 @@ mod tests {
 
     #[test]
     fn smo_redo_applies_images_idempotently() {
-        let mut dc = setup();
+        let dc = setup();
         let wal = dc.wal();
         // Grow the tree enough to force SMOs.
         let mut lsn_seed = 1000u64;
@@ -178,14 +176,13 @@ mod tests {
         }
         let root_before = dc.table_root(TableId(1)).unwrap();
         let records = wal.lock().scan_from(Lsn::NULL).unwrap();
-        let smo_count =
-            records.iter().filter(|r| matches!(r.payload, LogPayload::Smo(_))).count();
+        let smo_count = records.iter().filter(|r| matches!(r.payload, LogPayload::Smo(_))).count();
         assert!(smo_count > 0, "tree growth must have logged SMOs");
 
         // Crash: cache gone, stable pages pre-date some SMOs (nothing was
         // ever flushed except the meta page at registration).
         dc.crash();
-        let out = dc_recover(&mut dc, &records, Lsn::NULL, DeltaDptMode::Standard).unwrap();
+        let out = dc_recover(&dc, &records, Lsn::NULL, DeltaDptMode::Standard).unwrap();
         assert!(out.smo_pages_applied > 0);
         assert_eq!(dc.table_root(TableId(1)).unwrap(), root_before, "root recovered");
         let tree = dc.tree(TableId(1)).unwrap().clone();
@@ -196,7 +193,7 @@ mod tests {
         // test sees the installed state on stable storage.
         dc.pool_mut().flush_all().unwrap();
         dc.crash();
-        let out2 = dc_recover(&mut dc, &records, Lsn::NULL, DeltaDptMode::Standard).unwrap();
+        let out2 = dc_recover(&dc, &records, Lsn::NULL, DeltaDptMode::Standard).unwrap();
         assert_eq!(out2.smo_pages_applied, 0, "idempotent: images already installed");
         assert!(out2.smo_pages_skipped >= out.smo_pages_applied);
     }

@@ -42,7 +42,12 @@ impl FileDisk {
                 "file length {len} not a multiple of page size {page_size}"
             )));
         }
-        Ok(FileDisk { file, page_size, num_pages: len / page_size as u64, stats: IoStats::default() })
+        Ok(FileDisk {
+            file,
+            page_size,
+            num_pages: len / page_size as u64,
+            stats: IoStats::default(),
+        })
     }
 
     /// Flush file contents to the OS (durability point).

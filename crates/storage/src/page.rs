@@ -287,11 +287,7 @@ impl Page {
         let needed = SLOT_SIZE + rec.len();
         if self.contiguous_free() < needed {
             if self.free_space() < needed {
-                return Err(Error::PageFull {
-                    pid: self.pid(),
-                    needed,
-                    free: self.free_space(),
-                });
+                return Err(Error::PageFull { pid: self.pid(), needed, free: self.free_space() });
             }
             self.compact();
         }

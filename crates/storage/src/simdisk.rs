@@ -64,8 +64,7 @@ impl Disk for SimDisk {
 
     fn allocate(&mut self) -> PageId {
         let pid = PageId(self.pages.len() as u64);
-        self.pages
-            .push(Page::new(self.page_size, pid, PageType::Free).as_bytes().to_vec().into());
+        self.pages.push(Page::new(self.page_size, pid, PageType::Free).as_bytes().to_vec().into());
         pid
     }
 

@@ -1,4 +1,4 @@
-//! Exclusive key locks.
+//! Exclusive key locks — sharded for concurrent sessions.
 //!
 //! The Deuteronomy line's concurrency-control companion (Lomet & Mokbel,
 //! "Locking key ranges with unbundled transaction services") covers range
@@ -6,65 +6,194 @@
 //! single-key exclusivity — the evaluated workloads are key-equality
 //! updates (§5.2) — but keeps the structure (lock table keyed by logical
 //! name, never by page) faithful to the architecture.
+//!
+//! Concurrency: the owner table is sharded by `(table, key)` hash and the
+//! per-transaction held lists by `TxnId` hash, each shard behind its own
+//! mutex. No operation ever holds two shard locks at once, so sessions
+//! acquiring and releasing different keys never serialize on one big latch
+//! and no lock-ordering cycles are possible.
 
 use lr_common::{Error, Key, Result, TableId, TxnId};
+use parking_lot::Mutex;
 use std::collections::HashMap;
+
+const SHARDS: usize = 64;
+
+/// One owner-table shard: who holds each `(table, key)` lock.
+type OwnerShard = Mutex<HashMap<(TableId, Key), TxnId>>;
+/// One held-list shard: the keys each transaction owns.
+type HeldShard = Mutex<HashMap<TxnId, Vec<(TableId, Key)>>>;
+
+#[inline]
+fn mix(h: u64) -> usize {
+    lr_common::shard_index(h, SHARDS)
+}
 
 /// A no-wait exclusive lock table over `(table, key)`.
 ///
-/// Conflicts return [`Error::LockConflict`] immediately; the single-stream
-/// experimental driver never conflicts, and tests exercise the multi-txn
-/// semantics directly.
-#[derive(Debug, Default)]
+/// Conflicts return [`Error::LockConflict`] immediately — the concurrent
+/// driver retries the transaction, which is the classic no-wait policy and
+/// keeps the table deadlock-free by construction.
+#[derive(Debug)]
 pub struct LockManager {
-    owners: HashMap<(TableId, Key), TxnId>,
-    held: HashMap<TxnId, Vec<(TableId, Key)>>,
+    owners: Box<[OwnerShard]>,
+    held: Box<[HeldShard]>,
+    /// Bumped by [`LockManager::crash`]. Acquire validates it after its two
+    /// shard insertions: a crash interleaved between them could wipe one
+    /// entry but not the other, and an owner entry without a held entry
+    /// would survive every future `release_all` — an unlockable key.
+    epoch: std::sync::atomic::AtomicU64,
+}
+
+impl Default for LockManager {
+    fn default() -> LockManager {
+        LockManager::new()
+    }
 }
 
 impl LockManager {
     pub fn new() -> LockManager {
-        LockManager::default()
+        LockManager {
+            owners: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect::<Vec<_>>().into(),
+            held: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect::<Vec<_>>().into(),
+            epoch: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn owner_shard(&self, table: TableId, key: Key) -> &Mutex<HashMap<(TableId, Key), TxnId>> {
+        &self.owners[mix(key ^ ((table.0 as u64) << 32))]
+    }
+
+    #[inline]
+    fn held_shard(&self, txn: TxnId) -> &Mutex<HashMap<TxnId, Vec<(TableId, Key)>>> {
+        &self.held[mix(txn.0)]
     }
 
     /// Acquire (or re-enter) the exclusive lock on `(table, key)`.
-    pub fn acquire(&mut self, txn: TxnId, table: TableId, key: Key) -> Result<()> {
-        match self.owners.get(&(table, key)) {
-            Some(owner) if *owner == txn => Ok(()), // re-entrant
-            Some(_) => Err(Error::LockConflict { txn, table, key }),
-            None => {
-                self.owners.insert((table, key), txn);
-                self.held.entry(txn).or_default().push((table, key));
-                Ok(())
+    ///
+    /// Re-entrant acquires are detected in the owner table and never push a
+    /// duplicate into the held list, so `release_all` cannot leave stale
+    /// owner entries behind (the held list is exactly the set of owned
+    /// keys, each once).
+    pub fn acquire(&self, txn: TxnId, table: TableId, key: Key) -> Result<()> {
+        use std::sync::atomic::Ordering;
+        let epoch = self.epoch.load(Ordering::Acquire);
+        if epoch % 2 == 1 {
+            // A crash wipe is in progress (seqlock-style odd epoch):
+            // inserting now could land in an already-cleared shard and
+            // outlive the wipe.
+            return Err(Error::RecoveryInvariant(
+                "lock table crashed during acquire; engine is down".into(),
+            ));
+        }
+        {
+            let mut owners = self.owner_shard(table, key).lock();
+            match owners.get(&(table, key)) {
+                Some(owner) if *owner == txn => return Ok(()), // re-entrant
+                Some(_) => return Err(Error::LockConflict { txn, table, key }),
+                None => {
+                    owners.insert((table, key), txn);
+                }
             }
         }
+        // Owner shard released before the held shard is taken: never two
+        // shard locks at once.
+        {
+            let mut held = self.held_shard(txn).lock();
+            let keys = held.entry(txn).or_default();
+            debug_assert!(
+                !keys.contains(&(table, key)),
+                "held list already contains {table:?}/{key} for {txn}"
+            );
+            keys.push((table, key));
+        }
+        if self.epoch.load(Ordering::Acquire) != epoch {
+            // A crash wiped the table while we were mid-acquire; our two
+            // entries may have been half-cleared. Remove whatever survived
+            // and fail the operation — the engine is down anyway.
+            if let Some(keys) = self.held_shard(txn).lock().get_mut(&txn) {
+                keys.retain(|k| *k != (table, key));
+            }
+            let mut owners = self.owner_shard(table, key).lock();
+            if owners.get(&(table, key)) == Some(&txn) {
+                owners.remove(&(table, key));
+            }
+            return Err(Error::RecoveryInvariant(
+                "lock table crashed during acquire; engine is down".into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Whether `txn` holds the lock on `(table, key)`.
     pub fn holds(&self, txn: TxnId, table: TableId, key: Key) -> bool {
-        self.owners.get(&(table, key)) == Some(&txn)
+        self.owner_shard(table, key).lock().get(&(table, key)) == Some(&txn)
     }
 
     /// Release every lock `txn` holds (commit/abort).
-    pub fn release_all(&mut self, txn: TxnId) {
-        if let Some(keys) = self.held.remove(&txn) {
-            for k in keys {
-                // Only remove if still owned by this txn (paranoia against
-                // double-release).
-                if self.owners.get(&k) == Some(&txn) {
-                    self.owners.remove(&k);
-                }
+    pub fn release_all(&self, txn: TxnId) {
+        let keys = self.held_shard(txn).lock().remove(&txn).unwrap_or_default();
+        for (table, key) in keys {
+            let mut owners = self.owner_shard(table, key).lock();
+            // Only remove if still owned by this txn (paranoia against
+            // double-release).
+            if owners.get(&(table, key)) == Some(&txn) {
+                owners.remove(&(table, key));
             }
         }
     }
 
     /// Number of held locks (tests / leak detection).
     pub fn lock_count(&self) -> usize {
-        self.owners.len()
+        self.owners.iter().map(|s| s.lock().len()).sum()
     }
 
-    /// Crash: the lock table is volatile.
-    pub fn crash(&mut self) {
-        *self = LockManager::new();
+    /// Locks held by one transaction.
+    pub fn held_count(&self, txn: TxnId) -> usize {
+        self.held_shard(txn).lock().get(&txn).map(|v| v.len()).unwrap_or(0)
+    }
+
+    /// Every `(txn, lock count)` still registered — after all transactions
+    /// have completed this must be empty.
+    pub fn leaked(&self) -> Vec<(TxnId, usize)> {
+        let mut v: Vec<(TxnId, usize)> = self
+            .held
+            .iter()
+            .flat_map(|s| {
+                s.lock()
+                    .iter()
+                    .filter(|(_, keys)| !keys.is_empty())
+                    .map(|(t, keys)| (*t, keys.len()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        v.sort_unstable_by_key(|(t, _)| *t);
+        v
+    }
+
+    /// Assert that no transaction leaked a lock: the owner table and every
+    /// held list are empty. Panics with the offenders otherwise (test
+    /// helper for the concurrent drivers).
+    pub fn assert_no_leaks(&self) {
+        let leaked = self.leaked();
+        assert!(leaked.is_empty(), "leaked held-lock lists: {leaked:?}");
+        assert_eq!(self.lock_count(), 0, "owner table not empty after all txns completed");
+    }
+
+    /// Crash: the lock table is volatile. Seqlock-style epoch bracketing
+    /// (odd while the wipe runs, bumped again after) makes every acquire
+    /// overlapping *any part* of the wipe detect it and clean up after
+    /// itself (see [`LockManager::acquire`]).
+    pub fn crash(&self) {
+        self.epoch.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
+        for s in self.owners.iter() {
+            s.lock().clear();
+        }
+        for s in self.held.iter() {
+            s.lock().clear();
+        }
+        self.epoch.fetch_add(1, std::sync::atomic::Ordering::AcqRel);
     }
 }
 
@@ -76,7 +205,7 @@ mod tests {
 
     #[test]
     fn exclusive_and_reentrant() {
-        let mut lm = LockManager::new();
+        let lm = LockManager::new();
         lm.acquire(TxnId(1), T, 5).unwrap();
         lm.acquire(TxnId(1), T, 5).unwrap(); // re-entrant
         assert!(matches!(
@@ -85,11 +214,13 @@ mod tests {
         ));
         assert!(lm.holds(TxnId(1), T, 5));
         assert!(!lm.holds(TxnId(2), T, 5));
+        // Dedupe on acquire: the re-entrant call added no second entry.
+        assert_eq!(lm.held_count(TxnId(1)), 1);
     }
 
     #[test]
     fn different_keys_dont_conflict() {
-        let mut lm = LockManager::new();
+        let lm = LockManager::new();
         lm.acquire(TxnId(1), T, 5).unwrap();
         lm.acquire(TxnId(2), T, 6).unwrap();
         lm.acquire(TxnId(2), TableId(2), 5).unwrap(); // same key, other table
@@ -98,21 +229,59 @@ mod tests {
 
     #[test]
     fn release_frees_for_others() {
-        let mut lm = LockManager::new();
+        let lm = LockManager::new();
         lm.acquire(TxnId(1), T, 5).unwrap();
         lm.acquire(TxnId(1), T, 6).unwrap();
         lm.release_all(TxnId(1));
         assert_eq!(lm.lock_count(), 0);
+        lm.assert_no_leaks();
         lm.acquire(TxnId(2), T, 5).unwrap();
         lm.acquire(TxnId(2), T, 6).unwrap();
     }
 
     #[test]
+    fn reentrant_acquire_then_release_leaves_no_stale_entries() {
+        let lm = LockManager::new();
+        lm.acquire(TxnId(1), T, 5).unwrap();
+        lm.acquire(TxnId(1), T, 5).unwrap();
+        lm.acquire(TxnId(1), T, 5).unwrap();
+        lm.release_all(TxnId(1));
+        lm.assert_no_leaks();
+        assert_eq!(lm.held_count(TxnId(1)), 0);
+        lm.acquire(TxnId(2), T, 5).unwrap();
+    }
+
+    #[test]
     fn crash_clears_everything() {
-        let mut lm = LockManager::new();
+        let lm = LockManager::new();
         lm.acquire(TxnId(1), T, 1).unwrap();
         lm.crash();
         assert_eq!(lm.lock_count(), 0);
         lm.acquire(TxnId(9), T, 1).unwrap();
+    }
+
+    #[test]
+    fn concurrent_acquire_release_is_exclusive_and_leak_free() {
+        let lm = std::sync::Arc::new(LockManager::new());
+        let keys = 16u64;
+        std::thread::scope(|s| {
+            for t in 1..=8u64 {
+                let lm = lm.clone();
+                s.spawn(move || {
+                    let txn = TxnId(t);
+                    let mut owned = Vec::new();
+                    for k in 0..keys {
+                        if lm.acquire(txn, T, k).is_ok() {
+                            owned.push(k);
+                        }
+                    }
+                    for k in &owned {
+                        assert!(lm.holds(txn, T, *k));
+                    }
+                    lm.release_all(txn);
+                });
+            }
+        });
+        lm.assert_no_leaks();
     }
 }

@@ -3,11 +3,17 @@
 //! Logs logically, locks logically, and coordinates recovery preparation
 //! with the DC through EOSL and RSSP (§4.1). The engine (lr-core) sequences
 //! the two components; this type owns everything TC-side.
+//!
+//! Every method takes `&self`: sessions on different threads share one
+//! `TransactionComponent`. Internally the lock table is sharded, the
+//! transaction table allocates ids atomically, and commit rides the log's
+//! group-commit protocol — concurrent commits share a single force.
 
 use crate::locks::LockManager;
 use crate::txn::{TxnState, TxnTable};
 use lr_common::{Key, Lsn, PageId, Result, TableId, TxnId, Value};
 use lr_wal::{ClrAction, LogPayload, LogRecord, SharedWal};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// TC-side normal-execution counters.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
@@ -21,12 +27,23 @@ pub struct TcStats {
     pub eosl_sent: u64,
 }
 
+#[derive(Default)]
+struct TcCounters {
+    begins: AtomicU64,
+    commits: AtomicU64,
+    aborts: AtomicU64,
+    data_ops_logged: AtomicU64,
+    clrs_logged: AtomicU64,
+    checkpoints_completed: AtomicU64,
+    eosl_sent: AtomicU64,
+}
+
 /// The Deuteronomy transactional component.
 pub struct TransactionComponent {
     wal: SharedWal,
     txns: TxnTable,
     locks: LockManager,
-    stats: TcStats,
+    stats: TcCounters,
 }
 
 impl TransactionComponent {
@@ -35,12 +52,21 @@ impl TransactionComponent {
             wal,
             txns: TxnTable::new(),
             locks: LockManager::new(),
-            stats: TcStats::default(),
+            stats: TcCounters::default(),
         }
     }
 
     pub fn stats(&self) -> TcStats {
-        self.stats.clone()
+        let s = &self.stats;
+        TcStats {
+            begins: s.begins.load(Ordering::Relaxed),
+            commits: s.commits.load(Ordering::Relaxed),
+            aborts: s.aborts.load(Ordering::Relaxed),
+            data_ops_logged: s.data_ops_logged.load(Ordering::Relaxed),
+            clrs_logged: s.clrs_logged.load(Ordering::Relaxed),
+            checkpoints_completed: s.checkpoints_completed.load(Ordering::Relaxed),
+            eosl_sent: s.eosl_sent.load(Ordering::Relaxed),
+        }
     }
 
     pub fn txns(&self) -> &TxnTable {
@@ -61,19 +87,20 @@ impl TransactionComponent {
     // ------------------------------------------------------------------
 
     /// Begin a transaction (logs `TxnBegin`).
-    pub fn begin(&mut self) -> TxnId {
+    pub fn begin(&self) -> TxnId {
         let mut wal = self.wal.lock();
-        // Reserve the id first so the Begin record carries it.
+        // Reserve the id under the log latch so the Begin record's LSN is
+        // exactly the registered begin LSN.
         let lsn_placeholder = wal.end_lsn();
         let txn = self.txns.begin(lsn_placeholder);
         let lsn = wal.append(&LogPayload::TxnBegin { txn });
         debug_assert_eq!(lsn, lsn_placeholder);
-        self.stats.begins += 1;
+        self.stats.begins.fetch_add(1, Ordering::Relaxed);
         txn
     }
 
     /// Acquire the exclusive lock `txn` needs for `(table, key)`.
-    pub fn lock(&mut self, txn: TxnId, table: TableId, key: Key) -> Result<()> {
+    pub fn lock(&self, txn: TxnId, table: TableId, key: Key) -> Result<()> {
         self.locks.acquire(txn, table, key)
     }
 
@@ -81,7 +108,7 @@ impl TransactionComponent {
     /// and `after` are the logical images. Returns the full record so the
     /// engine can hand it straight to the DC for application.
     pub fn log_update(
-        &mut self,
+        &self,
         txn: TxnId,
         table: TableId,
         key: Key,
@@ -93,13 +120,13 @@ impl TransactionComponent {
         let prev_lsn = self.txns.note_op(txn, wal.end_lsn())?;
         let payload = LogPayload::Update { txn, table, key, pid, prev_lsn, before, after };
         let lsn = wal.append(&payload);
-        self.stats.data_ops_logged += 1;
+        self.stats.data_ops_logged.fetch_add(1, Ordering::Relaxed);
         Ok(LogRecord { lsn, payload })
     }
 
     /// Log a data insert.
     pub fn log_insert(
-        &mut self,
+        &self,
         txn: TxnId,
         table: TableId,
         key: Key,
@@ -110,13 +137,13 @@ impl TransactionComponent {
         let prev_lsn = self.txns.note_op(txn, wal.end_lsn())?;
         let payload = LogPayload::Insert { txn, table, key, pid, prev_lsn, value };
         let lsn = wal.append(&payload);
-        self.stats.data_ops_logged += 1;
+        self.stats.data_ops_logged.fetch_add(1, Ordering::Relaxed);
         Ok(LogRecord { lsn, payload })
     }
 
     /// Log a data delete.
     pub fn log_delete(
-        &mut self,
+        &self,
         txn: TxnId,
         table: TableId,
         key: Key,
@@ -127,7 +154,7 @@ impl TransactionComponent {
         let prev_lsn = self.txns.note_op(txn, wal.end_lsn())?;
         let payload = LogPayload::Delete { txn, table, key, pid, prev_lsn, before };
         let lsn = wal.append(&payload);
-        self.stats.data_ops_logged += 1;
+        self.stats.data_ops_logged.fetch_add(1, Ordering::Relaxed);
         Ok(LogRecord { lsn, payload })
     }
 
@@ -135,7 +162,7 @@ impl TransactionComponent {
     /// the transaction table's op chain — CLRs are redo-only and carry
     /// their own `undo_next` pointer.
     pub fn log_clr(
-        &mut self,
+        &self,
         txn: TxnId,
         table: TableId,
         key: Key,
@@ -144,37 +171,36 @@ impl TransactionComponent {
         action: ClrAction,
     ) -> LogRecord {
         let payload = LogPayload::Clr { txn, table, key, pid, undo_next, action };
-        let lsn = self.wal.lock().append(&payload);
-        self.stats.clrs_logged += 1;
+        // No chain pointer to reserve: the buffered (encode-outside-latch)
+        // append path applies.
+        let lsn = self.wal.append(&payload);
+        self.stats.clrs_logged.fetch_add(1, Ordering::Relaxed);
         LogRecord { lsn, payload }
     }
 
-    /// Commit: log `TxnCommit`, force the log (group commit is out of
-    /// scope), release locks. Returns the new stable LSN for EOSL delivery.
-    pub fn commit(&mut self, txn: TxnId) -> Result<Lsn> {
+    /// Commit: log `TxnCommit`, force the log via **group commit** (one
+    /// force covers every commit record appended concurrently), release
+    /// locks. Returns the new stable LSN for EOSL delivery.
+    pub fn commit(&self, txn: TxnId) -> Result<Lsn> {
         if !self.txns.is_active(txn) {
             return Err(lr_common::Error::TxnNotActive(txn));
         }
-        let stable = {
-            let mut wal = self.wal.lock();
-            wal.append(&LogPayload::TxnCommit { txn });
-            wal.make_all_stable();
-            wal.stable_lsn()
-        };
+        let commit_lsn = self.wal.append(&LogPayload::TxnCommit { txn });
+        let stable = self.wal.force_covering(commit_lsn);
         self.txns.set_state(txn, TxnState::Committed)?;
         self.locks.release_all(txn);
-        self.stats.commits += 1;
-        self.stats.eosl_sent += 1;
+        self.stats.commits.fetch_add(1, Ordering::Relaxed);
+        self.stats.eosl_sent.fetch_add(1, Ordering::Relaxed);
         Ok(stable)
     }
 
     /// Finish an abort *after* the engine ran rollback: logs `TxnAbort`
     /// and releases locks.
-    pub fn finish_abort(&mut self, txn: TxnId) -> Result<()> {
-        self.wal.lock().append(&LogPayload::TxnAbort { txn });
+    pub fn finish_abort(&self, txn: TxnId) -> Result<()> {
+        self.wal.append(&LogPayload::TxnAbort { txn });
         self.txns.set_state(txn, TxnState::Aborted)?;
         self.locks.release_all(txn);
-        self.stats.aborts += 1;
+        self.stats.aborts.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -185,7 +211,7 @@ impl TransactionComponent {
 
     /// Establish a savepoint: the current undo-chain position. Rolling back
     /// to it undoes exactly the operations logged after this call.
-    pub fn savepoint(&mut self, txn: TxnId) -> Result<Lsn> {
+    pub fn savepoint(&self, txn: TxnId) -> Result<Lsn> {
         if !self.txns.is_active(txn) {
             return Err(lr_common::Error::TxnNotActive(txn));
         }
@@ -195,7 +221,7 @@ impl TransactionComponent {
     /// Rewind the undo chain to `savepoint` after a partial rollback; the
     /// transaction stays active and its next operation chains to the
     /// savepoint record, bypassing the undone suffix.
-    pub fn reset_chain(&mut self, txn: TxnId, savepoint: Lsn) -> Result<()> {
+    pub fn reset_chain(&self, txn: TxnId, savepoint: Lsn) -> Result<()> {
         self.txns.reset_chain(txn, savepoint)
     }
 
@@ -206,7 +232,7 @@ impl TransactionComponent {
     /// Write the `bCkpt` record (and, for the ARIES ablation, the runtime
     /// DPT snapshot the §3.1 scheme captures). Returns the bCkpt LSN — the
     /// value RSSP carries to the DC.
-    pub fn begin_checkpoint(&mut self, aries_dpt: Option<Vec<(PageId, Lsn)>>) -> Lsn {
+    pub fn begin_checkpoint(&self, aries_dpt: Option<Vec<(PageId, Lsn)>>) -> Lsn {
         let mut wal = self.wal.lock();
         let bckpt = wal.append(&LogPayload::BeginCheckpoint);
         if let Some(dpt) = aries_dpt {
@@ -218,14 +244,16 @@ impl TransactionComponent {
 
     /// Write the `eCkpt` record after the DC confirmed RSSP. Snapshots the
     /// active-transaction table so analysis can seed loser detection.
-    pub fn end_checkpoint(&mut self, bckpt_lsn: Lsn) -> Lsn {
+    pub fn end_checkpoint(&self, bckpt_lsn: Lsn) -> Lsn {
         let active_txns = self.txns.active_snapshot();
-        let mut wal = self.wal.lock();
-        let lsn = wal.append(&LogPayload::EndCheckpoint { bckpt_lsn, active_txns });
-        wal.make_all_stable();
-        self.stats.checkpoints_completed += 1;
+        let lsn = {
+            let mut wal = self.wal.lock();
+            let lsn = wal.append(&LogPayload::EndCheckpoint { bckpt_lsn, active_txns });
+            wal.make_all_stable();
+            lsn
+        };
+        self.stats.checkpoints_completed.fetch_add(1, Ordering::Relaxed);
         // Completed transactions are no longer needed in memory.
-        drop(wal);
         self.txns.gc();
         lsn
     }
@@ -235,14 +263,14 @@ impl TransactionComponent {
     // ------------------------------------------------------------------
 
     /// Crash the TC: transaction table and lock table are volatile.
-    pub fn crash(&mut self) {
+    pub fn crash(&self) {
         self.txns.crash();
         self.locks.crash();
     }
 
     /// Re-register a loser transaction during recovery so undo can log
     /// CLRs against it.
-    pub fn adopt_loser(&mut self, txn: TxnId, last_lsn: Lsn) {
+    pub fn adopt_loser(&self, txn: TxnId, last_lsn: Lsn) {
         self.txns.adopt(txn, last_lsn);
     }
 }
@@ -258,12 +286,11 @@ mod tests {
 
     #[test]
     fn begin_log_commit_flow() {
-        let mut tc = tc();
+        let tc = tc();
         let t = tc.begin();
         tc.lock(t, TableId(1), 5).unwrap();
-        let rec = tc
-            .log_update(t, TableId(1), 5, PageId(9), b"old".to_vec(), b"new".to_vec())
-            .unwrap();
+        let rec =
+            tc.log_update(t, TableId(1), 5, PageId(9), b"old".to_vec(), b"new".to_vec()).unwrap();
         match &rec.payload {
             LogPayload::Update { prev_lsn, pid, .. } => {
                 assert_eq!(*pid, PageId(9));
@@ -279,7 +306,7 @@ mod tests {
 
     #[test]
     fn undo_chain_links_ops() {
-        let mut tc = tc();
+        let tc = tc();
         let t = tc.begin();
         let r1 = tc.log_update(t, TableId(1), 1, PageId(1), vec![], vec![]).unwrap();
         let r2 = tc.log_update(t, TableId(1), 2, PageId(2), vec![], vec![]).unwrap();
@@ -290,7 +317,7 @@ mod tests {
 
     #[test]
     fn checkpoint_brackets_capture_active_txns() {
-        let mut tc = tc();
+        let tc = tc();
         let t1 = tc.begin();
         let t2 = tc.begin();
         tc.log_update(t1, TableId(1), 1, PageId(1), vec![], vec![]).unwrap();
@@ -299,9 +326,7 @@ mod tests {
         let e = tc.end_checkpoint(b);
         let wal = tc.wal.lock();
         let rec = wal.read_at(e).unwrap();
-        let LogPayload::EndCheckpoint { bckpt_lsn, active_txns } = rec.payload else {
-            panic!()
-        };
+        let LogPayload::EndCheckpoint { bckpt_lsn, active_txns } = rec.payload else { panic!() };
         assert_eq!(bckpt_lsn, b);
         assert_eq!(active_txns.len(), 1, "only the uncommitted txn");
         assert_eq!(active_txns[0].0, t1);
@@ -309,7 +334,7 @@ mod tests {
 
     #[test]
     fn aries_checkpoint_snapshot_logged_when_requested() {
-        let mut tc = tc();
+        let tc = tc();
         let b = tc.begin_checkpoint(Some(vec![(PageId(3), Lsn(30))]));
         let wal = tc.wal.lock();
         let recs = wal.scan_from(b).unwrap();
@@ -321,10 +346,44 @@ mod tests {
 
     #[test]
     fn clr_logging_counts_separately() {
-        let mut tc = tc();
+        let tc = tc();
         let t = tc.begin();
         tc.log_clr(t, TableId(1), 5, PageId(2), Lsn(10), ClrAction::RemoveKey);
         assert_eq!(tc.stats().clrs_logged, 1);
         assert_eq!(tc.stats().data_ops_logged, 0);
+    }
+
+    #[test]
+    fn concurrent_txns_commit_without_interference() {
+        let tc = std::sync::Arc::new(tc());
+        std::thread::scope(|s| {
+            for th in 0..4u64 {
+                let tc = tc.clone();
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let t = tc.begin();
+                        let key = th * 1_000 + i;
+                        tc.lock(t, TableId(1), key).unwrap();
+                        tc.log_update(t, TableId(1), key, PageId(1), vec![], vec![]).unwrap();
+                        tc.commit(t).unwrap();
+                    }
+                });
+            }
+        });
+        let stats = tc.stats();
+        assert_eq!(stats.begins, 200);
+        assert_eq!(stats.commits, 200);
+        assert_eq!(tc.locks().lock_count(), 0);
+        tc.locks().assert_no_leaks();
+        // Chain integrity: every commit record present on the log.
+        let commits = tc
+            .wal
+            .lock()
+            .scan_from(Lsn::NULL)
+            .unwrap()
+            .into_iter()
+            .filter(|r| matches!(r.payload, LogPayload::TxnCommit { .. }))
+            .count();
+        assert_eq!(commits, 200);
     }
 }

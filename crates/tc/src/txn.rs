@@ -1,7 +1,14 @@
-//! Transaction table.
+//! Transaction table — concurrent.
+//!
+//! Id allocation is atomic and the table itself sits behind one short
+//! mutex: every critical section is a single hash-map operation, and the
+//! heavy begin/commit paths touch it exactly once each, so it is not a
+//! scalability bottleneck next to the log latch.
 
 use lr_common::{Error, Lsn, Result, TxnId};
+use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Lifecycle state of a transaction.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -22,33 +29,42 @@ pub struct TxnInfo {
 }
 
 /// The TC's transaction table.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TxnTable {
-    txns: HashMap<TxnId, TxnInfo>,
-    next_id: u64,
+    txns: Mutex<HashMap<TxnId, TxnInfo>>,
+    next_id: AtomicU64,
+}
+
+impl Default for TxnTable {
+    fn default() -> TxnTable {
+        TxnTable::new()
+    }
 }
 
 impl TxnTable {
     pub fn new() -> TxnTable {
-        TxnTable { txns: HashMap::new(), next_id: 1 }
+        TxnTable { txns: Mutex::new(HashMap::new()), next_id: AtomicU64::new(1) }
     }
 
     /// Allocate a fresh transaction id and register it as active.
-    pub fn begin(&mut self, begin_lsn: Lsn) -> TxnId {
-        let id = TxnId(self.next_id);
-        self.next_id += 1;
-        self.txns.insert(id, TxnInfo { state: TxnState::Active, last_lsn: begin_lsn, ops: 0 });
+    pub fn begin(&self, begin_lsn: Lsn) -> TxnId {
+        let id = TxnId(self.next_id.fetch_add(1, Ordering::AcqRel));
+        self.txns
+            .lock()
+            .insert(id, TxnInfo { state: TxnState::Active, last_lsn: begin_lsn, ops: 0 });
         id
     }
 
-    pub fn get(&self, txn: TxnId) -> Result<&TxnInfo> {
-        self.txns.get(&txn).ok_or(Error::UnknownTxn(txn))
+    /// Snapshot of one transaction's info.
+    pub fn get(&self, txn: TxnId) -> Result<TxnInfo> {
+        self.txns.lock().get(&txn).cloned().ok_or(Error::UnknownTxn(txn))
     }
 
     /// Record a logged operation for `txn`; returns the previous last LSN
     /// (the record's `prev_lsn` chain pointer).
-    pub fn note_op(&mut self, txn: TxnId, lsn: Lsn) -> Result<Lsn> {
-        let info = self.txns.get_mut(&txn).ok_or(Error::UnknownTxn(txn))?;
+    pub fn note_op(&self, txn: TxnId, lsn: Lsn) -> Result<Lsn> {
+        let mut txns = self.txns.lock();
+        let info = txns.get_mut(&txn).ok_or(Error::UnknownTxn(txn))?;
         if info.state != TxnState::Active {
             return Err(Error::TxnNotActive(txn));
         }
@@ -58,20 +74,22 @@ impl TxnTable {
         Ok(prev)
     }
 
-    pub fn set_state(&mut self, txn: TxnId, state: TxnState) -> Result<()> {
-        let info = self.txns.get_mut(&txn).ok_or(Error::UnknownTxn(txn))?;
+    pub fn set_state(&self, txn: TxnId, state: TxnState) -> Result<()> {
+        let mut txns = self.txns.lock();
+        let info = txns.get_mut(&txn).ok_or(Error::UnknownTxn(txn))?;
         info.state = state;
         Ok(())
     }
 
     pub fn is_active(&self, txn: TxnId) -> bool {
-        matches!(self.txns.get(&txn), Some(TxnInfo { state: TxnState::Active, .. }))
+        matches!(self.txns.lock().get(&txn), Some(TxnInfo { state: TxnState::Active, .. }))
     }
 
     /// Active transactions with their last LSNs (checkpoint snapshot).
     pub fn active_snapshot(&self) -> Vec<(TxnId, Lsn)> {
         let mut v: Vec<(TxnId, Lsn)> = self
             .txns
+            .lock()
             .iter()
             .filter(|(_, i)| i.state == TxnState::Active)
             .map(|(t, i)| (*t, i.last_lsn))
@@ -82,8 +100,9 @@ impl TxnTable {
 
     /// Reset a transaction's undo-chain head (partial rollback: after
     /// rolling back to a savepoint, the chain bypasses the undone suffix).
-    pub fn reset_chain(&mut self, txn: TxnId, lsn: Lsn) -> Result<()> {
-        let info = self.txns.get_mut(&txn).ok_or(Error::UnknownTxn(txn))?;
+    pub fn reset_chain(&self, txn: TxnId, lsn: Lsn) -> Result<()> {
+        let mut txns = self.txns.lock();
+        let info = txns.get_mut(&txn).ok_or(Error::UnknownTxn(txn))?;
         if info.state != TxnState::Active {
             return Err(Error::TxnNotActive(txn));
         }
@@ -93,31 +112,28 @@ impl TxnTable {
 
     /// Re-register a transaction discovered on the log during recovery
     /// (a loser about to be undone). Keeps id allocation ahead of it.
-    pub fn adopt(&mut self, txn: TxnId, last_lsn: Lsn) {
-        self.txns.insert(txn, TxnInfo { state: TxnState::Active, last_lsn, ops: 0 });
-        self.next_id = self.next_id.max(txn.0 + 1);
+    pub fn adopt(&self, txn: TxnId, last_lsn: Lsn) {
+        self.txns.lock().insert(txn, TxnInfo { state: TxnState::Active, last_lsn, ops: 0 });
+        self.next_id.fetch_max(txn.0 + 1, Ordering::AcqRel);
     }
 
     /// Forget completed transactions (bounded memory in long runs).
-    pub fn gc(&mut self) {
-        self.txns.retain(|_, i| i.state == TxnState::Active);
+    pub fn gc(&self) {
+        self.txns.lock().retain(|_, i| i.state == TxnState::Active);
     }
 
-    /// Crash: the in-memory table vanishes.
-    pub fn crash(&mut self) {
-        let next = self.next_id;
-        *self = TxnTable::new();
-        // Keep issuing fresh ids after recovery so ids never collide with
-        // pre-crash transactions still on the log.
-        self.next_id = next;
+    /// Crash: the in-memory table vanishes. Ids keep increasing so fresh
+    /// transactions never collide with pre-crash ids still on the log.
+    pub fn crash(&self) {
+        self.txns.lock().clear();
     }
 
     pub fn len(&self) -> usize {
-        self.txns.len()
+        self.txns.lock().len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.txns.is_empty()
+        self.len() == 0
     }
 }
 
@@ -127,7 +143,7 @@ mod tests {
 
     #[test]
     fn lifecycle_and_chains() {
-        let mut tt = TxnTable::new();
+        let tt = TxnTable::new();
         let t1 = tt.begin(Lsn(10));
         let t2 = tt.begin(Lsn(12));
         assert_ne!(t1, t2);
@@ -141,7 +157,7 @@ mod tests {
 
     #[test]
     fn active_snapshot_is_sorted_and_filtered() {
-        let mut tt = TxnTable::new();
+        let tt = TxnTable::new();
         let a = tt.begin(Lsn(1));
         let b = tt.begin(Lsn(2));
         let c = tt.begin(Lsn(3));
@@ -153,7 +169,7 @@ mod tests {
 
     #[test]
     fn gc_retains_only_active() {
-        let mut tt = TxnTable::new();
+        let tt = TxnTable::new();
         let a = tt.begin(Lsn(1));
         let b = tt.begin(Lsn(2));
         tt.set_state(a, TxnState::Committed).unwrap();
@@ -165,11 +181,33 @@ mod tests {
 
     #[test]
     fn crash_preserves_id_monotonicity() {
-        let mut tt = TxnTable::new();
+        let tt = TxnTable::new();
         let t1 = tt.begin(Lsn(1));
         tt.crash();
         let t2 = tt.begin(Lsn(2));
         assert!(t2.0 > t1.0, "post-crash ids keep increasing");
         assert_eq!(tt.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_begins_allocate_unique_ids() {
+        let tt = std::sync::Arc::new(TxnTable::new());
+        let mut all = Vec::new();
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let tt = tt.clone();
+                handles
+                    .push(s.spawn(move || (0..100).map(|i| tt.begin(Lsn(i))).collect::<Vec<_>>()));
+            }
+            for h in handles {
+                all.extend(h.join().unwrap());
+            }
+        });
+        let mut ids: Vec<u64> = all.iter().map(|t| t.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 800, "no duplicate txn ids");
+        assert_eq!(tt.len(), 800);
     }
 }

@@ -25,8 +25,8 @@ pub struct UndoStats {
 /// Roll back one transaction from `from_lsn` (its chain head) to its Begin
 /// record. Used by both online abort and recovery undo.
 pub fn rollback_txn(
-    tc: &mut TransactionComponent,
-    dc: &mut DataComponent,
+    tc: &TransactionComponent,
+    dc: &DataComponent,
     txn: TxnId,
     from_lsn: Lsn,
     stats: &mut UndoStats,
@@ -40,8 +40,8 @@ pub fn rollback_txn(
 /// `savepoint` (a value from `TransactionComponent::savepoint`), leaving
 /// the transaction active with its chain rewound to the savepoint.
 pub fn rollback_to_savepoint(
-    tc: &mut TransactionComponent,
-    dc: &mut DataComponent,
+    tc: &TransactionComponent,
+    dc: &DataComponent,
     txn: TxnId,
     savepoint: Lsn,
     stats: &mut UndoStats,
@@ -55,8 +55,8 @@ pub fn rollback_to_savepoint(
 /// Walk `txn`'s undo chain from `from_lsn`, compensating each operation,
 /// until reaching `stop_at` (exclusive) or the Begin record.
 fn undo_chain(
-    tc: &mut TransactionComponent,
-    dc: &mut DataComponent,
+    tc: &TransactionComponent,
+    dc: &DataComponent,
     txn: TxnId,
     from_lsn: Lsn,
     stop_at: Lsn,
@@ -70,28 +70,29 @@ fn undo_chain(
         match rec.payload {
             LogPayload::Update { txn: t, table, key, prev_lsn, before, .. } => {
                 debug_assert_eq!(t, txn);
+                // Compensation under the exclusive table latch: relocation,
+                // CLR logging and application must see one tree shape even
+                // with other sessions running.
+                let _latch = dc.lock_table_exclusive(table);
                 // Logical re-location: find the page that now holds the key.
                 let tree = dc.tree(table)?.clone();
                 let leaf = tree.find_leaf(dc.pool_mut(), key)?.leaf;
-                let clr = tc.log_clr(
-                    txn,
-                    table,
-                    key,
-                    leaf,
-                    prev_lsn,
-                    ClrAction::RestoreValue(before),
-                );
+                let clr =
+                    tc.log_clr(txn, table, key, leaf, prev_lsn, ClrAction::RestoreValue(before));
                 dc.apply_at(leaf, &clr)?;
+                drop(_latch);
                 dc.pump_events();
                 stats.ops_undone += 1;
                 cur = prev_lsn;
             }
             LogPayload::Insert { txn: t, table, key, prev_lsn, .. } => {
                 debug_assert_eq!(t, txn);
+                let _latch = dc.lock_table_exclusive(table);
                 let tree = dc.tree(table)?.clone();
                 let leaf = tree.find_leaf(dc.pool_mut(), key)?.leaf;
                 let clr = tc.log_clr(txn, table, key, leaf, prev_lsn, ClrAction::RemoveKey);
                 dc.apply_at(leaf, &clr)?;
+                drop(_latch);
                 dc.pump_events();
                 stats.ops_undone += 1;
                 cur = prev_lsn;
@@ -100,20 +101,16 @@ fn undo_chain(
                 debug_assert_eq!(t, txn);
                 // Re-inserting may need page space: stage through the DC so
                 // any SMO is logged as usual.
+                let _latch = dc.lock_table_exclusive(table);
                 let info = dc.prepare_write(
                     table,
                     key,
                     lr_dc::WriteIntent::Insert { value_len: before.len() },
                 )?;
-                let clr = tc.log_clr(
-                    txn,
-                    table,
-                    key,
-                    info.pid,
-                    prev_lsn,
-                    ClrAction::InsertValue(before),
-                );
+                let clr =
+                    tc.log_clr(txn, table, key, info.pid, prev_lsn, ClrAction::InsertValue(before));
                 dc.apply_at(info.pid, &clr)?;
+                drop(_latch);
                 dc.pump_events();
                 stats.ops_undone += 1;
                 cur = prev_lsn;
@@ -136,8 +133,8 @@ fn undo_chain(
 /// The recovery undo pass: roll back every loser, highest chain head first
 /// (single-pass backward processing order, as ARIES prescribes).
 pub fn undo_losers(
-    tc: &mut TransactionComponent,
-    dc: &mut DataComponent,
+    tc: &TransactionComponent,
+    dc: &DataComponent,
     losers: &BTreeMap<TxnId, Lsn>,
 ) -> Result<UndoStats> {
     let mut stats = UndoStats::default();
@@ -169,25 +166,19 @@ mod tests {
         let mut disk: SimDisk = SimDisk::new(512, 1, SimClock::new(), IoModel::zero());
         DataComponent::format_disk(&mut disk).unwrap();
         let wal = Wal::new_shared(4096);
-        let mut dc = DataComponent::open(Box::new(disk), wal.clone(), DcConfig::default()).unwrap();
+        let dc = DataComponent::open(Box::new(disk), wal.clone(), DcConfig::default()).unwrap();
         dc.create_table(T).unwrap();
         (TransactionComponent::new(wal), dc)
     }
 
     /// Run one full engine-style op: prepare → log → apply.
-    fn do_insert(tc: &mut TransactionComponent, dc: &mut DataComponent, txn: TxnId, key: u64) {
+    fn do_insert(tc: &TransactionComponent, dc: &DataComponent, txn: TxnId, key: u64) {
         let info = dc.prepare_write(T, key, WriteIntent::Insert { value_len: 8 }).unwrap();
         let rec = tc.log_insert(txn, T, key, info.pid, key.to_le_bytes().to_vec()).unwrap();
         dc.apply(&rec).unwrap();
     }
 
-    fn do_update(
-        tc: &mut TransactionComponent,
-        dc: &mut DataComponent,
-        txn: TxnId,
-        key: u64,
-        val: u64,
-    ) {
+    fn do_update(tc: &TransactionComponent, dc: &DataComponent, txn: TxnId, key: u64, val: u64) {
         let info = dc.prepare_write(T, key, WriteIntent::Update { value_len: 8 }).unwrap();
         let rec = tc
             .log_update(txn, T, key, info.pid, info.before.unwrap(), val.to_le_bytes().to_vec())
@@ -195,7 +186,7 @@ mod tests {
         dc.apply(&rec).unwrap();
     }
 
-    fn do_delete(tc: &mut TransactionComponent, dc: &mut DataComponent, txn: TxnId, key: u64) {
+    fn do_delete(tc: &TransactionComponent, dc: &DataComponent, txn: TxnId, key: u64) {
         let info = dc.prepare_write(T, key, WriteIntent::Delete).unwrap();
         let rec = tc.log_delete(txn, T, key, info.pid, info.before.unwrap()).unwrap();
         dc.apply(&rec).unwrap();
@@ -203,22 +194,22 @@ mod tests {
 
     #[test]
     fn rollback_restores_all_three_op_kinds() {
-        let (mut tc, mut dc) = setup();
+        let (tc, dc) = setup();
         // Committed base state.
         let t0 = tc.begin();
         for k in 0..10 {
-            do_insert(&mut tc, &mut dc, t0, k);
+            do_insert(&tc, &dc, t0, k);
         }
         tc.commit(t0).unwrap();
 
         // A transaction that touches everything, then aborts.
         let t1 = tc.begin();
-        do_update(&mut tc, &mut dc, t1, 3, 999);
-        do_insert(&mut tc, &mut dc, t1, 100);
-        do_delete(&mut tc, &mut dc, t1, 7);
+        do_update(&tc, &dc, t1, 3, 999);
+        do_insert(&tc, &dc, t1, 100);
+        do_delete(&tc, &dc, t1, 7);
         let head = tc.last_lsn_of(t1).unwrap();
         let mut stats = UndoStats::default();
-        rollback_txn(&mut tc, &mut dc, t1, head, &mut stats).unwrap();
+        rollback_txn(&tc, &dc, t1, head, &mut stats).unwrap();
         assert_eq!(stats.ops_undone, 3);
 
         assert_eq!(dc.read(T, 3).unwrap().unwrap(), 3u64.to_le_bytes().to_vec());
@@ -229,22 +220,22 @@ mod tests {
 
     #[test]
     fn undo_losers_processes_multiple_txns() {
-        let (mut tc, mut dc) = setup();
+        let (tc, dc) = setup();
         let t0 = tc.begin();
         for k in 0..5 {
-            do_insert(&mut tc, &mut dc, t0, k);
+            do_insert(&tc, &dc, t0, k);
         }
         tc.commit(t0).unwrap();
 
         let t1 = tc.begin();
-        do_update(&mut tc, &mut dc, t1, 0, 111);
+        do_update(&tc, &dc, t1, 0, 111);
         let t2 = tc.begin();
-        do_update(&mut tc, &mut dc, t2, 1, 222);
+        do_update(&tc, &dc, t2, 1, 222);
         let mut losers = BTreeMap::new();
         losers.insert(t1, tc.last_lsn_of(t1).unwrap());
         losers.insert(t2, tc.last_lsn_of(t2).unwrap());
 
-        let stats = undo_losers(&mut tc, &mut dc, &losers).unwrap();
+        let stats = undo_losers(&tc, &dc, &losers).unwrap();
         assert_eq!(stats.losers_undone, 2);
         assert_eq!(dc.read(T, 0).unwrap().unwrap(), 0u64.to_le_bytes().to_vec());
         assert_eq!(dc.read(T, 1).unwrap().unwrap(), 1u64.to_le_bytes().to_vec());
@@ -252,35 +243,32 @@ mod tests {
 
     #[test]
     fn crash_during_rollback_resumes_via_clr_chain() {
-        let (mut tc, mut dc) = setup();
+        let (tc, dc) = setup();
         let t0 = tc.begin();
         for k in 0..4 {
-            do_insert(&mut tc, &mut dc, t0, k);
+            do_insert(&tc, &dc, t0, k);
         }
         tc.commit(t0).unwrap();
 
         let t1 = tc.begin();
-        do_update(&mut tc, &mut dc, t1, 0, 50);
-        do_update(&mut tc, &mut dc, t1, 1, 51);
-        do_update(&mut tc, &mut dc, t1, 2, 52);
+        do_update(&tc, &dc, t1, 0, 50);
+        do_update(&tc, &dc, t1, 1, 51);
+        do_update(&tc, &dc, t1, 2, 52);
 
         // Partially roll back by hand: undo the last op only, writing its CLR.
         let head = tc.last_lsn_of(t1).unwrap();
         let wal = dc.wal();
         let rec = { wal.lock().read_at(head).unwrap() };
-        let LogPayload::Update { table, key, prev_lsn, before, .. } = rec.payload else {
-            panic!()
-        };
+        let LogPayload::Update { table, key, prev_lsn, before, .. } = rec.payload else { panic!() };
         let tree = dc.tree(table).unwrap().clone();
         let leaf = tree.find_leaf(dc.pool_mut(), key).unwrap().leaf;
-        let clr =
-            tc.log_clr(t1, table, key, leaf, prev_lsn, ClrAction::RestoreValue(before));
+        let clr = tc.log_clr(t1, table, key, leaf, prev_lsn, ClrAction::RestoreValue(before));
         dc.apply_at(leaf, &clr).unwrap();
 
         // "Crash": resume undo from the CLR (what analysis would find).
         let mut losers = BTreeMap::new();
         losers.insert(t1, clr.lsn);
-        let stats = undo_losers(&mut tc, &mut dc, &losers).unwrap();
+        let stats = undo_losers(&tc, &dc, &losers).unwrap();
         // Only the two not-yet-compensated updates are undone.
         assert_eq!(stats.ops_undone, 2);
         for k in 0..3u64 {

@@ -8,9 +8,8 @@
 //! and log-page arithmetic for the recovery I/O model.
 
 use crate::record::{LogPayload, LogRecord};
+use crate::shared::SharedWal;
 use lr_common::{Error, Lsn, Result};
-use parking_lot::Mutex;
-use std::sync::Arc;
 
 /// LSN of the first record: the log begins with an 8-byte magic header.
 pub const LOG_ORIGIN: Lsn = Lsn(8);
@@ -18,9 +17,6 @@ pub const LOG_ORIGIN: Lsn = Lsn(8);
 const MAGIC: &[u8; 8] = b"LRWAL\0\0\x01";
 /// Frame header: u32 body length + u32 CRC-32 of the body.
 const FRAME_HEADER: usize = 8;
-
-/// Shared handle to the common log (TC and DC both append).
-pub type SharedWal = Arc<Mutex<Wal>>;
 
 /// In-memory append-only log with explicit stability tracking.
 pub struct Wal {
@@ -36,27 +32,28 @@ impl Wal {
     /// An empty log. `log_page_size` is used only for page-count accounting.
     pub fn new(log_page_size: usize) -> Wal {
         assert!(log_page_size >= 512, "log page size unreasonably small");
-        Wal {
-            buf: MAGIC.to_vec(),
-            index: Vec::new(),
-            stable: LOG_ORIGIN,
-            log_page_size,
-        }
+        Wal { buf: MAGIC.to_vec(), index: Vec::new(), stable: LOG_ORIGIN, log_page_size }
     }
 
     /// A shareable handle.
     pub fn new_shared(log_page_size: usize) -> SharedWal {
-        Arc::new(Mutex::new(Wal::new(log_page_size)))
+        SharedWal::new(Wal::new(log_page_size))
     }
 
     /// Append a record; returns its LSN. The record is *not* stable until
     /// [`Wal::make_stable`] (or [`Wal::make_all_stable`]) covers it.
     pub fn append(&mut self, payload: &LogPayload) -> Lsn {
+        self.append_encoded(&payload.encode())
+    }
+
+    /// Append a pre-encoded record body (the buffered append path: callers
+    /// serialize the payload *outside* the log latch and pay only the frame
+    /// memcpy inside it).
+    pub fn append_encoded(&mut self, body: &[u8]) -> Lsn {
         let lsn = Lsn(self.buf.len() as u64);
-        let body = payload.encode();
         self.buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
-        self.buf.extend_from_slice(&lr_common::crc32(&body).to_le_bytes());
-        self.buf.extend_from_slice(&body);
+        self.buf.extend_from_slice(&lr_common::crc32(body).to_le_bytes());
+        self.buf.extend_from_slice(body);
         self.index.push(lsn.0);
         lsn
     }
@@ -97,9 +94,7 @@ impl Wal {
     /// Returns the number of records lost. After truncation the stable LSN
     /// equals the log end.
     pub fn truncate_to_stable(&mut self) -> usize {
-        let cut = self
-            .index
-            .partition_point(|&off| off < self.stable.0);
+        let cut = self.index.partition_point(|&off| off < self.stable.0);
         let lost = self.index.len() - cut;
         if lost > 0 {
             let new_len = self.index[cut] as usize;
@@ -113,8 +108,7 @@ impl Wal {
     fn decode_at_index(&self, i: usize) -> Result<LogRecord> {
         let off = self.index[i] as usize;
         let lsn = Lsn(off as u64);
-        let len =
-            u32::from_le_bytes(self.buf[off..off + 4].try_into().expect("length")) as usize;
+        let len = u32::from_le_bytes(self.buf[off..off + 4].try_into().expect("length")) as usize;
         let crc = u32::from_le_bytes(self.buf[off + 4..off + 8].try_into().expect("crc"));
         let body = &self.buf[off + FRAME_HEADER..off + FRAME_HEADER + len];
         if lr_common::crc32(body) != crc {
@@ -129,10 +123,9 @@ impl Wal {
     pub fn read_at(&self, lsn: Lsn) -> Result<LogRecord> {
         match self.index.binary_search(&lsn.0) {
             Ok(i) => self.decode_at_index(i),
-            Err(_) => Err(Error::LogCorrupt {
-                lsn,
-                reason: "no record starts at this LSN".to_string(),
-            }),
+            Err(_) => {
+                Err(Error::LogCorrupt { lsn, reason: "no record starts at this LSN".to_string() })
+            }
         }
     }
 
@@ -184,11 +177,9 @@ impl Wal {
         let mut off = MAGIC.len();
         let mut good = Vec::new();
         while off + FRAME_HEADER <= self.buf.len() {
-            let len = u32::from_le_bytes(
-                self.buf[off..off + 4].try_into().expect("length bytes"),
-            ) as usize;
-            let crc =
-                u32::from_le_bytes(self.buf[off + 4..off + 8].try_into().expect("crc bytes"));
+            let len = u32::from_le_bytes(self.buf[off..off + 4].try_into().expect("length bytes"))
+                as usize;
+            let crc = u32::from_le_bytes(self.buf[off + 4..off + 8].try_into().expect("crc bytes"));
             let body_start = off + FRAME_HEADER;
             let Some(body_end) = body_start.checked_add(len) else { break };
             if body_end > self.buf.len() {

@@ -90,23 +90,9 @@ pub enum LogPayload {
         after: Value,
     },
     /// A data insert (same piggyback convention).
-    Insert {
-        txn: TxnId,
-        table: TableId,
-        key: Key,
-        pid: PageId,
-        prev_lsn: Lsn,
-        value: Value,
-    },
+    Insert { txn: TxnId, table: TableId, key: Key, pid: PageId, prev_lsn: Lsn, value: Value },
     /// A data delete.
-    Delete {
-        txn: TxnId,
-        table: TableId,
-        key: Key,
-        pid: PageId,
-        prev_lsn: Lsn,
-        before: Value,
-    },
+    Delete { txn: TxnId, table: TableId, key: Key, pid: PageId, prev_lsn: Lsn, before: Value },
     /// Compensation record written during rollback/undo; redo-only.
     Clr {
         txn: TxnId,

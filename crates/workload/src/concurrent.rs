@@ -1,0 +1,231 @@
+//! The concurrent workload driver: K sessions × the §5.2 update
+//! transaction, with no-wait conflict retry.
+//!
+//! The paper's evaluation drives one stream; the session-based engine can
+//! take one stream *per thread*. This driver is both the correctness
+//! harness for `tests/concurrent_sessions.rs` and the measurement loop of
+//! the `throughput` bench bin: every thread runs the same deterministic
+//! generator shape (shifted seed), counts commits and conflict retries,
+//! and the run reports committed-transaction throughput.
+
+use crate::gen::{Op, TxnGenerator, WorkloadSpec};
+use lr_common::Result;
+use lr_core::{Engine, Session, DEFAULT_TABLE};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Parameters for a concurrent run.
+#[derive(Clone, Debug)]
+pub struct ConcurrentScenario {
+    /// Worker threads (sessions).
+    pub threads: usize,
+    /// Transactions each thread commits.
+    pub txns_per_thread: u64,
+    /// Workload shape; each thread runs it with `seed + thread index`.
+    pub spec: WorkloadSpec,
+    /// No-wait conflict retries per transaction before giving up.
+    pub max_retries: usize,
+    /// Take a checkpoint every this many committed transactions (across
+    /// all threads, approximately; 0 disables). Exercises bCkpt→RSSP→eCkpt
+    /// against live sessions.
+    pub checkpoint_every: u64,
+}
+
+impl ConcurrentScenario {
+    /// The paper's update-only transaction at `threads` sessions.
+    pub fn paper_default(threads: usize, txns_per_thread: u64, key_space: u64) -> Self {
+        ConcurrentScenario {
+            threads,
+            txns_per_thread,
+            spec: WorkloadSpec::paper_default(key_space, 100, 42),
+            max_retries: 10_000,
+            checkpoint_every: 0,
+        }
+    }
+}
+
+/// Per-thread outcome.
+#[derive(Clone, Debug, Default)]
+pub struct ThreadReport {
+    pub committed: u64,
+    /// Lock-conflict retries (each one is an abort + rerun).
+    pub conflict_retries: u64,
+}
+
+/// Whole-run outcome.
+#[derive(Clone, Debug)]
+pub struct ConcurrentReport {
+    pub threads: usize,
+    pub committed: u64,
+    pub conflict_retries: u64,
+    pub wall: std::time::Duration,
+    pub per_thread: Vec<ThreadReport>,
+    /// Log forces vs. commits (group-commit effectiveness).
+    pub log_forces: u64,
+}
+
+impl ConcurrentReport {
+    /// Committed transactions per wall-clock second.
+    pub fn committed_per_sec(&self) -> f64 {
+        if self.wall.as_secs_f64() == 0.0 {
+            return 0.0;
+        }
+        self.committed as f64 / self.wall.as_secs_f64()
+    }
+}
+
+/// One worker loop: `txns` transactions from `gen`, retried on conflicts.
+fn worker(
+    session: &mut Session,
+    gen: &mut TxnGenerator,
+    txns: u64,
+    max_retries: usize,
+) -> Result<ThreadReport> {
+    let mut report = ThreadReport::default();
+    for _ in 0..txns {
+        let ops = gen.next_txn();
+        let retries = session.run_txn(max_retries, |s| {
+            for op in &ops {
+                match op {
+                    Op::Update { key, value } => s.update_in(DEFAULT_TABLE, *key, value.clone())?,
+                    Op::Read { key } => {
+                        let _ = s.read(DEFAULT_TABLE, *key)?;
+                    }
+                    Op::Insert { key, value } => s.insert_in(DEFAULT_TABLE, *key, value.clone())?,
+                    Op::Delete { key } => s.delete_in(DEFAULT_TABLE, *key)?,
+                }
+            }
+            Ok(())
+        })?;
+        report.conflict_retries += retries as u64;
+        report.committed += 1;
+    }
+    Ok(report)
+}
+
+/// Run the scenario against a shared engine. Returns per-thread and
+/// aggregate counts plus wall time.
+///
+/// Inserts in the mix use per-thread key bands (thread i inserts keys
+/// `key_space * (i + 1) * 1e6 + n`) so generators on different threads
+/// never collide on fresh keys.
+pub fn run_concurrent(
+    engine: &Arc<Engine>,
+    scenario: &ConcurrentScenario,
+) -> Result<ConcurrentReport> {
+    let forces_before = engine.wal().group_commit_stats().forces;
+    let start = Instant::now();
+    let mut per_thread: Vec<ThreadReport> = Vec::with_capacity(scenario.threads);
+    let ckpt_every = scenario.checkpoint_every;
+
+    std::thread::scope(|s| -> Result<()> {
+        let mut handles = Vec::with_capacity(scenario.threads);
+        for t in 0..scenario.threads {
+            let mut session = Engine::session(engine);
+            let mut spec = scenario.spec.clone();
+            spec.seed = spec.seed.wrapping_add(t as u64);
+            let max_retries = scenario.max_retries;
+            let txns = scenario.txns_per_thread;
+            let engine = engine.clone();
+            handles.push(s.spawn(move || -> Result<ThreadReport> {
+                let mut gen = TxnGenerator::new_with_insert_band(spec, t as u64 + 1);
+                if ckpt_every == 0 {
+                    return worker(&mut session, &mut gen, txns, max_retries);
+                }
+                // Checkpointing variant: thread 0 doubles as the
+                // checkpointer, interleaving bCkpt→RSSP→eCkpt with its own
+                // transactions while the other sessions keep committing.
+                let mut report = ThreadReport::default();
+                let mut since_ckpt = 0u64;
+                for _ in 0..txns {
+                    let one = worker(&mut session, &mut gen, 1, max_retries)?;
+                    report.committed += one.committed;
+                    report.conflict_retries += one.conflict_retries;
+                    since_ckpt += 1;
+                    if t == 0 && since_ckpt >= ckpt_every {
+                        engine.checkpoint()?;
+                        since_ckpt = 0;
+                    }
+                }
+                Ok(report)
+            }));
+        }
+        for h in handles {
+            per_thread.push(h.join().expect("worker thread panicked")?);
+        }
+        Ok(())
+    })?;
+
+    let wall = start.elapsed();
+    let committed = per_thread.iter().map(|r| r.committed).sum();
+    let conflict_retries = per_thread.iter().map(|r| r.conflict_retries).sum();
+    Ok(ConcurrentReport {
+        threads: scenario.threads,
+        committed,
+        conflict_retries,
+        wall,
+        per_thread,
+        log_forces: engine.wal().group_commit_stats().forces - forces_before,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_core::{EngineConfig, RecoveryMethod};
+
+    fn shared_engine(rows: u64) -> Arc<Engine> {
+        Engine::build(EngineConfig {
+            initial_rows: rows,
+            pool_pages: 128,
+            io_model: lr_common::IoModel::zero(),
+            ..EngineConfig::default()
+        })
+        .unwrap()
+        .into_shared()
+    }
+
+    #[test]
+    fn four_threads_commit_everything() {
+        let engine = shared_engine(2_000);
+        let scenario = ConcurrentScenario::paper_default(4, 50, 2_000);
+        let report = run_concurrent(&engine, &scenario).unwrap();
+        assert_eq!(report.committed, 200);
+        assert_eq!(engine.tc().stats().commits, 200);
+        engine.tc().locks().assert_no_leaks();
+        // Group commit: the log was forced at most once per commit.
+        assert!(report.log_forces <= report.committed + 1, "{report:?}");
+    }
+
+    #[test]
+    fn contended_keyspace_retries_but_completes() {
+        let engine = shared_engine(64);
+        // 8 threads over 64 keys with 10 updates per txn: conflicts are
+        // inevitable; everything must still commit and release its locks.
+        let scenario = ConcurrentScenario::paper_default(8, 25, 64);
+        let report = run_concurrent(&engine, &scenario).unwrap();
+        assert_eq!(report.committed, 8 * 25);
+        // Retries are timing-dependent (a single-core scheduler can
+        // serialize the threads conflict-free); the deterministic conflict
+        // path is covered by lr-core's session tests. What must always
+        // hold: every retry ended in a commit and no lock leaked.
+        engine.tc().locks().assert_no_leaks();
+    }
+
+    #[test]
+    fn checkpoints_run_against_live_sessions_and_state_recovers() {
+        let engine = shared_engine(1_000);
+        let mut scenario = ConcurrentScenario::paper_default(4, 60, 1_000);
+        scenario.checkpoint_every = 10;
+        let report = run_concurrent(&engine, &scenario).unwrap();
+        assert_eq!(report.committed, 240);
+        assert!(engine.checkpoints_taken() >= 3, "checkpointer ran");
+
+        // Crash after the concurrent run; recovery must produce a readable,
+        // structurally valid table.
+        engine.crash();
+        engine.recover(RecoveryMethod::Log1).unwrap();
+        let summary = engine.verify_table(DEFAULT_TABLE).unwrap();
+        assert_eq!(summary.records, 1_000);
+    }
+}

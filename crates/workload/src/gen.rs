@@ -103,6 +103,14 @@ pub struct TxnGenerator {
 
 impl TxnGenerator {
     pub fn new(spec: WorkloadSpec) -> TxnGenerator {
+        TxnGenerator::new_with_insert_band(spec, 0)
+    }
+
+    /// Like [`TxnGenerator::new`], but fresh insert keys start in a
+    /// per-band region far above the loaded key space. Concurrent drivers
+    /// give every thread its own band so generators never collide on
+    /// inserted keys.
+    pub fn new_with_insert_band(spec: WorkloadSpec, band: u64) -> TxnGenerator {
         spec.mix.validate();
         assert!(spec.key_space > 0);
         assert!(spec.txn_ops > 0);
@@ -111,7 +119,7 @@ impl TxnGenerator {
             KeyDist::Zipf(theta) => Some(Zipf::new(spec.key_space, theta)),
         };
         let rng = StdRng::seed_from_u64(spec.seed);
-        let next_insert_key = spec.key_space;
+        let next_insert_key = spec.key_space.saturating_add(band << 40);
         TxnGenerator { spec, rng, zipf, version: 0, next_insert_key, live_inserted: Vec::new() }
     }
 

@@ -11,14 +11,18 @@
 //!   with a ~100-update log tail;
 //! * [`presets`] — the scale presets of DESIGN.md §8 (`smoke`,
 //!   `paper_tenth`, `paper_full`);
-//! * [`report`] — plain-text table/CSV formatting for the figure harnesses.
+//! * [`report`] — plain-text table/CSV formatting for the figure harnesses;
+//! * [`concurrent`] — the K-session driver: per-thread generators with
+//!   no-wait conflict retry, feeding the `throughput` bench bin.
 
+pub mod concurrent;
 pub mod gen;
 pub mod presets;
 pub mod report;
 pub mod scenario;
 pub mod zipf;
 
+pub use concurrent::{run_concurrent, ConcurrentReport, ConcurrentScenario, ThreadReport};
 pub use gen::{KeyDist, Op, OpMix, TxnGenerator, WorkloadSpec};
 pub use presets::{cache_sweep, Preset};
 pub use scenario::{run_to_crash, CrashScenario, ScenarioOutcome};

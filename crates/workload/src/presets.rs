@@ -55,6 +55,7 @@ impl Preset {
             dirty_watermark: 0.30,
             merge_min_fill: 0.0,
             io_model: lr_common::IoModel::default(),
+            commit_force_us: 0,
         }
     }
 

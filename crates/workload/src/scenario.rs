@@ -211,7 +211,7 @@ mod tests {
 
         // And the state is recoverable + equal to the shadow.
         engine.recover(RecoveryMethod::Log1).unwrap();
-        shadow.verify_against(&mut engine).unwrap();
+        shadow.verify_against(&engine).unwrap();
     }
 
     #[test]

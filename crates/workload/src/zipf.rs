@@ -42,8 +42,7 @@ impl Zipf {
         }
         if n > m {
             // ∫_{m}^{n} x^-θ dx = (n^{1-θ} - m^{1-θ})/(1-θ)
-            sum += ((n as f64).powf(1.0 - theta) - (m as f64).powf(1.0 - theta))
-                / (1.0 - theta);
+            sum += ((n as f64).powf(1.0 - theta) - (m as f64).powf(1.0 - theta)) / (1.0 - theta);
         }
         sum
     }
@@ -58,8 +57,7 @@ impl Zipf {
         if uz < 1.0 + 0.5f64.powf(self.theta) {
             return 1;
         }
-        let rank =
-            (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        let rank = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
         rank.min(self.n - 1)
     }
 

@@ -23,17 +23,19 @@ fn bal(v: &[u8]) -> u64 {
 }
 
 fn main() -> lr_common::Result<()> {
-    let transfers: u64 =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
+    let transfers: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(2_000);
 
     let cfg = EngineConfig {
         initial_rows: 0,
         pool_pages: 64,
         row_value_size: 8,
         io_model: IoModel::zero(),
+        // The crash rotation below replays every method, including the
+        // ARIES-checkpoint ablation, which needs the DPT snapshots.
+        aries_ckpt_capture: true,
         ..EngineConfig::default()
     };
-    let mut engine = Engine::build(cfg)?;
+    let engine = Engine::build(cfg)?;
 
     // Open the accounts.
     let t = engine.begin();

@@ -37,9 +37,9 @@ fn main() -> lr_common::Result<()> {
         let mut row = vec![format!("{}x", factor)];
         for method in [RecoveryMethod::Log0, RecoveryMethod::Log1, RecoveryMethod::Log2] {
             let forked = engine.fork_crashed()?;
-            let mut forked = forked;
+            let forked = forked;
             let report = forked.recover(method)?;
-            shadow.verify_against(&mut forked)?;
+            shadow.verify_against(&forked)?;
             row.push(format!("{:.1}", report.redo_ms()));
         }
         println!("{:>10}  {:>10}  {:>10}  {:>10}", row[0], row[1], row[2], row[3]);

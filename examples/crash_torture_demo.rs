@@ -12,8 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() -> lr_common::Result<()> {
-    let cycles: usize =
-        std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let cycles: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(16);
 
     let cfg = EngineConfig {
         initial_rows: 4_000,
@@ -30,7 +29,7 @@ fn main() -> lr_common::Result<()> {
         ..WorkloadSpec::paper_default(cfg.initial_rows, 80, 99)
     };
     let mut gen = TxnGenerator::new(spec);
-    let mut engine = Engine::build(cfg)?;
+    let engine = Engine::build(cfg)?;
     let mut rng = StdRng::seed_from_u64(31337);
     let methods = RecoveryMethod::all();
 
@@ -85,7 +84,7 @@ fn main() -> lr_common::Result<()> {
         let snap = engine.crash();
         shadow.crash();
         let report = engine.recover(method)?;
-        shadow.verify_against(&mut engine)?;
+        shadow.verify_against(&engine)?;
         engine.verify_table(DEFAULT_TABLE)?;
 
         println!(

@@ -8,12 +8,8 @@ use lr_core::{Engine, EngineConfig, RecoveryMethod, DEFAULT_TABLE};
 
 fn main() -> lr_common::Result<()> {
     // A small database: ~300 data pages, a 96-page cache.
-    let cfg = EngineConfig {
-        initial_rows: 10_000,
-        pool_pages: 96,
-        ..EngineConfig::default()
-    };
-    let mut engine = Engine::build(cfg)?;
+    let cfg = EngineConfig { initial_rows: 10_000, pool_pages: 96, ..EngineConfig::default() };
+    let engine = Engine::build(cfg)?;
     println!("loaded {} rows into the default table", 10_000);
 
     // A committed transaction: its effects must survive the crash.

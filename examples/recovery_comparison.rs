@@ -41,8 +41,7 @@ fn main() -> lr_common::Result<()> {
             ..EngineConfig::default()
         };
         let mut shadow = ShadowDb::with_initial_rows(&cfg);
-        let mut gen =
-            TxnGenerator::new(WorkloadSpec::paper_default(cfg.initial_rows, 100, seed));
+        let mut gen = TxnGenerator::new(WorkloadSpec::paper_default(cfg.initial_rows, 100, seed));
         let mut engine = Engine::build(cfg)?;
         let scenario = CrashScenario {
             updates_per_checkpoint: 1_000,
@@ -52,7 +51,7 @@ fn main() -> lr_common::Result<()> {
         };
         run_to_crash(&mut engine, &mut shadow, &mut gen, &scenario)?;
         let r = engine.recover(method)?;
-        shadow.verify_against(&mut engine)?;
+        shadow.verify_against(&engine)?;
 
         let b = &r.breakdown;
         table.row(vec![

@@ -26,7 +26,7 @@ fn main() -> lr_common::Result<()> {
         ..EngineConfig::default()
     };
     let initial_rows = cfg.initial_rows;
-    let mut primary = Engine::build(cfg.clone())?;
+    let primary = Engine::build(cfg.clone())?;
 
     let t = primary.begin();
     for k in (0..5_000).step_by(7) {
@@ -47,7 +47,7 @@ fn main() -> lr_common::Result<()> {
     let mut disk = FileDisk::create(&path, 1024, 0)?;
     DataComponent::format_disk(&mut disk)?;
     let replica_wal = Wal::new_shared(4096);
-    let mut replica = DataComponent::open(Box::new(disk), replica_wal, DcConfig::default())?;
+    let replica = DataComponent::open(Box::new(disk), replica_wal, DcConfig::default())?;
     replica.create_table(DEFAULT_TABLE)?;
 
     // Bootstrap the replica from the primary's initial snapshot (a real
@@ -69,11 +69,15 @@ fn main() -> lr_common::Result<()> {
         };
         replica.apply_at(info.pid, &rec)?;
     }
-    println!("replica: bootstrapped {} rows on 1 KiB pages (file: {})", initial_rows, path.display());
+    println!(
+        "replica: bootstrapped {} rows on 1 KiB pages (file: {})",
+        initial_rows,
+        path.display()
+    );
 
     // ---- ship the log ----
     let records = primary.wal().lock().scan_from(Lsn::NULL)?;
-    let applied = apply_committed_ops(&mut replica, &records)?;
+    let applied = apply_committed_ops(&replica, &records)?;
     replica.pool_mut().flush_all()?;
     println!("shipped {} log records; applied {applied} committed logical ops", records.len());
 

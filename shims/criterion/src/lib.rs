@@ -1,0 +1,164 @@
+//! A minimal, dependency-free stand-in for the `criterion` crate (offline
+//! build). Implements the subset the micro benchmarks use: groups,
+//! `bench_function`, `iter`, `iter_batched`, throughput annotation, and the
+//! `criterion_group!`/`criterion_main!` macros. Measurement is a simple
+//! calibrated wall-clock loop (median-free mean over a fixed budget) —
+//! adequate for relative comparisons, not statistics.
+
+use std::hint::black_box as bb;
+use std::time::{Duration, Instant};
+
+/// Re-export so user code can call `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    bb(x)
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Per-target measurement budget.
+const WARMUP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(200);
+
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _parent: self }
+    }
+
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        run_one(&name.into(), None, f);
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    pub fn sample_size(&mut self, n: usize) {
+        self._parent.sample_size = n;
+    }
+
+    pub fn bench_function(&mut self, name: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, name.into());
+        run_one(&full, self.throughput, f);
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_one(name: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let mut b = Bencher { total: Duration::ZERO, iters: 0, deadline: Instant::now() + WARMUP };
+    f(&mut b); // warmup pass
+    let mut b = Bencher { total: Duration::ZERO, iters: 0, deadline: Instant::now() + MEASURE };
+    f(&mut b);
+    let per_iter = if b.iters == 0 { Duration::ZERO } else { b.total / (b.iters as u32).max(1) };
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if per_iter > Duration::ZERO => {
+            let per_sec = n as f64 / per_iter.as_secs_f64();
+            format!("  {per_sec:>14.0} elem/s")
+        }
+        Some(Throughput::Bytes(n)) if per_iter > Duration::ZERO => {
+            let per_sec = n as f64 / per_iter.as_secs_f64() / (1 << 20) as f64;
+            format!("  {per_sec:>10.1} MiB/s")
+        }
+        _ => String::new(),
+    };
+    println!("{name:<48} {:>12.3?}/iter ({} iters){rate}", per_iter, b.iters);
+}
+
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+    deadline: Instant,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        while Instant::now() < self.deadline {
+            let t = Instant::now();
+            bb(routine());
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        while Instant::now() < self.deadline {
+            let input = setup();
+            let t = Instant::now();
+            bb(routine(input));
+            self.total += t.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_surface_runs() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1));
+        g.sample_size(10);
+        g.bench_function("add", |b| b.iter(|| 1u64 + 1));
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput)
+        });
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| 2u64 * 2));
+    }
+}

@@ -1,0 +1,5 @@
+//! Umbrella crate: re-exports the workspace's public surface so integration
+//! tests and examples have one front door. See the per-crate docs for the
+//! real content; `lr_core` is the top of the stack.
+
+pub use lr_core::*;

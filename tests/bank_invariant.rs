@@ -40,7 +40,7 @@ fn bank_engine() -> Engine {
         perfect_delta_lsns: true,
         ..EngineConfig::default()
     };
-    let mut e = Engine::build(cfg).unwrap();
+    let e = Engine::build(cfg).unwrap();
     let t = e.begin();
     for k in 0..ACCOUNTS {
         e.insert(t, k, balance_value(INITIAL_BALANCE)).unwrap();
@@ -87,8 +87,7 @@ fn money_is_conserved_across_crashes() {
             // no credit, no commit
         }
         e.crash();
-        e.recover(*method)
-            .unwrap_or_else(|err| panic!("cycle {cycle} ({method}): {err}"));
+        e.recover(*method).unwrap_or_else(|err| panic!("cycle {cycle} ({method}): {err}"));
         assert_eq!(
             total_balance(&mut e),
             ACCOUNTS * INITIAL_BALANCE,

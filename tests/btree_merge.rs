@@ -86,7 +86,7 @@ fn shrunk_tree_recovers_with_every_method() {
     grow_then_shrink(&mut e, 3_000, 10);
     e.crash();
     let reference: Vec<_> = {
-        let mut f = e.fork_crashed().unwrap();
+        let f = e.fork_crashed().unwrap();
         f.recover(RecoveryMethod::Log0).unwrap();
         f.verify_table(DEFAULT_TABLE).unwrap();
         f.scan_table(DEFAULT_TABLE).unwrap()
@@ -96,7 +96,7 @@ fn shrunk_tree_recovers_with_every_method() {
         if method == RecoveryMethod::Log0 {
             continue;
         }
-        let mut f = e.fork_crashed().unwrap();
+        let f = e.fork_crashed().unwrap();
         f.recover(method).unwrap();
         f.verify_table(DEFAULT_TABLE)
             .unwrap_or_else(|err| panic!("{method}: tree corrupt after recovery: {err}"));

@@ -33,7 +33,7 @@ fn tree_ops() -> impl Strategy<Value = Vec<TreeOp>> {
 
 fn fresh_pool() -> BufferPool {
     let disk = SimDisk::new(256, 1, SimClock::new(), IoModel::zero());
-    let mut pool = BufferPool::new(Box::new(disk), 2048, Box::new(|l| l));
+    let pool = BufferPool::new(Box::new(disk), 2048, Box::new(|l| l));
     pool.set_elsn(Lsn::MAX);
     pool
 }
@@ -43,8 +43,8 @@ proptest! {
 
     #[test]
     fn btree_matches_model(ops in tree_ops()) {
-        let mut pool = fresh_pool();
-        let mut tree = lr_btree::BTree::create(&mut pool, TableId(1)).unwrap();
+        let pool = fresh_pool();
+        let mut tree = lr_btree::BTree::create(&pool, TableId(1)).unwrap();
         let mut model: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
         let mut lsn = 0u64;
         let mut smo_log: Vec<(Lsn, SmoRecord)> = Vec::new();
@@ -64,10 +64,10 @@ proptest! {
                         Lsn(lsn)
                     };
                     let leaf = tree
-                        .ensure_room(&mut pool, *k, 8 + 16 + SLOT_SIZE, &mut smo)
+                        .ensure_room(&pool, *k, 8 + 16 + SLOT_SIZE, &mut smo)
                         .unwrap();
                     lsn += 1;
-                    tree.apply_insert(&mut pool, leaf, *k, &value, Lsn(lsn)).unwrap();
+                    tree.apply_insert(&pool, leaf, *k, &value, Lsn(lsn)).unwrap();
                     model.insert(*k, value);
                 }
                 TreeOp::Update(k, v) => {
@@ -75,33 +75,33 @@ proptest! {
                         continue;
                     }
                     let value = vec![*v; 16];
-                    let leaf = tree.find_leaf(&mut pool, *k).unwrap().leaf;
+                    let leaf = tree.find_leaf(&pool, *k).unwrap().leaf;
                     lsn += 1;
-                    tree.apply_update(&mut pool, leaf, *k, &value, Lsn(lsn)).unwrap();
+                    tree.apply_update(&pool, leaf, *k, &value, Lsn(lsn)).unwrap();
                     model.insert(*k, value);
                 }
                 TreeOp::Delete(k) => {
                     if !model.contains_key(k) {
                         continue;
                     }
-                    let leaf = tree.find_leaf(&mut pool, *k).unwrap().leaf;
+                    let leaf = tree.find_leaf(&pool, *k).unwrap().leaf;
                     lsn += 1;
-                    tree.apply_delete(&mut pool, leaf, *k, Lsn(lsn)).unwrap();
+                    tree.apply_delete(&pool, leaf, *k, Lsn(lsn)).unwrap();
                     model.remove(k);
                 }
                 TreeOp::Get(k) => {
-                    let got = tree.get(&mut pool, *k).unwrap();
+                    let got = tree.get(&pool, *k).unwrap();
                     prop_assert_eq!(got.as_deref(), model.get(k).map(|v| v.as_slice()));
                 }
             }
         }
 
         // Full-content agreement and structural validity.
-        let all = tree.scan_all(&mut pool).unwrap();
+        let all = tree.scan_all(&pool).unwrap();
         let expect: Vec<(u64, Vec<u8>)> =
             model.iter().map(|(k, v)| (*k, v.clone())).collect();
         prop_assert_eq!(all, expect);
-        let summary = lr_btree::verify_tree(&tree, &mut pool).unwrap();
+        let summary = lr_btree::verify_tree(&tree, &pool).unwrap();
         prop_assert_eq!(summary.records, model.len() as u64);
 
         // SMO images replay onto a fresh disk to the same index structure:
@@ -114,7 +114,7 @@ proptest! {
                 SimClock::new(),
                 IoModel::zero(),
             );
-            let mut pool2 = BufferPool::new(Box::new(disk2), 2048, Box::new(|l| l));
+            let pool2 = BufferPool::new(Box::new(disk2), 2048, Box::new(|l| l));
             pool2.set_elsn(Lsn::MAX);
             let mut root2 = PageId(1); // BTree::create used the first data page
             for (lsn, rec) in &smo_log {
@@ -128,8 +128,8 @@ proptest! {
             }
             let tree2 = lr_btree::BTree::attach(TableId(1), root2);
             for k in model.keys() {
-                let a = tree.find_leaf_pid(&mut pool, *k).unwrap().0;
-                let b = tree2.find_leaf_pid(&mut pool2, *k).unwrap().0;
+                let a = tree.find_leaf_pid(&pool, *k).unwrap().0;
+                let b = tree2.find_leaf_pid(&pool2, *k).unwrap().0;
                 prop_assert_eq!(a, b, "SMO replay routes key {} elsewhere", k);
             }
         }
@@ -151,7 +151,7 @@ proptest! {
             io_model: IoModel::zero(),
             ..EngineConfig::default()
         };
-        let mut engine = Engine::build(cfg).unwrap();
+        let engine = Engine::build(cfg).unwrap();
         let mut expected: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
         let txn = engine.begin();
         for (i, k) in keys.iter().enumerate() {

@@ -117,7 +117,7 @@ fn torture_cycles_survive_every_method() {
             );
         }
         shadow
-            .verify_against(&mut engine)
+            .verify_against(&engine)
             .unwrap_or_else(|e| panic!("cycle {cycle} ({method}): state diverged: {e}"));
         engine
             .verify_table(DEFAULT_TABLE)
@@ -144,7 +144,7 @@ fn crash_immediately_after_recovery() {
         engine.crash();
         shadow.crash();
         engine.recover(method).unwrap();
-        shadow.verify_against(&mut engine).unwrap();
+        shadow.verify_against(&engine).unwrap();
     }
 }
 
@@ -157,16 +157,13 @@ fn crash_before_any_checkpoint() {
         io_model: IoModel::zero(),
         ..EngineConfig::default()
     };
-    let mut engine = Engine::build(cfg.clone()).unwrap();
+    let engine = Engine::build(cfg.clone()).unwrap();
     let t = engine.begin();
     engine.update(t, 3, b"pre-checkpoint-update".to_vec()).unwrap();
     engine.commit(t).unwrap();
     engine.crash();
     engine.recover(RecoveryMethod::Log1).unwrap();
-    assert_eq!(
-        engine.read(DEFAULT_TABLE, 3).unwrap().unwrap(),
-        b"pre-checkpoint-update".to_vec()
-    );
+    assert_eq!(engine.read(DEFAULT_TABLE, 3).unwrap().unwrap(), b"pre-checkpoint-update".to_vec());
 }
 
 #[test]
@@ -180,7 +177,7 @@ fn torn_log_tail_demotes_unsynced_commits_to_losers() {
         io_model: IoModel::zero(),
         ..EngineConfig::default()
     };
-    let mut engine = Engine::build(cfg.clone()).unwrap();
+    let engine = Engine::build(cfg.clone()).unwrap();
 
     let a = engine.begin();
     engine.update(a, 1, b"from-A".to_vec()).unwrap();
@@ -208,7 +205,7 @@ fn torn_tail_mid_record_is_cut_cleanly() {
         io_model: IoModel::zero(),
         ..EngineConfig::default()
     };
-    let mut engine = Engine::build(cfg).unwrap();
+    let engine = Engine::build(cfg).unwrap();
     let t = engine.begin();
     for k in 0..20 {
         engine.update(t, k, b"x".repeat(100)).unwrap();
@@ -219,9 +216,6 @@ fn torn_tail_mid_record_is_cut_cleanly() {
     engine.recover(RecoveryMethod::Sql1).unwrap();
     // The commit record was the last record; tearing 13 bytes destroyed it,
     // so the transaction rolls back entirely.
-    assert_eq!(
-        engine.read(DEFAULT_TABLE, 0).unwrap().unwrap(),
-        engine.config().initial_value(0)
-    );
+    assert_eq!(engine.read(DEFAULT_TABLE, 0).unwrap().unwrap(), engine.config().initial_value(0));
     engine.verify_table(DEFAULT_TABLE).unwrap();
 }

@@ -41,7 +41,16 @@ fn params() -> impl Strategy<Value = Params> {
         any::<bool>(),
     )
         .prop_map(
-            |(seed, pool_pages, updates_per_ckpt, checkpoints, tail, dirty_cap, flush_cap, zipf)| {
+            |(
+                seed,
+                pool_pages,
+                updates_per_ckpt,
+                checkpoints,
+                tail,
+                dirty_cap,
+                flush_cap,
+                zipf,
+            )| {
                 Params {
                     seed,
                     pool_pages,
@@ -100,8 +109,7 @@ fn run_case(p: &Params) {
     // are the tail's responsibility.
     for mode in [DeltaDptMode::Standard, DeltaDptMode::Perfect, DeltaDptMode::Reduced] {
         let analysis = build_dpt_logical(&window, rssp, mode);
-        if let Some((pid, why)) =
-            analysis.dpt.safety_violation(&truth, analysis.last_delta_tc_lsn)
+        if let Some((pid, why)) = analysis.dpt.safety_violation(&truth, analysis.last_delta_tc_lsn)
         {
             panic!("logical DPT ({mode:?}) unsafe for page {pid}: {why} (params {p:?})");
         }
@@ -168,11 +176,8 @@ fn delta_dpt_spectrum_orders_as_appendix_d_argues() {
     // construct exactly the same DPT as SQL Server" — *excluding the log
     // tail*, which the logical methods handle with the basic fallback while
     // SQL's DPT covers it (§4.3). Compare over the pre-tail window.
-    let pre_tail: Vec<_> = window
-        .iter()
-        .filter(|r| r.lsn < perfect.last_delta_tc_lsn)
-        .cloned()
-        .collect();
+    let pre_tail: Vec<_> =
+        window.iter().filter(|r| r.lsn < perfect.last_delta_tc_lsn).cloned().collect();
     let (sql_pre_tail, _) = build_dpt_sqlserver(&pre_tail);
     // Exact per-dirtying LSNs can only tighten relative to SQL's
     // update-record approximation (SQL keeps flushed-but-recently-updated

@@ -26,7 +26,7 @@ fn dc_on_file_disk_roundtrips_across_reopen() {
         let mut disk = FileDisk::create(&path, 1024, 0).unwrap();
         DataComponent::format_disk(&mut disk).unwrap();
         let wal = Wal::new_shared(4096);
-        let mut dc = DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
+        let dc = DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
         dc.create_table(T).unwrap();
         let mut lsn = 0u64;
         for k in 0..200u64 {
@@ -53,7 +53,7 @@ fn dc_on_file_disk_roundtrips_across_reopen() {
         let disk = FileDisk::open(&path, 1024).unwrap();
         assert!(disk.num_pages() > 1);
         let wal = Wal::new_shared(4096);
-        let mut dc = DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
+        let dc = DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
         for k in (0..200u64).step_by(13) {
             assert_eq!(
                 dc.read(T, k).unwrap().unwrap(),
@@ -78,7 +78,7 @@ fn unflushed_pages_do_not_survive_reopen() {
         let mut disk = FileDisk::create(&path, 1024, 0).unwrap();
         DataComponent::format_disk(&mut disk).unwrap();
         let wal = Wal::new_shared(4096);
-        let mut dc = DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
+        let dc = DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
         dc.create_table(T).unwrap();
         // The empty table itself is made durable; only the insert is not.
         let root = dc.table_root(T).unwrap();
@@ -101,7 +101,7 @@ fn unflushed_pages_do_not_survive_reopen() {
     {
         let disk = FileDisk::open(&path, 1024).unwrap();
         let wal = Wal::new_shared(4096);
-        let mut dc = DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
+        let dc = DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
         assert_eq!(dc.read(T, 1).unwrap(), None, "unflushed insert must be absent");
     }
     std::fs::remove_file(&path).unwrap();
@@ -126,7 +126,7 @@ fn full_process_restart_with_file_disk_and_persisted_log() {
     };
     {
         let disk = FileDisk::create(&db, 1024, 0).unwrap();
-        let mut engine = Engine::build_on_disk(Box::new(disk), cfg.clone()).unwrap();
+        let engine = Engine::build_on_disk(Box::new(disk), cfg.clone()).unwrap();
         let t = engine.begin();
         engine.update(t, 7, b"durable-update".to_vec()).unwrap();
         engine.insert(t, 50_000, b"durable-insert".to_vec()).unwrap();
@@ -147,7 +147,7 @@ fn full_process_restart_with_file_disk_and_persisted_log() {
     {
         let disk = FileDisk::open(&db, 1024).unwrap();
         let wal = lr_wal::Wal::load(&log, cfg.log_page_size).unwrap();
-        let mut engine = Engine::open_existing(Box::new(disk), wal, cfg.clone()).unwrap();
+        let engine = Engine::open_existing(Box::new(disk), wal, cfg.clone()).unwrap();
         assert!(engine.is_crashed(), "restart begins in the crashed state");
         let report = engine.recover(RecoveryMethod::Log1).unwrap();
         assert!(report.breakdown.losers_undone >= 1, "in-flight txn rolled back");

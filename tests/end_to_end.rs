@@ -39,7 +39,7 @@ fn crash_and_recover(
     let mut engine = Engine::build(cfg).unwrap();
     run_to_crash(&mut engine, &mut shadow, &mut gen, &scenario).unwrap();
     let report = engine.recover(method).unwrap();
-    shadow.verify_against(&mut engine).unwrap();
+    shadow.verify_against(&engine).unwrap();
     (report, engine, shadow)
 }
 
@@ -90,10 +90,7 @@ fn logical_with_dpt_tracks_physiological() {
         log1.redo_ms(),
         sql1.redo_ms()
     );
-    assert!(
-        log1.breakdown.index_pages_fetched > 0,
-        "logical redo must have paid for index pages"
-    );
+    assert!(log1.breakdown.index_pages_fetched > 0, "logical redo must have paid for index pages");
 }
 
 #[test]
@@ -142,7 +139,7 @@ fn tail_of_log_falls_back_to_basic_redo() {
 
 #[test]
 fn index_preload_loads_the_whole_index() {
-    let (log2, mut engine, _) = crash_and_recover(RecoveryMethod::Log2, 23, 64);
+    let (log2, engine, _) = crash_and_recover(RecoveryMethod::Log2, 23, 64);
     let summary = engine.verify_table(DEFAULT_TABLE).unwrap();
     assert_eq!(
         log2.index_pages_loaded, summary.internal_pages,
@@ -184,10 +181,7 @@ fn skew_shrinks_the_dpt() {
     };
     let uniform = run(KeyDist::Uniform);
     let skewed = run(KeyDist::Zipf(0.99));
-    assert!(
-        skewed < uniform,
-        "Zipf DPT ({skewed}) should be smaller than uniform DPT ({uniform})"
-    );
+    assert!(skewed < uniform, "Zipf DPT ({skewed}) should be smaller than uniform DPT ({uniform})");
 }
 
 #[test]
@@ -201,7 +195,7 @@ fn wal_rule_never_violated_under_pressure() {
         dirty_watermark: 1.0,
         ..EngineConfig::default()
     };
-    let mut engine = Engine::build(cfg).unwrap();
+    let engine = Engine::build(cfg).unwrap();
     for round in 0..30u64 {
         let t = engine.begin();
         for i in 0..10u64 {
@@ -238,7 +232,7 @@ fn range_scans_survive_recovery() {
         io_model: IoModel::zero(),
         ..EngineConfig::default()
     };
-    let mut e = Engine::build(cfg).unwrap();
+    let e = Engine::build(cfg).unwrap();
     let t = e.begin();
     for k in 100..200u64 {
         e.update(t, k, format!("range-{k}").into_bytes()).unwrap();
@@ -269,9 +263,11 @@ fn delta_log_volume_is_modest() {
         ..EngineConfig::default()
     };
     let mut shadow = lr_core::ShadowDb::with_initial_rows(&cfg);
-    let mut gen = lr_workload::TxnGenerator::new(
-        lr_workload::WorkloadSpec::paper_default(cfg.initial_rows, 100, 77),
-    );
+    let mut gen = lr_workload::TxnGenerator::new(lr_workload::WorkloadSpec::paper_default(
+        cfg.initial_rows,
+        100,
+        77,
+    ));
     let mut engine = Engine::build(cfg).unwrap();
     let scenario = lr_workload::CrashScenario {
         updates_per_checkpoint: 600,

@@ -15,7 +15,7 @@ fn engine() -> Engine {
         io_model: IoModel::zero(),
         ..EngineConfig::default()
     };
-    let mut e = Engine::build(cfg).unwrap();
+    let e = Engine::build(cfg).unwrap();
     e.create_table(ORDERS).unwrap();
     e.create_table(ITEMS).unwrap();
     e
@@ -23,7 +23,7 @@ fn engine() -> Engine {
 
 #[test]
 fn cross_table_transaction_commits_atomically_across_crash() {
-    let mut e = engine();
+    let e = engine();
     let t = e.begin();
     for i in 0..200u64 {
         e.insert_in(t, ORDERS, i, format!("order-{i}").into_bytes()).unwrap();
@@ -40,7 +40,7 @@ fn cross_table_transaction_commits_atomically_across_crash() {
     e.crash();
 
     for method in [RecoveryMethod::Log1, RecoveryMethod::Sql1, RecoveryMethod::Log2] {
-        let mut forked = e.fork_crashed().unwrap();
+        let forked = e.fork_crashed().unwrap();
         forked.recover(method).unwrap();
         // Committed rows present in every table.
         assert_eq!(forked.read(ORDERS, 100).unwrap().unwrap(), b"order-100");
@@ -58,7 +58,7 @@ fn cross_table_transaction_commits_atomically_across_crash() {
 
 #[test]
 fn per_table_key_spaces_are_independent() {
-    let mut e = engine();
+    let e = engine();
     let t = e.begin();
     e.insert_in(t, ORDERS, 42, b"order".to_vec()).unwrap();
     e.insert_in(t, ITEMS, 42, b"item".to_vec()).unwrap();
@@ -66,10 +66,7 @@ fn per_table_key_spaces_are_independent() {
     assert_eq!(e.read(ORDERS, 42).unwrap().unwrap(), b"order");
     assert_eq!(e.read(ITEMS, 42).unwrap().unwrap(), b"item");
     // Key 42 in the default table is untouched bulk-load data.
-    assert_eq!(
-        e.read(DEFAULT_TABLE, 42).unwrap().unwrap(),
-        e.config().initial_value(42)
-    );
+    assert_eq!(e.read(DEFAULT_TABLE, 42).unwrap().unwrap(), e.config().initial_value(42));
     // Locks are per (table, key): two txns can hold key 7 in different tables.
     let t1 = e.begin();
     let t2 = e.begin();
@@ -83,7 +80,7 @@ fn per_table_key_spaces_are_independent() {
 fn table_growth_smos_recover_per_table() {
     // Grow a secondary table enough to split, crash before flushing, and
     // confirm DC recovery rebuilds its tree (root may have moved).
-    let mut e = engine();
+    let e = engine();
     let t = e.begin();
     for i in 0..2_000u64 {
         e.insert_in(t, ORDERS, i, vec![7u8; 64]).unwrap();
@@ -101,14 +98,11 @@ fn table_growth_smos_recover_per_table() {
 
 #[test]
 fn unknown_table_errors_cleanly() {
-    let mut e = engine();
+    let e = engine();
     let t = e.begin();
     assert!(matches!(
         e.update_in(t, TableId(99), 1, vec![]),
         Err(lr_common::Error::UnknownTable(TableId(99)))
     ));
-    assert!(matches!(
-        e.read(TableId(99), 1),
-        Err(lr_common::Error::UnknownTable(_))
-    ));
+    assert!(matches!(e.read(TableId(99), 1), Err(lr_common::Error::UnknownTable(_))));
 }

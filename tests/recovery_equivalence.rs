@@ -45,7 +45,7 @@ fn crash_and_recover(method: RecoveryMethod, seed: u64) -> Vec<(u64, Vec<u8>)> {
     let report = engine.recover(method).unwrap();
     assert_eq!(report.method, method);
     shadow
-        .verify_against(&mut engine)
+        .verify_against(&engine)
         .unwrap_or_else(|e| panic!("{method} diverged from the committed oracle: {e}"));
     engine.verify_table(DEFAULT_TABLE).expect("B-tree well-formed after recovery");
     engine.scan_table(DEFAULT_TABLE).unwrap()
@@ -67,11 +67,7 @@ fn all_methods_recover_identical_state() {
         RecoveryMethod::Log2DptPrefetch,
     ] {
         let state = crash_and_recover(method, seed);
-        assert_eq!(
-            state.len(),
-            reference.len(),
-            "{method}: row count diverged from Log0"
-        );
+        assert_eq!(state.len(), reference.len(), "{method}: row count diverged from Log0");
         assert_eq!(state, reference, "{method}: contents diverged from Log0");
     }
 }
@@ -102,7 +98,7 @@ fn double_recovery_is_idempotent() {
     engine.recover(RecoveryMethod::Sql1).unwrap();
     let after_second = engine.scan_table(DEFAULT_TABLE).unwrap();
     assert_eq!(after_first, after_second);
-    shadow.verify_against(&mut engine).unwrap();
+    shadow.verify_against(&engine).unwrap();
 }
 
 #[test]
@@ -110,7 +106,7 @@ fn recovery_with_in_flight_losers_rolls_them_back() {
     // Crash with an uncommitted transaction mid-flight; every method's
     // undo pass must erase it.
     let cfg = base_config();
-    let mut engine = Engine::build(cfg.clone()).unwrap();
+    let engine = Engine::build(cfg.clone()).unwrap();
     let committed = engine.begin();
     engine.update(committed, 10, b"committed-win".to_vec()).unwrap();
     engine.commit(committed).unwrap();
@@ -126,10 +122,7 @@ fn recovery_with_in_flight_losers_rolls_them_back() {
     let report = engine.recover(RecoveryMethod::Log1).unwrap();
     assert_eq!(report.breakdown.losers_undone, 1);
     assert_eq!(report.breakdown.undo_ops, 3);
-    assert_eq!(
-        engine.read(DEFAULT_TABLE, 10).unwrap().unwrap(),
-        b"committed-win".to_vec()
-    );
+    assert_eq!(engine.read(DEFAULT_TABLE, 10).unwrap().unwrap(), b"committed-win".to_vec());
     assert_eq!(engine.read(DEFAULT_TABLE, 11).unwrap().unwrap(), cfg.initial_value(11));
     assert_eq!(engine.read(DEFAULT_TABLE, 99_999).unwrap(), None);
 }

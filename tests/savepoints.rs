@@ -16,7 +16,7 @@ fn engine() -> Engine {
 
 #[test]
 fn partial_rollback_undoes_only_the_suffix() {
-    let mut e = engine();
+    let e = engine();
     let t = e.begin();
     e.update(t, 1, b"keep-me".to_vec()).unwrap();
     let sp = e.savepoint(t).unwrap();
@@ -36,7 +36,7 @@ fn partial_rollback_undoes_only_the_suffix() {
 
 #[test]
 fn nested_savepoints_unwind_in_order() {
-    let mut e = engine();
+    let e = engine();
     let t = e.begin();
     e.update(t, 10, b"v1".to_vec()).unwrap();
     let sp1 = e.savepoint(t).unwrap();
@@ -54,7 +54,7 @@ fn nested_savepoints_unwind_in_order() {
 
 #[test]
 fn abort_after_partial_rollback_undoes_everything() {
-    let mut e = engine();
+    let e = engine();
     let orig = e.read(DEFAULT_TABLE, 5).unwrap().unwrap();
     let t = e.begin();
     e.update(t, 5, b"a".to_vec()).unwrap();
@@ -72,7 +72,7 @@ fn abort_after_partial_rollback_undoes_everything() {
 fn crash_after_committed_partial_rollback_replays_clrs() {
     // The partial rollback's CLRs are redo-only: recovery must re-apply
     // them so the committed state reflects the rollback.
-    let mut e = engine();
+    let e = engine();
     let t = e.begin();
     e.update(t, 1, b"keep".to_vec()).unwrap();
     let sp = e.savepoint(t).unwrap();
@@ -81,7 +81,7 @@ fn crash_after_committed_partial_rollback_replays_clrs() {
     e.commit(t).unwrap();
     e.crash();
     for method in [RecoveryMethod::Log1, RecoveryMethod::Sql1] {
-        let mut forked = e.fork_crashed().unwrap();
+        let forked = e.fork_crashed().unwrap();
         forked.recover(method).unwrap();
         assert_eq!(forked.read(DEFAULT_TABLE, 1).unwrap().unwrap(), b"keep", "{method}");
         assert_eq!(
@@ -94,7 +94,7 @@ fn crash_after_committed_partial_rollback_replays_clrs() {
 
 #[test]
 fn crash_mid_transaction_after_partial_rollback_rolls_back_rest() {
-    let mut e = engine();
+    let e = engine();
     let t = e.begin();
     e.update(t, 1, b"x1".to_vec()).unwrap();
     let sp = e.savepoint(t).unwrap();
@@ -117,7 +117,7 @@ fn crash_mid_transaction_after_partial_rollback_rolls_back_rest() {
 
 #[test]
 fn savepoint_on_inactive_txn_errors() {
-    let mut e = engine();
+    let e = engine();
     let t = e.begin();
     e.commit(t).unwrap();
     assert!(matches!(e.savepoint(t), Err(lr_common::Error::TxnNotActive(_))));

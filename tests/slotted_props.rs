@@ -16,10 +16,16 @@ enum PageOp {
 fn page_ops() -> impl Strategy<Value = Vec<PageOp>> {
     prop::collection::vec(
         prop_oneof![
-            (any::<usize>(), 1usize..60, any::<u8>())
-                .prop_map(|(at, len, byte)| PageOp::Insert { at, len, byte }),
-            (any::<usize>(), 1usize..60, any::<u8>())
-                .prop_map(|(at, len, byte)| PageOp::Update { at, len, byte }),
+            (any::<usize>(), 1usize..60, any::<u8>()).prop_map(|(at, len, byte)| PageOp::Insert {
+                at,
+                len,
+                byte
+            }),
+            (any::<usize>(), 1usize..60, any::<u8>()).prop_map(|(at, len, byte)| PageOp::Update {
+                at,
+                len,
+                byte
+            }),
             any::<usize>().prop_map(|at| PageOp::Remove { at }),
         ],
         1..200,

@@ -27,15 +27,7 @@ fn arb_payload() -> impl Strategy<Value = LogPayload> {
         txn.clone().prop_map(|txn| LogPayload::TxnAbort { txn }),
         (txn.clone(), table, any::<u64>(), any::<u64>(), arb_lsn(), arb_bytes(), arb_bytes())
             .prop_map(|(txn, table, key, pid, prev_lsn, before, after)| {
-                LogPayload::Update {
-                    txn,
-                    table,
-                    key,
-                    pid: PageId(pid),
-                    prev_lsn,
-                    before,
-                    after,
-                }
+                LogPayload::Update { txn, table, key, pid: PageId(pid), prev_lsn, before, after }
             }),
         (txn.clone(), arb_bytes(), arb_lsn()).prop_map(|(txn, v, undo_next)| LogPayload::Clr {
             txn,
@@ -60,11 +52,9 @@ fn arb_payload() -> impl Strategy<Value = LogPayload> {
         (arb_pids(), arb_lsn())
             .prop_map(|(written_set, fw_lsn)| LogPayload::Bw { written_set, fw_lsn }),
         Just(LogPayload::BeginCheckpoint),
-        (arb_lsn(), prop::collection::vec(((1u64..50).prop_map(TxnId), arb_lsn()), 0..5))
-            .prop_map(|(bckpt_lsn, active_txns)| LogPayload::EndCheckpoint {
-                bckpt_lsn,
-                active_txns
-            }),
+        (arb_lsn(), prop::collection::vec(((1u64..50).prop_map(TxnId), arb_lsn()), 0..5)).prop_map(
+            |(bckpt_lsn, active_txns)| LogPayload::EndCheckpoint { bckpt_lsn, active_txns }
+        ),
         prop::collection::vec(((0u64..1000).prop_map(PageId), arb_lsn()), 0..10)
             .prop_map(|dpt| LogPayload::AriesCheckpoint { dpt }),
         arb_lsn().prop_map(|rssp_lsn| LogPayload::Rssp { rssp_lsn }),
