@@ -211,13 +211,13 @@ fn bench_recovery_end_to_end(c: &mut Criterion) {
                         ..EngineConfig::default()
                     };
                     let engine = Engine::build(cfg).unwrap();
-                    let t = engine.begin();
+                    let t = engine.begin().unwrap();
                     for i in 0..500u64 {
                         engine.update(t, (i * 37) % 8_000, vec![i as u8; 100]).unwrap();
                     }
                     engine.commit(t).unwrap();
                     engine.checkpoint().unwrap();
-                    let t = engine.begin();
+                    let t = engine.begin().unwrap();
                     for i in 0..500u64 {
                         engine.update(t, (i * 53) % 8_000, vec![i as u8; 100]).unwrap();
                     }

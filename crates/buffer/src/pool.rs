@@ -6,7 +6,11 @@
 //! *different* pages never serialize on a pool-wide lock. The disk sits
 //! behind its own mutex (device access is short and simulated); counters
 //! are atomics. Lock order everywhere: shard → frame latch → device/WAL —
-//! no path acquires a shard lock while holding a frame latch or the log.
+//! no path acquires a shard lock while holding a *published* frame's
+//! latch or the log. (The miss paths in `cell` and `install_page` hold
+//! the write latch of a not-yet-published placeholder across the shard
+//! lock; that latch is unreachable by any other thread until the insert,
+//! so it cannot participate in a cycle.)
 
 use crate::events::CacheEvent;
 use lr_common::{Error, Histogram, Lsn, PageId, Result};
@@ -268,6 +272,39 @@ impl BufferPool {
         cell.last_used.store(t, Ordering::Relaxed);
     }
 
+    /// Claim one frame slot against capacity, evicting until one is free.
+    fn reserve_slot(&self) -> Result<()> {
+        loop {
+            let cur = self.len.load(Ordering::Acquire);
+            if cur >= self.capacity {
+                self.evict_one()?;
+                continue;
+            }
+            if self.len.compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire).is_ok()
+            {
+                return Ok(());
+            }
+        }
+    }
+
+    /// A fresh, unpublished frame cell for `pid` (caller owns the slot from
+    /// [`Self::reserve_slot`] and publishes the cell into the shard map).
+    fn new_placeholder(&self, pid: PageId) -> Arc<FrameCell> {
+        let cell = Arc::new(FrameCell {
+            latch: RwLock::new(Frame {
+                page: Page::new(self.page_size, pid, PageType::Free),
+                dirty: false,
+                dirty_gen: 0,
+                first_dirty_lsn: Lsn::NULL,
+                evicted: false,
+            }),
+            pins: AtomicU32::new(0),
+            last_used: AtomicU64::new(0),
+        });
+        self.touch(&cell);
+        cell
+    }
+
     /// Get the cached frame for `pid`, loading it from the device on a
     /// miss. The returned cell may have been concurrently evicted; callers
     /// that latch it must check `Frame::evicted` and retry.
@@ -287,34 +324,13 @@ impl BufferPool {
         }
         // ---- miss: reserve a frame slot atomically (the pool never
         // exceeds its configured capacity, even under concurrent misses) ----
-        loop {
-            let cur = self.len.load(Ordering::Acquire);
-            if cur >= self.capacity {
-                self.evict_one()?;
-                continue;
-            }
-            if self.len.compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire).is_ok()
-            {
-                break;
-            }
-        }
+        self.reserve_slot()?;
         // ---- publish a loading placeholder, then read outside the shard
         // lock. Holding the frame's *write latch* across the device read is
         // what makes the stale-image race impossible (a concurrent
         // load→write→flush→evict cycle cannot touch this frame), while
         // hits on other pages of the shard proceed immediately.
-        let cell = Arc::new(FrameCell {
-            latch: RwLock::new(Frame {
-                page: Page::new(self.page_size, pid, PageType::Free),
-                dirty: false,
-                dirty_gen: 0,
-                first_dirty_lsn: Lsn::NULL,
-                evicted: false,
-            }),
-            pins: AtomicU32::new(0),
-            last_used: AtomicU64::new(0),
-        });
-        self.touch(&cell);
+        let cell = self.new_placeholder(pid);
         // Latching an unpublished cell cannot contend or deadlock; it only
         // becomes reachable at the insert below, and the evictor uses
         // try_write (it skips loading frames).
@@ -454,20 +470,46 @@ impl BufferPool {
     }
 
     /// Replace a page's entire image (SMO application) under `lsn`.
+    ///
+    /// On a miss this does **not** read the device: the caller's image
+    /// replaces whatever the disk holds wholesale, so a frame is reserved
+    /// and the image published directly — no modeled device read, no
+    /// miss/stall accounting. SMO installs of freshly allocated pages and
+    /// recovery-time installs would otherwise pay a spurious IO each.
     pub fn install_page(&self, pid: PageId, mut page: Page, lsn: Lsn) -> Result<()> {
-        // Ensure a frame exists (reading whatever stale image the disk has
-        // is fine — it is replaced wholesale below).
+        if !lsn.is_null() {
+            page.set_plsn(lsn);
+        }
         loop {
-            let (cell, _) = self.cell(pid)?;
-            let mut guard = cell.latch.write();
-            if guard.evicted {
-                continue;
+            // Cached: overwrite in place under the frame's write latch.
+            let hit = self.shard(pid).lock().get(&pid).cloned();
+            if let Some(cell) = hit {
+                let mut guard = cell.latch.write();
+                if guard.evicted {
+                    continue;
+                }
+                self.touch(&cell);
+                self.mark_dirty_locked(&mut guard, pid, lsn);
+                guard.page = page;
+                return Ok(());
             }
-            self.mark_dirty_locked(&mut guard, pid, lsn);
-            if !lsn.is_null() {
-                page.set_plsn(lsn);
+            // Miss: reserve a slot and publish the provided image directly.
+            self.reserve_slot()?;
+            let cell = self.new_placeholder(pid);
+            let mut frame = cell.latch.write();
+            {
+                let mut shard = self.shard(pid).lock();
+                if shard.contains_key(&pid) {
+                    // A concurrent loader published first; give the slot
+                    // back and overwrite its frame via the hit path.
+                    drop(frame);
+                    self.len.fetch_sub(1, Ordering::AcqRel);
+                    continue;
+                }
+                shard.insert(pid, cell.clone());
             }
-            guard.page = page;
+            self.mark_dirty_locked(&mut frame, pid, lsn);
+            frame.page = page;
             return Ok(());
         }
     }
@@ -576,7 +618,8 @@ impl BufferPool {
 
     /// Flush one dirty page to stable storage, enforcing the WAL rule.
     /// Emits [`CacheEvent::Flushed`]; the frame becomes clean but stays
-    /// cached.
+    /// cached. Flushing a page that is not cached at all is an invariant
+    /// violation — use this for pages the caller *knows* are resident.
     pub fn flush_page(&self, pid: PageId) -> Result<()> {
         let cell = self
             .shard(pid)
@@ -584,6 +627,21 @@ impl BufferPool {
             .get(&pid)
             .cloned()
             .ok_or_else(|| Error::RecoveryInvariant(format!("flush of uncached page {pid}")))?;
+        self.flush_cell(&cell, pid)
+    }
+
+    /// Sweep-tolerant flush: the checkpoint/cleaner sweeps snapshot dirty
+    /// PIDs first and flush second, so a concurrent cache-miss eviction may
+    /// remove a victim in between. An evicted dirty page was flushed on the
+    /// way out — a missing entry is success, not an error.
+    fn flush_if_cached(&self, pid: PageId) -> Result<()> {
+        let Some(cell) = self.shard(pid).lock().get(&pid).cloned() else {
+            return Ok(());
+        };
+        self.flush_cell(&cell, pid)
+    }
+
+    fn flush_cell(&self, cell: &FrameCell, pid: PageId) -> Result<()> {
         let mut frame = cell.latch.write();
         if frame.evicted {
             // Evicted concurrently — it was flushed (if dirty) on the way out.
@@ -624,7 +682,7 @@ impl BufferPool {
         let gen = self.ckpt_gen.load(Ordering::Acquire);
         let victims = self.dirty_matching(|f| f.dirty_gen < gen);
         for pid in &victims {
-            self.flush_page(*pid)?;
+            self.flush_if_cached(*pid)?;
         }
         Ok(victims.len())
     }
@@ -653,7 +711,7 @@ impl BufferPool {
         victims.sort_unstable();
         victims.truncate(max);
         for (_, pid) in &victims {
-            self.flush_page(*pid)?;
+            self.flush_if_cached(*pid)?;
         }
         Ok(victims.len())
     }
@@ -662,7 +720,7 @@ impl BufferPool {
     pub fn flush_all(&self) -> Result<usize> {
         let victims = self.dirty_matching(|_| true);
         for pid in &victims {
-            self.flush_page(*pid)?;
+            self.flush_if_cached(*pid)?;
         }
         Ok(victims.len())
     }

@@ -20,7 +20,7 @@ use lr_dc::{DataComponent, DcConfig, WriteIntent};
 use lr_storage::SimDisk;
 use lr_tc::{undo::rollback_txn, TransactionComponent, UndoStats};
 use lr_wal::{SharedWal, Wal};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -64,8 +64,33 @@ pub struct Engine {
     /// Serializes the control-plane transitions (checkpoint, crash,
     /// recover) against each other; the data plane never takes it.
     pub(crate) lifecycle: Mutex<()>,
+    /// Shared-mode latch held by every data operation for its duration;
+    /// [`Engine::crash`] takes it exclusively. Log-appending operations
+    /// also check the crashed flag under it — that is what makes
+    /// post-crash appends *impossible* rather than discouraged: a session
+    /// either finishes its appends before the log is truncated, or
+    /// observes the flag and errors out. Read-only operations take the
+    /// shared latch without the flag check (reading a crashed engine
+    /// stays legal), so crash's pool teardown can never interleave with a
+    /// half-installed frame or flush a page after the snapshot instant.
+    pub(crate) data_plane: RwLock<()>,
     /// Snapshot captured by the most recent crash (None before any crash).
     pub(crate) last_crash: Mutex<Option<CrashSnapshot>>,
+}
+
+/// The DC tuning derived from an engine config — one mapping shared by
+/// build, reopen, and fork, so every engine over the same config gets the
+/// same knobs (the side-by-side recovery comparisons depend on it).
+fn dc_config(cfg: &EngineConfig) -> DcConfig {
+    DcConfig {
+        pool_pages: cfg.pool_pages,
+        dirty_batch_cap: cfg.dirty_batch_cap,
+        flush_batch_cap: cfg.flush_batch_cap,
+        perfect_delta_lsns: cfg.perfect_delta_lsns,
+        dirty_watermark: cfg.dirty_watermark,
+        merge_min_fill: cfg.merge_min_fill,
+        ..DcConfig::default()
+    }
 }
 
 impl Engine {
@@ -100,15 +125,7 @@ impl Engine {
 
         let wal = Wal::new_shared(cfg.log_page_size);
         wal.set_force_latency_us(cfg.commit_force_us);
-        let dcfg = DcConfig {
-            pool_pages: cfg.pool_pages,
-            dirty_batch_cap: cfg.dirty_batch_cap,
-            flush_batch_cap: cfg.flush_batch_cap,
-            perfect_delta_lsns: cfg.perfect_delta_lsns,
-            dirty_watermark: cfg.dirty_watermark,
-            merge_min_fill: cfg.merge_min_fill,
-            ..DcConfig::default()
-        };
+        let dcfg = dc_config(&cfg);
         let dc = DataComponent::open(disk, wal.clone(), dcfg)?;
         dc.register_table(DEFAULT_TABLE, root)?;
         let tc = TransactionComponent::new(wal.clone());
@@ -122,6 +139,7 @@ impl Engine {
             checkpoints_taken: AtomicU64::new(0),
             last_bckpt: AtomicU64::new(Lsn::NULL.0),
             lifecycle: Mutex::new(()),
+            data_plane: RwLock::new(()),
             last_crash: Mutex::new(None),
         })
     }
@@ -137,15 +155,7 @@ impl Engine {
         let clock = SimClock::new();
         let wal: SharedWal = SharedWal::new(wal);
         wal.set_force_latency_us(cfg.commit_force_us);
-        let dcfg = DcConfig {
-            pool_pages: cfg.pool_pages,
-            dirty_batch_cap: cfg.dirty_batch_cap,
-            flush_batch_cap: cfg.flush_batch_cap,
-            perfect_delta_lsns: cfg.perfect_delta_lsns,
-            dirty_watermark: cfg.dirty_watermark,
-            merge_min_fill: cfg.merge_min_fill,
-            ..DcConfig::default()
-        };
+        let dcfg = dc_config(&cfg);
         let dc = DataComponent::open(disk, wal.clone(), dcfg)?;
         let tc = TransactionComponent::new(wal.clone());
         Ok(Engine {
@@ -158,6 +168,7 @@ impl Engine {
             checkpoints_taken: AtomicU64::new(0),
             last_bckpt: AtomicU64::new(Lsn::NULL.0),
             lifecycle: Mutex::new(()),
+            data_plane: RwLock::new(()),
             last_crash: Mutex::new(None),
         })
     }
@@ -182,19 +193,31 @@ impl Engine {
         }
     }
 
+    /// Enter the data plane: take the shared lifecycle latch, then check
+    /// the crashed flag *under it*. While the returned guard is alive no
+    /// crash can truncate the log, so every record this operation appends
+    /// lands before the post-crash log is fixed.
+    fn enter_data_plane(&self) -> Result<RwLockReadGuard<'_, ()>> {
+        let guard = self.data_plane.read();
+        self.check_up()?;
+        Ok(guard)
+    }
+
     // ------------------------------------------------------------------
     // transactions
     // ------------------------------------------------------------------
 
-    /// Begin a transaction.
-    pub fn begin(&self) -> TxnId {
-        debug_assert!(!self.is_crashed());
-        self.tc.begin()
+    /// Begin a transaction. Fails if the engine is crashed (checked under
+    /// the data-plane latch, so a begin racing [`Engine::crash`] can never
+    /// append `TxnBegin` to the post-crash log).
+    pub fn begin(&self) -> Result<TxnId> {
+        let _dp = self.enter_data_plane()?;
+        Ok(self.tc.begin())
     }
 
     /// Update `key` in `table` to `value`.
     pub fn update_in(&self, txn: TxnId, table: TableId, key: Key, value: Value) -> Result<()> {
-        self.check_up()?;
+        let _dp = self.enter_data_plane()?;
         self.tc.lock(txn, table, key)?;
         let mut prep =
             self.dc.prepare_op(table, key, WriteIntent::Update { value_len: value.len() })?;
@@ -211,7 +234,7 @@ impl Engine {
 
     /// Insert `key -> value` into `table`.
     pub fn insert_in(&self, txn: TxnId, table: TableId, key: Key, value: Value) -> Result<()> {
-        self.check_up()?;
+        let _dp = self.enter_data_plane()?;
         self.tc.lock(txn, table, key)?;
         let prep =
             self.dc.prepare_op(table, key, WriteIntent::Insert { value_len: value.len() })?;
@@ -225,7 +248,7 @@ impl Engine {
 
     /// Delete `key` from `table`.
     pub fn delete_in(&self, txn: TxnId, table: TableId, key: Key) -> Result<()> {
-        self.check_up()?;
+        let _dp = self.enter_data_plane()?;
         self.tc.lock(txn, table, key)?;
         let mut prep = self.dc.prepare_op(table, key, WriteIntent::Delete)?;
         let before = prep.before.take().expect("delete prepare returns a before-image");
@@ -238,7 +261,10 @@ impl Engine {
     }
 
     /// Read a key (no transaction needed — single-version storage).
+    /// Reads work on a crashed engine (the oracle checks depend on it),
+    /// so only the shared latch is taken, not the crashed check.
     pub fn read(&self, table: TableId, key: Key) -> Result<Option<Value>> {
+        let _dp = self.data_plane.read();
         self.dc.read(table, key)
     }
 
@@ -247,7 +273,7 @@ impl Engine {
     /// transfer reads both balances under locks before updating them).
     /// No-wait: conflicts surface as [`Error::LockConflict`].
     pub fn read_for_update(&self, txn: TxnId, table: TableId, key: Key) -> Result<Option<Value>> {
-        self.check_up()?;
+        let _dp = self.enter_data_plane()?;
         self.tc.lock(txn, table, key)?;
         self.dc.read(table, key)
     }
@@ -259,12 +285,13 @@ impl Engine {
     /// frame latches make each page access atomic); the Deuteronomy
     /// companion work on key-range locking is out of scope here.
     pub fn scan_range(&self, table: TableId, from: Key, to: Key) -> Result<Vec<(Key, Value)>> {
+        let _dp = self.data_plane.read();
         self.dc.read_range(table, from, to)
     }
 
     /// Commit: forces the log (group commit) and delivers EOSL to the DC.
     pub fn commit(&self, txn: TxnId) -> Result<()> {
-        self.check_up()?;
+        let _dp = self.enter_data_plane()?;
         let stable = self.tc.commit(txn)?;
         self.dc.eosl(stable);
         Ok(())
@@ -272,7 +299,7 @@ impl Engine {
 
     /// Abort: logical rollback via CLRs, then `TxnAbort`.
     pub fn abort(&self, txn: TxnId) -> Result<UndoStats> {
-        self.check_up()?;
+        let _dp = self.enter_data_plane()?;
         let head = self.tc.last_lsn_of(txn)?;
         let mut stats = UndoStats::default();
         rollback_txn(&self.tc, &self.dc, txn, head, &mut stats)?;
@@ -281,14 +308,14 @@ impl Engine {
 
     /// Establish a savepoint inside `txn`.
     pub fn savepoint(&self, txn: TxnId) -> Result<Lsn> {
-        self.check_up()?;
+        let _dp = self.enter_data_plane()?;
         self.tc.savepoint(txn)
     }
 
     /// Partial rollback: undo `txn`'s operations newer than `sp` (from
     /// [`Engine::savepoint`]); the transaction stays active.
     pub fn rollback_to(&self, txn: TxnId, sp: Lsn) -> Result<UndoStats> {
-        self.check_up()?;
+        let _dp = self.enter_data_plane()?;
         let mut stats = UndoStats::default();
         lr_tc::rollback_to_savepoint(&self.tc, &self.dc, txn, sp, &mut stats)?;
         Ok(stats)
@@ -296,7 +323,7 @@ impl Engine {
 
     /// Create an additional (empty) table.
     pub fn create_table(&self, table: TableId) -> Result<()> {
-        self.check_up()?;
+        let _dp = self.enter_data_plane()?;
         self.dc.create_table(table)
     }
 
@@ -340,10 +367,16 @@ impl Engine {
     /// — cache, lock table, transaction table, open Δ/BW intervals — is
     /// lost. Returns the ground-truth snapshot for oracles and Figure 2(b).
     ///
-    /// Sessions racing this call observe the crashed flag on their next
-    /// operation; quiesce sessions first when the snapshot must be exact.
+    /// Sessions racing this call block until their in-flight operation
+    /// finishes (the exclusive data-plane latch below), then fail their
+    /// next operation on the crashed flag — no session can append to the
+    /// log after it is truncated here.
     pub fn crash(&self) -> CrashSnapshot {
         let _lc = self.lifecycle.lock();
+        // Drain the data plane: in-flight operations complete their
+        // appends before the snapshot + truncation; new ones are held out
+        // until the crashed flag is visible.
+        let _dp = self.data_plane.write();
         // Pool first, log second — never hold the log latch while walking
         // frames: a concurrent flush holds a frame latch and locks the log
         // through the EOSL provider, so the reverse order would deadlock.
@@ -409,15 +442,7 @@ impl Engine {
             .ok_or_else(|| Error::RecoveryInvariant("disk does not support forking".into()))?;
         let wal: SharedWal = SharedWal::new(self.wal.lock().fork_data());
         wal.set_force_latency_us(self.cfg.commit_force_us);
-        let dcfg = lr_dc::DcConfig {
-            pool_pages: self.cfg.pool_pages,
-            dirty_batch_cap: self.cfg.dirty_batch_cap,
-            flush_batch_cap: self.cfg.flush_batch_cap,
-            perfect_delta_lsns: self.cfg.perfect_delta_lsns,
-            dirty_watermark: self.cfg.dirty_watermark,
-            merge_min_fill: self.cfg.merge_min_fill,
-            ..lr_dc::DcConfig::default()
-        };
+        let dcfg = dc_config(&self.cfg);
         let dc = DataComponent::open(disk, wal.clone(), dcfg)?;
         let tc = TransactionComponent::new(wal.clone());
         Ok(Engine {
@@ -430,6 +455,7 @@ impl Engine {
             checkpoints_taken: AtomicU64::new(self.checkpoints_taken()),
             last_bckpt: AtomicU64::new(self.last_bckpt.load(Ordering::Acquire)),
             lifecycle: Mutex::new(()),
+            data_plane: RwLock::new(()),
             last_crash: Mutex::new(self.last_crash.lock().clone()),
         })
     }
@@ -445,11 +471,13 @@ impl Engine {
 
     /// Full contents of a table (testing / verification).
     pub fn scan_table(&self, table: TableId) -> Result<Vec<(Key, Value)>> {
+        let _dp = self.data_plane.read();
         self.dc.scan_all(table)
     }
 
     /// Verify a table's B-tree structure.
     pub fn verify_table(&self, table: TableId) -> Result<TreeSummary> {
+        let _dp = self.data_plane.read();
         let _t = self.dc.lock_table_shared(table);
         let tree = self.dc.tree(table)?;
         verify_tree(&tree, self.dc.pool())
@@ -515,7 +543,7 @@ mod tests {
     #[test]
     fn txn_update_commit_read() {
         let e = small_engine();
-        let t = e.begin();
+        let t = e.begin().unwrap();
         e.update(t, 7, b"hello".to_vec()).unwrap();
         e.commit(t).unwrap();
         assert_eq!(e.read(DEFAULT_TABLE, 7).unwrap().unwrap(), b"hello");
@@ -525,7 +553,7 @@ mod tests {
     fn abort_rolls_back() {
         let e = small_engine();
         let orig = e.read(DEFAULT_TABLE, 5).unwrap().unwrap();
-        let t = e.begin();
+        let t = e.begin().unwrap();
         e.update(t, 5, b"garbage".to_vec()).unwrap();
         e.insert(t, 5_000, b"new".to_vec()).unwrap();
         let stats = e.abort(t).unwrap();
@@ -537,8 +565,8 @@ mod tests {
     #[test]
     fn lock_conflicts_between_txns() {
         let e = small_engine();
-        let t1 = e.begin();
-        let t2 = e.begin();
+        let t1 = e.begin().unwrap();
+        let t2 = e.begin().unwrap();
         e.update(t1, 3, b"a".to_vec()).unwrap();
         assert!(matches!(e.update(t2, 3, b"b".to_vec()), Err(Error::LockConflict { .. })));
         e.commit(t1).unwrap();
@@ -561,7 +589,7 @@ mod tests {
     #[test]
     fn checkpoint_flushes_old_dirt() {
         let e = small_engine();
-        let t = e.begin();
+        let t = e.begin().unwrap();
         for k in 0..50 {
             e.update(t, k, b"x".repeat(100)).unwrap();
         }
@@ -580,7 +608,7 @@ mod tests {
                 let e = e.clone();
                 s.spawn(move || {
                     for i in 0..25u64 {
-                        let t = e.begin();
+                        let t = e.begin().unwrap();
                         let key = th * 250 + i;
                         e.update(t, key, format!("t{th}-{i}").into_bytes()).unwrap();
                         e.commit(t).unwrap();

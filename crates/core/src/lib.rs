@@ -26,7 +26,7 @@
 //! cfg.pool_pages = 64;
 //! let engine = Engine::build(cfg).unwrap();
 //!
-//! let txn = engine.begin();
+//! let txn = engine.begin().unwrap();
 //! engine.update(txn, 42, b"new-value".to_vec()).unwrap();
 //! engine.commit(txn).unwrap();
 //!

@@ -220,6 +220,13 @@ impl Engine {
         if !self.is_crashed() {
             return Err(Error::RecoveryInvariant("recover() called while engine is up".into()));
         }
+        // Exclusive data-plane latch for the whole redo/undo body, exactly
+        // like crash(): reads are legal on a crashed engine and take the
+        // latch in shared mode, so without this they could observe a
+        // half-recovered tree (mid-SMO-redo, or between dc.crash() and the
+        // catalog reload). Released before the post-recovery checkpoint,
+        // which runs against live sessions by design.
+        let dp = self.data_plane.write();
         // ---- measurement window ----
         self.clock.reset();
         {
@@ -430,6 +437,7 @@ impl Engine {
         self.crashed.store(false, std::sync::atomic::Ordering::Release);
         // Post-recovery checkpoint: flushes redone state so the Δ/BW stream
         // restarts from a clean slate (untimed; recovery proper has ended).
+        drop(dp);
         drop(_lc);
         self.checkpoint()?;
 
@@ -493,7 +501,7 @@ mod tests {
             ..EngineConfig::default()
         })
         .unwrap();
-        let t = e.begin();
+        let t = e.begin().unwrap();
         e.update(t, 1, b"x".to_vec()).unwrap();
         e.commit(t).unwrap();
         e.crash();
@@ -514,7 +522,7 @@ mod tests {
         })
         .unwrap();
         assert!(e.fork_crashed().is_err(), "live engine cannot fork");
-        let t = e.begin();
+        let t = e.begin().unwrap();
         e.update(t, 5, b"forked".to_vec()).unwrap();
         e.commit(t).unwrap();
         e.crash();

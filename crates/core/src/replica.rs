@@ -101,17 +101,17 @@ mod tests {
             ..EngineConfig::default()
         };
         let primary = Engine::build(cfg).unwrap();
-        let t1 = primary.begin();
+        let t1 = primary.begin().unwrap();
         for k in 0..50 {
             primary.update(t1, k, format!("v{k}").into_bytes()).unwrap();
         }
         primary.commit(t1).unwrap();
-        let t2 = primary.begin();
+        let t2 = primary.begin().unwrap();
         primary.insert(t2, 10_000, b"replicated-insert".to_vec()).unwrap();
         primary.delete(t2, 5).unwrap();
         primary.commit(t2).unwrap();
         // An aborted transaction must NOT reach the replica.
-        let t3 = primary.begin();
+        let t3 = primary.begin().unwrap();
         primary.update(t3, 7, b"must-not-appear".to_vec()).unwrap();
         primary.abort(t3).unwrap();
 

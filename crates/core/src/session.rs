@@ -72,10 +72,7 @@ impl Session {
                 "session already has open transaction {t}"
             )));
         }
-        if self.engine.is_crashed() {
-            return Err(Error::RecoveryInvariant("engine is crashed; recover first".into()));
-        }
-        let txn = self.engine.begin();
+        let txn = self.engine.begin()?;
         self.current = Some(txn);
         Ok(txn)
     }

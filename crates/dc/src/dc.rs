@@ -239,7 +239,20 @@ impl DataComponent {
             catalog.save(&self.pool, Lsn::NULL)?;
         }
         self.pool.flush_page(META_PAGE)?;
-        self.pool.take_events(); // setup noise
+        // Observe — never discard — the drained events: create_table runs
+        // on the live data plane, so this batch can hold *other* sessions'
+        // Dirtied/Flushed events, and dropping those would underestimate
+        // the recovery DPT. The catalog flush's own events ride along as
+        // tracker noise in the safe (overestimating) direction.
+        {
+            let mut delta = self.delta.lock();
+            let mut bw = self.bw.lock();
+            let events = self.pool.take_events();
+            for ev in &events {
+                delta.observe(ev);
+                bw.observe(ev);
+            }
+        }
         self.trees.write().insert(table, BTree::attach(table, root));
         Ok(())
     }
@@ -605,9 +618,15 @@ impl DataComponent {
             let _ = self.pool.clean_coldest(self.cfg.cleaner_batch);
         }
         let (dirty_len, written_len) = {
-            let events = self.pool.take_events();
+            // Tracker latches are taken *before* the event drain (lock order
+            // tracker → events): the trackers are order-sensitive (first
+            // Flushed vs. Dirtied decides first_dirty / fw_lsn), and if two
+            // threads drained first and locked after, the thread holding a
+            // later batch could observe it before an earlier one — marking a
+            // still-dirty page flushed and underestimating the DPT.
             let mut delta = self.delta.lock();
             let mut bw = self.bw.lock();
+            let events = self.pool.take_events();
             for ev in &events {
                 delta.observe(ev);
                 bw.observe(ev);
@@ -627,9 +646,11 @@ impl DataComponent {
     /// Force both trackers to emit (checkpoint boundary).
     pub fn force_emit(&self) {
         {
-            let events = self.pool.take_events();
+            // Same lock order as pump_events: tracker → events, so batch
+            // drain order equals observation order.
             let mut delta = self.delta.lock();
             let mut bw = self.bw.lock();
+            let events = self.pool.take_events();
             for ev in &events {
                 delta.observe(ev);
                 bw.observe(ev);

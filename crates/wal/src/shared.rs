@@ -59,6 +59,23 @@ pub struct SharedWal {
     inner: Arc<WalShared>,
 }
 
+/// Group-commit leadership token. Clears `forcing` and wakes waiters on
+/// drop — including an unwind — so a panicking leader (e.g. a failed
+/// assertion inside the force path) releases leadership instead of leaving
+/// every later `force_covering` caller spinning with no electable leader.
+struct LeaderGuard<'a> {
+    shared: &'a WalShared,
+}
+
+impl Drop for LeaderGuard<'_> {
+    fn drop(&mut self) {
+        let mut g = self.shared.group.lock().unwrap_or_else(|e| e.into_inner());
+        g.forcing = false;
+        drop(g);
+        self.shared.cond.notify_all();
+    }
+}
+
 /// Direct-access guard. Derefs to [`Wal`]; on drop, republishes the stable
 /// hint and wakes force waiters (the guarded section may have changed
 /// stability arbitrarily — truncation, tearing, `make_all_stable`, ...).
@@ -154,6 +171,7 @@ impl SharedWal {
             if !g.forcing {
                 g.forcing = true;
                 drop(g);
+                let _lead = LeaderGuard { shared: &self.inner };
                 let stable = {
                     let mut log = self.inner.log.lock();
                     log.make_all_stable();
@@ -178,10 +196,7 @@ impl SharedWal {
                     s
                 };
                 self.inner.forces.fetch_add(1, Ordering::Relaxed);
-                let mut g = self.inner.group.lock().unwrap_or_else(|e| e.into_inner());
-                g.forcing = false;
-                drop(g);
-                self.inner.cond.notify_all();
+                // `_lead` drops here: forcing is cleared and waiters woken.
                 return published;
             }
             // A leader is in flight; it will stabilize everything appended

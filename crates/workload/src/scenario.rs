@@ -55,7 +55,7 @@ pub struct ScenarioOutcome {
 /// Execute one transaction against engine + shadow. Returns write-op count.
 fn run_txn(engine: &mut Engine, shadow: &mut ShadowDb, gen: &mut TxnGenerator) -> Result<u64> {
     let ops = gen.next_txn();
-    let txn = engine.begin();
+    let txn = engine.begin()?;
     let mut writes = 0;
     for op in ops {
         match op {

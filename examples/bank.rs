@@ -38,7 +38,7 @@ fn main() -> lr_common::Result<()> {
     let engine = Engine::build(cfg)?;
 
     // Open the accounts.
-    let t = engine.begin();
+    let t = engine.begin()?;
     for k in 0..ACCOUNTS {
         engine.insert(t, k, INITIAL.to_le_bytes().to_vec())?;
     }
@@ -57,7 +57,7 @@ fn main() -> lr_common::Result<()> {
         for _ in 0..burst {
             let from = rng.gen_range(0..ACCOUNTS);
             let to = (from + rng.gen_range(1..ACCOUNTS)) % ACCOUNTS;
-            let t = engine.begin();
+            let t = engine.begin()?;
             let fb = bal(&engine.read(DEFAULT_TABLE, from)?.unwrap());
             let tb = bal(&engine.read(DEFAULT_TABLE, to)?.unwrap());
             let amount = rng.gen_range(0..=fb.min(500));
@@ -73,7 +73,7 @@ fn main() -> lr_common::Result<()> {
         // Crash — half the time with a transfer torn mid-flight.
         if rng.gen_bool(0.5) {
             let from = rng.gen_range(0..ACCOUNTS);
-            let t = engine.begin();
+            let t = engine.begin()?;
             let fb = bal(&engine.read(DEFAULT_TABLE, from)?.unwrap());
             engine.update(t, from, fb.saturating_sub(123).to_le_bytes().to_vec())?;
             // ... and the matching credit never happens.

@@ -38,7 +38,7 @@ fn main() -> lr_common::Result<()> {
         let txns = rng.gen_range(10..60);
         let mut aborted = 0u32;
         for _ in 0..txns {
-            let txn = engine.begin();
+            let txn = engine.begin()?;
             for op in gen.next_txn() {
                 match op {
                     Op::Update { key, value } => {
@@ -75,7 +75,7 @@ fn main() -> lr_common::Result<()> {
         // Sometimes crash with a loser mid-flight.
         let mut loser_note = "";
         if rng.gen_bool(0.5) {
-            let t = engine.begin();
+            let t = engine.begin()?;
             engine.update(t, rng.gen_range(0..4_000), b"in-flight".to_vec())?;
             loser_note = " +loser";
         }

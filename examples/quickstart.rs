@@ -13,7 +13,7 @@ fn main() -> lr_common::Result<()> {
     println!("loaded {} rows into the default table", 10_000);
 
     // A committed transaction: its effects must survive the crash.
-    let t1 = engine.begin();
+    let t1 = engine.begin()?;
     engine.update(t1, 42, b"the answer".to_vec())?;
     engine.insert(t1, 1_000_000, b"brand new row".to_vec())?;
     engine.delete(t1, 7)?;
@@ -24,7 +24,7 @@ fn main() -> lr_common::Result<()> {
     println!("checkpoint taken (bCkpt -> RSSP at the DC -> eCkpt)");
 
     // An uncommitted transaction: recovery must roll it back.
-    let t2 = engine.begin();
+    let t2 = engine.begin()?;
     engine.update(t2, 42, b"must vanish".to_vec())?;
     println!("t2 in flight (uncommitted update of key 42)");
 

@@ -28,7 +28,7 @@ fn main() -> lr_common::Result<()> {
     let initial_rows = cfg.initial_rows;
     let primary = Engine::build(cfg.clone())?;
 
-    let t = primary.begin();
+    let t = primary.begin()?;
     for k in (0..5_000).step_by(7) {
         primary.update(t, k, format!("replicated-{k}").into_bytes())?;
     }
@@ -36,7 +36,7 @@ fn main() -> lr_common::Result<()> {
     primary.commit(t)?;
 
     // An aborted transaction — must never reach the replica.
-    let loser = primary.begin();
+    let loser = primary.begin()?;
     primary.update(loser, 0, b"aborted-garbage".to_vec())?;
     primary.abort(loser)?;
     println!("primary: committed 1 txn ({} updates + 1 insert), aborted 1", 5_000 / 7 + 1);

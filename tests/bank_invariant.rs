@@ -41,7 +41,7 @@ fn bank_engine() -> Engine {
         ..EngineConfig::default()
     };
     let e = Engine::build(cfg).unwrap();
-    let t = e.begin();
+    let t = e.begin().unwrap();
     for k in 0..ACCOUNTS {
         e.insert(t, k, balance_value(INITIAL_BALANCE)).unwrap();
     }
@@ -54,7 +54,7 @@ fn bank_engine() -> Engine {
 fn transfer(e: &mut Engine, rng: &mut StdRng) -> u64 {
     let from = rng.gen_range(0..ACCOUNTS);
     let to = (from + rng.gen_range(1..ACCOUNTS)) % ACCOUNTS;
-    let t = e.begin();
+    let t = e.begin().unwrap();
     let from_bal = read_balance(e, from);
     let amount = rng.gen_range(0..=from_bal.min(100));
     let to_bal = read_balance(e, to);
@@ -81,7 +81,7 @@ fn money_is_conserved_across_crashes() {
         // credit not, no commit) — the dangerous state.
         if rng.gen_bool(0.6) {
             let from = rng.gen_range(0..ACCOUNTS);
-            let t = e.begin();
+            let t = e.begin().unwrap();
             let bal = read_balance(&mut e, from);
             e.update(t, from, balance_value(bal.saturating_sub(50))).unwrap();
             // no credit, no commit

@@ -19,12 +19,12 @@ fn engine(merge: f64) -> Engine {
 
 /// Insert `n` rows then delete all but every `keep_mod`-th.
 fn grow_then_shrink(e: &mut Engine, n: u64, keep_mod: u64) {
-    let t = e.begin();
+    let t = e.begin().unwrap();
     for k in 0..n {
         e.insert(t, k, vec![k as u8; 64]).unwrap();
     }
     e.commit(t).unwrap();
-    let t = e.begin();
+    let t = e.begin().unwrap();
     for k in 0..n {
         if k % keep_mod != 0 {
             e.delete(t, k).unwrap();
@@ -114,7 +114,7 @@ fn merge_then_more_work_then_crash() {
     let mut e = engine(0.3);
     grow_then_shrink(&mut e, 2_000, 5);
     e.checkpoint().unwrap();
-    let t = e.begin();
+    let t = e.begin().unwrap();
     for k in 10_000..10_300u64 {
         e.insert(t, k, vec![1u8; 64]).unwrap();
     }

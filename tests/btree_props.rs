@@ -153,7 +153,7 @@ proptest! {
         };
         let engine = Engine::build(cfg).unwrap();
         let mut expected: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
-        let txn = engine.begin();
+        let txn = engine.begin().unwrap();
         for (i, k) in keys.iter().enumerate() {
             let value = format!("{seed}-{i}-{k}").into_bytes();
             engine.update(txn, *k, value.clone()).unwrap();

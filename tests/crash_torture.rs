@@ -18,7 +18,7 @@ fn drive_ops(
     rng: &mut StdRng,
 ) {
     for _ in 0..txns {
-        let txn = engine.begin();
+        let txn = engine.begin().unwrap();
         for op in gen.next_txn() {
             match op {
                 Op::Update { key, value } => {
@@ -93,7 +93,7 @@ fn torture_cycles_survive_every_method() {
 
         let leave_loser = rng.gen_bool(0.5);
         let loser = if leave_loser {
-            let t = engine.begin();
+            let t = engine.begin().unwrap();
             let key = rng.gen_range(0..1_500);
             engine.update(t, key, b"in-flight-at-crash".to_vec()).unwrap();
             Some(t)
@@ -158,7 +158,7 @@ fn crash_before_any_checkpoint() {
         ..EngineConfig::default()
     };
     let engine = Engine::build(cfg.clone()).unwrap();
-    let t = engine.begin();
+    let t = engine.begin().unwrap();
     engine.update(t, 3, b"pre-checkpoint-update".to_vec()).unwrap();
     engine.commit(t).unwrap();
     engine.crash();
@@ -179,12 +179,12 @@ fn torn_log_tail_demotes_unsynced_commits_to_losers() {
     };
     let engine = Engine::build(cfg.clone()).unwrap();
 
-    let a = engine.begin();
+    let a = engine.begin().unwrap();
     engine.update(a, 1, b"from-A".to_vec()).unwrap();
     engine.commit(a).unwrap();
     let end_after_a = engine.wal().lock().byte_len();
 
-    let b = engine.begin();
+    let b = engine.begin().unwrap();
     engine.update(b, 1, b"from-B".to_vec()).unwrap();
     engine.update(b, 2, b"also-B".to_vec()).unwrap();
     engine.commit(b).unwrap();
@@ -206,7 +206,7 @@ fn torn_tail_mid_record_is_cut_cleanly() {
         ..EngineConfig::default()
     };
     let engine = Engine::build(cfg).unwrap();
-    let t = engine.begin();
+    let t = engine.begin().unwrap();
     for k in 0..20 {
         engine.update(t, k, b"x".repeat(100)).unwrap();
     }

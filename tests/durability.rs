@@ -127,17 +127,17 @@ fn full_process_restart_with_file_disk_and_persisted_log() {
     {
         let disk = FileDisk::create(&db, 1024, 0).unwrap();
         let engine = Engine::build_on_disk(Box::new(disk), cfg.clone()).unwrap();
-        let t = engine.begin();
+        let t = engine.begin().unwrap();
         engine.update(t, 7, b"durable-update".to_vec()).unwrap();
         engine.insert(t, 50_000, b"durable-insert".to_vec()).unwrap();
         engine.commit(t).unwrap();
         engine.checkpoint().unwrap();
         // More work after the checkpoint — on the log, maybe not on disk.
-        let t = engine.begin();
+        let t = engine.begin().unwrap();
         engine.update(t, 8, b"post-ckpt".to_vec()).unwrap();
         engine.commit(t).unwrap();
         // An in-flight transaction that must not survive.
-        let loser = engine.begin();
+        let loser = engine.begin().unwrap();
         engine.update(loser, 7, b"lost".to_vec()).unwrap();
         engine.persist_log(&log).unwrap();
         // Process "exits" here: engine dropped, cache contents gone.
@@ -156,7 +156,7 @@ fn full_process_restart_with_file_disk_and_persisted_log() {
         assert_eq!(engine.read(DEFAULT_TABLE, 50_000).unwrap().unwrap(), b"durable-insert");
         engine.verify_table(DEFAULT_TABLE).unwrap();
         // The reopened engine keeps working.
-        let t = engine.begin();
+        let t = engine.begin().unwrap();
         engine.update(t, 9, b"second-life".to_vec()).unwrap();
         engine.commit(t).unwrap();
         assert_eq!(engine.read(DEFAULT_TABLE, 9).unwrap().unwrap(), b"second-life");

@@ -197,7 +197,7 @@ fn wal_rule_never_violated_under_pressure() {
     };
     let engine = Engine::build(cfg).unwrap();
     for round in 0..30u64 {
-        let t = engine.begin();
+        let t = engine.begin().unwrap();
         for i in 0..10u64 {
             let key = (round * 131 + i * 17) % 4_000;
             engine.update(t, key, vec![round as u8; 100]).unwrap();
@@ -233,7 +233,7 @@ fn range_scans_survive_recovery() {
         ..EngineConfig::default()
     };
     let e = Engine::build(cfg).unwrap();
-    let t = e.begin();
+    let t = e.begin().unwrap();
     for k in 100..200u64 {
         e.update(t, k, format!("range-{k}").into_bytes()).unwrap();
     }

@@ -24,7 +24,7 @@ fn engine() -> Engine {
 #[test]
 fn cross_table_transaction_commits_atomically_across_crash() {
     let e = engine();
-    let t = e.begin();
+    let t = e.begin().unwrap();
     for i in 0..200u64 {
         e.insert_in(t, ORDERS, i, format!("order-{i}").into_bytes()).unwrap();
         e.insert_in(t, ITEMS, i, format!("item-{i}").into_bytes()).unwrap();
@@ -34,7 +34,7 @@ fn cross_table_transaction_commits_atomically_across_crash() {
     e.checkpoint().unwrap();
 
     // Another cross-table txn left in flight at the crash.
-    let loser = e.begin();
+    let loser = e.begin().unwrap();
     e.insert_in(loser, ORDERS, 9_999, b"phantom-order".to_vec()).unwrap();
     e.update_in(loser, ITEMS, 5, b"phantom-item".to_vec()).unwrap();
     e.crash();
@@ -59,7 +59,7 @@ fn cross_table_transaction_commits_atomically_across_crash() {
 #[test]
 fn per_table_key_spaces_are_independent() {
     let e = engine();
-    let t = e.begin();
+    let t = e.begin().unwrap();
     e.insert_in(t, ORDERS, 42, b"order".to_vec()).unwrap();
     e.insert_in(t, ITEMS, 42, b"item".to_vec()).unwrap();
     e.commit(t).unwrap();
@@ -68,8 +68,8 @@ fn per_table_key_spaces_are_independent() {
     // Key 42 in the default table is untouched bulk-load data.
     assert_eq!(e.read(DEFAULT_TABLE, 42).unwrap().unwrap(), e.config().initial_value(42));
     // Locks are per (table, key): two txns can hold key 7 in different tables.
-    let t1 = e.begin();
-    let t2 = e.begin();
+    let t1 = e.begin().unwrap();
+    let t2 = e.begin().unwrap();
     e.insert_in(t1, ORDERS, 7, b"a".to_vec()).unwrap();
     e.insert_in(t2, ITEMS, 7, b"b".to_vec()).unwrap();
     e.commit(t1).unwrap();
@@ -81,7 +81,7 @@ fn table_growth_smos_recover_per_table() {
     // Grow a secondary table enough to split, crash before flushing, and
     // confirm DC recovery rebuilds its tree (root may have moved).
     let e = engine();
-    let t = e.begin();
+    let t = e.begin().unwrap();
     for i in 0..2_000u64 {
         e.insert_in(t, ORDERS, i, vec![7u8; 64]).unwrap();
     }
@@ -99,7 +99,7 @@ fn table_growth_smos_recover_per_table() {
 #[test]
 fn unknown_table_errors_cleanly() {
     let e = engine();
-    let t = e.begin();
+    let t = e.begin().unwrap();
     assert!(matches!(
         e.update_in(t, TableId(99), 1, vec![]),
         Err(lr_common::Error::UnknownTable(TableId(99)))

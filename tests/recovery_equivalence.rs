@@ -107,12 +107,12 @@ fn recovery_with_in_flight_losers_rolls_them_back() {
     // undo pass must erase it.
     let cfg = base_config();
     let engine = Engine::build(cfg.clone()).unwrap();
-    let committed = engine.begin();
+    let committed = engine.begin().unwrap();
     engine.update(committed, 10, b"committed-win".to_vec()).unwrap();
     engine.commit(committed).unwrap();
     engine.checkpoint().unwrap();
 
-    let loser = engine.begin();
+    let loser = engine.begin().unwrap();
     engine.update(loser, 10, b"loser-overwrite".to_vec()).unwrap();
     engine.update(loser, 11, b"loser-touch".to_vec()).unwrap();
     engine.insert(loser, 99_999, b"loser-insert".to_vec()).unwrap();

@@ -17,7 +17,7 @@ fn engine() -> Engine {
 #[test]
 fn partial_rollback_undoes_only_the_suffix() {
     let e = engine();
-    let t = e.begin();
+    let t = e.begin().unwrap();
     e.update(t, 1, b"keep-me".to_vec()).unwrap();
     let sp = e.savepoint(t).unwrap();
     e.update(t, 2, b"undo-me".to_vec()).unwrap();
@@ -37,7 +37,7 @@ fn partial_rollback_undoes_only_the_suffix() {
 #[test]
 fn nested_savepoints_unwind_in_order() {
     let e = engine();
-    let t = e.begin();
+    let t = e.begin().unwrap();
     e.update(t, 10, b"v1".to_vec()).unwrap();
     let sp1 = e.savepoint(t).unwrap();
     e.update(t, 10, b"v2".to_vec()).unwrap();
@@ -56,7 +56,7 @@ fn nested_savepoints_unwind_in_order() {
 fn abort_after_partial_rollback_undoes_everything() {
     let e = engine();
     let orig = e.read(DEFAULT_TABLE, 5).unwrap().unwrap();
-    let t = e.begin();
+    let t = e.begin().unwrap();
     e.update(t, 5, b"a".to_vec()).unwrap();
     let sp = e.savepoint(t).unwrap();
     e.update(t, 6, b"b".to_vec()).unwrap();
@@ -73,7 +73,7 @@ fn crash_after_committed_partial_rollback_replays_clrs() {
     // The partial rollback's CLRs are redo-only: recovery must re-apply
     // them so the committed state reflects the rollback.
     let e = engine();
-    let t = e.begin();
+    let t = e.begin().unwrap();
     e.update(t, 1, b"keep".to_vec()).unwrap();
     let sp = e.savepoint(t).unwrap();
     e.update(t, 2, b"gone".to_vec()).unwrap();
@@ -95,7 +95,7 @@ fn crash_after_committed_partial_rollback_replays_clrs() {
 #[test]
 fn crash_mid_transaction_after_partial_rollback_rolls_back_rest() {
     let e = engine();
-    let t = e.begin();
+    let t = e.begin().unwrap();
     e.update(t, 1, b"x1".to_vec()).unwrap();
     let sp = e.savepoint(t).unwrap();
     e.update(t, 2, b"x2".to_vec()).unwrap();
@@ -118,7 +118,7 @@ fn crash_mid_transaction_after_partial_rollback_rolls_back_rest() {
 #[test]
 fn savepoint_on_inactive_txn_errors() {
     let e = engine();
-    let t = e.begin();
+    let t = e.begin().unwrap();
     e.commit(t).unwrap();
     assert!(matches!(e.savepoint(t), Err(lr_common::Error::TxnNotActive(_))));
 }
