@@ -46,10 +46,21 @@ fn main() {
     // the scaling this bench demonstrates even on one core. Set 0 to
     // measure pure CPU-path scaling instead (needs multiple cores).
     let force_us = env_u64("LR_FORCE_US", 50);
+    // Pool frames (default sized to hold the keyspace). Set it well below
+    // keyspace/32 for a larger-than-cache run: every eviction then rides
+    // the clock hand instead of a resident-set scan.
+    let pool_pages = env_u64("LR_POOL_PAGES", (key_space / 8).max(1_024)) as usize;
+    // LR_MAINT=1 hands checkpoints + lazywriter sweeps to the background
+    // maintenance service (sessions never pay either inline).
+    let maintenance = env_u64("LR_MAINT", 0) != 0;
 
     println!("Concurrent throughput: §5.2 update workload, {key_space} keys,");
     println!("{txns_total} transactions total per point (10 updates each), no-wait retry,");
-    println!("commit force latency {force_us} µs (LR_FORCE_US; group commit shares it).\n");
+    println!("commit force latency {force_us} µs (LR_FORCE_US; group commit shares it),");
+    println!(
+        "{pool_pages} pool frames (LR_POOL_PAGES), background maintenance {} (LR_MAINT).\n",
+        if maintenance { "on" } else { "off" }
+    );
 
     let mut table = Table::new(&[
         "threads",
@@ -68,9 +79,10 @@ fn main() {
         // thread count.
         let engine = Engine::build(EngineConfig {
             initial_rows: key_space,
-            pool_pages: (key_space as usize / 8).max(1_024),
+            pool_pages,
             io_model: lr_common::IoModel::zero(),
             commit_force_us: force_us,
+            background_maintenance: maintenance,
             ..EngineConfig::default()
         })
         .expect("engine build")
@@ -80,6 +92,14 @@ fn main() {
             ConcurrentScenario::paper_default(threads, txns_total / threads as u64, key_space);
         let report = run_concurrent(&engine, &scenario).expect("concurrent run");
         engine.tc().locks().assert_no_leaks();
+        if maintenance {
+            let s = engine.stats();
+            eprintln!(
+                "  maintenance at {threads} thread(s): {} bg checkpoints, {} cleaner pages, \
+                 dirty {}/{} frames",
+                s.background_checkpoints, s.cleaner_pages_flushed, s.dirty_pages, s.pool_capacity
+            );
+        }
 
         let tps = report.committed_per_sec();
         if threads == 1 {

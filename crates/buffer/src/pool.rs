@@ -5,19 +5,28 @@
 //! latch, so page reads from different sessions share and writes to
 //! *different* pages never serialize on a pool-wide lock. The disk sits
 //! behind its own mutex (device access is short and simulated); counters
-//! are atomics. Lock order everywhere: shard → frame latch → device/WAL —
-//! no path acquires a shard lock while holding a *published* frame's
-//! latch or the log. (The miss paths in `cell` and `install_page` hold
-//! the write latch of a not-yet-published placeholder across the shard
-//! lock; that latch is unreachable by any other thread until the insert,
-//! so it cannot participate in a cycle.)
+//! are atomics. Lock order everywhere: clock → shard → frame latch →
+//! device/WAL — no path acquires a shard lock while holding a *published*
+//! frame's latch or the log, and nothing blocks on a frame latch while
+//! holding the clock (the evictor only ever `try_write`s). (The miss paths
+//! in `cell` and `install_page` hold the write latch of a not-yet-published
+//! placeholder across the shard lock; that latch is unreachable by any
+//! other thread until the insert, so it cannot participate in a cycle.)
+//!
+//! Eviction is a **clock / second-chance** sweep over a fixed ring of
+//! resident-page slots: each frame carries a ref bit set on every hit, the
+//! hand clears bits as it passes, and the first unreferenced, unpinned,
+//! unlatched frame it reaches is the victim. A miss therefore costs
+//! amortized O(1) slot examinations instead of the full resident-page
+//! min-scan the LRU approximation used to do — the property that makes
+//! larger-than-cache workloads viable (ROADMAP: bigger-than-memory).
 
 use crate::events::CacheEvent;
 use lr_common::{Error, Histogram, Lsn, PageId, Result};
 use lr_storage::{Disk, Page, PageType};
 use parking_lot::{Mutex, MutexGuard, RwLock};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Supplies an eLSN at least as large as the requested LSN — the on-demand
@@ -63,6 +72,10 @@ pub struct PoolStats {
     pub index_stall_us: u64,
     pub data_stall_events: u64,
     pub index_stall_events: u64,
+    /// Clock-hand slot examinations across all evictions — divided by
+    /// `evictions` this is the amortized per-miss sweep cost, which must
+    /// stay O(1) regardless of pool size (the whole point of the clock).
+    pub clock_examinations: u64,
 }
 
 #[derive(Default)]
@@ -79,6 +92,7 @@ struct PoolCounters {
     index_stall_us: AtomicU64,
     data_stall_events: AtomicU64,
     index_stall_events: AtomicU64,
+    clock_examinations: AtomicU64,
 }
 
 /// Frame state guarded by the per-frame latch.
@@ -99,9 +113,38 @@ struct FrameCell {
     latch: RwLock<Frame>,
     pins: AtomicU32,
     last_used: AtomicU64,
+    /// Second-chance bit: set on every hit, cleared by the clock hand.
+    /// Fresh loads start unreferenced, so a page must be *re*-used after
+    /// insertion to earn its second chance.
+    ref_bit: AtomicBool,
 }
 
 type Shard = Mutex<HashMap<PageId, Arc<FrameCell>>>;
+
+/// One ring slot: the resident page it currently tracks, or empty.
+type ClockSlot = Option<(PageId, Arc<FrameCell>)>;
+
+/// The eviction policy state: a fixed ring of resident-page slots (one per
+/// frame of capacity), the sweep hand, and the free-slot stack. A frame's
+/// slot index is assigned at reservation and returned on eviction, so the
+/// ring never grows and the hand never chases a moving structure.
+struct ClockState {
+    slots: Box<[ClockSlot]>,
+    free: Vec<usize>,
+    hand: usize,
+}
+
+impl ClockState {
+    fn new(capacity: usize) -> ClockState {
+        ClockState {
+            slots: (0..capacity).map(|_| None).collect::<Vec<_>>().into_boxed_slice(),
+            // Popped from the back: slots hand out in ascending order from
+            // a fresh pool, which keeps single-threaded tests deterministic.
+            free: (0..capacity).rev().collect(),
+            hand: 0,
+        }
+    }
+}
 
 /// Guard-based access to the pool's disk; derefs to `Box<dyn Disk>` so call
 /// sites read exactly like direct access (`pool.disk().page_size()`).
@@ -132,6 +175,7 @@ pub struct BufferPool {
     len: AtomicUsize,
     dirty: AtomicUsize,
     tick: AtomicU64,
+    clock: Mutex<ClockState>,
     ckpt_gen: AtomicU64,
     elsn: AtomicU64,
     eosl: EoslProvider,
@@ -155,6 +199,7 @@ impl BufferPool {
             len: AtomicUsize::new(0),
             dirty: AtomicUsize::new(0),
             tick: AtomicU64::new(0),
+            clock: Mutex::new(ClockState::new(capacity)),
             ckpt_gen: AtomicU64::new(0),
             elsn: AtomicU64::new(Lsn::NULL.0),
             eosl,
@@ -237,6 +282,7 @@ impl BufferPool {
             index_stall_us: s.index_stall_us.load(Ordering::Relaxed),
             data_stall_events: s.data_stall_events.load(Ordering::Relaxed),
             index_stall_events: s.index_stall_events.load(Ordering::Relaxed),
+            clock_examinations: s.clock_examinations.load(Ordering::Relaxed),
         }
     }
 
@@ -255,6 +301,7 @@ impl BufferPool {
             &s.index_stall_us,
             &s.data_stall_events,
             &s.index_stall_events,
+            &s.clock_examinations,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -266,31 +313,77 @@ impl BufferPool {
     // fetch / pin
     // ------------------------------------------------------------------
 
+    /// Hit-path recency: stamp the use tick (the lazywriter's cold-first
+    /// ordering) and grant the frame its second chance.
     #[inline]
     fn touch(&self, cell: &FrameCell) {
         let t = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         cell.last_used.store(t, Ordering::Relaxed);
+        cell.ref_bit.store(true, Ordering::Relaxed);
     }
 
-    /// Claim one frame slot against capacity, evicting until one is free.
-    fn reserve_slot(&self) -> Result<()> {
-        loop {
-            let cur = self.len.load(Ordering::Acquire);
-            if cur >= self.capacity {
-                self.evict_one()?;
-                continue;
+    /// Claim one frame slot, running the clock hand until one is free.
+    /// Returns the slot index; pair with [`Self::register_slot`] once the
+    /// frame is published, or [`Self::release_slot`] on abandonment.
+    ///
+    /// The clock latch covers only free-stack pops and hand sweeps; the
+    /// eviction itself — possibly a dirty flush, i.e. a device write plus
+    /// an EOSL round-trip through the WAL — runs *outside* it, so
+    /// concurrent misses evicting different victims never serialize on
+    /// the policy lock. A successfully evicted victim's slot is handed
+    /// straight to this caller (occupancy is unchanged: one page out, the
+    /// caller's placeholder in).
+    fn reserve_slot(&self) -> Result<usize> {
+        // Bounded victim-slip retries, like the old min-scan's attempt
+        // cap: each pass either returns, errors, or lost a race.
+        for _ in 0..self.capacity.max(8) {
+            let (slot, pid, cell) = {
+                let mut clock = self.clock.lock();
+                if let Some(i) = clock.free.pop() {
+                    self.len.fetch_add(1, Ordering::AcqRel);
+                    return Ok(i);
+                }
+                self.clock_candidate(&mut clock)?
+            };
+            if self.try_evict_entry(pid, &cell)? {
+                let mut clock = self.clock.lock();
+                debug_assert!(
+                    matches!(&clock.slots[slot], Some((p, c)) if *p == pid && Arc::ptr_eq(c, &cell)),
+                    "evicted entry vanished from its slot"
+                );
+                clock.slots[slot] = None;
+                self.stats.evictions.fetch_add(1, Ordering::Relaxed);
+                return Ok(slot);
             }
-            if self.len.compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire).is_ok()
-            {
-                return Ok(());
-            }
+            // Victim slipped (pinned, latched, re-published, or taken by a
+            // peer evictor); sweep on from the advanced hand.
         }
+        Err(Error::PoolExhausted { capacity: self.capacity })
     }
 
-    /// A fresh, unpublished frame cell for `pid` (caller owns the slot from
+    /// Enter a claimed slot into the ring. Called *before* the frame is
+    /// latched or published (the caller must hold no shard or frame lock:
+    /// clock precedes both in the lock order) — until the shard insert
+    /// happens, the hand sees the entry, fails its shard/ptr_eq
+    /// validation, and skips it.
+    fn register_slot(&self, slot: usize, pid: PageId, cell: &Arc<FrameCell>) {
+        let mut clock = self.clock.lock();
+        debug_assert!(clock.slots[slot].is_none(), "slot {slot} double-registered");
+        clock.slots[slot] = Some((pid, cell.clone()));
+    }
+
+    /// Return a claimed slot (lost publication race, failed device read).
+    fn release_slot(&self, slot: usize) {
+        let mut clock = self.clock.lock();
+        clock.slots[slot] = None;
+        clock.free.push(slot);
+        self.len.fetch_sub(1, Ordering::AcqRel);
+    }
+
+    /// A fresh, unpublished frame cell for `pid` (caller owns a slot from
     /// [`Self::reserve_slot`] and publishes the cell into the shard map).
     fn new_placeholder(&self, pid: PageId) -> Arc<FrameCell> {
-        let cell = Arc::new(FrameCell {
+        Arc::new(FrameCell {
             latch: RwLock::new(Frame {
                 page: Page::new(self.page_size, pid, PageType::Free),
                 dirty: false,
@@ -299,10 +392,10 @@ impl BufferPool {
                 evicted: false,
             }),
             pins: AtomicU32::new(0),
-            last_used: AtomicU64::new(0),
-        });
-        self.touch(&cell);
-        cell
+            last_used: AtomicU64::new(self.tick.fetch_add(1, Ordering::Relaxed) + 1),
+            // No second chance until the page is actually re-used.
+            ref_bit: AtomicBool::new(false),
+        })
     }
 
     /// Get the cached frame for `pid`, loading it from the device on a
@@ -322,18 +415,21 @@ impl BufferPool {
                 FetchInfo { stall_us: 0, prefetched: false, hit: true, page_type: ty },
             ));
         }
-        // ---- miss: reserve a frame slot atomically (the pool never
-        // exceeds its configured capacity, even under concurrent misses) ----
-        self.reserve_slot()?;
+        // ---- miss: claim a frame slot (the pool never exceeds its
+        // configured capacity, even under concurrent misses) ----
+        let slot = self.reserve_slot()?;
         // ---- publish a loading placeholder, then read outside the shard
         // lock. Holding the frame's *write latch* across the device read is
         // what makes the stale-image race impossible (a concurrent
         // load→write→flush→evict cycle cannot touch this frame), while
         // hits on other pages of the shard proceed immediately.
         let cell = self.new_placeholder(pid);
-        // Latching an unpublished cell cannot contend or deadlock; it only
-        // becomes reachable at the insert below, and the evictor uses
-        // try_write (it skips loading frames).
+        // Ring entry first (no other lock held — clock precedes shard and
+        // frame in the lock order); the hand skips it until the insert
+        // below makes the shard lookup validate.
+        self.register_slot(slot, pid, &cell);
+        // Latching an unpublished cell cannot contend or deadlock; the
+        // evictor only ever try_writes (it skips loading frames).
         let mut frame = cell.latch.write();
         {
             let mut shard = self.shard(pid).lock();
@@ -341,7 +437,7 @@ impl BufferPool {
                 // A concurrent loader won the race; give the slot back.
                 drop(shard);
                 drop(frame);
-                self.len.fetch_sub(1, Ordering::AcqRel);
+                self.release_slot(slot);
                 let ty = existing.latch.read().page.page_type();
                 self.touch(&existing);
                 self.stats.hits.fetch_add(1, Ordering::Relaxed);
@@ -360,7 +456,7 @@ impl BufferPool {
                 frame.evicted = true;
                 drop(frame);
                 self.shard(pid).lock().remove(&pid);
-                self.len.fetch_sub(1, Ordering::AcqRel);
+                self.release_slot(slot);
                 return Err(e);
             }
         };
@@ -493,17 +589,19 @@ impl BufferPool {
                 guard.page = page;
                 return Ok(());
             }
-            // Miss: reserve a slot and publish the provided image directly.
-            self.reserve_slot()?;
+            // Miss: claim a slot and publish the provided image directly.
+            let slot = self.reserve_slot()?;
             let cell = self.new_placeholder(pid);
+            self.register_slot(slot, pid, &cell);
             let mut frame = cell.latch.write();
             {
                 let mut shard = self.shard(pid).lock();
                 if shard.contains_key(&pid) {
                     // A concurrent loader published first; give the slot
                     // back and overwrite its frame via the hit path.
+                    drop(shard);
                     drop(frame);
-                    self.len.fetch_sub(1, Ordering::AcqRel);
+                    self.release_slot(slot);
                     continue;
                 }
                 shard.insert(pid, cell.clone());
@@ -529,12 +627,47 @@ impl BufferPool {
     // eviction / flushing
     // ------------------------------------------------------------------
 
-    /// Evict the victim at `pid` if it is still present, unpinned and
-    /// unlatched. `Ok(true)` on eviction.
-    fn try_evict(&self, pid: PageId) -> Result<bool> {
+    /// Advance the clock hand to the next eviction candidate. Second-chance
+    /// policy per slot: a set ref bit is cleared and the frame spared;
+    /// pinned or empty slots are skipped; the first fully cold frame is the
+    /// candidate (eviction itself happens outside the clock latch and
+    /// re-validates under the shard lock).
+    ///
+    /// Each slot is examined at most twice per call (once to clear its
+    /// bit, once to take it), so the sweep terminates in ≤ 2·capacity
+    /// steps with no rescans; a sweep that finds nothing means every frame
+    /// is pinned or mid-load.
+    fn clock_candidate(&self, clock: &mut ClockState) -> Result<(usize, PageId, Arc<FrameCell>)> {
+        let cap = clock.slots.len();
+        for _ in 0..2 * cap {
+            let i = clock.hand;
+            clock.hand = (clock.hand + 1) % cap;
+            self.stats.clock_examinations.fetch_add(1, Ordering::Relaxed);
+            let Some((pid, cell)) = clock.slots[i].clone() else { continue };
+            if cell.ref_bit.swap(false, Ordering::AcqRel) {
+                continue; // second chance
+            }
+            if cell.pins.load(Ordering::Acquire) != 0 {
+                continue;
+            }
+            return Ok((i, pid, cell));
+        }
+        Err(Error::PoolExhausted { capacity: self.capacity })
+    }
+
+    /// Evict `cell` if it is still the published frame for `pid`, unpinned
+    /// and unlatched. `Ok(true)` on eviction (caller owns the ring slot).
+    fn try_evict_entry(&self, pid: PageId, cell: &Arc<FrameCell>) -> Result<bool> {
         let shard = self.shard(pid);
         let mut map = shard.lock();
-        let Some(cell) = map.get(&pid).cloned() else { return Ok(false) };
+        match map.get(&pid) {
+            // Ring entries are registered before publication and may
+            // briefly outlive a failed-load unpublish; in both windows the
+            // shard lookup refutes the entry and the hand skips it — the
+            // loader releases the slot itself.
+            Some(cur) if Arc::ptr_eq(cur, cell) => {}
+            _ => return Ok(false),
+        }
         if cell.pins.load(Ordering::Acquire) != 0 {
             return Ok(false);
         }
@@ -549,47 +682,7 @@ impl BufferPool {
         frame.evicted = true;
         drop(frame);
         map.remove(&pid);
-        self.len.fetch_sub(1, Ordering::AcqRel);
-        self.stats.evictions.fetch_add(1, Ordering::Relaxed);
         Ok(true)
-    }
-
-    fn evict_one(&self) -> Result<()> {
-        // LRU approximation: one O(frames) min-scan for the coldest
-        // unpinned frame (no sort, no candidate materialization), retried a
-        // few times if the victim gains a pin or a latch holder between the
-        // scan and the attempt. (ROADMAP: a clock-hand structure would
-        // remove the per-eviction scan entirely.)
-        const ATTEMPTS: usize = 8;
-        let mut skip: Vec<PageId> = Vec::new();
-        for _ in 0..ATTEMPTS {
-            let mut coldest: Option<(u64, PageId)> = None;
-            for shard in self.shards.iter() {
-                for (pid, cell) in shard.lock().iter() {
-                    if cell.pins.load(Ordering::Acquire) != 0 || skip.contains(pid) {
-                        continue;
-                    }
-                    let t = cell.last_used.load(Ordering::Relaxed);
-                    if coldest.map(|(ct, _)| t < ct).unwrap_or(true) {
-                        coldest = Some((t, *pid));
-                    }
-                }
-            }
-            let Some((_, pid)) = coldest else {
-                return Err(Error::PoolExhausted { capacity: self.capacity });
-            };
-            if self.try_evict(pid)? {
-                return Ok(());
-            }
-            // Victim slipped away (pinned, latched, or evicted by a peer).
-            // If a peer evicted, the pool is under capacity again;
-            // otherwise look for the next-coldest frame.
-            if self.len.load(Ordering::Acquire) < self.capacity {
-                return Ok(());
-            }
-            skip.push(pid);
-        }
-        Err(Error::PoolExhausted { capacity: self.capacity })
     }
 
     /// Write one dirty frame to stable storage, enforcing the WAL rule.
@@ -792,6 +885,7 @@ impl BufferPool {
                 cell.latch.write().evicted = true;
             }
         }
+        *self.clock.lock() = ClockState::new(self.capacity);
         self.len.store(0, Ordering::Release);
         self.dirty.store(0, Ordering::Release);
         self.events.lock().clear();
@@ -831,16 +925,69 @@ mod tests {
     }
 
     #[test]
-    fn lru_eviction_prefers_least_recent() {
+    fn second_chance_spares_reused_pages() {
         let p = pool(4, 16);
         for i in 0..4 {
             p.fetch(PageId(i)).unwrap();
         }
-        p.fetch(PageId(0)).unwrap(); // refresh 0; LRU is now 1
-        p.fetch(PageId(10)).unwrap(); // evicts 1
+        p.fetch(PageId(0)).unwrap(); // re-use 0: its ref bit is set
+        p.fetch(PageId(10)).unwrap(); // hand clears 0's bit, evicts cold 1
         assert!(p.contains(PageId(0)));
         assert!(!p.contains(PageId(1)));
         assert_eq!(p.stats().evictions, 1);
+    }
+
+    #[test]
+    fn victim_slip_terminates_without_rescans() {
+        // The coldest frames are pinned (the old min-scan's worst case:
+        // every scan re-found a pinned victim and rescanned). The clock
+        // must keep terminating, evicting only ever the unpinned frame,
+        // with a per-eviction examination cost bounded by the ring size —
+        // not attempts × frames².
+        let p = pool(8, 4096);
+        for i in 0..8 {
+            p.fetch(PageId(i)).unwrap();
+        }
+        for i in 0..7 {
+            p.pin(PageId(i)).unwrap();
+        }
+        let evictions = 200u64;
+        for n in 0..evictions {
+            p.fetch(PageId(100 + n)).unwrap();
+            for i in 0..7 {
+                assert!(p.contains(PageId(i)), "pinned frame {i} must survive");
+            }
+        }
+        let s = p.stats();
+        assert_eq!(s.evictions, evictions);
+        // Each eviction sweeps past the 7 pinned slots at most twice.
+        assert!(
+            s.clock_examinations <= evictions * 2 * 8 + 2 * 8,
+            "sweep cost blew up: {} examinations for {} evictions",
+            s.clock_examinations,
+            s.evictions
+        );
+    }
+
+    #[test]
+    fn eviction_cost_is_independent_of_pool_size() {
+        // A sequential larger-than-cache scan: every miss evicts. The
+        // amortized slot examinations per eviction must stay O(1) whether
+        // the pool holds 64 or 1024 frames (the old LRU min-scan walked
+        // every resident frame per miss, so its cost scaled with capacity).
+        let per_eviction = |capacity: u64| {
+            let p = pool(capacity as usize, 8192);
+            for i in 0..capacity + 2_000 {
+                p.fetch(PageId(i)).unwrap();
+            }
+            let s = p.stats();
+            assert_eq!(s.evictions, 2_000);
+            s.clock_examinations as f64 / s.evictions as f64
+        };
+        let small = per_eviction(64);
+        let large = per_eviction(1024);
+        assert!(small < 4.0, "small pool sweeps {small:.2} slots/eviction");
+        assert!(large < 4.0, "large pool sweeps {large:.2} slots/eviction");
     }
 
     #[test]

@@ -35,6 +35,22 @@ pub struct EngineConfig {
     /// Background-writer watermark (dirty fraction of the cache above
     /// which cold dirty pages are flushed); see `lr_dc::DcConfig`.
     pub dirty_watermark: f64,
+    /// Pages the lazywriter flushes per sweep (inline or background).
+    pub cleaner_batch: usize,
+    /// Hand checkpoints and lazywriter sweeps to a background maintenance
+    /// service (started by [`crate::Engine::into_shared`], or explicitly
+    /// via `Engine::start_maintenance`). Also turns the foreground
+    /// cleaner hook advisory: sessions stop paying flush sweeps inside
+    /// their own operations.
+    pub background_maintenance: bool,
+    /// Maintenance policy-loop tick, in milliseconds of real time.
+    pub maint_tick_ms: u64,
+    /// Background checkpoint interval in milliseconds of real time
+    /// (0 disables the timer; the log-bytes policy still applies).
+    pub ckpt_interval_ms: u64,
+    /// Background checkpoint once this many log bytes accumulated since
+    /// the previous one (0 disables the bytes policy).
+    pub ckpt_log_bytes: u64,
     /// Leaf-merge threshold for delete rebalancing (0.0 disables).
     pub merge_min_fill: f64,
     /// Device latency model.
@@ -59,6 +75,11 @@ impl Default for EngineConfig {
             perfect_delta_lsns: false,
             aries_ckpt_capture: false,
             dirty_watermark: 0.30,
+            cleaner_batch: 16,
+            background_maintenance: false,
+            maint_tick_ms: 1,
+            ckpt_interval_ms: 25,
+            ckpt_log_bytes: 1 << 20,
             merge_min_fill: 0.0,
             io_model: IoModel::default(),
             commit_force_us: 0,

@@ -14,12 +14,13 @@
 //! stack deadlock-free.
 
 use crate::config::{EngineConfig, DEFAULT_TABLE};
+use crate::maintenance::{MaintCounters, MaintenanceHandle};
 use lr_btree::{bulk_load, verify_tree, TreeSummary};
 use lr_common::{Error, Key, Lsn, PageId, Result, SimClock, TableId, TxnId, Value};
 use lr_dc::{DataComponent, DcConfig, WriteIntent};
 use lr_storage::SimDisk;
 use lr_tc::{undo::rollback_txn, TransactionComponent, UndoStats};
-use lr_wal::{SharedWal, Wal};
+use lr_wal::{GroupCommitStats, SharedWal, Wal};
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -76,6 +77,57 @@ pub struct Engine {
     pub(crate) data_plane: RwLock<()>,
     /// Snapshot captured by the most recent crash (None before any crash).
     pub(crate) last_crash: Mutex<Option<CrashSnapshot>>,
+    /// Running background maintenance service, if any (see
+    /// [`Engine::start_maintenance`]).
+    pub(crate) maintenance: Mutex<Option<MaintenanceHandle>>,
+    /// Maintenance-service counters (surfaced via [`Engine::stats`]).
+    pub(crate) maint: MaintCounters,
+    /// Log length when the last checkpoint completed — the background
+    /// checkpointer's log-bytes policy input.
+    pub(crate) bytes_at_last_ckpt: AtomicU64,
+}
+
+/// Aggregate engine observability: lifecycle counters, maintenance-service
+/// activity, cache occupancy and group-commit effectiveness, in one
+/// snapshot (cheap; every source is an atomic or a short lock).
+#[derive(Clone, Debug)]
+pub struct EngineStats {
+    /// Checkpoints completed since build (foreground + background).
+    pub checkpoints_taken: u64,
+    /// Checkpoints initiated by the background service.
+    pub background_checkpoints: u64,
+    /// Lazywriter sweeps that flushed at least one page.
+    pub cleaner_sweeps: u64,
+    /// Pages flushed by lazywriter sweeps.
+    pub cleaner_pages_flushed: u64,
+    /// Maintenance policy-loop iterations (both threads).
+    pub maintenance_ticks: u64,
+    /// Ticks spent quiesced because the engine was crashed.
+    pub quiesced_ticks: u64,
+    /// Is the service currently attached?
+    pub maintenance_running: bool,
+    /// Dirty frames right now.
+    pub dirty_pages: usize,
+    /// Cached frames right now.
+    pub cached_pages: usize,
+    /// Pool capacity in frames.
+    pub pool_capacity: usize,
+    /// Current log length in bytes.
+    pub log_bytes: u64,
+    /// Log bytes appended since the last completed checkpoint.
+    pub log_bytes_since_checkpoint: u64,
+    /// Group-commit force/piggyback counters.
+    pub group_commit: GroupCommitStats,
+}
+
+impl EngineStats {
+    /// Dirty fraction of the cache (the lazywriter's control variable).
+    pub fn dirty_fraction(&self) -> f64 {
+        if self.pool_capacity == 0 {
+            return 0.0;
+        }
+        self.dirty_pages as f64 / self.pool_capacity as f64
+    }
 }
 
 /// The DC tuning derived from an engine config — one mapping shared by
@@ -88,8 +140,11 @@ fn dc_config(cfg: &EngineConfig) -> DcConfig {
         flush_batch_cap: cfg.flush_batch_cap,
         perfect_delta_lsns: cfg.perfect_delta_lsns,
         dirty_watermark: cfg.dirty_watermark,
+        cleaner_batch: cfg.cleaner_batch,
+        // With a background service the cleaner hook turns advisory: the
+        // lazywriter thread sweeps, the session fast path never does.
+        inline_cleaner: !cfg.background_maintenance,
         merge_min_fill: cfg.merge_min_fill,
-        ..DcConfig::default()
     }
 }
 
@@ -141,6 +196,9 @@ impl Engine {
             lifecycle: Mutex::new(()),
             data_plane: RwLock::new(()),
             last_crash: Mutex::new(None),
+            maintenance: Mutex::new(None),
+            maint: MaintCounters::default(),
+            bytes_at_last_ckpt: AtomicU64::new(0),
         })
     }
 
@@ -170,13 +228,21 @@ impl Engine {
             lifecycle: Mutex::new(()),
             data_plane: RwLock::new(()),
             last_crash: Mutex::new(None),
+            maintenance: Mutex::new(None),
+            maint: MaintCounters::default(),
+            bytes_at_last_ckpt: AtomicU64::new(0),
         })
     }
 
     /// Move the engine behind an `Arc` so sessions on multiple threads can
-    /// share it (see [`crate::Session`]).
+    /// share it (see [`crate::Session`]). Starts the background
+    /// maintenance service when the config asks for it.
     pub fn into_shared(self) -> Arc<Engine> {
-        Arc::new(self)
+        let engine = Arc::new(self);
+        if engine.cfg.background_maintenance {
+            engine.start_maintenance();
+        }
+        engine
     }
 
     /// Persist the log to `path` (pairs with [`Engine::open_existing`] for
@@ -351,11 +417,50 @@ impl Engine {
         self.dc.eosl(self.tc.stable_lsn());
         self.checkpoints_taken.fetch_add(1, Ordering::AcqRel);
         self.last_bckpt.store(bckpt.0, Ordering::Release);
+        self.bytes_at_last_ckpt.store(self.wal.lock().byte_len(), Ordering::Release);
         Ok(bckpt)
     }
 
     pub fn checkpoints_taken(&self) -> u64 {
         self.checkpoints_taken.load(Ordering::Acquire)
+    }
+
+    /// Log bytes appended since the last completed checkpoint (saturates
+    /// to zero across a crash truncation).
+    pub fn log_bytes_since_checkpoint(&self) -> u64 {
+        let cur = self.wal.lock().byte_len();
+        cur.saturating_sub(self.bytes_at_last_ckpt.load(Ordering::Acquire))
+    }
+
+    /// One lazywriter activation on behalf of the maintenance service:
+    /// enters the data plane (so it can never flush into, or append Δ/BW
+    /// records onto, a post-crash log) and runs the DC's cleaner pass.
+    /// Returns pages flushed.
+    pub(crate) fn cleaner_sweep(&self) -> Result<usize> {
+        let _dp = self.enter_data_plane()?;
+        self.dc.cleaner_pass()
+    }
+
+    /// Aggregate observability snapshot (see [`EngineStats`]).
+    pub fn stats(&self) -> EngineStats {
+        let pool = self.dc.pool();
+        let log_bytes = self.wal.lock().byte_len();
+        EngineStats {
+            checkpoints_taken: self.checkpoints_taken(),
+            background_checkpoints: self.maint.bg_checkpoints.load(Ordering::Relaxed),
+            cleaner_sweeps: self.maint.cleaner_sweeps.load(Ordering::Relaxed),
+            cleaner_pages_flushed: self.maint.cleaner_pages.load(Ordering::Relaxed),
+            maintenance_ticks: self.maint.ticks.load(Ordering::Relaxed),
+            quiesced_ticks: self.maint.quiesced_ticks.load(Ordering::Relaxed),
+            maintenance_running: self.maintenance_running(),
+            dirty_pages: pool.dirty_count(),
+            cached_pages: pool.len(),
+            pool_capacity: pool.capacity(),
+            log_bytes,
+            log_bytes_since_checkpoint: log_bytes
+                .saturating_sub(self.bytes_at_last_ckpt.load(Ordering::Acquire)),
+            group_commit: self.wal.group_commit_stats(),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -400,6 +505,10 @@ impl Engine {
             let mut wal = self.wal.lock();
             wal.make_all_stable();
             wal.truncate_to_stable();
+            // Re-anchor the checkpointer's log-bytes policy to the
+            // truncated log (recover()'s trailing checkpoint re-stamps it
+            // again; this keeps the mark sane for custom recovery paths).
+            self.bytes_at_last_ckpt.store(wal.byte_len(), Ordering::Release);
         }
         self.tc.crash();
         self.dc.crash();
@@ -442,7 +551,13 @@ impl Engine {
             .ok_or_else(|| Error::RecoveryInvariant("disk does not support forking".into()))?;
         let wal: SharedWal = SharedWal::new(self.wal.lock().fork_data());
         wal.set_force_latency_us(self.cfg.commit_force_us);
-        let dcfg = dc_config(&self.cfg);
+        // A fork never inherits a running maintenance service, so it must
+        // not inherit the advisory-cleaner assumption either: without this
+        // the fork would have neither a lazywriter nor an inline cleaner,
+        // and nothing would bound its dirty fraction. Callers can still
+        // opt back in (set the flag and start_maintenance explicitly).
+        let cfg = EngineConfig { background_maintenance: false, ..self.cfg.clone() };
+        let dcfg = dc_config(&cfg);
         let dc = DataComponent::open(disk, wal.clone(), dcfg)?;
         let tc = TransactionComponent::new(wal.clone());
         Ok(Engine {
@@ -450,13 +565,16 @@ impl Engine {
             dc,
             wal,
             clock,
-            cfg: self.cfg.clone(),
+            cfg,
             crashed: AtomicBool::new(true),
             checkpoints_taken: AtomicU64::new(self.checkpoints_taken()),
             last_bckpt: AtomicU64::new(self.last_bckpt.load(Ordering::Acquire)),
             lifecycle: Mutex::new(()),
             data_plane: RwLock::new(()),
             last_crash: Mutex::new(self.last_crash.lock().clone()),
+            maintenance: Mutex::new(None),
+            maint: MaintCounters::default(),
+            bytes_at_last_ckpt: AtomicU64::new(self.bytes_at_last_ckpt.load(Ordering::Acquire)),
         })
     }
 

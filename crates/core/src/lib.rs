@@ -75,6 +75,7 @@
 pub mod config;
 pub mod costmodel;
 pub mod engine;
+pub mod maintenance;
 pub mod methods;
 pub mod recovery;
 pub mod replica;
@@ -83,7 +84,7 @@ pub mod verify;
 
 pub use config::{EngineConfig, DEFAULT_TABLE};
 pub use costmodel::{predicted_page_fetches, CostInputs};
-pub use engine::{CrashSnapshot, Engine};
+pub use engine::{CrashSnapshot, Engine, EngineStats};
 pub use recovery::{RecoveryMethod, RecoveryReport};
 pub use session::Session;
 pub use verify::ShadowDb;

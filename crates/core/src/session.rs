@@ -170,8 +170,10 @@ impl Session {
     /// Run `body` as one transaction with **no-wait conflict retry**: on
     /// [`Error::LockConflict`] the transaction is aborted and retried (up
     /// to `max_retries` times), which is the standard way to drive a
-    /// no-wait lock table from many sessions. Returns the number of
-    /// retries that were needed.
+    /// no-wait lock table from many sessions. Retries back off (yield,
+    /// then bounded exponential sleep), so a session spinning on a held
+    /// key stops burning the scheduling quantum of the very holder it is
+    /// waiting on. Returns the number of retries that were needed.
     pub fn run_txn<F>(&mut self, max_retries: usize, mut body: F) -> Result<usize>
     where
         F: FnMut(&mut Session) -> Result<()>,
@@ -189,7 +191,7 @@ impl Session {
                     // then retry from scratch.
                     self.abort()?;
                     retries += 1;
-                    std::thread::yield_now();
+                    conflict_backoff(retries);
                 }
                 Err(e) => {
                     let _ = self.abort();
@@ -197,6 +199,20 @@ impl Session {
                 }
             }
         }
+    }
+}
+
+/// Back off before conflict retry `attempt` (1-based): the first few
+/// attempts just yield (the holder is likely one quantum from committing);
+/// persistent conflicts sleep exponentially longer, capped at ~1.3 ms so a
+/// convoy never turns into multi-millisecond stalls.
+fn conflict_backoff(attempt: usize) {
+    const YIELD_ATTEMPTS: usize = 3;
+    if attempt <= YIELD_ATTEMPTS {
+        std::thread::yield_now();
+    } else {
+        let exp = (attempt - YIELD_ATTEMPTS).min(7) as u32;
+        std::thread::sleep(std::time::Duration::from_micros(10u64 << exp));
     }
 }
 

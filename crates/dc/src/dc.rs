@@ -61,6 +61,12 @@ pub struct DcConfig {
     pub dirty_watermark: f64,
     /// Pages the cleaner flushes per activation.
     pub cleaner_batch: usize,
+    /// Run the cleaner inline on the foreground write path (the historical
+    /// behaviour). With a background maintenance service attached the hook
+    /// becomes advisory: set this false and drive [`DataComponent::
+    /// cleaner_pass`] from the service instead, so no session ever pays a
+    /// flush sweep inside its own operation.
+    pub inline_cleaner: bool,
     /// Leaf-merge threshold for delete rebalancing (fraction of usable
     /// bytes; 0.0 disables merging — the default, matching the paper's
     /// update-only evaluation where trees never shrink).
@@ -76,6 +82,7 @@ impl Default for DcConfig {
             perfect_delta_lsns: false,
             dirty_watermark: 0.30,
             cleaner_batch: 16,
+            inline_cleaner: true,
             merge_min_fill: 0.0,
         }
     }
@@ -607,16 +614,46 @@ impl DataComponent {
     // recovery-preparation bookkeeping (Δ / BW emission)
     // ------------------------------------------------------------------
 
+    /// Dirty-frame count above which the cleaner activates.
+    fn cleaner_watermark(&self) -> usize {
+        (self.cfg.dirty_watermark * self.pool.capacity() as f64) as usize
+    }
+
+    /// Is the cache dirtier than the lazywriter watermark right now?
+    pub fn over_dirty_watermark(&self) -> bool {
+        self.pool.dirty_count() > self.cleaner_watermark()
+    }
+
+    /// One lazywriter activation: if the dirty fraction exceeds the
+    /// watermark, flush up to `cleaner_batch` of the coldest dirty pages
+    /// and drain the resulting events into the trackers. This is the
+    /// entry point a background maintenance service drives; with
+    /// `inline_cleaner` the foreground path calls it from
+    /// [`DataComponent::pump_events`]. Returns pages flushed.
+    pub fn cleaner_pass(&self) -> Result<usize> {
+        if !self.over_dirty_watermark() {
+            return Ok(0);
+        }
+        // Cleaner flushes emit Flushed events picked up by the drain.
+        let flushed = self.pool.clean_coldest(self.cfg.cleaner_batch)?;
+        self.pump_trackers();
+        Ok(flushed)
+    }
+
     /// Drain cache events into the trackers and emit Δ/BW records when the
     /// batching thresholds trip. Called after every operation. Also runs
-    /// the background cleaner when the dirty fraction exceeds the
-    /// watermark.
+    /// the cleaner inline when the dirty fraction exceeds the watermark —
+    /// unless a background service owns that duty (`inline_cleaner` off).
     pub fn pump_events(&self) {
-        let watermark = (self.cfg.dirty_watermark * self.pool.capacity() as f64) as usize;
-        if self.pool.dirty_count() > watermark {
-            // Cleaner flushes emit Flushed events picked up just below.
+        if self.cfg.inline_cleaner && self.over_dirty_watermark() {
             let _ = self.pool.clean_coldest(self.cfg.cleaner_batch);
         }
+        self.pump_trackers();
+    }
+
+    /// The tracker half of [`DataComponent::pump_events`]: drain pending
+    /// cache events and emit Δ/BW records when the thresholds trip.
+    fn pump_trackers(&self) {
         let (dirty_len, written_len) = {
             // Tracker latches are taken *before* the event drain (lock order
             // tracker → events): the trackers are order-sensitive (first

@@ -102,11 +102,17 @@ impl Drop for WalGuard<'_> {
         // Keep the hint honest but never *raise* it here: publication of
         // new stability is the force path's job (the modelled device
         // latency must elapse first). Lowering matters after sections that
-        // regressed stability — tears, crash truncation, reloads.
+        // regressed stability — tears, crash truncation, reloads. The
+        // lowering is a single atomic `fetch_min`, not a load-then-store:
+        // racing publishers (another guard's drop, a leader's post-force
+        // publication) interleaving between a separate load and store
+        // could leave the hint above the true stable LSN, and an
+        // over-published hint lets `force_covering` skip a force the
+        // caller actually needed. `fetch_min` can only ever lower the
+        // hint, which is the safe direction (a too-low hint merely costs
+        // a redundant no-op force).
         let s = self.guard.stable_lsn().0;
-        if self.shared.stable_hint.load(Ordering::Acquire) > s {
-            self.shared.stable_hint.store(s, Ordering::Release);
-        }
+        self.shared.stable_hint.fetch_min(s, Ordering::AcqRel);
         self.shared.cond.notify_all();
     }
 }
@@ -284,6 +290,39 @@ mod tests {
         // safe direction for force_covering (it may force redundantly,
         // never skip a needed force).
         assert!(wal.stable_hint() <= true_stable, "hint never exceeds true stability");
+    }
+
+    #[test]
+    fn racing_guard_drops_publish_hint_atomically() {
+        // Regression: WalGuard's drop used a separate load + store to
+        // republish the stable hint; publishers interleaving between the
+        // two could strand the hint *above* the true stable LSN, letting a
+        // later force_covering piggyback on a force that no longer covered
+        // its record. The republish is now a single fetch_min, which can
+        // only lower the hint. The invariant — `hint <= stable` whenever
+        // the log latch is held (publication is quiescent under it) — must
+        // survive arbitrary stabilize/tear interleavings across threads.
+        let wal = Wal::new_shared(4096);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let wal = wal.clone();
+                s.spawn(move || {
+                    for i in 0..300u64 {
+                        wal.append(&begin(t * 1_000 + i));
+                        {
+                            let mut g = wal.lock();
+                            g.make_all_stable();
+                            if i % 2 == 0 {
+                                g.tear(6); // regress stability under the guard
+                            }
+                        }
+                        let g = wal.lock();
+                        let (hint, stable) = (wal.stable_hint(), g.stable_lsn());
+                        assert!(hint <= stable, "hint {hint:?} above true stable {stable:?}");
+                    }
+                });
+            }
+        });
     }
 
     #[test]

@@ -24,6 +24,6 @@ pub mod zipf;
 
 pub use concurrent::{run_concurrent, ConcurrentReport, ConcurrentScenario, ThreadReport};
 pub use gen::{KeyDist, Op, OpMix, TxnGenerator, WorkloadSpec};
-pub use presets::{cache_sweep, Preset};
+pub use presets::{cache_sweep, spill_concurrent, Preset};
 pub use scenario::{run_to_crash, CrashScenario, ScenarioOutcome};
 pub use zipf::Zipf;

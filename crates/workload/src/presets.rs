@@ -6,6 +6,7 @@
 //! figure harnesses run in seconds; `paper_full` is the 1:1 geometry for
 //! the patient.
 
+use crate::concurrent::ConcurrentScenario;
 use crate::gen::WorkloadSpec;
 use crate::scenario::CrashScenario;
 use lr_core::EngineConfig;
@@ -56,6 +57,9 @@ impl Preset {
             merge_min_fill: 0.0,
             io_model: lr_common::IoModel::default(),
             commit_force_us: 0,
+            // The crash harnesses drive checkpoints deterministically from
+            // the scenario, so the figure presets keep maintenance inline.
+            ..EngineConfig::default()
         }
     }
 
@@ -95,6 +99,41 @@ impl Preset {
     }
 }
 
+/// Bigger-than-memory concurrent preset: `threads` sessions over a
+/// keyspace whose working set is ~4× the cache, with the background
+/// maintenance service on (checkpointer + lazywriter) and no foreground
+/// checkpoints at all. This is the larger-than-cache stress the clock
+/// evictor unlocks — every session miss must find a victim without
+/// scanning the resident set, while the service keeps the dirty fraction
+/// at the watermark.
+pub fn spill_concurrent(
+    threads: usize,
+    txns_per_thread: u64,
+) -> (EngineConfig, ConcurrentScenario) {
+    // ~32 rows per 4 KiB page at fill 0.9 → ~256 data pages vs 64 frames.
+    let rows = 8_192u64;
+    let cfg = EngineConfig {
+        initial_rows: rows,
+        pool_pages: 64,
+        io_model: lr_common::IoModel::zero(),
+        background_maintenance: true,
+        maint_tick_ms: 1,
+        ckpt_interval_ms: 10,
+        ckpt_log_bytes: 256 << 10,
+        cleaner_batch: 32,
+        ..EngineConfig::default()
+    };
+    let scenario = ConcurrentScenario {
+        threads,
+        txns_per_thread,
+        spec: WorkloadSpec::paper_default(rows, 100, 7),
+        max_retries: 10_000,
+        // The maintenance service owns checkpointing; sessions never do.
+        checkpoint_every: 0,
+    };
+    (cfg, scenario)
+}
+
 /// Cache sizes as fractions of `data_pages`, labelled with the paper's
 /// MB-equivalent axis: 64 MB ≈ 2%, doubling to 2048 MB ≈ 60%.
 pub fn cache_sweep(data_pages: u64) -> Vec<(&'static str, usize)> {
@@ -123,6 +162,21 @@ mod tests {
         let (label, pages) = sweep[0];
         assert_eq!(label, "64MB");
         assert_eq!(pages, (43_600f64 * 0.02) as usize);
+    }
+
+    #[test]
+    fn spill_preset_is_genuinely_larger_than_cache() {
+        let (cfg, scenario) = spill_concurrent(4, 100);
+        // ~32 rows/page at fill 0.9: the table must dwarf the pool.
+        let data_pages = cfg.initial_rows / 32;
+        assert!(
+            data_pages as usize >= 3 * cfg.pool_pages,
+            "working set ({data_pages} pages) must exceed the cache ({} frames)",
+            cfg.pool_pages
+        );
+        assert!(cfg.background_maintenance, "service owns maintenance");
+        assert_eq!(scenario.checkpoint_every, 0, "no foreground checkpoints");
+        assert_eq!(scenario.threads, 4);
     }
 
     #[test]
