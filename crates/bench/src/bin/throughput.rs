@@ -13,7 +13,7 @@
 //! retries (no-wait policy) and log forces per commit (group-commit
 //! effectiveness).
 
-use lr_core::{Engine, EngineConfig};
+use lr_core::{Engine, EngineConfig, RecoveryMethod, RecoveryOptions};
 use lr_workload::report::Table;
 use lr_workload::{run_concurrent, ConcurrentScenario};
 
@@ -53,6 +53,10 @@ fn main() {
     // LR_MAINT=1 hands checkpoints + lazywriter sweeps to the background
     // maintenance service (sessions never pay either inline).
     let maintenance = env_u64("LR_MAINT", 0) != 0;
+    // LR_RECOVERY_WORKERS>1 adds a crash + parallel-recovery smoke after
+    // the last throughput point (serial vs partitioned redo on the same
+    // crash image).
+    let recovery_workers = RecoveryOptions::from_env().workers;
 
     println!("Concurrent throughput: §5.2 update workload, {key_space} keys,");
     println!("{txns_total} transactions total per point (10 updates each), no-wait retry,");
@@ -73,6 +77,7 @@ fn main() {
     ]);
     let mut baseline: Option<f64> = None;
     let mut at_four: Option<f64> = None;
+    let mut last_engine = None;
 
     for &threads in &thread_counts {
         // Fresh engine per point: identical starting state for every
@@ -118,9 +123,35 @@ fn main() {
             format!("{:.2}", report.log_forces as f64 / report.committed.max(1) as f64),
         ]);
         eprintln!("  finished {threads} thread(s): {tps:.0} txn/s");
+        last_engine = Some(engine);
     }
 
     println!("{}", table.render());
+
+    if recovery_workers > 1 {
+        if let Some(engine) = last_engine {
+            engine.crash();
+            let serial = engine.fork_crashed().expect("fork crashed engine");
+            let parallel = engine.fork_crashed().expect("fork crashed engine");
+            let rs = serial.recover(RecoveryMethod::Log1).expect("serial recovery");
+            let rp = parallel
+                .recover_with(RecoveryMethod::Log1, RecoveryOptions::with_workers(recovery_workers))
+                .expect("parallel recovery");
+            assert_eq!(
+                serial.scan_table(lr_core::DEFAULT_TABLE).unwrap(),
+                parallel.scan_table(lr_core::DEFAULT_TABLE).unwrap(),
+                "parallel recovery diverged from serial"
+            );
+            println!(
+                "recovery smoke (Log1, LR_RECOVERY_WORKERS={recovery_workers}): serial redo \
+                 {:.1} ms, parallel redo {:.1} ms, {} reapplied, skew {:.2}",
+                rs.redo_ms(),
+                rp.redo_ms(),
+                rp.breakdown.ops_reapplied,
+                rp.breakdown.partition_skew()
+            );
+        }
+    }
 
     if let (Some(one), Some(four)) = (baseline, at_four) {
         let speedup = four / one;

@@ -9,7 +9,9 @@
 //! `LR_SCALE=smoke` (seconds, CI-sized), default `paper_tenth`
 //! (DESIGN.md §8), `LR_SCALE=paper_full` (the 1:1 geometry, slow).
 
-use lr_core::{CrashSnapshot, Engine, EngineConfig, RecoveryMethod, RecoveryReport, ShadowDb};
+use lr_core::{
+    CrashSnapshot, Engine, EngineConfig, RecoveryMethod, RecoveryOptions, RecoveryReport, ShadowDb,
+};
 use lr_workload::{run_to_crash, Preset, ScenarioOutcome, TxnGenerator};
 
 /// One experiment cell: a geometry + cache size + seed, recoverable with
@@ -63,8 +65,15 @@ impl CellRun {
     /// verified against the committed oracle — a benchmark that recovers
     /// the wrong data would be worthless.
     pub fn recover_with(&self, method: RecoveryMethod) -> CellResult {
+        self.recover_with_workers(method, 1)
+    }
+
+    /// Recover the crash with `method` and `workers` redo/undo threads on
+    /// an independent fork, with the same oracle verification.
+    pub fn recover_with_workers(&self, method: RecoveryMethod, workers: usize) -> CellResult {
         let engine = self.master.fork_crashed().expect("fork crashed engine");
-        let report = engine.recover(method).expect("recovery");
+        let report =
+            engine.recover_with(method, RecoveryOptions::with_workers(workers)).expect("recovery");
         self.shadow.verify_against(&engine).expect("recovered state matches the oracle");
         let summary = engine.verify_table(lr_core::DEFAULT_TABLE).expect("tree verifies");
         CellResult {
@@ -126,7 +135,7 @@ pub mod prelude {
     pub use super::{
         preset_from_env, run_cell, sweep_cells, Cell, CellResult, CellRun, EXPERIMENT_SEED,
     };
-    pub use lr_core::{predicted_page_fetches, CostInputs, RecoveryMethod};
+    pub use lr_core::{predicted_page_fetches, CostInputs, RecoveryMethod, RecoveryOptions};
     pub use lr_workload::report::{f1, ms, Table};
     pub use lr_workload::Preset;
 }

@@ -92,20 +92,30 @@ impl BTree {
     /// deciding whether the leaf is worth reading at all (§4.3). Returns
     /// `(leaf pid, index pages touched)`.
     pub fn find_leaf_pid(&self, pool: &BufferPool, key: Key) -> Result<(PageId, u32)> {
+        self.find_leaf_pid_timed(pool, key).map(|(pid, touched, _)| (pid, touched))
+    }
+
+    /// [`BTree::find_leaf_pid`] that also reports the simulated µs this
+    /// traversal stalled on device reads of index pages — callers that
+    /// keep their own busy-time accounting (the parallel recovery
+    /// dispatcher) add it to their clock instead of losing it.
+    pub fn find_leaf_pid_timed(&self, pool: &BufferPool, key: Key) -> Result<(PageId, u32, u64)> {
         let mut cur = self.root;
         let mut touched = 0u32;
+        let mut stall_us = 0u64;
         loop {
-            let (ty, level, next) = pool.with_page(cur, |p| match p.page_type() {
+            let ((ty, level, next), info) = pool.with_page_info(cur, |p| match p.page_type() {
                 PageType::Leaf => (PageType::Leaf, 0u8, PageId::INVALID),
                 PageType::Internal => (PageType::Internal, p.level(), node::route(p, key).1),
                 other => (other, 0, PageId::INVALID),
             })?;
+            stall_us += info.stall_us;
             touched += 1;
             match ty {
                 // Degenerate tree: the root itself is the leaf (and is now
                 // cached, which is unavoidable and harmless).
-                PageType::Leaf => return Ok((cur, touched)),
-                PageType::Internal if level == 1 => return Ok((next, touched)),
+                PageType::Leaf => return Ok((cur, touched, stall_us)),
+                PageType::Internal if level == 1 => return Ok((next, touched, stall_us)),
                 PageType::Internal => cur = next,
                 other => {
                     return Err(Error::TreeCorrupt(format!(

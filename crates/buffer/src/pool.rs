@@ -528,13 +528,32 @@ impl BufferPool {
 
     /// Read access to a cached-or-fetched page (shared frame latch).
     pub fn with_page<R>(&self, pid: PageId, f: impl FnOnce(&Page) -> R) -> Result<R> {
+        Ok(self.with_page_info(pid, f)?.0)
+    }
+
+    /// [`BufferPool::with_page`] that also reports how the page access was
+    /// satisfied — one table lookup, so callers keeping their own stall
+    /// accounting (the parallel recovery dispatcher) need no extra
+    /// `fetch` round-trip.
+    pub fn with_page_info<R>(
+        &self,
+        pid: PageId,
+        f: impl FnOnce(&Page) -> R,
+    ) -> Result<(R, FetchInfo)> {
+        // Stall time accumulates across evicted-retry iterations: a miss
+        // whose freshly loaded frame is evicted before we latch it was
+        // still charged to the device, and dropping it would understate
+        // the caller's accounting.
+        let mut prior_stall_us = 0;
         loop {
-            let (cell, _) = self.cell(pid)?;
+            let (cell, mut info) = self.cell(pid)?;
             let guard = cell.latch.read();
             if guard.evicted {
+                prior_stall_us += info.stall_us;
                 continue;
             }
-            return Ok(f(&guard.page));
+            info.stall_us += prior_stall_us;
+            return Ok((f(&guard.page), info));
         }
     }
 

@@ -51,14 +51,43 @@ impl IoStats {
 pub struct RecoveryBreakdown {
     /// Analysis pass (DPT construction; "DC redo" pass for logical methods).
     pub analysis_us: u64,
-    /// Structure-modification (SMO) redo, logical methods only.
+    /// Structure-modification (SMO) redo: logical methods always; for
+    /// physiological methods it is populated by the parallel pipeline's
+    /// serialized SMO barrier phase (serial physiological redo keeps SMO
+    /// replay inline inside `redo_us`).
     pub smo_redo_us: u64,
     /// Index-page preload (Log2 only).
     pub index_preload_us: u64,
-    /// The redo pass proper.
+    /// The redo pass proper. For parallel recovery this is the wall-clock
+    /// of the slowest redo worker (max-of-workers), not the sum.
     pub redo_us: u64,
-    /// The transactional undo pass.
+    /// Partition/dispatch phase of parallel redo: the dispatcher's one log
+    /// scan — per-record CPU, DPT screening, and (for logical methods) the
+    /// index traversals that resolve each record's PID. Zero for serial
+    /// recovery.
+    pub partition_us: u64,
+    /// Merging per-worker breakdown shards into the final report: a
+    /// deterministic simulated per-shard CPU charge (parallel recovery
+    /// only; zero for serial).
+    pub merge_us: u64,
+    /// The transactional undo pass. Always a shared-clock delta — with
+    /// parallel undo the workers overlap in real time but charge one
+    /// simulated timeline, so this is an upper (sum-of-workers) bound on
+    /// the parallel undo wall-clock.
     pub undo_us: u64,
+
+    /// Redo/undo worker count this recovery ran with (1 = serial pipeline).
+    pub workers: u64,
+    /// Busiest redo worker's simulated µs (equals `redo_us` when parallel).
+    pub worker_busy_max_us: u64,
+    /// Sum of all redo workers' simulated µs — the device-charge view of
+    /// the same work (`max` is wall-clock, `sum` is total busy time).
+    pub worker_busy_total_us: u64,
+    /// Real (not simulated) µs spent blocked on the bounded partition
+    /// queues: workers waiting for records plus the dispatcher waiting for
+    /// queue space. A backpressure / skew diagnostic, deliberately kept out
+    /// of the simulated totals.
+    pub queue_stall_us: u64,
 
     /// Data pages fetched into the cache during redo.
     pub data_pages_fetched: u64,
@@ -103,9 +132,29 @@ pub struct RecoveryBreakdown {
 }
 
 impl RecoveryBreakdown {
-    /// Total recovery time (all passes) in simulated microseconds.
+    /// Total recovery time (all passes) in simulated microseconds. The
+    /// parallel pipeline's extra phases (partition/dispatch and shard
+    /// merge) are part of the total: the dispatcher's scan and the merge
+    /// both happen on the recovery critical path.
     pub fn total_us(&self) -> u64 {
-        self.analysis_us + self.smo_redo_us + self.index_preload_us + self.redo_us + self.undo_us
+        self.analysis_us
+            + self.smo_redo_us
+            + self.index_preload_us
+            + self.partition_us
+            + self.redo_us
+            + self.merge_us
+            + self.undo_us
+    }
+
+    /// How unevenly redo work spread across workers: busiest worker's time
+    /// over the perfectly-balanced share (1.0 = no skew; 0.0 when unknown,
+    /// i.e. serial recovery or an all-idle redo pass).
+    pub fn partition_skew(&self) -> f64 {
+        if self.workers <= 1 || self.worker_busy_total_us == 0 {
+            return 0.0;
+        }
+        let mean = self.worker_busy_total_us as f64 / self.workers as f64;
+        self.worker_busy_max_us as f64 / mean
     }
 
     /// Redo time in simulated milliseconds — the paper's headline metric
@@ -159,5 +208,39 @@ mod tests {
         assert_eq!(b.total_us(), 12_000);
         assert!((b.redo_ms() - 10.0).abs() < f64::EPSILON);
         assert_eq!(b.pages_fetched(), 10);
+    }
+
+    #[test]
+    fn totals_include_partition_and_merge_phases() {
+        let b = RecoveryBreakdown {
+            analysis_us: 1_000,
+            smo_redo_us: 500,
+            index_preload_us: 250,
+            partition_us: 2_000,
+            redo_us: 10_000,
+            merge_us: 50,
+            undo_us: 200,
+            ..Default::default()
+        };
+        assert_eq!(b.total_us(), 14_000, "partition + merge are on the critical path");
+        assert!((b.total_ms() - 14.0).abs() < f64::EPSILON);
+        // redo_ms stays the redo pass alone (the paper's headline metric).
+        assert!((b.redo_ms() - 10.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn partition_skew_is_max_over_mean() {
+        let b = RecoveryBreakdown {
+            workers: 4,
+            worker_busy_max_us: 4_000,
+            worker_busy_total_us: 8_000,
+            ..Default::default()
+        };
+        // mean = 2000, max = 4000 → skew 2.0.
+        assert!((b.partition_skew() - 2.0).abs() < f64::EPSILON);
+        let serial = RecoveryBreakdown { workers: 1, ..Default::default() };
+        assert_eq!(serial.partition_skew(), 0.0, "serial runs report no skew");
+        let idle = RecoveryBreakdown { workers: 4, ..Default::default() };
+        assert_eq!(idle.partition_skew(), 0.0, "all-idle redo reports no skew");
     }
 }

@@ -77,6 +77,7 @@ pub mod costmodel;
 pub mod engine;
 pub mod maintenance;
 pub mod methods;
+pub mod precovery;
 pub mod recovery;
 pub mod replica;
 pub mod session;
@@ -85,6 +86,7 @@ pub mod verify;
 pub use config::{EngineConfig, DEFAULT_TABLE};
 pub use costmodel::{predicted_page_fetches, CostInputs};
 pub use engine::{CrashSnapshot, Engine, EngineStats};
+pub use precovery::RecoveryOptions;
 pub use recovery::{RecoveryMethod, RecoveryReport};
 pub use session::Session;
 pub use verify::ShadowDb;

@@ -14,8 +14,7 @@
 //! pool performs on its behalf.
 
 use lr_common::{Lsn, PageId, RecoveryBreakdown, Result};
-use lr_dc::{DataComponent, Dpt};
-use lr_storage::Page;
+use lr_dc::{replay_smo_screened, DataComponent, Dpt, DptScreen, SmoBarrierOutcome};
 use lr_wal::{LogPayload, LogRecord};
 
 /// DPT context for DPT-assisted logical redo (Algorithm 5).
@@ -47,7 +46,7 @@ impl LogDrivenPrefetcher {
     /// pages that will pass the DPT/rLSN screen (App. A.2's rule: "if a PID
     /// is in the DPT, and the rLSN of the DPT entry is less than the LSN of
     /// the log record ... a prefetch for the corresponding page is issued").
-    fn pump(
+    pub(crate) fn pump(
         &mut self,
         dc: &DataComponent,
         window: &[LogRecord],
@@ -64,10 +63,8 @@ impl LogDrivenPrefetcher {
             let rec = &window[self.next_idx];
             self.next_idx += 1;
             let mut consider = |pid: PageId, lsn: Lsn| {
-                if let Some(e) = dpt.find(pid) {
-                    if lsn >= e.rlsn {
-                        batch.push(pid);
-                    }
+                if dpt.screen(pid, lsn) == DptScreen::Fetch {
+                    batch.push(pid);
                 }
             };
             match &rec.payload {
@@ -106,16 +103,16 @@ pub fn physiological_redo(
             p if p.is_data_op() => {
                 bk.redo_records_seen += 1;
                 let pid = p.data_pid().expect("data op carries a PID");
-                match dpt.find(pid) {
-                    None => {
+                match dpt.screen(pid, rec.lsn) {
+                    DptScreen::SkipNoEntry => {
                         bk.skipped_no_dpt_entry += 1;
                         continue;
                     }
-                    Some(e) if rec.lsn < e.rlsn => {
+                    DptScreen::SkipRlsn => {
                         bk.skipped_rlsn += 1;
                         continue;
                     }
-                    Some(_) => {}
+                    DptScreen::Fetch => {}
                 }
                 dc.pool_mut().fetch(pid)?;
                 let plsn = dc.pool_mut().with_page(pid, |p| p.plsn())?;
@@ -129,32 +126,16 @@ pub fn physiological_redo(
             }
             LogPayload::Smo(smo) => {
                 // Physiological SMO redo, inline in LSN order (§2.1: ARIES
-                // redo performs SMO recovery within the redo pass).
-                for (pid, image) in &smo.pages {
-                    match dpt.find(*pid) {
-                        None => {
-                            bk.skipped_no_dpt_entry += 1;
-                            continue;
-                        }
-                        Some(e) if rec.lsn < e.rlsn => {
-                            bk.skipped_rlsn += 1;
-                            continue;
-                        }
-                        Some(_) => {}
-                    }
-                    dc.pool_mut().fetch(*pid)?;
-                    let plsn = dc.pool_mut().with_page(*pid, |p| p.plsn())?;
-                    if rec.lsn <= plsn {
-                        bk.skipped_plsn += 1;
-                        continue;
-                    }
-                    let page = Page::from_bytes(image.clone().into_boxed_slice())?;
-                    dc.pool_mut().install_page(*pid, page, rec.lsn)?;
-                    bk.ops_reapplied += 1;
-                }
-                if let Some((table, root)) = smo.new_root {
-                    dc.set_root(table, root);
-                    root_moved = Some(rec.lsn);
+                // redo performs SMO recovery within the redo pass) — the
+                // same per-record replay the parallel barrier phase runs.
+                let mut counts = SmoBarrierOutcome::default();
+                let moved = replay_smo_screened(dc, rec.lsn, smo, dpt, &mut counts)?;
+                bk.skipped_no_dpt_entry += counts.skipped_no_dpt_entry;
+                bk.skipped_rlsn += counts.skipped_rlsn;
+                bk.skipped_plsn += counts.skipped_plsn;
+                bk.ops_reapplied += counts.pages_applied;
+                if let Some(lsn) = moved {
+                    root_moved = Some(lsn);
                 }
             }
             _ => {}
@@ -194,7 +175,13 @@ impl PfListPrefetcher {
     /// contain duplicates (a page pruned and re-dirtied appears once per
     /// incarnation), and counting filtered duplicates against the budget
     /// would silently starve the read-ahead.
-    fn pump(&mut self, dc: &DataComponent, dpt: &Dpt, consumed: u64, bk: &mut RecoveryBreakdown) {
+    pub(crate) fn pump(
+        &mut self,
+        dc: &DataComponent,
+        dpt: &Dpt,
+        consumed: u64,
+        bk: &mut RecoveryBreakdown,
+    ) {
         while self.next < self.list.len() && self.issued < consumed + self.ahead {
             let want = (consumed + self.ahead - self.issued) as usize;
             let mut batch: Vec<PageId> = Vec::with_capacity(want);
@@ -267,23 +254,23 @@ pub fn logical_redo(
         };
         // Traverse the index to find the PID referred to by the record
         // (Alg. 5 line 4) — internal pages only, the leaf is not fetched.
-        let tree = dc.tree(table)?.clone();
+        let tree = dc.tree(table)?;
         let (pid, touched) = tree.find_leaf_pid(dc.pool_mut(), key)?;
         dc.pool_mut().disk_mut().charge_cpu(model.cpu_btree_level_us * touched as u64);
 
         if let Some(ctx) = ctx {
             if rec.lsn < ctx.last_delta_tc_lsn {
                 // Optimized redo test (Alg. 5 lines 5-8).
-                match ctx.dpt.find(pid) {
-                    None => {
+                match ctx.dpt.screen(pid, rec.lsn) {
+                    DptScreen::SkipNoEntry => {
                         bk.skipped_no_dpt_entry += 1;
                         continue;
                     }
-                    Some(e) if rec.lsn < e.rlsn => {
+                    DptScreen::SkipRlsn => {
                         bk.skipped_rlsn += 1;
                         continue;
                     }
-                    Some(_) => {}
+                    DptScreen::Fetch => {}
                 }
             } else {
                 // Tail of the log: basic fallback, fetch unconditionally.

@@ -10,10 +10,14 @@ use crate::methods::{
     logical_redo, physiological_redo, preload_index, DptDrivenPrefetcher, LogDrivenPrefetcher,
     LogicalCtx, LogicalPrefetch, PfListPrefetcher,
 };
+use crate::precovery::{parallel_redo, RecoveryOptions, RedoFamily};
 use lr_buffer::PoolStats;
 use lr_common::{Error, IoStats, Lsn, RecoveryBreakdown, Result};
-use lr_dc::{build_dpt_aries, build_dpt_logical, build_dpt_sqlserver, smo_redo, DeltaDptMode, Dpt};
-use lr_tc::{analyze_txns, undo_losers, UndoStats};
+use lr_dc::{
+    build_dpt_aries, build_dpt_logical, build_dpt_sqlserver, smo_barrier_physiological, smo_redo,
+    DeltaDptMode, Dpt,
+};
+use lr_tc::{analyze_txns, undo_losers, undo_losers_parallel, UndoStats};
 use lr_wal::LogPayload;
 use std::fmt;
 use std::str::FromStr;
@@ -113,6 +117,9 @@ impl fmt::Display for RecoveryMethod {
 impl FromStr for RecoveryMethod {
     type Err = String;
 
+    /// Case-insensitive; accepts every name [`RecoveryMethod::name`]
+    /// prints (`"ARIES-ckpt"`, `"Log-perfect"`, `"Log2-dptpf"`, ...) plus
+    /// the short aliases. The error lists every valid spelling.
     fn from_str(s: &str) -> std::result::Result<Self, String> {
         match s.to_ascii_lowercase().as_str() {
             "log0" => Ok(RecoveryMethod::Log0),
@@ -124,7 +131,10 @@ impl FromStr for RecoveryMethod {
             "perfect" | "log-perfect" => Ok(RecoveryMethod::LogPerfect),
             "reduced" | "log-reduced" => Ok(RecoveryMethod::LogReduced),
             "log2-dpt" | "log2-dptpf" => Ok(RecoveryMethod::Log2DptPrefetch),
-            other => Err(format!("unknown recovery method '{other}'")),
+            other => {
+                let valid: Vec<&str> = RecoveryMethod::all().iter().map(|m| m.name()).collect();
+                Err(format!("unknown recovery method '{other}' (valid: {})", valid.join(", ")))
+            }
         }
     }
 }
@@ -182,6 +192,20 @@ impl fmt::Display for RecoveryReport {
             b.redo_us as f64 / 1e3,
             b.undo_us as f64 / 1e3
         )?;
+        if b.workers > 1 {
+            writeln!(
+                f,
+                "  parallel: {} workers | partition {:.1} ms | merge {:.1} ms | worker busy \
+                 max {:.1} / total {:.1} ms (skew {:.2}) | queue-stall {:.1} ms (real)",
+                b.workers,
+                b.partition_us as f64 / 1e3,
+                b.merge_us as f64 / 1e3,
+                b.worker_busy_max_us as f64 / 1e3,
+                b.worker_busy_total_us as f64 / 1e3,
+                b.partition_skew(),
+                b.queue_stall_us as f64 / 1e3
+            )?;
+        }
         writeln!(
             f,
             "  window: {} records ({} data ops, {} log pages); DPT {} entries",
@@ -208,11 +232,70 @@ impl fmt::Display for RecoveryReport {
     }
 }
 
+/// The method's redo screen + prefetch configuration, built once per
+/// recovery and consumed by whichever executor (serial pass or
+/// partitioned dispatcher) runs it.
+fn redo_family<'a>(
+    method: RecoveryMethod,
+    dpt: Option<&'a Dpt>,
+    last_delta_tc_lsn: Lsn,
+    pf_list: &mut Vec<lr_common::PageId>,
+) -> RedoFamily<'a> {
+    let ctx = |dpt: Option<&'a Dpt>| LogicalCtx {
+        dpt: dpt.expect("DPT-assisted methods build a DPT"),
+        last_delta_tc_lsn,
+    };
+    match method {
+        RecoveryMethod::Sql1 | RecoveryMethod::AriesCkpt => RedoFamily::Physiological {
+            dpt: dpt.expect("physiological methods build a DPT"),
+            prefetch: None,
+        },
+        RecoveryMethod::Sql2 => RedoFamily::Physiological {
+            dpt: dpt.expect("SQL2 builds a DPT"),
+            prefetch: Some(LogDrivenPrefetcher::new(LOG_DRIVEN_LOOKAHEAD_RECORDS)),
+        },
+        RecoveryMethod::Log0 => RedoFamily::Logical { ctx: None, prefetch: LogicalPrefetch::None },
+        RecoveryMethod::Log1 | RecoveryMethod::LogPerfect | RecoveryMethod::LogReduced => {
+            RedoFamily::Logical { ctx: Some(ctx(dpt)), prefetch: LogicalPrefetch::None }
+        }
+        RecoveryMethod::Log2 => RedoFamily::Logical {
+            ctx: Some(ctx(dpt)),
+            prefetch: LogicalPrefetch::PfList(PfListPrefetcher::new(
+                std::mem::take(pf_list),
+                PF_LIST_AHEAD_PAGES,
+            )),
+        },
+        RecoveryMethod::Log2DptPrefetch => RedoFamily::Logical {
+            ctx: Some(ctx(dpt)),
+            prefetch: LogicalPrefetch::DptDriven(DptDrivenPrefetcher::new(
+                dpt.expect("DPT built above"),
+                PF_LIST_AHEAD_PAGES,
+            )),
+        },
+    }
+}
+
 impl Engine {
-    /// Recover the crashed engine with `method`. On success the engine is
-    /// usable again (a post-recovery checkpoint is taken, untimed, so
-    /// normal-execution monitoring restarts soundly).
+    /// Recover the crashed engine with `method` and the serial §5
+    /// pipeline. On success the engine is usable again (a post-recovery
+    /// checkpoint is taken, untimed, so normal-execution monitoring
+    /// restarts soundly).
     pub fn recover(&self, method: RecoveryMethod) -> Result<RecoveryReport> {
+        self.recover_with(method, RecoveryOptions::default())
+    }
+
+    /// Recover the crashed engine with `method` under `opts`. With
+    /// `workers == 1` this is exactly [`Engine::recover`]; with more, the
+    /// redo pass runs as a DPT-partitioned dispatcher + worker pipeline
+    /// and undo parallelizes per loser transaction (see
+    /// [`crate::precovery`]) — producing state identical to the serial
+    /// pipeline, with per-worker timing shards in the report.
+    pub fn recover_with(
+        &self,
+        method: RecoveryMethod,
+        opts: RecoveryOptions,
+    ) -> Result<RecoveryReport> {
+        let workers = opts.workers.max(1);
         let _lc = self.lifecycle.lock();
         // The state check lives inside the lifecycle critical section: two
         // racing recover() calls must not both pass it — the loser would
@@ -363,53 +446,49 @@ impl Engine {
         }
         bk.log_pages_read += log_pages;
 
-        match method {
-            RecoveryMethod::Sql1 | RecoveryMethod::AriesCkpt => {
-                physiological_redo(
+        // One screen/prefetch configuration serves both executors, so the
+        // serial and partitioned pipelines can never drift apart per
+        // method.
+        let family = redo_family(method, dpt.as_ref(), last_delta_tc_lsn, &mut pf_list);
+        if workers <= 1 {
+            match family {
+                RedoFamily::Physiological { dpt, prefetch } => {
+                    physiological_redo(&self.dc, &window, dpt, prefetch, &mut bk)?;
+                }
+                RedoFamily::Logical { ctx, prefetch } => {
+                    logical_redo(&self.dc, &window, ctx.as_ref(), prefetch, &mut bk)?;
+                }
+            }
+            bk.redo_us = self.clock.now_us() - t_redo;
+        } else {
+            // ---- partitioned redo (see crate::precovery) ----
+            //
+            // Physiological methods replay SMOs inline during serial redo;
+            // the partitioned stream cannot, so they run as a serialized,
+            // DPT-screened barrier phase first (logical methods already
+            // replayed SMOs during DC recovery above). The barrier's work
+            // lands in the same counters the serial inline replay uses
+            // (`ops_reapplied` and the skip counters), keeping serial and
+            // parallel reports field-compatible.
+            if !method.is_logical() {
+                let t_smo = self.clock.now_us();
+                let out = smo_barrier_physiological(
                     &self.dc,
                     &window,
                     dpt.as_ref().expect("physiological methods build a DPT"),
-                    None,
-                    &mut bk,
                 )?;
+                bk.ops_reapplied += out.pages_applied;
+                bk.skipped_no_dpt_entry += out.skipped_no_dpt_entry;
+                bk.skipped_rlsn += out.skipped_rlsn;
+                bk.skipped_plsn += out.skipped_plsn;
+                bk.smo_redo_us += self.clock.now_us() - t_smo;
             }
-            RecoveryMethod::Sql2 => {
-                physiological_redo(
-                    &self.dc,
-                    &window,
-                    dpt.as_ref().expect("SQL2 builds a DPT"),
-                    Some(LogDrivenPrefetcher::new(LOG_DRIVEN_LOOKAHEAD_RECORDS)),
-                    &mut bk,
-                )?;
-            }
-            RecoveryMethod::Log0 => {
-                logical_redo(&self.dc, &window, None, LogicalPrefetch::None, &mut bk)?;
-            }
-            RecoveryMethod::Log1 | RecoveryMethod::LogPerfect | RecoveryMethod::LogReduced => {
-                let ctx =
-                    LogicalCtx { dpt: dpt.as_ref().expect("DPT built above"), last_delta_tc_lsn };
-                logical_redo(&self.dc, &window, Some(&ctx), LogicalPrefetch::None, &mut bk)?;
-            }
-            RecoveryMethod::Log2 => {
-                let ctx =
-                    LogicalCtx { dpt: dpt.as_ref().expect("DPT built above"), last_delta_tc_lsn };
-                let pf = PfListPrefetcher::new(std::mem::take(&mut pf_list), PF_LIST_AHEAD_PAGES);
-                logical_redo(&self.dc, &window, Some(&ctx), LogicalPrefetch::PfList(pf), &mut bk)?;
-            }
-            RecoveryMethod::Log2DptPrefetch => {
-                let ctx =
-                    LogicalCtx { dpt: dpt.as_ref().expect("DPT built above"), last_delta_tc_lsn };
-                let pf = DptDrivenPrefetcher::new(ctx.dpt, PF_LIST_AHEAD_PAGES);
-                logical_redo(
-                    &self.dc,
-                    &window,
-                    Some(&ctx),
-                    LogicalPrefetch::DptDriven(pf),
-                    &mut bk,
-                )?;
-            }
+            parallel_redo(&self.dc, &window, family, workers, &mut bk)?;
+            // The dispatcher's log re-scan rides the sequential-read model,
+            // like the serial pass's window re-read.
+            bk.partition_us += log_pages * model.log_page_read_us;
+            let _ = t_redo;
         }
-        bk.redo_us = self.clock.now_us() - t_redo;
         let ps_after = self.dc.pool().stats();
         bk.data_pages_fetched = ps_after.data_page_misses - ps_before.data_page_misses;
         bk.index_pages_fetched = ps_after.index_page_misses - ps_before.index_page_misses;
@@ -421,7 +500,14 @@ impl Engine {
         // ---- phase 3: transactional undo (common to all methods) ----
         let t_undo = self.clock.now_us();
         let txn_analysis = analyze_txns(&window, &ckpt_active);
-        let undo = undo_losers(&self.tc, &self.dc, &txn_analysis.losers)?;
+        let undo = if workers <= 1 {
+            undo_losers(&self.tc, &self.dc, &txn_analysis.losers)?
+        } else {
+            // Per-loser units on a shared queue; chains are independent
+            // (runtime key locks were exclusive) and CLRs ride the shared
+            // log's normal append path.
+            undo_losers_parallel(&self.tc, &self.dc, &txn_analysis.losers, workers)?
+        };
         // Undo's random-access log reads.
         for _ in 0..undo.log_records_visited {
             self.dc.pool_mut().disk_mut().charge_log_page_read();
@@ -429,6 +515,7 @@ impl Engine {
         bk.undo_us = self.clock.now_us() - t_undo;
         bk.losers_undone = undo.losers_undone;
         bk.undo_ops = undo.ops_undone;
+        bk.workers = workers as u64;
 
         // ---- finish: back to normal execution ----
         let pool = self.dc.pool().stats();
@@ -468,9 +555,24 @@ mod tests {
         for m in RecoveryMethod::all() {
             let parsed: RecoveryMethod = m.name().to_lowercase().parse().unwrap();
             assert_eq!(parsed, m, "{} failed to roundtrip", m.name());
+            // The exact display spelling parses too ("ARIES-ckpt",
+            // "Log-perfect", "Log2-dptpf", ...), no caller lowercasing.
+            let display: RecoveryMethod = m.name().parse().unwrap();
+            assert_eq!(display, m, "display name '{}' failed to parse", m.name());
+            let via_to_string: RecoveryMethod = m.to_string().parse().unwrap();
+            assert_eq!(via_to_string, m);
         }
         assert!("nonsense".parse::<RecoveryMethod>().is_err());
         assert_eq!("aries".parse::<RecoveryMethod>().unwrap(), RecoveryMethod::AriesCkpt);
+    }
+
+    #[test]
+    fn parse_error_lists_valid_names() {
+        let err = "bogus".parse::<RecoveryMethod>().unwrap_err();
+        assert!(err.contains("unknown recovery method 'bogus'"), "{err}");
+        for m in RecoveryMethod::all() {
+            assert!(err.contains(m.name()), "error message missing '{}': {err}", m.name());
+        }
     }
 
     #[test]
@@ -510,6 +612,43 @@ mod tests {
         for needle in ["recovery with Log1", "analysis", "redo test", "stalls", "DPT"] {
             assert!(rendered.contains(needle), "missing '{needle}' in:\n{rendered}");
         }
+    }
+
+    #[test]
+    fn parallel_recovery_reports_worker_shards() {
+        let e = Engine::build(EngineConfig {
+            initial_rows: 2_000,
+            pool_pages: 64,
+            io_model: lr_common::IoModel::zero(),
+            ..EngineConfig::default()
+        })
+        .unwrap();
+        for k in 0..200u64 {
+            let t = e.begin().unwrap();
+            e.update(t, k * 7 % 2_000, format!("v{k}").into_bytes()).unwrap();
+            e.commit(t).unwrap();
+        }
+        // A loser for the undo pass.
+        let loser = e.begin().unwrap();
+        e.update(loser, 3, b"loser".to_vec()).unwrap();
+        e.crash();
+        let report = e
+            .recover_with(RecoveryMethod::Log1, crate::precovery::RecoveryOptions::with_workers(4))
+            .unwrap();
+        let b = &report.breakdown;
+        assert_eq!(b.workers, 4);
+        assert!(b.ops_reapplied > 0, "parallel redo applied work");
+        assert_eq!(b.losers_undone, 1);
+        assert!(b.worker_busy_max_us <= b.worker_busy_total_us, "max worker cannot exceed the sum");
+        assert_eq!(b.redo_us, b.worker_busy_max_us, "redo wall-clock is max-of-workers");
+        let rendered = report.to_string();
+        assert!(rendered.contains("parallel: 4 workers"), "{rendered}");
+        // No committed txn touched key 3 (7k ≡ 3 mod 2000 has no solution
+        // below 200), so undoing the loser restores the bulk-loaded value.
+        assert_eq!(
+            e.read(crate::DEFAULT_TABLE, 3).unwrap().unwrap(),
+            crate::config::deterministic_value(3, 0, 100)
+        );
     }
 
     #[test]

@@ -19,6 +19,19 @@ pub struct DptEntry {
     pub last_lsn: Lsn,
 }
 
+/// Verdict of the optimized redo screen (Alg. 1 lines 5-8 / Alg. 5 lines
+/// 5-8): the two pre-fetch skip cases, or "fetch the page and let the
+/// pLSN test decide".
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DptScreen {
+    /// No DPT entry: the page was never dirty in the window — skip.
+    SkipNoEntry,
+    /// Record predates the entry's rLSN: its effect is on disk — skip.
+    SkipRlsn,
+    /// The record may need redo; fetch and run the pLSN test.
+    Fetch,
+}
+
 /// The dirty page table.
 #[derive(Clone, Debug, Default)]
 pub struct Dpt {
@@ -43,6 +56,19 @@ impl Dpt {
     /// `FINDENTRY(pid)`.
     pub fn find(&self, pid: PageId) -> Option<&DptEntry> {
         self.entries.get(&pid)
+    }
+
+    /// The optimized redo screen for a record at `lsn` targeting `pid`.
+    /// Every redo executor — serial physiological/logical, the parallel
+    /// dispatcher, and SMO replay — must route through this one
+    /// implementation: a divergent screen in any executor silently breaks
+    /// the workers=N ≡ workers=1 state equivalence.
+    pub fn screen(&self, pid: PageId, lsn: Lsn) -> DptScreen {
+        match self.find(pid) {
+            None => DptScreen::SkipNoEntry,
+            Some(e) if lsn < e.rlsn => DptScreen::SkipRlsn,
+            Some(_) => DptScreen::Fetch,
+        }
     }
 
     pub fn contains(&self, pid: PageId) -> bool {

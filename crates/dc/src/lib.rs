@@ -33,6 +33,9 @@ pub use builders::{
 };
 pub use catalog::Catalog;
 pub use dc::{DataComponent, DcConfig, PrepareInfo, WriteIntent};
-pub use dpt::{Dpt, DptEntry};
-pub use recovery::{dc_recover, find_recovery_window, smo_redo, DcRecoveryOutcome};
+pub use dpt::{Dpt, DptEntry, DptScreen};
+pub use recovery::{
+    dc_recover, find_recovery_window, replay_smo_screened, smo_barrier_physiological, smo_redo,
+    DcRecoveryOutcome, SmoBarrierOutcome,
+};
 pub use trackers::{BwTracker, DeltaTracker};

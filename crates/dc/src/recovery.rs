@@ -117,14 +117,105 @@ pub fn find_recovery_window(wal: &lr_wal::Wal) -> Result<(Lsn, Lsn, Vec<LogRecor
         Some((b, e)) => (b, Some(e)),
         None => (lr_wal::LOG_ORIGIN, None),
     };
-    let window = wal.scan_from(scan_start)?;
+    // One lazy forward pass over the borrowing cursor: each record is
+    // decoded exactly once, observed for the RSSP note, and moved (not
+    // re-decoded or cloned) into the window.
     let mut rssp = Lsn::NULL;
-    for rec in &window {
+    let mut window = Vec::with_capacity(wal.records_from(scan_start).remaining());
+    for rec in wal.records_from(scan_start) {
+        let rec = rec?;
         if let LogPayload::Rssp { rssp_lsn } = rec.payload {
             rssp = rssp.max(rssp_lsn);
         }
+        window.push(rec);
     }
     Ok((scan_start, rssp, window))
+}
+
+/// Work counters of a screened SMO barrier pass (parallel physiological
+/// recovery). Field names mirror the `RecoveryBreakdown` counters the
+/// caller folds them into.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SmoBarrierOutcome {
+    pub pages_applied: u64,
+    pub skipped_no_dpt_entry: u64,
+    pub skipped_rlsn: u64,
+    pub skipped_plsn: u64,
+}
+
+/// Replay one SMO system-transaction record with the physiological redo
+/// screen: each page image is DPT-screened ([`Dpt::screen`]),
+/// pLSN-guarded, and installed wholesale; a root move updates the
+/// in-memory catalog. Returns the record's LSN when it moved a root —
+/// callers persist the catalog once, after the last root move.
+///
+/// This is the single implementation serial physiological redo (inline,
+/// in LSN order) and the parallel barrier phase both call; keeping them
+/// on one code path is what guarantees they replay SMOs identically.
+pub fn replay_smo_screened(
+    dc: &DataComponent,
+    lsn: Lsn,
+    smo: &lr_wal::SmoRecord,
+    dpt: &Dpt,
+    out: &mut SmoBarrierOutcome,
+) -> Result<Option<Lsn>> {
+    for (pid, image) in &smo.pages {
+        match dpt.screen(*pid, lsn) {
+            crate::dpt::DptScreen::SkipNoEntry => {
+                out.skipped_no_dpt_entry += 1;
+                continue;
+            }
+            crate::dpt::DptScreen::SkipRlsn => {
+                out.skipped_rlsn += 1;
+                continue;
+            }
+            crate::dpt::DptScreen::Fetch => {}
+        }
+        dc.pool_mut().fetch(*pid)?;
+        let plsn = dc.pool_mut().with_page(*pid, |p| p.plsn())?;
+        if lsn <= plsn {
+            out.skipped_plsn += 1;
+            continue;
+        }
+        let page = Page::from_bytes(image.clone().into_boxed_slice())?;
+        dc.pool_mut().install_page(*pid, page, lsn)?;
+        out.pages_applied += 1;
+    }
+    if let Some((table, root)) = smo.new_root {
+        dc.set_root(table, root);
+        return Ok(Some(lsn));
+    }
+    Ok(None)
+}
+
+/// Serialized SMO replay with the physiological redo test — the barrier
+/// phase parallel physiological recovery runs *before* data redo.
+///
+/// Serial physiological redo (Algorithm 1) replays SMO system-transaction
+/// records inline in LSN order; partitioned data redo cannot, because an
+/// SMO image install on a page that a worker already redid past would
+/// roll its pLSN (and contents) backward. Hoisting all SMO records into
+/// one pLSN-guarded, DPT-screened pass ahead of data redo is
+/// state-equivalent: a data record ordered before an SMO image of the
+/// same page is subsumed by the image (it executed before the image was
+/// captured), and one ordered after it survives the pLSN test.
+pub fn smo_barrier_physiological(
+    dc: &DataComponent,
+    window: &[LogRecord],
+    dpt: &Dpt,
+) -> Result<SmoBarrierOutcome> {
+    let mut out = SmoBarrierOutcome::default();
+    let mut root_moved = None;
+    for rec in window {
+        let LogPayload::Smo(smo) = &rec.payload else { continue };
+        if let Some(lsn) = replay_smo_screened(dc, rec.lsn, smo, dpt, &mut out)? {
+            root_moved = Some(lsn);
+        }
+    }
+    if let Some(lsn) = root_moved {
+        dc.save_catalog(lsn)?;
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -130,6 +130,32 @@ fn undo_chain(
     Ok(())
 }
 
+/// Losers ordered highest chain head first (ARIES' single-pass backward
+/// processing order), adopted into the (post-crash, empty) transaction
+/// table so CLR logging and abort completion work normally. The returned
+/// list is the per-transaction work queue both undo drivers consume.
+fn adopt_and_order(tc: &TransactionComponent, losers: &BTreeMap<TxnId, Lsn>) -> Vec<(TxnId, Lsn)> {
+    let mut order: Vec<(TxnId, Lsn)> = losers.iter().map(|(t, l)| (*t, *l)).collect();
+    order.sort_unstable_by_key(|(_, lsn)| std::cmp::Reverse(*lsn));
+    for (txn, last) in &order {
+        tc.adopt_loser(*txn, *last);
+    }
+    order
+}
+
+/// One unit of recovery undo: roll back a single loser and count it.
+fn undo_one_loser(
+    tc: &TransactionComponent,
+    dc: &DataComponent,
+    txn: TxnId,
+    last: Lsn,
+    stats: &mut UndoStats,
+) -> Result<()> {
+    rollback_txn(tc, dc, txn, last, stats)?;
+    stats.losers_undone += 1;
+    Ok(())
+}
+
 /// The recovery undo pass: roll back every loser, highest chain head first
 /// (single-pass backward processing order, as ARIES prescribes).
 pub fn undo_losers(
@@ -138,18 +164,58 @@ pub fn undo_losers(
     losers: &BTreeMap<TxnId, Lsn>,
 ) -> Result<UndoStats> {
     let mut stats = UndoStats::default();
-    // Adopt losers into the (post-crash, empty) transaction table so CLR
-    // logging and abort completion work normally.
-    let mut order: Vec<(TxnId, Lsn)> = losers.iter().map(|(t, l)| (*t, *l)).collect();
-    order.sort_unstable_by_key(|(_, lsn)| std::cmp::Reverse(*lsn));
-    for (txn, last) in &order {
-        tc.adopt_loser(*txn, *last);
-    }
-    for (txn, last) in order {
-        rollback_txn(tc, dc, txn, last, &mut stats)?;
-        stats.losers_undone += 1;
+    for (txn, last) in adopt_and_order(tc, losers) {
+        undo_one_loser(tc, dc, txn, last, &mut stats)?;
     }
     Ok(stats)
+}
+
+/// Concurrent recovery undo: the same per-transaction units as
+/// [`undo_losers`], pulled off a shared queue by up to `workers` threads.
+///
+/// Each loser's undo chain is independent — runtime key locks were
+/// exclusive, so no two in-flight transactions updated the same key — and
+/// CLRs append through the shared log's normal (group-commit-capable)
+/// path, so interleaving across losers only changes CLR placement on the
+/// log, never the compensated state. Workers still start from the
+/// highest-chain-head loser (the serial processing order) and merely
+/// overlap the tail.
+pub fn undo_losers_parallel(
+    tc: &TransactionComponent,
+    dc: &DataComponent,
+    losers: &BTreeMap<TxnId, Lsn>,
+    workers: usize,
+) -> Result<UndoStats> {
+    let workers = workers.clamp(1, losers.len().max(1));
+    if workers <= 1 {
+        return undo_losers(tc, dc, losers);
+    }
+    let order = adopt_and_order(tc, losers);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let shards: Vec<Result<UndoStats>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut stats = UndoStats::default();
+                    loop {
+                        let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        let Some(&(txn, last)) = order.get(i) else { break };
+                        undo_one_loser(tc, dc, txn, last, &mut stats)?;
+                    }
+                    Ok(stats)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("undo worker panicked")).collect()
+    });
+    let mut merged = UndoStats::default();
+    for shard in shards {
+        let shard = shard?;
+        merged.losers_undone += shard.losers_undone;
+        merged.ops_undone += shard.ops_undone;
+        merged.log_records_visited += shard.log_records_visited;
+    }
+    Ok(merged)
 }
 
 #[cfg(test)]
@@ -238,6 +304,54 @@ mod tests {
         let stats = undo_losers(&tc, &dc, &losers).unwrap();
         assert_eq!(stats.losers_undone, 2);
         assert_eq!(dc.read(T, 0).unwrap().unwrap(), 0u64.to_le_bytes().to_vec());
+        assert_eq!(dc.read(T, 1).unwrap().unwrap(), 1u64.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn parallel_undo_matches_serial() {
+        let (tc, dc) = setup();
+        let t0 = tc.begin();
+        for k in 0..32 {
+            do_insert(&tc, &dc, t0, k);
+        }
+        tc.commit(t0).unwrap();
+
+        // Eight in-flight losers, disjoint keys (runtime locks guarantee
+        // disjointness; mirrored here).
+        let mut losers = BTreeMap::new();
+        for i in 0..8u64 {
+            let t = tc.begin();
+            do_update(&tc, &dc, t, i * 4, 900 + i);
+            do_update(&tc, &dc, t, i * 4 + 1, 950 + i);
+            do_delete(&tc, &dc, t, i * 4 + 2);
+            losers.insert(t, tc.last_lsn_of(t).unwrap());
+        }
+
+        let stats = undo_losers_parallel(&tc, &dc, &losers, 4).unwrap();
+        assert_eq!(stats.losers_undone, 8);
+        assert_eq!(stats.ops_undone, 24);
+        for k in 0..32u64 {
+            assert_eq!(
+                dc.read(T, k).unwrap().unwrap(),
+                k.to_le_bytes().to_vec(),
+                "key {k} not restored"
+            );
+        }
+        assert_eq!(tc.locks().lock_count(), 0);
+    }
+
+    #[test]
+    fn parallel_undo_with_one_worker_degenerates_to_serial() {
+        let (tc, dc) = setup();
+        let t0 = tc.begin();
+        do_insert(&tc, &dc, t0, 1);
+        tc.commit(t0).unwrap();
+        let t1 = tc.begin();
+        do_update(&tc, &dc, t1, 1, 77);
+        let mut losers = BTreeMap::new();
+        losers.insert(t1, tc.last_lsn_of(t1).unwrap());
+        let stats = undo_losers_parallel(&tc, &dc, &losers, 1).unwrap();
+        assert_eq!(stats.losers_undone, 1);
         assert_eq!(dc.read(T, 1).unwrap().unwrap(), 1u64.to_le_bytes().to_vec());
     }
 

@@ -7,8 +7,10 @@
 //! image.
 
 use lr_common::IoModel;
-use lr_core::{Engine, EngineConfig, RecoveryMethod, ShadowDb, DEFAULT_TABLE};
-use lr_workload::{run_to_crash, CrashScenario, TxnGenerator, WorkloadSpec};
+use lr_core::{Engine, EngineConfig, RecoveryMethod, RecoveryOptions, ShadowDb, DEFAULT_TABLE};
+use lr_workload::{
+    run_concurrent, run_to_crash, spill_concurrent, CrashScenario, TxnGenerator, WorkloadSpec,
+};
 
 fn base_config() -> EngineConfig {
     EngineConfig {
@@ -34,21 +36,33 @@ fn scenario() -> CrashScenario {
     }
 }
 
-/// Run the seeded workload to the crash point and recover with `method`;
-/// return the full table contents.
-fn crash_and_recover(method: RecoveryMethod, seed: u64) -> Vec<(u64, Vec<u8>)> {
+/// Post-recovery observables: full table contents plus the loser set the
+/// undo pass rolled back as `(losers undone, undo ops)`.
+type RecoveredState = (Vec<(u64, Vec<u8>)>, (u64, u64));
+
+/// Run the seeded workload to the crash point and recover with `method`
+/// under `workers`.
+fn crash_and_recover_with(method: RecoveryMethod, seed: u64, workers: usize) -> RecoveredState {
     let cfg = base_config();
     let mut shadow = ShadowDb::with_initial_rows(&cfg);
     let mut gen = TxnGenerator::new(WorkloadSpec::paper_default(cfg.initial_rows, 100, seed));
     let mut engine = Engine::build(cfg).unwrap();
     run_to_crash(&mut engine, &mut shadow, &mut gen, &scenario()).unwrap();
-    let report = engine.recover(method).unwrap();
+    let report = engine.recover_with(method, RecoveryOptions::with_workers(workers)).unwrap();
     assert_eq!(report.method, method);
-    shadow
-        .verify_against(&engine)
-        .unwrap_or_else(|e| panic!("{method} diverged from the committed oracle: {e}"));
+    assert_eq!(report.breakdown.workers, workers as u64);
+    shadow.verify_against(&engine).unwrap_or_else(|e| {
+        panic!("{method} (workers={workers}) diverged from the committed oracle: {e}")
+    });
     engine.verify_table(DEFAULT_TABLE).expect("B-tree well-formed after recovery");
-    engine.scan_table(DEFAULT_TABLE).unwrap()
+    let losers = (report.breakdown.losers_undone, report.breakdown.undo_ops);
+    (engine.scan_table(DEFAULT_TABLE).unwrap(), losers)
+}
+
+/// Serial-pipeline convenience used by the original method-equivalence
+/// tests.
+fn crash_and_recover(method: RecoveryMethod, seed: u64) -> Vec<(u64, Vec<u8>)> {
+    crash_and_recover_with(method, seed, 1).0
 }
 
 #[test]
@@ -70,6 +84,64 @@ fn all_methods_recover_identical_state() {
         assert_eq!(state.len(), reference.len(), "{method}: row count diverged from Log0");
         assert_eq!(state, reference, "{method}: contents diverged from Log0");
     }
+}
+
+#[test]
+fn parallel_recovery_matches_serial_for_every_method() {
+    // The partitioned pipeline's core claim: for every method, workers ∈
+    // {2, 4} reproduce exactly the workers=1 state (table contents) and
+    // the same loser set. One seeded crash per (method, workers) cell —
+    // the deterministic workload replays a byte-identical log each time.
+    let seed = 20260729;
+    for method in RecoveryMethod::all() {
+        let (reference, ref_losers) = crash_and_recover_with(method, seed, 1);
+        assert!(!reference.is_empty());
+        for workers in [2usize, 4] {
+            let (state, losers) = crash_and_recover_with(method, seed, workers);
+            assert_eq!(
+                losers, ref_losers,
+                "{method} workers={workers}: loser set diverged from serial"
+            );
+            assert_eq!(
+                state, reference,
+                "{method} workers={workers}: contents diverged from serial"
+            );
+        }
+    }
+}
+
+#[test]
+fn crash_during_spill_recovers_identically_serial_and_parallel() {
+    // Larger-than-cache concurrent workload (the PR-2 spill preset), with
+    // in-flight losers at the crash. The same crash image is forked and
+    // recovered serially and with 4 workers; both must produce identical
+    // state — this exercises parallel redo under real eviction pressure
+    // (workers' pages get flushed and refetched mid-pass).
+    let (cfg, scenario) = spill_concurrent(4, 60);
+    let engine = Engine::build(cfg).unwrap().into_shared();
+    run_concurrent(&engine, &scenario).unwrap();
+    // Leave two transactions in flight so undo has real work.
+    let l1 = engine.begin().unwrap();
+    engine.update(l1, 1, b"spill-loser-1".to_vec()).unwrap();
+    engine.update(l1, 2, b"spill-loser-1b".to_vec()).unwrap();
+    let l2 = engine.begin().unwrap();
+    engine.update(l2, 3, b"spill-loser-2".to_vec()).unwrap();
+    engine.crash();
+
+    let serial = engine.fork_crashed().unwrap();
+    let parallel = engine.fork_crashed().unwrap();
+    let rs = serial.recover_with(RecoveryMethod::Log1, RecoveryOptions::with_workers(1)).unwrap();
+    let rp = parallel.recover_with(RecoveryMethod::Log1, RecoveryOptions::with_workers(4)).unwrap();
+    assert_eq!(rs.breakdown.losers_undone, 2);
+    assert_eq!(rp.breakdown.losers_undone, 2);
+    assert_eq!(rs.breakdown.undo_ops, rp.breakdown.undo_ops);
+    serial.verify_table(DEFAULT_TABLE).unwrap();
+    parallel.verify_table(DEFAULT_TABLE).unwrap();
+    assert_eq!(
+        serial.scan_table(DEFAULT_TABLE).unwrap(),
+        parallel.scan_table(DEFAULT_TABLE).unwrap(),
+        "spill crash: parallel state diverged from serial"
+    );
 }
 
 #[test]
