@@ -1,0 +1,207 @@
+//! **readpath** — latched vs optimistic point-read path on the read-mostly
+//! preset (95% point reads / 5% updates, uniform keys, warm cache).
+//!
+//! ```sh
+//! cargo run --release -p lr-bench --bin readpath
+//! LR_THREADS=4 LR_READS=40000 LR_KEYS=20000 \
+//!     cargo run --release -p lr-bench --bin readpath
+//! ```
+//!
+//! Runs the same workload twice — `EngineConfig::optimistic_reads` off
+//! (every read takes the shared table latch plus per-frame read latches)
+//! and on (seqlock-validated OLC descent, latched fallback) — and reports
+//! per-mode committed read throughput and latency quantiles as JSON lines:
+//!
+//! ```json
+//! {"bench":"readpath","mode":"latched","threads":4,"reads":40000,...}
+//! {"bench":"readpath","mode":"optimistic",...}
+//! ```
+//!
+//! **CI gate:** exits nonzero if optimistic point-read throughput falls
+//! below the latched baseline (scaled by `LR_READPATH_MARGIN`, default
+//! 1.0 — strict) — the acceptance criterion that the latch-free path is a
+//! win, not a regression, on its target workload.
+
+use lr_core::{Engine, EngineConfig, Session, DEFAULT_TABLE};
+use lr_workload::{KeyDist, OpMix, TxnGenerator, WorkloadSpec};
+use std::time::Instant;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+struct ModeReport {
+    reads: u64,
+    updates: u64,
+    wall_s: f64,
+    reads_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+    optimistic_point_reads: u64,
+    read_fallbacks: u64,
+    validation_failures: u64,
+}
+
+/// One measured run: `threads` sessions over the read-mostly mix, timing
+/// every point read individually.
+fn run_mode(optimistic: bool, threads: usize, reads_target: u64, key_space: u64) -> ModeReport {
+    let engine = Engine::build(EngineConfig {
+        initial_rows: key_space,
+        pool_pages: (key_space / 8).max(1_024) as usize,
+        io_model: lr_common::IoModel::zero(),
+        optimistic_reads: optimistic,
+        ..EngineConfig::default()
+    })
+    .expect("engine build")
+    .into_shared();
+
+    // Warm the cache: one full latched scan pulls every leaf and internal
+    // page in, so both modes measure the in-memory read path, not device
+    // misses.
+    let warm = engine.scan_range(DEFAULT_TABLE, 0, u64::MAX).expect("warm scan");
+    assert_eq!(warm.len() as u64, key_space, "warm scan saw the whole table");
+
+    let per_thread = reads_target / threads as u64;
+    let start = Instant::now();
+    let shards: Vec<(u64, u64, lr_common::Histogram)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let mut session: Session = Engine::session(&engine);
+                let spec = WorkloadSpec {
+                    key_space,
+                    txn_ops: 10,
+                    mix: OpMix { update_pct: 5, read_pct: 95, insert_pct: 0, delete_pct: 0 },
+                    dist: KeyDist::Uniform,
+                    value_size: 100,
+                    seed: 42 + t as u64,
+                };
+                s.spawn(move || {
+                    let mut gen = TxnGenerator::new_with_insert_band(spec, t as u64 + 1);
+                    let mut hist = lr_common::Histogram::new();
+                    let mut reads = 0u64;
+                    let mut updates = 0u64;
+                    while reads < per_thread {
+                        for op in gen.next_txn() {
+                            match op {
+                                lr_workload::Op::Read { key } => {
+                                    let t0 = Instant::now();
+                                    let v = session.read(DEFAULT_TABLE, key).expect("read");
+                                    hist.record(t0.elapsed().as_nanos() as u64);
+                                    assert!(v.is_some(), "loaded key {key} must exist");
+                                    reads += 1;
+                                }
+                                lr_workload::Op::Update { key, value } => {
+                                    session
+                                        .run_txn(10_000, |s| {
+                                            s.update_in(DEFAULT_TABLE, key, value.clone())
+                                        })
+                                        .expect("update");
+                                    updates += 1;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    (reads, updates, hist)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("reader thread panicked")).collect()
+    });
+    let wall = start.elapsed();
+
+    let mut hist = lr_common::Histogram::new();
+    let mut reads = 0u64;
+    let mut updates = 0u64;
+    for (r, u, h) in &shards {
+        reads += r;
+        updates += u;
+        hist.merge(h);
+    }
+    let stats = engine.stats();
+    engine.tc().locks().assert_no_leaks();
+    ModeReport {
+        reads,
+        updates,
+        wall_s: wall.as_secs_f64(),
+        reads_per_sec: reads as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ns: hist.quantile(0.50),
+        p99_ns: hist.quantile(0.99),
+        max_ns: hist.max(),
+        optimistic_point_reads: stats.optimistic_point_reads,
+        read_fallbacks: stats.read_fallbacks,
+        validation_failures: stats.optimistic_validation_failures,
+    }
+}
+
+fn emit(mode: &str, threads: usize, r: &ModeReport) {
+    println!(
+        "{{\"bench\":\"readpath\",\"mode\":\"{mode}\",\"threads\":{threads},\
+         \"reads\":{},\"updates\":{},\"wall_s\":{:.3},\"reads_per_sec\":{:.0},\
+         \"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{},\
+         \"optimistic_point_reads\":{},\"read_fallbacks\":{},\
+         \"validation_failures\":{}}}",
+        r.reads,
+        r.updates,
+        r.wall_s,
+        r.reads_per_sec,
+        r.p50_ns,
+        r.p99_ns,
+        r.max_ns,
+        r.optimistic_point_reads,
+        r.read_fallbacks,
+        r.validation_failures,
+    );
+}
+
+fn main() {
+    let threads = env_u64("LR_THREADS", 4) as usize;
+    let reads = env_u64("LR_READS", 40_000);
+    let key_space = env_u64("LR_KEYS", 20_000);
+    let margin = env_f64("LR_READPATH_MARGIN", 1.0);
+
+    eprintln!(
+        "readpath: read-mostly preset (95/5), {threads} thread(s), \
+         ~{reads} timed point reads per mode, {key_space} keys, warm cache"
+    );
+
+    let latched = run_mode(false, threads, reads, key_space);
+    assert_eq!(
+        latched.optimistic_point_reads, 0,
+        "LR_READ_OPTIMISTIC off must not touch the optimistic path"
+    );
+    emit("latched", threads, &latched);
+
+    let optimistic = run_mode(true, threads, reads, key_space);
+    emit("optimistic", threads, &optimistic);
+
+    assert!(
+        optimistic.optimistic_point_reads > 0,
+        "optimistic mode never validated a single read — the path is dead"
+    );
+
+    let speedup = optimistic.reads_per_sec / latched.reads_per_sec.max(1e-9);
+    eprintln!(
+        "readpath: optimistic {:.0} reads/s vs latched {:.0} reads/s ({speedup:.2}x), \
+         p99 {} ns vs {} ns, {} fallbacks, {} validation failures",
+        optimistic.reads_per_sec,
+        latched.reads_per_sec,
+        optimistic.p99_ns,
+        latched.p99_ns,
+        optimistic.read_fallbacks,
+        optimistic.validation_failures,
+    );
+    if optimistic.reads_per_sec < latched.reads_per_sec * margin {
+        eprintln!(
+            "FAIL: optimistic point-read throughput below the latched \
+             baseline (margin {margin})"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("PASS: optimistic point reads at or above the latched baseline");
+}

@@ -53,6 +53,11 @@ fn main() {
     // LR_MAINT=1 hands checkpoints + lazywriter sweeps to the background
     // maintenance service (sessions never pay either inline).
     let maintenance = env_u64("LR_MAINT", 0) != 0;
+    // LR_READ_OPTIMISTIC=0 forces every read through the latched path
+    // (table latch + frame latches) for A/B runs against the default
+    // latch-free OLC read path; see the `readpath` bin for the dedicated
+    // read-mostly comparison.
+    let optimistic_reads = env_u64("LR_READ_OPTIMISTIC", 1) != 0;
     // LR_RECOVERY_WORKERS>1 adds a crash + parallel-recovery smoke after
     // the last throughput point (serial vs partitioned redo on the same
     // crash image).
@@ -62,8 +67,12 @@ fn main() {
     println!("{txns_total} transactions total per point (10 updates each), no-wait retry,");
     println!("commit force latency {force_us} µs (LR_FORCE_US; group commit shares it),");
     println!(
-        "{pool_pages} pool frames (LR_POOL_PAGES), background maintenance {} (LR_MAINT).\n",
+        "{pool_pages} pool frames (LR_POOL_PAGES), background maintenance {} (LR_MAINT),",
         if maintenance { "on" } else { "off" }
+    );
+    println!(
+        "optimistic read path {} (LR_READ_OPTIMISTIC).\n",
+        if optimistic_reads { "on" } else { "off" }
     );
 
     let mut table = Table::new(&[
@@ -88,6 +97,7 @@ fn main() {
             io_model: lr_common::IoModel::zero(),
             commit_force_us: force_us,
             background_maintenance: maintenance,
+            optimistic_reads,
             ..EngineConfig::default()
         })
         .expect("engine build")

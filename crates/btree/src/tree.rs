@@ -14,7 +14,7 @@
 //! operations, and the pLSN test keeps everything exactly-once.
 
 use crate::node::{self, internal_entry, leaf_record, parse_internal_entry, parse_leaf_record};
-use lr_buffer::BufferPool;
+use lr_buffer::{BufferPool, OptReadFail};
 use lr_common::{Error, Key, Lsn, PageId, Result, TableId};
 use lr_storage::{Page, PageType, SLOT_SIZE};
 use lr_wal::SmoRecord;
@@ -25,6 +25,16 @@ pub type SmoLogger<'a> = &'a mut dyn FnMut(SmoRecord) -> Lsn;
 
 /// Bytes an internal node needs free to absorb one more entry.
 const INTERNAL_NEED: usize = SLOT_SIZE + 16;
+
+/// Maximum page hops one optimistic point lookup will follow — tree depth
+/// plus a bounded B-link right-chase — before giving up to the latched
+/// fallback.
+const MAX_OPT_HOPS: usize = 24;
+
+/// Hop budget for an optimistic range scan (descent + leaves visited);
+/// scans wider than this fall back to the latched path rather than walk
+/// the chain latch-free forever.
+const MAX_OPT_SCAN_HOPS: usize = 128;
 
 /// Result of locating the leaf for a key.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -133,6 +143,164 @@ impl BTree {
             Ok(slot) => Some(parse_leaf_record(p.record(slot)).1.to_vec()),
             Err(_) => None,
         })
+    }
+
+    /// Optimistic (OLC) point lookup: descend root→leaf without the table
+    /// latch or any frame latch, validating each page's seqlock version
+    /// through [`BufferPool::try_read_optimistic`].
+    ///
+    /// An `Err` means the descent could not be validated and the caller
+    /// must fall back to the latched [`BTree::get`], which stays
+    /// authoritative: [`OptReadFail::NotResident`] if a page on the path
+    /// needs a fetch (retrying optimistically can never load it), and
+    /// [`OptReadFail::Contended`] for transient failures — a writer held
+    /// (or took) a frame latch, or an SMO raced the walk — where an
+    /// immediate retry may validate. A split that races the descent (or a
+    /// root handle one SMO stale) is chased through the leaf
+    /// **right-sibling chain**, exactly the B-link recovery `scan_range`
+    /// relies on: splits only ever move keys right, and every SMO
+    /// maintains the chain. Merges and root collapses rewrite the vacated
+    /// page as `Free`, which the descent treats as contention.
+    pub fn get_optimistic(
+        &self,
+        pool: &BufferPool,
+        key: Key,
+    ) -> std::result::Result<Option<Vec<u8>>, OptReadFail> {
+        let mut cur = self.root;
+        for _ in 0..MAX_OPT_HOPS {
+            enum Step {
+                Next(PageId),
+                Done(Option<Vec<u8>>),
+                Fail,
+            }
+            let step = pool.try_read_optimistic(cur, |v| match v.page_type() {
+                Some(PageType::Internal) => match v.route(key) {
+                    Some(child) => Step::Next(child),
+                    None => Step::Fail,
+                },
+                Some(PageType::Leaf) => match v.search(key) {
+                    Ok(slot) => Step::Done(v.value_at(slot)),
+                    Err(_) => {
+                        let n = v.slot_count();
+                        if n == 0 {
+                            // An empty leaf cannot witness key-absence for
+                            // anything to its right: deletes may have
+                            // drained it (no merging) while a racing split
+                            // moved the key down-chain. With a right
+                            // sibling the latched path must decide; only a
+                            // chain-terminal empty leaf proves absence.
+                            if v.right_sibling().is_valid() {
+                                Step::Fail
+                            } else {
+                                Step::Done(None)
+                            }
+                        } else if key > v.slot_key(n - 1) && v.right_sibling().is_valid() {
+                            // Key to the right of this leaf: a racing
+                            // split (or a stale root) moved it — chase.
+                            Step::Next(v.right_sibling())
+                        } else {
+                            Step::Done(None)
+                        }
+                    }
+                },
+                // Free/Meta page on the path: the pointer we followed is
+                // stale (merge, root collapse) — restart latched.
+                _ => Step::Fail,
+            })?;
+            match step {
+                Step::Next(next) => cur = next,
+                Step::Done(v) => return Ok(v),
+                Step::Fail => return Err(OptReadFail::Contended),
+            }
+        }
+        Err(OptReadFail::BudgetExhausted)
+    }
+
+    /// Optimistic range scan: OLC descent to the starting leaf, then a
+    /// latch-free walk of the leaf chain, each leaf seqlock-validated as
+    /// one atomic snapshot.
+    ///
+    /// An `Err` means some hop failed validation (same taxonomy as
+    /// [`BTree::get_optimistic`]) and the caller must fall back to the
+    /// latched [`BTree::scan_range`]. Snapshot semantics per leaf match
+    /// the latched scan's per-page atomicity; a split racing the walk
+    /// neither loses nor duplicates rows (pre-split copies carry the
+    /// moved rows, post-split copies are chained through the new
+    /// sibling), and merges invalidate the vacated page so the walk
+    /// aborts to the fallback instead of skipping rows.
+    pub fn scan_range_optimistic(
+        &self,
+        pool: &BufferPool,
+        from: Key,
+        to: Key,
+    ) -> std::result::Result<Vec<(Key, Vec<u8>)>, OptReadFail> {
+        if from > to {
+            return Ok(Vec::new());
+        }
+        let mut out: Vec<(Key, Vec<u8>)> = Vec::new();
+        let mut cur = self.root;
+        let mut descending = true;
+        for _ in 0..MAX_OPT_SCAN_HOPS {
+            enum Step {
+                Next(PageId),
+                Rows(Vec<(Key, Vec<u8>)>, PageId, bool),
+                Fail,
+            }
+            let at_leaf_chain = !descending;
+            let step = pool.try_read_optimistic(cur, |v| match v.page_type() {
+                Some(PageType::Internal) if !at_leaf_chain => match v.route(from) {
+                    Some(child) => Step::Next(child),
+                    None => Step::Fail,
+                },
+                Some(PageType::Leaf) => {
+                    let n = v.slot_count();
+                    if !at_leaf_chain && v.right_sibling().is_valid() {
+                        // Still positioning. An empty leaf cannot prove
+                        // where `from` lives, and `from` past the last key
+                        // means a racing split moved the range — chase
+                        // right in both cases (empty-leaf chase is the
+                        // conservative arm of the point lookup's Fail:
+                        // rows further right still matter here).
+                        if n == 0 || from > v.slot_key(n - 1) {
+                            return Step::Next(v.right_sibling());
+                        }
+                    }
+                    let mut rows = Vec::new();
+                    let mut past_end = false;
+                    for slot in 0..n {
+                        let k = v.slot_key(slot);
+                        if k > to {
+                            past_end = true;
+                            break;
+                        }
+                        if k >= from {
+                            match v.value_at(slot) {
+                                Some(val) => rows.push((k, val)),
+                                None => return Step::Fail,
+                            }
+                        }
+                    }
+                    Step::Rows(rows, v.right_sibling(), past_end)
+                }
+                _ => Step::Fail,
+            })?;
+            match step {
+                Step::Next(next) => cur = next,
+                Step::Rows(mut rows, next, past_end) => {
+                    out.append(&mut rows);
+                    if past_end || !next.is_valid() {
+                        return Ok(out);
+                    }
+                    descending = false;
+                    cur = next;
+                }
+                Step::Fail => return Err(OptReadFail::Contended),
+            }
+        }
+        // A range wider than the hop budget exhausts it *every* time:
+        // report it as non-retryable so the caller goes straight to the
+        // latched scan instead of repeating an identical doomed walk.
+        Err(OptReadFail::BudgetExhausted)
     }
 
     /// Tree height (pages on a root→leaf path).
@@ -785,6 +953,73 @@ mod find_pid_tests {
             assert_eq!(pid, full.leaf, "key {k}");
             assert_eq!(touched + 1, full.levels, "index-only walk touches one fewer page");
         }
+    }
+}
+
+#[cfg(test)]
+mod optimistic_tests {
+    use super::*;
+    use lr_common::{IoModel, SimClock};
+    use lr_storage::SimDisk;
+    use lr_wal::SmoRecord;
+
+    fn grown_tree(keys: u64) -> (BufferPool, BTree) {
+        let disk = SimDisk::new(256, 1, SimClock::new(), IoModel::zero());
+        let pool = BufferPool::new(Box::new(disk), 1024, Box::new(|l| l));
+        pool.set_elsn(Lsn::MAX);
+        let mut t = BTree::create(&pool, TableId(1)).unwrap();
+        let mut lsn = 0u64;
+        for k in 0..keys {
+            let mut smo = |_: SmoRecord| {
+                lsn += 1;
+                Lsn(lsn)
+            };
+            let leaf = t.ensure_room(&pool, k, 8 + 16 + SLOT_SIZE, &mut smo).unwrap();
+            lsn += 1;
+            t.apply_insert(&pool, leaf, k, &[k as u8; 16], Lsn(lsn)).unwrap();
+        }
+        (pool, t)
+    }
+
+    #[test]
+    fn optimistic_get_agrees_with_latched_get() {
+        let (pool, t) = grown_tree(300);
+        assert!(t.height(&pool).unwrap() >= 2, "multi-level descent exercised");
+        for k in [0u64, 1, 57, 123, 299] {
+            let opt = t.get_optimistic(&pool, k).expect("warm tree validates");
+            assert_eq!(opt, t.get(&pool, k).unwrap(), "key {k}");
+        }
+        assert_eq!(t.get_optimistic(&pool, 10_000).expect("absent key validates too"), None);
+    }
+
+    #[test]
+    fn optimistic_scan_agrees_with_latched_scan() {
+        let (pool, t) = grown_tree(300);
+        for (from, to) in [(0u64, 0u64), (10, 40), (250, 400), (301, 500)] {
+            let opt = t.scan_range_optimistic(&pool, from, to).expect("warm tree validates");
+            assert_eq!(opt, t.scan_range(&pool, from, to).unwrap(), "range [{from}, {to}]");
+        }
+        // Inverted range short-circuits.
+        assert_eq!(t.scan_range_optimistic(&pool, 9, 3), Ok(Vec::new()));
+    }
+
+    #[test]
+    fn optimistic_get_fails_on_cold_pool() {
+        let (pool, t) = grown_tree(300);
+        // A second pool over the same (forked) image has nothing cached:
+        // the optimistic path must miss, not fetch.
+        let cold = BufferPool::new(
+            pool.disk().fork(SimClock::new()).expect("sim disk forks"),
+            1024,
+            Box::new(|l| l),
+        );
+        assert_eq!(
+            t.get_optimistic(&cold, 5),
+            Err(OptReadFail::NotResident),
+            "cold cache reports a miss, not contention — retrying cannot help"
+        );
+        assert_eq!(cold.stats().optimistic_misses, 1);
+        assert_eq!(cold.stats().misses, 0, "no fetch happened");
     }
 }
 

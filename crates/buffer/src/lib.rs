@@ -21,4 +21,4 @@ pub mod events;
 pub mod pool;
 
 pub use events::CacheEvent;
-pub use pool::{BufferPool, EoslProvider, FetchInfo, PoolStats};
+pub use pool::{BufferPool, EoslProvider, FetchInfo, OptReadFail, PoolStats};

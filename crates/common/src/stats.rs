@@ -70,10 +70,10 @@ pub struct RecoveryBreakdown {
     /// deterministic simulated per-shard CPU charge (parallel recovery
     /// only; zero for serial).
     pub merge_us: u64,
-    /// The transactional undo pass. Always a shared-clock delta — with
-    /// parallel undo the workers overlap in real time but charge one
-    /// simulated timeline, so this is an upper (sum-of-workers) bound on
-    /// the parallel undo wall-clock.
+    /// The transactional undo pass. Serial recovery reports the shared-
+    /// clock delta; parallel recovery reports the busiest undo worker's
+    /// busy time (max-of-workers wall-clock, like `redo_us`) from the
+    /// per-loser-worker shards below.
     pub undo_us: u64,
 
     /// Redo/undo worker count this recovery ran with (1 = serial pipeline).
@@ -83,6 +83,13 @@ pub struct RecoveryBreakdown {
     /// Sum of all redo workers' simulated µs — the device-charge view of
     /// the same work (`max` is wall-clock, `sum` is total busy time).
     pub worker_busy_total_us: u64,
+    /// Busiest undo worker's simulated µs (per-loser-worker busy shards:
+    /// traversal CPU, own device stalls, random log reads). Equals
+    /// `undo_us` when parallel.
+    pub undo_worker_busy_max_us: u64,
+    /// Sum of all undo workers' simulated µs — the device-charge view of
+    /// the undo pass.
+    pub undo_worker_busy_total_us: u64,
     /// Real (not simulated) µs spent blocked on the bounded partition
     /// queues: workers waiting for records plus the dispatcher waiting for
     /// queue space. A backpressure / skew diagnostic, deliberately kept out

@@ -53,6 +53,11 @@ pub struct EngineConfig {
     pub ckpt_log_bytes: u64,
     /// Leaf-merge threshold for delete rebalancing (0.0 disables).
     pub merge_min_fill: f64,
+    /// Serve point reads / range scans through the latch-free optimistic
+    /// (OLC) descent first, with the latched path as fallback (see
+    /// `lr_dc::DcConfig::optimistic_reads`). On by default; the
+    /// `LR_READ_OPTIMISTIC=0` bench knob turns it off for A/B runs.
+    pub optimistic_reads: bool,
     /// Device latency model.
     pub io_model: IoModel,
     /// Modelled real-time latency of one commit-time log force, in µs
@@ -81,6 +86,7 @@ impl Default for EngineConfig {
             ckpt_interval_ms: 25,
             ckpt_log_bytes: 1 << 20,
             merge_min_fill: 0.0,
+            optimistic_reads: true,
             io_model: IoModel::default(),
             commit_force_us: 0,
         }

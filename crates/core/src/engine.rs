@@ -118,6 +118,16 @@ pub struct EngineStats {
     pub log_bytes_since_checkpoint: u64,
     /// Group-commit force/piggyback counters.
     pub group_commit: GroupCommitStats,
+    /// Point reads served fully latch-free (validated OLC descent).
+    pub optimistic_point_reads: u64,
+    /// Range scans served fully latch-free.
+    pub optimistic_range_scans: u64,
+    /// Reads + scans that exhausted their OLC attempts and fell back to
+    /// the latched path.
+    pub read_fallbacks: u64,
+    /// Pool-level seqlock rejections (odd version or a version change
+    /// under the read) — the raw contention signal behind the fallbacks.
+    pub optimistic_validation_failures: u64,
 }
 
 impl EngineStats {
@@ -145,6 +155,7 @@ fn dc_config(cfg: &EngineConfig) -> DcConfig {
         // lazywriter thread sweeps, the session fast path never does.
         inline_cleaner: !cfg.background_maintenance,
         merge_min_fill: cfg.merge_min_fill,
+        optimistic_reads: cfg.optimistic_reads,
     }
 }
 
@@ -328,7 +339,11 @@ impl Engine {
 
     /// Read a key (no transaction needed — single-version storage).
     /// Reads work on a crashed engine (the oracle checks depend on it),
-    /// so only the shared latch is taken, not the crashed check.
+    /// so only the shared latch is taken, not the crashed check. With
+    /// `EngineConfig::optimistic_reads` (the default) the DC serves this
+    /// through the latch-free OLC descent first — the engine-level
+    /// data-plane latch here is the only lock a validated optimistic read
+    /// ever takes.
     pub fn read(&self, table: TableId, key: Key) -> Result<Option<Value>> {
         let _dp = self.data_plane.read();
         self.dc.read(table, key)
@@ -444,6 +459,8 @@ impl Engine {
     /// Aggregate observability snapshot (see [`EngineStats`]).
     pub fn stats(&self) -> EngineStats {
         let pool = self.dc.pool();
+        let pool_stats = pool.stats();
+        let dc_stats = self.dc.stats();
         let log_bytes = self.wal.lock().byte_len();
         EngineStats {
             checkpoints_taken: self.checkpoints_taken(),
@@ -460,6 +477,10 @@ impl Engine {
             log_bytes_since_checkpoint: log_bytes
                 .saturating_sub(self.bytes_at_last_ckpt.load(Ordering::Acquire)),
             group_commit: self.wal.group_commit_stats(),
+            optimistic_point_reads: dc_stats.optimistic_point_reads,
+            optimistic_range_scans: dc_stats.optimistic_range_scans,
+            read_fallbacks: dc_stats.read_fallbacks + dc_stats.scan_fallbacks,
+            optimistic_validation_failures: pool_stats.optimistic_validation_failures,
         }
     }
 

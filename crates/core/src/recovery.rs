@@ -508,11 +508,19 @@ impl Engine {
             // log's normal append path.
             undo_losers_parallel(&self.tc, &self.dc, &txn_analysis.losers, workers)?
         };
-        // Undo's random-access log reads.
+        // Undo's random-access log reads (device/IoStats view; the
+        // per-worker shards already charged them to their own clocks).
         for _ in 0..undo.log_records_visited {
             self.dc.pool_mut().disk_mut().charge_log_page_read();
         }
-        bk.undo_us = self.clock.now_us() - t_undo;
+        // Serial undo reports the shared-clock delta (the measured §5
+        // pipeline); parallel undo reports the busiest worker's shard —
+        // max-of-workers wall-clock, exactly like redo — instead of the
+        // shared clock, which parallel workers inflate to a sum-of-workers
+        // upper bound.
+        bk.undo_worker_busy_max_us = undo.busy_max_us;
+        bk.undo_worker_busy_total_us = undo.busy_us;
+        bk.undo_us = if workers <= 1 { self.clock.now_us() - t_undo } else { undo.busy_max_us };
         bk.losers_undone = undo.losers_undone;
         bk.undo_ops = undo.ops_undone;
         bk.workers = workers as u64;

@@ -24,6 +24,16 @@
 //!
 //! [`DataComponent::prepare_op`] packages the discipline: it returns a
 //! guard that pins the placement until the caller has logged and applied.
+//!
+//! **Optimistic read path** (`DcConfig::optimistic_reads`): point reads
+//! and range scans first attempt an OLC descent that takes **none** of the
+//! latches above — each page hop is seqlock-validated against the pool's
+//! per-frame version counters (see the version-counter discipline in
+//! `lr_buffer::pool`), and any validation failure, cold page or racing SMO
+//! falls back to the latched path, which stays authoritative. Writers,
+//! undo relocation and SMO flows are unchanged: they still hold the table
+//! latch, and their frame-latch acquisitions are what bump the versions
+//! optimistic readers validate against.
 
 use crate::catalog::{Catalog, META_PAGE};
 use crate::trackers::{BwTracker, DeltaTracker};
@@ -41,6 +51,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 const TABLE_LATCHES: usize = 16;
 /// Page-op latch shards.
 const PAGE_LATCHES: usize = 64;
+/// OLC descents attempted per read before the latched fallback. Each
+/// attempt re-snapshots the root, so transient failures (a racing writer
+/// on one page, an SMO mid-flight) usually succeed on retry; persistent
+/// failures (cold pages) go straight to the fetching path.
+const OPT_READ_ATTEMPTS: usize = 3;
 
 /// DC tuning knobs.
 #[derive(Clone, Debug)]
@@ -71,6 +86,11 @@ pub struct DcConfig {
     /// bytes; 0.0 disables merging — the default, matching the paper's
     /// update-only evaluation where trees never shrink).
     pub merge_min_fill: f64,
+    /// Serve point reads and range scans through the latch-free optimistic
+    /// (OLC) descent first, falling back to the latched path on validation
+    /// failure. On by default; turn off to force every read through the
+    /// table-latch + frame-latch path (the `readpath` bench's A/B knob).
+    pub optimistic_reads: bool,
 }
 
 impl Default for DcConfig {
@@ -84,6 +104,7 @@ impl Default for DcConfig {
             cleaner_batch: 16,
             inline_cleaner: true,
             merge_min_fill: 0.0,
+            optimistic_reads: true,
         }
     }
 }
@@ -105,7 +126,8 @@ pub struct PrepareInfo {
     pub before: Option<Value>,
 }
 
-/// Normal-execution overhead counters (the Figure 2(c) numerators).
+/// Normal-execution overhead counters (the Figure 2(c) numerators), plus
+/// the optimistic-read-path outcome counters.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DcStats {
     pub delta_records_written: u64,
@@ -113,6 +135,15 @@ pub struct DcStats {
     pub smo_records_written: u64,
     pub delta_bytes_logged: u64,
     pub bw_bytes_logged: u64,
+    /// Point reads served fully latch-free (validated OLC descent).
+    pub optimistic_point_reads: u64,
+    /// Range scans served fully latch-free.
+    pub optimistic_range_scans: u64,
+    /// Point reads that exhausted their OLC attempts and fell back to the
+    /// latched path (cold pages, contention, racing SMOs).
+    pub read_fallbacks: u64,
+    /// Range scans that fell back to the latched path.
+    pub scan_fallbacks: u64,
 }
 
 #[derive(Default)]
@@ -122,6 +153,10 @@ struct DcCounters {
     smo_records_written: AtomicU64,
     delta_bytes_logged: AtomicU64,
     bw_bytes_logged: AtomicU64,
+    optimistic_point_reads: AtomicU64,
+    optimistic_range_scans: AtomicU64,
+    read_fallbacks: AtomicU64,
+    scan_fallbacks: AtomicU64,
 }
 
 /// Either side of a table latch.
@@ -328,6 +363,10 @@ impl DataComponent {
             smo_records_written: s.smo_records_written.load(Ordering::Relaxed),
             delta_bytes_logged: s.delta_bytes_logged.load(Ordering::Relaxed),
             bw_bytes_logged: s.bw_bytes_logged.load(Ordering::Relaxed),
+            optimistic_point_reads: s.optimistic_point_reads.load(Ordering::Relaxed),
+            optimistic_range_scans: s.optimistic_range_scans.load(Ordering::Relaxed),
+            read_fallbacks: s.read_fallbacks.load(Ordering::Relaxed),
+            scan_fallbacks: s.scan_fallbacks.load(Ordering::Relaxed),
         }
     }
 
@@ -339,15 +378,61 @@ impl DataComponent {
     // data operations
     // ------------------------------------------------------------------
 
-    /// Point read.
+    /// Point read. With `optimistic_reads` the OLC descent runs first —
+    /// no table latch, no frame latches — and the latched path only serves
+    /// validation failures (cold pages, write contention, racing SMOs).
     pub fn read(&self, table: TableId, key: Key) -> Result<Option<Value>> {
+        if self.cfg.optimistic_reads {
+            for _ in 0..OPT_READ_ATTEMPTS {
+                // Fresh root snapshot per attempt: a failed attempt may
+                // mean the root moved, and the trees map has the new one.
+                let tree = self.tree(table)?;
+                match tree.get_optimistic(&self.pool, key) {
+                    Ok(v) => {
+                        self.stats.optimistic_point_reads.fetch_add(1, Ordering::Relaxed);
+                        return Ok(v);
+                    }
+                    // A non-resident page needs a fetch (only the latched
+                    // path fetches) and a blown hop budget is a property
+                    // of the operation shape: both fail deterministically,
+                    // so further optimistic attempts are wasted work.
+                    Err(
+                        lr_buffer::OptReadFail::NotResident
+                        | lr_buffer::OptReadFail::BudgetExhausted,
+                    ) => break,
+                    Err(lr_buffer::OptReadFail::Contended) => {}
+                }
+            }
+            self.stats.read_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
         let _t = self.lock_table_shared(table);
         let tree = self.tree(table)?;
         tree.get(&self.pool, key)
     }
 
-    /// Range read: all rows with keys in `[from, to]`, in key order.
+    /// Range read: all rows with keys in `[from, to]`, in key order. The
+    /// optimistic scan validates each leaf as one atomic snapshot; any
+    /// failed hop falls back to the latched scan under the table latch.
     pub fn read_range(&self, table: TableId, from: Key, to: Key) -> Result<Vec<(Key, Value)>> {
+        if self.cfg.optimistic_reads {
+            for _ in 0..OPT_READ_ATTEMPTS {
+                let tree = self.tree(table)?;
+                match tree.scan_range_optimistic(&self.pool, from, to) {
+                    Ok(rows) => {
+                        self.stats.optimistic_range_scans.fetch_add(1, Ordering::Relaxed);
+                        return Ok(rows);
+                    }
+                    // See `read`: cold pages and over-wide ranges fail
+                    // deterministically — end the optimistic phase.
+                    Err(
+                        lr_buffer::OptReadFail::NotResident
+                        | lr_buffer::OptReadFail::BudgetExhausted,
+                    ) => break,
+                    Err(lr_buffer::OptReadFail::Contended) => {}
+                }
+            }
+            self.stats.scan_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
         let _t = self.lock_table_shared(table);
         let tree = self.tree(table)?;
         tree.scan_range(&self.pool, from, to)

@@ -18,5 +18,5 @@ pub mod simdisk;
 
 pub use disk::{Disk, FetchOutcome};
 pub use filedisk::FileDisk;
-pub use page::{Page, PageType, PAGE_HEADER_SIZE, SLOT_SIZE};
+pub use page::{Page, PageType, RawPageView, PAGE_HEADER_SIZE, SLOT_SIZE};
 pub use simdisk::SimDisk;

@@ -131,6 +131,20 @@ impl Page {
         &self.buf
     }
 
+    /// Overwrite this page's image in place from `other` (same size
+    /// required).
+    ///
+    /// The buffer pool relies on this instead of `*frame.page = other`:
+    /// a frame's image allocation must stay at a **stable address** for
+    /// the frame's lifetime, because optimistic readers copy from it
+    /// through a raw pointer without holding the frame latch (see
+    /// [`RawPageView`]). Replacing the boxed buffer would free memory a
+    /// concurrent optimistic reader may still be scanning.
+    pub fn overwrite_from(&mut self, other: &Page) {
+        assert_eq!(self.buf.len(), other.buf.len(), "page size mismatch on overwrite");
+        self.buf.copy_from_slice(&other.buf);
+    }
+
     /// Page size in bytes.
     pub fn size(&self) -> usize {
         self.buf.len()
@@ -381,6 +395,181 @@ impl Page {
     /// All records in slot order (testing / verification helper).
     pub fn records(&self) -> Vec<Vec<u8>> {
         (0..self.slot_count()).map(|s| self.record(s).to_vec()).collect()
+    }
+}
+
+/// A bounds-clamped raw view over a page image that may be **concurrently
+/// mutated** — the read side of the buffer pool's seqlock protocol.
+///
+/// Optimistic readers run against the live frame buffer without holding the
+/// frame latch, so every byte this view returns may be torn by a concurrent
+/// writer. The contract that makes this usable:
+///
+/// * **no accessor ever panics** — offsets and lengths are clamped to the
+///   buffer, out-of-range reads return zeros, searches always terminate;
+/// * results are **garbage-in, garbage-out** — the caller validates the
+///   frame's version counter *after* the closure runs and discards the
+///   result on any mismatch, so garbage is never acted upon;
+/// * reads go through raw-pointer loads (`read_unaligned` /
+///   `copy_nonoverlapping`), never references into the buffer, so the
+///   compiler cannot assume the bytes are stable between accessors. Torn
+///   values are possible by design; the version validation is what makes
+///   them harmless.
+pub struct RawPageView {
+    ptr: *const u8,
+    len: usize,
+}
+
+impl RawPageView {
+    /// # Safety
+    /// `ptr..ptr + len` must remain **allocated** (though not necessarily
+    /// unchanging) for the view's lifetime. The buffer pool guarantees this
+    /// by never reallocating a frame's image buffer (see
+    /// [`Page::overwrite_from`]).
+    pub unsafe fn new(ptr: *const u8, len: usize) -> RawPageView {
+        RawPageView { ptr, len }
+    }
+
+    /// Image size in bytes.
+    pub fn size(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    fn byte(&self, off: usize) -> u8 {
+        if off >= self.len {
+            return 0;
+        }
+        // SAFETY: off is in bounds of an allocation the constructor's
+        // contract keeps alive; a writer may be racing, and the caller's
+        // version validation discards anything read during a race.
+        unsafe { self.ptr.add(off).read() }
+    }
+
+    #[inline]
+    fn u16_at(&self, off: usize) -> u16 {
+        if off + 2 > self.len {
+            return 0;
+        }
+        let mut b = [0u8; 2];
+        // SAFETY: bounds checked above; see `byte` for the race contract.
+        unsafe { std::ptr::copy_nonoverlapping(self.ptr.add(off), b.as_mut_ptr(), 2) };
+        u16::from_le_bytes(b)
+    }
+
+    #[inline]
+    fn u64_at(&self, off: usize) -> u64 {
+        if off + 8 > self.len {
+            return 0;
+        }
+        let mut b = [0u8; 8];
+        // SAFETY: bounds checked above; see `byte` for the race contract.
+        unsafe { std::ptr::copy_nonoverlapping(self.ptr.add(off), b.as_mut_ptr(), 8) };
+        u64::from_le_bytes(b)
+    }
+
+    /// Page type, or `None` for a torn/invalid type byte.
+    pub fn page_type(&self) -> Option<PageType> {
+        PageType::from_u8(self.byte(OFF_TYPE))
+    }
+
+    /// pLSN field of the header.
+    pub fn plsn(&self) -> Lsn {
+        Lsn(self.u64_at(OFF_PLSN))
+    }
+
+    /// The page's self-PID field.
+    pub fn pid(&self) -> PageId {
+        PageId(self.u64_at(OFF_SELF))
+    }
+
+    /// Right-sibling PID (leaf chain).
+    pub fn right_sibling(&self) -> PageId {
+        PageId(self.u64_at(OFF_RIGHT))
+    }
+
+    /// Slot count, clamped so a torn count can never drive reads past the
+    /// slot directory's maximum extent.
+    pub fn slot_count(&self) -> usize {
+        let max = self.len.saturating_sub(PAGE_HEADER_SIZE) / SLOT_SIZE;
+        (self.u16_at(OFF_SLOTS) as usize).min(max)
+    }
+
+    /// Byte range of the record at `slot`, clamped to the image.
+    fn record_bounds(&self, slot: usize) -> (usize, usize) {
+        let off = PAGE_HEADER_SIZE + slot * SLOT_SIZE;
+        let start = (self.u16_at(off) as usize).min(self.len);
+        let len = (self.u16_at(off + 2) as usize).min(self.len - start);
+        (start, len)
+    }
+
+    /// First 8 bytes of the record at `slot` — the key, for both leaf
+    /// records and internal entries (zeros if the record is too short).
+    pub fn slot_key(&self, slot: usize) -> u64 {
+        let (start, len) = self.record_bounds(slot);
+        if len < 8 {
+            return 0;
+        }
+        self.u64_at(start)
+    }
+
+    /// Child PID of the internal entry at `slot` (garbage-clamped).
+    pub fn child_at(&self, slot: usize) -> PageId {
+        let (start, len) = self.record_bounds(slot);
+        if len < 16 {
+            return PageId::INVALID;
+        }
+        PageId(self.u64_at(start + 8))
+    }
+
+    /// Copy the value bytes of the leaf record at `slot` (everything past
+    /// the 8-byte key). `None` if the record is too short to hold a key.
+    pub fn value_at(&self, slot: usize) -> Option<Vec<u8>> {
+        let (start, len) = self.record_bounds(slot);
+        if len < 8 {
+            return None;
+        }
+        let mut out = vec![0u8; len - 8];
+        // SAFETY: record_bounds clamps `start + len` into the buffer; see
+        // `byte` for the race contract.
+        unsafe {
+            std::ptr::copy_nonoverlapping(self.ptr.add(start + 8), out.as_mut_ptr(), len - 8)
+        };
+        Some(out)
+    }
+
+    /// Binary-search the slot directory for `key`: `Ok(slot)` on an exact
+    /// match, `Err(slot)` for the insertion point. Torn keys may break the
+    /// sort order and misdirect the search — the loop still terminates and
+    /// the caller's version validation rejects the outcome.
+    pub fn search(&self, key: u64) -> std::result::Result<usize, usize> {
+        let mut lo = 0usize;
+        let mut hi = self.slot_count();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            match self.slot_key(mid).cmp(&key) {
+                std::cmp::Ordering::Less => lo = mid + 1,
+                std::cmp::Ordering::Greater => hi = mid,
+                std::cmp::Ordering::Equal => return Ok(mid),
+            }
+        }
+        Err(lo)
+    }
+
+    /// The child an internal node routes `key` to — mirrors
+    /// `lr_btree::node::route`: last entry with `separator <= key`, entry 0
+    /// acting as negative infinity. `None` on an entry-less (torn) node.
+    pub fn route(&self, key: u64) -> Option<PageId> {
+        if self.slot_count() == 0 {
+            return None;
+        }
+        let slot = match self.search(key) {
+            Ok(s) => s,
+            Err(0) => 0,
+            Err(s) => s - 1,
+        };
+        let child = self.child_at(slot);
+        child.is_valid().then_some(child)
     }
 }
 

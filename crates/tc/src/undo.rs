@@ -20,6 +20,15 @@ pub struct UndoStats {
     pub ops_undone: u64,
     /// Log records visited (random-access reads into the log).
     pub log_records_visited: u64,
+    /// Simulated busy µs of this pass, accumulated per worker exactly as
+    /// the redo workers do: traversal CPU (per B-tree level), the apply
+    /// CPU charge, this worker's own device stalls (index and leaf
+    /// fetches), and one random log read per record visited. For a merged
+    /// parallel result this is the **sum** across workers (device view).
+    pub busy_us: u64,
+    /// Busiest single worker's `busy_us` — the max-of-workers wall-clock
+    /// of a parallel undo pass. Equals `busy_us` after a serial pass.
+    pub busy_max_us: u64,
 }
 
 /// Roll back one transaction from `from_lsn` (its chain head) to its Begin
@@ -63,10 +72,16 @@ fn undo_chain(
     stats: &mut UndoStats,
 ) -> Result<()> {
     let wal = dc.wal();
+    // Per-worker busy accounting, mirroring the redo workers: this chain's
+    // traversal CPU, its own device stalls, and its random log reads land
+    // in `stats.busy_us` so a parallel pass can report max-of-workers
+    // wall-clock instead of the shared-clock sum-of-workers bound.
+    let model = dc.pool().disk().io_model();
     let mut cur = from_lsn;
     while !cur.is_null() && cur != stop_at {
         let rec = { wal.lock().read_at(cur)? };
         stats.log_records_visited += 1;
+        stats.busy_us += model.log_page_read_us + model.cpu_log_record_us;
         match rec.payload {
             LogPayload::Update { txn: t, table, key, prev_lsn, before, .. } => {
                 debug_assert_eq!(t, txn);
@@ -74,9 +89,16 @@ fn undo_chain(
                 // CLR logging and application must see one tree shape even
                 // with other sessions running.
                 let _latch = dc.lock_table_exclusive(table);
-                // Logical re-location: find the page that now holds the key.
+                // Logical re-location: find the page that now holds the
+                // key. The timed index walk plus a stall-reporting leaf
+                // warm-up keeps the device time on *this* worker's shard.
                 let tree = dc.tree(table)?.clone();
-                let leaf = tree.find_leaf(dc.pool_mut(), key)?.leaf;
+                let (leaf, touched, stall_us) = tree.find_leaf_pid_timed(dc.pool_mut(), key)?;
+                let (_, info) = dc.pool_mut().with_page_info(leaf, |_| ())?;
+                stats.busy_us += model.cpu_btree_level_us * touched as u64
+                    + stall_us
+                    + info.stall_us
+                    + model.cpu_apply_us;
                 let clr =
                     tc.log_clr(txn, table, key, leaf, prev_lsn, ClrAction::RestoreValue(before));
                 dc.apply_at(leaf, &clr)?;
@@ -89,7 +111,12 @@ fn undo_chain(
                 debug_assert_eq!(t, txn);
                 let _latch = dc.lock_table_exclusive(table);
                 let tree = dc.tree(table)?.clone();
-                let leaf = tree.find_leaf(dc.pool_mut(), key)?.leaf;
+                let (leaf, touched, stall_us) = tree.find_leaf_pid_timed(dc.pool_mut(), key)?;
+                let (_, info) = dc.pool_mut().with_page_info(leaf, |_| ())?;
+                stats.busy_us += model.cpu_btree_level_us * touched as u64
+                    + stall_us
+                    + info.stall_us
+                    + model.cpu_apply_us;
                 let clr = tc.log_clr(txn, table, key, leaf, prev_lsn, ClrAction::RemoveKey);
                 dc.apply_at(leaf, &clr)?;
                 drop(_latch);
@@ -100,8 +127,18 @@ fn undo_chain(
             LogPayload::Delete { txn: t, table, key, prev_lsn, before, .. } => {
                 debug_assert_eq!(t, txn);
                 // Re-inserting may need page space: stage through the DC so
-                // any SMO is logged as usual.
+                // any SMO is logged as usual. Warm the traversal first so
+                // the device stalls charge this worker's shard (the
+                // prepare_write below then runs against a hot path).
                 let _latch = dc.lock_table_exclusive(table);
+                let tree = dc.tree(table)?.clone();
+                let (warm_leaf, touched, stall_us) =
+                    tree.find_leaf_pid_timed(dc.pool_mut(), key)?;
+                let (_, warm) = dc.pool_mut().with_page_info(warm_leaf, |_| ())?;
+                stats.busy_us += model.cpu_btree_level_us * touched as u64
+                    + stall_us
+                    + warm.stall_us
+                    + model.cpu_apply_us;
                 let info = dc.prepare_write(
                     table,
                     key,
@@ -127,6 +164,7 @@ fn undo_chain(
             }
         }
     }
+    stats.busy_max_us = stats.busy_max_us.max(stats.busy_us);
     Ok(())
 }
 
@@ -214,6 +252,9 @@ pub fn undo_losers_parallel(
         merged.losers_undone += shard.losers_undone;
         merged.ops_undone += shard.ops_undone;
         merged.log_records_visited += shard.log_records_visited;
+        // Sum is the device-charge view; max is the parallel wall-clock.
+        merged.busy_us += shard.busy_us;
+        merged.busy_max_us = merged.busy_max_us.max(shard.busy_max_us);
     }
     Ok(merged)
 }
@@ -353,6 +394,48 @@ mod tests {
         let stats = undo_losers_parallel(&tc, &dc, &losers, 1).unwrap();
         assert_eq!(stats.losers_undone, 1);
         assert_eq!(dc.read(T, 1).unwrap().unwrap(), 1u64.to_le_bytes().to_vec());
+    }
+
+    #[test]
+    fn undo_busy_shards_report_max_and_total() {
+        // A costed model (not zero()) makes the per-worker busy charges
+        // visible even on an untimed disk: log reads and CPU charges come
+        // straight from the model, not the shared clock.
+        let build = || {
+            let mut disk: SimDisk = SimDisk::new(512, 1, SimClock::new(), IoModel::default());
+            DataComponent::format_disk(&mut disk).unwrap();
+            let wal = Wal::new_shared(4096);
+            let dc = DataComponent::open(Box::new(disk), wal.clone(), DcConfig::default()).unwrap();
+            dc.create_table(T).unwrap();
+            let tc = TransactionComponent::new(wal);
+            let t0 = tc.begin();
+            for k in 0..32 {
+                do_insert(&tc, &dc, t0, k);
+            }
+            tc.commit(t0).unwrap();
+            let mut losers = BTreeMap::new();
+            for i in 0..8u64 {
+                let t = tc.begin();
+                do_update(&tc, &dc, t, i * 4, 900 + i);
+                do_update(&tc, &dc, t, i * 4 + 1, 950 + i);
+                losers.insert(t, tc.last_lsn_of(t).unwrap());
+            }
+            (tc, dc, losers)
+        };
+
+        let (tc_s, dc_s, losers_s) = build();
+        let serial = undo_losers(&tc_s, &dc_s, &losers_s).unwrap();
+        assert!(serial.busy_us > 0, "costed model must charge busy time");
+        assert_eq!(serial.busy_max_us, serial.busy_us, "one worker did everything: max == total");
+
+        let (tc_p, dc_p, losers_p) = build();
+        let parallel = undo_losers_parallel(&tc_p, &dc_p, &losers_p, 4).unwrap();
+        assert_eq!(
+            parallel.busy_us, serial.busy_us,
+            "identical work ⇒ identical total busy charge regardless of workers"
+        );
+        assert!(parallel.busy_max_us > 0);
+        assert!(parallel.busy_max_us <= parallel.busy_us, "max-of-workers never exceeds the sum");
     }
 
     #[test]

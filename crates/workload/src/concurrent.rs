@@ -42,6 +42,28 @@ impl ConcurrentScenario {
             checkpoint_every: 0,
         }
     }
+
+    /// Read-mostly preset: 95% point reads / 5% updates, uniform keys —
+    /// the workload the latch-free optimistic read path is built for (the
+    /// `readpath` bench's measurement mix; updates keep the frame version
+    /// counters moving so validation is actually exercised).
+    pub fn read_mostly(threads: usize, txns_per_thread: u64, key_space: u64) -> Self {
+        use crate::gen::{KeyDist, OpMix};
+        ConcurrentScenario {
+            threads,
+            txns_per_thread,
+            spec: WorkloadSpec {
+                key_space,
+                txn_ops: 10,
+                mix: OpMix { update_pct: 5, read_pct: 95, insert_pct: 0, delete_pct: 0 },
+                dist: KeyDist::Uniform,
+                value_size: 100,
+                seed: 42,
+            },
+            max_retries: 10_000,
+            checkpoint_every: 0,
+        }
+    }
 }
 
 /// Per-thread outcome.
