@@ -140,8 +140,11 @@ fn run_mode(optimistic: bool, threads: usize, reads_target: u64, key_space: u64)
 }
 
 fn emit(mode: &str, threads: usize, r: &ModeReport) {
+    // The read-path A/B compares the B-tree DC's OLC descent against its
+    // latched path; the backend tag keeps harvested JSON lines
+    // attributable once more backends grow read benches.
     println!(
-        "{{\"bench\":\"readpath\",\"mode\":\"{mode}\",\"threads\":{threads},\
+        "{{\"bench\":\"readpath\",\"backend\":\"btree\",\"mode\":\"{mode}\",\"threads\":{threads},\
          \"reads\":{},\"updates\":{},\"wall_s\":{:.3},\"reads_per_sec\":{:.0},\
          \"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{},\
          \"optimistic_point_reads\":{},\"read_fallbacks\":{},\

@@ -62,8 +62,13 @@ fn main() {
     // the last throughput point (serial vs partitioned redo on the same
     // crash image).
     let recovery_workers = RecoveryOptions::from_env().workers;
+    // LR_BACKEND selects the data component (`btree` | `hash`); the same
+    // DcApi-shaped txn path runs either way, and every JSON line below is
+    // tagged with the name so harvested results stay attributable.
+    let backend = std::env::var("LR_BACKEND").unwrap_or_else(|_| "btree".to_string());
 
     println!("Concurrent throughput: §5.2 update workload, {key_space} keys,");
+    println!("data component backend: {backend} (LR_BACKEND),");
     println!("{txns_total} transactions total per point (10 updates each), no-wait retry,");
     println!("commit force latency {force_us} µs (LR_FORCE_US; group commit shares it),");
     println!(
@@ -98,6 +103,7 @@ fn main() {
             commit_force_us: force_us,
             background_maintenance: maintenance,
             optimistic_reads,
+            backend: backend.clone(),
             ..EngineConfig::default()
         })
         .expect("engine build")
@@ -133,6 +139,15 @@ fn main() {
             format!("{:.2}", report.log_forces as f64 / report.committed.max(1) as f64),
         ]);
         eprintln!("  finished {threads} thread(s): {tps:.0} txn/s");
+        println!(
+            "{{\"bench\":\"throughput\",\"backend\":\"{backend}\",\"threads\":{threads},\
+             \"committed\":{},\"wall_ms\":{:.1},\"txn_per_sec\":{tps:.0},\
+             \"conflict_retries\":{},\"log_forces\":{}}}",
+            report.committed,
+            report.wall.as_secs_f64() * 1e3,
+            report.conflict_retries,
+            report.log_forces,
+        );
         last_engine = Some(engine);
     }
 

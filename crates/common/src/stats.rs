@@ -61,6 +61,10 @@ pub struct RecoveryBreakdown {
     /// The redo pass proper. For parallel recovery this is the wall-clock
     /// of the slowest redo worker (max-of-workers), not the sum.
     pub redo_us: u64,
+    /// Post-redo volatile-structure rebuild (`DcApi::finish_redo`): zero
+    /// for the B-tree backend, the in-memory key-index rebuild for the
+    /// hash backend.
+    pub index_rebuild_us: u64,
     /// Partition/dispatch phase of parallel redo: the dispatcher's one log
     /// scan — per-record CPU, DPT screening, and (for logical methods) the
     /// index traversals that resolve each record's PID. Zero for serial
@@ -149,6 +153,7 @@ impl RecoveryBreakdown {
             + self.index_preload_us
             + self.partition_us
             + self.redo_us
+            + self.index_rebuild_us
             + self.merge_us
             + self.undo_us
     }

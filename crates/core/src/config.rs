@@ -58,6 +58,13 @@ pub struct EngineConfig {
     /// `lr_dc::DcConfig::optimistic_reads`). On by default; the
     /// `LR_READ_OPTIMISTIC=0` bench knob turns it off for A/B runs.
     pub optimistic_reads: bool,
+    /// Which registered data-component backend serves this engine
+    /// (`lr_dc::backend_names()`): `"btree"` — the default clustered
+    /// B-tree DC — or `"hash"`, the in-memory hash-index DC with
+    /// page-logical redo. The TC↔DC contract (`lr_dc::DcApi`) is the
+    /// same either way; recovery equivalence across backends is asserted
+    /// by `tests/backend_equivalence.rs`.
+    pub backend: String,
     /// Device latency model.
     pub io_model: IoModel,
     /// Modelled real-time latency of one commit-time log force, in µs
@@ -87,11 +94,36 @@ impl Default for EngineConfig {
             ckpt_log_bytes: 1 << 20,
             merge_min_fill: 0.0,
             optimistic_reads: true,
+            backend: lr_dc::BTREE_BACKEND.to_string(),
             io_model: IoModel::default(),
             commit_force_us: 0,
         }
     }
 }
+
+/// Generates a default-table convenience wrapper that delegates to its
+/// `*_in` sibling with [`DEFAULT_TABLE`] spliced in. `Engine` (explicit
+/// `TxnId`, `&self`) and `Session` (implicit transaction, `&mut self`)
+/// both expand their wrappers from this one macro, so the two public
+/// surfaces cannot drift: adding or changing a default-table op means
+/// changing exactly one `*_in` method plus one macro invocation.
+macro_rules! default_table_op {
+    // &self receiver with leading pass-through args (Engine: the TxnId).
+    ($(#[$meta:meta])* pub fn $name:ident(&self $(, $pre:ident: $prety:ty)*; $($arg:ident: $argty:ty),*) -> $ret:ty => $inner:ident) => {
+        $(#[$meta])*
+        pub fn $name(&self $(, $pre: $prety)*, $($arg: $argty),*) -> $ret {
+            self.$inner($($pre,)* $crate::config::DEFAULT_TABLE, $($arg),*)
+        }
+    };
+    // &mut self receiver (Session: the open transaction is implicit).
+    ($(#[$meta:meta])* pub fn $name:ident(&mut self; $($arg:ident: $argty:ty),*) -> $ret:ty => $inner:ident) => {
+        $(#[$meta])*
+        pub fn $name(&mut self, $($arg: $argty),*) -> $ret {
+            self.$inner($crate::config::DEFAULT_TABLE, $($arg),*)
+        }
+    };
+}
+pub(crate) use default_table_op;
 
 impl EngineConfig {
     /// Deterministic row payload for `key` (also used by verification

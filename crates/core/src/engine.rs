@@ -13,11 +13,10 @@
 //! latch → frame latch; the no-wait key locks at the top keep the whole
 //! stack deadlock-free.
 
-use crate::config::{EngineConfig, DEFAULT_TABLE};
+use crate::config::{default_table_op, EngineConfig, DEFAULT_TABLE};
 use crate::maintenance::{MaintCounters, MaintenanceHandle};
-use lr_btree::{bulk_load, verify_tree, TreeSummary};
 use lr_common::{Error, Key, Lsn, PageId, Result, SimClock, TableId, TxnId, Value};
-use lr_dc::{DataComponent, DcConfig, WriteIntent};
+use lr_dc::{DcApi, DcConfig, TableSummary, WriteIntent};
 use lr_storage::SimDisk;
 use lr_tc::{undo::rollback_txn, TransactionComponent, UndoStats};
 use lr_wal::{GroupCommitStats, SharedWal, Wal};
@@ -55,7 +54,7 @@ impl CrashSnapshot {
 /// The engine.
 pub struct Engine {
     pub(crate) tc: TransactionComponent,
-    pub(crate) dc: DataComponent,
+    pub(crate) dc: std::sync::Arc<dyn DcApi>,
     pub(crate) wal: SharedWal,
     pub(crate) clock: SimClock,
     pub(crate) cfg: EngineConfig,
@@ -185,14 +184,18 @@ impl Engine {
         cfg: EngineConfig,
         clock: SimClock,
     ) -> Result<Engine> {
-        DataComponent::format_disk(&mut *disk)?;
-        let rows = (0..cfg.initial_rows).map(|k| (k, cfg.initial_value(k)));
-        let root = bulk_load(&mut *disk, DEFAULT_TABLE, rows, cfg.fill_factor)?;
+        // The backend registry supplies format / bulk-load / open for the
+        // configured DC (`EngineConfig::backend`); everything after this
+        // point sees only the `DcApi` contract.
+        let be = lr_dc::backend(&cfg.backend)?;
+        (be.format)(&mut *disk)?;
+        let mut rows = (0..cfg.initial_rows).map(|k| (k, cfg.initial_value(k)));
+        let root = (be.bulk_load)(&mut *disk, DEFAULT_TABLE, &mut rows, cfg.fill_factor)?;
 
         let wal = Wal::new_shared(cfg.log_page_size);
         wal.set_force_latency_us(cfg.commit_force_us);
         let dcfg = dc_config(&cfg);
-        let dc = DataComponent::open(disk, wal.clone(), dcfg)?;
+        let dc = (be.open)(disk, wal.clone(), dcfg)?;
         dc.register_table(DEFAULT_TABLE, root)?;
         let tc = TransactionComponent::new(wal.clone());
         Ok(Engine {
@@ -225,7 +228,7 @@ impl Engine {
         let wal: SharedWal = SharedWal::new(wal);
         wal.set_force_latency_us(cfg.commit_force_us);
         let dcfg = dc_config(&cfg);
-        let dc = DataComponent::open(disk, wal.clone(), dcfg)?;
+        let dc = (lr_dc::backend(&cfg.backend)?.open)(disk, wal.clone(), dcfg)?;
         let tc = TransactionComponent::new(wal.clone());
         Ok(Engine {
             tc,
@@ -304,9 +307,9 @@ impl Engine {
         // `prep`'s latches drop here — after the apply they protected.
     }
 
-    /// Update in the default table.
-    pub fn update(&self, txn: TxnId, key: Key, value: Value) -> Result<()> {
-        self.update_in(txn, DEFAULT_TABLE, key, value)
+    default_table_op! {
+        /// Update in the default table.
+        pub fn update(&self, txn: TxnId; key: Key, value: Value) -> Result<()> => update_in
     }
 
     /// Insert `key -> value` into `table`.
@@ -319,8 +322,9 @@ impl Engine {
         self.dc.apply(&rec)
     }
 
-    pub fn insert(&self, txn: TxnId, key: Key, value: Value) -> Result<()> {
-        self.insert_in(txn, DEFAULT_TABLE, key, value)
+    default_table_op! {
+        /// Insert into the default table.
+        pub fn insert(&self, txn: TxnId; key: Key, value: Value) -> Result<()> => insert_in
     }
 
     /// Delete `key` from `table`.
@@ -333,8 +337,9 @@ impl Engine {
         self.dc.apply(&rec)
     }
 
-    pub fn delete(&self, txn: TxnId, key: Key) -> Result<()> {
-        self.delete_in(txn, DEFAULT_TABLE, key)
+    default_table_op! {
+        /// Delete from the default table.
+        pub fn delete(&self, txn: TxnId; key: Key) -> Result<()> => delete_in
     }
 
     /// Read a key (no transaction needed — single-version storage).
@@ -383,7 +388,7 @@ impl Engine {
         let _dp = self.enter_data_plane()?;
         let head = self.tc.last_lsn_of(txn)?;
         let mut stats = UndoStats::default();
-        rollback_txn(&self.tc, &self.dc, txn, head, &mut stats)?;
+        rollback_txn(&self.tc, self.dc.as_ref(), txn, head, &mut stats)?;
         Ok(stats)
     }
 
@@ -398,7 +403,7 @@ impl Engine {
     pub fn rollback_to(&self, txn: TxnId, sp: Lsn) -> Result<UndoStats> {
         let _dp = self.enter_data_plane()?;
         let mut stats = UndoStats::default();
-        lr_tc::rollback_to_savepoint(&self.tc, &self.dc, txn, sp, &mut stats)?;
+        lr_tc::rollback_to_savepoint(&self.tc, self.dc.as_ref(), txn, sp, &mut stats)?;
         Ok(stats)
     }
 
@@ -579,7 +584,9 @@ impl Engine {
         // opt back in (set the flag and start_maintenance explicitly).
         let cfg = EngineConfig { background_maintenance: false, ..self.cfg.clone() };
         let dcfg = dc_config(&cfg);
-        let dc = DataComponent::open(disk, wal.clone(), dcfg)?;
+        // Same backend as the parent: the fork re-opens through the DC's
+        // own `reopen`, never naming a concrete component type.
+        let dc = self.dc.reopen(disk, wal.clone(), dcfg)?;
         let tc = TransactionComponent::new(wal.clone());
         Ok(Engine {
             tc,
@@ -614,26 +621,22 @@ impl Engine {
         self.dc.scan_all(table)
     }
 
-    /// Verify a table's B-tree structure.
-    pub fn verify_table(&self, table: TableId) -> Result<TreeSummary> {
+    /// Verify a table's structure through the backend's own walker (key
+    /// ordering + linkage for the B-tree; chain/placement invariants and
+    /// index consistency for the hash DC).
+    pub fn verify_table(&self, table: TableId) -> Result<TableSummary> {
         let _dp = self.data_plane.read();
-        let _t = self.dc.lock_table_shared(table);
-        let tree = self.dc.tree(table)?;
-        verify_tree(&tree, self.dc.pool())
+        self.dc.verify_table(table)
     }
 
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
     }
 
-    pub fn dc(&self) -> &DataComponent {
-        &self.dc
-    }
-
-    /// Historical alias from the single-owner API (the DC itself is
-    /// interior-mutable now).
-    pub fn dc_mut(&mut self) -> &DataComponent {
-        &self.dc
+    /// The data component, through the TC↔DC contract. Nothing outside
+    /// `lr_dc` sees a concrete backend type.
+    pub fn dc(&self) -> &dyn DcApi {
+        self.dc.as_ref()
     }
 
     pub fn tc(&self) -> &TransactionComponent {

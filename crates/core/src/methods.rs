@@ -6,15 +6,16 @@
 //! * [`logical_redo`] is Algorithm 2 when called without a DPT context
 //!   (Log0) and Algorithm 5 with one (Log1/Log2 and the Appendix-D
 //!   ablations), optionally with PF-list read-ahead.
-//! * [`preload_index`] is Appendix A.1's "simply load all index pages into
-//!   memory at the beginning of DC recovery".
+//! * Appendix A.1's index preload ("simply load all index pages into
+//!   memory at the beginning of DC recovery") lives on the trait as
+//!   [`lr_dc::DcApi::preload_index`] — each backend knows its own index.
 //!
 //! Every pass charges the simulated clock through the disk's timing hooks:
 //! per-record CPU, per-level traversal CPU, and the page I/O the buffer
 //! pool performs on its behalf.
 
 use lr_common::{Lsn, PageId, RecoveryBreakdown, Result};
-use lr_dc::{replay_smo_screened, DataComponent, Dpt, DptScreen, SmoBarrierOutcome};
+use lr_dc::{DcApi, Dpt, DptScreen, SmoBarrierOutcome};
 use lr_wal::{LogPayload, LogRecord};
 
 /// DPT context for DPT-assisted logical redo (Algorithm 5).
@@ -48,7 +49,7 @@ impl LogDrivenPrefetcher {
     /// the log record ... a prefetch for the corresponding page is issued").
     pub(crate) fn pump(
         &mut self,
-        dc: &DataComponent,
+        dc: &dyn DcApi,
         window: &[LogRecord],
         cur: usize,
         dpt: &Dpt,
@@ -77,7 +78,7 @@ impl LogDrivenPrefetcher {
                 _ => {}
             }
         }
-        let (ios, pages) = dc.pool_mut().prefetch(&batch);
+        let (ios, pages) = dc.pool().prefetch(&batch);
         bk.prefetch_ios += ios as u64;
         bk.prefetch_pages += pages as u64;
     }
@@ -86,7 +87,7 @@ impl LogDrivenPrefetcher {
 /// Algorithm 1: physiological redo over the window using `dpt`, processing
 /// data operations *and* SMO system-transaction records in LSN order.
 pub fn physiological_redo(
-    dc: &DataComponent,
+    dc: &dyn DcApi,
     window: &[LogRecord],
     dpt: &Dpt,
     mut prefetch: Option<LogDrivenPrefetcher>,
@@ -95,7 +96,7 @@ pub fn physiological_redo(
     let model = dc.pool().disk().io_model();
     let mut root_moved = None;
     for (i, rec) in window.iter().enumerate() {
-        dc.pool_mut().disk_mut().charge_cpu(model.cpu_log_record_us);
+        dc.pool().disk_mut().charge_cpu(model.cpu_log_record_us);
         if let Some(pf) = prefetch.as_mut() {
             pf.pump(dc, window, i, dpt, bk);
         }
@@ -114,13 +115,13 @@ pub fn physiological_redo(
                     }
                     DptScreen::Fetch => {}
                 }
-                dc.pool_mut().fetch(pid)?;
-                let plsn = dc.pool_mut().with_page(pid, |p| p.plsn())?;
+                dc.pool().fetch(pid)?;
+                let plsn = dc.pool().with_page(pid, |p| p.plsn())?;
                 if rec.lsn <= plsn {
                     bk.skipped_plsn += 1;
                     continue;
                 }
-                dc.pool_mut().disk_mut().charge_cpu(model.cpu_apply_us);
+                dc.pool().disk_mut().charge_cpu(model.cpu_apply_us);
                 dc.apply_at(pid, rec)?;
                 bk.ops_reapplied += 1;
             }
@@ -129,7 +130,7 @@ pub fn physiological_redo(
                 // redo performs SMO recovery within the redo pass) — the
                 // same per-record replay the parallel barrier phase runs.
                 let mut counts = SmoBarrierOutcome::default();
-                let moved = replay_smo_screened(dc, rec.lsn, smo, dpt, &mut counts)?;
+                let moved = dc.replay_smo_screened(rec.lsn, smo, dpt, &mut counts)?;
                 bk.skipped_no_dpt_entry += counts.skipped_no_dpt_entry;
                 bk.skipped_rlsn += counts.skipped_rlsn;
                 bk.skipped_plsn += counts.skipped_plsn;
@@ -177,7 +178,7 @@ impl PfListPrefetcher {
     /// would silently starve the read-ahead.
     pub(crate) fn pump(
         &mut self,
-        dc: &DataComponent,
+        dc: &dyn DcApi,
         dpt: &Dpt,
         consumed: u64,
         bk: &mut RecoveryBreakdown,
@@ -197,7 +198,7 @@ impl PfListPrefetcher {
             if batch.is_empty() {
                 break;
             }
-            let (ios, pages) = dc.pool_mut().prefetch(&batch);
+            let (ios, pages) = dc.pool().prefetch(&batch);
             bk.prefetch_ios += ios as u64;
             bk.prefetch_pages += pages as u64;
             self.issued += pages as u64;
@@ -219,7 +220,7 @@ pub enum LogicalPrefetch {
 /// pages before fetching (records past the tail boundary fall back to the
 /// basic path).
 pub fn logical_redo(
-    dc: &DataComponent,
+    dc: &dyn DcApi,
     window: &[LogRecord],
     ctx: Option<&LogicalCtx<'_>>,
     mut prefetch: LogicalPrefetch,
@@ -227,7 +228,7 @@ pub fn logical_redo(
 ) -> Result<()> {
     let model = dc.pool().disk().io_model();
     for rec in window {
-        dc.pool_mut().disk_mut().charge_cpu(model.cpu_log_record_us);
+        dc.pool().disk_mut().charge_cpu(model.cpu_log_record_us);
         if !rec.payload.is_data_op() {
             continue; // SMOs were handled by DC recovery; control records skip
         }
@@ -252,11 +253,13 @@ pub fn logical_redo(
             | LogPayload::Clr { table, key, .. } => (*table, *key),
             _ => unreachable!("is_data_op checked"),
         };
-        // Traverse the index to find the PID referred to by the record
-        // (Alg. 5 line 4) — internal pages only, the leaf is not fetched.
-        let tree = dc.tree(table)?;
-        let (pid, touched) = tree.find_leaf_pid(dc.pool_mut(), key)?;
-        dc.pool_mut().disk_mut().charge_cpu(model.cpu_btree_level_us * touched as u64);
+        // Resolve the PID the record refers to (Alg. 5 line 4): a key
+        // traversal for the B-tree backend (internal pages only, the leaf
+        // is not fetched), the logged PID for a page-logical backend.
+        let logged = rec.payload.data_pid().expect("data op carries a PID");
+        let loc = dc.resolve_redo_pid(table, key, logged)?;
+        let pid = loc.pid;
+        dc.pool().disk_mut().charge_cpu(model.cpu_btree_level_us * loc.levels as u64);
 
         if let Some(ctx) = ctx {
             if rec.lsn < ctx.last_delta_tc_lsn {
@@ -277,13 +280,13 @@ pub fn logical_redo(
                 bk.tail_records += 1;
             }
         }
-        dc.pool_mut().fetch(pid)?;
-        let plsn = dc.pool_mut().with_page(pid, |p| p.plsn())?;
+        dc.pool().fetch(pid)?;
+        let plsn = dc.pool().with_page(pid, |p| p.plsn())?;
         if rec.lsn <= plsn {
             bk.skipped_plsn += 1;
             continue;
         }
-        dc.pool_mut().disk_mut().charge_cpu(model.cpu_apply_us);
+        dc.pool().disk_mut().charge_cpu(model.cpu_apply_us);
         dc.apply_at(pid, rec)?;
         bk.ops_reapplied += 1;
     }
@@ -315,7 +318,7 @@ impl DptDrivenPrefetcher {
     /// Keep `ahead` pages in flight beyond what redo has consumed. As with
     /// the PF-list pump, only pages the pool accepts count against the
     /// budget.
-    pub fn pump(&mut self, dc: &DataComponent, consumed: u64, bk: &mut RecoveryBreakdown) {
+    pub fn pump(&mut self, dc: &dyn DcApi, consumed: u64, bk: &mut RecoveryBreakdown) {
         while self.next < self.list.len() && self.issued < consumed + self.ahead {
             let want = (consumed + self.ahead - self.issued) as usize;
             let end = (self.next + want).min(self.list.len());
@@ -324,7 +327,7 @@ impl DptDrivenPrefetcher {
             if batch.is_empty() {
                 break;
             }
-            let (ios, pages) = dc.pool_mut().prefetch(&batch);
+            let (ios, pages) = dc.pool().prefetch(&batch);
             bk.prefetch_ios += ios as u64;
             bk.prefetch_pages += pages as u64;
             self.issued += pages as u64;
@@ -335,51 +338,6 @@ impl DptDrivenPrefetcher {
             }
         }
     }
-}
-
-// ----------------------------------------------------------------------
-// index preload (Appendix A.1)
-// ----------------------------------------------------------------------
-
-/// Load every internal (index) page of every table into the cache, level by
-/// level, prefetching each level as a batch so reads overlap. Returns the
-/// number of index pages loaded.
-pub fn preload_index(dc: &DataComponent, bk: &mut RecoveryBreakdown) -> Result<u64> {
-    let mut loaded = 0u64;
-    for table in dc.tables() {
-        let root = dc.table_root(table)?;
-        let mut frontier = vec![root];
-        loop {
-            let mut children: Vec<PageId> = Vec::new();
-            for pid in &frontier {
-                dc.pool_mut().fetch(*pid)?;
-                let (is_internal, level, kids) = dc.pool_mut().with_page(*pid, |p| {
-                    if p.page_type() == lr_storage::PageType::Internal {
-                        let kids: Vec<PageId> = (0..p.slot_count())
-                            .map(|s| lr_btree::parse_internal_entry(p.record(s)).1)
-                            .collect();
-                        (true, p.level(), kids)
-                    } else {
-                        (false, 0, Vec::new())
-                    }
-                })?;
-                if is_internal {
-                    loaded += 1;
-                    if level >= 2 {
-                        children.extend(kids);
-                    }
-                }
-            }
-            if children.is_empty() {
-                break;
-            }
-            let (ios, pages) = dc.pool_mut().prefetch(&children);
-            bk.prefetch_ios += ios as u64;
-            bk.prefetch_pages += pages as u64;
-            frontier = children;
-        }
-    }
-    Ok(loaded)
 }
 
 #[cfg(test)]
@@ -430,11 +388,10 @@ mod tests {
     #[test]
     fn preload_index_touches_every_internal_page() {
         let dc = dc_with_rows(3_000, 1024, false);
-        let mut bk = RecoveryBreakdown::default();
-        let loaded = preload_index(&dc, &mut bk).unwrap();
+        let loaded = lr_dc::DcApi::preload_index(&dc).unwrap();
         let tree = dc.tree(TableId(1)).unwrap().clone();
-        let internals = tree.internal_pids(dc.pool_mut()).unwrap();
-        assert_eq!(loaded, internals.len() as u64);
+        let internals = tree.internal_pids(dc.pool()).unwrap();
+        assert_eq!(loaded.pages_loaded, internals.len() as u64);
         for pid in internals {
             assert!(dc.pool().contains(pid), "internal page {pid} not cached");
         }
@@ -444,8 +401,8 @@ mod tests {
     fn log_driven_prefetcher_respects_dpt_screen() {
         let dc = dc_with_rows(2_000, 1024, true);
         let tree = dc.tree(TableId(1)).unwrap().clone();
-        let (pid_a, _) = tree.find_leaf_pid(dc.pool_mut(), 10).unwrap();
-        let (pid_b, _) = tree.find_leaf_pid(dc.pool_mut(), 1_500).unwrap();
+        let (pid_a, _) = tree.find_leaf_pid(dc.pool(), 10).unwrap();
+        let (pid_b, _) = tree.find_leaf_pid(dc.pool(), 1_500).unwrap();
         assert_ne!(pid_a, pid_b);
         let mut dpt = Dpt::new();
         dpt.add(pid_a, Lsn(100)); // only A is in the DPT
@@ -462,7 +419,7 @@ mod tests {
     fn log_driven_prefetcher_skips_records_below_rlsn() {
         let dc = dc_with_rows(2_000, 1024, true);
         let tree = dc.tree(TableId(1)).unwrap().clone();
-        let (pid, _) = tree.find_leaf_pid(dc.pool_mut(), 10).unwrap();
+        let (pid, _) = tree.find_leaf_pid(dc.pool(), 10).unwrap();
         let mut dpt = Dpt::new();
         dpt.add(pid, Lsn(500)); // rLSN 500
         let window = vec![update_rec(100, 10, pid)]; // record below rLSN
@@ -479,7 +436,7 @@ mod tests {
         // Collect distinct leaf pids.
         let mut pids = Vec::new();
         for k in (0..4_000).step_by(40) {
-            let (pid, _) = tree.find_leaf_pid(dc.pool_mut(), k).unwrap();
+            let (pid, _) = tree.find_leaf_pid(dc.pool(), k).unwrap();
             if pids.last() != Some(&pid) {
                 pids.push(pid);
             }
@@ -508,8 +465,8 @@ mod tests {
     fn dpt_driven_prefetcher_issues_in_rlsn_order() {
         let dc = dc_with_rows(4_000, 4096, true);
         let tree = dc.tree(TableId(1)).unwrap().clone();
-        let (pid_late, _) = tree.find_leaf_pid(dc.pool_mut(), 100).unwrap();
-        let (pid_early, _) = tree.find_leaf_pid(dc.pool_mut(), 3_000).unwrap();
+        let (pid_late, _) = tree.find_leaf_pid(dc.pool(), 100).unwrap();
+        let (pid_early, _) = tree.find_leaf_pid(dc.pool(), 3_000).unwrap();
         let mut dpt = Dpt::new();
         dpt.add(pid_late, Lsn(900));
         dpt.add(pid_early, Lsn(100));

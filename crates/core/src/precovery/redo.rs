@@ -10,7 +10,7 @@
 
 use crate::methods::{LogDrivenPrefetcher, LogicalCtx, LogicalPrefetch};
 use lr_common::{Error, IoModel, PageId, RecoveryBreakdown, Result};
-use lr_dc::{DataComponent, Dpt, DptScreen};
+use lr_dc::{DcApi, Dpt, DptScreen};
 use lr_wal::{LogPayload, LogRecord};
 use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
 use std::time::Instant;
@@ -62,7 +62,7 @@ pub(crate) enum RedoFamily<'a> {
 /// busiest worker (wall-clock), `worker_busy_total_us` the sum, and
 /// `partition_us` the dispatcher's own scan.
 pub(crate) fn parallel_redo(
-    dc: &DataComponent,
+    dc: &dyn DcApi,
     window: &[LogRecord],
     family: RedoFamily<'_>,
     workers: usize,
@@ -168,7 +168,7 @@ fn route(
 /// `recovery_equivalence` suite (all methods × workers ∈ {1,2,4}) is
 /// the backstop that catches a missed mirror.
 fn dispatch(
-    dc: &DataComponent,
+    dc: &dyn DcApi,
     window: &[LogRecord],
     family: RedoFamily<'_>,
     txs: &[SyncSender<RedoItem>],
@@ -232,13 +232,15 @@ fn dispatch(
                     | LogPayload::Clr { table, key, .. } => (*table, *key),
                     _ => unreachable!("is_data_op checked"),
                 };
-                // Resolve the partition key: traverse internal pages to the
-                // leaf PID (Alg. 5 line 4), exactly as serial logical redo
-                // does — the cost lands in the dispatcher's phase, device
-                // stalls for cold index pages included.
-                let tree = dc.tree(table)?;
-                let (pid, touched, stall_us) = tree.find_leaf_pid_timed(dc.pool_mut(), key)?;
-                out.busy_us += model.cpu_btree_level_us * touched as u64 + stall_us;
+                // Resolve the partition key exactly as serial logical redo
+                // does (a B-tree traversal, or the logged PID for a
+                // page-logical backend) — the cost lands in the
+                // dispatcher's phase, device stalls for cold index pages
+                // included.
+                let logged = rec.payload.data_pid().expect("data op carries a PID");
+                let loc = dc.resolve_redo_pid(table, key, logged)?;
+                let pid = loc.pid;
+                out.busy_us += model.cpu_btree_level_us * loc.levels as u64 + loc.stall_us;
 
                 if let Some(ctx) = &ctx {
                     if rec.lsn < ctx.last_delta_tc_lsn {
@@ -272,7 +274,7 @@ fn dispatch(
 /// worker's own device stalls and apply CPU — so the report can take the
 /// max across workers as the parallel redo wall-clock.
 fn worker_loop(
-    dc: &DataComponent,
+    dc: &dyn DcApi,
     window: &[LogRecord],
     rx: Receiver<RedoItem>,
     model: &IoModel,
@@ -293,12 +295,12 @@ fn worker_loop(
             }
         };
         let rec = &window[item.idx];
-        let info = dc.pool_mut().fetch(item.pid)?;
+        let info = dc.pool().fetch(item.pid)?;
         sh.busy_us += info.stall_us;
         // Stall-aware read: a concurrent eviction between the fetch and
         // this latch means a refetch whose device stall must also land in
         // this worker's busy time.
-        let (plsn, info) = dc.pool_mut().with_page_info(item.pid, |p| p.plsn())?;
+        let (plsn, info) = dc.pool().with_page_info(item.pid, |p| p.plsn())?;
         sh.busy_us += info.stall_us;
         if rec.lsn <= plsn {
             sh.skipped_plsn += 1;

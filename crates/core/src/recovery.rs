@@ -7,14 +7,14 @@
 
 use crate::engine::Engine;
 use crate::methods::{
-    logical_redo, physiological_redo, preload_index, DptDrivenPrefetcher, LogDrivenPrefetcher,
-    LogicalCtx, LogicalPrefetch, PfListPrefetcher,
+    logical_redo, physiological_redo, DptDrivenPrefetcher, LogDrivenPrefetcher, LogicalCtx,
+    LogicalPrefetch, PfListPrefetcher,
 };
 use crate::precovery::{parallel_redo, RecoveryOptions, RedoFamily};
 use lr_buffer::PoolStats;
 use lr_common::{Error, IoStats, Lsn, RecoveryBreakdown, Result};
 use lr_dc::{
-    build_dpt_aries, build_dpt_logical, build_dpt_sqlserver, smo_barrier_physiological, smo_redo,
+    build_dpt_aries, build_dpt_logical, build_dpt_sqlserver, smo_barrier_physiological,
     DeltaDptMode, Dpt,
 };
 use lr_tc::{analyze_txns, undo_losers, undo_losers_parallel, UndoStats};
@@ -313,7 +313,7 @@ impl Engine {
         // ---- measurement window ----
         self.clock.reset();
         {
-            let pool = self.dc.pool_mut();
+            let pool = self.dc.pool();
             pool.reset_stats();
             let mut disk = pool.disk_mut();
             disk.reset_device();
@@ -354,9 +354,9 @@ impl Engine {
         // run SMO redo here (§4.2: DC recovery precedes TC redo).
         let t0 = self.clock.now_us();
         for _ in 0..log_pages {
-            self.dc.pool_mut().disk_mut().charge_log_page_read();
+            self.dc.pool().disk_mut().charge_log_page_read();
         }
-        self.dc.pool_mut().disk_mut().charge_cpu(model.cpu_log_record_us * window.len() as u64);
+        self.dc.pool().disk_mut().charge_cpu(model.cpu_log_record_us * window.len() as u64);
 
         let mut dpt: Option<Dpt> = None;
         let mut last_delta_tc_lsn = Lsn::NULL;
@@ -397,7 +397,7 @@ impl Engine {
             }
             RecoveryMethod::Log0 => {
                 let s0 = self.clock.now_us();
-                let (a, s) = smo_redo(&self.dc, &window)?;
+                let (a, s) = self.dc.smo_redo(&window)?;
                 smo_pages_applied = a;
                 smo_pages_skipped = s;
                 smo_us = self.clock.now_us() - s0;
@@ -408,7 +408,7 @@ impl Engine {
             | RecoveryMethod::LogReduced
             | RecoveryMethod::Log2DptPrefetch => {
                 let s0 = self.clock.now_us();
-                let (a, s) = smo_redo(&self.dc, &window)?;
+                let (a, s) = self.dc.smo_redo(&window)?;
                 smo_pages_applied = a;
                 smo_pages_skipped = s;
                 smo_us = self.clock.now_us() - s0;
@@ -433,7 +433,10 @@ impl Engine {
         let mut index_pages_loaded = 0;
         if matches!(method, RecoveryMethod::Log2 | RecoveryMethod::Log2DptPrefetch) {
             let t = self.clock.now_us();
-            index_pages_loaded = preload_index(&self.dc, &mut bk)?;
+            let pl = self.dc.preload_index()?;
+            index_pages_loaded = pl.pages_loaded;
+            bk.prefetch_ios += pl.prefetch_ios;
+            bk.prefetch_pages += pl.prefetch_pages;
             bk.index_preload_us = self.clock.now_us() - t;
         }
 
@@ -442,7 +445,7 @@ impl Engine {
         let ps_before = self.dc.pool().stats();
         // The redo pass re-reads the window sequentially.
         for _ in 0..log_pages {
-            self.dc.pool_mut().disk_mut().charge_log_page_read();
+            self.dc.pool().disk_mut().charge_log_page_read();
         }
         bk.log_pages_read += log_pages;
 
@@ -453,10 +456,10 @@ impl Engine {
         if workers <= 1 {
             match family {
                 RedoFamily::Physiological { dpt, prefetch } => {
-                    physiological_redo(&self.dc, &window, dpt, prefetch, &mut bk)?;
+                    physiological_redo(self.dc.as_ref(), &window, dpt, prefetch, &mut bk)?;
                 }
                 RedoFamily::Logical { ctx, prefetch } => {
-                    logical_redo(&self.dc, &window, ctx.as_ref(), prefetch, &mut bk)?;
+                    logical_redo(self.dc.as_ref(), &window, ctx.as_ref(), prefetch, &mut bk)?;
                 }
             }
             bk.redo_us = self.clock.now_us() - t_redo;
@@ -473,7 +476,7 @@ impl Engine {
             if !method.is_logical() {
                 let t_smo = self.clock.now_us();
                 let out = smo_barrier_physiological(
-                    &self.dc,
+                    self.dc.as_ref(),
                     &window,
                     dpt.as_ref().expect("physiological methods build a DPT"),
                 )?;
@@ -483,7 +486,7 @@ impl Engine {
                 bk.skipped_plsn += out.skipped_plsn;
                 bk.smo_redo_us += self.clock.now_us() - t_smo;
             }
-            parallel_redo(&self.dc, &window, family, workers, &mut bk)?;
+            parallel_redo(self.dc.as_ref(), &window, family, workers, &mut bk)?;
             // The dispatcher's log re-scan rides the sequential-read model,
             // like the serial pass's window re-read.
             bk.partition_us += log_pages * model.log_page_read_us;
@@ -497,21 +500,35 @@ impl Engine {
         bk.index_stall_events = ps_after.index_stall_events - ps_before.index_stall_events;
         bk.index_stall_us = ps_after.index_stall_us - ps_before.index_stall_us;
 
+        // ---- phase 2.5: volatile-structure rebuild ----
+        //
+        // Redo is exact at the page level (pLSN-guarded, and for the
+        // parallel pipeline partition-exclusive), but a backend keeping
+        // volatile per-key state cannot maintain it soundly during redo:
+        // pLSN-skipped records never run their index maintenance, and
+        // partitioned workers apply a moved key's delete and re-insert in
+        // no defined relative order. The backend restores that state from
+        // the now-final pages here, before undo re-locates by key; the
+        // cost is reported as its own phase (a no-op for the B-tree).
+        let t_rebuild = self.clock.now_us();
+        self.dc.finish_redo()?;
+        bk.index_rebuild_us = self.clock.now_us() - t_rebuild;
+
         // ---- phase 3: transactional undo (common to all methods) ----
         let t_undo = self.clock.now_us();
         let txn_analysis = analyze_txns(&window, &ckpt_active);
         let undo = if workers <= 1 {
-            undo_losers(&self.tc, &self.dc, &txn_analysis.losers)?
+            undo_losers(&self.tc, self.dc.as_ref(), &txn_analysis.losers)?
         } else {
             // Per-loser units on a shared queue; chains are independent
             // (runtime key locks were exclusive) and CLRs ride the shared
             // log's normal append path.
-            undo_losers_parallel(&self.tc, &self.dc, &txn_analysis.losers, workers)?
+            undo_losers_parallel(&self.tc, self.dc.as_ref(), &txn_analysis.losers, workers)?
         };
         // Undo's random-access log reads (device/IoStats view; the
         // per-worker shards already charged them to their own clocks).
         for _ in 0..undo.log_records_visited {
-            self.dc.pool_mut().disk_mut().charge_log_page_read();
+            self.dc.pool().disk_mut().charge_log_page_read();
         }
         // Serial undo reports the shared-clock delta (the measured §5
         // pipeline); parallel undo reports the busiest worker's shard —
@@ -528,7 +545,7 @@ impl Engine {
         // ---- finish: back to normal execution ----
         let pool = self.dc.pool().stats();
         let io = self.dc.pool().disk().stats();
-        self.dc.pool_mut().disk_mut().set_timed(false);
+        self.dc.pool().disk_mut().set_timed(false);
         self.crashed.store(false, std::sync::atomic::Ordering::Release);
         // Post-recovery checkpoint: flushes redone state so the Δ/BW stream
         // restarts from a clean slate (untimed; recovery proper has ended).

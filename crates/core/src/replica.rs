@@ -10,11 +10,12 @@
 //! This module is that claim, executable: take the primary's common log,
 //! keep only committed transactions' *logical* content (table, key,
 //! images — the piggybacked PIDs are meaningless on the replica and are
-//! ignored), and apply it to a [`DataComponent`] with a different page
-//! size, a different disk, a differently-shaped B-tree.
+//! ignored), and apply it to any [`DcApi`] implementation — a
+//! [`lr_dc::DataComponent`] with a different page size, a different disk,
+//! a differently-shaped B-tree, or even the hash-index backend.
 
 use lr_common::{Result, TxnId};
-use lr_dc::{DataComponent, WriteIntent};
+use lr_dc::{DcApi, WriteIntent};
 use lr_wal::{LogPayload, LogRecord};
 use std::collections::HashSet;
 
@@ -35,7 +36,7 @@ pub fn committed_txns(records: &[LogRecord]) -> HashSet<TxnId> {
 /// The replica locates every operation through **its own** B-tree — the
 /// primary's PIDs never participate — so any page size / fill factor /
 /// tree shape works.
-pub fn apply_committed_ops(replica: &DataComponent, records: &[LogRecord]) -> Result<u64> {
+pub fn apply_committed_ops(replica: &dyn DcApi, records: &[LogRecord]) -> Result<u64> {
     let committed = committed_txns(records);
     let mut applied = 0u64;
     for rec in records {
@@ -86,7 +87,7 @@ mod tests {
     use crate::engine::Engine;
     use crate::EngineConfig;
     use lr_common::{IoModel, SimClock};
-    use lr_dc::DcConfig;
+    use lr_dc::{DataComponent, DcConfig};
     use lr_storage::SimDisk;
     use lr_wal::Wal;
 
@@ -150,7 +151,7 @@ mod tests {
         // Logical contents agree, physical shapes differ.
         let primary_rows = primary.scan_table(DEFAULT_TABLE).unwrap();
         let replica_tree = replica.tree(DEFAULT_TABLE).unwrap().clone();
-        let replica_rows = replica_tree.scan_all(replica.pool_mut()).unwrap();
+        let replica_rows = replica_tree.scan_all(replica.pool()).unwrap();
         assert_eq!(primary_rows, replica_rows);
         // Key 7: committed as "v7" by t1; t3's aborted overwrite invisible.
         assert_eq!(replica.read(DEFAULT_TABLE, 7).unwrap().unwrap(), b"v7");

@@ -31,7 +31,7 @@
 //! assert_eq!(probe.read(DEFAULT_TABLE, 3).unwrap().unwrap(), b"client-3");
 //! ```
 
-use crate::config::DEFAULT_TABLE;
+use crate::config::default_table_op;
 use crate::engine::Engine;
 use lr_common::{Error, Key, Lsn, Result, TableId, TxnId, Value};
 use lr_tc::UndoStats;
@@ -88,9 +88,9 @@ impl Session {
         self.engine.update_in(txn, table, key, value)
     }
 
-    /// Update in the default table.
-    pub fn update(&mut self, key: Key, value: Value) -> Result<()> {
-        self.update_in(DEFAULT_TABLE, key, value)
+    default_table_op! {
+        /// Update in the default table.
+        pub fn update(&mut self; key: Key, value: Value) -> Result<()> => update_in
     }
 
     /// Insert `key -> value` into `table` under the open transaction.
@@ -99,8 +99,9 @@ impl Session {
         self.engine.insert_in(txn, table, key, value)
     }
 
-    pub fn insert(&mut self, key: Key, value: Value) -> Result<()> {
-        self.insert_in(DEFAULT_TABLE, key, value)
+    default_table_op! {
+        /// Insert into the default table.
+        pub fn insert(&mut self; key: Key, value: Value) -> Result<()> => insert_in
     }
 
     /// Delete `key` from `table` under the open transaction.
@@ -109,8 +110,9 @@ impl Session {
         self.engine.delete_in(txn, table, key)
     }
 
-    pub fn delete(&mut self, key: Key) -> Result<()> {
-        self.delete_in(DEFAULT_TABLE, key)
+    default_table_op! {
+        /// Delete from the default table.
+        pub fn delete(&mut self; key: Key) -> Result<()> => delete_in
     }
 
     /// Point read (no transaction required — single-version storage).
@@ -231,7 +233,7 @@ impl Drop for Session {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::EngineConfig;
+    use crate::{EngineConfig, DEFAULT_TABLE};
 
     fn shared_engine() -> Arc<Engine> {
         Engine::build(EngineConfig {

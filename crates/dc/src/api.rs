@@ -1,0 +1,387 @@
+//! The TC ↔ DC contract, as a trait.
+//!
+//! The paper's architecture (§2, Figure 1) splits the kernel into a
+//! transaction component (TC) and a data component (DC) that interact
+//! **only** through a narrow logical-operation interface: data operations
+//! addressed by `(table, key)`, the prepare → log → apply write protocol,
+//! and a handful of control operations (EOSL, RSSP, crash, recovery
+//! hooks). [`DcApi`] *is* that interface — the engine, the recovery
+//! drivers, undo, maintenance and the replica path all hold
+//! `Arc<dyn DcApi>` and never name a concrete data component.
+//!
+//! Two backends implement it:
+//!
+//! * [`crate::DataComponent`] — the default B-tree DC (clustered index,
+//!   logical redo re-traverses by key);
+//! * [`crate::HashDc`] — an in-memory hash-index DC over bucket-chain
+//!   pages (no B-tree; redo is page-logical: it replays at the logged
+//!   PID and rebuilds the volatile key index from the chains).
+//!
+//! Backends register by name in [`crate::backend`]; the engine selects
+//! one through `EngineConfig::backend`.
+//!
+//! ## Contract rules (what every implementation must uphold)
+//!
+//! * **Write protocol**: the TC calls [`DcApi::prepare_op`] (placement +
+//!   before-image, latches held by the returned guard), logs the record,
+//!   then calls [`DcApi::apply`] while the guard is alive. Per-page apply
+//!   order must equal log order, and every apply stamps the page LSN, so
+//!   the pLSN redo test stays sound.
+//! * **LSN rules**: `apply_at(pid, rec)` installs `rec`'s effect under
+//!   `rec.lsn` with *no* redo test — callers (recovery) run their own
+//!   DPT/rLSN/pLSN screens first. Structure modifications are logged as
+//!   redo-only SMO system transactions before the data record that
+//!   depends on them.
+//! * **Control-op ordering**: `eosl` publishes the TC's end-of-stable-log
+//!   (the write-ahead gate the cache enforces before flushing);
+//!   [`DcApi::rssp`] must flush every page dirtied before the announced
+//!   LSN, emit pending recovery bookkeeping, and durably record the RSSP
+//!   *before* returning — the checkpoint bracket (bCkpt → RSSP → eCkpt)
+//!   depends on it. [`DcApi::drain_in_flight_ops`] barriers in-flight
+//!   writers between the bCkpt append and the flush-generation flip.
+//! * **Crash/recovery**: [`DcApi::crash`] discards every volatile
+//!   structure while stable pages survive; [`DcApi::smo_redo`] must make
+//!   the index well-formed before any logical redo (§1.2), and
+//!   [`DcApi::resolve_redo_pid`] resolves a data record to the page redo
+//!   should test — by key traversal for the B-tree, by logged PID for a
+//!   page-logical backend.
+
+use crate::dc::{DcConfig, DcStats, PrepareInfo, WriteIntent};
+use crate::dpt::Dpt;
+use crate::recovery::SmoBarrierOutcome;
+use lr_buffer::BufferPool;
+use lr_common::{Key, Lsn, PageId, Result, TableId, Value};
+use lr_storage::Disk;
+use lr_wal::{LogRecord, SharedWal, SmoRecord};
+use std::sync::Arc;
+
+/// Marker for latch guards carried by [`PreparedOp`] / [`TableGuard`]:
+/// anything droppable qualifies, so backends can stash whatever guard
+/// combination their latch discipline needs without widening the API.
+pub trait OpGuard {}
+impl<T: ?Sized> OpGuard for T {}
+
+/// A staged write, backend-agnostic: the placement PID, the before-image
+/// for undo, and an opaque guard that keeps the placement valid until the
+/// caller has logged and applied the operation (drop after
+/// [`DcApi::apply`]).
+pub struct PreparedOp<'a> {
+    /// Page the operation will land on (piggybacked onto the TC's log
+    /// record for the physiological baselines).
+    pub pid: PageId,
+    /// Before-image for undo (`None` for inserts).
+    pub before: Option<Value>,
+    _guard: Box<dyn OpGuard + 'a>,
+}
+
+impl<'a> PreparedOp<'a> {
+    /// Package a staged write with the guard that pins its placement.
+    pub fn new(pid: PageId, before: Option<Value>, guard: impl OpGuard + 'a) -> PreparedOp<'a> {
+        PreparedOp { pid, before, _guard: Box::new(guard) }
+    }
+
+    /// The placement + before-image without the guard (single-threaded
+    /// callers).
+    pub fn info(&self) -> PrepareInfo {
+        PrepareInfo { pid: self.pid, before: self.before.clone() }
+    }
+}
+
+/// An exclusive (or shared) table latch held through the trait — opaque so
+/// each backend keeps its own latch type.
+pub struct TableGuard<'a>(#[allow(dead_code)] Box<dyn OpGuard + 'a>);
+
+impl<'a> TableGuard<'a> {
+    pub fn new(guard: impl OpGuard + 'a) -> TableGuard<'a> {
+        TableGuard(Box::new(guard))
+    }
+}
+
+/// Backend-generic structural summary of one table (the shape
+/// verification walks report).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TableSummary {
+    /// Total records across all data pages.
+    pub records: u64,
+    /// Data (leaf / bucket) page count.
+    pub leaf_pages: u64,
+    /// Index-structure page count (internal nodes; bucket directories).
+    pub internal_pages: u64,
+    /// B-tree height, or the longest bucket chain for a hash backend.
+    pub height: u32,
+}
+
+/// Where a `(table, key)` pair resolves for redo / undo, with the
+/// simulated cost of finding out.
+#[derive(Clone, Copy, Debug)]
+pub struct Located {
+    /// The page the operation should be tested/applied at.
+    pub pid: PageId,
+    /// Index levels touched by the resolution (0 for an O(1) lookup) —
+    /// charged at `IoModel::cpu_btree_level_us` per level by callers.
+    pub levels: u32,
+    /// Device stall µs the resolution itself incurred (cold index pages,
+    /// leaf warm-up) — already charged to the shared device, returned so
+    /// per-worker busy shards can attribute it.
+    pub stall_us: u64,
+}
+
+/// What an index-preload pass did (Appendix A.1; Log2-family methods).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PreloadStats {
+    /// Index pages now resident.
+    pub pages_loaded: u64,
+    /// Prefetch I/Os issued while loading.
+    pub prefetch_ios: u64,
+    /// Pages those I/Os covered.
+    pub prefetch_pages: u64,
+}
+
+/// Narrow observability facet of a data component: stats, tuning and the
+/// shared infrastructure handles. Tests, benches and the engine's stats
+/// snapshot go through this instead of poking backend internals.
+pub trait DcIntrospect: Send + Sync {
+    /// The backend's registered name (`"btree"`, `"hash"`).
+    fn backend_name(&self) -> &'static str;
+
+    /// The buffer pool (capacity/occupancy counters, runtime DPT,
+    /// flush-all for tests). All backends cache through one pool type so
+    /// the recovery bookkeeping (Δ/BW event stream, EOSL gate) is shared.
+    fn pool(&self) -> &BufferPool;
+
+    /// Normal-execution overhead counters (Figure 2(c) numerators).
+    fn stats(&self) -> DcStats;
+
+    /// The tuning this DC was opened with.
+    fn config(&self) -> &DcConfig;
+
+    /// The shared log handle (TC and DC write one common log, §4.1).
+    fn wal(&self) -> SharedWal;
+
+    /// How many frames the cache can actually fill: its capacity bounded
+    /// by the database size (the paper's 2048 MB case).
+    fn cache_fill_target(&self) -> usize {
+        self.pool().capacity().min(self.pool().disk().num_pages() as usize)
+    }
+}
+
+/// The TC ↔ DC contract (see the module docs for the protocol rules each
+/// implementation must uphold). Object-safe: the engine holds
+/// `Arc<dyn DcApi>`.
+pub trait DcApi: DcIntrospect {
+    // ------------------------------------------------------------------
+    // logical reads
+    // ------------------------------------------------------------------
+
+    /// Point read of `(table, key)`. No locks are taken on behalf of the
+    /// caller (single-version storage; the TC owns transactional locking).
+    fn read(&self, table: TableId, key: Key) -> Result<Option<Value>>;
+
+    /// Range read: all rows with keys in `[from, to]`, in key order.
+    fn read_range(&self, table: TableId, from: Key, to: Key) -> Result<Vec<(Key, Value)>>;
+
+    /// Every row of `table` in key order (verification walks).
+    fn scan_all(&self, table: TableId) -> Result<Vec<(Key, Value)>>;
+
+    // ------------------------------------------------------------------
+    // the prepare → log → apply write protocol
+    // ------------------------------------------------------------------
+
+    /// Stage a write with the backend's full concurrency discipline:
+    /// returns the placement PID and before-image, with latches held by
+    /// the guard so the placement stays valid until [`DcApi::apply`].
+    fn prepare_op(&self, table: TableId, key: Key, intent: WriteIntent) -> Result<PreparedOp<'_>>;
+
+    /// Latch-free staging (single-threaded callers — recovery, replicas —
+    /// or callers already holding [`DcApi::lock_table_exclusive`]):
+    /// perform any needed structure modifications (logged as redo-only
+    /// SMO system transactions), locate the target page, read the
+    /// before-image.
+    fn prepare_write(&self, table: TableId, key: Key, intent: WriteIntent) -> Result<PrepareInfo>;
+
+    /// Apply a logged data operation to the page named by the record (the
+    /// normal-execution path). Call while the corresponding
+    /// [`PreparedOp`] guard is alive; stamps the page with `rec.lsn`.
+    fn apply(&self, rec: &LogRecord) -> Result<()>;
+
+    /// Apply `rec`'s operation to `pid` under `rec.lsn`, with **no redo
+    /// test** — callers (recovery paths) run their own screens. Shared by
+    /// normal execution and every recovery method.
+    fn apply_at(&self, pid: PageId, rec: &LogRecord) -> Result<()>;
+
+    // ------------------------------------------------------------------
+    // control operations (§4.1)
+    // ------------------------------------------------------------------
+
+    /// EOSL: the TC advertises its end-of-stable-log — the write-ahead
+    /// gate the cache enforces before flushing a page whose pLSN exceeds
+    /// the last advertised value.
+    fn eosl(&self, elsn: Lsn);
+
+    /// RSSP: the TC announces its intended redo-scan-start-point (its
+    /// bCkpt LSN). The DC flushes every page dirtied before it
+    /// (penultimate scheme), emits pending Δ/BW state, and durably logs
+    /// the RSSP. When this returns, no operation with `LSN <= rssp_lsn`
+    /// needs redo.
+    fn rssp(&self, rssp_lsn: Lsn) -> Result<()>;
+
+    /// Barrier for in-flight data operations: when this returns, every
+    /// operation *logged* before the call has also been *applied*. The
+    /// checkpoint uses it between the bCkpt append and the
+    /// flush-generation flip.
+    fn drain_in_flight_ops(&self);
+
+    /// Crash the DC: cache, volatile index state, open Δ/BW intervals and
+    /// the in-memory catalog all vanish; stable pages survive.
+    fn crash(&self);
+
+    /// Reload the catalog (and any backend-specific placement structure)
+    /// from stable pages — first step of DC recovery. SMO redo then fixes
+    /// whatever moved after the last flush.
+    fn reload_catalog(&self) -> Result<()>;
+
+    // ------------------------------------------------------------------
+    // checkpoint / cleaner hooks
+    // ------------------------------------------------------------------
+
+    /// Drain cache events into the recovery trackers and emit Δ/BW
+    /// records when batching thresholds trip; runs the inline cleaner
+    /// unless a background service owns that duty.
+    fn pump_events(&self);
+
+    /// Force both trackers to emit (checkpoint boundary).
+    fn force_emit(&self);
+
+    /// Throw away pending cache events (setup phases only).
+    fn discard_events(&self);
+
+    /// One lazywriter activation (background maintenance entry point):
+    /// flush up to a batch of cold dirty pages if over the watermark.
+    /// Returns pages flushed.
+    fn cleaner_pass(&self) -> Result<usize>;
+
+    /// Is the cache dirtier than the lazywriter watermark right now?
+    fn over_dirty_watermark(&self) -> bool;
+
+    // ------------------------------------------------------------------
+    // catalog operations
+    // ------------------------------------------------------------------
+
+    /// Create a fresh empty table.
+    fn create_table(&self, table: TableId) -> Result<()>;
+
+    /// Register a table whose structure was built externally (bulk load);
+    /// `root` is the backend's placement anchor (B-tree root / bucket
+    /// directory page).
+    fn register_table(&self, table: TableId, root: PageId) -> Result<()>;
+
+    /// The placement anchor of `table`.
+    fn table_root(&self, table: TableId) -> Result<PageId>;
+
+    /// Update a table's placement anchor (SMO redo during DC recovery).
+    fn set_root(&self, table: TableId, root: PageId);
+
+    /// Persist the catalog under `lsn`.
+    fn save_catalog(&self, lsn: Lsn) -> Result<()>;
+
+    /// All registered tables.
+    fn tables(&self) -> Vec<TableId>;
+
+    /// Exclusive table latch (undo relocation, external SMO-capable
+    /// flows): while held, no other writer can move records of `table`.
+    fn lock_table_exclusive(&self, table: TableId) -> TableGuard<'_>;
+
+    /// Walk `table`'s whole structure, checking the backend's invariants
+    /// (ordering, linkage, placement function) and summarizing its shape.
+    fn verify_table(&self, table: TableId) -> Result<TableSummary>;
+
+    // ------------------------------------------------------------------
+    // recovery hooks
+    // ------------------------------------------------------------------
+
+    /// DC structure recovery: reload the catalog from stable pages and
+    /// replay SMO system transactions in `window` (pLSN-guarded) so the
+    /// placement structure is well-formed before logical redo (§1.2).
+    /// Returns `(pages applied, pages skipped)`.
+    fn smo_redo(&self, window: &[LogRecord]) -> Result<(u64, u64)>;
+
+    /// Replay one SMO record with the physiological redo screen (DPT +
+    /// rLSN + pLSN); installs surviving page images wholesale. Returns
+    /// the record's LSN when it moved a placement anchor — callers
+    /// persist the catalog once, after the last move. One implementation
+    /// per backend serves both serial inline replay and the parallel
+    /// barrier phase, so the two can never drift.
+    fn replay_smo_screened(
+        &self,
+        lsn: Lsn,
+        smo: &SmoRecord,
+        dpt: &Dpt,
+        out: &mut SmoBarrierOutcome,
+    ) -> Result<Option<Lsn>>;
+
+    /// Resolve a data record to the page redo must test: by key traversal
+    /// for a logical backend (the logged PID is advisory), by the logged
+    /// PID for a page-logical backend. `logged_pid` is the PID the TC
+    /// piggybacked on the record.
+    fn resolve_redo_pid(&self, table: TableId, key: Key, logged_pid: PageId) -> Result<Located>;
+
+    /// Locate the page currently (or prospectively) holding `key` for
+    /// undo compensation — logical re-location, since the record may have
+    /// moved since it was logged (§2.2). Callers must hold
+    /// [`DcApi::lock_table_exclusive`].
+    fn locate_key(&self, table: TableId, key: Key) -> Result<Located>;
+
+    /// Load the backend's index structure into the cache (Appendix A.1's
+    /// preload; a no-op for backends whose index is volatile).
+    fn preload_index(&self) -> Result<PreloadStats>;
+
+    /// Called once after **every** data-redo pass, before undo. Redo is
+    /// exact at the page level, but volatile per-*key* state cannot be
+    /// maintained soundly during it: pLSN-skipped records never run their
+    /// index maintenance, and partitioned workers apply a moved key's
+    /// delete and re-insert in no defined relative order. A backend
+    /// keeping such state must restore it from the (final, pLSN-guarded)
+    /// pages here. Default: no-op — the B-tree derives placement from the
+    /// pages themselves.
+    fn finish_redo(&self) -> Result<()> {
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // lifecycle
+    // ------------------------------------------------------------------
+
+    /// Open a new DC of the **same backend** over `disk`/`wal` (the
+    /// engine's crash-fork path). The new component starts cold, exactly
+    /// like [`crate::backend`]'s `open`.
+    fn reopen(&self, disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<Arc<dyn DcApi>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `DcApi` must stay object-safe: the engine stores `Arc<dyn DcApi>`.
+    /// (A non-object-safe change fails to compile right here.)
+    #[test]
+    fn dc_api_is_object_safe() {
+        fn assert_obj(_dc: &dyn DcApi) {}
+        fn assert_introspect(dc: &dyn DcApi) -> &dyn DcIntrospect {
+            dc
+        }
+        // Only the signatures matter; never called.
+        let _: fn(&dyn DcApi) = assert_obj;
+        let _: fn(&dyn DcApi) -> &dyn DcIntrospect = assert_introspect;
+    }
+
+    #[test]
+    fn prepared_op_carries_arbitrary_guards() {
+        let lock = parking_lot::RwLock::new(());
+        let guard = lock.read();
+        let op = PreparedOp::new(PageId(7), Some(vec![1, 2]), guard);
+        assert_eq!(op.pid, PageId(7));
+        assert_eq!(op.info().before.unwrap(), vec![1, 2]);
+        drop(op); // releases the latch
+        assert!(lock.try_write().is_some());
+    }
+}

@@ -1,0 +1,108 @@
+//! The data-component backend registry.
+//!
+//! The Deuteronomy split makes the DC pluggable: anything implementing
+//! [`crate::DcApi`] can sit behind the TC (§1.1 names replicas on
+//! "disparate physical system configurations"; LogBase-style log-structured
+//! stores are the same idea). Backends register here by name and the
+//! engine selects one through `EngineConfig::backend`.
+
+use crate::api::DcApi;
+use crate::dc::{DataComponent, DcConfig};
+use crate::hash::{hash_bulk_load, HashDc};
+use lr_common::{Error, Key, PageId, Result, TableId, Value};
+use lr_storage::Disk;
+use lr_wal::SharedWal;
+use std::sync::Arc;
+
+/// Name of the default clustered B-tree backend ([`DataComponent`]).
+pub const BTREE_BACKEND: &str = "btree";
+/// Name of the in-memory hash-index backend ([`HashDc`]).
+pub const HASH_BACKEND: &str = "hash";
+
+/// Offline initial-table loader: `(disk, table, rows, fill) → anchor`.
+pub type BulkLoadFn =
+    fn(&mut dyn Disk, TableId, &mut dyn Iterator<Item = (Key, Value)>, f64) -> Result<PageId>;
+/// Component constructor over a formatted disk and the shared log.
+pub type OpenFn = fn(Box<dyn Disk>, SharedWal, DcConfig) -> Result<Arc<dyn DcApi>>;
+
+/// One registered backend: how to format a fresh disk, bulk-load the
+/// initial table, and open the component. All three are plain function
+/// pointers so the registry stays `'static` data.
+pub struct Backend {
+    /// Registry key (`EngineConfig::backend`).
+    pub name: &'static str,
+    /// Format a fresh disk (install the empty catalog on the meta page).
+    pub format: fn(&mut dyn Disk) -> Result<()>,
+    /// Build the initial table directly on the disk (offline load,
+    /// bypassing pool and log); returns the table's placement anchor.
+    pub bulk_load: BulkLoadFn,
+    /// Open the component over a formatted disk and the shared log.
+    pub open: OpenFn,
+}
+
+fn open_btree(disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<Arc<dyn DcApi>> {
+    Ok(Arc::new(DataComponent::open(disk, wal, cfg)?))
+}
+
+fn bulk_load_btree(
+    disk: &mut dyn Disk,
+    table: TableId,
+    rows: &mut dyn Iterator<Item = (Key, Value)>,
+    fill: f64,
+) -> Result<PageId> {
+    lr_btree::bulk_load(disk, table, rows, fill)
+}
+
+fn open_hash(disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<Arc<dyn DcApi>> {
+    Ok(Arc::new(HashDc::open(disk, wal, cfg)?))
+}
+
+/// The registry. Both backends share the disk format (`format_disk`
+/// installs the same empty catalog), so a formatted disk is
+/// backend-portable until the first bulk load.
+static BACKENDS: &[Backend] = &[
+    Backend {
+        name: BTREE_BACKEND,
+        format: DataComponent::format_disk,
+        bulk_load: bulk_load_btree,
+        open: open_btree,
+    },
+    Backend {
+        name: HASH_BACKEND,
+        format: DataComponent::format_disk,
+        bulk_load: hash_bulk_load,
+        open: open_hash,
+    },
+];
+
+/// Look a backend up by name. Unknown names list the valid ones.
+pub fn backend(name: &str) -> Result<&'static Backend> {
+    BACKENDS.iter().find(|b| b.name == name).ok_or_else(|| {
+        Error::RecoveryInvariant(format!(
+            "unknown DC backend '{name}' (valid: {})",
+            backend_names().join(", ")
+        ))
+    })
+}
+
+/// Every registered backend name, registry order.
+pub fn backend_names() -> Vec<&'static str> {
+    BACKENDS.iter().map(|b| b.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_knows_both_backends() {
+        assert_eq!(backend_names(), vec![BTREE_BACKEND, HASH_BACKEND]);
+        assert!(backend("btree").is_ok());
+        assert!(backend("hash").is_ok());
+        let err = match backend("lsm") {
+            Err(e) => e.to_string(),
+            Ok(b) => panic!("unexpectedly resolved '{}'", b.name),
+        };
+        assert!(err.contains("btree") && err.contains("hash"), "{err}");
+    }
+}

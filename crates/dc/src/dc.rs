@@ -35,16 +35,20 @@
 //! latch, and their frame-latch acquisitions are what bump the versions
 //! optimistic readers validate against.
 
+use crate::api::{
+    DcApi, DcIntrospect, Located, PreloadStats, PreparedOp, TableGuard, TableSummary,
+};
 use crate::catalog::{Catalog, META_PAGE};
-use crate::trackers::{BwTracker, DeltaTracker};
+use crate::trackers::TrackerPair;
 use lr_btree::BTree;
 use lr_buffer::BufferPool;
 use lr_common::{Error, Key, Lsn, PageId, Result, TableId, Value};
 use lr_storage::{Disk, SLOT_SIZE};
 use lr_wal::{ClrAction, LogPayload, LogRecord, SharedWal, SmoRecord};
-use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Table-latch slots (tables hash onto these; collisions only cost
 /// unnecessary sharing, never correctness).
@@ -146,49 +150,53 @@ pub struct DcStats {
     pub scan_fallbacks: u64,
 }
 
+/// Shared overhead counters (one set per backend instance; all atomics).
 #[derive(Default)]
-struct DcCounters {
+pub(crate) struct DcCounters {
     delta_records_written: AtomicU64,
     bw_records_written: AtomicU64,
-    smo_records_written: AtomicU64,
+    pub(crate) smo_records_written: AtomicU64,
     delta_bytes_logged: AtomicU64,
     bw_bytes_logged: AtomicU64,
-    optimistic_point_reads: AtomicU64,
-    optimistic_range_scans: AtomicU64,
-    read_fallbacks: AtomicU64,
-    scan_fallbacks: AtomicU64,
+    pub(crate) optimistic_point_reads: AtomicU64,
+    pub(crate) optimistic_range_scans: AtomicU64,
+    pub(crate) read_fallbacks: AtomicU64,
+    pub(crate) scan_fallbacks: AtomicU64,
 }
 
-/// Either side of a table latch.
-enum TableLatch<'a> {
-    Shared(#[allow(dead_code)] RwLockReadGuard<'a, ()>),
-    Exclusive(#[allow(dead_code)] RwLockWriteGuard<'a, ()>),
-}
+impl DcCounters {
+    pub(crate) fn add_delta_record(&self, bytes: u64) {
+        self.delta_bytes_logged.fetch_add(bytes, Ordering::Relaxed);
+        self.delta_records_written.fetch_add(1, Ordering::Relaxed);
+    }
 
-/// A staged write: placement + before-image, with the latches that keep the
-/// placement valid held until the caller logged and applied the operation.
-pub struct PreparedOp<'a> {
-    pub pid: PageId,
-    pub before: Option<Value>,
-    _table: TableLatch<'a>,
-    /// Held on the shared path only; the exclusive table latch already
-    /// serializes same-table appliers.
-    _page: Option<MutexGuard<'a, ()>>,
-}
+    pub(crate) fn add_bw_record(&self, bytes: u64) {
+        self.bw_bytes_logged.fetch_add(bytes, Ordering::Relaxed);
+        self.bw_records_written.fetch_add(1, Ordering::Relaxed);
+    }
 
-impl PreparedOp<'_> {
-    pub fn info(&self) -> PrepareInfo {
-        PrepareInfo { pid: self.pid, before: self.before.clone() }
+    pub(crate) fn snapshot(&self) -> DcStats {
+        DcStats {
+            delta_records_written: self.delta_records_written.load(Ordering::Relaxed),
+            bw_records_written: self.bw_records_written.load(Ordering::Relaxed),
+            smo_records_written: self.smo_records_written.load(Ordering::Relaxed),
+            delta_bytes_logged: self.delta_bytes_logged.load(Ordering::Relaxed),
+            bw_bytes_logged: self.bw_bytes_logged.load(Ordering::Relaxed),
+            optimistic_point_reads: self.optimistic_point_reads.load(Ordering::Relaxed),
+            optimistic_range_scans: self.optimistic_range_scans.load(Ordering::Relaxed),
+            read_fallbacks: self.read_fallbacks.load(Ordering::Relaxed),
+            scan_fallbacks: self.scan_fallbacks.load(Ordering::Relaxed),
+        }
     }
 }
 
-/// The Deuteronomy data component.
+/// The Deuteronomy data component (the default **B-tree** backend of
+/// [`crate::DcApi`]).
 pub struct DataComponent {
     pool: BufferPool,
     catalog: Mutex<Catalog>,
     trees: RwLock<HashMap<TableId, BTree>>,
-    delta: Mutex<DeltaTracker>,
-    bw: Mutex<BwTracker>,
+    trackers: TrackerPair,
     wal: SharedWal,
     cfg: DcConfig,
     stats: DcCounters,
@@ -225,8 +233,7 @@ impl DataComponent {
             pool,
             catalog: Mutex::new(catalog),
             trees: RwLock::new(trees),
-            delta: Mutex::new(DeltaTracker::new(cfg.perfect_delta_lsns)),
-            bw: Mutex::new(BwTracker::new()),
+            trackers: TrackerPair::new(cfg.perfect_delta_lsns),
             wal,
             cfg,
             stats: DcCounters::default(),
@@ -286,15 +293,7 @@ impl DataComponent {
         // Dirtied/Flushed events, and dropping those would underestimate
         // the recovery DPT. The catalog flush's own events ride along as
         // tracker noise in the safe (overestimating) direction.
-        {
-            let mut delta = self.delta.lock();
-            let mut bw = self.bw.lock();
-            let events = self.pool.take_events();
-            for ev in &events {
-                delta.observe(ev);
-                bw.observe(ev);
-            }
-        }
+        self.trackers.observe_drain(&self.pool);
         self.trees.write().insert(table, BTree::attach(table, root));
         Ok(())
     }
@@ -337,12 +336,6 @@ impl DataComponent {
         &self.pool
     }
 
-    /// Historical alias from the single-owner engine; the pool's own
-    /// methods take `&self` now.
-    pub fn pool_mut(&self) -> &BufferPool {
-        &self.pool
-    }
-
     /// How many frames the cache can actually fill: its capacity, bounded
     /// by the number of pages on the disk (a cache larger than the database
     /// never fills — the paper's 2048 MB case).
@@ -356,18 +349,7 @@ impl DataComponent {
     }
 
     pub fn stats(&self) -> DcStats {
-        let s = &self.stats;
-        DcStats {
-            delta_records_written: s.delta_records_written.load(Ordering::Relaxed),
-            bw_records_written: s.bw_records_written.load(Ordering::Relaxed),
-            smo_records_written: s.smo_records_written.load(Ordering::Relaxed),
-            delta_bytes_logged: s.delta_bytes_logged.load(Ordering::Relaxed),
-            bw_bytes_logged: s.bw_bytes_logged.load(Ordering::Relaxed),
-            optimistic_point_reads: s.optimistic_point_reads.load(Ordering::Relaxed),
-            optimistic_range_scans: s.optimistic_range_scans.load(Ordering::Relaxed),
-            read_fallbacks: s.read_fallbacks.load(Ordering::Relaxed),
-            scan_fallbacks: s.scan_fallbacks.load(Ordering::Relaxed),
-        }
+        self.stats.snapshot()
     }
 
     pub fn config(&self) -> &DcConfig {
@@ -477,23 +459,16 @@ impl DataComponent {
                     let old = found.ok_or(Error::KeyNotFound { table, key })?;
                     let grow = value_len.saturating_sub(old.len());
                     if grow == 0 || free >= grow {
-                        return Ok(PreparedOp {
-                            pid: leaf,
-                            before: Some(old),
-                            _table: TableLatch::Shared(t),
-                            _page: Some(page),
-                        });
+                        // Shared table latch + page-op latch ride inside
+                        // the guard; drop order within the box is fine
+                        // (both are independent latches).
+                        return Ok(PreparedOp::new(leaf, Some(old), (t, page)));
                     }
                 }
                 WriteIntent::Delete => {
                     let old = found.ok_or(Error::KeyNotFound { table, key })?;
                     if self.cfg.merge_min_fill == 0.0 {
-                        return Ok(PreparedOp {
-                            pid: leaf,
-                            before: Some(old),
-                            _table: TableLatch::Shared(t),
-                            _page: Some(page),
-                        });
+                        return Ok(PreparedOp::new(leaf, Some(old), (t, page)));
                     }
                     // Merging enabled: the apply may rebalance — exclusive.
                 }
@@ -502,12 +477,7 @@ impl DataComponent {
                         return Err(Error::DuplicateKey { table, key });
                     }
                     if free >= 8 + value_len + SLOT_SIZE {
-                        return Ok(PreparedOp {
-                            pid: leaf,
-                            before: None,
-                            _table: TableLatch::Shared(t),
-                            _page: Some(page),
-                        });
+                        return Ok(PreparedOp::new(leaf, None, (t, page)));
                     }
                 }
             }
@@ -516,12 +486,7 @@ impl DataComponent {
         // ---- exclusive path (SMO-capable) ----
         let t = self.table_latch(table).write();
         let info = self.prepare_write(table, key, intent)?;
-        Ok(PreparedOp {
-            pid: info.pid,
-            before: info.before,
-            _table: TableLatch::Exclusive(t),
-            _page: None,
-        })
+        Ok(PreparedOp::new(info.pid, info.before, t))
     }
 
     /// Stage a write: perform any needed SMOs (logged as system
@@ -737,81 +702,21 @@ impl DataComponent {
     }
 
     /// The tracker half of [`DataComponent::pump_events`]: drain pending
-    /// cache events and emit Δ/BW records when the thresholds trip.
+    /// cache events and emit Δ/BW records when the thresholds trip (the
+    /// lock-order discipline lives in [`TrackerPair`]).
     fn pump_trackers(&self) {
-        let (dirty_len, written_len) = {
-            // Tracker latches are taken *before* the event drain (lock order
-            // tracker → events): the trackers are order-sensitive (first
-            // Flushed vs. Dirtied decides first_dirty / fw_lsn), and if two
-            // threads drained first and locked after, the thread holding a
-            // later batch could observe it before an earlier one — marking a
-            // still-dirty page flushed and underestimating the DPT.
-            let mut delta = self.delta.lock();
-            let mut bw = self.bw.lock();
-            let events = self.pool.take_events();
-            for ev in &events {
-                delta.observe(ev);
-                bw.observe(ev);
-            }
-            (delta.dirty_len(), bw.written_len())
-        };
-        if written_len >= self.cfg.flush_batch_cap {
-            // Δ-log records are written exactly before BW-log records so
-            // the side-by-side comparison is fair (§5.2).
-            self.emit_delta();
-            self.emit_bw();
-        } else if dirty_len >= self.cfg.dirty_batch_cap {
-            self.emit_delta();
-        }
+        self.trackers.pump(
+            &self.pool,
+            &self.wal,
+            self.cfg.dirty_batch_cap,
+            self.cfg.flush_batch_cap,
+            &self.stats,
+        );
     }
 
     /// Force both trackers to emit (checkpoint boundary).
     pub fn force_emit(&self) {
-        {
-            // Same lock order as pump_events: tracker → events, so batch
-            // drain order equals observation order.
-            let mut delta = self.delta.lock();
-            let mut bw = self.bw.lock();
-            let events = self.pool.take_events();
-            for ev in &events {
-                delta.observe(ev);
-                bw.observe(ev);
-            }
-        }
-        self.emit_delta();
-        self.emit_bw();
-    }
-
-    fn emit_delta(&self) {
-        // The append happens *under the tracker latch*: emission order must
-        // equal log order, or a Δ record with an earlier interval could land
-        // after a later one and Algorithm 4's prev-Δ rLSN assignment would
-        // overestimate rLSNs — an unsafe DPT. (Latch order tracker → log;
-        // nothing acquires a tracker latch while holding the log.)
-        let mut delta = self.delta.lock();
-        if delta.is_empty() {
-            return;
-        }
-        let elsn = self.pool.current_elsn();
-        let payload = LogPayload::Delta(delta.emit(elsn));
-        self.stats.delta_bytes_logged.fetch_add(payload.encode().len() as u64, Ordering::Relaxed);
-        self.wal.append(&payload);
-        drop(delta);
-        self.stats.delta_records_written.fetch_add(1, Ordering::Relaxed);
-    }
-
-    fn emit_bw(&self) {
-        // Same discipline as emit_delta: interval order == log order.
-        let mut bw = self.bw.lock();
-        if bw.is_empty() {
-            return;
-        }
-        let (written_set, fw_lsn) = bw.emit();
-        let payload = LogPayload::Bw { written_set, fw_lsn };
-        self.stats.bw_bytes_logged.fetch_add(payload.encode().len() as u64, Ordering::Relaxed);
-        self.wal.append(&payload);
-        drop(bw);
-        self.stats.bw_records_written.fetch_add(1, Ordering::Relaxed);
+        self.trackers.force_emit(&self.pool, &self.wal, &self.stats);
     }
 
     /// Throw away pending cache events (setup phases only).
@@ -849,8 +754,7 @@ impl DataComponent {
     /// catalog all vanish. Stable pages survive on the disk.
     pub fn crash(&self) {
         self.pool.crash();
-        self.delta.lock().crash();
-        self.bw.lock().crash();
+        self.trackers.crash();
         *self.catalog.lock() = Catalog::new();
         self.trees.write().clear();
     }
@@ -864,5 +768,238 @@ impl DataComponent {
             catalog.tables().map(|(t, root)| (t, BTree::attach(t, root))).collect();
         *self.catalog.lock() = catalog;
         Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // resolution / verification (the DcApi recovery hooks)
+    // ------------------------------------------------------------------
+
+    /// Logical redo resolution: traverse internal pages to the leaf that
+    /// holds (or would hold) `key` — Algorithm 5 line 4. The logged PID is
+    /// advisory for this backend; the tree, made well-formed by SMO redo,
+    /// is authoritative.
+    pub fn resolve_redo_pid(&self, table: TableId, key: Key) -> Result<Located> {
+        let tree = self.tree(table)?;
+        let (pid, levels, stall_us) = tree.find_leaf_pid_timed(&self.pool, key)?;
+        Ok(Located { pid, levels, stall_us })
+    }
+
+    /// Undo re-location: traverse to the leaf currently holding `key` and
+    /// warm it, so the caller's compensation applies against a resident
+    /// page and the device stalls land on the calling worker's shard.
+    pub fn locate_key(&self, table: TableId, key: Key) -> Result<Located> {
+        let tree = self.tree(table)?;
+        let (pid, levels, stall_us) = tree.find_leaf_pid_timed(&self.pool, key)?;
+        let (_, info) = self.pool.with_page_info(pid, |_| ())?;
+        Ok(Located { pid, levels, stall_us: stall_us + info.stall_us })
+    }
+
+    /// Structural verification: key ordering, separator bracketing,
+    /// uniform leaf depth and sibling-chain consistency.
+    pub fn verify_table(&self, table: TableId) -> Result<TableSummary> {
+        let _t = self.lock_table_shared(table);
+        let tree = self.tree(table)?;
+        let s = lr_btree::verify_tree(&tree, &self.pool)?;
+        Ok(TableSummary {
+            records: s.records,
+            leaf_pages: s.leaf_pages,
+            internal_pages: s.internal_pages,
+            height: s.height,
+        })
+    }
+
+    /// Appendix A.1's index preload: load every internal page of every
+    /// table into the cache, level by level, prefetching each level as a
+    /// batch so reads overlap.
+    pub fn preload_index(&self) -> Result<PreloadStats> {
+        let mut out = PreloadStats::default();
+        for table in self.tables() {
+            let root = self.table_root(table)?;
+            let mut frontier = vec![root];
+            loop {
+                let mut children: Vec<PageId> = Vec::new();
+                for pid in &frontier {
+                    self.pool.fetch(*pid)?;
+                    let (is_internal, level, kids) = self.pool.with_page(*pid, |p| {
+                        if p.page_type() == lr_storage::PageType::Internal {
+                            let kids: Vec<PageId> = (0..p.slot_count())
+                                .map(|s| lr_btree::parse_internal_entry(p.record(s)).1)
+                                .collect();
+                            (true, p.level(), kids)
+                        } else {
+                            (false, 0, Vec::new())
+                        }
+                    })?;
+                    if is_internal {
+                        out.pages_loaded += 1;
+                        if level >= 2 {
+                            children.extend(kids);
+                        }
+                    }
+                }
+                if children.is_empty() {
+                    break;
+                }
+                let (ios, pages) = self.pool.prefetch(&children);
+                out.prefetch_ios += ios as u64;
+                out.prefetch_pages += pages as u64;
+                frontier = children;
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl DcIntrospect for DataComponent {
+    fn backend_name(&self) -> &'static str {
+        crate::backend::BTREE_BACKEND
+    }
+
+    fn pool(&self) -> &BufferPool {
+        DataComponent::pool(self)
+    }
+
+    fn stats(&self) -> DcStats {
+        DataComponent::stats(self)
+    }
+
+    fn config(&self) -> &DcConfig {
+        DataComponent::config(self)
+    }
+
+    fn wal(&self) -> SharedWal {
+        DataComponent::wal(self)
+    }
+}
+
+impl DcApi for DataComponent {
+    fn read(&self, table: TableId, key: Key) -> Result<Option<Value>> {
+        DataComponent::read(self, table, key)
+    }
+
+    fn read_range(&self, table: TableId, from: Key, to: Key) -> Result<Vec<(Key, Value)>> {
+        DataComponent::read_range(self, table, from, to)
+    }
+
+    fn scan_all(&self, table: TableId) -> Result<Vec<(Key, Value)>> {
+        DataComponent::scan_all(self, table)
+    }
+
+    fn prepare_op(&self, table: TableId, key: Key, intent: WriteIntent) -> Result<PreparedOp<'_>> {
+        DataComponent::prepare_op(self, table, key, intent)
+    }
+
+    fn prepare_write(&self, table: TableId, key: Key, intent: WriteIntent) -> Result<PrepareInfo> {
+        DataComponent::prepare_write(self, table, key, intent)
+    }
+
+    fn apply(&self, rec: &LogRecord) -> Result<()> {
+        DataComponent::apply(self, rec)
+    }
+
+    fn apply_at(&self, pid: PageId, rec: &LogRecord) -> Result<()> {
+        DataComponent::apply_at(self, pid, rec)
+    }
+
+    fn eosl(&self, elsn: Lsn) {
+        DataComponent::eosl(self, elsn)
+    }
+
+    fn rssp(&self, rssp_lsn: Lsn) -> Result<()> {
+        DataComponent::rssp(self, rssp_lsn)
+    }
+
+    fn drain_in_flight_ops(&self) {
+        DataComponent::drain_in_flight_ops(self)
+    }
+
+    fn crash(&self) {
+        DataComponent::crash(self)
+    }
+
+    fn reload_catalog(&self) -> Result<()> {
+        DataComponent::reload_catalog(self)
+    }
+
+    fn pump_events(&self) {
+        DataComponent::pump_events(self)
+    }
+
+    fn force_emit(&self) {
+        DataComponent::force_emit(self)
+    }
+
+    fn discard_events(&self) {
+        DataComponent::discard_events(self)
+    }
+
+    fn cleaner_pass(&self) -> Result<usize> {
+        DataComponent::cleaner_pass(self)
+    }
+
+    fn over_dirty_watermark(&self) -> bool {
+        DataComponent::over_dirty_watermark(self)
+    }
+
+    fn create_table(&self, table: TableId) -> Result<()> {
+        DataComponent::create_table(self, table)
+    }
+
+    fn register_table(&self, table: TableId, root: PageId) -> Result<()> {
+        DataComponent::register_table(self, table, root)
+    }
+
+    fn table_root(&self, table: TableId) -> Result<PageId> {
+        DataComponent::table_root(self, table)
+    }
+
+    fn set_root(&self, table: TableId, root: PageId) {
+        DataComponent::set_root(self, table, root)
+    }
+
+    fn save_catalog(&self, lsn: Lsn) -> Result<()> {
+        DataComponent::save_catalog(self, lsn)
+    }
+
+    fn tables(&self) -> Vec<TableId> {
+        DataComponent::tables(self)
+    }
+
+    fn lock_table_exclusive(&self, table: TableId) -> TableGuard<'_> {
+        TableGuard::new(DataComponent::lock_table_exclusive(self, table))
+    }
+
+    fn verify_table(&self, table: TableId) -> Result<TableSummary> {
+        DataComponent::verify_table(self, table)
+    }
+
+    fn smo_redo(&self, window: &[LogRecord]) -> Result<(u64, u64)> {
+        crate::recovery::smo_redo(self, window)
+    }
+
+    fn replay_smo_screened(
+        &self,
+        lsn: Lsn,
+        smo: &SmoRecord,
+        dpt: &crate::dpt::Dpt,
+        out: &mut crate::recovery::SmoBarrierOutcome,
+    ) -> Result<Option<Lsn>> {
+        crate::recovery::replay_smo_screened(self, lsn, smo, dpt, out)
+    }
+
+    fn resolve_redo_pid(&self, table: TableId, key: Key, _logged_pid: PageId) -> Result<Located> {
+        DataComponent::resolve_redo_pid(self, table, key)
+    }
+
+    fn locate_key(&self, table: TableId, key: Key) -> Result<Located> {
+        DataComponent::locate_key(self, table, key)
+    }
+
+    fn preload_index(&self) -> Result<PreloadStats> {
+        DataComponent::preload_index(self)
+    }
+
+    fn reopen(&self, disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<Arc<dyn DcApi>> {
+        Ok(Arc::new(DataComponent::open(disk, wal, cfg)?))
     }
 }

@@ -20,13 +20,20 @@
 //! * [`DataComponent`] wires it together and services the TC's data
 //!   operations plus the EOSL / RSSP control operations (§4.1).
 
+pub mod api;
+pub mod backend;
 pub mod builders;
 pub mod catalog;
 pub mod dc;
 pub mod dpt;
+pub mod hash;
 pub mod recovery;
 pub mod trackers;
 
+pub use api::{
+    DcApi, DcIntrospect, Located, OpGuard, PreloadStats, PreparedOp, TableGuard, TableSummary,
+};
+pub use backend::{backend, backend_names, Backend, BTREE_BACKEND, HASH_BACKEND};
 pub use builders::{
     build_dpt_aries, build_dpt_logical, build_dpt_sqlserver, AnalysisCounts, DeltaDptMode,
     LogicalAnalysis,
@@ -34,6 +41,7 @@ pub use builders::{
 pub use catalog::Catalog;
 pub use dc::{DataComponent, DcConfig, PrepareInfo, WriteIntent};
 pub use dpt::{Dpt, DptEntry, DptScreen};
+pub use hash::HashDc;
 pub use recovery::{
     dc_recover, find_recovery_window, replay_smo_screened, smo_barrier_physiological, smo_redo,
     DcRecoveryOutcome, SmoBarrierOutcome,

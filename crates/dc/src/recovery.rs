@@ -13,6 +13,7 @@
 //! start point) and the `rssp_lsn` recovered from the DC's durable RSSP
 //! note; log-page I/O for the scan is charged by the recovery driver.
 
+use crate::api::DcApi;
 use crate::builders::{build_dpt_logical, DeltaDptMode};
 use crate::dc::DataComponent;
 use crate::dpt::Dpt;
@@ -38,6 +39,69 @@ pub struct DcRecoveryOutcome {
     pub smo_pages_skipped: u64,
 }
 
+/// Install SMO page images under the plain pLSN guard (no DPT screen —
+/// the DC-recovery setting, where no DPT exists yet). The one
+/// image-install kernel both backends' `smo_redo` use. Returns
+/// `(pages applied, pages skipped)`.
+pub fn plsn_smo_install(
+    pool: &lr_buffer::BufferPool,
+    lsn: Lsn,
+    pages: &[(PageId, Vec<u8>)],
+) -> Result<(u64, u64)> {
+    let mut applied = 0u64;
+    let mut skipped = 0u64;
+    for (pid, image) in pages {
+        let plsn = pool.with_page(*pid, |p| p.plsn())?;
+        if plsn < lsn {
+            let page = Page::from_bytes(image.clone().into_boxed_slice())?;
+            pool.install_page(*pid, page, lsn)?;
+            applied += 1;
+        } else {
+            skipped += 1;
+        }
+    }
+    Ok((applied, skipped))
+}
+
+/// Install SMO page images under the full physiological redo screen
+/// (DPT + rLSN + pLSN). The one screened kernel every backend's
+/// [`crate::DcApi::replay_smo_screened`] delegates to, so a screen fix
+/// can never apply to one backend and miss another. Returns the PIDs
+/// actually installed (backends with volatile indexes refresh those).
+pub fn screened_smo_install(
+    pool: &lr_buffer::BufferPool,
+    lsn: Lsn,
+    pages: &[(PageId, Vec<u8>)],
+    dpt: &Dpt,
+    out: &mut SmoBarrierOutcome,
+) -> Result<Vec<PageId>> {
+    let mut installed = Vec::new();
+    for (pid, image) in pages {
+        match dpt.screen(*pid, lsn) {
+            crate::dpt::DptScreen::SkipNoEntry => {
+                out.skipped_no_dpt_entry += 1;
+                continue;
+            }
+            crate::dpt::DptScreen::SkipRlsn => {
+                out.skipped_rlsn += 1;
+                continue;
+            }
+            crate::dpt::DptScreen::Fetch => {}
+        }
+        pool.fetch(*pid)?;
+        let plsn = pool.with_page(*pid, |p| p.plsn())?;
+        if lsn <= plsn {
+            out.skipped_plsn += 1;
+            continue;
+        }
+        let page = Page::from_bytes(image.clone().into_boxed_slice())?;
+        pool.install_page(*pid, page, lsn)?;
+        out.pages_applied += 1;
+        installed.push(*pid);
+    }
+    Ok(installed)
+}
+
 /// SMO redo alone: reload the catalog from the stable meta page, replay
 /// structure-modification system transactions (pLSN-guarded), and persist
 /// any root moves. Returns `(pages applied, pages skipped)`.
@@ -55,16 +119,9 @@ pub fn smo_redo(dc: &DataComponent, window: &[LogRecord]) -> Result<(u64, u64)> 
     let mut any_root_change = false;
     for rec in window {
         if let LogPayload::Smo(smo) = &rec.payload {
-            for (pid, image) in &smo.pages {
-                let plsn = dc.pool_mut().with_page(*pid, |p| p.plsn())?;
-                if plsn < rec.lsn {
-                    let page = Page::from_bytes(image.clone().into_boxed_slice())?;
-                    dc.pool_mut().install_page(*pid, page, rec.lsn)?;
-                    smo_pages_applied += 1;
-                } else {
-                    smo_pages_skipped += 1;
-                }
-            }
+            let (a, s) = plsn_smo_install(dc.pool(), rec.lsn, &smo.pages)?;
+            smo_pages_applied += a;
+            smo_pages_skipped += s;
             if let Some((table, root)) = smo.new_root {
                 dc.set_root(table, root);
                 any_root_change = true;
@@ -84,12 +141,12 @@ pub fn smo_redo(dc: &DataComponent, window: &[LogRecord]) -> Result<(u64, u64)> 
 
 /// Run DC recovery over `window` (records from the redo scan start point).
 pub fn dc_recover(
-    dc: &DataComponent,
+    dc: &dyn DcApi,
     window: &[LogRecord],
     rssp_lsn: Lsn,
     mode: DeltaDptMode,
 ) -> Result<DcRecoveryOutcome> {
-    let (smo_pages_applied, smo_pages_skipped) = smo_redo(dc, window)?;
+    let (smo_pages_applied, smo_pages_skipped) = dc.smo_redo(window)?;
 
     // ---- DPT construction (Algorithm 4 / variants) ----
     let analysis = build_dpt_logical(window, rssp_lsn, mode);
@@ -159,28 +216,7 @@ pub fn replay_smo_screened(
     dpt: &Dpt,
     out: &mut SmoBarrierOutcome,
 ) -> Result<Option<Lsn>> {
-    for (pid, image) in &smo.pages {
-        match dpt.screen(*pid, lsn) {
-            crate::dpt::DptScreen::SkipNoEntry => {
-                out.skipped_no_dpt_entry += 1;
-                continue;
-            }
-            crate::dpt::DptScreen::SkipRlsn => {
-                out.skipped_rlsn += 1;
-                continue;
-            }
-            crate::dpt::DptScreen::Fetch => {}
-        }
-        dc.pool_mut().fetch(*pid)?;
-        let plsn = dc.pool_mut().with_page(*pid, |p| p.plsn())?;
-        if lsn <= plsn {
-            out.skipped_plsn += 1;
-            continue;
-        }
-        let page = Page::from_bytes(image.clone().into_boxed_slice())?;
-        dc.pool_mut().install_page(*pid, page, lsn)?;
-        out.pages_applied += 1;
-    }
+    screened_smo_install(dc.pool(), lsn, &smo.pages, dpt, out)?;
     if let Some((table, root)) = smo.new_root {
         dc.set_root(table, root);
         return Ok(Some(lsn));
@@ -200,7 +236,7 @@ pub fn replay_smo_screened(
 /// same page is subsumed by the image (it executed before the image was
 /// captured), and one ordered after it survives the pLSN test.
 pub fn smo_barrier_physiological(
-    dc: &DataComponent,
+    dc: &dyn DcApi,
     window: &[LogRecord],
     dpt: &Dpt,
 ) -> Result<SmoBarrierOutcome> {
@@ -208,7 +244,7 @@ pub fn smo_barrier_physiological(
     let mut root_moved = None;
     for rec in window {
         let LogPayload::Smo(smo) = &rec.payload else { continue };
-        if let Some(lsn) = replay_smo_screened(dc, rec.lsn, smo, dpt, &mut out)? {
+        if let Some(lsn) = dc.replay_smo_screened(rec.lsn, smo, dpt, &mut out)? {
             root_moved = Some(lsn);
         }
     }
@@ -277,12 +313,12 @@ mod tests {
         assert!(out.smo_pages_applied > 0);
         assert_eq!(dc.table_root(TableId(1)).unwrap(), root_before, "root recovered");
         let tree = dc.tree(TableId(1)).unwrap().clone();
-        lr_btree::verify_tree(&tree, dc.pool_mut()).unwrap();
+        lr_btree::verify_tree(&tree, dc.pool()).unwrap();
 
         // Flush recovered state (the engine's end-of-recovery checkpoint),
         // crash again: the second recovery must skip every image — the pLSN
         // test sees the installed state on stable storage.
-        dc.pool_mut().flush_all().unwrap();
+        dc.pool().flush_all().unwrap();
         dc.crash();
         let out2 = dc_recover(&dc, &records, Lsn::NULL, DeltaDptMode::Standard).unwrap();
         assert_eq!(out2.smo_pages_applied, 0, "idempotent: images already installed");

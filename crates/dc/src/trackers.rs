@@ -127,6 +127,111 @@ impl BwTracker {
     }
 }
 
+/// The Δ + BW tracker pair with the emission discipline both data
+/// components share. Lock order is **tracker → events → log**:
+///
+/// * tracker latches are taken *before* the event drain — the trackers are
+///   order-sensitive (first Flushed vs. Dirtied decides first_dirty /
+///   fw_lsn), and if two threads drained first and locked after, the
+///   thread holding a later batch could observe it before an earlier one,
+///   marking a still-dirty page flushed and underestimating the DPT;
+/// * Δ/BW appends happen *under the tracker latch*: emission order must
+///   equal log order, or a Δ record with an earlier interval could land
+///   after a later one and Algorithm 4's prev-Δ rLSN assignment would
+///   overestimate rLSNs — an unsafe DPT. (Nothing acquires a tracker
+///   latch while holding the log.)
+pub(crate) struct TrackerPair {
+    delta: parking_lot::Mutex<DeltaTracker>,
+    bw: parking_lot::Mutex<BwTracker>,
+}
+
+impl TrackerPair {
+    pub(crate) fn new(perfect_delta_lsns: bool) -> TrackerPair {
+        TrackerPair {
+            delta: parking_lot::Mutex::new(DeltaTracker::new(perfect_delta_lsns)),
+            bw: parking_lot::Mutex::new(BwTracker::new()),
+        }
+    }
+
+    /// Drain pending cache events into both trackers (tracker → events
+    /// order); returns `(dirty_len, written_len)` after the drain.
+    pub(crate) fn observe_drain(&self, pool: &lr_buffer::BufferPool) -> (usize, usize) {
+        let mut delta = self.delta.lock();
+        let mut bw = self.bw.lock();
+        let events = pool.take_events();
+        for ev in &events {
+            delta.observe(ev);
+            bw.observe(ev);
+        }
+        (delta.dirty_len(), bw.written_len())
+    }
+
+    /// Drain events and emit Δ/BW records when the batching thresholds
+    /// trip. Δ-log records are written exactly before BW-log records so
+    /// the side-by-side comparison is fair (§5.2).
+    pub(crate) fn pump(
+        &self,
+        pool: &lr_buffer::BufferPool,
+        wal: &lr_wal::SharedWal,
+        dirty_batch_cap: usize,
+        flush_batch_cap: usize,
+        stats: &crate::dc::DcCounters,
+    ) {
+        let (dirty_len, written_len) = self.observe_drain(pool);
+        if written_len >= flush_batch_cap {
+            self.emit_delta(pool, wal, stats);
+            self.emit_bw(wal, stats);
+        } else if dirty_len >= dirty_batch_cap {
+            self.emit_delta(pool, wal, stats);
+        }
+    }
+
+    /// Drain and force both trackers to emit (checkpoint boundary).
+    pub(crate) fn force_emit(
+        &self,
+        pool: &lr_buffer::BufferPool,
+        wal: &lr_wal::SharedWal,
+        stats: &crate::dc::DcCounters,
+    ) {
+        self.observe_drain(pool);
+        self.emit_delta(pool, wal, stats);
+        self.emit_bw(wal, stats);
+    }
+
+    fn emit_delta(
+        &self,
+        pool: &lr_buffer::BufferPool,
+        wal: &lr_wal::SharedWal,
+        stats: &crate::dc::DcCounters,
+    ) {
+        let mut delta = self.delta.lock();
+        if delta.is_empty() {
+            return;
+        }
+        let elsn = pool.current_elsn();
+        let payload = lr_wal::LogPayload::Delta(delta.emit(elsn));
+        stats.add_delta_record(payload.encode().len() as u64);
+        wal.append(&payload);
+    }
+
+    fn emit_bw(&self, wal: &lr_wal::SharedWal, stats: &crate::dc::DcCounters) {
+        let mut bw = self.bw.lock();
+        if bw.is_empty() {
+            return;
+        }
+        let (written_set, fw_lsn) = bw.emit();
+        let payload = lr_wal::LogPayload::Bw { written_set, fw_lsn };
+        stats.add_bw_record(payload.encode().len() as u64);
+        wal.append(&payload);
+    }
+
+    /// Crash: both open intervals vanish.
+    pub(crate) fn crash(&self) {
+        self.delta.lock().crash();
+        self.bw.lock().crash();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

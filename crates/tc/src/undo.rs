@@ -2,12 +2,14 @@
 //!
 //! Undo is *logical* in every recovery scheme the paper discusses (ARIES
 //! included): the record to compensate may have moved pages since it was
-//! logged, so undo re-locates it by key through the B-tree, writes a
-//! redo-only CLR, and applies the compensation (§2.2).
+//! logged, so undo re-locates it by key through the data component's
+//! placement structure ([`DcApi::locate_key`] — a B-tree descent or a
+//! hash-index lookup, depending on the backend), writes a redo-only CLR,
+//! and applies the compensation (§2.2).
 
 use crate::tc::TransactionComponent;
 use lr_common::{Lsn, Result, TxnId};
-use lr_dc::DataComponent;
+use lr_dc::DcApi;
 use lr_wal::{ClrAction, LogPayload};
 use std::collections::BTreeMap;
 
@@ -35,7 +37,7 @@ pub struct UndoStats {
 /// record. Used by both online abort and recovery undo.
 pub fn rollback_txn(
     tc: &TransactionComponent,
-    dc: &DataComponent,
+    dc: &dyn DcApi,
     txn: TxnId,
     from_lsn: Lsn,
     stats: &mut UndoStats,
@@ -50,7 +52,7 @@ pub fn rollback_txn(
 /// the transaction active with its chain rewound to the savepoint.
 pub fn rollback_to_savepoint(
     tc: &TransactionComponent,
-    dc: &DataComponent,
+    dc: &dyn DcApi,
     txn: TxnId,
     savepoint: Lsn,
     stats: &mut UndoStats,
@@ -65,7 +67,7 @@ pub fn rollback_to_savepoint(
 /// until reaching `stop_at` (exclusive) or the Begin record.
 fn undo_chain(
     tc: &TransactionComponent,
-    dc: &DataComponent,
+    dc: &dyn DcApi,
     txn: TxnId,
     from_lsn: Lsn,
     stop_at: Lsn,
@@ -86,22 +88,19 @@ fn undo_chain(
             LogPayload::Update { txn: t, table, key, prev_lsn, before, .. } => {
                 debug_assert_eq!(t, txn);
                 // Compensation under the exclusive table latch: relocation,
-                // CLR logging and application must see one tree shape even
-                // with other sessions running.
+                // CLR logging and application must see one placement shape
+                // even with other sessions running.
                 let _latch = dc.lock_table_exclusive(table);
-                // Logical re-location: find the page that now holds the
-                // key. The timed index walk plus a stall-reporting leaf
-                // warm-up keeps the device time on *this* worker's shard.
-                let tree = dc.tree(table)?.clone();
-                let (leaf, touched, stall_us) = tree.find_leaf_pid_timed(dc.pool_mut(), key)?;
-                let (_, info) = dc.pool_mut().with_page_info(leaf, |_| ())?;
-                stats.busy_us += model.cpu_btree_level_us * touched as u64
-                    + stall_us
-                    + info.stall_us
+                // Logical re-location: find (and warm) the page that now
+                // holds the key, keeping the device time on *this*
+                // worker's shard.
+                let loc = dc.locate_key(table, key)?;
+                stats.busy_us += model.cpu_btree_level_us * loc.levels as u64
+                    + loc.stall_us
                     + model.cpu_apply_us;
                 let clr =
-                    tc.log_clr(txn, table, key, leaf, prev_lsn, ClrAction::RestoreValue(before));
-                dc.apply_at(leaf, &clr)?;
+                    tc.log_clr(txn, table, key, loc.pid, prev_lsn, ClrAction::RestoreValue(before));
+                dc.apply_at(loc.pid, &clr)?;
                 drop(_latch);
                 dc.pump_events();
                 stats.ops_undone += 1;
@@ -110,15 +109,12 @@ fn undo_chain(
             LogPayload::Insert { txn: t, table, key, prev_lsn, .. } => {
                 debug_assert_eq!(t, txn);
                 let _latch = dc.lock_table_exclusive(table);
-                let tree = dc.tree(table)?.clone();
-                let (leaf, touched, stall_us) = tree.find_leaf_pid_timed(dc.pool_mut(), key)?;
-                let (_, info) = dc.pool_mut().with_page_info(leaf, |_| ())?;
-                stats.busy_us += model.cpu_btree_level_us * touched as u64
-                    + stall_us
-                    + info.stall_us
+                let loc = dc.locate_key(table, key)?;
+                stats.busy_us += model.cpu_btree_level_us * loc.levels as u64
+                    + loc.stall_us
                     + model.cpu_apply_us;
-                let clr = tc.log_clr(txn, table, key, leaf, prev_lsn, ClrAction::RemoveKey);
-                dc.apply_at(leaf, &clr)?;
+                let clr = tc.log_clr(txn, table, key, loc.pid, prev_lsn, ClrAction::RemoveKey);
+                dc.apply_at(loc.pid, &clr)?;
                 drop(_latch);
                 dc.pump_events();
                 stats.ops_undone += 1;
@@ -131,12 +127,8 @@ fn undo_chain(
                 // the device stalls charge this worker's shard (the
                 // prepare_write below then runs against a hot path).
                 let _latch = dc.lock_table_exclusive(table);
-                let tree = dc.tree(table)?.clone();
-                let (warm_leaf, touched, stall_us) =
-                    tree.find_leaf_pid_timed(dc.pool_mut(), key)?;
-                let (_, warm) = dc.pool_mut().with_page_info(warm_leaf, |_| ())?;
-                stats.busy_us += model.cpu_btree_level_us * touched as u64
-                    + stall_us
+                let warm = dc.locate_key(table, key)?;
+                stats.busy_us += model.cpu_btree_level_us * warm.levels as u64
                     + warm.stall_us
                     + model.cpu_apply_us;
                 let info = dc.prepare_write(
@@ -184,7 +176,7 @@ fn adopt_and_order(tc: &TransactionComponent, losers: &BTreeMap<TxnId, Lsn>) -> 
 /// One unit of recovery undo: roll back a single loser and count it.
 fn undo_one_loser(
     tc: &TransactionComponent,
-    dc: &DataComponent,
+    dc: &dyn DcApi,
     txn: TxnId,
     last: Lsn,
     stats: &mut UndoStats,
@@ -198,7 +190,7 @@ fn undo_one_loser(
 /// (single-pass backward processing order, as ARIES prescribes).
 pub fn undo_losers(
     tc: &TransactionComponent,
-    dc: &DataComponent,
+    dc: &dyn DcApi,
     losers: &BTreeMap<TxnId, Lsn>,
 ) -> Result<UndoStats> {
     let mut stats = UndoStats::default();
@@ -220,7 +212,7 @@ pub fn undo_losers(
 /// overlap the tail.
 pub fn undo_losers_parallel(
     tc: &TransactionComponent,
-    dc: &DataComponent,
+    dc: &dyn DcApi,
     losers: &BTreeMap<TxnId, Lsn>,
     workers: usize,
 ) -> Result<UndoStats> {
@@ -263,7 +255,7 @@ pub fn undo_losers_parallel(
 mod tests {
     use super::*;
     use lr_common::{IoModel, SimClock, TableId};
-    use lr_dc::{DcConfig, WriteIntent};
+    use lr_dc::{DataComponent, DcConfig, WriteIntent};
     use lr_storage::SimDisk;
     use lr_wal::Wal;
 
@@ -279,13 +271,13 @@ mod tests {
     }
 
     /// Run one full engine-style op: prepare → log → apply.
-    fn do_insert(tc: &TransactionComponent, dc: &DataComponent, txn: TxnId, key: u64) {
+    fn do_insert(tc: &TransactionComponent, dc: &dyn DcApi, txn: TxnId, key: u64) {
         let info = dc.prepare_write(T, key, WriteIntent::Insert { value_len: 8 }).unwrap();
         let rec = tc.log_insert(txn, T, key, info.pid, key.to_le_bytes().to_vec()).unwrap();
         dc.apply(&rec).unwrap();
     }
 
-    fn do_update(tc: &TransactionComponent, dc: &DataComponent, txn: TxnId, key: u64, val: u64) {
+    fn do_update(tc: &TransactionComponent, dc: &dyn DcApi, txn: TxnId, key: u64, val: u64) {
         let info = dc.prepare_write(T, key, WriteIntent::Update { value_len: 8 }).unwrap();
         let rec = tc
             .log_update(txn, T, key, info.pid, info.before.unwrap(), val.to_le_bytes().to_vec())
@@ -293,7 +285,7 @@ mod tests {
         dc.apply(&rec).unwrap();
     }
 
-    fn do_delete(tc: &TransactionComponent, dc: &DataComponent, txn: TxnId, key: u64) {
+    fn do_delete(tc: &TransactionComponent, dc: &dyn DcApi, txn: TxnId, key: u64) {
         let info = dc.prepare_write(T, key, WriteIntent::Delete).unwrap();
         let rec = tc.log_delete(txn, T, key, info.pid, info.before.unwrap()).unwrap();
         dc.apply(&rec).unwrap();
@@ -458,7 +450,7 @@ mod tests {
         let rec = { wal.lock().read_at(head).unwrap() };
         let LogPayload::Update { table, key, prev_lsn, before, .. } = rec.payload else { panic!() };
         let tree = dc.tree(table).unwrap().clone();
-        let leaf = tree.find_leaf(dc.pool_mut(), key).unwrap().leaf;
+        let leaf = tree.find_leaf(dc.pool(), key).unwrap().leaf;
         let clr = tc.log_clr(t1, table, key, leaf, prev_lsn, ClrAction::RestoreValue(before));
         dc.apply_at(leaf, &clr).unwrap();
 

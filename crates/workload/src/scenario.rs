@@ -147,7 +147,7 @@ pub fn run_to_crash(
         in_interval += w;
         measured_updates += w;
     }
-    engine.dc_mut().force_emit();
+    engine.dc().force_emit();
     let mut tail_done = 0u64;
     while tail_done < tail {
         let w = run_txn(engine, shadow, gen)?;

@@ -78,17 +78,17 @@ fn main() -> lr_common::Result<()> {
     // ---- ship the log ----
     let records = primary.wal().lock().scan_from(Lsn::NULL)?;
     let applied = apply_committed_ops(&replica, &records)?;
-    replica.pool_mut().flush_all()?;
+    replica.pool().flush_all()?;
     println!("shipped {} log records; applied {applied} committed logical ops", records.len());
 
     // ---- verify convergence ----
     let primary_rows = primary.scan_table(DEFAULT_TABLE)?;
     let tree = replica.tree(DEFAULT_TABLE)?.clone();
-    let replica_rows = tree.scan_all(replica.pool_mut())?;
+    let replica_rows = tree.scan_all(replica.pool())?;
     assert_eq!(primary_rows, replica_rows, "replica diverged!");
 
     let p_summary = primary.verify_table(DEFAULT_TABLE)?;
-    let r_summary = lr_btree::verify_tree(&tree, replica.pool_mut())?;
+    let r_summary = lr_btree::verify_tree(&tree, replica.pool())?;
     println!("converged: {} identical rows", primary_rows.len());
     println!(
         "  primary : {} leaf pages, {} internal, height {} (4 KiB pages)",

@@ -1,0 +1,259 @@
+//! The `DcApi` contract, proven across backends: the B-tree DC and the
+//! hash-index DC must expose **identical committed state** after any
+//! crash, for every recovery method — the Deuteronomy claim that the TC
+//! neither knows nor cares how the DC places data.
+//!
+//! Two suites ride the same harness:
+//!
+//! * the recovery-equivalence matrix — one seeded workload per backend,
+//!   one crash, all nine methods recovered on independent forks; every
+//!   method must agree within a backend, and the two backends must agree
+//!   with each other (and with the committed-state oracle);
+//! * the bank invariant — concurrent sessions transferring money, crash
+//!   with a transfer in flight, recover: conservation holds on both
+//!   backends.
+
+use lr_common::IoModel;
+use lr_core::config::deterministic_value;
+use lr_core::{
+    Engine, EngineConfig, RecoveryMethod, RecoveryOptions, Session, ShadowDb, DEFAULT_TABLE,
+};
+use std::sync::Arc;
+
+const BACKENDS: [&str; 2] = ["btree", "hash"];
+
+fn config_for(backend: &str) -> EngineConfig {
+    EngineConfig {
+        initial_rows: 1_500,
+        pool_pages: 48,
+        io_model: IoModel::zero(),
+        dirty_batch_cap: 24,
+        flush_batch_cap: 24,
+        // Capture everything any method could need on one log.
+        aries_ckpt_capture: true,
+        perfect_delta_lsns: true,
+        backend: backend.to_string(),
+        ..EngineConfig::default()
+    }
+}
+
+/// A deterministic single-stream workload touching every operation kind:
+/// updates over the loaded rows, fresh inserts, deletes of both loaded
+/// and inserted keys, checkpoints between phases, and one in-flight loser
+/// left open at the crash.
+fn run_workload(engine: &Engine, shadow: &mut ShadowDb) {
+    let rows = engine.config().initial_rows;
+    let vsize = engine.config().row_value_size;
+    for phase in 0..3u64 {
+        for i in 0..120u64 {
+            let t = engine.begin().unwrap();
+            let k1 = (i * 13 + phase * 7) % rows;
+            let v1 = deterministic_value(k1, phase + 1, vsize);
+            // A prior phase may have deleted this key: re-insert then.
+            if engine.read(DEFAULT_TABLE, k1).unwrap().is_some() {
+                engine.update(t, k1, v1.clone()).unwrap();
+            } else {
+                engine.insert(t, k1, v1.clone()).unwrap();
+            }
+            shadow.stage_put(t, DEFAULT_TABLE, k1, v1);
+            if i % 5 == 0 {
+                let nk = rows + phase * 200 + i;
+                let nv = deterministic_value(nk, 0, vsize);
+                engine.insert(t, nk, nv.clone()).unwrap();
+                shadow.stage_put(t, DEFAULT_TABLE, nk, nv);
+            }
+            if i % 11 == 0 {
+                let dk = (i * 3 + phase * 101) % rows;
+                // Only delete keys still present (an earlier phase may
+                // have deleted it already).
+                if engine.read(DEFAULT_TABLE, dk).unwrap().is_some() {
+                    engine.delete(t, dk).unwrap();
+                    shadow.stage_delete(t, DEFAULT_TABLE, dk);
+                }
+            }
+            engine.commit(t).unwrap();
+            shadow.commit(t);
+        }
+        engine.checkpoint().unwrap();
+    }
+    // One loser in flight: recovery undo must erase it on every backend.
+    let loser = engine.begin().unwrap();
+    engine.update(loser, 1, b"loser-update".to_vec()).unwrap();
+    engine.insert(loser, 999_999, b"loser-insert".to_vec()).unwrap();
+    // no commit — the crash orphans it
+}
+
+#[test]
+fn all_methods_agree_within_and_across_backends() {
+    let mut per_backend: Vec<Vec<(u64, Vec<u8>)>> = Vec::new();
+    for backend in BACKENDS {
+        let cfg = config_for(backend);
+        let mut shadow = ShadowDb::with_initial_rows(&cfg);
+        let engine = Engine::build(cfg).unwrap();
+        run_workload(&engine, &mut shadow);
+        engine.crash();
+        shadow.crash();
+
+        let mut reference: Option<Vec<(u64, Vec<u8>)>> = None;
+        for method in RecoveryMethod::all() {
+            let fork = engine.fork_crashed().unwrap();
+            let report = fork
+                .recover(method)
+                .unwrap_or_else(|e| panic!("{backend}/{method}: recovery failed: {e}"));
+            assert_eq!(report.breakdown.losers_undone, 1, "{backend}/{method}: loser count");
+            shadow.verify_against(&fork).unwrap_or_else(|e| {
+                panic!("{backend}/{method}: diverged from committed oracle: {e}")
+            });
+            fork.verify_table(DEFAULT_TABLE)
+                .unwrap_or_else(|e| panic!("{backend}/{method}: structure check failed: {e}"));
+            let state = fork.scan_table(DEFAULT_TABLE).unwrap();
+            match &reference {
+                None => reference = Some(state),
+                Some(r) => assert_eq!(
+                    &state, r,
+                    "{backend}/{method}: state diverged from this backend's reference"
+                ),
+            }
+        }
+        per_backend.push(reference.unwrap());
+    }
+    assert_eq!(
+        per_backend[0], per_backend[1],
+        "btree and hash backends recovered different committed state"
+    );
+}
+
+#[test]
+fn parallel_recovery_matches_serial_on_the_hash_backend() {
+    // The partitioned redo pipeline routes by resolved PID; the hash
+    // backend resolves page-logically (logged PID), which must partition
+    // just as soundly as the B-tree's traversal-resolved PIDs.
+    let cfg = config_for("hash");
+    let mut shadow = ShadowDb::with_initial_rows(&cfg);
+    let engine = Engine::build(cfg).unwrap();
+    run_workload(&engine, &mut shadow);
+    engine.crash();
+    shadow.crash();
+
+    for method in [RecoveryMethod::Log1, RecoveryMethod::Sql2] {
+        let serial = engine.fork_crashed().unwrap();
+        let parallel = engine.fork_crashed().unwrap();
+        serial.recover_with(method, RecoveryOptions::with_workers(1)).unwrap();
+        parallel.recover_with(method, RecoveryOptions::with_workers(4)).unwrap();
+        shadow.verify_against(&serial).unwrap();
+        assert_eq!(
+            serial.scan_table(DEFAULT_TABLE).unwrap(),
+            parallel.scan_table(DEFAULT_TABLE).unwrap(),
+            "hash/{method}: workers=4 diverged from serial"
+        );
+        parallel.verify_table(DEFAULT_TABLE).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------
+// bank invariant, both backends
+// ---------------------------------------------------------------------
+
+const ACCOUNTS: u64 = 300;
+const INITIAL_BALANCE: u64 = 1_000;
+
+fn read_balance(e: &Engine, k: u64) -> u64 {
+    let v = e.read(DEFAULT_TABLE, k).unwrap().expect("account exists");
+    u64::from_le_bytes(v[..8].try_into().unwrap())
+}
+
+fn total_balance(e: &Engine) -> u64 {
+    (0..ACCOUNTS).map(|k| read_balance(e, k)).sum()
+}
+
+#[test]
+fn concurrent_bank_conserves_money_on_both_backends() {
+    for backend in BACKENDS {
+        let cfg = EngineConfig {
+            initial_rows: 0, // accounts loaded below
+            pool_pages: 32,
+            row_value_size: 8,
+            io_model: IoModel::zero(),
+            aries_ckpt_capture: true,
+            perfect_delta_lsns: true,
+            backend: backend.to_string(),
+            ..EngineConfig::default()
+        };
+        let engine = Engine::build(cfg).unwrap().into_shared();
+        {
+            let t = engine.begin().unwrap();
+            for k in 0..ACCOUNTS {
+                engine.insert(t, k, INITIAL_BALANCE.to_le_bytes().to_vec()).unwrap();
+            }
+            engine.commit(t).unwrap();
+            engine.checkpoint().unwrap();
+        }
+
+        // 4 sessions × 50 transfers under no-wait retry.
+        std::thread::scope(|s| {
+            for th in 0..4u64 {
+                let mut session: Session = Engine::session(&engine);
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        let from = (th * 37 + i * 13) % ACCOUNTS;
+                        let to = (from + 1 + (i * 7) % (ACCOUNTS - 1)) % ACCOUNTS;
+                        session
+                            .run_txn(1_000, |s| {
+                                let fv = s.read_for_update(DEFAULT_TABLE, from)?.unwrap();
+                                let tv = s.read_for_update(DEFAULT_TABLE, to)?.unwrap();
+                                let fb = u64::from_le_bytes(fv[..8].try_into().unwrap());
+                                let tb = u64::from_le_bytes(tv[..8].try_into().unwrap());
+                                let amt = (i % 50).min(fb);
+                                s.update_in(
+                                    DEFAULT_TABLE,
+                                    from,
+                                    (fb - amt).to_le_bytes().to_vec(),
+                                )?;
+                                s.update_in(DEFAULT_TABLE, to, (tb + amt).to_le_bytes().to_vec())
+                            })
+                            .unwrap();
+                    }
+                });
+            }
+        });
+        engine.tc().locks().assert_no_leaks();
+        assert_eq!(total_balance(&engine), ACCOUNTS * INITIAL_BALANCE, "{backend}: pre-crash");
+
+        // Crash mid-transfer (debit applied, credit not, no commit).
+        let t = engine.begin().unwrap();
+        let bal = read_balance(&engine, 17);
+        engine.update(t, 17, (bal.saturating_sub(100)).to_le_bytes().to_vec()).unwrap();
+        engine.crash();
+
+        // Every method conserves, on forks of the same crash image.
+        for method in [RecoveryMethod::Log0, RecoveryMethod::Log2, RecoveryMethod::Sql2] {
+            let fork: Arc<Engine> = Arc::new(engine.fork_crashed().unwrap());
+            fork.recover(method).unwrap_or_else(|e| panic!("{backend}/{method}: {e}"));
+            assert_eq!(
+                total_balance(&fork),
+                ACCOUNTS * INITIAL_BALANCE,
+                "{backend}/{method}: money created or destroyed"
+            );
+            fork.verify_table(DEFAULT_TABLE).unwrap();
+        }
+    }
+}
+
+#[test]
+fn engine_reports_its_backend() {
+    for backend in BACKENDS {
+        let cfg = EngineConfig {
+            initial_rows: 10,
+            pool_pages: 16,
+            io_model: IoModel::zero(),
+            backend: backend.to_string(),
+            ..EngineConfig::default()
+        };
+        let engine = Engine::build(cfg).unwrap();
+        assert_eq!(engine.dc().backend_name(), backend);
+    }
+    assert!(
+        Engine::build(EngineConfig { backend: "lsm".into(), ..EngineConfig::default() }).is_err(),
+        "unknown backend names must be rejected at build time"
+    );
+}

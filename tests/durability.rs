@@ -45,7 +45,7 @@ fn dc_on_file_disk_roundtrips_across_reopen() {
             };
             dc.apply(&rec).unwrap();
         }
-        dc.pool_mut().flush_all().unwrap();
+        dc.pool().flush_all().unwrap();
     }
 
     // Session 2: reopen the same file, read everything back.
@@ -62,7 +62,7 @@ fn dc_on_file_disk_roundtrips_across_reopen() {
             );
         }
         let tree = dc.tree(T).unwrap().clone();
-        let summary = lr_btree::verify_tree(&tree, dc.pool_mut()).unwrap();
+        let summary = lr_btree::verify_tree(&tree, dc.pool()).unwrap();
         assert_eq!(summary.records, 200);
     }
     std::fs::remove_file(&path).unwrap();
@@ -82,7 +82,7 @@ fn unflushed_pages_do_not_survive_reopen() {
         dc.create_table(T).unwrap();
         // The empty table itself is made durable; only the insert is not.
         let root = dc.table_root(T).unwrap();
-        dc.pool_mut().flush_page(root).unwrap();
+        dc.pool().flush_page(root).unwrap();
         let info = dc.prepare_write(T, 1, WriteIntent::Insert { value_len: 8 }).unwrap();
         let rec = LogRecord {
             lsn: Lsn(10),
