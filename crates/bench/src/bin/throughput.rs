@@ -58,6 +58,11 @@ fn main() {
     // latch-free OLC read path; see the `readpath` bin for the dedicated
     // read-mostly comparison.
     let optimistic_reads = env_u64("LR_READ_OPTIMISTIC", 1) != 0;
+    // LR_WRITE_OPTIMISTIC=0 forces every write prepare through the
+    // latched descent for A/B runs against the default OLC prepare
+    // (optimistic descent + leaf-only write upgrade); see the `writepath`
+    // bin for the dedicated update-heavy comparison.
+    let optimistic_writes = env_u64("LR_WRITE_OPTIMISTIC", 1) != 0;
     // LR_RECOVERY_WORKERS>1 adds a crash + parallel-recovery smoke after
     // the last throughput point (serial vs partitioned redo on the same
     // crash image).
@@ -76,8 +81,10 @@ fn main() {
         if maintenance { "on" } else { "off" }
     );
     println!(
-        "optimistic read path {} (LR_READ_OPTIMISTIC).\n",
-        if optimistic_reads { "on" } else { "off" }
+        "optimistic read path {} (LR_READ_OPTIMISTIC), \
+         optimistic write path {} (LR_WRITE_OPTIMISTIC).\n",
+        if optimistic_reads { "on" } else { "off" },
+        if optimistic_writes { "on" } else { "off" }
     );
 
     let mut table = Table::new(&[
@@ -103,6 +110,7 @@ fn main() {
             commit_force_us: force_us,
             background_maintenance: maintenance,
             optimistic_reads,
+            optimistic_writes,
             backend: backend.clone(),
             ..EngineConfig::default()
         })

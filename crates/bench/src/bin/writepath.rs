@@ -1,0 +1,220 @@
+//! **writepath** — latched vs optimistic write-prepare path on the
+//! update-heavy preset (95% same-size updates / 5% point reads, uniform
+//! keys, warm cache).
+//!
+//! ```sh
+//! cargo run --release -p lr-bench --bin writepath
+//! LR_THREADS=4 LR_WRITES=40000 LR_KEYS=20000 \
+//!     cargo run --release -p lr-bench --bin writepath
+//! ```
+//!
+//! Runs the same workload twice — `EngineConfig::optimistic_writes` off
+//! (every prepare descends under the shared table latch with per-frame
+//! read latches) and on (latch-free OLC descent, version-validated write
+//! upgrade of the leaf only, bounded restarts, latched fallback) — and
+//! reports per-mode committed update throughput and latency quantiles as
+//! JSON lines:
+//!
+//! ```json
+//! {"bench":"writepath","mode":"latched","threads":4,"writes":40000,...}
+//! {"bench":"writepath","mode":"optimistic",...}
+//! ```
+//!
+//! **CI gate:** exits nonzero if optimistic update throughput falls below
+//! the latched baseline (scaled by `LR_WRITEPATH_MARGIN`, default 1.0 —
+//! strict) — the acceptance criterion that the OLC write path is a win,
+//! not a regression, on its target workload.
+
+use lr_core::{Engine, EngineConfig, Session, DEFAULT_TABLE};
+use lr_workload::{KeyDist, OpMix, TxnGenerator, WorkloadSpec};
+use std::time::Instant;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+struct ModeReport {
+    writes: u64,
+    reads: u64,
+    wall_s: f64,
+    writes_per_sec: f64,
+    p50_ns: u64,
+    p99_ns: u64,
+    max_ns: u64,
+    optimistic_writes: u64,
+    write_fallbacks: u64,
+    write_restarts: u64,
+    leaf_upgrades_failed: u64,
+}
+
+/// One measured run: `threads` sessions over the update-heavy mix, timing
+/// every committed update transaction individually.
+fn run_mode(optimistic: bool, threads: usize, writes_target: u64, key_space: u64) -> ModeReport {
+    let engine = Engine::build(EngineConfig {
+        initial_rows: key_space,
+        pool_pages: (key_space / 8).max(1_024) as usize,
+        io_model: lr_common::IoModel::zero(),
+        optimistic_writes: optimistic,
+        ..EngineConfig::default()
+    })
+    .expect("engine build")
+    .into_shared();
+
+    // Warm the cache: one full latched scan pulls every leaf and internal
+    // page in, so both modes measure the in-memory prepare path, not
+    // device misses.
+    let warm = engine.scan_range(DEFAULT_TABLE, 0, u64::MAX).expect("warm scan");
+    assert_eq!(warm.len() as u64, key_space, "warm scan saw the whole table");
+
+    let per_thread = writes_target / threads as u64;
+    let start = Instant::now();
+    let shards: Vec<(u64, u64, lr_common::Histogram)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let mut session: Session = Engine::session(&engine);
+                // Same-size updates (loaded rows and generated values are
+                // both 100 bytes): never an SMO, so the whole run exercises
+                // the in-place prepare the OLC upgrade targets.
+                let spec = WorkloadSpec {
+                    key_space,
+                    txn_ops: 10,
+                    mix: OpMix { update_pct: 95, read_pct: 5, insert_pct: 0, delete_pct: 0 },
+                    dist: KeyDist::Uniform,
+                    value_size: 100,
+                    seed: 42 + t as u64,
+                };
+                s.spawn(move || {
+                    let mut gen = TxnGenerator::new_with_insert_band(spec, t as u64 + 1);
+                    let mut hist = lr_common::Histogram::new();
+                    let mut writes = 0u64;
+                    let mut reads = 0u64;
+                    while writes < per_thread {
+                        for op in gen.next_txn() {
+                            match op {
+                                lr_workload::Op::Update { key, value } => {
+                                    let t0 = Instant::now();
+                                    session
+                                        .run_txn(10_000, |s| {
+                                            s.update_in(DEFAULT_TABLE, key, value.clone())
+                                        })
+                                        .expect("update");
+                                    hist.record(t0.elapsed().as_nanos() as u64);
+                                    writes += 1;
+                                }
+                                lr_workload::Op::Read { key } => {
+                                    let v = session.read(DEFAULT_TABLE, key).expect("read");
+                                    assert!(v.is_some(), "loaded key {key} must exist");
+                                    reads += 1;
+                                }
+                                _ => {}
+                            }
+                        }
+                    }
+                    (writes, reads, hist)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("writer thread panicked")).collect()
+    });
+    let wall = start.elapsed();
+
+    let mut hist = lr_common::Histogram::new();
+    let mut writes = 0u64;
+    let mut reads = 0u64;
+    for (w, r, h) in &shards {
+        writes += w;
+        reads += r;
+        hist.merge(h);
+    }
+    let stats = engine.stats();
+    engine.tc().locks().assert_no_leaks();
+    ModeReport {
+        writes,
+        reads,
+        wall_s: wall.as_secs_f64(),
+        writes_per_sec: writes as f64 / wall.as_secs_f64().max(1e-9),
+        p50_ns: hist.quantile(0.50),
+        p99_ns: hist.quantile(0.99),
+        max_ns: hist.max(),
+        optimistic_writes: stats.optimistic_writes,
+        write_fallbacks: stats.write_fallbacks,
+        write_restarts: stats.write_restarts,
+        leaf_upgrades_failed: stats.leaf_upgrades_failed,
+    }
+}
+
+fn emit(mode: &str, threads: usize, r: &ModeReport) {
+    // The write-path A/B compares the B-tree DC's OLC prepare against its
+    // latched shared-attempt path; the backend tag keeps harvested JSON
+    // lines attributable once more backends grow write benches.
+    println!(
+        "{{\"bench\":\"writepath\",\"backend\":\"btree\",\"mode\":\"{mode}\",\"threads\":{threads},\
+         \"writes\":{},\"reads\":{},\"wall_s\":{:.3},\"writes_per_sec\":{:.0},\
+         \"p50_ns\":{},\"p99_ns\":{},\"max_ns\":{},\
+         \"optimistic_writes\":{},\"write_fallbacks\":{},\
+         \"write_restarts\":{},\"leaf_upgrades_failed\":{}}}",
+        r.writes,
+        r.reads,
+        r.wall_s,
+        r.writes_per_sec,
+        r.p50_ns,
+        r.p99_ns,
+        r.max_ns,
+        r.optimistic_writes,
+        r.write_fallbacks,
+        r.write_restarts,
+        r.leaf_upgrades_failed,
+    );
+}
+
+fn main() {
+    let threads = env_u64("LR_THREADS", 4) as usize;
+    let writes = env_u64("LR_WRITES", 40_000);
+    let key_space = env_u64("LR_KEYS", 20_000);
+    let margin = env_f64("LR_WRITEPATH_MARGIN", 1.0);
+
+    eprintln!(
+        "writepath: update-heavy preset (95/5), {threads} thread(s), \
+         ~{writes} timed updates per mode, {key_space} keys, warm cache"
+    );
+
+    let latched = run_mode(false, threads, writes, key_space);
+    assert_eq!(
+        latched.optimistic_writes, 0,
+        "LR_WRITE_OPTIMISTIC off must not touch the optimistic prepare path"
+    );
+    emit("latched", threads, &latched);
+
+    let optimistic = run_mode(true, threads, writes, key_space);
+    emit("optimistic", threads, &optimistic);
+
+    assert!(
+        optimistic.optimistic_writes > 0,
+        "optimistic mode never validated a single prepare — the path is dead"
+    );
+
+    let speedup = optimistic.writes_per_sec / latched.writes_per_sec.max(1e-9);
+    eprintln!(
+        "writepath: optimistic {:.0} writes/s vs latched {:.0} writes/s ({speedup:.2}x), \
+         p99 {} ns vs {} ns, {} fallbacks, {} restarts, {} failed upgrades",
+        optimistic.writes_per_sec,
+        latched.writes_per_sec,
+        optimistic.p99_ns,
+        latched.p99_ns,
+        optimistic.write_fallbacks,
+        optimistic.write_restarts,
+        optimistic.leaf_upgrades_failed,
+    );
+    if optimistic.writes_per_sec < latched.writes_per_sec * margin {
+        eprintln!(
+            "FAIL: optimistic update throughput below the latched \
+             baseline (margin {margin})"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("PASS: optimistic updates at or above the latched baseline");
+}

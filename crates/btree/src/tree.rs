@@ -216,6 +216,60 @@ impl BTree {
         Err(OptReadFail::BudgetExhausted)
     }
 
+    /// OLC **write** descent: walk root→leaf without touching a single
+    /// frame latch and return the leaf PID for `key` together with the
+    /// seqlock version the leaf validated at. The caller upgrades exactly
+    /// that one frame ([`BufferPool::try_write_upgrade`] with the returned
+    /// version) — the whole point of the optimistic write path is that the
+    /// root and internal frames are never latched at all.
+    ///
+    /// **The caller must hold at least the shared table latch.** That
+    /// freezes SMOs (they need it exclusively), which is what makes a
+    /// version-less multi-hop descent sound for *placement*: reads can
+    /// recover from a racing split with the B-link right-chase, but a
+    /// write deciding where a key **belongs** cannot — a key greater than
+    /// the last record of a sparse leaf still belongs in that leaf, and
+    /// chasing it right would violate the parent's separators. With the
+    /// structure frozen the descent lands exactly where the latched
+    /// [`BTree::find_leaf`] would; the only failures left are transient
+    /// version conflicts from concurrent *data* writers
+    /// ([`OptReadFail::Contended`] — restart after backoff) or a
+    /// not-resident page ([`OptReadFail::NotResident`] — only the latched
+    /// path fetches).
+    pub fn find_leaf_optimistic(
+        &self,
+        pool: &BufferPool,
+        key: Key,
+    ) -> std::result::Result<(PageId, u64), OptReadFail> {
+        let mut cur = self.root;
+        for _ in 0..MAX_OPT_HOPS {
+            enum Step {
+                Next(PageId),
+                Here,
+                Fail,
+            }
+            let (step, version) = pool.try_read_optimistic_versioned(cur, |v| {
+                match v.page_type() {
+                    Some(PageType::Internal) => match v.route(key) {
+                        Some(child) => Step::Next(child),
+                        None => Step::Fail,
+                    },
+                    // Under the frozen structure this leaf *is* the key's
+                    // home, sparse or empty — same placement as the
+                    // latched walk.
+                    Some(PageType::Leaf) => Step::Here,
+                    _ => Step::Fail,
+                }
+            })?;
+            match step {
+                Step::Next(next) => cur = next,
+                Step::Here => return Ok((cur, version)),
+                Step::Fail => return Err(OptReadFail::Contended),
+            }
+        }
+        Err(OptReadFail::BudgetExhausted)
+    }
+
     /// Optimistic range scan: OLC descent to the starting leaf, then a
     /// latch-free walk of the leaf chain, each leaf seqlock-validated as
     /// one atomic snapshot.

@@ -21,4 +21,6 @@ pub mod events;
 pub mod pool;
 
 pub use events::CacheEvent;
-pub use pool::{BufferPool, EoslProvider, FetchInfo, OptReadFail, PoolStats};
+pub use pool::{
+    olc_backoff, BufferPool, EoslProvider, EpochGuard, FetchInfo, OptReadFail, PoolStats,
+};

@@ -6,12 +6,15 @@
 //! *different* pages never serialize on a pool-wide lock. The disk sits
 //! behind its own mutex (device access is short and simulated); counters
 //! are atomics. Lock order everywhere: clock → shard → frame latch →
-//! device/WAL — no path acquires a shard lock while holding a *published*
-//! frame's latch or the log, and nothing blocks on a frame latch while
-//! holding the clock (the evictor only ever `try_write`s). (The miss paths
-//! in `cell` and `install_page` hold the write latch of a not-yet-published
-//! placeholder across the shard lock; that latch is unreachable by any
-//! other thread until the insert, so it cannot participate in a cycle.)
+//! device/WAL, with the reclamation limbo list as a leaf below the shard
+//! locks (taken with either a shard lock or nothing held, and it acquires
+//! nothing itself) — no path acquires a shard lock while holding a
+//! *published* frame's latch or the log, and nothing blocks on a frame
+//! latch while holding the clock (the evictor only ever `try_write`s).
+//! (The miss paths in `cell` and `install_page` hold the write latch of a
+//! not-yet-published placeholder across the shard lock; that latch is
+//! unreachable by any other thread until the insert, so it cannot
+//! participate in a cycle.)
 //!
 //! Eviction is a **clock / second-chance** sweep over a fixed ring of
 //! resident-page slots: each frame carries a ref bit set on every hit, the
@@ -36,10 +39,10 @@
 //! * **invalidation leaves it odd forever**: the evictor (and a failed
 //!   load, and crash teardown) sets `Frame::evicted` under the write latch
 //!   and the guard then skips the release bump, so an optimistic reader
-//!   can never validate against an evicted/recycled frame. The evictor
-//!   performs this bump *before* the shard-table removal becomes visible
-//!   (it holds the shard lock across both), closing the window where a
-//!   reader could look up a frame that is mid-eviction;
+//!   can never validate against an evicted frame. The evictor performs
+//!   this bump *before* the shard-table removal becomes visible (it holds
+//!   the shard lock across both), closing the window where a reader could
+//!   look up a frame that is mid-eviction;
 //! * optimistic readers never lock anything per frame: they load the
 //!   version (reject odd), run a torn-tolerant closure over the raw image
 //!   ([`lr_storage::RawPageView`]), and re-load the version — any change
@@ -50,6 +53,29 @@
 //! The version counter participates in no lock order: it is only ever
 //! touched while holding the frame's write latch (writers) or nothing at
 //! all (optimistic readers).
+//!
+//! ## Epoch-based frame reclamation
+//!
+//! Invalidated cells are not leaked: the evictor **retires** each one onto
+//! a limbo list stamped with the current global epoch
+//! ([`BufferPool::retire_cell`]), and the next placeholder allocation
+//! **recycles** a retired cell's page buffer once it is provably
+//! unreachable ([`BufferPool::try_recycle_page`]). Optimistic operations
+//! pin the global epoch for their duration ([`BufferPool::pin_epoch`]);
+//! a retired cell is eligible for recycling only when its retire epoch is
+//! below every pinned epoch *and* below the (since-advanced) global epoch.
+//! Two independent guarantees make reuse safe:
+//!
+//! * **epoch gate** — a reader pinned before the cell left the shard table
+//!   holds an epoch ≤ the retire epoch, so the cell stays in limbo until
+//!   that reader unpins;
+//! * **unique-ownership gate** — recycling takes `Arc::try_unwrap` on the
+//!   cell, which fails while *any* clone of the cell's `Arc` exists (a
+//!   latched reader in its evicted-retry loop, an unpinned optimistic
+//!   reader mid-validation). Only the page allocation of a provably
+//!   unreferenced cell is reused — and it is reborn as a **fresh cell
+//!   identity**, so a stale reader can never validate old version state
+//!   against new page bytes.
 
 use crate::events::CacheEvent;
 use lr_common::{Error, Histogram, Lsn, PageId, Result};
@@ -132,6 +158,22 @@ pub struct PoolStats {
     /// Optimistic reads that found the page not resident (the latched
     /// fallback performs the fetch).
     pub optimistic_misses: u64,
+    /// Global-epoch advances (each one a proven quiescent point: every
+    /// in-flight optimistic operation began at the current epoch).
+    pub epochs_advanced: u64,
+    /// Invalidated frame cells parked on the limbo list by the evictor /
+    /// failed loads.
+    pub frames_retired: u64,
+    /// Retired cells whose page allocation was actually reused for a new
+    /// frame (epoch horizon passed and no stale reference survived).
+    pub frames_recycled: u64,
+    /// Optimistic write attempts that restarted after a version conflict
+    /// (recorded by the DC's restart loop via
+    /// [`BufferPool::record_write_restart`]).
+    pub write_restarts: u64,
+    /// Leaf write-latch upgrades that failed validation (frame latched,
+    /// evicted, or its version moved since the optimistic descent).
+    pub leaf_upgrades_failed: u64,
 }
 
 #[derive(Default)]
@@ -152,6 +194,11 @@ struct PoolCounters {
     optimistic_reads: AtomicU64,
     optimistic_validation_failures: AtomicU64,
     optimistic_misses: AtomicU64,
+    epochs_advanced: AtomicU64,
+    frames_retired: AtomicU64,
+    frames_recycled: AtomicU64,
+    write_restarts: AtomicU64,
+    leaf_upgrades_failed: AtomicU64,
 }
 
 /// Frame state guarded by the per-frame latch.
@@ -260,6 +307,78 @@ impl Drop for FrameWrite<'_> {
     }
 }
 
+/// Back off before optimistic retry `attempt` (1-based) — the shared
+/// policy for OLC read re-descents and write restarts. The first few
+/// attempts just yield (the conflicting writer is likely one quantum from
+/// releasing); persistent conflicts sleep exponentially longer, capped at
+/// ~1.3 ms, so a contended descent stops burning the scheduling quantum
+/// of the very writer it is waiting on.
+pub fn olc_backoff(attempt: usize) {
+    const YIELD_ATTEMPTS: usize = 3;
+    if attempt <= YIELD_ATTEMPTS {
+        std::thread::yield_now();
+    } else {
+        let exp = (attempt - YIELD_ATTEMPTS).min(7) as u32;
+        std::thread::sleep(std::time::Duration::from_micros(10u64 << exp));
+    }
+}
+
+/// Pin slots for epoch-based reclamation. Far above typical thread
+/// counts; overflow degrades to an unpinned guard, which is still safe
+/// (the `Arc::try_unwrap` gate in [`BufferPool::try_recycle_page`] never
+/// frees a buffer any thread can reach).
+const EPOCH_SLOTS: usize = 64;
+
+/// Epoch-based reclamation state: the global epoch, one pin slot per
+/// concurrent optimistic operation, and the limbo list of retired cells.
+struct EpochState {
+    /// Monotonic global epoch; starts at 1 (0 is the idle-slot sentinel).
+    global: AtomicU64,
+    /// 0 = idle; otherwise the epoch the slot's owner pinned on entry.
+    pins: [AtomicU64; EPOCH_SLOTS],
+    /// Retired cells, each stamped with the global epoch at retire time.
+    /// Leaf lock: taken under a shard lock (retire) or with no pool lock
+    /// held (recycle), and never acquires anything itself.
+    limbo: Mutex<Vec<(u64, Arc<FrameCell>)>>,
+}
+
+impl EpochState {
+    fn new() -> EpochState {
+        EpochState {
+            global: AtomicU64::new(1),
+            pins: std::array::from_fn(|_| AtomicU64::new(0)),
+            limbo: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// The oldest epoch any in-flight optimistic operation holds
+    /// (`u64::MAX` when none is pinned).
+    fn min_pinned(&self) -> u64 {
+        self.pins
+            .iter()
+            .map(|p| p.load(Ordering::Acquire))
+            .filter(|&e| e != 0)
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+}
+
+/// RAII epoch pin (see [`BufferPool::pin_epoch`]): while alive, no frame
+/// cell retired at or after the pinned epoch is recycled. Dropping it
+/// releases the slot.
+pub struct EpochGuard<'a> {
+    epochs: &'a EpochState,
+    slot: Option<usize>,
+}
+
+impl Drop for EpochGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(slot) = self.slot {
+            self.epochs.pins[slot].store(0, Ordering::Release);
+        }
+    }
+}
+
 type Shard = Mutex<HashMap<PageId, Arc<FrameCell>>>;
 
 /// One ring slot: the resident page it currently tracks, or empty.
@@ -323,6 +442,7 @@ pub struct BufferPool {
     events: Mutex<Vec<CacheEvent>>,
     stats: PoolCounters,
     data_stall_hist: Mutex<Histogram>,
+    epochs: EpochState,
 }
 
 impl BufferPool {
@@ -347,6 +467,7 @@ impl BufferPool {
             events: Mutex::new(Vec::new()),
             stats: PoolCounters::default(),
             data_stall_hist: Mutex::new(Histogram::default()),
+            epochs: EpochState::new(),
         }
     }
 
@@ -429,6 +550,11 @@ impl BufferPool {
                 .optimistic_validation_failures
                 .load(Ordering::Relaxed),
             optimistic_misses: s.optimistic_misses.load(Ordering::Relaxed),
+            epochs_advanced: s.epochs_advanced.load(Ordering::Relaxed),
+            frames_retired: s.frames_retired.load(Ordering::Relaxed),
+            frames_recycled: s.frames_recycled.load(Ordering::Relaxed),
+            write_restarts: s.write_restarts.load(Ordering::Relaxed),
+            leaf_upgrades_failed: s.leaf_upgrades_failed.load(Ordering::Relaxed),
         }
     }
 
@@ -451,11 +577,122 @@ impl BufferPool {
             &s.optimistic_reads,
             &s.optimistic_validation_failures,
             &s.optimistic_misses,
+            &s.epochs_advanced,
+            &s.frames_retired,
+            &s.frames_recycled,
+            &s.write_restarts,
+            &s.leaf_upgrades_failed,
         ] {
             c.store(0, Ordering::Relaxed);
         }
         *self.data_stall_hist.lock() = Histogram::default();
         self.disk.lock().reset_stats();
+    }
+
+    // ------------------------------------------------------------------
+    // epoch-based frame reclamation
+    // ------------------------------------------------------------------
+
+    /// Pin the global epoch for the duration of an optimistic operation
+    /// (read or write descent). While the guard lives, no frame cell
+    /// retired at or after the pinned epoch is recycled, so a raw page
+    /// view obtained inside the operation stays backed by live memory.
+    /// If every pin slot is busy the guard degrades to unpinned — still
+    /// safe, because the per-lookup `Arc` clone each optimistic access
+    /// holds makes `Arc::try_unwrap` in [`Self::try_recycle_page`] fail.
+    pub fn pin_epoch(&self) -> EpochGuard<'_> {
+        let e = self.epochs.global.load(Ordering::Acquire);
+        for (i, slot) in self.epochs.pins.iter().enumerate() {
+            if slot.compare_exchange(0, e, Ordering::AcqRel, Ordering::Relaxed).is_ok() {
+                return EpochGuard { epochs: &self.epochs, slot: Some(i) };
+            }
+        }
+        EpochGuard { epochs: &self.epochs, slot: None }
+    }
+
+    /// Advance the global epoch if the pool is quiescent: every pin slot
+    /// is idle or pinned at the current epoch, i.e. no in-flight
+    /// optimistic operation predates it. Each successful advance is a
+    /// proof point the recycler's horizon can move past.
+    fn try_advance_epoch(&self) {
+        let global = self.epochs.global.load(Ordering::Acquire);
+        let quiescent = self.epochs.pins.iter().all(|p| {
+            let v = p.load(Ordering::Acquire);
+            v == 0 || v == global
+        });
+        if quiescent
+            && self
+                .epochs
+                .global
+                .compare_exchange(global, global + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.stats.epochs_advanced.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Park an invalidated cell on the limbo list, stamped with the
+    /// current epoch. Called with the cell's shard lock held (the limbo
+    /// mutex is a leaf below it). The list is capped at pool capacity:
+    /// overflow drops the oldest entries outright — dropping an `Arc` is
+    /// always safe (the allocation is freed when the last stale reference
+    /// goes away); only *reuse* needs the epoch/ownership gates.
+    fn retire_cell(&self, cell: Arc<FrameCell>) {
+        let epoch = self.epochs.global.load(Ordering::Acquire);
+        {
+            let mut limbo = self.epochs.limbo.lock();
+            if limbo.len() >= self.capacity {
+                let excess = limbo.len() + 1 - self.capacity;
+                limbo.drain(..excess);
+            }
+            limbo.push((epoch, cell));
+        }
+        self.stats.frames_retired.fetch_add(1, Ordering::Relaxed);
+        self.try_advance_epoch();
+    }
+
+    /// Reclaim the page allocation of one retired cell, if any has passed
+    /// the epoch horizon **and** has no surviving reference. The caller
+    /// rebuilds it into a fresh cell ([`Self::new_placeholder`]); the
+    /// retired cell's identity (version counter, latch) dies here, so no
+    /// stale optimistic reader can ever validate against the reused
+    /// buffer.
+    fn try_recycle_page(&self) -> Option<Page> {
+        self.try_advance_epoch();
+        let mut limbo = self.epochs.limbo.lock();
+        if limbo.is_empty() {
+            return None;
+        }
+        let global = self.epochs.global.load(Ordering::Acquire);
+        // Safe horizon: strictly older than every pinned epoch (no
+        // in-flight optimistic operation can still look the cell up) and
+        // than the global epoch (at least one quiescent advance happened
+        // since the retire).
+        let horizon = self.epochs.min_pinned().min(global);
+        let mut recycled = None;
+        let entries = std::mem::take(&mut *limbo);
+        for (epoch, cell) in entries {
+            if recycled.is_none() && epoch < horizon {
+                match Arc::try_unwrap(cell) {
+                    Ok(cell) => {
+                        self.stats.frames_recycled.fetch_add(1, Ordering::Relaxed);
+                        recycled = Some(cell.latch.into_inner().page);
+                    }
+                    // A stale `Arc` holder survives (latched retry loop,
+                    // optimistic reader mid-validation); keep waiting.
+                    Err(cell) => limbo.push((epoch, cell)),
+                }
+            } else {
+                limbo.push((epoch, cell));
+            }
+        }
+        recycled
+    }
+
+    /// Count one optimistic-write restart (the DC's descent/upgrade loop
+    /// hit a version conflict and is re-descending after backoff).
+    pub fn record_write_restart(&self) {
+        self.stats.write_restarts.fetch_add(1, Ordering::Relaxed);
     }
 
     // ------------------------------------------------------------------
@@ -531,8 +768,17 @@ impl BufferPool {
 
     /// A fresh, unpublished frame cell for `pid` (caller owns a slot from
     /// [`Self::reserve_slot`] and publishes the cell into the shard map).
+    /// Reuses a reclaimed page allocation when one has cleared the epoch
+    /// horizon; either way the cell identity (latch, version, pins) is
+    /// brand new.
     fn new_placeholder(&self, pid: PageId) -> Arc<FrameCell> {
-        let page = Page::new(self.page_size, pid, PageType::Free);
+        let page = match self.try_recycle_page() {
+            Some(mut page) => {
+                page.reformat(pid, PageType::Free);
+                page
+            }
+            None => Page::new(self.page_size, pid, PageType::Free),
+        };
         // The image's heap allocation survives moves of the `Page` value
         // and is never reallocated afterwards (in-place overwrites only),
         // so this pointer stays valid for the cell's lifetime.
@@ -619,7 +865,12 @@ impl BufferPool {
                 // guard leaves the version odd: invalidated forever.
                 frame.evicted = true;
                 drop(frame);
-                self.shard(pid).lock().remove(&pid);
+                {
+                    let mut map = self.shard(pid).lock();
+                    map.remove(&pid);
+                    // Same retire-under-shard-lock rule as the evictor.
+                    self.retire_cell(cell.clone());
+                }
                 self.release_slot(slot);
                 return Err(e);
             }
@@ -740,6 +991,19 @@ impl BufferPool {
         pid: PageId,
         f: impl FnOnce(&RawPageView) -> R,
     ) -> std::result::Result<R, OptReadFail> {
+        self.try_read_optimistic_versioned(pid, f).map(|(r, _)| r)
+    }
+
+    /// [`BufferPool::try_read_optimistic`] that also returns the frame
+    /// version the result validated against. The OLC write descent hands
+    /// that version to [`BufferPool::try_write_upgrade`]: version still
+    /// unchanged under the leaf's write latch proves the image is exactly
+    /// the one the descent saw.
+    pub fn try_read_optimistic_versioned<R>(
+        &self,
+        pid: PageId,
+        f: impl FnOnce(&RawPageView) -> R,
+    ) -> std::result::Result<(R, u64), OptReadFail> {
         let Some(cell) = self.shard(pid).lock().get(&pid).cloned() else {
             self.stats.optimistic_misses.fetch_add(1, Ordering::Relaxed);
             return Err(OptReadFail::NotResident);
@@ -770,7 +1034,42 @@ impl BufferPool {
             cell.ref_bit.store(true, Ordering::Relaxed);
         }
         self.stats.optimistic_reads.fetch_add(1, Ordering::Relaxed);
-        Ok(r)
+        Ok((r, v1))
+    }
+
+    /// Upgrade-in-place for the OLC write path: take the frame's write
+    /// latch **without blocking**, validate that the frame is live and its
+    /// version still equals `expected_version` (the value an optimistic
+    /// descent validated), then run `f` over the page image. Like
+    /// `flush_cell` this is an image-*preserving* acquisition — `f` only
+    /// reads, so the seqlock is not bumped and concurrent optimistic
+    /// readers keep validating across it.
+    ///
+    /// A successful return proves the image is byte-identical to what the
+    /// descent saw; the caller still holds its own higher-level latches
+    /// (table, page-op) that keep the leaf's state authoritative until the
+    /// operation applies. Failure means a writer or the evictor raced the
+    /// descent ([`OptReadFail::Contended`] — restart) or the frame is gone
+    /// ([`OptReadFail::NotResident`] — only the latched path fetches).
+    pub fn try_write_upgrade<R>(
+        &self,
+        pid: PageId,
+        expected_version: u64,
+        f: impl FnOnce(&Page) -> R,
+    ) -> std::result::Result<R, OptReadFail> {
+        let Some(cell) = self.shard(pid).lock().get(&pid).cloned() else {
+            self.stats.leaf_upgrades_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(OptReadFail::NotResident);
+        };
+        let Some(frame) = cell.latch.try_write() else {
+            self.stats.leaf_upgrades_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(OptReadFail::Contended);
+        };
+        if frame.evicted || cell.version.load(Ordering::Acquire) != expected_version {
+            self.stats.leaf_upgrades_failed.fetch_add(1, Ordering::Relaxed);
+            return Err(OptReadFail::Contended);
+        }
+        Ok(f(&frame.page))
     }
 
     /// Mutate a page under operation LSN `lsn` (exclusive frame latch):
@@ -924,6 +1223,12 @@ impl BufferPool {
         frame.evicted = true;
         drop(frame);
         map.remove(&pid);
+        // Retire under the same shard lock: the removal and the limbo
+        // entry become visible together, so an epoch pinned *after* this
+        // point can no longer find the cell — exactly what lets the
+        // recycler treat `retire epoch < min pinned epoch` as proof of
+        // unreachability.
+        self.retire_cell(cell.clone());
         Ok(true)
     }
 
@@ -1137,6 +1442,10 @@ impl BufferPool {
             }
         }
         *self.clock.lock() = ClockState::new(self.capacity);
+        // Dropping limbo entries (not recycling them) is always safe; any
+        // straggling optimistic reader still holds its own `Arc` and fails
+        // version validation against the odd counter.
+        self.epochs.limbo.lock().clear();
         self.len.store(0, Ordering::Release);
         self.dirty.store(0, Ordering::Release);
         self.events.lock().clear();
@@ -1590,5 +1899,116 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(p.dirty_count(), 8);
+    }
+
+    /// Satellite: churn through a small pool must actually *reuse* frame
+    /// cells — retires feed the limbo list, quiescent epoch advances move
+    /// the horizon, and placeholders recycle the freed page allocations
+    /// (the "version stays odd forever" scheme used to leak them all).
+    #[test]
+    fn churn_recycles_retired_frames() {
+        let p = pool(8, 4096);
+        for i in 0..200u64 {
+            p.fetch(PageId(i)).unwrap();
+        }
+        let s = p.stats();
+        assert!(s.evictions > 0, "stream through a small pool must evict");
+        assert_eq!(s.frames_retired, s.evictions, "every eviction retires its cell");
+        assert!(s.epochs_advanced > 0, "idle pins must let the epoch advance");
+        assert!(
+            s.frames_recycled > 0,
+            "no retired frame was ever recycled: retired {} advanced {}",
+            s.frames_retired,
+            s.epochs_advanced
+        );
+    }
+
+    /// A pinned epoch is a hard gate: cells retired while it is held stay
+    /// in limbo (even though no thread references them), and recycling
+    /// resumes once the pin drops.
+    #[test]
+    fn pinned_epoch_defers_recycling() {
+        let p = pool(4, 256);
+        let pin = p.pin_epoch();
+        for i in 0..32u64 {
+            p.fetch(PageId(i)).unwrap();
+        }
+        let s = p.stats();
+        assert!(s.frames_retired > 0);
+        assert_eq!(s.frames_recycled, 0, "recycled a frame retired at or after the pinned epoch");
+        drop(pin);
+        for i in 32..64u64 {
+            p.fetch(PageId(i)).unwrap();
+        }
+        assert!(p.stats().frames_recycled > 0, "recycling never resumed after unpin");
+    }
+
+    /// The `Arc::try_unwrap` gate: a stale reference to a retired cell
+    /// (e.g. a latched reader parked in its evicted-retry loop) blocks
+    /// that cell's reuse for exactly as long as the reference lives.
+    #[test]
+    fn stale_reference_blocks_recycling_of_that_cell() {
+        let p = pool(4, 256);
+        p.fetch(PageId(0)).unwrap();
+        let held = p.shard(PageId(0)).lock().get(&PageId(0)).cloned().unwrap();
+        for i in 1..40u64 {
+            p.fetch(PageId(i)).unwrap();
+        }
+        assert!(!p.contains(PageId(0)), "page 0 evicted");
+        // Other cells recycle fine; the held one must still be parked in
+        // limbo (or dropped by the cap) — never reused while `held` lives.
+        assert!(p.stats().frames_recycled > 0);
+        assert_eq!(held.version.load(Ordering::Acquire) & 1, 1, "held cell stays invalidated");
+        drop(held);
+    }
+
+    #[test]
+    fn write_upgrade_validates_version() {
+        let p = pool(4, 8);
+        write_leaf(&p, PageId(1));
+        let (slots, version) =
+            p.try_read_optimistic_versioned(PageId(1), |v| v.slot_count()).unwrap();
+        assert_eq!(slots, 0);
+        // Unchanged image: the upgrade validates and sees the same page.
+        let n = p.try_write_upgrade(PageId(1), version, |pg| pg.slot_count()).unwrap();
+        assert_eq!(n, 0);
+        // A writer moves the version; the stale expectation must fail.
+        p.with_page_mut(PageId(1), Lsn(5), |pg| pg.insert_record(0, b"x").unwrap()).unwrap();
+        assert_eq!(p.try_write_upgrade(PageId(1), version, |_| ()), Err(OptReadFail::Contended));
+        assert_eq!(p.stats().leaf_upgrades_failed, 1);
+        // Upgrades are image-preserving: no seqlock bump, so the reader's
+        // next validation still succeeds against the new version.
+        let (_, v2) = p.try_read_optimistic_versioned(PageId(1), |v| v.slot_count()).unwrap();
+        p.try_write_upgrade(PageId(1), v2, |_| ()).unwrap();
+        let (_, v3) = p.try_read_optimistic_versioned(PageId(1), |v| v.slot_count()).unwrap();
+        assert_eq!(v2, v3, "image-preserving upgrade must not move the version");
+    }
+
+    #[test]
+    fn write_upgrade_fails_on_uncached_and_latched_frames() {
+        let p = pool(4, 8);
+        assert_eq!(p.try_write_upgrade(PageId(7), 0, |_| ()), Err(OptReadFail::NotResident));
+        p.fetch(PageId(1)).unwrap();
+        let cell = p.shard(PageId(1)).lock().get(&PageId(1)).cloned().unwrap();
+        let version = cell.version.load(Ordering::Acquire);
+        let guard = cell.latch.read();
+        // Reader-held latch: try_write fails without blocking.
+        assert_eq!(p.try_write_upgrade(PageId(1), version, |_| ()), Err(OptReadFail::Contended));
+        drop(guard);
+        assert!(p.try_write_upgrade(PageId(1), version, |_| ()).is_ok());
+    }
+
+    #[test]
+    fn epoch_pins_overflow_to_unpinned_guards() {
+        let p = pool(4, 8);
+        let pins: Vec<_> = (0..EPOCH_SLOTS).map(|_| p.pin_epoch()).collect();
+        // Slot exhaustion must not fail — the extra guard is just unpinned.
+        let extra = p.pin_epoch();
+        drop(extra);
+        drop(pins);
+        // All slots idle again: a fresh pin lands in a slot.
+        let pin = p.pin_epoch();
+        assert_eq!(p.epochs.min_pinned(), p.epochs.global.load(Ordering::Acquire));
+        drop(pin);
     }
 }

@@ -58,6 +58,13 @@ pub struct EngineConfig {
     /// `lr_dc::DcConfig::optimistic_reads`). On by default; the
     /// `LR_READ_OPTIMISTIC=0` bench knob turns it off for A/B runs.
     pub optimistic_reads: bool,
+    /// Stage eligible writes through the OLC prepare path: latch-free
+    /// root→leaf descent under the shared table latch, version-validated
+    /// write upgrade of the leaf frame only, bounded restarts, latched
+    /// fallback (see `lr_dc::DcConfig::optimistic_writes`). On by
+    /// default; the `LR_WRITE_OPTIMISTIC=0` bench knob turns it off for
+    /// A/B runs.
+    pub optimistic_writes: bool,
     /// Which registered data-component backend serves this engine
     /// (`lr_dc::backend_names()`): `"btree"` — the default clustered
     /// B-tree DC — or `"hash"`, the in-memory hash-index DC with
@@ -94,6 +101,7 @@ impl Default for EngineConfig {
             ckpt_log_bytes: 1 << 20,
             merge_min_fill: 0.0,
             optimistic_reads: true,
+            optimistic_writes: true,
             backend: lr_dc::BTREE_BACKEND.to_string(),
             io_model: IoModel::default(),
             commit_force_us: 0,

@@ -127,6 +127,23 @@ pub struct EngineStats {
     /// Pool-level seqlock rejections (odd version or a version change
     /// under the read) — the raw contention signal behind the fallbacks.
     pub optimistic_validation_failures: u64,
+    /// Writes staged through the OLC prepare path (optimistic descent +
+    /// version-validated leaf upgrade).
+    pub optimistic_writes: u64,
+    /// Writes that fell back to the latched prepare path.
+    pub write_fallbacks: u64,
+    /// OLC write-prepare restarts (descent or upgrade lost a validation
+    /// race and re-descended after backoff).
+    pub write_restarts: u64,
+    /// Leaf write-upgrades rejected (version moved, frame latched or
+    /// evicted between descent and upgrade).
+    pub leaf_upgrades_failed: u64,
+    /// Reclamation epochs advanced (all pins idle or current).
+    pub epochs_advanced: u64,
+    /// Evicted frame cells parked on the reclamation limbo list.
+    pub frames_retired: u64,
+    /// Limbo cells whose page buffer was recycled into a new frame.
+    pub frames_recycled: u64,
 }
 
 impl EngineStats {
@@ -155,6 +172,7 @@ fn dc_config(cfg: &EngineConfig) -> DcConfig {
         inline_cleaner: !cfg.background_maintenance,
         merge_min_fill: cfg.merge_min_fill,
         optimistic_reads: cfg.optimistic_reads,
+        optimistic_writes: cfg.optimistic_writes,
     }
 }
 
@@ -358,6 +376,12 @@ impl Engine {
     /// first, then read — the read-modify-write entry point (e.g. a bank
     /// transfer reads both balances under locks before updating them).
     /// No-wait: conflicts surface as [`Error::LockConflict`].
+    ///
+    /// With `EngineConfig::optimistic_reads` the read half runs through
+    /// the validated OLC descent: the TC's key lock is the only per-key
+    /// synchronization, and no table or frame latch is taken until the
+    /// subsequent write's prepare — which itself validates instead of
+    /// locking until the final leaf when `optimistic_writes` is on.
     pub fn read_for_update(&self, txn: TxnId, table: TableId, key: Key) -> Result<Option<Value>> {
         let _dp = self.enter_data_plane()?;
         self.tc.lock(txn, table, key)?;
@@ -486,6 +510,13 @@ impl Engine {
             optimistic_range_scans: dc_stats.optimistic_range_scans,
             read_fallbacks: dc_stats.read_fallbacks + dc_stats.scan_fallbacks,
             optimistic_validation_failures: pool_stats.optimistic_validation_failures,
+            optimistic_writes: dc_stats.optimistic_writes,
+            write_fallbacks: dc_stats.write_fallbacks,
+            write_restarts: pool_stats.write_restarts,
+            leaf_upgrades_failed: pool_stats.leaf_upgrades_failed,
+            epochs_advanced: pool_stats.epochs_advanced,
+            frames_retired: pool_stats.frames_retired,
+            frames_recycled: pool_stats.frames_recycled,
         }
     }
 

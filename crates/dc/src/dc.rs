@@ -34,6 +34,19 @@
 //! undo relocation and SMO flows are unchanged: they still hold the table
 //! latch, and their frame-latch acquisitions are what bump the versions
 //! optimistic readers validate against.
+//!
+//! **Optimistic write path** (`DcConfig::optimistic_writes`): prepare_op
+//! first attempts an OLC descent under the *shared* table latch — the
+//! descent itself takes no frame latches, validating each hop against the
+//! frame versions, and only the final leaf is upgraded to a write latch
+//! (with version re-validation, so a racing data writer forces a restart).
+//! Restarts are bounded (`OPT_WRITE_ATTEMPTS`, with `olc_backoff` between
+//! attempts); anything that needs an SMO, a fetch, or keeps losing the
+//! validation race falls back to the fully-latched path, which stays
+//! authoritative. Both optimistic readers and optimistic writers pin a
+//! reclamation epoch (`BufferPool::pin_epoch`) for the duration of the
+//! descent so evicted frame cells they may still dereference are parked on
+//! the limbo list instead of being recycled under them.
 
 use crate::api::{
     DcApi, DcIntrospect, Located, PreloadStats, PreparedOp, TableGuard, TableSummary,
@@ -60,6 +73,12 @@ const PAGE_LATCHES: usize = 64;
 /// on one page, an SMO mid-flight) usually succeed on retry; persistent
 /// failures (cold pages) go straight to the fetching path.
 const OPT_READ_ATTEMPTS: usize = 3;
+/// OLC write-prepare attempts before falling back to the latched prepare.
+/// Each restart re-snapshots the root and pays a bounded backoff
+/// (`lr_buffer::olc_backoff`), so short validation races usually succeed
+/// on the second try while sustained conflicts hand off to the latched
+/// path quickly.
+const OPT_WRITE_ATTEMPTS: usize = 3;
 
 /// DC tuning knobs.
 #[derive(Clone, Debug)]
@@ -95,6 +114,12 @@ pub struct DcConfig {
     /// failure. On by default; turn off to force every read through the
     /// table-latch + frame-latch path (the `readpath` bench's A/B knob).
     pub optimistic_reads: bool,
+    /// Stage eligible writes through the OLC prepare path: optimistic
+    /// descent under the shared table latch, version-validated write
+    /// upgrade of the leaf frame only. On by default; turn off to force
+    /// every prepare through the latched descent (the `writepath` bench's
+    /// A/B knob).
+    pub optimistic_writes: bool,
 }
 
 impl Default for DcConfig {
@@ -109,6 +134,7 @@ impl Default for DcConfig {
             inline_cleaner: true,
             merge_min_fill: 0.0,
             optimistic_reads: true,
+            optimistic_writes: true,
         }
     }
 }
@@ -148,6 +174,12 @@ pub struct DcStats {
     pub read_fallbacks: u64,
     /// Range scans that fell back to the latched path.
     pub scan_fallbacks: u64,
+    /// Writes staged through the OLC prepare path (optimistic descent +
+    /// version-validated leaf upgrade).
+    pub optimistic_writes: u64,
+    /// Writes that exhausted their OLC prepare attempts (or needed an SMO
+    /// / a fetch) and fell back to the latched prepare path.
+    pub write_fallbacks: u64,
 }
 
 /// Shared overhead counters (one set per backend instance; all atomics).
@@ -162,6 +194,8 @@ pub(crate) struct DcCounters {
     pub(crate) optimistic_range_scans: AtomicU64,
     pub(crate) read_fallbacks: AtomicU64,
     pub(crate) scan_fallbacks: AtomicU64,
+    pub(crate) optimistic_writes: AtomicU64,
+    pub(crate) write_fallbacks: AtomicU64,
 }
 
 impl DcCounters {
@@ -186,6 +220,8 @@ impl DcCounters {
             optimistic_range_scans: self.optimistic_range_scans.load(Ordering::Relaxed),
             read_fallbacks: self.read_fallbacks.load(Ordering::Relaxed),
             scan_fallbacks: self.scan_fallbacks.load(Ordering::Relaxed),
+            optimistic_writes: self.optimistic_writes.load(Ordering::Relaxed),
+            write_fallbacks: self.write_fallbacks.load(Ordering::Relaxed),
         }
     }
 }
@@ -365,7 +401,11 @@ impl DataComponent {
     /// validation failures (cold pages, write contention, racing SMOs).
     pub fn read(&self, table: TableId, key: Key) -> Result<Option<Value>> {
         if self.cfg.optimistic_reads {
-            for _ in 0..OPT_READ_ATTEMPTS {
+            // Pin a reclamation epoch for the whole optimistic phase: any
+            // frame cell this descent may still dereference after a racing
+            // eviction sits on the limbo list until the pin drops.
+            let _epoch = self.pool.pin_epoch();
+            for attempt in 1..=OPT_READ_ATTEMPTS {
                 // Fresh root snapshot per attempt: a failed attempt may
                 // mean the root moved, and the trees map has the new one.
                 let tree = self.tree(table)?;
@@ -382,7 +422,10 @@ impl DataComponent {
                         lr_buffer::OptReadFail::NotResident
                         | lr_buffer::OptReadFail::BudgetExhausted,
                     ) => break,
-                    Err(lr_buffer::OptReadFail::Contended) => {}
+                    // Give the conflicting writer a chance to finish before
+                    // re-descending — immediate retries under sustained
+                    // contention are doomed to revalidate the same race.
+                    Err(lr_buffer::OptReadFail::Contended) => lr_buffer::olc_backoff(attempt),
                 }
             }
             self.stats.read_fallbacks.fetch_add(1, Ordering::Relaxed);
@@ -397,7 +440,8 @@ impl DataComponent {
     /// failed hop falls back to the latched scan under the table latch.
     pub fn read_range(&self, table: TableId, from: Key, to: Key) -> Result<Vec<(Key, Value)>> {
         if self.cfg.optimistic_reads {
-            for _ in 0..OPT_READ_ATTEMPTS {
+            let _epoch = self.pool.pin_epoch();
+            for attempt in 1..=OPT_READ_ATTEMPTS {
                 let tree = self.tree(table)?;
                 match tree.scan_range_optimistic(&self.pool, from, to) {
                     Ok(rows) => {
@@ -410,7 +454,7 @@ impl DataComponent {
                         lr_buffer::OptReadFail::NotResident
                         | lr_buffer::OptReadFail::BudgetExhausted,
                     ) => break,
-                    Err(lr_buffer::OptReadFail::Contended) => {}
+                    Err(lr_buffer::OptReadFail::Contended) => lr_buffer::olc_backoff(attempt),
                 }
             }
             self.stats.scan_fallbacks.fetch_add(1, Ordering::Relaxed);
@@ -427,15 +471,111 @@ impl DataComponent {
         tree.scan_all(&self.pool)
     }
 
+    /// OLC write prepare: optimistic root-to-leaf descent under the
+    /// *shared* table latch (no frame latches on the way down), then a
+    /// version-validated write upgrade of the leaf frame only. Returns
+    /// `Ok(None)` when the operation must fall back to the latched
+    /// prepare — cold pages, a blown hop budget, sustained validation
+    /// races, or an operation that needs an SMO.
+    ///
+    /// Correctness: the shared table latch freezes tree structure, so the
+    /// optimistic descent lands on exactly the leaf the latched descent
+    /// would pick. The page-op latch is taken *before* the upgrade and the
+    /// eligibility state is re-read under the leaf's write latch, so —
+    /// just like the latched shared attempt — the validation describes
+    /// exactly what apply will see. `KeyNotFound` / `DuplicateKey` raised
+    /// here are authoritative for the same reason.
+    fn try_prepare_optimistic(
+        &self,
+        table: TableId,
+        key: Key,
+        intent: WriteIntent,
+    ) -> Result<Option<PreparedOp<'_>>> {
+        // Pin a reclamation epoch across the descent: an evicted frame
+        // cell this thread may still validate waits on the limbo list.
+        let _epoch = self.pool.pin_epoch();
+        for attempt in 1..=OPT_WRITE_ATTEMPTS {
+            let t = self.table_latch(table).read();
+            let tree = self.tree(table)?;
+            let (leaf, version) = match tree.find_leaf_optimistic(&self.pool, key) {
+                Ok(hit) => hit,
+                Err(lr_buffer::OptReadFail::Contended) => {
+                    // A data writer raced one of our hops. Back off with
+                    // the table latch released, then re-descend.
+                    drop(t);
+                    self.pool.record_write_restart();
+                    lr_buffer::olc_backoff(attempt);
+                    continue;
+                }
+                // Cold page or blown hop budget: deterministic failures —
+                // only the latched path fetches.
+                Err(_) => return Ok(None),
+            };
+            // Page-op latch before the upgrade, mirroring the latched
+            // shared attempt: holding it through log+apply keeps per-page
+            // LSN order equal to apply order.
+            let page = self.page_latch(leaf).lock();
+            let upgraded = self.pool.try_write_upgrade(leaf, version, |p| {
+                (lr_btree::node_search_value(p, key), p.free_space())
+            });
+            let (found, free) = match upgraded {
+                Ok(state) => state,
+                Err(lr_buffer::OptReadFail::Contended) => {
+                    drop(page);
+                    drop(t);
+                    self.pool.record_write_restart();
+                    lr_buffer::olc_backoff(attempt);
+                    continue;
+                }
+                Err(_) => return Ok(None),
+            };
+            // Eligibility mirrors the latched shared attempt exactly: an
+            // operation that may change tree structure falls back.
+            let before = match intent {
+                WriteIntent::Update { value_len } => {
+                    let old = found.ok_or(Error::KeyNotFound { table, key })?;
+                    let grow = value_len.saturating_sub(old.len());
+                    if grow != 0 && free < grow {
+                        return Ok(None);
+                    }
+                    Some(old)
+                }
+                WriteIntent::Delete => {
+                    let old = found.ok_or(Error::KeyNotFound { table, key })?;
+                    if self.cfg.merge_min_fill != 0.0 {
+                        // The apply may rebalance — exclusive path.
+                        return Ok(None);
+                    }
+                    Some(old)
+                }
+                WriteIntent::Insert { value_len } => {
+                    if found.is_some() {
+                        return Err(Error::DuplicateKey { table, key });
+                    }
+                    if free < 8 + value_len + SLOT_SIZE {
+                        return Ok(None);
+                    }
+                    None
+                }
+            };
+            self.stats.optimistic_writes.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(PreparedOp::new(leaf, before, (t, page))));
+        }
+        Ok(None)
+    }
+
     /// Stage a write with the full concurrency discipline: returns a
     /// [`PreparedOp`] whose latches keep the placement valid until the
     /// caller has logged and applied the operation (drop it after
     /// [`DataComponent::apply`]).
     ///
-    /// Fast path: operations that cannot change tree structure (same-size
-    /// updates, deletes without merging, inserts with leaf room) run under
-    /// the *shared* table latch plus the target page's op latch. Anything
-    /// needing an SMO retries under the exclusive latch via
+    /// Fast path: with `optimistic_writes` the OLC prepare
+    /// ([`DataComponent::try_prepare_optimistic`]) runs first — latch-free
+    /// descent, write upgrade of the leaf only. Operations that cannot
+    /// change tree structure (same-size updates, deletes without merging,
+    /// inserts with leaf room) otherwise run under the *shared* table
+    /// latch plus the target page's op latch. Anything needing an SMO
+    /// retries under the exclusive latch via
     /// [`DataComponent::prepare_write`].
     pub fn prepare_op(
         &self,
@@ -443,6 +583,12 @@ impl DataComponent {
         key: Key,
         intent: WriteIntent,
     ) -> Result<PreparedOp<'_>> {
+        if self.cfg.optimistic_writes {
+            if let Some(op) = self.try_prepare_optimistic(table, key, intent)? {
+                return Ok(op);
+            }
+            self.stats.write_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
         // ---- shared attempt ----
         {
             let t = self.table_latch(table).read();

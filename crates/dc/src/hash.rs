@@ -31,9 +31,18 @@
 //! Writes take the table latch exclusively for the whole prepare → log →
 //! apply window (no shared fast path, no page-op latches): correctness
 //! first, and chain placement depends on chain state in a way leaf
-//! placement does not. Reads take the table latch shared. The optimistic
-//! OLC read path is a B-tree feature; `DcConfig::optimistic_reads` is
-//! ignored here and reads always run latched.
+//! placement does not. Reads take the table latch shared.
+//!
+//! Point reads additionally honour `DcConfig::optimistic_reads`: the
+//! volatile index names the key's page, and the probe seqlock-validates
+//! that page latch-free (the bucket chain is a right-sibling walk, so a
+//! relocated key is chased with the same B-link chase the B-tree read
+//! path uses). A validated **miss** is never trusted as absence —
+//! relocations scan chains from the head and may move a key *left* of
+//! the probed page — so any probe that does not find the key falls back
+//! to the latched path, which stays authoritative. Probes pin a
+//! reclamation epoch so evicted frame cells they may still validate wait
+//! on the pool's limbo list.
 
 use crate::api::{
     DcApi, DcIntrospect, Located, PreloadStats, PreparedOp, TableGuard, TableSummary,
@@ -56,6 +65,13 @@ use std::sync::Arc;
 
 /// Table-latch slots (same hashing scheme as the B-tree DC).
 const TABLE_LATCHES: usize = 16;
+/// Optimistic probes attempted per point read before the latched
+/// fallback (mirrors the B-tree DC's retry budget).
+const OPT_READ_ATTEMPTS: usize = 3;
+/// Chain hops one optimistic probe will follow before giving up. Bucket
+/// chains are shallow; anything deeper is a torn link or a pathological
+/// chain better served latched.
+const OPT_CHAIN_HOPS: usize = 24;
 
 /// Buckets per table: as many directory entries as fit the directory
 /// page, clamped to a sane range.
@@ -264,6 +280,50 @@ impl HashDc {
 
     fn read_at(&self, pid: PageId, key: Key) -> Result<Option<Value>> {
         self.pool.with_page(pid, |p| lr_btree::node_search_value(p, key))
+    }
+
+    /// One latch-free probe for `key` starting at the page the volatile
+    /// index names, chasing `right_sibling` on a validated miss (a racing
+    /// relocation or chain extension may have moved the key down-chain).
+    /// Only a validated **hit** is returned: relocation targets are picked
+    /// by scanning the chain from its head, so a key can also move *left*
+    /// of the probed page — a miss anywhere, including the chain end, is
+    /// reported as [`OptReadFail::Contended`] and resolved latched.
+    fn read_at_optimistic(
+        &self,
+        start: PageId,
+        key: Key,
+    ) -> std::result::Result<Option<Value>, lr_buffer::OptReadFail> {
+        let mut pid = start;
+        for _ in 0..OPT_CHAIN_HOPS {
+            enum Probe {
+                Hit(Option<Value>),
+                Next(PageId),
+                Fail,
+            }
+            let probe = self.pool.try_read_optimistic(pid, |v| {
+                if v.page_type() != Some(PageType::Leaf) {
+                    return Probe::Fail;
+                }
+                match v.search(key) {
+                    Ok(slot) => Probe::Hit(v.value_at(slot)),
+                    Err(_) => {
+                        let next = v.right_sibling();
+                        if next.is_valid() {
+                            Probe::Next(next)
+                        } else {
+                            Probe::Fail
+                        }
+                    }
+                }
+            })?;
+            match probe {
+                Probe::Hit(v) => return Ok(v),
+                Probe::Next(next) => pid = next,
+                Probe::Fail => return Err(lr_buffer::OptReadFail::Contended),
+            }
+        }
+        Err(lr_buffer::OptReadFail::BudgetExhausted)
     }
 
     fn index_pid(&self, table: TableId, key: Key) -> Result<Option<PageId>> {
@@ -530,6 +590,34 @@ impl DcIntrospect for HashDc {
 
 impl DcApi for HashDc {
     fn read(&self, table: TableId, key: Key) -> Result<Option<Value>> {
+        if self.cfg.optimistic_reads {
+            // Epoch pin: retired frame cells this probe may still validate
+            // wait on the pool's limbo list until the pin drops.
+            let _epoch = self.pool.pin_epoch();
+            for attempt in 1..=OPT_READ_ATTEMPTS {
+                // Index snapshot instead of the table latch: the map read
+                // is atomic, and an absent entry means a latched read at
+                // the same instant would have returned None too.
+                let Some(start) = self.index_pid(table, key)? else {
+                    self.stats.optimistic_point_reads.fetch_add(1, Ordering::Relaxed);
+                    return Ok(None);
+                };
+                match self.read_at_optimistic(start, key) {
+                    Ok(v) => {
+                        self.stats.optimistic_point_reads.fetch_add(1, Ordering::Relaxed);
+                        return Ok(v);
+                    }
+                    // Cold pages and blown hop budgets fail
+                    // deterministically — end the optimistic phase.
+                    Err(
+                        lr_buffer::OptReadFail::NotResident
+                        | lr_buffer::OptReadFail::BudgetExhausted,
+                    ) => break,
+                    Err(lr_buffer::OptReadFail::Contended) => lr_buffer::olc_backoff(attempt),
+                }
+            }
+            self.stats.read_fallbacks.fetch_add(1, Ordering::Relaxed);
+        }
         let _t = self.table_latch(table).read();
         match self.index_pid(table, key)? {
             Some(pid) => self.read_at(pid, key),

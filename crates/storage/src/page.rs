@@ -131,6 +131,20 @@ impl Page {
         &self.buf
     }
 
+    /// Re-format this page in place as a fresh `ty` page for `pid`,
+    /// reusing the existing allocation. The buffer pool's frame-recycling
+    /// path needs exactly this: a reclaimed image buffer reborn as a new
+    /// page without a fresh heap allocation (and without moving — see
+    /// [`Page::overwrite_from`] on why frame buffers must stay put).
+    pub fn reformat(&mut self, pid: PageId, ty: PageType) {
+        let size = self.buf.len();
+        self.buf.fill(0);
+        self.buf[OFF_TYPE] = ty as u8;
+        self.set_u16(OFF_HEAP_TOP, size as u32 as u16);
+        self.set_u64(OFF_SELF, pid.0);
+        self.set_u64(OFF_RIGHT, PageId::INVALID.0);
+    }
+
     /// Overwrite this page's image in place from `other` (same size
     /// required).
     ///
