@@ -45,6 +45,20 @@ struct ModeReport {
     optimistic_point_reads: u64,
     read_fallbacks: u64,
     validation_failures: u64,
+    restart_hist: lr_common::Histogram,
+}
+
+/// Render a per-attempt restart histogram (`bucket lower bound:count`,
+/// power-of-two buckets) — the contention tail a mean restarts-per-op
+/// number hides.
+fn restart_buckets(h: &lr_common::Histogram) -> String {
+    let parts: Vec<String> =
+        h.nonzero_buckets().iter().map(|(lo, c)| format!("{lo}:{c}")).collect();
+    if parts.is_empty() {
+        "(empty)".to_string()
+    } else {
+        parts.join(" ")
+    }
 }
 
 /// One measured run: `threads` sessions over the read-mostly mix, timing
@@ -136,6 +150,7 @@ fn run_mode(optimistic: bool, threads: usize, reads_target: u64, key_space: u64)
         optimistic_point_reads: stats.optimistic_point_reads,
         read_fallbacks: stats.read_fallbacks,
         validation_failures: stats.optimistic_validation_failures,
+        restart_hist: stats.read_restart_hist,
     }
 }
 
@@ -159,6 +174,14 @@ fn emit(mode: &str, threads: usize, r: &ModeReport) {
         r.optimistic_point_reads,
         r.read_fallbacks,
         r.validation_failures,
+    );
+    eprintln!(
+        "  {mode} read-restart distribution: {} descents, mean {:.4} restarts, \
+         max {}, buckets [{}]",
+        r.restart_hist.count(),
+        r.restart_hist.mean(),
+        r.restart_hist.max(),
+        restart_buckets(&r.restart_hist),
     );
 }
 

@@ -21,6 +21,34 @@ fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
+fn env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
+/// `--help`: the knobs, plus every registered DC backend straight from the
+/// registry — a newly registered backend shows up here without touching
+/// this file.
+fn print_help() {
+    println!("throughput — committed txn/s vs session count (§5.2 update workload)\n");
+    println!("env knobs:");
+    println!("  LR_THREADS=1,2,4       thread counts to sweep");
+    println!("  LR_TXNS=4000           transactions per point");
+    println!("  LR_KEYS=50000          key space");
+    println!("  LR_FORCE_US=50         modelled commit-force latency (µs)");
+    println!("  LR_POOL_PAGES=...      pool frames (default keys/8, min 1024)");
+    println!("  LR_MAINT=0|1           background maintenance service");
+    println!("  LR_READ_OPTIMISTIC=0|1 latch-free OLC read path");
+    println!("  LR_WRITE_OPTIMISTIC=0|1 OLC write-prepare path");
+    println!("  LR_RECOVERY_WORKERS=N  post-run parallel-recovery smoke");
+    println!("  LR_REMOTE_MARGIN=F     rerun the last point behind the message");
+    println!("                         boundary (remote:<backend>) and require");
+    println!("                         remote txn/s >= F * in-process txn/s");
+    println!("  LR_BACKEND=<name>      data-component backend; registered:");
+    for b in lr_core::backends() {
+        println!("                           {}", b.name);
+    }
+}
+
 fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
     match std::env::var(name) {
         Ok(v) => {
@@ -38,6 +66,10 @@ fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
     let thread_counts = env_list("LR_THREADS", &[1, 2, 4]);
     let txns_total = env_u64("LR_TXNS", 4_000);
     let key_space = env_u64("LR_KEYS", 50_000);
@@ -67,9 +99,10 @@ fn main() {
     // the last throughput point (serial vs partitioned redo on the same
     // crash image).
     let recovery_workers = RecoveryOptions::from_env().workers;
-    // LR_BACKEND selects the data component (`btree` | `hash`); the same
-    // DcApi-shaped txn path runs either way, and every JSON line below is
-    // tagged with the name so harvested results stay attributable.
+    // LR_BACKEND selects the data component (any registry name — see
+    // `--help`); the same DcApi-shaped txn path runs either way, and every
+    // JSON line below is tagged with the name so harvested results stay
+    // attributable.
     let backend = std::env::var("LR_BACKEND").unwrap_or_else(|_| "btree".to_string());
 
     println!("Concurrent throughput: §5.2 update workload, {key_space} keys,");
@@ -99,10 +132,12 @@ fn main() {
     let mut baseline: Option<f64> = None;
     let mut at_four: Option<f64> = None;
     let mut last_engine = None;
+    let mut last_point: Option<(usize, f64)> = None;
 
-    for &threads in &thread_counts {
-        // Fresh engine per point: identical starting state for every
-        // thread count.
+    // One measurement point: a fresh engine (identical starting state for
+    // every thread count) on the named backend, the §5.2 scenario, a lock
+    // leak check. Shared with the LR_REMOTE_MARGIN rerun below.
+    let run_point = |threads: usize, backend: &str| {
         let engine = Engine::build(EngineConfig {
             initial_rows: key_space,
             pool_pages,
@@ -111,7 +146,7 @@ fn main() {
             background_maintenance: maintenance,
             optimistic_reads,
             optimistic_writes,
-            backend: backend.clone(),
+            backend: backend.to_string(),
             ..EngineConfig::default()
         })
         .expect("engine build")
@@ -121,6 +156,11 @@ fn main() {
             ConcurrentScenario::paper_default(threads, txns_total / threads as u64, key_space);
         let report = run_concurrent(&engine, &scenario).expect("concurrent run");
         engine.tc().locks().assert_no_leaks();
+        (report, engine)
+    };
+
+    for &threads in &thread_counts {
+        let (report, engine) = run_point(threads, &backend);
         if maintenance {
             let s = engine.stats();
             eprintln!(
@@ -157,9 +197,45 @@ fn main() {
             report.log_forces,
         );
         last_engine = Some(engine);
+        last_point = Some((threads, tps));
     }
 
     println!("{}", table.render());
+
+    // LR_REMOTE_MARGIN=F: pair the swept backend with its cross-boundary
+    // twin (add or strip the `remote:` prefix), rerun the last point on
+    // the twin, and require proxied txn/s >= F * in-process txn/s — the
+    // wire codec + dispatch tax on a loopback transport, measured on the
+    // same workload. Works from either side: sweep `btree` and the gate
+    // measures `remote:btree`, or sweep `remote:btree` and it measures
+    // the in-process baseline.
+    if let (Some(margin), Some((threads, main_tps))) = (env_f64("LR_REMOTE_MARGIN"), last_point) {
+        let (twin, main_is_remote) = match backend.strip_prefix("remote:") {
+            Some(inner) => (inner.to_string(), true),
+            None => (format!("remote:{backend}"), false),
+        };
+        let (report, _engine) = run_point(threads, &twin);
+        let twin_tps = report.committed_per_sec();
+        let (inproc_tps, remote_tps) =
+            if main_is_remote { (twin_tps, main_tps) } else { (main_tps, twin_tps) };
+        let ratio = remote_tps / inproc_tps.max(1e-9);
+        println!(
+            "{{\"bench\":\"throughput\",\"backend\":\"{twin}\",\
+             \"threads\":{threads},\"committed\":{},\"txn_per_sec\":{twin_tps:.0},\
+             \"remote_ratio\":{ratio:.3}}}",
+            report.committed,
+        );
+        println!(
+            "message-boundary tax at {threads} thread(s): {inproc_tps:.0} txn/s in-process \
+             vs {remote_tps:.0} txn/s proxied ({ratio:.2}x, margin {margin:.2})"
+        );
+        if ratio >= margin {
+            println!("PASS: remote backend within margin");
+        } else {
+            println!("FAIL: remote throughput below {margin:.2}x of in-process");
+            std::process::exit(1);
+        }
+    }
 
     if recovery_workers > 1 {
         if let Some(engine) = last_engine {

@@ -49,6 +49,20 @@ struct ModeReport {
     write_fallbacks: u64,
     write_restarts: u64,
     leaf_upgrades_failed: u64,
+    restart_hist: lr_common::Histogram,
+}
+
+/// Render a per-attempt restart histogram (`bucket lower bound:count`,
+/// power-of-two buckets) — the contention tail a mean restarts-per-op
+/// number hides.
+fn restart_buckets(h: &lr_common::Histogram) -> String {
+    let parts: Vec<String> =
+        h.nonzero_buckets().iter().map(|(lo, c)| format!("{lo}:{c}")).collect();
+    if parts.is_empty() {
+        "(empty)".to_string()
+    } else {
+        parts.join(" ")
+    }
 }
 
 /// One measured run: `threads` sessions over the update-heavy mix, timing
@@ -144,6 +158,7 @@ fn run_mode(optimistic: bool, threads: usize, writes_target: u64, key_space: u64
         write_fallbacks: stats.write_fallbacks,
         write_restarts: stats.write_restarts,
         leaf_upgrades_failed: stats.leaf_upgrades_failed,
+        restart_hist: stats.write_restart_hist,
     }
 }
 
@@ -168,6 +183,14 @@ fn emit(mode: &str, threads: usize, r: &ModeReport) {
         r.write_fallbacks,
         r.write_restarts,
         r.leaf_upgrades_failed,
+    );
+    eprintln!(
+        "  {mode} write-restart distribution: {} prepares, mean {:.4} restarts, \
+         max {}, buckets [{}]",
+        r.restart_hist.count(),
+        r.restart_hist.mean(),
+        r.restart_hist.max(),
+        restart_buckets(&r.restart_hist),
     );
 }
 

@@ -174,6 +174,11 @@ pub struct PoolStats {
     /// Leaf write-latch upgrades that failed validation (frame latched,
     /// evicted, or its version moved since the optimistic descent).
     pub leaf_upgrades_failed: u64,
+    /// Epoch advances forced by the limbo high-water mark: the retired
+    /// backlog crossed 3/4 of pool capacity, so the retirer pushed the
+    /// horizon and pruned eagerly instead of waiting for the hard cap to
+    /// drop reusable allocations on the floor.
+    pub forced_epoch_advances: u64,
 }
 
 #[derive(Default)]
@@ -199,6 +204,7 @@ struct PoolCounters {
     frames_recycled: AtomicU64,
     write_restarts: AtomicU64,
     leaf_upgrades_failed: AtomicU64,
+    forced_epoch_advances: AtomicU64,
 }
 
 /// Frame state guarded by the per-frame latch.
@@ -555,6 +561,7 @@ impl BufferPool {
             frames_recycled: s.frames_recycled.load(Ordering::Relaxed),
             write_restarts: s.write_restarts.load(Ordering::Relaxed),
             leaf_upgrades_failed: s.leaf_upgrades_failed.load(Ordering::Relaxed),
+            forced_epoch_advances: s.forced_epoch_advances.load(Ordering::Relaxed),
         }
     }
 
@@ -582,6 +589,7 @@ impl BufferPool {
             &s.frames_recycled,
             &s.write_restarts,
             &s.leaf_upgrades_failed,
+            &s.forced_epoch_advances,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -637,8 +645,17 @@ impl BufferPool {
     /// overflow drops the oldest entries outright — dropping an `Arc` is
     /// always safe (the allocation is freed when the last stale reference
     /// goes away); only *reuse* needs the epoch/ownership gates.
+    ///
+    /// Before the hard cap bites, a high-water mark at 3/4 capacity makes
+    /// reclamation adaptive: crossing it *forces* an epoch-advance attempt
+    /// and an eager prune of entries behind the horizon, so a retire-heavy
+    /// burst (mass eviction, crash teardown) converts its backlog into
+    /// reusable allocations instead of eventually dropping them on the
+    /// floor at the cap.
     fn retire_cell(&self, cell: Arc<FrameCell>) {
         let epoch = self.epochs.global.load(Ordering::Acquire);
+        let high_water = self.capacity - self.capacity / 4;
+        let over_high_water;
         {
             let mut limbo = self.epochs.limbo.lock();
             if limbo.len() >= self.capacity {
@@ -646,9 +663,27 @@ impl BufferPool {
                 limbo.drain(..excess);
             }
             limbo.push((epoch, cell));
+            over_high_water = limbo.len() >= high_water;
         }
         self.stats.frames_retired.fetch_add(1, Ordering::Relaxed);
         self.try_advance_epoch();
+        if over_high_water {
+            self.stats.forced_epoch_advances.fetch_add(1, Ordering::Relaxed);
+            // A second advance attempt: the first one may itself have been
+            // the quiescent point the prune's horizon needs to move past.
+            self.try_advance_epoch();
+            self.prune_limbo();
+        }
+    }
+
+    /// Drop every limbo entry strictly behind the reclamation horizon.
+    /// Unlike [`Self::try_recycle_page`] this does not salvage the page
+    /// allocation — it exists to shed backlog under pressure, and dropping
+    /// the `Arc` is always safe.
+    fn prune_limbo(&self) {
+        let global = self.epochs.global.load(Ordering::Acquire);
+        let horizon = self.epochs.min_pinned().min(global);
+        self.epochs.limbo.lock().retain(|(epoch, _)| *epoch >= horizon);
     }
 
     /// Reclaim the page allocation of one retired cell, if any has passed
@@ -1960,6 +1995,34 @@ mod tests {
         assert!(p.stats().frames_recycled > 0);
         assert_eq!(held.version.load(Ordering::Acquire) & 1, 1, "held cell stays invalidated");
         drop(held);
+    }
+
+    /// Satellite: the limbo high-water mark (3/4 capacity) forces epoch
+    /// advances and an eager prune *before* the hard cap starts dropping
+    /// entries. A pinned epoch inflates the backlog past the mark —
+    /// forcing attempts that cannot yet move the horizon — and the first
+    /// retire after the pin drops sheds the whole backlog at once.
+    #[test]
+    fn limbo_high_water_forces_advance_and_prune() {
+        let p = pool(8, 4096);
+        let high_water = p.capacity - p.capacity / 4;
+        let pin = p.pin_epoch();
+        for i in 0..40u64 {
+            p.fetch(PageId(i)).unwrap();
+        }
+        let s = p.stats();
+        assert!(s.forced_epoch_advances > 0, "backlog past high water must force advances");
+        assert_eq!(s.frames_recycled, 0, "the pin still holds the horizon");
+        assert!(
+            p.epochs.limbo.lock().len() >= high_water,
+            "pinned backlog must sit at/above the high-water mark"
+        );
+        drop(pin);
+        p.fetch(PageId(100)).unwrap();
+        assert!(
+            p.epochs.limbo.lock().len() < high_water,
+            "post-pin retire must prune the backlog below the mark"
+        );
     }
 
     #[test]

@@ -16,6 +16,8 @@ pub enum CodecError {
     Truncated { wanted: usize, remaining: usize },
     /// A tag byte had no corresponding variant.
     BadTag { context: &'static str, tag: u8 },
+    /// A framed message's CRC did not match its body (see [`frame`]).
+    Checksum { expected: u32, actual: u32 },
 }
 
 impl fmt::Display for CodecError {
@@ -25,11 +27,54 @@ impl fmt::Display for CodecError {
                 write!(f, "truncated: wanted {wanted} bytes, {remaining} remain")
             }
             CodecError::BadTag { context, tag } => write!(f, "bad tag {tag} for {context}"),
+            CodecError::Checksum { expected, actual } => {
+                write!(f, "frame checksum mismatch: header says {expected:#010x}, body hashes to {actual:#010x}")
+            }
         }
     }
 }
 
 impl std::error::Error for CodecError {}
+
+// ----------------------------------------------------------------------
+// message framing (the TC↔DC wire format)
+// ----------------------------------------------------------------------
+
+/// Bytes a [`frame`] prepends to its body: `[len: u32 LE][crc32: u32 LE]`.
+pub const FRAME_HEADER: usize = 8;
+
+/// Wrap `body` in a length-prefixed, CRC-checked frame:
+/// `[body-len u32][crc32(body) u32][body]`, little-endian. This is the
+/// unit a message transport moves — the length makes the frame
+/// self-delimiting on a byte stream, the CRC catches corruption in
+/// transit (same polynomial as the WAL's torn-tail detection).
+pub fn frame(body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + body.len());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crate::crc::crc32(body).to_le_bytes());
+    out.extend_from_slice(body);
+    out
+}
+
+/// Validate and strip one frame, returning its body. Rejects short
+/// buffers, length mismatches (trailing garbage counts — a frame is
+/// exactly one message) and checksum failures.
+pub fn unframe(buf: &[u8]) -> Result<&[u8], CodecError> {
+    if buf.len() < FRAME_HEADER {
+        return Err(CodecError::Truncated { wanted: FRAME_HEADER, remaining: buf.len() });
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    let expected = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let body = &buf[FRAME_HEADER..];
+    if body.len() != len {
+        return Err(CodecError::Truncated { wanted: len, remaining: body.len() });
+    }
+    let actual = crate::crc::crc32(body);
+    if actual != expected {
+        return Err(CodecError::Checksum { expected, actual });
+    }
+    Ok(body)
+}
 
 /// Growable little-endian encoder.
 #[derive(Default)]
@@ -282,6 +327,32 @@ mod tests {
         let bytes = e.finish();
         let mut d = Decoder::new(&bytes);
         assert!(matches!(d.get_pid_vec(), Err(CodecError::Truncated { .. })));
+    }
+
+    #[test]
+    fn frame_roundtrip_and_corruption_detection() {
+        let body = b"prepare_op table=3 key=42";
+        let f = frame(body);
+        assert_eq!(unframe(&f).unwrap(), body);
+        assert_eq!(unframe(&frame(b"")).unwrap(), b"");
+
+        // Truncated mid-body.
+        assert!(matches!(unframe(&f[..f.len() - 1]), Err(CodecError::Truncated { .. })));
+        // Truncated inside the header.
+        assert!(matches!(unframe(&f[..5]), Err(CodecError::Truncated { .. })));
+        // Trailing garbage is not silently ignored.
+        let mut long = f.clone();
+        long.push(0xAA);
+        assert!(matches!(unframe(&long), Err(CodecError::Truncated { .. })));
+        // Any body bit flip trips the CRC.
+        for byte in FRAME_HEADER..f.len() {
+            let mut corrupt = f.clone();
+            corrupt[byte] ^= 0x10;
+            assert!(
+                matches!(unframe(&corrupt), Err(CodecError::Checksum { .. })),
+                "flip at {byte} undetected"
+            );
+        }
     }
 
     #[test]

@@ -29,10 +29,20 @@ impl Histogram {
 
     /// Record one sample.
     pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record `n` occurrences of `value` at once — the snapshot path for
+    /// atomic per-bucket counters (e.g. the DC's OLC restart tallies),
+    /// which would otherwise loop `record` per count.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let idx = (64 - value.max(1).leading_zeros() as usize).saturating_sub(1);
-        self.buckets[idx] += 1;
-        self.count += 1;
-        self.sum += value;
+        self.buckets[idx] += n;
+        self.count += n;
+        self.sum += value.saturating_mul(n);
         self.max = self.max.max(value);
     }
 
@@ -92,6 +102,50 @@ impl Histogram {
             .map(|(i, c)| (if i == 0 { 0 } else { 1u64 << i }, *c))
             .collect()
     }
+
+    /// Wire encoding: sparse `(bucket-index, count)` pairs plus the exact
+    /// `count`/`sum`/`max` moments, so decode reproduces a histogram that
+    /// compares `Eq` to the original (stats snapshots cross the TC↔DC
+    /// message boundary).
+    pub fn encode_into(&self, e: &mut crate::codec::Encoder) {
+        let nonzero: Vec<(u8, u64)> = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| **c > 0)
+            .map(|(i, c)| (i as u8, *c))
+            .collect();
+        e.put_u8(nonzero.len() as u8);
+        for (i, c) in nonzero {
+            e.put_u8(i);
+            e.put_u64(c);
+        }
+        e.put_u64(self.count);
+        e.put_u64(self.sum);
+        e.put_u64(self.max);
+    }
+
+    /// Inverse of [`Histogram::encode_into`].
+    pub fn decode_from(
+        d: &mut crate::codec::Decoder<'_>,
+    ) -> Result<Histogram, crate::codec::CodecError> {
+        let mut h = Histogram::new();
+        let n = d.get_u8()?;
+        for _ in 0..n {
+            let idx = d.get_u8()?;
+            if idx >= 64 {
+                return Err(crate::codec::CodecError::BadTag {
+                    context: "histogram bucket index",
+                    tag: idx,
+                });
+            }
+            h.buckets[idx as usize] = d.get_u64()?;
+        }
+        h.count = d.get_u64()?;
+        h.sum = d.get_u64()?;
+        h.max = d.get_u64()?;
+        Ok(h)
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +186,42 @@ mod tests {
         assert!(h.quantile(0.5) < 100);
         assert_eq!(h.quantile(1.0), 100_000);
         assert_eq!(Histogram::new().quantile(0.5), 0);
+    }
+
+    #[test]
+    fn record_n_matches_looped_record() {
+        let mut looped = Histogram::new();
+        for _ in 0..37 {
+            looped.record(12);
+        }
+        looped.record(0);
+        let mut batched = Histogram::new();
+        batched.record_n(12, 37);
+        batched.record_n(0, 1);
+        batched.record_n(999, 0); // no-op
+        assert_eq!(looped, batched);
+    }
+
+    #[test]
+    fn wire_roundtrip_is_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 3, 3, 900, 1 << 40] {
+            h.record(v);
+        }
+        let mut e = crate::codec::Encoder::new();
+        h.encode_into(&mut e);
+        let bytes = e.finish();
+        let mut d = crate::codec::Decoder::new(&bytes);
+        let back = Histogram::decode_from(&mut d).unwrap();
+        d.expect_done().unwrap();
+        assert_eq!(h, back);
+
+        // Empty histogram too.
+        let mut e = crate::codec::Encoder::new();
+        Histogram::new().encode_into(&mut e);
+        let bytes = e.finish();
+        let back = Histogram::decode_from(&mut crate::codec::Decoder::new(&bytes)).unwrap();
+        assert_eq!(back, Histogram::new());
     }
 
     #[test]

@@ -1,0 +1,209 @@
+//! A small reader-writer spinlatch whose guards are `Send`.
+//!
+//! The DC's table and page-op latches ride inside [`PreparedOp`]-style
+//! guard boxes that a `DcServer` must be able to park in a shared map
+//! keyed by op token (the message-passing TC↔DC boundary): the latch a
+//! prepare acquires on one request is released by a *later* request,
+//! possibly dispatched on a different thread. `std::sync` (and the
+//! parking-lot shim over it) guards are `!Send`, so the data components
+//! use this latch instead: plain atomic state, no thread affinity, and
+//! guards that are ordinary `Send` values.
+//!
+//! Fairness: writers set a pending bit that stalls new readers, so a
+//! drain (`write()` on a read-heavy latch) cannot starve. Waiting spins
+//! with `spin_loop` and yields to the scheduler on longer waits — these
+//! latches protect short critical sections (a page edit, a tree descent),
+//! never device I/O.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Writer-held bit (high bit of the state word).
+const WRITER: usize = usize::MAX ^ (usize::MAX >> 1);
+/// Writer-waiting bit: blocks new readers so the writer gets in.
+const PENDING: usize = WRITER >> 1;
+/// Mask of the reader count.
+const READERS: usize = PENDING - 1;
+
+/// Spins a bounded number of times, then yields. `attempt` grows per loop.
+#[inline]
+fn backoff(attempt: &mut u32) {
+    *attempt += 1;
+    if *attempt < 64 {
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Reader-writer spinlatch with `Send` guards. Not reentrant; latch-level
+/// discipline (ordering, no recursive acquisition) is the caller's job,
+/// exactly as with the lock types it replaces.
+#[derive(Default)]
+pub struct Latch {
+    state: AtomicUsize,
+}
+
+impl Latch {
+    pub const fn new() -> Latch {
+        Latch { state: AtomicUsize::new(0) }
+    }
+
+    /// Shared acquisition. Blocks while a writer holds or waits.
+    pub fn read(&self) -> LatchReadGuard<'_> {
+        let mut attempt = 0;
+        loop {
+            let s = self.state.load(Ordering::Relaxed);
+            if s & (WRITER | PENDING) == 0 {
+                assert!(s & READERS != READERS, "latch reader count overflow");
+                if self
+                    .state
+                    .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return LatchReadGuard { latch: self };
+                }
+            }
+            backoff(&mut attempt);
+        }
+    }
+
+    /// Exclusive acquisition. Raises the pending bit first so in-flight
+    /// readers drain instead of starving the writer.
+    pub fn write(&self) -> LatchWriteGuard<'_> {
+        let mut attempt = 0;
+        loop {
+            let s = self.state.load(Ordering::Relaxed);
+            if s == 0 || s == PENDING {
+                if self
+                    .state
+                    .compare_exchange_weak(s, WRITER, Ordering::Acquire, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    return LatchWriteGuard { latch: self };
+                }
+            } else if s & (WRITER | PENDING) == 0 {
+                // Readers active and no writer queued yet: queue up.
+                let _ = self.state.compare_exchange_weak(
+                    s,
+                    s | PENDING,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                );
+            }
+            backoff(&mut attempt);
+        }
+    }
+
+    /// One-shot exclusive attempt (no spinning, never raises pending).
+    pub fn try_write(&self) -> Option<LatchWriteGuard<'_>> {
+        self.state
+            .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
+            .ok()
+            .map(|_| LatchWriteGuard { latch: self })
+    }
+}
+
+impl std::fmt::Debug for Latch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.state.load(Ordering::Relaxed);
+        f.debug_struct("Latch")
+            .field("writer", &(s & WRITER != 0))
+            .field("pending", &(s & PENDING != 0))
+            .field("readers", &(s & READERS))
+            .finish()
+    }
+}
+
+/// Shared guard; releases on drop. A plain value: `Send`, storable in
+/// collections, droppable on any thread.
+pub struct LatchReadGuard<'a> {
+    latch: &'a Latch,
+}
+
+impl Drop for LatchReadGuard<'_> {
+    fn drop(&mut self) {
+        self.latch.state.fetch_sub(1, Ordering::Release);
+    }
+}
+
+/// Exclusive guard; releases on drop (preserving a queued writer's
+/// pending bit is unnecessary — it re-raises it itself).
+pub struct LatchWriteGuard<'a> {
+    latch: &'a Latch,
+}
+
+impl Drop for LatchWriteGuard<'_> {
+    fn drop(&mut self) {
+        self.latch.state.store(0, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn guards_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<LatchReadGuard<'static>>();
+        assert_send::<LatchWriteGuard<'static>>();
+    }
+
+    #[test]
+    fn exclusive_excludes() {
+        let l = Latch::new();
+        let w = l.write();
+        assert!(l.try_write().is_none());
+        drop(w);
+        assert!(l.try_write().is_some());
+    }
+
+    #[test]
+    fn readers_share_and_block_writers() {
+        let l = Latch::new();
+        let r1 = l.read();
+        let r2 = l.read();
+        assert!(l.try_write().is_none());
+        drop(r1);
+        assert!(l.try_write().is_none());
+        drop(r2);
+        assert!(l.try_write().is_some());
+    }
+
+    #[test]
+    fn guard_released_on_another_thread() {
+        // The property the DcServer depends on: acquire here, release
+        // from a different thread.
+        let l = Arc::new(Latch::new());
+        let guard = unsafe {
+            std::mem::transmute::<LatchWriteGuard<'_>, LatchWriteGuard<'static>>(l.write())
+        };
+        let l2 = Arc::clone(&l);
+        std::thread::spawn(move || drop(guard)).join().unwrap();
+        assert!(l2.try_write().is_some());
+    }
+
+    #[test]
+    fn concurrent_counter_stays_exact() {
+        let l = Arc::new(Latch::new());
+        let counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let l = Arc::clone(&l);
+            let c = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    let _g = l.write();
+                    // Non-atomic read-modify-write under the latch.
+                    let v = c.load(Ordering::Relaxed);
+                    c.store(v + 1, Ordering::Relaxed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 2000);
+    }
+}

@@ -18,6 +18,7 @@ pub mod crc;
 pub mod error;
 pub mod histogram;
 pub mod iomodel;
+pub mod latch;
 pub mod stats;
 pub mod types;
 
@@ -26,5 +27,6 @@ pub use crc::crc32;
 pub use error::{Error, Result};
 pub use histogram::Histogram;
 pub use iomodel::{IoModel, IoScheduler};
+pub use latch::{Latch, LatchReadGuard, LatchWriteGuard};
 pub use stats::{IoStats, RecoveryBreakdown};
 pub use types::{shard_index, Key, Lsn, PageId, TableId, TxnId, Value};

@@ -67,10 +67,14 @@ pub struct EngineConfig {
     pub optimistic_writes: bool,
     /// Which registered data-component backend serves this engine
     /// (`lr_dc::backend_names()`): `"btree"` — the default clustered
-    /// B-tree DC — or `"hash"`, the in-memory hash-index DC with
-    /// page-logical redo. The TC↔DC contract (`lr_dc::DcApi`) is the
-    /// same either way; recovery equivalence across backends is asserted
-    /// by `tests/backend_equivalence.rs`.
+    /// B-tree DC — `"hash"`, the in-memory hash-index DC with
+    /// page-logical redo, or a `"remote:<inner>"` variant
+    /// (`"remote:btree"`, `"remote:hash"`) that puts the inner backend
+    /// behind the message boundary — every `DcApi` call travels the wire
+    /// codec through a `lr_dc::DcServer` over a loopback transport. The
+    /// TC↔DC contract (`lr_dc::DcApi`) is the same either way; recovery
+    /// equivalence across backends is asserted by
+    /// `tests/backend_equivalence.rs`.
     pub backend: String,
     /// Device latency model.
     pub io_model: IoModel,

@@ -15,7 +15,7 @@
 
 use crate::config::{default_table_op, EngineConfig, DEFAULT_TABLE};
 use crate::maintenance::{MaintCounters, MaintenanceHandle};
-use lr_common::{Error, Key, Lsn, PageId, Result, SimClock, TableId, TxnId, Value};
+use lr_common::{Error, Histogram, Key, Lsn, PageId, Result, SimClock, TableId, TxnId, Value};
 use lr_dc::{DcApi, DcConfig, TableSummary, WriteIntent};
 use lr_storage::SimDisk;
 use lr_tc::{undo::rollback_txn, TransactionComponent, UndoStats};
@@ -140,10 +140,19 @@ pub struct EngineStats {
     pub leaf_upgrades_failed: u64,
     /// Reclamation epochs advanced (all pins idle or current).
     pub epochs_advanced: u64,
+    /// Epoch advances forced by the limbo high-water mark (the retired
+    /// backlog crossed 3/4 of pool capacity before the cap bit).
+    pub forced_epoch_advances: u64,
     /// Evicted frame cells parked on the reclamation limbo list.
     pub frames_retired: u64,
     /// Limbo cells whose page buffer was recycled into a new frame.
     pub frames_recycled: u64,
+    /// Per-operation OLC read-descent restart distribution: bucket *n*
+    /// counts point reads / range scans that needed *n* restarts before
+    /// validating (the tail is the contention story a mean hides).
+    pub read_restart_hist: Histogram,
+    /// Per-operation OLC write-prepare restart distribution, same shape.
+    pub write_restart_hist: Histogram,
 }
 
 impl EngineStats {
@@ -515,8 +524,11 @@ impl Engine {
             write_restarts: pool_stats.write_restarts,
             leaf_upgrades_failed: pool_stats.leaf_upgrades_failed,
             epochs_advanced: pool_stats.epochs_advanced,
+            forced_epoch_advances: pool_stats.forced_epoch_advances,
             frames_retired: pool_stats.frames_retired,
             frames_recycled: pool_stats.frames_recycled,
+            read_restart_hist: dc_stats.read_restart_hist,
+            write_restart_hist: dc_stats.write_restart_hist,
         }
     }
 

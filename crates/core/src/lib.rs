@@ -86,7 +86,7 @@ pub mod verify;
 pub use config::{EngineConfig, DEFAULT_TABLE};
 pub use costmodel::{predicted_page_fetches, CostInputs};
 pub use engine::{CrashSnapshot, Engine, EngineStats};
-pub use lr_dc::{DcApi, DcIntrospect, TableSummary};
+pub use lr_dc::{backend_names, backends, Backend, DcApi, DcIntrospect, TableSummary};
 pub use precovery::RecoveryOptions;
 pub use recovery::{RecoveryMethod, RecoveryReport};
 pub use session::Session;

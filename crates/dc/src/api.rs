@@ -65,18 +65,27 @@ impl<T: ?Sized> OpGuard for T {}
 /// for undo, and an opaque guard that keeps the placement valid until the
 /// caller has logged and applied the operation (drop after
 /// [`DcApi::apply`]).
+///
+/// The guard box is `Send`: a message-passing deployment parks prepared
+/// ops server-side in a token map and releases them from whichever thread
+/// serves the release request, so guards cannot be thread-affine (the
+/// backends use [`lr_common::latch::Latch`] for exactly this reason).
 pub struct PreparedOp<'a> {
     /// Page the operation will land on (piggybacked onto the TC's log
     /// record for the physiological baselines).
     pub pid: PageId,
     /// Before-image for undo (`None` for inserts).
     pub before: Option<Value>,
-    _guard: Box<dyn OpGuard + 'a>,
+    _guard: Box<dyn OpGuard + Send + 'a>,
 }
 
 impl<'a> PreparedOp<'a> {
     /// Package a staged write with the guard that pins its placement.
-    pub fn new(pid: PageId, before: Option<Value>, guard: impl OpGuard + 'a) -> PreparedOp<'a> {
+    pub fn new(
+        pid: PageId,
+        before: Option<Value>,
+        guard: impl OpGuard + Send + 'a,
+    ) -> PreparedOp<'a> {
         PreparedOp { pid, before, _guard: Box::new(guard) }
     }
 
@@ -88,11 +97,12 @@ impl<'a> PreparedOp<'a> {
 }
 
 /// An exclusive (or shared) table latch held through the trait — opaque so
-/// each backend keeps its own latch type.
-pub struct TableGuard<'a>(#[allow(dead_code)] Box<dyn OpGuard + 'a>);
+/// each backend keeps its own latch type. `Send` for the same reason as
+/// [`PreparedOp`]'s guard.
+pub struct TableGuard<'a>(#[allow(dead_code)] Box<dyn OpGuard + Send + 'a>);
 
 impl<'a> TableGuard<'a> {
-    pub fn new(guard: impl OpGuard + 'a) -> TableGuard<'a> {
+    pub fn new(guard: impl OpGuard + Send + 'a) -> TableGuard<'a> {
         TableGuard(Box::new(guard))
     }
 }
@@ -376,12 +386,21 @@ mod tests {
 
     #[test]
     fn prepared_op_carries_arbitrary_guards() {
-        let lock = parking_lot::RwLock::new(());
+        let lock = lr_common::Latch::new();
         let guard = lock.read();
         let op = PreparedOp::new(PageId(7), Some(vec![1, 2]), guard);
         assert_eq!(op.pid, PageId(7));
         assert_eq!(op.info().before.unwrap(), vec![1, 2]);
         drop(op); // releases the latch
         assert!(lock.try_write().is_some());
+    }
+
+    /// The server-held-token deployment depends on prepared ops being
+    /// movable across threads.
+    #[test]
+    fn prepared_op_and_table_guard_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<PreparedOp<'static>>();
+        assert_send::<TableGuard<'static>>();
     }
 }

@@ -18,6 +18,12 @@ use std::sync::Arc;
 pub const BTREE_BACKEND: &str = "btree";
 /// Name of the in-memory hash-index backend ([`HashDc`]).
 pub const HASH_BACKEND: &str = "hash";
+/// The B-tree backend behind the message boundary: a
+/// [`crate::remote::RemoteDc`] proxy speaking the wire protocol to a
+/// [`crate::server::DcServer`] over the loopback transport.
+pub const REMOTE_BTREE_BACKEND: &str = "remote:btree";
+/// The hash backend behind the message boundary.
+pub const REMOTE_HASH_BACKEND: &str = "remote:hash";
 
 /// Offline initial-table loader: `(disk, table, rows, fill) → anchor`.
 pub type BulkLoadFn =
@@ -57,6 +63,16 @@ fn open_hash(disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<Arc<d
     Ok(Arc::new(HashDc::open(disk, wal, cfg)?))
 }
 
+fn open_remote_btree(disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<Arc<dyn DcApi>> {
+    let inner = open_btree(disk, wal, cfg)?;
+    Ok(crate::remote::remote_loopback(inner, REMOTE_BTREE_BACKEND).0)
+}
+
+fn open_remote_hash(disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<Arc<dyn DcApi>> {
+    let inner = open_hash(disk, wal, cfg)?;
+    Ok(crate::remote::remote_loopback(inner, REMOTE_HASH_BACKEND).0)
+}
+
 /// The registry. Both backends share the disk format (`format_disk`
 /// installs the same empty catalog), so a formatted disk is
 /// backend-portable until the first bulk load.
@@ -73,6 +89,21 @@ static BACKENDS: &[Backend] = &[
         bulk_load: hash_bulk_load,
         open: open_hash,
     },
+    // The remote backends share their inner backend's disk format and
+    // bulk loader — only `open` differs, wrapping the component in a
+    // DcServer + loopback connection.
+    Backend {
+        name: REMOTE_BTREE_BACKEND,
+        format: DataComponent::format_disk,
+        bulk_load: bulk_load_btree,
+        open: open_remote_btree,
+    },
+    Backend {
+        name: REMOTE_HASH_BACKEND,
+        format: DataComponent::format_disk,
+        bulk_load: hash_bulk_load,
+        open: open_remote_hash,
+    },
 ];
 
 /// Look a backend up by name. Unknown names list the valid ones.
@@ -87,7 +118,14 @@ pub fn backend(name: &str) -> Result<&'static Backend> {
 
 /// Every registered backend name, registry order.
 pub fn backend_names() -> Vec<&'static str> {
-    BACKENDS.iter().map(|b| b.name).collect()
+    backends().map(|b| b.name).collect()
+}
+
+/// Iterate the registry itself — what the unknown-backend error and the
+/// bench harnesses' `--help` output enumerate, so a newly registered
+/// backend shows up everywhere without touching either.
+pub fn backends() -> impl Iterator<Item = &'static Backend> {
+    BACKENDS.iter()
 }
 
 #[cfg(test)]
@@ -95,14 +133,21 @@ mod tests {
     use super::*;
 
     #[test]
-    fn registry_knows_both_backends() {
-        assert_eq!(backend_names(), vec![BTREE_BACKEND, HASH_BACKEND]);
-        assert!(backend("btree").is_ok());
-        assert!(backend("hash").is_ok());
+    fn registry_knows_all_backends() {
+        assert_eq!(
+            backend_names(),
+            vec![BTREE_BACKEND, HASH_BACKEND, REMOTE_BTREE_BACKEND, REMOTE_HASH_BACKEND]
+        );
+        for name in backend_names() {
+            assert!(backend(name).is_ok(), "{name} must resolve");
+        }
         let err = match backend("lsm") {
             Err(e) => e.to_string(),
             Ok(b) => panic!("unexpectedly resolved '{}'", b.name),
         };
-        assert!(err.contains("btree") && err.contains("hash"), "{err}");
+        // The error enumerates the registry through `backends()`.
+        for name in backend_names() {
+            assert!(err.contains(name), "{err} lacks {name}");
+        }
     }
 }

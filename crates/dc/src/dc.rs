@@ -55,10 +55,11 @@ use crate::catalog::{Catalog, META_PAGE};
 use crate::trackers::TrackerPair;
 use lr_btree::BTree;
 use lr_buffer::BufferPool;
-use lr_common::{Error, Key, Lsn, PageId, Result, TableId, Value};
+use lr_common::latch::{Latch, LatchReadGuard, LatchWriteGuard};
+use lr_common::{Error, Histogram, Key, Lsn, PageId, Result, TableId, Value};
 use lr_storage::{Disk, SLOT_SIZE};
 use lr_wal::{ClrAction, LogPayload, LogRecord, SharedWal, SmoRecord};
-use parking_lot::{Mutex, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -180,6 +181,36 @@ pub struct DcStats {
     /// Writes that exhausted their OLC prepare attempts (or needed an SMO
     /// / a fetch) and fell back to the latched prepare path.
     pub write_fallbacks: u64,
+    /// Per-operation OLC **read** restart distribution: how many wasted
+    /// descents each optimistic read/scan performed before resolving
+    /// (0 = validated first try; operations that fell back record every
+    /// descent they burned). The data the `olc_backoff` constants and
+    /// `OPT_READ_ATTEMPTS` are tuned from.
+    pub read_restart_hist: Histogram,
+    /// Same distribution for OLC **write** prepares.
+    pub write_restart_hist: Histogram,
+}
+
+/// Lock-free per-restart-count tallies for one OLC path. Restart counts
+/// are tiny (bounded by the attempt budgets), so a fixed atomic array on
+/// the hot path beats a mutex-guarded histogram; [`AttemptCounters::
+/// histogram`] folds the tallies into a [`Histogram`] at snapshot time.
+#[derive(Default)]
+pub(crate) struct AttemptCounters([AtomicU64; 8]);
+
+impl AttemptCounters {
+    /// Count one operation that performed `restarts` wasted descents.
+    pub(crate) fn record(&self, restarts: usize) {
+        self.0[restarts.min(self.0.len() - 1)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (restarts, c) in self.0.iter().enumerate() {
+            h.record_n(restarts as u64, c.load(Ordering::Relaxed));
+        }
+        h
+    }
 }
 
 /// Shared overhead counters (one set per backend instance; all atomics).
@@ -196,6 +227,8 @@ pub(crate) struct DcCounters {
     pub(crate) scan_fallbacks: AtomicU64,
     pub(crate) optimistic_writes: AtomicU64,
     pub(crate) write_fallbacks: AtomicU64,
+    pub(crate) read_restarts: AttemptCounters,
+    pub(crate) write_restarts: AttemptCounters,
 }
 
 impl DcCounters {
@@ -222,6 +255,8 @@ impl DcCounters {
             scan_fallbacks: self.scan_fallbacks.load(Ordering::Relaxed),
             optimistic_writes: self.optimistic_writes.load(Ordering::Relaxed),
             write_fallbacks: self.write_fallbacks.load(Ordering::Relaxed),
+            read_restart_hist: self.read_restarts.histogram(),
+            write_restart_hist: self.write_restarts.histogram(),
         }
     }
 }
@@ -236,8 +271,12 @@ pub struct DataComponent {
     wal: SharedWal,
     cfg: DcConfig,
     stats: DcCounters,
-    table_latches: Box<[RwLock<()>]>,
-    page_latches: Box<[Mutex<()>]>,
+    // Latch tiers use `lr_common::latch::Latch` (not the lock-crate
+    // types): its guards are `Send`, which the message-passing boundary
+    // requires — a DcServer parks a prepare's guards in a token map and
+    // releases them from whatever thread serves the release request.
+    table_latches: Box<[Latch]>,
+    page_latches: Box<[Latch]>,
 }
 
 impl DataComponent {
@@ -273,23 +312,23 @@ impl DataComponent {
             wal,
             cfg,
             stats: DcCounters::default(),
-            table_latches: (0..TABLE_LATCHES).map(|_| RwLock::new(())).collect::<Vec<_>>().into(),
-            page_latches: (0..PAGE_LATCHES).map(|_| Mutex::new(())).collect::<Vec<_>>().into(),
+            table_latches: (0..TABLE_LATCHES).map(|_| Latch::new()).collect::<Vec<_>>().into(),
+            page_latches: (0..PAGE_LATCHES).map(|_| Latch::new()).collect::<Vec<_>>().into(),
         })
     }
 
     #[inline]
-    fn table_latch(&self, table: TableId) -> &RwLock<()> {
+    fn table_latch(&self, table: TableId) -> &Latch {
         &self.table_latches[table.0 as usize % TABLE_LATCHES]
     }
 
     #[inline]
-    fn page_latch(&self, pid: PageId) -> &Mutex<()> {
+    fn page_latch(&self, pid: PageId) -> &Latch {
         &self.page_latches[lr_common::shard_index(pid.0, PAGE_LATCHES)]
     }
 
     /// Shared table latch for callers composing their own read sequences.
-    pub fn lock_table_shared(&self, table: TableId) -> RwLockReadGuard<'_, ()> {
+    pub fn lock_table_shared(&self, table: TableId) -> LatchReadGuard<'_> {
         self.table_latch(table).read()
     }
 
@@ -308,7 +347,7 @@ impl DataComponent {
     }
 
     /// Exclusive table latch (undo relocation, external SMO-capable flows).
-    pub fn lock_table_exclusive(&self, table: TableId) -> RwLockWriteGuard<'_, ()> {
+    pub fn lock_table_exclusive(&self, table: TableId) -> LatchWriteGuard<'_> {
         self.table_latch(table).write()
     }
 
@@ -405,6 +444,7 @@ impl DataComponent {
             // frame cell this descent may still dereference after a racing
             // eviction sits on the limbo list until the pin drops.
             let _epoch = self.pool.pin_epoch();
+            let mut wasted = 0;
             for attempt in 1..=OPT_READ_ATTEMPTS {
                 // Fresh root snapshot per attempt: a failed attempt may
                 // mean the root moved, and the trees map has the new one.
@@ -412,6 +452,7 @@ impl DataComponent {
                 match tree.get_optimistic(&self.pool, key) {
                     Ok(v) => {
                         self.stats.optimistic_point_reads.fetch_add(1, Ordering::Relaxed);
+                        self.stats.read_restarts.record(attempt - 1);
                         return Ok(v);
                     }
                     // A non-resident page needs a fetch (only the latched
@@ -421,13 +462,20 @@ impl DataComponent {
                     Err(
                         lr_buffer::OptReadFail::NotResident
                         | lr_buffer::OptReadFail::BudgetExhausted,
-                    ) => break,
+                    ) => {
+                        wasted = attempt;
+                        break;
+                    }
                     // Give the conflicting writer a chance to finish before
                     // re-descending — immediate retries under sustained
                     // contention are doomed to revalidate the same race.
-                    Err(lr_buffer::OptReadFail::Contended) => lr_buffer::olc_backoff(attempt),
+                    Err(lr_buffer::OptReadFail::Contended) => {
+                        wasted = attempt;
+                        lr_buffer::olc_backoff(attempt)
+                    }
                 }
             }
+            self.stats.read_restarts.record(wasted);
             self.stats.read_fallbacks.fetch_add(1, Ordering::Relaxed);
         }
         let _t = self.lock_table_shared(table);
@@ -441,11 +489,13 @@ impl DataComponent {
     pub fn read_range(&self, table: TableId, from: Key, to: Key) -> Result<Vec<(Key, Value)>> {
         if self.cfg.optimistic_reads {
             let _epoch = self.pool.pin_epoch();
+            let mut wasted = 0;
             for attempt in 1..=OPT_READ_ATTEMPTS {
                 let tree = self.tree(table)?;
                 match tree.scan_range_optimistic(&self.pool, from, to) {
                     Ok(rows) => {
                         self.stats.optimistic_range_scans.fetch_add(1, Ordering::Relaxed);
+                        self.stats.read_restarts.record(attempt - 1);
                         return Ok(rows);
                     }
                     // See `read`: cold pages and over-wide ranges fail
@@ -453,10 +503,17 @@ impl DataComponent {
                     Err(
                         lr_buffer::OptReadFail::NotResident
                         | lr_buffer::OptReadFail::BudgetExhausted,
-                    ) => break,
-                    Err(lr_buffer::OptReadFail::Contended) => lr_buffer::olc_backoff(attempt),
+                    ) => {
+                        wasted = attempt;
+                        break;
+                    }
+                    Err(lr_buffer::OptReadFail::Contended) => {
+                        wasted = attempt;
+                        lr_buffer::olc_backoff(attempt)
+                    }
                 }
             }
+            self.stats.read_restarts.record(wasted);
             self.stats.scan_fallbacks.fetch_add(1, Ordering::Relaxed);
         }
         let _t = self.lock_table_shared(table);
@@ -509,12 +566,15 @@ impl DataComponent {
                 }
                 // Cold page or blown hop budget: deterministic failures —
                 // only the latched path fetches.
-                Err(_) => return Ok(None),
+                Err(_) => {
+                    self.stats.write_restarts.record(attempt);
+                    return Ok(None);
+                }
             };
             // Page-op latch before the upgrade, mirroring the latched
             // shared attempt: holding it through log+apply keeps per-page
             // LSN order equal to apply order.
-            let page = self.page_latch(leaf).lock();
+            let page = self.page_latch(leaf).write();
             let upgraded = self.pool.try_write_upgrade(leaf, version, |p| {
                 (lr_btree::node_search_value(p, key), p.free_space())
             });
@@ -527,7 +587,10 @@ impl DataComponent {
                     lr_buffer::olc_backoff(attempt);
                     continue;
                 }
-                Err(_) => return Ok(None),
+                Err(_) => {
+                    self.stats.write_restarts.record(attempt);
+                    return Ok(None);
+                }
             };
             // Eligibility mirrors the latched shared attempt exactly: an
             // operation that may change tree structure falls back.
@@ -536,6 +599,7 @@ impl DataComponent {
                     let old = found.ok_or(Error::KeyNotFound { table, key })?;
                     let grow = value_len.saturating_sub(old.len());
                     if grow != 0 && free < grow {
+                        self.stats.write_restarts.record(attempt - 1);
                         return Ok(None);
                     }
                     Some(old)
@@ -544,6 +608,7 @@ impl DataComponent {
                     let old = found.ok_or(Error::KeyNotFound { table, key })?;
                     if self.cfg.merge_min_fill != 0.0 {
                         // The apply may rebalance — exclusive path.
+                        self.stats.write_restarts.record(attempt - 1);
                         return Ok(None);
                     }
                     Some(old)
@@ -553,14 +618,17 @@ impl DataComponent {
                         return Err(Error::DuplicateKey { table, key });
                     }
                     if free < 8 + value_len + SLOT_SIZE {
+                        self.stats.write_restarts.record(attempt - 1);
                         return Ok(None);
                     }
                     None
                 }
             };
             self.stats.optimistic_writes.fetch_add(1, Ordering::Relaxed);
+            self.stats.write_restarts.record(attempt - 1);
             return Ok(Some(PreparedOp::new(leaf, before, (t, page))));
         }
+        self.stats.write_restarts.record(OPT_WRITE_ATTEMPTS);
         Ok(None)
     }
 
@@ -596,7 +664,7 @@ impl DataComponent {
             let leaf = tree.find_leaf(&self.pool, key)?.leaf;
             // Latch the page *before* validating: the validation below must
             // describe exactly what apply will see.
-            let page = self.page_latch(leaf).lock();
+            let page = self.page_latch(leaf).write();
             let (found, free) = self
                 .pool
                 .with_page(leaf, |p| (lr_btree::node_search_value(p, key), p.free_space()))?;

@@ -55,6 +55,7 @@ use crate::trackers::TrackerPair;
 use lr_btree::node::{leaf_record, parse_leaf_record, search};
 use lr_btree::{internal_entry, parse_internal_entry};
 use lr_buffer::BufferPool;
+use lr_common::latch::Latch;
 use lr_common::{shard_index, Error, Key, Lsn, PageId, Result, TableId, Value};
 use lr_storage::{Disk, Page, PageType, PAGE_HEADER_SIZE, SLOT_SIZE};
 use lr_wal::{ClrAction, LogPayload, LogRecord, SharedWal, SmoRecord};
@@ -108,7 +109,7 @@ pub struct HashDc {
     wal: SharedWal,
     cfg: DcConfig,
     stats: DcCounters,
-    table_latches: Box<[RwLock<()>]>,
+    table_latches: Box<[Latch]>,
 }
 
 /// Offline bulk load: build the directory + bucket chains directly on the
@@ -195,7 +196,7 @@ impl HashDc {
             wal,
             cfg,
             stats: DcCounters::default(),
-            table_latches: (0..TABLE_LATCHES).map(|_| RwLock::new(())).collect::<Vec<_>>().into(),
+            table_latches: (0..TABLE_LATCHES).map(|_| Latch::new()).collect::<Vec<_>>().into(),
         };
         dc.load_all_skeletons()?;
         // Catalog + directory reads are setup noise, not workload.
@@ -204,7 +205,7 @@ impl HashDc {
     }
 
     #[inline]
-    fn table_latch(&self, table: TableId) -> &RwLock<()> {
+    fn table_latch(&self, table: TableId) -> &Latch {
         &self.table_latches[table.0 as usize % TABLE_LATCHES]
     }
 
@@ -594,16 +595,19 @@ impl DcApi for HashDc {
             // Epoch pin: retired frame cells this probe may still validate
             // wait on the pool's limbo list until the pin drops.
             let _epoch = self.pool.pin_epoch();
+            let mut wasted = 0;
             for attempt in 1..=OPT_READ_ATTEMPTS {
                 // Index snapshot instead of the table latch: the map read
                 // is atomic, and an absent entry means a latched read at
                 // the same instant would have returned None too.
                 let Some(start) = self.index_pid(table, key)? else {
+                    self.stats.read_restarts.record(attempt - 1);
                     self.stats.optimistic_point_reads.fetch_add(1, Ordering::Relaxed);
                     return Ok(None);
                 };
                 match self.read_at_optimistic(start, key) {
                     Ok(v) => {
+                        self.stats.read_restarts.record(attempt - 1);
                         self.stats.optimistic_point_reads.fetch_add(1, Ordering::Relaxed);
                         return Ok(v);
                     }
@@ -612,10 +616,17 @@ impl DcApi for HashDc {
                     Err(
                         lr_buffer::OptReadFail::NotResident
                         | lr_buffer::OptReadFail::BudgetExhausted,
-                    ) => break,
-                    Err(lr_buffer::OptReadFail::Contended) => lr_buffer::olc_backoff(attempt),
+                    ) => {
+                        wasted = attempt;
+                        break;
+                    }
+                    Err(lr_buffer::OptReadFail::Contended) => {
+                        wasted = attempt;
+                        lr_buffer::olc_backoff(attempt);
+                    }
                 }
             }
+            self.stats.read_restarts.record(wasted);
             self.stats.read_fallbacks.fetch_add(1, Ordering::Relaxed);
         }
         let _t = self.table_latch(table).read();

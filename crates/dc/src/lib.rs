@@ -28,12 +28,18 @@ pub mod dc;
 pub mod dpt;
 pub mod hash;
 pub mod recovery;
+pub mod remote;
+pub mod server;
 pub mod trackers;
+pub mod wire;
 
 pub use api::{
     DcApi, DcIntrospect, Located, OpGuard, PreloadStats, PreparedOp, TableGuard, TableSummary,
 };
-pub use backend::{backend, backend_names, Backend, BTREE_BACKEND, HASH_BACKEND};
+pub use backend::{
+    backend, backend_names, backends, Backend, BTREE_BACKEND, HASH_BACKEND, REMOTE_BTREE_BACKEND,
+    REMOTE_HASH_BACKEND,
+};
 pub use builders::{
     build_dpt_aries, build_dpt_logical, build_dpt_sqlserver, AnalysisCounts, DeltaDptMode,
     LogicalAnalysis,
@@ -46,4 +52,7 @@ pub use recovery::{
     dc_recover, find_recovery_window, replay_smo_screened, smo_barrier_physiological, smo_redo,
     DcRecoveryOutcome, SmoBarrierOutcome,
 };
+pub use remote::{remote_loopback, LoopbackTransport, RemoteDc, Transport};
+pub use server::DcServer;
 pub use trackers::{BwTracker, DeltaTracker};
+pub use wire::{DcReply, DcRequest, WireError};

@@ -1,0 +1,531 @@
+//! The TC-side proxy: [`DcApi`] over a message transport.
+//!
+//! [`RemoteDc`] implements the full DC contract by serializing every call
+//! into a framed [`DcRequest`], pushing it through a pluggable
+//! [`Transport`], and decoding the framed [`DcReply`]. The engine,
+//! recovery drivers, undo and maintenance run against it unmodified —
+//! proving the [`DcApi`] contract really is a message protocol, not a
+//! shared-memory API with trait syntax.
+//!
+//! The transport shipped here is [`LoopbackTransport`]: it hands each
+//! frame to an in-process [`DcServer`] on the caller's thread. The frames
+//! it moves are exactly the bytes a TCP transport would write to a socket,
+//! so swapping in a real network is a transport-only change — including
+//! teardown: [`LoopbackTransport::disconnect`] models a dropped
+//! connection, failing subsequent calls with a broken-pipe error and
+//! performing the server-side guard cleanup a TCP accept loop runs when a
+//! client vanishes.
+//!
+//! ## Guard proxies
+//!
+//! `prepare_op` / `lock_table_exclusive` hand out guards backed by
+//! server-held tokens (see [`crate::server`]): the proxy guard's `Drop`
+//! sends the matching release request. A release over a dead transport is
+//! swallowed — the disconnect cleanup has already freed the server-side
+//! guard, so there is nothing left to release.
+
+use crate::api::{
+    DcApi, DcIntrospect, Located, PreloadStats, PreparedOp, TableGuard, TableSummary,
+};
+use crate::dc::{DcConfig, DcStats, PrepareInfo, WriteIntent};
+use crate::dpt::Dpt;
+use crate::recovery::SmoBarrierOutcome;
+use crate::server::{wire_error, DcServer};
+use crate::wire::{DcReply, DcRequest, WireDpt};
+use lr_buffer::BufferPool;
+use lr_common::codec::{frame, unframe};
+use lr_common::{Error, Key, Lsn, PageId, Result, TableId, Value};
+use lr_storage::Disk;
+use lr_wal::{LogRecord, SharedWal, SmoRecord};
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+/// A synchronous request/reply byte transport: one framed request in, one
+/// framed reply out. Implementations move opaque frames — the protocol
+/// lives entirely in [`crate::wire`].
+pub trait Transport: Send + Sync {
+    /// Deliver one framed request and return the framed reply.
+    fn call(&self, request: &[u8]) -> Result<Vec<u8>>;
+}
+
+/// In-process transport: frames go straight to a [`DcServer`], executing
+/// on the caller's thread (so concurrent TC sessions dispatch concurrently
+/// exactly as a thread-per-connection server would).
+pub struct LoopbackTransport {
+    server: RwLock<Option<Arc<DcServer>>>,
+}
+
+impl LoopbackTransport {
+    pub fn new(server: Arc<DcServer>) -> LoopbackTransport {
+        LoopbackTransport { server: RwLock::new(Some(server)) }
+    }
+
+    /// Drop the connection: subsequent calls fail with a broken-pipe
+    /// error, and the server's parked guards are released — the cleanup a
+    /// network server performs when a client's connection dies.
+    pub fn disconnect(&self) {
+        if let Some(server) = self.server.write().take() {
+            server.release_all();
+        }
+    }
+
+    /// Re-attach to a server (a client re-establishing its connection).
+    pub fn reconnect(&self, server: Arc<DcServer>) {
+        *self.server.write() = Some(server);
+    }
+
+    pub fn is_connected(&self) -> bool {
+        self.server.read().is_some()
+    }
+}
+
+impl Transport for LoopbackTransport {
+    fn call(&self, request: &[u8]) -> Result<Vec<u8>> {
+        let server = self.server.read().clone();
+        match server {
+            Some(server) => Ok(server.serve_frame(request)),
+            None => Err(Error::Io(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "DC transport disconnected",
+            ))),
+        }
+    }
+}
+
+/// Proxy guard for a server-parked [`PreparedOp`]: dropping it releases
+/// the token (best-effort — a dead transport means the disconnect cleanup
+/// already did it).
+struct RemoteOpGuard {
+    transport: Arc<dyn Transport>,
+    token: u64,
+}
+
+impl Drop for RemoteOpGuard {
+    fn drop(&mut self) {
+        let req = DcRequest::ReleaseOp { token: self.token };
+        let _ = self.transport.call(&frame(&req.encode()));
+    }
+}
+
+/// Proxy guard for a server-parked exclusive table latch.
+struct RemoteTableGuard {
+    transport: Arc<dyn Transport>,
+    token: u64,
+}
+
+impl Drop for RemoteTableGuard {
+    fn drop(&mut self) {
+        let req = DcRequest::ReleaseTable { token: self.token };
+        let _ = self.transport.call(&frame(&req.encode()));
+    }
+}
+
+/// [`DcApi`] over a [`Transport`].
+///
+/// The introspection facet ([`DcIntrospect`]'s `pool`/`config`/`wal`) is
+/// served from a deployment-local handle to the backend — those hand out
+/// references into shared engine infrastructure (the pool and the common
+/// log live DC-side in this co-located deployment), while **every data,
+/// control and recovery operation** goes through the wire. `stats()`
+/// crosses the wire too: counter snapshots are plain data, and shipping
+/// them exercises the histogram codec a remote-node deployment needs.
+pub struct RemoteDc {
+    transport: Arc<dyn Transport>,
+    /// Deployment-local introspection handle (NOT used for operations).
+    local: Arc<dyn DcApi>,
+    name: &'static str,
+}
+
+impl RemoteDc {
+    pub fn new(
+        transport: Arc<dyn Transport>,
+        local: Arc<dyn DcApi>,
+        name: &'static str,
+    ) -> RemoteDc {
+        RemoteDc { transport, local, name }
+    }
+
+    fn call(&self, req: DcRequest) -> Result<DcReply> {
+        let reply = self.transport.call(&frame(&req.encode()))?;
+        let body = unframe(&reply).map_err(wire_error)?;
+        match DcReply::decode(body).map_err(wire_error)? {
+            DcReply::Err(w) => Err(w.into()),
+            other => Ok(other),
+        }
+    }
+
+    /// A reply variant the request contract does not allow.
+    fn protocol(ctx: &'static str, got: DcReply) -> Error {
+        Error::RecoveryInvariant(format!("wire: unexpected reply for {ctx}: {got:?}"))
+    }
+
+    /// Fire-and-forget call for `()`-returning trait methods: transport
+    /// failures surface on the next fallible operation instead.
+    fn call_unit(&self, req: DcRequest) {
+        let _ = self.call(req);
+    }
+}
+
+/// Wrap a backend in a loopback message deployment: server + transport +
+/// proxy. Returns the proxy (what the engine holds) and the transport
+/// (tests use it to sever and re-establish the connection).
+pub fn remote_loopback(
+    inner: Arc<dyn DcApi>,
+    name: &'static str,
+) -> (Arc<RemoteDc>, Arc<LoopbackTransport>) {
+    let server = Arc::new(DcServer::new(inner.clone()));
+    let transport = Arc::new(LoopbackTransport::new(server));
+    (Arc::new(RemoteDc::new(transport.clone(), inner, name)), transport)
+}
+
+impl DcIntrospect for RemoteDc {
+    fn backend_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn pool(&self) -> &BufferPool {
+        self.local.pool()
+    }
+
+    fn stats(&self) -> DcStats {
+        match self.call(DcRequest::Stats) {
+            Ok(DcReply::Stats(s)) => *s,
+            _ => DcStats::default(),
+        }
+    }
+
+    fn config(&self) -> &DcConfig {
+        self.local.config()
+    }
+
+    fn wal(&self) -> SharedWal {
+        self.local.wal()
+    }
+}
+
+impl DcApi for RemoteDc {
+    fn read(&self, table: TableId, key: Key) -> Result<Option<Value>> {
+        match self.call(DcRequest::Read { table, key })? {
+            DcReply::Value(v) => Ok(v),
+            other => Err(Self::protocol("read", other)),
+        }
+    }
+
+    fn read_range(&self, table: TableId, from: Key, to: Key) -> Result<Vec<(Key, Value)>> {
+        match self.call(DcRequest::ReadRange { table, from, to })? {
+            DcReply::Rows(rows) => Ok(rows),
+            other => Err(Self::protocol("read_range", other)),
+        }
+    }
+
+    fn scan_all(&self, table: TableId) -> Result<Vec<(Key, Value)>> {
+        match self.call(DcRequest::ScanAll { table })? {
+            DcReply::Rows(rows) => Ok(rows),
+            other => Err(Self::protocol("scan_all", other)),
+        }
+    }
+
+    fn prepare_op(&self, table: TableId, key: Key, intent: WriteIntent) -> Result<PreparedOp<'_>> {
+        match self.call(DcRequest::PrepareOp { table, key, intent: intent.into() })? {
+            DcReply::Prepared { token, pid, before } => {
+                let guard = RemoteOpGuard { transport: self.transport.clone(), token };
+                Ok(PreparedOp::new(pid, before, guard))
+            }
+            other => Err(Self::protocol("prepare_op", other)),
+        }
+    }
+
+    fn prepare_write(&self, table: TableId, key: Key, intent: WriteIntent) -> Result<PrepareInfo> {
+        match self.call(DcRequest::PrepareWrite { table, key, intent: intent.into() })? {
+            DcReply::Info { pid, before } => Ok(PrepareInfo { pid, before }),
+            other => Err(Self::protocol("prepare_write", other)),
+        }
+    }
+
+    fn apply(&self, rec: &LogRecord) -> Result<()> {
+        match self.call(DcRequest::Apply { rec: rec.clone() })? {
+            DcReply::Unit => Ok(()),
+            other => Err(Self::protocol("apply", other)),
+        }
+    }
+
+    fn apply_at(&self, pid: PageId, rec: &LogRecord) -> Result<()> {
+        match self.call(DcRequest::ApplyAt { pid, rec: rec.clone() })? {
+            DcReply::Unit => Ok(()),
+            other => Err(Self::protocol("apply_at", other)),
+        }
+    }
+
+    fn eosl(&self, elsn: Lsn) {
+        self.call_unit(DcRequest::Eosl { elsn });
+    }
+
+    fn rssp(&self, rssp_lsn: Lsn) -> Result<()> {
+        match self.call(DcRequest::Rssp { rssp_lsn })? {
+            DcReply::Unit => Ok(()),
+            other => Err(Self::protocol("rssp", other)),
+        }
+    }
+
+    fn drain_in_flight_ops(&self) {
+        self.call_unit(DcRequest::DrainInFlightOps);
+    }
+
+    fn crash(&self) {
+        self.call_unit(DcRequest::Crash);
+    }
+
+    fn reload_catalog(&self) -> Result<()> {
+        match self.call(DcRequest::ReloadCatalog)? {
+            DcReply::Unit => Ok(()),
+            other => Err(Self::protocol("reload_catalog", other)),
+        }
+    }
+
+    fn pump_events(&self) {
+        self.call_unit(DcRequest::PumpEvents);
+    }
+
+    fn force_emit(&self) {
+        self.call_unit(DcRequest::ForceEmit);
+    }
+
+    fn discard_events(&self) {
+        self.call_unit(DcRequest::DiscardEvents);
+    }
+
+    fn cleaner_pass(&self) -> Result<usize> {
+        match self.call(DcRequest::CleanerPass)? {
+            DcReply::Count(c) => Ok(c as usize),
+            other => Err(Self::protocol("cleaner_pass", other)),
+        }
+    }
+
+    fn over_dirty_watermark(&self) -> bool {
+        matches!(self.call(DcRequest::OverDirtyWatermark), Ok(DcReply::Flag(true)))
+    }
+
+    fn create_table(&self, table: TableId) -> Result<()> {
+        match self.call(DcRequest::CreateTable { table })? {
+            DcReply::Unit => Ok(()),
+            other => Err(Self::protocol("create_table", other)),
+        }
+    }
+
+    fn register_table(&self, table: TableId, root: PageId) -> Result<()> {
+        match self.call(DcRequest::RegisterTable { table, root })? {
+            DcReply::Unit => Ok(()),
+            other => Err(Self::protocol("register_table", other)),
+        }
+    }
+
+    fn table_root(&self, table: TableId) -> Result<PageId> {
+        match self.call(DcRequest::TableRoot { table })? {
+            DcReply::Pid(pid) => Ok(pid),
+            other => Err(Self::protocol("table_root", other)),
+        }
+    }
+
+    fn set_root(&self, table: TableId, root: PageId) {
+        self.call_unit(DcRequest::SetRoot { table, root });
+    }
+
+    fn save_catalog(&self, lsn: Lsn) -> Result<()> {
+        match self.call(DcRequest::SaveCatalog { lsn })? {
+            DcReply::Unit => Ok(()),
+            other => Err(Self::protocol("save_catalog", other)),
+        }
+    }
+
+    fn tables(&self) -> Vec<TableId> {
+        match self.call(DcRequest::Tables) {
+            Ok(DcReply::TableIds(ts)) => ts,
+            _ => Vec::new(),
+        }
+    }
+
+    fn lock_table_exclusive(&self, table: TableId) -> TableGuard<'_> {
+        // The trait has no error channel here; a dead transport is a
+        // deployment failure, not a recoverable condition for a caller
+        // that needs an exclusive latch.
+        match self.call(DcRequest::LockTableExclusive { table }) {
+            Ok(DcReply::TableLocked { token }) => {
+                TableGuard::new(RemoteTableGuard { transport: self.transport.clone(), token })
+            }
+            Ok(other) => panic!("wire: unexpected reply for lock_table_exclusive: {other:?}"),
+            Err(e) => panic!("wire: lock_table_exclusive failed: {e}"),
+        }
+    }
+
+    fn verify_table(&self, table: TableId) -> Result<TableSummary> {
+        match self.call(DcRequest::VerifyTable { table })? {
+            DcReply::Summary(s) => Ok(s),
+            other => Err(Self::protocol("verify_table", other)),
+        }
+    }
+
+    fn smo_redo(&self, window: &[LogRecord]) -> Result<(u64, u64)> {
+        match self.call(DcRequest::SmoRedo { window: window.to_vec() })? {
+            DcReply::Pair(applied, skipped) => Ok((applied, skipped)),
+            other => Err(Self::protocol("smo_redo", other)),
+        }
+    }
+
+    fn replay_smo_screened(
+        &self,
+        lsn: Lsn,
+        smo: &SmoRecord,
+        dpt: &Dpt,
+        out: &mut SmoBarrierOutcome,
+    ) -> Result<Option<Lsn>> {
+        let req = DcRequest::ReplaySmoScreened { lsn, smo: smo.clone(), dpt: WireDpt::from(dpt) };
+        match self.call(req)? {
+            DcReply::SmoReplayed { moved_root, outcome } => {
+                out.pages_applied += outcome.pages_applied;
+                out.skipped_no_dpt_entry += outcome.skipped_no_dpt_entry;
+                out.skipped_rlsn += outcome.skipped_rlsn;
+                out.skipped_plsn += outcome.skipped_plsn;
+                Ok(moved_root)
+            }
+            other => Err(Self::protocol("replay_smo_screened", other)),
+        }
+    }
+
+    fn resolve_redo_pid(&self, table: TableId, key: Key, logged_pid: PageId) -> Result<Located> {
+        match self.call(DcRequest::ResolveRedoPid { table, key, logged_pid })? {
+            DcReply::LocatedAt { pid, levels, stall_us } => Ok(Located { pid, levels, stall_us }),
+            other => Err(Self::protocol("resolve_redo_pid", other)),
+        }
+    }
+
+    fn locate_key(&self, table: TableId, key: Key) -> Result<Located> {
+        match self.call(DcRequest::LocateKey { table, key })? {
+            DcReply::LocatedAt { pid, levels, stall_us } => Ok(Located { pid, levels, stall_us }),
+            other => Err(Self::protocol("locate_key", other)),
+        }
+    }
+
+    fn preload_index(&self) -> Result<PreloadStats> {
+        match self.call(DcRequest::PreloadIndex)? {
+            DcReply::Preload { pages_loaded, prefetch_ios, prefetch_pages } => {
+                Ok(PreloadStats { pages_loaded, prefetch_ios, prefetch_pages })
+            }
+            other => Err(Self::protocol("preload_index", other)),
+        }
+    }
+
+    fn finish_redo(&self) -> Result<()> {
+        match self.call(DcRequest::FinishRedo)? {
+            DcReply::Unit => Ok(()),
+            other => Err(Self::protocol("finish_redo", other)),
+        }
+    }
+
+    fn reopen(&self, disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<Arc<dyn DcApi>> {
+        // Reopen the backend, then stand up a fresh server + connection
+        // around it — a crash fork gets its own deployment, exactly as a
+        // restarted TC process would re-dial the DC.
+        let inner = self.local.reopen(disk, wal, cfg)?;
+        Ok(remote_loopback(inner, self.name).0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::DataComponent;
+    use lr_common::{IoModel, SimClock, TxnId};
+    use lr_storage::SimDisk;
+    use lr_wal::{LogPayload, Wal};
+
+    const T: TableId = TableId(1);
+
+    fn deployment() -> (Arc<RemoteDc>, Arc<LoopbackTransport>) {
+        let mut disk = SimDisk::new(512, 0, SimClock::new(), IoModel::zero());
+        DataComponent::format_disk(&mut disk).unwrap();
+        let wal = Wal::new_shared(4096);
+        let dc = DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
+        let (remote, transport) = remote_loopback(Arc::new(dc), "remote:btree");
+        remote.create_table(T).unwrap();
+        (remote, transport)
+    }
+
+    fn insert(dc: &dyn DcApi, key: Key, value: Vec<u8>) {
+        let op = dc.prepare_op(T, key, WriteIntent::Insert { value_len: value.len() }).unwrap();
+        let payload = LogPayload::Insert {
+            txn: TxnId(1),
+            table: T,
+            key,
+            pid: op.pid,
+            prev_lsn: Lsn::NULL,
+            value,
+        };
+        let lsn = dc.wal().append(&payload);
+        dc.apply(&LogRecord { lsn, payload }).unwrap();
+        drop(op);
+    }
+
+    #[test]
+    fn full_write_read_cycle_through_the_proxy() {
+        let (remote, _transport) = deployment();
+        for k in 0..50u64 {
+            insert(remote.as_ref(), k, vec![k as u8; 16]);
+        }
+        assert_eq!(remote.read(T, 7).unwrap().unwrap(), vec![7u8; 16]);
+        assert_eq!(remote.read(T, 999).unwrap(), None);
+        let rows = remote.scan_all(T).unwrap();
+        assert_eq!(rows.len(), 50);
+        let summary = remote.verify_table(T).unwrap();
+        assert_eq!(summary.records, 50);
+        assert_eq!(remote.backend_name(), "remote:btree");
+        // Typed errors survive the boundary.
+        assert!(matches!(remote.read(TableId(99), 1), Err(Error::UnknownTable(TableId(99)))));
+        assert!(matches!(
+            remote.prepare_op(T, 7, WriteIntent::Insert { value_len: 1 }),
+            Err(Error::DuplicateKey { key: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn disconnect_fails_cleanly_and_releases_parked_guards() {
+        let (remote, transport) = deployment();
+        insert(remote.as_ref(), 1, vec![1; 8]);
+
+        // Park a prepare server-side, then drop the connection under it.
+        let op = remote.prepare_op(T, 2, WriteIntent::Insert { value_len: 8 }).unwrap();
+        transport.disconnect();
+        assert!(!transport.is_connected());
+
+        // Calls now fail with a clean transport error, not a wedge/panic.
+        match remote.read(T, 1) {
+            Err(Error::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::BrokenPipe),
+            other => panic!("expected a broken-pipe error, got {other:?}"),
+        }
+        // Dropping the proxy guard over the dead transport is harmless —
+        // the disconnect cleanup already released the server-side token.
+        drop(op);
+
+        // Reconnect: the table is writable again (no wedged latch).
+        let server = Arc::new(DcServer::new(remote.local.clone()));
+        transport.reconnect(server);
+        let op = remote.prepare_op(T, 2, WriteIntent::Insert { value_len: 8 }).unwrap();
+        drop(op);
+        assert_eq!(remote.read(T, 1).unwrap().unwrap(), vec![1; 8]);
+    }
+
+    #[test]
+    fn stats_snapshot_crosses_the_wire_with_histograms() {
+        let (remote, _transport) = deployment();
+        for k in 0..20u64 {
+            insert(remote.as_ref(), k, vec![0; 8]);
+        }
+        for k in 0..20u64 {
+            remote.read(T, k).unwrap();
+        }
+        let stats = remote.stats();
+        assert!(stats.optimistic_point_reads > 0);
+        // The restart histogram made the trip intact: every optimistic
+        // read recorded its restart count.
+        assert_eq!(stats.read_restart_hist.count(), stats.optimistic_point_reads);
+    }
+}

@@ -1,0 +1,388 @@
+//! The DC-side message dispatcher.
+//!
+//! A [`DcServer`] owns a registered local backend (any [`DcApi`]) and
+//! serves framed [`DcRequest`]s against it: unframe → decode → dispatch →
+//! encode → frame. It is the process-boundary half of the Deuteronomy
+//! split — a TC connecting over any byte transport talks to this and never
+//! to the backend directly.
+//!
+//! ## Server-held guards
+//!
+//! The local [`DcApi::prepare_op`] / [`DcApi::lock_table_exclusive`] return
+//! borrow-carrying guards that cannot cross a message boundary. The server
+//! parks them: each prepare gets a token, the guard lives in a token map
+//! (keeping its latches held, exactly as if the caller's stack held it),
+//! and the client releases it with `ReleaseOp { token }` once it has
+//! logged and applied. Releases are idempotent, and a transport that drops
+//! its connection calls [`DcServer::release_all`] so a vanished client can
+//! never wedge the DC (the same duty a TCP accept loop performs on
+//! connection teardown).
+
+use crate::api::{DcApi, PreparedOp, TableGuard};
+use crate::recovery::SmoBarrierOutcome;
+use crate::wire::{DcReply, DcRequest, WireError};
+use lr_common::codec::{frame, unframe};
+use lr_common::{Error, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A parked [`PreparedOp`] with the `Arc` that keeps its borrowed backend
+/// alive. Field order is drop order: the guard must die before the owner
+/// it borrows from.
+struct HeldOp {
+    _guard: PreparedOp<'static>,
+    _owner: Arc<dyn DcApi>,
+}
+
+/// A parked exclusive table latch (same ownership discipline).
+struct HeldTable {
+    _guard: TableGuard<'static>,
+    _owner: Arc<dyn DcApi>,
+}
+
+/// Serves the wire protocol against one registered backend.
+pub struct DcServer {
+    inner: Arc<dyn DcApi>,
+    held_ops: Mutex<HashMap<u64, HeldOp>>,
+    held_tables: Mutex<HashMap<u64, HeldTable>>,
+    /// Token source; starts at 1 so 0 never names a live guard.
+    next_token: AtomicU64,
+}
+
+impl DcServer {
+    pub fn new(inner: Arc<dyn DcApi>) -> DcServer {
+        DcServer {
+            inner,
+            held_ops: Mutex::new(HashMap::new()),
+            held_tables: Mutex::new(HashMap::new()),
+            next_token: AtomicU64::new(1),
+        }
+    }
+
+    /// The backend this server fronts.
+    pub fn backend(&self) -> &Arc<dyn DcApi> {
+        &self.inner
+    }
+
+    /// Guards currently parked (prepared ops + table latches). Zero in a
+    /// quiesced server; a nonzero count after a client disconnect means a
+    /// cleanup path was missed.
+    pub fn held_guards(&self) -> usize {
+        self.held_ops.lock().len() + self.held_tables.lock().len()
+    }
+
+    /// Drop every parked guard — the connection-teardown duty. A transport
+    /// that loses its client calls this so half-finished prepares release
+    /// their latches instead of wedging every later writer.
+    pub fn release_all(&self) {
+        self.held_ops.lock().clear();
+        self.held_tables.lock().clear();
+    }
+
+    /// Serve one framed request, returning the framed reply. Transport
+    /// layers call only this. Codec failures (bad frame, bad tag) come
+    /// back as framed `Err` replies, not panics — a corrupt message must
+    /// not take the DC down.
+    pub fn serve_frame(&self, request: &[u8]) -> Vec<u8> {
+        let reply = match unframe(request).and_then(DcRequest::decode) {
+            Ok(req) => self.serve(req),
+            Err(e) => DcReply::Err(WireError::RecoveryInvariant(format!("wire: {e}"))),
+        };
+        frame(&reply.encode())
+    }
+
+    /// Dispatch one decoded request.
+    pub fn serve(&self, req: DcRequest) -> DcReply {
+        match self.dispatch(req) {
+            Ok(reply) => reply,
+            Err(e) => DcReply::Err(WireError::from(&e)),
+        }
+    }
+
+    fn park_op(&self, op: PreparedOp<'_>) -> (u64, lr_common::PageId, Option<lr_common::Value>) {
+        let pid = op.pid;
+        let before = op.before.clone();
+        // SAFETY: the guard borrows from `self.inner`'s referent, which the
+        // HeldOp's `_owner` Arc keeps alive for at least as long as the
+        // guard; field order drops the guard first.
+        let guard: PreparedOp<'static> = unsafe { std::mem::transmute(op) };
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        self.held_ops.lock().insert(token, HeldOp { _guard: guard, _owner: self.inner.clone() });
+        (token, pid, before)
+    }
+
+    fn park_table(&self, guard: TableGuard<'_>) -> u64 {
+        // SAFETY: as in `park_op`.
+        let guard: TableGuard<'static> = unsafe { std::mem::transmute(guard) };
+        let token = self.next_token.fetch_add(1, Ordering::Relaxed);
+        self.held_tables
+            .lock()
+            .insert(token, HeldTable { _guard: guard, _owner: self.inner.clone() });
+        token
+    }
+
+    fn dispatch(&self, req: DcRequest) -> Result<DcReply> {
+        let dc = &self.inner;
+        Ok(match req {
+            DcRequest::Read { table, key } => DcReply::Value(dc.read(table, key)?),
+            DcRequest::ReadRange { table, from, to } => {
+                DcReply::Rows(dc.read_range(table, from, to)?)
+            }
+            DcRequest::ScanAll { table } => DcReply::Rows(dc.scan_all(table)?),
+            DcRequest::PrepareOp { table, key, intent } => {
+                let op = dc.prepare_op(table, key, intent.into())?;
+                let (token, pid, before) = self.park_op(op);
+                DcReply::Prepared { token, pid, before }
+            }
+            DcRequest::ReleaseOp { token } => {
+                // Idempotent: a release raced by a disconnect cleanup finds
+                // nothing and that is fine.
+                self.held_ops.lock().remove(&token);
+                DcReply::Unit
+            }
+            DcRequest::PrepareWrite { table, key, intent } => {
+                DcReply::info(dc.prepare_write(table, key, intent.into())?)
+            }
+            DcRequest::Apply { rec } => {
+                dc.apply(&rec)?;
+                DcReply::Unit
+            }
+            DcRequest::ApplyAt { pid, rec } => {
+                dc.apply_at(pid, &rec)?;
+                DcReply::Unit
+            }
+            DcRequest::Eosl { elsn } => {
+                dc.eosl(elsn);
+                DcReply::Unit
+            }
+            DcRequest::Rssp { rssp_lsn } => {
+                dc.rssp(rssp_lsn)?;
+                DcReply::Unit
+            }
+            DcRequest::DrainInFlightOps => {
+                dc.drain_in_flight_ops();
+                DcReply::Unit
+            }
+            DcRequest::Crash => {
+                // A crash obliterates in-flight state first: parked guards
+                // belong to sessions that just died with the TC.
+                self.release_all();
+                dc.crash();
+                DcReply::Unit
+            }
+            DcRequest::ReloadCatalog => {
+                dc.reload_catalog()?;
+                DcReply::Unit
+            }
+            DcRequest::PumpEvents => {
+                dc.pump_events();
+                DcReply::Unit
+            }
+            DcRequest::ForceEmit => {
+                dc.force_emit();
+                DcReply::Unit
+            }
+            DcRequest::DiscardEvents => {
+                dc.discard_events();
+                DcReply::Unit
+            }
+            DcRequest::CleanerPass => DcReply::Count(dc.cleaner_pass()? as u64),
+            DcRequest::OverDirtyWatermark => DcReply::Flag(dc.over_dirty_watermark()),
+            DcRequest::CreateTable { table } => {
+                dc.create_table(table)?;
+                DcReply::Unit
+            }
+            DcRequest::RegisterTable { table, root } => {
+                dc.register_table(table, root)?;
+                DcReply::Unit
+            }
+            DcRequest::TableRoot { table } => DcReply::Pid(dc.table_root(table)?),
+            DcRequest::SetRoot { table, root } => {
+                dc.set_root(table, root);
+                DcReply::Unit
+            }
+            DcRequest::SaveCatalog { lsn } => {
+                dc.save_catalog(lsn)?;
+                DcReply::Unit
+            }
+            DcRequest::Tables => DcReply::TableIds(dc.tables()),
+            DcRequest::LockTableExclusive { table } => {
+                let guard = dc.lock_table_exclusive(table);
+                DcReply::TableLocked { token: self.park_table(guard) }
+            }
+            DcRequest::ReleaseTable { token } => {
+                self.held_tables.lock().remove(&token);
+                DcReply::Unit
+            }
+            DcRequest::VerifyTable { table } => DcReply::Summary(dc.verify_table(table)?),
+            DcRequest::SmoRedo { window } => {
+                let (applied, skipped) = dc.smo_redo(&window)?;
+                DcReply::Pair(applied, skipped)
+            }
+            DcRequest::ReplaySmoScreened { lsn, smo, dpt } => {
+                let dpt = (&dpt).into();
+                let mut outcome = SmoBarrierOutcome::default();
+                let moved_root = dc.replay_smo_screened(lsn, &smo, &dpt, &mut outcome)?;
+                DcReply::SmoReplayed { moved_root, outcome }
+            }
+            DcRequest::ResolveRedoPid { table, key, logged_pid } => {
+                DcReply::located(dc.resolve_redo_pid(table, key, logged_pid)?)
+            }
+            DcRequest::LocateKey { table, key } => DcReply::located(dc.locate_key(table, key)?),
+            DcRequest::PreloadIndex => DcReply::preload(dc.preload_index()?),
+            DcRequest::FinishRedo => {
+                dc.finish_redo()?;
+                DcReply::Unit
+            }
+            DcRequest::Stats => DcReply::Stats(Box::new(dc.stats())),
+        })
+    }
+}
+
+/// Map a client-side codec failure (corrupt reply frame) into the
+/// workspace error type. Mirrors the server's handling of corrupt
+/// requests.
+pub fn wire_error(e: lr_common::codec::CodecError) -> Error {
+    Error::RecoveryInvariant(format!("wire: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::{DataComponent, DcConfig};
+    use crate::wire::WireIntent;
+    use lr_common::{IoModel, Lsn, SimClock, TableId, TxnId};
+    use lr_storage::SimDisk;
+    use lr_wal::{LogPayload, LogRecord, Wal};
+
+    const T: TableId = TableId(1);
+
+    fn server() -> DcServer {
+        let mut disk = SimDisk::new(512, 0, SimClock::new(), IoModel::zero());
+        DataComponent::format_disk(&mut disk).unwrap();
+        let wal = Wal::new_shared(4096);
+        let dc = DataComponent::open(Box::new(disk), wal, DcConfig::default()).unwrap();
+        let srv = DcServer::new(Arc::new(dc));
+        srv.serve(DcRequest::CreateTable { table: T });
+        srv
+    }
+
+    #[test]
+    fn framed_write_protocol_end_to_end() {
+        let srv = server();
+        // prepare → log → apply → release, all through frames.
+        let req =
+            DcRequest::PrepareOp { table: T, key: 7, intent: WireIntent::Insert { value_len: 3 } };
+        let reply = srv.serve_frame(&frame(&req.encode()));
+        let (token, pid) = match DcReply::decode(unframe(&reply).unwrap()).unwrap() {
+            DcReply::Prepared { token, pid, before } => {
+                assert!(before.is_none());
+                (token, pid)
+            }
+            other => panic!("expected Prepared, got {other:?}"),
+        };
+        assert_eq!(srv.held_guards(), 1);
+
+        let payload = LogPayload::Insert {
+            txn: TxnId(1),
+            table: T,
+            key: 7,
+            pid,
+            prev_lsn: Lsn::NULL,
+            value: vec![1, 2, 3],
+        };
+        let lsn = srv.backend().wal().append(&payload);
+        let apply = DcRequest::Apply { rec: LogRecord { lsn, payload } };
+        assert_eq!(
+            DcReply::decode(unframe(&srv.serve_frame(&frame(&apply.encode()))).unwrap()).unwrap(),
+            DcReply::Unit
+        );
+        srv.serve(DcRequest::ReleaseOp { token });
+        assert_eq!(srv.held_guards(), 0);
+
+        match srv.serve(DcRequest::Read { table: T, key: 7 }) {
+            DcReply::Value(Some(v)) => assert_eq!(v, vec![1, 2, 3]),
+            other => panic!("expected the inserted value, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_cross_as_err_replies() {
+        let srv = server();
+        match srv.serve(DcRequest::Read { table: TableId(99), key: 1 }) {
+            DcReply::Err(WireError::UnknownTable(t)) => assert_eq!(t, TableId(99)),
+            other => panic!("expected UnknownTable, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn corrupt_frames_are_rejected_not_fatal() {
+        let srv = server();
+        let mut corrupt = frame(&DcRequest::Tables.encode());
+        let last = corrupt.len() - 1;
+        corrupt[last] ^= 0xFF;
+        match DcReply::decode(unframe(&srv.serve_frame(&corrupt)).unwrap()).unwrap() {
+            DcReply::Err(WireError::RecoveryInvariant(m)) => {
+                assert!(m.contains("wire"), "{m}");
+            }
+            other => panic!("expected a wire error, got {other:?}"),
+        }
+        // The server still works afterwards.
+        assert!(matches!(srv.serve(DcRequest::Tables), DcReply::TableIds(_)));
+    }
+
+    #[test]
+    fn release_is_idempotent_and_release_all_unwedges() {
+        let srv = server();
+        srv.serve(DcRequest::ReleaseOp { token: 12345 }); // unknown: no-op
+        let rep = srv.serve(DcRequest::PrepareOp {
+            table: T,
+            key: 1,
+            intent: WireIntent::Insert { value_len: 2 },
+        });
+        let token = match rep {
+            DcReply::Prepared { token, .. } => token,
+            other => panic!("expected Prepared, got {other:?}"),
+        };
+        assert_eq!(srv.held_guards(), 1);
+        srv.release_all();
+        assert_eq!(srv.held_guards(), 0);
+        // A fresh prepare on the same table proves no latch stayed wedged.
+        assert!(matches!(
+            srv.serve(DcRequest::PrepareOp {
+                table: T,
+                key: 2,
+                intent: WireIntent::Insert { value_len: 2 },
+            }),
+            DcReply::Prepared { .. }
+        ));
+        srv.release_all();
+        // Double release of the dead token: still a no-op.
+        srv.serve(DcRequest::ReleaseOp { token });
+        let _ = srv.serve(DcRequest::Read { table: T, key: 1 });
+    }
+
+    #[test]
+    fn table_lock_tokens_park_and_release() {
+        let srv = server();
+        let token = match srv.serve(DcRequest::LockTableExclusive { table: T }) {
+            DcReply::TableLocked { token } => token,
+            other => panic!("expected TableLocked, got {other:?}"),
+        };
+        assert_eq!(srv.held_guards(), 1);
+        srv.serve(DcRequest::ReleaseTable { token });
+        assert_eq!(srv.held_guards(), 0);
+        // Table writable again.
+        assert!(matches!(
+            srv.serve(DcRequest::PrepareOp {
+                table: T,
+                key: 3,
+                intent: WireIntent::Insert { value_len: 2 },
+            }),
+            DcReply::Prepared { .. }
+        ));
+        srv.release_all();
+    }
+}

@@ -1,0 +1,1223 @@
+//! The TC↔DC wire protocol: every [`crate::DcApi`] operation as a
+//! serializable request/reply pair.
+//!
+//! The paper's architecture (§2, Figure 1) allows the TC and DC to live in
+//! separate processes or on separate machines — the contract is a *message*
+//! protocol, not a shared-memory API. This module pins that down: a
+//! [`DcRequest`] names one logical operation and its arguments, a
+//! [`DcReply`] carries the result (or a [`WireError`] mirroring
+//! [`lr_common::Error`]), and both encode through the workspace codec into
+//! the length-prefixed CRC-checked frame format of
+//! [`lr_common::codec::frame`].
+//!
+//! Two trait methods need reshaping for message passing, because their
+//! local signatures hand out borrow-carrying guards:
+//!
+//! * [`crate::DcApi::prepare_op`] returns a [`crate::PreparedOp`] whose
+//!   guard pins latches until apply. Over the wire the *server* parks that
+//!   guard in a token map and replies
+//!   [`DcReply::Prepared`]`{token, pid, before}`; the client's proxy guard
+//!   sends [`DcRequest::ReleaseOp`]`{token}` when dropped.
+//! * [`crate::DcApi::lock_table_exclusive`] likewise becomes
+//!   [`DcReply::TableLocked`]`{token}` + [`DcRequest::ReleaseTable`].
+//!
+//! Both releases are idempotent (releasing an unknown token is a no-op), so
+//! a client retrying over a flaky transport can never wedge the server.
+
+use crate::api::{Located, PreloadStats, TableSummary};
+use crate::dc::{DcStats, PrepareInfo, WriteIntent};
+use crate::dpt::Dpt;
+use crate::recovery::SmoBarrierOutcome;
+use lr_common::codec::{CodecError, Decoder, Encoder};
+use lr_common::{Error, Histogram, Key, Lsn, PageId, TableId, Value};
+use lr_wal::{LogPayload, LogRecord, SmoRecord};
+
+// ----------------------------------------------------------------------
+// requests
+// ----------------------------------------------------------------------
+
+/// One logical operation crossing the TC→DC boundary. Variants map 1:1
+/// onto [`crate::DcApi`] methods except for the two token-based reshapes
+/// described in the module docs ([`DcRequest::ReleaseOp`] /
+/// [`DcRequest::ReleaseTable`]) and [`DcRequest::Stats`], which carries
+/// the [`crate::DcIntrospect::stats`] snapshot for deployments where the
+/// DC's counters live on the far side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DcRequest {
+    Read {
+        table: TableId,
+        key: Key,
+    },
+    ReadRange {
+        table: TableId,
+        from: Key,
+        to: Key,
+    },
+    ScanAll {
+        table: TableId,
+    },
+    PrepareOp {
+        table: TableId,
+        key: Key,
+        intent: WireIntent,
+    },
+    /// Drop the server-held guard of a parked [`DcReply::Prepared`].
+    ReleaseOp {
+        token: u64,
+    },
+    PrepareWrite {
+        table: TableId,
+        key: Key,
+        intent: WireIntent,
+    },
+    Apply {
+        rec: LogRecord,
+    },
+    ApplyAt {
+        pid: PageId,
+        rec: LogRecord,
+    },
+    Eosl {
+        elsn: Lsn,
+    },
+    Rssp {
+        rssp_lsn: Lsn,
+    },
+    DrainInFlightOps,
+    Crash,
+    ReloadCatalog,
+    PumpEvents,
+    ForceEmit,
+    DiscardEvents,
+    CleanerPass,
+    OverDirtyWatermark,
+    CreateTable {
+        table: TableId,
+    },
+    RegisterTable {
+        table: TableId,
+        root: PageId,
+    },
+    TableRoot {
+        table: TableId,
+    },
+    SetRoot {
+        table: TableId,
+        root: PageId,
+    },
+    SaveCatalog {
+        lsn: Lsn,
+    },
+    Tables,
+    LockTableExclusive {
+        table: TableId,
+    },
+    /// Drop the server-held latch of a parked [`DcReply::TableLocked`].
+    ReleaseTable {
+        token: u64,
+    },
+    VerifyTable {
+        table: TableId,
+    },
+    SmoRedo {
+        window: Vec<LogRecord>,
+    },
+    ReplaySmoScreened {
+        lsn: Lsn,
+        smo: SmoRecord,
+        dpt: WireDpt,
+    },
+    ResolveRedoPid {
+        table: TableId,
+        key: Key,
+        logged_pid: PageId,
+    },
+    LocateKey {
+        table: TableId,
+        key: Key,
+    },
+    PreloadIndex,
+    FinishRedo,
+    Stats,
+}
+
+/// [`WriteIntent`] with a fixed-width length (the in-memory type uses
+/// `usize`, which has no portable wire width).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireIntent {
+    Insert { value_len: u64 },
+    Update { value_len: u64 },
+    Delete,
+}
+
+impl From<WriteIntent> for WireIntent {
+    fn from(i: WriteIntent) -> WireIntent {
+        match i {
+            WriteIntent::Insert { value_len } => WireIntent::Insert { value_len: value_len as u64 },
+            WriteIntent::Update { value_len } => WireIntent::Update { value_len: value_len as u64 },
+            WriteIntent::Delete => WireIntent::Delete,
+        }
+    }
+}
+
+impl From<WireIntent> for WriteIntent {
+    fn from(i: WireIntent) -> WriteIntent {
+        match i {
+            WireIntent::Insert { value_len } => {
+                WriteIntent::Insert { value_len: value_len as usize }
+            }
+            WireIntent::Update { value_len } => {
+                WriteIntent::Update { value_len: value_len as usize }
+            }
+            WireIntent::Delete => WriteIntent::Delete,
+        }
+    }
+}
+
+/// A [`Dpt`] flattened for transit: `(pid, rLSN, lastLSN)` triples in PID
+/// order. Reconstruction exploits [`Dpt::add`]'s sticky-rLSN rule — the
+/// first add pins rLSN, the second only advances lastLSN.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireDpt(pub Vec<(PageId, Lsn, Lsn)>);
+
+impl From<&Dpt> for WireDpt {
+    fn from(dpt: &Dpt) -> WireDpt {
+        WireDpt(dpt.sorted_entries().iter().map(|(p, e)| (*p, e.rlsn, e.last_lsn)).collect())
+    }
+}
+
+impl From<&WireDpt> for Dpt {
+    fn from(w: &WireDpt) -> Dpt {
+        let mut dpt = Dpt::new();
+        for (pid, rlsn, last_lsn) in &w.0 {
+            dpt.add(*pid, *rlsn);
+            dpt.add(*pid, *last_lsn);
+        }
+        dpt
+    }
+}
+
+// ----------------------------------------------------------------------
+// replies
+// ----------------------------------------------------------------------
+
+/// The result of one [`DcRequest`]. Exactly one reply variant is valid per
+/// request variant; a proxy receiving any other shape treats the exchange
+/// as a protocol violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DcReply {
+    Unit,
+    Value(Option<Value>),
+    Rows(Vec<(Key, Value)>),
+    /// A prepared write parked server-side: release with
+    /// [`DcRequest::ReleaseOp`]`{token}` once logged and applied.
+    Prepared {
+        token: u64,
+        pid: PageId,
+        before: Option<Value>,
+    },
+    /// Latch-free placement info ([`PrepareInfo`]).
+    Info {
+        pid: PageId,
+        before: Option<Value>,
+    },
+    Flag(bool),
+    Count(u64),
+    Pid(PageId),
+    TableIds(Vec<TableId>),
+    /// An exclusive table latch parked server-side: release with
+    /// [`DcRequest::ReleaseTable`]`{token}`.
+    TableLocked {
+        token: u64,
+    },
+    Summary(TableSummary),
+    Pair(u64, u64),
+    SmoReplayed {
+        moved_root: Option<Lsn>,
+        outcome: SmoBarrierOutcome,
+    },
+    LocatedAt {
+        pid: PageId,
+        levels: u32,
+        stall_us: u64,
+    },
+    Preload {
+        pages_loaded: u64,
+        prefetch_ios: u64,
+        prefetch_pages: u64,
+    },
+    // Boxed: a DcStats snapshot (two inline histograms) dwarfs every
+    // other reply shape, and stats crossings are cold-path.
+    Stats(Box<DcStats>),
+    Err(WireError),
+}
+
+impl DcReply {
+    pub fn located(l: Located) -> DcReply {
+        DcReply::LocatedAt { pid: l.pid, levels: l.levels, stall_us: l.stall_us }
+    }
+
+    pub fn preload(p: PreloadStats) -> DcReply {
+        DcReply::Preload {
+            pages_loaded: p.pages_loaded,
+            prefetch_ios: p.prefetch_ios,
+            prefetch_pages: p.prefetch_pages,
+        }
+    }
+
+    pub fn info(i: PrepareInfo) -> DcReply {
+        DcReply::Info { pid: i.pid, before: i.before }
+    }
+}
+
+// ----------------------------------------------------------------------
+// errors in transit
+// ----------------------------------------------------------------------
+
+/// [`lr_common::Error`] flattened for the wire — variant-for-variant, with
+/// the one lossy edge that `Io` carries only the error's message (a raw
+/// `std::io::Error` is not serializable).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    PageOutOfRange { pid: PageId, pages: u64 },
+    PageFull { pid: PageId, needed: u64, free: u64 },
+    KeyNotFound { table: TableId, key: Key },
+    DuplicateKey { table: TableId, key: Key },
+    UnknownTable(TableId),
+    UnknownTxn(lr_common::TxnId),
+    TxnNotActive(lr_common::TxnId),
+    LockConflict { txn: lr_common::TxnId, table: TableId, key: Key },
+    PoolExhausted { capacity: u64 },
+    LogCorrupt { lsn: Lsn, reason: String },
+    WalViolation { pid: PageId, plsn: Lsn, elsn: Lsn },
+    TreeCorrupt(String),
+    RecoveryInvariant(String),
+    Io(String),
+}
+
+impl From<&Error> for WireError {
+    fn from(e: &Error) -> WireError {
+        match e {
+            Error::PageOutOfRange { pid, pages } => {
+                WireError::PageOutOfRange { pid: *pid, pages: *pages }
+            }
+            Error::PageFull { pid, needed, free } => {
+                WireError::PageFull { pid: *pid, needed: *needed as u64, free: *free as u64 }
+            }
+            Error::KeyNotFound { table, key } => {
+                WireError::KeyNotFound { table: *table, key: *key }
+            }
+            Error::DuplicateKey { table, key } => {
+                WireError::DuplicateKey { table: *table, key: *key }
+            }
+            Error::UnknownTable(t) => WireError::UnknownTable(*t),
+            Error::UnknownTxn(t) => WireError::UnknownTxn(*t),
+            Error::TxnNotActive(t) => WireError::TxnNotActive(*t),
+            Error::LockConflict { txn, table, key } => {
+                WireError::LockConflict { txn: *txn, table: *table, key: *key }
+            }
+            Error::PoolExhausted { capacity } => {
+                WireError::PoolExhausted { capacity: *capacity as u64 }
+            }
+            Error::LogCorrupt { lsn, reason } => {
+                WireError::LogCorrupt { lsn: *lsn, reason: reason.clone() }
+            }
+            Error::WalViolation { pid, plsn, elsn } => {
+                WireError::WalViolation { pid: *pid, plsn: *plsn, elsn: *elsn }
+            }
+            Error::TreeCorrupt(m) => WireError::TreeCorrupt(m.clone()),
+            Error::RecoveryInvariant(m) => WireError::RecoveryInvariant(m.clone()),
+            Error::Io(e) => WireError::Io(e.to_string()),
+        }
+    }
+}
+
+impl From<WireError> for Error {
+    fn from(w: WireError) -> Error {
+        match w {
+            WireError::PageOutOfRange { pid, pages } => Error::PageOutOfRange { pid, pages },
+            WireError::PageFull { pid, needed, free } => {
+                Error::PageFull { pid, needed: needed as usize, free: free as usize }
+            }
+            WireError::KeyNotFound { table, key } => Error::KeyNotFound { table, key },
+            WireError::DuplicateKey { table, key } => Error::DuplicateKey { table, key },
+            WireError::UnknownTable(t) => Error::UnknownTable(t),
+            WireError::UnknownTxn(t) => Error::UnknownTxn(t),
+            WireError::TxnNotActive(t) => Error::TxnNotActive(t),
+            WireError::LockConflict { txn, table, key } => Error::LockConflict { txn, table, key },
+            WireError::PoolExhausted { capacity } => {
+                Error::PoolExhausted { capacity: capacity as usize }
+            }
+            WireError::LogCorrupt { lsn, reason } => Error::LogCorrupt { lsn, reason },
+            WireError::WalViolation { pid, plsn, elsn } => Error::WalViolation { pid, plsn, elsn },
+            WireError::TreeCorrupt(m) => Error::TreeCorrupt(m),
+            WireError::RecoveryInvariant(m) => Error::RecoveryInvariant(m),
+            WireError::Io(m) => Error::Io(std::io::Error::other(m)),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// field codecs
+// ----------------------------------------------------------------------
+
+fn put_opt_value(e: &mut Encoder, v: &Option<Value>) {
+    match v {
+        Some(v) => {
+            e.put_u8(1);
+            e.put_bytes(v);
+        }
+        None => e.put_u8(0),
+    }
+}
+
+fn get_opt_value(d: &mut Decoder<'_>) -> Result<Option<Value>, CodecError> {
+    match d.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(d.get_bytes()?)),
+        t => Err(CodecError::BadTag { context: "optional value", tag: t }),
+    }
+}
+
+fn put_opt_lsn(e: &mut Encoder, v: &Option<Lsn>) {
+    match v {
+        Some(l) => {
+            e.put_u8(1);
+            e.put_lsn(*l);
+        }
+        None => e.put_u8(0),
+    }
+}
+
+fn get_opt_lsn(d: &mut Decoder<'_>) -> Result<Option<Lsn>, CodecError> {
+    match d.get_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(d.get_lsn()?)),
+        t => Err(CodecError::BadTag { context: "optional lsn", tag: t }),
+    }
+}
+
+fn put_string(e: &mut Encoder, s: &str) {
+    e.put_bytes(s.as_bytes());
+}
+
+fn get_string(d: &mut Decoder<'_>) -> Result<String, CodecError> {
+    Ok(String::from_utf8_lossy(&d.get_bytes()?).into_owned())
+}
+
+fn put_intent(e: &mut Encoder, i: WireIntent) {
+    match i {
+        WireIntent::Insert { value_len } => {
+            e.put_u8(0);
+            e.put_u64(value_len);
+        }
+        WireIntent::Update { value_len } => {
+            e.put_u8(1);
+            e.put_u64(value_len);
+        }
+        WireIntent::Delete => e.put_u8(2),
+    }
+}
+
+fn get_intent(d: &mut Decoder<'_>) -> Result<WireIntent, CodecError> {
+    match d.get_u8()? {
+        0 => Ok(WireIntent::Insert { value_len: d.get_u64()? }),
+        1 => Ok(WireIntent::Update { value_len: d.get_u64()? }),
+        2 => Ok(WireIntent::Delete),
+        t => Err(CodecError::BadTag { context: "write intent", tag: t }),
+    }
+}
+
+/// A [`LogRecord`] rides the wire as `lsn` + its existing WAL body
+/// encoding — the one record format the whole workspace shares.
+fn put_record(e: &mut Encoder, rec: &LogRecord) {
+    e.put_lsn(rec.lsn);
+    e.put_bytes(&rec.payload.encode());
+}
+
+fn get_record(d: &mut Decoder<'_>) -> Result<LogRecord, CodecError> {
+    let lsn = d.get_lsn()?;
+    let body = d.get_bytes()?;
+    Ok(LogRecord { lsn, payload: LogPayload::decode(&body)? })
+}
+
+fn put_records(e: &mut Encoder, recs: &[LogRecord]) {
+    e.put_u32(recs.len() as u32);
+    for r in recs {
+        put_record(e, r);
+    }
+}
+
+fn get_records(d: &mut Decoder<'_>) -> Result<Vec<LogRecord>, CodecError> {
+    let n = d.get_u32()? as usize;
+    (0..n).map(|_| get_record(d)).collect()
+}
+
+/// An [`SmoRecord`] reuses the WAL body encoding by wrapping itself as
+/// [`LogPayload::Smo`].
+fn put_smo(e: &mut Encoder, smo: &SmoRecord) {
+    e.put_bytes(&LogPayload::Smo(smo.clone()).encode());
+}
+
+fn get_smo(d: &mut Decoder<'_>) -> Result<SmoRecord, CodecError> {
+    let body = d.get_bytes()?;
+    match LogPayload::decode(&body)? {
+        LogPayload::Smo(smo) => Ok(smo),
+        _ => Err(CodecError::BadTag { context: "smo record", tag: 0 }),
+    }
+}
+
+fn put_dpt(e: &mut Encoder, dpt: &WireDpt) {
+    e.put_u32(dpt.0.len() as u32);
+    for (pid, rlsn, last_lsn) in &dpt.0 {
+        e.put_pid(*pid);
+        e.put_lsn(*rlsn);
+        e.put_lsn(*last_lsn);
+    }
+}
+
+fn get_dpt(d: &mut Decoder<'_>) -> Result<WireDpt, CodecError> {
+    let n = d.get_u32()? as usize;
+    let mut v = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        v.push((d.get_pid()?, d.get_lsn()?, d.get_lsn()?));
+    }
+    Ok(WireDpt(v))
+}
+
+fn put_rows(e: &mut Encoder, rows: &[(Key, Value)]) {
+    e.put_u32(rows.len() as u32);
+    for (k, v) in rows {
+        e.put_key(*k);
+        e.put_bytes(v);
+    }
+}
+
+fn get_rows(d: &mut Decoder<'_>) -> Result<Vec<(Key, Value)>, CodecError> {
+    let n = d.get_u32()? as usize;
+    let mut rows = Vec::with_capacity(n.min(4096));
+    for _ in 0..n {
+        rows.push((d.get_key()?, d.get_bytes()?));
+    }
+    Ok(rows)
+}
+
+fn put_outcome(e: &mut Encoder, o: &SmoBarrierOutcome) {
+    e.put_u64(o.pages_applied);
+    e.put_u64(o.skipped_no_dpt_entry);
+    e.put_u64(o.skipped_rlsn);
+    e.put_u64(o.skipped_plsn);
+}
+
+fn get_outcome(d: &mut Decoder<'_>) -> Result<SmoBarrierOutcome, CodecError> {
+    Ok(SmoBarrierOutcome {
+        pages_applied: d.get_u64()?,
+        skipped_no_dpt_entry: d.get_u64()?,
+        skipped_rlsn: d.get_u64()?,
+        skipped_plsn: d.get_u64()?,
+    })
+}
+
+fn put_stats(e: &mut Encoder, s: &DcStats) {
+    e.put_u64(s.delta_records_written);
+    e.put_u64(s.bw_records_written);
+    e.put_u64(s.smo_records_written);
+    e.put_u64(s.delta_bytes_logged);
+    e.put_u64(s.bw_bytes_logged);
+    e.put_u64(s.optimistic_point_reads);
+    e.put_u64(s.optimistic_range_scans);
+    e.put_u64(s.read_fallbacks);
+    e.put_u64(s.scan_fallbacks);
+    e.put_u64(s.optimistic_writes);
+    e.put_u64(s.write_fallbacks);
+    s.read_restart_hist.encode_into(e);
+    s.write_restart_hist.encode_into(e);
+}
+
+fn get_stats(d: &mut Decoder<'_>) -> Result<DcStats, CodecError> {
+    Ok(DcStats {
+        delta_records_written: d.get_u64()?,
+        bw_records_written: d.get_u64()?,
+        smo_records_written: d.get_u64()?,
+        delta_bytes_logged: d.get_u64()?,
+        bw_bytes_logged: d.get_u64()?,
+        optimistic_point_reads: d.get_u64()?,
+        optimistic_range_scans: d.get_u64()?,
+        read_fallbacks: d.get_u64()?,
+        scan_fallbacks: d.get_u64()?,
+        optimistic_writes: d.get_u64()?,
+        write_fallbacks: d.get_u64()?,
+        read_restart_hist: Histogram::decode_from(d)?,
+        write_restart_hist: Histogram::decode_from(d)?,
+    })
+}
+
+fn put_error(e: &mut Encoder, w: &WireError) {
+    match w {
+        WireError::PageOutOfRange { pid, pages } => {
+            e.put_u8(1);
+            e.put_pid(*pid);
+            e.put_u64(*pages);
+        }
+        WireError::PageFull { pid, needed, free } => {
+            e.put_u8(2);
+            e.put_pid(*pid);
+            e.put_u64(*needed);
+            e.put_u64(*free);
+        }
+        WireError::KeyNotFound { table, key } => {
+            e.put_u8(3);
+            e.put_table(*table);
+            e.put_key(*key);
+        }
+        WireError::DuplicateKey { table, key } => {
+            e.put_u8(4);
+            e.put_table(*table);
+            e.put_key(*key);
+        }
+        WireError::UnknownTable(t) => {
+            e.put_u8(5);
+            e.put_table(*t);
+        }
+        WireError::UnknownTxn(t) => {
+            e.put_u8(6);
+            e.put_txn(*t);
+        }
+        WireError::TxnNotActive(t) => {
+            e.put_u8(7);
+            e.put_txn(*t);
+        }
+        WireError::LockConflict { txn, table, key } => {
+            e.put_u8(8);
+            e.put_txn(*txn);
+            e.put_table(*table);
+            e.put_key(*key);
+        }
+        WireError::PoolExhausted { capacity } => {
+            e.put_u8(9);
+            e.put_u64(*capacity);
+        }
+        WireError::LogCorrupt { lsn, reason } => {
+            e.put_u8(10);
+            e.put_lsn(*lsn);
+            put_string(e, reason);
+        }
+        WireError::WalViolation { pid, plsn, elsn } => {
+            e.put_u8(11);
+            e.put_pid(*pid);
+            e.put_lsn(*plsn);
+            e.put_lsn(*elsn);
+        }
+        WireError::TreeCorrupt(m) => {
+            e.put_u8(12);
+            put_string(e, m);
+        }
+        WireError::RecoveryInvariant(m) => {
+            e.put_u8(13);
+            put_string(e, m);
+        }
+        WireError::Io(m) => {
+            e.put_u8(14);
+            put_string(e, m);
+        }
+    }
+}
+
+fn get_error(d: &mut Decoder<'_>) -> Result<WireError, CodecError> {
+    Ok(match d.get_u8()? {
+        1 => WireError::PageOutOfRange { pid: d.get_pid()?, pages: d.get_u64()? },
+        2 => WireError::PageFull { pid: d.get_pid()?, needed: d.get_u64()?, free: d.get_u64()? },
+        3 => WireError::KeyNotFound { table: d.get_table()?, key: d.get_key()? },
+        4 => WireError::DuplicateKey { table: d.get_table()?, key: d.get_key()? },
+        5 => WireError::UnknownTable(d.get_table()?),
+        6 => WireError::UnknownTxn(d.get_txn()?),
+        7 => WireError::TxnNotActive(d.get_txn()?),
+        8 => {
+            WireError::LockConflict { txn: d.get_txn()?, table: d.get_table()?, key: d.get_key()? }
+        }
+        9 => WireError::PoolExhausted { capacity: d.get_u64()? },
+        10 => WireError::LogCorrupt { lsn: d.get_lsn()?, reason: get_string(d)? },
+        11 => WireError::WalViolation { pid: d.get_pid()?, plsn: d.get_lsn()?, elsn: d.get_lsn()? },
+        12 => WireError::TreeCorrupt(get_string(d)?),
+        13 => WireError::RecoveryInvariant(get_string(d)?),
+        14 => WireError::Io(get_string(d)?),
+        t => return Err(CodecError::BadTag { context: "wire error", tag: t }),
+    })
+}
+
+// ----------------------------------------------------------------------
+// message codecs
+// ----------------------------------------------------------------------
+
+const REQ_READ: u8 = 1;
+const REQ_READ_RANGE: u8 = 2;
+const REQ_SCAN_ALL: u8 = 3;
+const REQ_PREPARE_OP: u8 = 4;
+const REQ_RELEASE_OP: u8 = 5;
+const REQ_PREPARE_WRITE: u8 = 6;
+const REQ_APPLY: u8 = 7;
+const REQ_APPLY_AT: u8 = 8;
+const REQ_EOSL: u8 = 9;
+const REQ_RSSP: u8 = 10;
+const REQ_DRAIN: u8 = 11;
+const REQ_CRASH: u8 = 12;
+const REQ_RELOAD_CATALOG: u8 = 13;
+const REQ_PUMP_EVENTS: u8 = 14;
+const REQ_FORCE_EMIT: u8 = 15;
+const REQ_DISCARD_EVENTS: u8 = 16;
+const REQ_CLEANER_PASS: u8 = 17;
+const REQ_OVER_WATERMARK: u8 = 18;
+const REQ_CREATE_TABLE: u8 = 19;
+const REQ_REGISTER_TABLE: u8 = 20;
+const REQ_TABLE_ROOT: u8 = 21;
+const REQ_SET_ROOT: u8 = 22;
+const REQ_SAVE_CATALOG: u8 = 23;
+const REQ_TABLES: u8 = 24;
+const REQ_LOCK_TABLE: u8 = 25;
+const REQ_RELEASE_TABLE: u8 = 26;
+const REQ_VERIFY_TABLE: u8 = 27;
+const REQ_SMO_REDO: u8 = 28;
+const REQ_REPLAY_SMO: u8 = 29;
+const REQ_RESOLVE_REDO_PID: u8 = 30;
+const REQ_LOCATE_KEY: u8 = 31;
+const REQ_PRELOAD_INDEX: u8 = 32;
+const REQ_FINISH_REDO: u8 = 33;
+const REQ_STATS: u8 = 34;
+
+impl DcRequest {
+    /// Serialize (tag + fields, no frame — callers wrap with
+    /// [`lr_common::codec::frame`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(64);
+        match self {
+            DcRequest::Read { table, key } => {
+                e.put_u8(REQ_READ);
+                e.put_table(*table);
+                e.put_key(*key);
+            }
+            DcRequest::ReadRange { table, from, to } => {
+                e.put_u8(REQ_READ_RANGE);
+                e.put_table(*table);
+                e.put_key(*from);
+                e.put_key(*to);
+            }
+            DcRequest::ScanAll { table } => {
+                e.put_u8(REQ_SCAN_ALL);
+                e.put_table(*table);
+            }
+            DcRequest::PrepareOp { table, key, intent } => {
+                e.put_u8(REQ_PREPARE_OP);
+                e.put_table(*table);
+                e.put_key(*key);
+                put_intent(&mut e, *intent);
+            }
+            DcRequest::ReleaseOp { token } => {
+                e.put_u8(REQ_RELEASE_OP);
+                e.put_u64(*token);
+            }
+            DcRequest::PrepareWrite { table, key, intent } => {
+                e.put_u8(REQ_PREPARE_WRITE);
+                e.put_table(*table);
+                e.put_key(*key);
+                put_intent(&mut e, *intent);
+            }
+            DcRequest::Apply { rec } => {
+                e.put_u8(REQ_APPLY);
+                put_record(&mut e, rec);
+            }
+            DcRequest::ApplyAt { pid, rec } => {
+                e.put_u8(REQ_APPLY_AT);
+                e.put_pid(*pid);
+                put_record(&mut e, rec);
+            }
+            DcRequest::Eosl { elsn } => {
+                e.put_u8(REQ_EOSL);
+                e.put_lsn(*elsn);
+            }
+            DcRequest::Rssp { rssp_lsn } => {
+                e.put_u8(REQ_RSSP);
+                e.put_lsn(*rssp_lsn);
+            }
+            DcRequest::DrainInFlightOps => e.put_u8(REQ_DRAIN),
+            DcRequest::Crash => e.put_u8(REQ_CRASH),
+            DcRequest::ReloadCatalog => e.put_u8(REQ_RELOAD_CATALOG),
+            DcRequest::PumpEvents => e.put_u8(REQ_PUMP_EVENTS),
+            DcRequest::ForceEmit => e.put_u8(REQ_FORCE_EMIT),
+            DcRequest::DiscardEvents => e.put_u8(REQ_DISCARD_EVENTS),
+            DcRequest::CleanerPass => e.put_u8(REQ_CLEANER_PASS),
+            DcRequest::OverDirtyWatermark => e.put_u8(REQ_OVER_WATERMARK),
+            DcRequest::CreateTable { table } => {
+                e.put_u8(REQ_CREATE_TABLE);
+                e.put_table(*table);
+            }
+            DcRequest::RegisterTable { table, root } => {
+                e.put_u8(REQ_REGISTER_TABLE);
+                e.put_table(*table);
+                e.put_pid(*root);
+            }
+            DcRequest::TableRoot { table } => {
+                e.put_u8(REQ_TABLE_ROOT);
+                e.put_table(*table);
+            }
+            DcRequest::SetRoot { table, root } => {
+                e.put_u8(REQ_SET_ROOT);
+                e.put_table(*table);
+                e.put_pid(*root);
+            }
+            DcRequest::SaveCatalog { lsn } => {
+                e.put_u8(REQ_SAVE_CATALOG);
+                e.put_lsn(*lsn);
+            }
+            DcRequest::Tables => e.put_u8(REQ_TABLES),
+            DcRequest::LockTableExclusive { table } => {
+                e.put_u8(REQ_LOCK_TABLE);
+                e.put_table(*table);
+            }
+            DcRequest::ReleaseTable { token } => {
+                e.put_u8(REQ_RELEASE_TABLE);
+                e.put_u64(*token);
+            }
+            DcRequest::VerifyTable { table } => {
+                e.put_u8(REQ_VERIFY_TABLE);
+                e.put_table(*table);
+            }
+            DcRequest::SmoRedo { window } => {
+                e.put_u8(REQ_SMO_REDO);
+                put_records(&mut e, window);
+            }
+            DcRequest::ReplaySmoScreened { lsn, smo, dpt } => {
+                e.put_u8(REQ_REPLAY_SMO);
+                e.put_lsn(*lsn);
+                put_smo(&mut e, smo);
+                put_dpt(&mut e, dpt);
+            }
+            DcRequest::ResolveRedoPid { table, key, logged_pid } => {
+                e.put_u8(REQ_RESOLVE_REDO_PID);
+                e.put_table(*table);
+                e.put_key(*key);
+                e.put_pid(*logged_pid);
+            }
+            DcRequest::LocateKey { table, key } => {
+                e.put_u8(REQ_LOCATE_KEY);
+                e.put_table(*table);
+                e.put_key(*key);
+            }
+            DcRequest::PreloadIndex => e.put_u8(REQ_PRELOAD_INDEX),
+            DcRequest::FinishRedo => e.put_u8(REQ_FINISH_REDO),
+            DcRequest::Stats => e.put_u8(REQ_STATS),
+        }
+        e.finish()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<DcRequest, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let req = match d.get_u8()? {
+            REQ_READ => DcRequest::Read { table: d.get_table()?, key: d.get_key()? },
+            REQ_READ_RANGE => {
+                DcRequest::ReadRange { table: d.get_table()?, from: d.get_key()?, to: d.get_key()? }
+            }
+            REQ_SCAN_ALL => DcRequest::ScanAll { table: d.get_table()? },
+            REQ_PREPARE_OP => DcRequest::PrepareOp {
+                table: d.get_table()?,
+                key: d.get_key()?,
+                intent: get_intent(&mut d)?,
+            },
+            REQ_RELEASE_OP => DcRequest::ReleaseOp { token: d.get_u64()? },
+            REQ_PREPARE_WRITE => DcRequest::PrepareWrite {
+                table: d.get_table()?,
+                key: d.get_key()?,
+                intent: get_intent(&mut d)?,
+            },
+            REQ_APPLY => DcRequest::Apply { rec: get_record(&mut d)? },
+            REQ_APPLY_AT => DcRequest::ApplyAt { pid: d.get_pid()?, rec: get_record(&mut d)? },
+            REQ_EOSL => DcRequest::Eosl { elsn: d.get_lsn()? },
+            REQ_RSSP => DcRequest::Rssp { rssp_lsn: d.get_lsn()? },
+            REQ_DRAIN => DcRequest::DrainInFlightOps,
+            REQ_CRASH => DcRequest::Crash,
+            REQ_RELOAD_CATALOG => DcRequest::ReloadCatalog,
+            REQ_PUMP_EVENTS => DcRequest::PumpEvents,
+            REQ_FORCE_EMIT => DcRequest::ForceEmit,
+            REQ_DISCARD_EVENTS => DcRequest::DiscardEvents,
+            REQ_CLEANER_PASS => DcRequest::CleanerPass,
+            REQ_OVER_WATERMARK => DcRequest::OverDirtyWatermark,
+            REQ_CREATE_TABLE => DcRequest::CreateTable { table: d.get_table()? },
+            REQ_REGISTER_TABLE => {
+                DcRequest::RegisterTable { table: d.get_table()?, root: d.get_pid()? }
+            }
+            REQ_TABLE_ROOT => DcRequest::TableRoot { table: d.get_table()? },
+            REQ_SET_ROOT => DcRequest::SetRoot { table: d.get_table()?, root: d.get_pid()? },
+            REQ_SAVE_CATALOG => DcRequest::SaveCatalog { lsn: d.get_lsn()? },
+            REQ_TABLES => DcRequest::Tables,
+            REQ_LOCK_TABLE => DcRequest::LockTableExclusive { table: d.get_table()? },
+            REQ_RELEASE_TABLE => DcRequest::ReleaseTable { token: d.get_u64()? },
+            REQ_VERIFY_TABLE => DcRequest::VerifyTable { table: d.get_table()? },
+            REQ_SMO_REDO => DcRequest::SmoRedo { window: get_records(&mut d)? },
+            REQ_REPLAY_SMO => DcRequest::ReplaySmoScreened {
+                lsn: d.get_lsn()?,
+                smo: get_smo(&mut d)?,
+                dpt: get_dpt(&mut d)?,
+            },
+            REQ_RESOLVE_REDO_PID => DcRequest::ResolveRedoPid {
+                table: d.get_table()?,
+                key: d.get_key()?,
+                logged_pid: d.get_pid()?,
+            },
+            REQ_LOCATE_KEY => DcRequest::LocateKey { table: d.get_table()?, key: d.get_key()? },
+            REQ_PRELOAD_INDEX => DcRequest::PreloadIndex,
+            REQ_FINISH_REDO => DcRequest::FinishRedo,
+            REQ_STATS => DcRequest::Stats,
+            t => return Err(CodecError::BadTag { context: "dc request", tag: t }),
+        };
+        d.expect_done()?;
+        Ok(req)
+    }
+}
+
+const REP_UNIT: u8 = 1;
+const REP_VALUE: u8 = 2;
+const REP_ROWS: u8 = 3;
+const REP_PREPARED: u8 = 4;
+const REP_INFO: u8 = 5;
+const REP_FLAG: u8 = 6;
+const REP_COUNT: u8 = 7;
+const REP_PID: u8 = 8;
+const REP_TABLE_IDS: u8 = 9;
+const REP_TABLE_LOCKED: u8 = 10;
+const REP_SUMMARY: u8 = 11;
+const REP_PAIR: u8 = 12;
+const REP_SMO_REPLAYED: u8 = 13;
+const REP_LOCATED: u8 = 14;
+const REP_PRELOAD: u8 = 15;
+const REP_STATS: u8 = 16;
+const REP_ERR: u8 = 17;
+
+impl DcReply {
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Encoder::with_capacity(64);
+        match self {
+            DcReply::Unit => e.put_u8(REP_UNIT),
+            DcReply::Value(v) => {
+                e.put_u8(REP_VALUE);
+                put_opt_value(&mut e, v);
+            }
+            DcReply::Rows(rows) => {
+                e.put_u8(REP_ROWS);
+                put_rows(&mut e, rows);
+            }
+            DcReply::Prepared { token, pid, before } => {
+                e.put_u8(REP_PREPARED);
+                e.put_u64(*token);
+                e.put_pid(*pid);
+                put_opt_value(&mut e, before);
+            }
+            DcReply::Info { pid, before } => {
+                e.put_u8(REP_INFO);
+                e.put_pid(*pid);
+                put_opt_value(&mut e, before);
+            }
+            DcReply::Flag(b) => {
+                e.put_u8(REP_FLAG);
+                e.put_u8(*b as u8);
+            }
+            DcReply::Count(c) => {
+                e.put_u8(REP_COUNT);
+                e.put_u64(*c);
+            }
+            DcReply::Pid(p) => {
+                e.put_u8(REP_PID);
+                e.put_pid(*p);
+            }
+            DcReply::TableIds(ts) => {
+                e.put_u8(REP_TABLE_IDS);
+                e.put_u32(ts.len() as u32);
+                for t in ts {
+                    e.put_table(*t);
+                }
+            }
+            DcReply::TableLocked { token } => {
+                e.put_u8(REP_TABLE_LOCKED);
+                e.put_u64(*token);
+            }
+            DcReply::Summary(s) => {
+                e.put_u8(REP_SUMMARY);
+                e.put_u64(s.records);
+                e.put_u64(s.leaf_pages);
+                e.put_u64(s.internal_pages);
+                e.put_u32(s.height);
+            }
+            DcReply::Pair(a, b) => {
+                e.put_u8(REP_PAIR);
+                e.put_u64(*a);
+                e.put_u64(*b);
+            }
+            DcReply::SmoReplayed { moved_root, outcome } => {
+                e.put_u8(REP_SMO_REPLAYED);
+                put_opt_lsn(&mut e, moved_root);
+                put_outcome(&mut e, outcome);
+            }
+            DcReply::LocatedAt { pid, levels, stall_us } => {
+                e.put_u8(REP_LOCATED);
+                e.put_pid(*pid);
+                e.put_u32(*levels);
+                e.put_u64(*stall_us);
+            }
+            DcReply::Preload { pages_loaded, prefetch_ios, prefetch_pages } => {
+                e.put_u8(REP_PRELOAD);
+                e.put_u64(*pages_loaded);
+                e.put_u64(*prefetch_ios);
+                e.put_u64(*prefetch_pages);
+            }
+            DcReply::Stats(s) => {
+                e.put_u8(REP_STATS);
+                put_stats(&mut e, s);
+            }
+            DcReply::Err(w) => {
+                e.put_u8(REP_ERR);
+                put_error(&mut e, w);
+            }
+        }
+        e.finish()
+    }
+
+    pub fn decode(bytes: &[u8]) -> Result<DcReply, CodecError> {
+        let mut d = Decoder::new(bytes);
+        let rep = match d.get_u8()? {
+            REP_UNIT => DcReply::Unit,
+            REP_VALUE => DcReply::Value(get_opt_value(&mut d)?),
+            REP_ROWS => DcReply::Rows(get_rows(&mut d)?),
+            REP_PREPARED => DcReply::Prepared {
+                token: d.get_u64()?,
+                pid: d.get_pid()?,
+                before: get_opt_value(&mut d)?,
+            },
+            REP_INFO => DcReply::Info { pid: d.get_pid()?, before: get_opt_value(&mut d)? },
+            REP_FLAG => DcReply::Flag(match d.get_u8()? {
+                0 => false,
+                1 => true,
+                t => return Err(CodecError::BadTag { context: "bool flag", tag: t }),
+            }),
+            REP_COUNT => DcReply::Count(d.get_u64()?),
+            REP_PID => DcReply::Pid(d.get_pid()?),
+            REP_TABLE_IDS => {
+                let n = d.get_u32()? as usize;
+                let mut ts = Vec::with_capacity(n.min(4096));
+                for _ in 0..n {
+                    ts.push(d.get_table()?);
+                }
+                DcReply::TableIds(ts)
+            }
+            REP_TABLE_LOCKED => DcReply::TableLocked { token: d.get_u64()? },
+            REP_SUMMARY => DcReply::Summary(TableSummary {
+                records: d.get_u64()?,
+                leaf_pages: d.get_u64()?,
+                internal_pages: d.get_u64()?,
+                height: d.get_u32()?,
+            }),
+            REP_PAIR => DcReply::Pair(d.get_u64()?, d.get_u64()?),
+            REP_SMO_REPLAYED => DcReply::SmoReplayed {
+                moved_root: get_opt_lsn(&mut d)?,
+                outcome: get_outcome(&mut d)?,
+            },
+            REP_LOCATED => DcReply::LocatedAt {
+                pid: d.get_pid()?,
+                levels: d.get_u32()?,
+                stall_us: d.get_u64()?,
+            },
+            REP_PRELOAD => DcReply::Preload {
+                pages_loaded: d.get_u64()?,
+                prefetch_ios: d.get_u64()?,
+                prefetch_pages: d.get_u64()?,
+            },
+            REP_STATS => DcReply::Stats(Box::new(get_stats(&mut d)?)),
+            REP_ERR => DcReply::Err(get_error(&mut d)?),
+            t => return Err(CodecError::BadTag { context: "dc reply", tag: t }),
+        };
+        d.expect_done()?;
+        Ok(rep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lr_common::TxnId;
+
+    fn roundtrip_req(req: DcRequest) {
+        let bytes = req.encode();
+        assert_eq!(DcRequest::decode(&bytes).unwrap(), req);
+    }
+
+    fn roundtrip_rep(rep: DcReply) {
+        let bytes = rep.encode();
+        assert_eq!(DcReply::decode(&bytes).unwrap(), rep);
+    }
+
+    #[test]
+    fn every_request_variant_roundtrips() {
+        let rec = LogRecord {
+            lsn: Lsn(99),
+            payload: LogPayload::Insert {
+                txn: TxnId(3),
+                table: TableId(1),
+                key: 42,
+                pid: PageId(7),
+                prev_lsn: Lsn::NULL,
+                value: vec![1, 2, 3],
+            },
+        };
+        let smo = SmoRecord {
+            pages: vec![(PageId(9), vec![0xAB; 32])],
+            new_root: Some((TableId(1), PageId(9))),
+        };
+        for req in [
+            DcRequest::Read { table: TableId(1), key: 5 },
+            DcRequest::ReadRange { table: TableId(1), from: 0, to: 100 },
+            DcRequest::ScanAll { table: TableId(2) },
+            DcRequest::PrepareOp {
+                table: TableId(1),
+                key: 5,
+                intent: WireIntent::Insert { value_len: 16 },
+            },
+            DcRequest::ReleaseOp { token: 77 },
+            DcRequest::PrepareWrite {
+                table: TableId(1),
+                key: 5,
+                intent: WireIntent::Update { value_len: 8 },
+            },
+            DcRequest::Apply { rec: rec.clone() },
+            DcRequest::ApplyAt { pid: PageId(7), rec: rec.clone() },
+            DcRequest::Eosl { elsn: Lsn(500) },
+            DcRequest::Rssp { rssp_lsn: Lsn(400) },
+            DcRequest::DrainInFlightOps,
+            DcRequest::Crash,
+            DcRequest::ReloadCatalog,
+            DcRequest::PumpEvents,
+            DcRequest::ForceEmit,
+            DcRequest::DiscardEvents,
+            DcRequest::CleanerPass,
+            DcRequest::OverDirtyWatermark,
+            DcRequest::CreateTable { table: TableId(3) },
+            DcRequest::RegisterTable { table: TableId(3), root: PageId(11) },
+            DcRequest::TableRoot { table: TableId(3) },
+            DcRequest::SetRoot { table: TableId(3), root: PageId(12) },
+            DcRequest::SaveCatalog { lsn: Lsn(600) },
+            DcRequest::Tables,
+            DcRequest::LockTableExclusive { table: TableId(1) },
+            DcRequest::ReleaseTable { token: 88 },
+            DcRequest::VerifyTable { table: TableId(1) },
+            DcRequest::SmoRedo { window: vec![rec.clone()] },
+            DcRequest::ReplaySmoScreened {
+                lsn: Lsn(700),
+                smo: smo.clone(),
+                dpt: WireDpt(vec![(PageId(9), Lsn(100), Lsn(200))]),
+            },
+            DcRequest::ResolveRedoPid { table: TableId(1), key: 5, logged_pid: PageId(7) },
+            DcRequest::LocateKey { table: TableId(1), key: 5 },
+            DcRequest::PreloadIndex,
+            DcRequest::FinishRedo,
+            DcRequest::Stats,
+        ] {
+            roundtrip_req(req);
+        }
+    }
+
+    #[test]
+    fn every_reply_variant_roundtrips() {
+        let mut stats = DcStats { optimistic_point_reads: 9, ..DcStats::default() };
+        stats.read_restart_hist.record_n(2, 5);
+        for rep in [
+            DcReply::Unit,
+            DcReply::Value(Some(vec![1, 2, 3])),
+            DcReply::Value(None),
+            DcReply::Rows(vec![(1, vec![4]), (2, vec![5, 6])]),
+            DcReply::Prepared { token: 1, pid: PageId(7), before: Some(vec![9]) },
+            DcReply::Info { pid: PageId(8), before: None },
+            DcReply::Flag(true),
+            DcReply::Count(17),
+            DcReply::Pid(PageId(5)),
+            DcReply::TableIds(vec![TableId(1), TableId(2)]),
+            DcReply::TableLocked { token: 4 },
+            DcReply::Summary(TableSummary {
+                records: 100,
+                leaf_pages: 10,
+                internal_pages: 2,
+                height: 3,
+            }),
+            DcReply::Pair(3, 4),
+            DcReply::SmoReplayed {
+                moved_root: Some(Lsn(42)),
+                outcome: SmoBarrierOutcome {
+                    pages_applied: 2,
+                    skipped_no_dpt_entry: 1,
+                    skipped_rlsn: 0,
+                    skipped_plsn: 3,
+                },
+            },
+            DcReply::LocatedAt { pid: PageId(3), levels: 2, stall_us: 120 },
+            DcReply::Preload { pages_loaded: 5, prefetch_ios: 1, prefetch_pages: 4 },
+            DcReply::Stats(Box::new(stats)),
+            DcReply::Err(WireError::KeyNotFound { table: TableId(1), key: 42 }),
+        ] {
+            roundtrip_rep(rep);
+        }
+    }
+
+    #[test]
+    fn every_error_variant_survives_the_wire() {
+        let errors = vec![
+            Error::PageOutOfRange { pid: PageId(9), pages: 100 },
+            Error::PageFull { pid: PageId(1), needed: 64, free: 10 },
+            Error::KeyNotFound { table: TableId(1), key: 5 },
+            Error::DuplicateKey { table: TableId(1), key: 5 },
+            Error::UnknownTable(TableId(7)),
+            Error::UnknownTxn(TxnId(3)),
+            Error::TxnNotActive(TxnId(3)),
+            Error::LockConflict { txn: TxnId(3), table: TableId(1), key: 5 },
+            Error::PoolExhausted { capacity: 256 },
+            Error::LogCorrupt { lsn: Lsn(10), reason: "torn tail".into() },
+            Error::WalViolation { pid: PageId(1), plsn: Lsn(100), elsn: Lsn(50) },
+            Error::TreeCorrupt("bad link".into()),
+            Error::RecoveryInvariant("oops".into()),
+            Error::Io(std::io::Error::other("disk gone")),
+        ];
+        for err in errors {
+            let display = err.to_string();
+            let wire = WireError::from(&err);
+            let bytes = DcReply::Err(wire.clone()).encode();
+            let back = match DcReply::decode(&bytes).unwrap() {
+                DcReply::Err(w) => w,
+                other => panic!("expected Err reply, got {other:?}"),
+            };
+            assert_eq!(back, wire);
+            let rebuilt: Error = back.into();
+            // Io is string-lossy; everything else reconstructs the exact
+            // variant, so Display output matches end to end.
+            if matches!(err, Error::Io(_)) {
+                assert!(rebuilt.to_string().contains("disk gone"));
+            } else {
+                assert_eq!(rebuilt.to_string(), display);
+            }
+        }
+    }
+
+    #[test]
+    fn dpt_survives_the_flatten_rebuild_cycle() {
+        let mut dpt = Dpt::new();
+        dpt.add(PageId(1), Lsn(100));
+        dpt.add(PageId(1), Lsn(300)); // lastLSN advances, rLSN sticky
+        dpt.add(PageId(2), Lsn(150));
+        let wire = WireDpt::from(&dpt);
+        let back: Dpt = (&wire).into();
+        assert_eq!(back.sorted_entries(), dpt.sorted_entries());
+    }
+
+    #[test]
+    fn corrupt_tag_is_rejected() {
+        assert!(matches!(DcRequest::decode(&[0xFF]), Err(CodecError::BadTag { .. })));
+        assert!(matches!(DcReply::decode(&[0xFF]), Err(CodecError::BadTag { .. })));
+        // Trailing garbage after a well-formed message is rejected too.
+        let mut bytes = DcRequest::Tables.encode();
+        bytes.push(0);
+        assert!(matches!(DcRequest::decode(&bytes), Err(CodecError::Truncated { .. })));
+    }
+}

@@ -1,17 +1,25 @@
-//! The `DcApi` contract, proven across backends: the B-tree DC and the
-//! hash-index DC must expose **identical committed state** after any
-//! crash, for every recovery method — the Deuteronomy claim that the TC
-//! neither knows nor cares how the DC places data.
+//! The `DcApi` contract, proven across backends: the B-tree DC, the
+//! hash-index DC, and their `remote:*` proxies (the same components
+//! behind the message boundary — every call crossing the wire codec
+//! through a `DcServer` over a loopback transport) must expose
+//! **identical committed state** after any crash, for every recovery
+//! method — the Deuteronomy claim that the TC neither knows nor cares
+//! how, or *where*, the DC places data.
 //!
-//! Two suites ride the same harness:
+//! The suites riding the same harness:
 //!
 //! * the recovery-equivalence matrix — one seeded workload per backend,
 //!   one crash, all nine methods recovered on independent forks; every
-//!   method must agree within a backend, and the two backends must agree
+//!   method must agree within a backend, and all backends must agree
 //!   with each other (and with the committed-state oracle);
+//! * the remote worker matrix — the proxied backends recover all nine
+//!   methods at 1/2/4 redo workers, all agreeing;
 //! * the bank invariant — concurrent sessions transferring money, crash
-//!   with a transfer in flight, recover: conservation holds on both
-//!   backends.
+//!   with a transfer in flight, recover: conservation holds on every
+//!   backend, including through the proxy;
+//! * the transport-drop probe — a prepare parked server-side when the
+//!   connection dies must surface a clean error and release its token,
+//!   never a wedged latch.
 
 use lr_common::IoModel;
 use lr_core::config::deterministic_value;
@@ -20,7 +28,8 @@ use lr_core::{
 };
 use std::sync::Arc;
 
-const BACKENDS: [&str; 2] = ["btree", "hash"];
+const BACKENDS: [&str; 4] = ["btree", "hash", "remote:btree", "remote:hash"];
+const REMOTE_BACKENDS: [&str; 2] = ["remote:btree", "remote:hash"];
 
 fn config_for(backend: &str) -> EngineConfig {
     EngineConfig {
@@ -117,10 +126,49 @@ fn all_methods_agree_within_and_across_backends() {
         }
         per_backend.push(reference.unwrap());
     }
-    assert_eq!(
-        per_backend[0], per_backend[1],
-        "btree and hash backends recovered different committed state"
-    );
+    for (backend, state) in BACKENDS.iter().zip(&per_backend).skip(1) {
+        assert_eq!(
+            state, &per_backend[0],
+            "{backend} recovered different committed state than {}",
+            BACKENDS[0]
+        );
+    }
+}
+
+#[test]
+fn remote_backends_recover_every_method_at_every_worker_count() {
+    // The proxied components must not just match in-process recovery at
+    // the default settings: all nine methods × 1/2/4 redo workers run
+    // against forks of one crash image per remote backend, and every
+    // combination must land on the same committed state (and the oracle).
+    for backend in REMOTE_BACKENDS {
+        let cfg = config_for(backend);
+        let mut shadow = ShadowDb::with_initial_rows(&cfg);
+        let engine = Engine::build(cfg).unwrap();
+        run_workload(&engine, &mut shadow);
+        engine.crash();
+        shadow.crash();
+
+        let mut reference: Option<Vec<(u64, Vec<u8>)>> = None;
+        for method in RecoveryMethod::all() {
+            for workers in [1, 2, 4] {
+                let fork = engine.fork_crashed().unwrap();
+                fork.recover_with(method, RecoveryOptions::with_workers(workers))
+                    .unwrap_or_else(|e| panic!("{backend}/{method}/w{workers}: {e}"));
+                shadow.verify_against(&fork).unwrap_or_else(|e| {
+                    panic!("{backend}/{method}/w{workers}: diverged from oracle: {e}")
+                });
+                let state = fork.scan_table(DEFAULT_TABLE).unwrap();
+                match &reference {
+                    None => reference = Some(state),
+                    Some(r) => assert_eq!(
+                        &state, r,
+                        "{backend}/{method}/w{workers}: state diverged from reference"
+                    ),
+                }
+            }
+        }
+    }
 }
 
 #[test]
@@ -256,4 +304,67 @@ fn engine_reports_its_backend() {
         Engine::build(EngineConfig { backend: "lsm".into(), ..EngineConfig::default() }).is_err(),
         "unknown backend names must be rejected at build time"
     );
+}
+
+// ---------------------------------------------------------------------
+// transport failure at the message boundary
+// ---------------------------------------------------------------------
+
+#[test]
+fn remote_transport_drop_mid_prepare_is_a_clean_error_not_a_wedged_token() {
+    use lr_common::{Error, Lsn, SimClock, TableId, TxnId};
+    use lr_dc::{
+        remote_loopback, DcApi, DcConfig, DcIntrospect, DcServer, WriteIntent, REMOTE_BTREE_BACKEND,
+    };
+    use lr_wal::{LogPayload, LogRecord, Wal};
+
+    let table = TableId(1);
+    // Build the inner component through the registry (backend-agnostic),
+    // keeping our own handle so we can stand up a fresh server later.
+    let reg = lr_dc::backend("btree").unwrap();
+    let mut disk = lr_storage::SimDisk::new(512, 0, SimClock::new(), IoModel::zero());
+    (reg.format)(&mut disk).unwrap();
+    let wal = Wal::new_shared(4096);
+    let inner = (reg.open)(Box::new(disk), wal, DcConfig::default()).unwrap();
+    let (remote, transport) = remote_loopback(inner.clone(), REMOTE_BTREE_BACKEND);
+    remote.create_table(table).unwrap();
+
+    let insert = |key: u64| {
+        let op = remote.prepare_op(table, key, WriteIntent::Insert { value_len: 8 })?;
+        let payload = LogPayload::Insert {
+            txn: TxnId(1),
+            table,
+            key,
+            pid: op.pid,
+            prev_lsn: Lsn::NULL,
+            value: vec![key as u8; 8],
+        };
+        let lsn = remote.wal().append(&payload);
+        remote.apply(&LogRecord { lsn, payload })
+    };
+    insert(1).unwrap();
+
+    // Park a prepare server-side (the proxy holds its token), then drop
+    // the connection underneath it.
+    let parked = remote.prepare_op(table, 2, WriteIntent::Insert { value_len: 8 }).unwrap();
+    transport.disconnect();
+    assert!(!transport.is_connected());
+
+    // In-flight traffic fails with a clean, typed transport error — no
+    // panic, no hang.
+    match remote.read(table, 1) {
+        Err(Error::Io(e)) => assert_eq!(e.kind(), std::io::ErrorKind::BrokenPipe),
+        other => panic!("expected a broken-pipe error, got {other:?}"),
+    }
+    // Releasing the proxy guard over the dead transport is harmless: the
+    // disconnect already released every server-side token.
+    drop(parked);
+
+    // Reconnect against a fresh server over the same component. If the
+    // parked token had wedged its page latch, this prepare would hang or
+    // conflict; instead the key is freely writable.
+    transport.reconnect(Arc::new(DcServer::new(inner)));
+    insert(2).unwrap();
+    assert_eq!(remote.read(table, 1).unwrap().unwrap(), vec![1u8; 8]);
+    assert_eq!(remote.read(table, 2).unwrap().unwrap(), vec![2u8; 8]);
 }
