@@ -23,6 +23,7 @@
 //! win, not a regression, on its target workload.
 
 use lr_core::{Engine, EngineConfig, Session, DEFAULT_TABLE};
+use lr_obs::{BenchSummary, Json};
 use lr_workload::{KeyDist, OpMix, TxnGenerator, WorkloadSpec};
 use std::time::Instant;
 
@@ -185,11 +186,35 @@ fn emit(mode: &str, threads: usize, r: &ModeReport) {
     );
 }
 
+/// The same per-mode measurements as the JSON line, as a summary point.
+fn point(mode: &str, threads: usize, r: &ModeReport) -> Json {
+    Json::obj()
+        .with("backend", Json::from("btree"))
+        .with("mode", Json::from(mode))
+        .with("threads", Json::from(threads as u64))
+        .with("reads", Json::from(r.reads))
+        .with("updates", Json::from(r.updates))
+        .with("wall_s", Json::from(r.wall_s))
+        .with("reads_per_sec", Json::from(r.reads_per_sec))
+        .with("p50_ns", Json::from(r.p50_ns))
+        .with("p99_ns", Json::from(r.p99_ns))
+        .with("max_ns", Json::from(r.max_ns))
+        .with("optimistic_point_reads", Json::from(r.optimistic_point_reads))
+        .with("read_fallbacks", Json::from(r.read_fallbacks))
+        .with("validation_failures", Json::from(r.validation_failures))
+}
+
 fn main() {
     let threads = env_u64("LR_THREADS", 4) as usize;
     let reads = env_u64("LR_READS", 40_000);
     let key_space = env_u64("LR_KEYS", 20_000);
     let margin = env_f64("LR_READPATH_MARGIN", 1.0);
+
+    let mut summary = BenchSummary::new("readpath");
+    summary.config("threads", Json::from(threads as u64));
+    summary.config("reads", Json::from(reads));
+    summary.config("keys", Json::from(key_space));
+    summary.config("margin", Json::from(margin));
 
     eprintln!(
         "readpath: read-mostly preset (95/5), {threads} thread(s), \
@@ -202,9 +227,11 @@ fn main() {
         "LR_READ_OPTIMISTIC off must not touch the optimistic path"
     );
     emit("latched", threads, &latched);
+    summary.point(point("latched", threads, &latched));
 
     let optimistic = run_mode(true, threads, reads, key_space);
     emit("optimistic", threads, &optimistic);
+    summary.point(point("optimistic", threads, &optimistic));
 
     assert!(
         optimistic.optimistic_point_reads > 0,
@@ -222,7 +249,19 @@ fn main() {
         optimistic.read_fallbacks,
         optimistic.validation_failures,
     );
-    if optimistic.reads_per_sec < latched.reads_per_sec * margin {
+    let pass = optimistic.reads_per_sec >= latched.reads_per_sec * margin;
+    summary.gate(
+        Json::obj()
+            .with("gate", Json::from("readpath_margin"))
+            .with("speedup", Json::from(speedup))
+            .with("margin", Json::from(margin))
+            .with("pass", Json::from(pass)),
+    );
+    match summary.write() {
+        Ok(path) => eprintln!("summary: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench summary: {e}"),
+    }
+    if !pass {
         eprintln!(
             "FAIL: optimistic point-read throughput below the latched \
              baseline (margin {margin})"

@@ -14,6 +14,7 @@
 //! effectiveness).
 
 use lr_core::{Engine, EngineConfig, RecoveryMethod, RecoveryOptions};
+use lr_obs::{BenchSummary, Json};
 use lr_workload::report::Table;
 use lr_workload::{run_concurrent, ConcurrentScenario};
 
@@ -43,6 +44,10 @@ fn print_help() {
     println!("  LR_REMOTE_MARGIN=F     rerun the last point behind the message");
     println!("                         boundary (remote:<backend>) and require");
     println!("                         remote txn/s >= F * in-process txn/s");
+    println!("  LR_OBS_MARGIN=F        rerun the last point with the trace journal");
+    println!("                         enabled (but idle) and require traced");
+    println!("                         txn/s >= F * untraced txn/s");
+    println!("  LR_BENCH_OUT=dir       where BENCH_throughput.json lands (default .)");
     println!("  LR_BACKEND=<name>      data-component backend; registered:");
     for b in lr_core::backends() {
         println!("                           {}", b.name);
@@ -105,6 +110,19 @@ fn main() {
     // attributable.
     let backend = std::env::var("LR_BACKEND").unwrap_or_else(|_| "btree".to_string());
 
+    // Machine-readable run summary (shared schema across all benches);
+    // written as BENCH_throughput.json even when a gate fails, so CI
+    // artifacts always capture what was measured.
+    let mut summary = BenchSummary::new("throughput");
+    summary.config("backend", Json::from(backend.as_str()));
+    summary.config("txns", Json::from(txns_total));
+    summary.config("keys", Json::from(key_space));
+    summary.config("force_us", Json::from(force_us));
+    summary.config("pool_pages", Json::from(pool_pages as u64));
+    summary.config("maintenance", Json::from(maintenance));
+    summary.config("optimistic_reads", Json::from(optimistic_reads));
+    summary.config("optimistic_writes", Json::from(optimistic_writes));
+
     println!("Concurrent throughput: §5.2 update workload, {key_space} keys,");
     println!("data component backend: {backend} (LR_BACKEND),");
     println!("{txns_total} transactions total per point (10 updates each), no-wait retry,");
@@ -136,8 +154,10 @@ fn main() {
 
     // One measurement point: a fresh engine (identical starting state for
     // every thread count) on the named backend, the §5.2 scenario, a lock
-    // leak check. Shared with the LR_REMOTE_MARGIN rerun below.
-    let run_point = |threads: usize, backend: &str| {
+    // leak check. Shared with the LR_REMOTE_MARGIN and LR_OBS_MARGIN
+    // reruns below; `trace` turns the journal on (enabled but never
+    // drained — the overhead-gate configuration).
+    let run_point = |threads: usize, backend: &str, trace: bool| {
         let engine = Engine::build(EngineConfig {
             initial_rows: key_space,
             pool_pages,
@@ -147,6 +167,7 @@ fn main() {
             optimistic_reads,
             optimistic_writes,
             backend: backend.to_string(),
+            trace,
             ..EngineConfig::default()
         })
         .expect("engine build")
@@ -160,7 +181,7 @@ fn main() {
     };
 
     for &threads in &thread_counts {
-        let (report, engine) = run_point(threads, &backend);
+        let (report, engine) = run_point(threads, &backend, false);
         if maintenance {
             let s = engine.stats();
             eprintln!(
@@ -196,6 +217,16 @@ fn main() {
             report.conflict_retries,
             report.log_forces,
         );
+        summary.point(
+            Json::obj()
+                .with("backend", Json::from(backend.as_str()))
+                .with("threads", Json::from(threads as u64))
+                .with("committed", Json::from(report.committed))
+                .with("wall_ms", Json::from(report.wall.as_secs_f64() * 1e3))
+                .with("txn_per_sec", Json::from(tps))
+                .with("conflict_retries", Json::from(report.conflict_retries))
+                .with("log_forces", Json::from(report.log_forces)),
+        );
         last_engine = Some(engine);
         last_point = Some((threads, tps));
     }
@@ -214,7 +245,7 @@ fn main() {
             Some(inner) => (inner.to_string(), true),
             None => (format!("remote:{backend}"), false),
         };
-        let (report, _engine) = run_point(threads, &twin);
+        let (report, _engine) = run_point(threads, &twin, false);
         let twin_tps = report.committed_per_sec();
         let (inproc_tps, remote_tps) =
             if main_is_remote { (twin_tps, main_tps) } else { (main_tps, twin_tps) };
@@ -229,10 +260,63 @@ fn main() {
             "message-boundary tax at {threads} thread(s): {inproc_tps:.0} txn/s in-process \
              vs {remote_tps:.0} txn/s proxied ({ratio:.2}x, margin {margin:.2})"
         );
-        if ratio >= margin {
+        let pass = ratio >= margin;
+        summary.gate(
+            Json::obj()
+                .with("gate", Json::from("remote_margin"))
+                .with("threads", Json::from(threads as u64))
+                .with("inproc_txn_per_sec", Json::from(inproc_tps))
+                .with("remote_txn_per_sec", Json::from(remote_tps))
+                .with("ratio", Json::from(ratio))
+                .with("margin", Json::from(margin))
+                .with("pass", Json::from(pass)),
+        );
+        if pass {
             println!("PASS: remote backend within margin");
         } else {
             println!("FAIL: remote throughput below {margin:.2}x of in-process");
+            let _ = summary.write();
+            std::process::exit(1);
+        }
+    }
+
+    // LR_OBS_MARGIN=F: the tracing-overhead gate. Rerun the last point
+    // with the trace journal enabled but idle (events are emitted into
+    // the per-thread rings and never drained — the worst steady-state
+    // cost a always-on journal imposes) and require traced txn/s >=
+    // F * untraced txn/s. CI runs this at 0.95.
+    if let (Some(margin), Some((threads, plain_tps))) = (env_f64("LR_OBS_MARGIN"), last_point) {
+        let (report, engine) = run_point(threads, &backend, true);
+        let traced_tps = report.committed_per_sec();
+        let ratio = traced_tps / plain_tps.max(1e-9);
+        let dropped = engine.trace().dropped_events();
+        println!(
+            "{{\"bench\":\"throughput\",\"backend\":\"{backend}\",\"threads\":{threads},\
+             \"committed\":{},\"txn_per_sec\":{traced_tps:.0},\"traced\":true,\
+             \"obs_ratio\":{ratio:.3},\"trace_dropped\":{dropped}}}",
+            report.committed,
+        );
+        println!(
+            "tracing overhead at {threads} thread(s): {plain_tps:.0} txn/s untraced vs \
+             {traced_tps:.0} txn/s traced ({ratio:.2}x, margin {margin:.2}, {dropped} dropped)"
+        );
+        let pass = ratio >= margin;
+        summary.gate(
+            Json::obj()
+                .with("gate", Json::from("obs_margin"))
+                .with("threads", Json::from(threads as u64))
+                .with("untraced_txn_per_sec", Json::from(plain_tps))
+                .with("traced_txn_per_sec", Json::from(traced_tps))
+                .with("trace_dropped", Json::from(dropped))
+                .with("ratio", Json::from(ratio))
+                .with("margin", Json::from(margin))
+                .with("pass", Json::from(pass)),
+        );
+        if pass {
+            println!("PASS: tracing overhead within margin");
+        } else {
+            println!("FAIL: traced throughput below {margin:.2}x of untraced");
+            let _ = summary.write();
             std::process::exit(1);
         }
     }
@@ -262,14 +346,29 @@ fn main() {
         }
     }
 
+    let mut failed = false;
     if let (Some(one), Some(four)) = (baseline, at_four) {
         let speedup = four / one;
         println!("4-thread speedup over 1 thread: {speedup:.2}x");
-        if four > one {
+        let pass = four > one;
+        summary.gate(
+            Json::obj()
+                .with("gate", Json::from("scaling"))
+                .with("speedup_4_over_1", Json::from(speedup))
+                .with("pass", Json::from(pass)),
+        );
+        if pass {
             println!("PASS: 4-thread committed-txn/s strictly above 1-thread");
         } else {
             println!("FAIL: no scaling — 4 threads at or below the single-session rate");
-            std::process::exit(1);
+            failed = true;
         }
+    }
+    match summary.write() {
+        Ok(path) => println!("summary: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench summary: {e}"),
+    }
+    if failed {
+        std::process::exit(1);
     }
 }

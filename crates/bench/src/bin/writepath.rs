@@ -26,6 +26,7 @@
 //! not a regression, on its target workload.
 
 use lr_core::{Engine, EngineConfig, Session, DEFAULT_TABLE};
+use lr_obs::{BenchSummary, Json};
 use lr_workload::{KeyDist, OpMix, TxnGenerator, WorkloadSpec};
 use std::time::Instant;
 
@@ -194,11 +195,36 @@ fn emit(mode: &str, threads: usize, r: &ModeReport) {
     );
 }
 
+/// The same per-mode measurements as the JSON line, as a summary point.
+fn point(mode: &str, threads: usize, r: &ModeReport) -> Json {
+    Json::obj()
+        .with("backend", Json::from("btree"))
+        .with("mode", Json::from(mode))
+        .with("threads", Json::from(threads as u64))
+        .with("writes", Json::from(r.writes))
+        .with("reads", Json::from(r.reads))
+        .with("wall_s", Json::from(r.wall_s))
+        .with("writes_per_sec", Json::from(r.writes_per_sec))
+        .with("p50_ns", Json::from(r.p50_ns))
+        .with("p99_ns", Json::from(r.p99_ns))
+        .with("max_ns", Json::from(r.max_ns))
+        .with("optimistic_writes", Json::from(r.optimistic_writes))
+        .with("write_fallbacks", Json::from(r.write_fallbacks))
+        .with("write_restarts", Json::from(r.write_restarts))
+        .with("leaf_upgrades_failed", Json::from(r.leaf_upgrades_failed))
+}
+
 fn main() {
     let threads = env_u64("LR_THREADS", 4) as usize;
     let writes = env_u64("LR_WRITES", 40_000);
     let key_space = env_u64("LR_KEYS", 20_000);
     let margin = env_f64("LR_WRITEPATH_MARGIN", 1.0);
+
+    let mut summary = BenchSummary::new("writepath");
+    summary.config("threads", Json::from(threads as u64));
+    summary.config("writes", Json::from(writes));
+    summary.config("keys", Json::from(key_space));
+    summary.config("margin", Json::from(margin));
 
     eprintln!(
         "writepath: update-heavy preset (95/5), {threads} thread(s), \
@@ -211,9 +237,11 @@ fn main() {
         "LR_WRITE_OPTIMISTIC off must not touch the optimistic prepare path"
     );
     emit("latched", threads, &latched);
+    summary.point(point("latched", threads, &latched));
 
     let optimistic = run_mode(true, threads, writes, key_space);
     emit("optimistic", threads, &optimistic);
+    summary.point(point("optimistic", threads, &optimistic));
 
     assert!(
         optimistic.optimistic_writes > 0,
@@ -232,7 +260,19 @@ fn main() {
         optimistic.write_restarts,
         optimistic.leaf_upgrades_failed,
     );
-    if optimistic.writes_per_sec < latched.writes_per_sec * margin {
+    let pass = optimistic.writes_per_sec >= latched.writes_per_sec * margin;
+    summary.gate(
+        Json::obj()
+            .with("gate", Json::from("writepath_margin"))
+            .with("speedup", Json::from(speedup))
+            .with("margin", Json::from(margin))
+            .with("pass", Json::from(pass)),
+    );
+    match summary.write() {
+        Ok(path) => eprintln!("summary: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench summary: {e}"),
+    }
+    if !pass {
         eprintln!(
             "FAIL: optimistic update throughput below the latched \
              baseline (margin {margin})"

@@ -79,6 +79,7 @@
 
 use crate::events::CacheEvent;
 use lr_common::{Error, Histogram, Lsn, PageId, Result};
+use lr_obs::{EventKind, TraceSink};
 use lr_storage::{Disk, Page, PageType, RawPageView};
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockWriteGuard};
 use std::collections::HashMap;
@@ -126,59 +127,67 @@ pub struct FetchInfo {
     pub page_type: PageType,
 }
 
-/// Aggregate pool counters for a measurement window.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct PoolStats {
-    /// Distribution of per-fetch stall times (µs) for data pages — the
-    /// §5.3 prefetching discussion is about reshaping this histogram.
-    pub data_stall_hist: Histogram,
-    pub hits: u64,
-    pub misses: u64,
-    pub evictions: u64,
-    pub dirty_evictions: u64,
-    pub flushes: u64,
-    pub eosl_demands: u64,
-    /// Misses broken out by what was fetched.
-    pub data_page_misses: u64,
-    pub index_page_misses: u64,
-    /// Stall time broken out the same way (simulated µs).
-    pub data_stall_us: u64,
-    pub index_stall_us: u64,
-    pub data_stall_events: u64,
-    pub index_stall_events: u64,
-    /// Clock-hand slot examinations across all evictions — divided by
-    /// `evictions` this is the amortized per-miss sweep cost, which must
-    /// stay O(1) regardless of pool size (the whole point of the clock).
-    pub clock_examinations: u64,
-    /// Optimistic page reads that validated (no latch was taken).
-    pub optimistic_reads: u64,
-    /// Optimistic reads rejected by the seqlock: the version was odd
-    /// (write-latched or invalidated) or changed under the read.
-    pub optimistic_validation_failures: u64,
-    /// Optimistic reads that found the page not resident (the latched
-    /// fallback performs the fetch).
-    pub optimistic_misses: u64,
-    /// Global-epoch advances (each one a proven quiescent point: every
-    /// in-flight optimistic operation began at the current epoch).
-    pub epochs_advanced: u64,
-    /// Invalidated frame cells parked on the limbo list by the evictor /
-    /// failed loads.
-    pub frames_retired: u64,
-    /// Retired cells whose page allocation was actually reused for a new
-    /// frame (epoch horizon passed and no stale reference survived).
-    pub frames_recycled: u64,
-    /// Optimistic write attempts that restarted after a version conflict
-    /// (recorded by the DC's restart loop via
-    /// [`BufferPool::record_write_restart`]).
-    pub write_restarts: u64,
-    /// Leaf write-latch upgrades that failed validation (frame latched,
-    /// evicted, or its version moved since the optimistic descent).
-    pub leaf_upgrades_failed: u64,
-    /// Epoch advances forced by the limbo high-water mark: the retired
-    /// backlog crossed 3/4 of pool capacity, so the retirer pushed the
-    /// horizon and pruned eagerly instead of waiting for the hard cap to
-    /// drop reusable allocations on the floor.
-    pub forced_epoch_advances: u64,
+lr_common::counter_struct! {
+    /// Aggregate pool counters for a measurement window. Defined through
+    /// [`lr_common::counter_struct!`], which also generates
+    /// `delta_since`/`merge_from` and the field enumeration the metrics
+    /// registry exports.
+    pub struct PoolStats {
+        counters {
+            pub hits: u64,
+            pub misses: u64,
+            pub evictions: u64,
+            pub dirty_evictions: u64,
+            pub flushes: u64,
+            pub eosl_demands: u64,
+            /// Misses broken out by what was fetched.
+            pub data_page_misses: u64,
+            pub index_page_misses: u64,
+            /// Stall time broken out the same way (simulated µs).
+            pub data_stall_us: u64,
+            pub index_stall_us: u64,
+            pub data_stall_events: u64,
+            pub index_stall_events: u64,
+            /// Clock-hand slot examinations across all evictions — divided by
+            /// `evictions` this is the amortized per-miss sweep cost, which must
+            /// stay O(1) regardless of pool size (the whole point of the clock).
+            pub clock_examinations: u64,
+            /// Optimistic page reads that validated (no latch was taken).
+            pub optimistic_reads: u64,
+            /// Optimistic reads rejected by the seqlock: the version was odd
+            /// (write-latched or invalidated) or changed under the read.
+            pub optimistic_validation_failures: u64,
+            /// Optimistic reads that found the page not resident (the latched
+            /// fallback performs the fetch).
+            pub optimistic_misses: u64,
+            /// Global-epoch advances (each one a proven quiescent point: every
+            /// in-flight optimistic operation began at the current epoch).
+            pub epochs_advanced: u64,
+            /// Invalidated frame cells parked on the limbo list by the evictor /
+            /// failed loads.
+            pub frames_retired: u64,
+            /// Retired cells whose page allocation was actually reused for a new
+            /// frame (epoch horizon passed and no stale reference survived).
+            pub frames_recycled: u64,
+            /// Optimistic write attempts that restarted after a version conflict
+            /// (recorded by the DC's restart loop via
+            /// [`BufferPool::record_write_restart`]).
+            pub write_restarts: u64,
+            /// Leaf write-latch upgrades that failed validation (frame latched,
+            /// evicted, or its version moved since the optimistic descent).
+            pub leaf_upgrades_failed: u64,
+            /// Epoch advances forced by the limbo high-water mark: the retired
+            /// backlog crossed 3/4 of pool capacity, so the retirer pushed the
+            /// horizon and pruned eagerly instead of waiting for the hard cap to
+            /// drop reusable allocations on the floor.
+            pub forced_epoch_advances: u64,
+        }
+        histograms {
+            /// Distribution of per-fetch stall times (µs) for data pages — the
+            /// §5.3 prefetching discussion is about reshaping this histogram.
+            pub data_stall_hist: Histogram,
+        }
+    }
 }
 
 #[derive(Default)]
@@ -449,6 +458,7 @@ pub struct BufferPool {
     stats: PoolCounters,
     data_stall_hist: Mutex<Histogram>,
     epochs: EpochState,
+    trace: std::sync::OnceLock<TraceSink>,
 }
 
 impl BufferPool {
@@ -474,7 +484,20 @@ impl BufferPool {
             stats: PoolCounters::default(),
             data_stall_hist: Mutex::new(Histogram::default()),
             epochs: EpochState::new(),
+            trace: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Attach the trace journal (set once, at engine build). Page
+    /// fetch/evict/flush/recycle, epoch advances and OLC restarts are
+    /// journaled through it.
+    pub fn set_trace(&self, sink: TraceSink) {
+        let _ = self.trace.set(sink);
+    }
+
+    #[inline]
+    fn trace(&self) -> Option<&TraceSink> {
+        self.trace.get().filter(|s| s.is_enabled())
     }
 
     #[inline]
@@ -622,7 +645,7 @@ impl BufferPool {
     /// is idle or pinned at the current epoch, i.e. no in-flight
     /// optimistic operation predates it. Each successful advance is a
     /// proof point the recycler's horizon can move past.
-    fn try_advance_epoch(&self) {
+    fn try_advance_epoch(&self, forced: bool) {
         let global = self.epochs.global.load(Ordering::Acquire);
         let quiescent = self.epochs.pins.iter().all(|p| {
             let v = p.load(Ordering::Acquire);
@@ -636,6 +659,9 @@ impl BufferPool {
                 .is_ok()
         {
             self.stats.epochs_advanced.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = self.trace() {
+                t.emit(EventKind::EpochAdvance { epoch: global + 1, forced });
+            }
         }
     }
 
@@ -666,12 +692,12 @@ impl BufferPool {
             over_high_water = limbo.len() >= high_water;
         }
         self.stats.frames_retired.fetch_add(1, Ordering::Relaxed);
-        self.try_advance_epoch();
+        self.try_advance_epoch(false);
         if over_high_water {
             self.stats.forced_epoch_advances.fetch_add(1, Ordering::Relaxed);
             // A second advance attempt: the first one may itself have been
             // the quiescent point the prune's horizon needs to move past.
-            self.try_advance_epoch();
+            self.try_advance_epoch(true);
             self.prune_limbo();
         }
     }
@@ -693,7 +719,7 @@ impl BufferPool {
     /// stale optimistic reader can ever validate against the reused
     /// buffer.
     fn try_recycle_page(&self) -> Option<Page> {
-        self.try_advance_epoch();
+        self.try_advance_epoch(false);
         let mut limbo = self.epochs.limbo.lock();
         if limbo.is_empty() {
             return None;
@@ -711,7 +737,11 @@ impl BufferPool {
                 match Arc::try_unwrap(cell) {
                     Ok(cell) => {
                         self.stats.frames_recycled.fetch_add(1, Ordering::Relaxed);
-                        recycled = Some(cell.latch.into_inner().page);
+                        let page = cell.latch.into_inner().page;
+                        if let Some(t) = self.trace() {
+                            t.emit(EventKind::FrameRecycle { pid: page.pid().0 });
+                        }
+                        recycled = Some(page);
                     }
                     // A stale `Arc` holder survives (latched retry loop,
                     // optimistic reader mid-validation); keep waiting.
@@ -915,6 +945,9 @@ impl BufferPool {
         drop(frame);
 
         self.stats.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.trace() {
+            t.emit(EventKind::PageFetch { pid: pid.0, stall_us: outcome.stall_us });
+        }
         match ty {
             PageType::Internal | PageType::Meta => {
                 self.stats.index_page_misses.fetch_add(1, Ordering::Relaxed);
@@ -1046,6 +1079,9 @@ impl BufferPool {
         let v1 = cell.version.load(Ordering::Acquire);
         if v1 & 1 == 1 {
             self.stats.optimistic_validation_failures.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = self.trace() {
+                t.emit(EventKind::OlcRestart { pid: pid.0, write: false });
+            }
             return Err(OptReadFail::Contended);
         }
         // SAFETY: `buf` stays allocated for the cell's lifetime (we hold
@@ -1057,6 +1093,9 @@ impl BufferPool {
         fence(Ordering::Acquire);
         if cell.version.load(Ordering::Relaxed) != v1 {
             self.stats.optimistic_validation_failures.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = self.trace() {
+                t.emit(EventKind::OlcRestart { pid: pid.0, write: false });
+            }
             return Err(OptReadFail::Contended);
         }
         // Recency: grant the second chance (what the clock evictor
@@ -1092,17 +1131,21 @@ impl BufferPool {
         expected_version: u64,
         f: impl FnOnce(&Page) -> R,
     ) -> std::result::Result<R, OptReadFail> {
-        let Some(cell) = self.shard(pid).lock().get(&pid).cloned() else {
+        let fail = |kind: OptReadFail| {
             self.stats.leaf_upgrades_failed.fetch_add(1, Ordering::Relaxed);
-            return Err(OptReadFail::NotResident);
+            if let Some(t) = self.trace() {
+                t.emit(EventKind::OlcRestart { pid: pid.0, write: true });
+            }
+            Err(kind)
+        };
+        let Some(cell) = self.shard(pid).lock().get(&pid).cloned() else {
+            return fail(OptReadFail::NotResident);
         };
         let Some(frame) = cell.latch.try_write() else {
-            self.stats.leaf_upgrades_failed.fetch_add(1, Ordering::Relaxed);
-            return Err(OptReadFail::Contended);
+            return fail(OptReadFail::Contended);
         };
         if frame.evicted || cell.version.load(Ordering::Acquire) != expected_version {
-            self.stats.leaf_upgrades_failed.fetch_add(1, Ordering::Relaxed);
-            return Err(OptReadFail::Contended);
+            return fail(OptReadFail::Contended);
         }
         Ok(f(&frame.page))
     }
@@ -1244,9 +1287,13 @@ impl BufferPool {
         if frame.evicted || cell.pins.load(Ordering::Acquire) != 0 {
             return Ok(false);
         }
+        let was_dirty = frame.dirty;
         if frame.dirty {
             self.flush_frame_locked(&mut frame, pid)?;
             self.stats.dirty_evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(t) = self.trace() {
+            t.emit(EventKind::PageEvict { pid: pid.0, dirty: was_dirty });
         }
         // Invalidate *before* the shard-table removal below is visible:
         // the guard acquired the frame with an odd version and — because
@@ -1286,6 +1333,9 @@ impl BufferPool {
         frame.first_dirty_lsn = Lsn::NULL;
         self.dirty.fetch_sub(1, Ordering::AcqRel);
         self.stats.flushes.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.trace() {
+            t.emit(EventKind::PageFlush { pid: pid.0 });
+        }
         let elsn = self.current_elsn();
         self.events.lock().push(CacheEvent::Flushed { pid, plsn, elsn });
         Ok(())

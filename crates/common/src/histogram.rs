@@ -83,6 +83,21 @@ impl Histogram {
         self.max
     }
 
+    /// Difference `self - earlier`, for windowed measurement. Buckets,
+    /// `count` and `sum` only grow under recording, so per-bucket
+    /// subtraction is exact; the windowed `max` is not recoverable from
+    /// two snapshots, so the delta keeps the lifetime maximum.
+    pub fn delta_since(&self, earlier: &Histogram) -> Histogram {
+        let mut h = Histogram::new();
+        for (i, b) in h.buckets.iter_mut().enumerate() {
+            *b = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        h.count = self.count.saturating_sub(earlier.count);
+        h.sum = self.sum.saturating_sub(earlier.sum);
+        h.max = self.max;
+        h
+    }
+
     /// Merge another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -222,6 +237,21 @@ mod tests {
         let bytes = e.finish();
         let back = Histogram::decode_from(&mut crate::codec::Decoder::new(&bytes)).unwrap();
         assert_eq!(back, Histogram::new());
+    }
+
+    #[test]
+    fn delta_since_subtracts_buckets_and_moments() {
+        let mut earlier = Histogram::new();
+        earlier.record(4);
+        earlier.record(100);
+        let mut later = earlier.clone();
+        later.record(4);
+        later.record(9_000);
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 9_004);
+        assert_eq!(d.nonzero_buckets(), vec![(4, 1), (8192, 1)]);
+        assert_eq!(d.max(), 9_000, "delta keeps the lifetime max");
     }
 
     #[test]

@@ -5,42 +5,110 @@
 //! structs are the measurement channel: the substrates fill them in, the
 //! figure harnesses in `lr-bench` print them.
 
-/// Device-level I/O counters, owned by the disk implementation.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct IoStats {
-    /// Synchronous page reads (each stalls the caller).
-    pub sync_page_reads: u64,
-    /// Asynchronous (prefetch) device operations issued.
-    pub async_ios: u64,
-    /// Pages covered by asynchronous operations.
-    pub async_pages: u64,
-    /// Sequential log-page reads.
-    pub log_page_reads: u64,
-    /// Page writes (flushes).
-    pub page_writes: u64,
-    /// Number of times a caller stalled waiting for a page.
-    pub stall_events: u64,
-    /// Total stall time in simulated microseconds.
-    pub stall_us: u64,
+/// Define a stats struct whose `delta_since`, `merge_from` and field
+/// enumeration are generated from the field list itself, so a newly
+/// added counter can never be silently omitted from deltas or exports.
+///
+/// Fields are declared in two groups: `counters { .. }` (plain `u64`
+/// tallies — subtracted by `delta_since`, added by `merge_from`) and an
+/// optional `histograms { .. }` group of [`Histogram`] fields (windowed
+/// via [`Histogram::delta_since`], combined via [`Histogram::merge`]).
+///
+/// Generated API, identical for every invocation:
+/// - `COUNTER_NAMES: &[&str]` / `HISTOGRAM_NAMES: &[&str]`
+/// - `fn delta_since(&self, earlier: &Self) -> Self`
+/// - `fn merge_from(&mut self, other: &Self)`
+/// - `fn counters(&self) -> Vec<(&'static str, u64)>`
+/// - `fn histograms(&self) -> Vec<(&'static str, &Histogram)>`
+#[macro_export]
+macro_rules! counter_struct {
+    (
+        $(#[$smeta:meta])*
+        pub struct $name:ident {
+            counters {
+                $( $(#[$cmeta:meta])* pub $cf:ident: u64, )*
+            }
+            $( histograms {
+                $( $(#[$hmeta:meta])* pub $hf:ident: Histogram, )*
+            } )?
+        }
+    ) => {
+        $(#[$smeta])*
+        #[derive(Clone, Debug, Default, PartialEq, Eq)]
+        pub struct $name {
+            $( $(#[$cmeta])* pub $cf: u64, )*
+            $( $( $(#[$hmeta])* pub $hf: $crate::Histogram, )* )?
+        }
+
+        impl $name {
+            /// Every `u64` counter field name, in declaration order.
+            pub const COUNTER_NAMES: &'static [&'static str] = &[ $( stringify!($cf), )* ];
+
+            /// Every histogram field name, in declaration order.
+            pub const HISTOGRAM_NAMES: &'static [&'static str] =
+                &[ $( $( stringify!($hf), )* )? ];
+
+            /// Difference `self - earlier`, for windowed measurement.
+            pub fn delta_since(&self, earlier: &$name) -> $name {
+                $name {
+                    $( $cf: self.$cf.wrapping_sub(earlier.$cf), )*
+                    $( $( $hf: self.$hf.delta_since(&earlier.$hf), )* )?
+                }
+            }
+
+            /// Accumulate `other` into `self` (counters add, histograms
+            /// merge).
+            pub fn merge_from(&mut self, other: &$name) {
+                $( self.$cf = self.$cf.wrapping_add(other.$cf); )*
+                $( $( self.$hf.merge(&other.$hf); )* )?
+            }
+
+            /// Every counter as `(name, value)`, in declaration order.
+            /// Exporters enumerate stats structs through this, so they
+            /// cannot drift from the struct definition.
+            pub fn counters(&self) -> ::std::vec::Vec<(&'static str, u64)> {
+                ::std::vec![ $( (stringify!($cf), self.$cf), )* ]
+            }
+
+            /// Every histogram as `(name, &Histogram)`, in declaration
+            /// order.
+            pub fn histograms(&self) -> ::std::vec::Vec<(&'static str, &$crate::Histogram)> {
+                #[allow(unused_mut)]
+                let mut v: ::std::vec::Vec<(&'static str, &$crate::Histogram)> =
+                    ::std::vec::Vec::new();
+                $( $( v.push((stringify!($hf), &self.$hf)); )* )?
+                v
+            }
+        }
+    };
+}
+
+crate::counter_struct! {
+    /// Device-level I/O counters, owned by the disk implementation.
+    pub struct IoStats {
+        counters {
+            /// Synchronous page reads (each stalls the caller).
+            pub sync_page_reads: u64,
+            /// Asynchronous (prefetch) device operations issued.
+            pub async_ios: u64,
+            /// Pages covered by asynchronous operations.
+            pub async_pages: u64,
+            /// Sequential log-page reads.
+            pub log_page_reads: u64,
+            /// Page writes (flushes).
+            pub page_writes: u64,
+            /// Number of times a caller stalled waiting for a page.
+            pub stall_events: u64,
+            /// Total stall time in simulated microseconds.
+            pub stall_us: u64,
+        }
+    }
 }
 
 impl IoStats {
     /// Total pages read from the device by any mechanism.
     pub fn pages_read(&self) -> u64 {
         self.sync_page_reads + self.async_pages
-    }
-
-    /// Difference `self - earlier`, for windowed measurement.
-    pub fn delta_since(&self, earlier: &IoStats) -> IoStats {
-        IoStats {
-            sync_page_reads: self.sync_page_reads - earlier.sync_page_reads,
-            async_ios: self.async_ios - earlier.async_ios,
-            async_pages: self.async_pages - earlier.async_pages,
-            log_page_reads: self.log_page_reads - earlier.log_page_reads,
-            page_writes: self.page_writes - earlier.page_writes,
-            stall_events: self.stall_events - earlier.stall_events,
-            stall_us: self.stall_us - earlier.stall_us,
-        }
     }
 }
 
@@ -197,6 +265,26 @@ mod tests {
         let d = b.delta_since(&a);
         assert_eq!(d.sync_page_reads, 15);
         assert_eq!(d.stall_us, 300);
+    }
+
+    #[test]
+    fn counter_struct_enumeration_matches_fields() {
+        let s = IoStats { sync_page_reads: 3, stall_us: 7, ..Default::default() };
+        assert_eq!(IoStats::COUNTER_NAMES.len(), 7);
+        let counters = s.counters();
+        assert_eq!(counters.len(), IoStats::COUNTER_NAMES.len());
+        assert!(counters.contains(&("sync_page_reads", 3)));
+        assert!(counters.contains(&("stall_us", 7)));
+        assert!(s.histograms().is_empty());
+    }
+
+    #[test]
+    fn counter_struct_merge_from_adds() {
+        let mut a = IoStats { page_writes: 2, ..Default::default() };
+        let b = IoStats { page_writes: 5, stall_events: 1, ..Default::default() };
+        a.merge_from(&b);
+        assert_eq!(a.page_writes, 7);
+        assert_eq!(a.stall_events, 1);
     }
 
     #[test]

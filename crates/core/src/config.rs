@@ -82,6 +82,19 @@ pub struct EngineConfig {
     /// (0 = instant). Group commit shares one force across concurrent
     /// committers, so this is what the `throughput` bench amortizes.
     pub commit_force_us: u64,
+    /// Enable the structured trace journal (`lr_obs::TraceSink`): every
+    /// subsystem emits typed events into per-thread lock-free rings,
+    /// drained via `Engine::drain_trace` / `Engine::drain_trace_json`.
+    /// Off by default — instrumented paths then pay only a branch.
+    pub trace: bool,
+    /// Approximate journal capacity in events when `trace` is on; a full
+    /// ring drops (and counts) instead of blocking.
+    pub trace_capacity: usize,
+    /// Background metrics-sampling period in milliseconds of real time:
+    /// the maintenance service appends an `Engine::metrics` snapshot to
+    /// the in-memory time series (`Engine::metrics_history`) this often.
+    /// 0 (the default) disables sampling.
+    pub metrics_sample_ms: u64,
 }
 
 impl Default for EngineConfig {
@@ -109,6 +122,9 @@ impl Default for EngineConfig {
             backend: lr_dc::BTREE_BACKEND.to_string(),
             io_model: IoModel::default(),
             commit_force_us: 0,
+            trace: false,
+            trace_capacity: 1 << 16,
+            metrics_sample_ms: 0,
         }
     }
 }

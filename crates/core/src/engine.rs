@@ -17,6 +17,7 @@ use crate::config::{default_table_op, EngineConfig, DEFAULT_TABLE};
 use crate::maintenance::{MaintCounters, MaintenanceHandle};
 use lr_common::{Error, Histogram, Key, Lsn, PageId, Result, SimClock, TableId, TxnId, Value};
 use lr_dc::{DcApi, DcConfig, TableSummary, WriteIntent};
+use lr_obs::{EventKind, MetricsSnapshot, TraceEvent, TraceSink};
 use lr_storage::SimDisk;
 use lr_tc::{undo::rollback_txn, TransactionComponent, UndoStats};
 use lr_wal::{GroupCommitStats, SharedWal, Wal};
@@ -84,6 +85,13 @@ pub struct Engine {
     /// Log length when the last checkpoint completed — the background
     /// checkpointer's log-bytes policy input.
     pub(crate) bytes_at_last_ckpt: AtomicU64,
+    /// The trace journal (disabled no-op sink unless `cfg.trace`); the
+    /// same sink is plumbed into the DC, pool and WAL at build time.
+    pub(crate) trace: TraceSink,
+    /// In-memory metrics time series appended by the maintenance
+    /// service when `cfg.metrics_sample_ms > 0` (bounded; oldest
+    /// samples are evicted).
+    pub(crate) metrics_history: Mutex<Vec<MetricsSnapshot>>,
 }
 
 /// Aggregate engine observability: lifecycle counters, maintenance-service
@@ -185,6 +193,20 @@ fn dc_config(cfg: &EngineConfig) -> DcConfig {
     }
 }
 
+/// Build the trace sink an engine config asks for and plumb it into the
+/// subsystems that emit on their own (DC → pool, WAL). Disabled configs
+/// get the no-op sink and the subsystems are left untouched (their
+/// `OnceLock` slots stay free for a later explicit hookup).
+fn plumb_trace(cfg: &EngineConfig, dc: &dyn DcApi, wal: &SharedWal) -> TraceSink {
+    if !cfg.trace {
+        return TraceSink::disabled();
+    }
+    let sink = TraceSink::enabled(cfg.trace_capacity);
+    dc.set_trace(sink.clone());
+    wal.set_trace(sink.clone());
+    sink
+}
+
 impl Engine {
     /// Build an engine on a fresh simulated disk: format it, bulk-load
     /// [`DEFAULT_TABLE`] with `cfg.initial_rows` rows, open the DC and TC
@@ -225,6 +247,7 @@ impl Engine {
         let dc = (be.open)(disk, wal.clone(), dcfg)?;
         dc.register_table(DEFAULT_TABLE, root)?;
         let tc = TransactionComponent::new(wal.clone());
+        let trace = plumb_trace(&cfg, dc.as_ref(), &wal);
         Ok(Engine {
             tc,
             dc,
@@ -240,6 +263,8 @@ impl Engine {
             maintenance: Mutex::new(None),
             maint: MaintCounters::default(),
             bytes_at_last_ckpt: AtomicU64::new(0),
+            trace,
+            metrics_history: Mutex::new(Vec::new()),
         })
     }
 
@@ -257,6 +282,7 @@ impl Engine {
         let dcfg = dc_config(&cfg);
         let dc = (lr_dc::backend(&cfg.backend)?.open)(disk, wal.clone(), dcfg)?;
         let tc = TransactionComponent::new(wal.clone());
+        let trace = plumb_trace(&cfg, dc.as_ref(), &wal);
         Ok(Engine {
             tc,
             dc,
@@ -272,6 +298,8 @@ impl Engine {
             maintenance: Mutex::new(None),
             maint: MaintCounters::default(),
             bytes_at_last_ckpt: AtomicU64::new(0),
+            trace,
+            metrics_history: Mutex::new(Vec::new()),
         })
     }
 
@@ -319,13 +347,26 @@ impl Engine {
     /// append `TxnBegin` to the post-crash log).
     pub fn begin(&self) -> Result<TxnId> {
         let _dp = self.enter_data_plane()?;
-        Ok(self.tc.begin())
+        let txn = self.tc.begin();
+        self.trace.emit(EventKind::TxnBegin { txn: txn.0 });
+        Ok(txn)
+    }
+
+    /// Acquire `txn`'s lock, journaling the conflict when it loses under
+    /// the no-wait policy (every locking entry point funnels through
+    /// here so the journal sees the whole contention story).
+    fn lock_traced(&self, txn: TxnId, table: TableId, key: Key) -> Result<()> {
+        let out = self.tc.lock(txn, table, key);
+        if let Err(Error::LockConflict { .. }) = &out {
+            self.trace.emit(EventKind::LockConflict { txn: txn.0, table: table.0 as u64, key });
+        }
+        out
     }
 
     /// Update `key` in `table` to `value`.
     pub fn update_in(&self, txn: TxnId, table: TableId, key: Key, value: Value) -> Result<()> {
         let _dp = self.enter_data_plane()?;
-        self.tc.lock(txn, table, key)?;
+        self.lock_traced(txn, table, key)?;
         let mut prep =
             self.dc.prepare_op(table, key, WriteIntent::Update { value_len: value.len() })?;
         let before = prep.before.take().expect("update prepare returns a before-image");
@@ -342,7 +383,7 @@ impl Engine {
     /// Insert `key -> value` into `table`.
     pub fn insert_in(&self, txn: TxnId, table: TableId, key: Key, value: Value) -> Result<()> {
         let _dp = self.enter_data_plane()?;
-        self.tc.lock(txn, table, key)?;
+        self.lock_traced(txn, table, key)?;
         let prep =
             self.dc.prepare_op(table, key, WriteIntent::Insert { value_len: value.len() })?;
         let rec = self.tc.log_insert(txn, table, key, prep.pid, value)?;
@@ -357,7 +398,7 @@ impl Engine {
     /// Delete `key` from `table`.
     pub fn delete_in(&self, txn: TxnId, table: TableId, key: Key) -> Result<()> {
         let _dp = self.enter_data_plane()?;
-        self.tc.lock(txn, table, key)?;
+        self.lock_traced(txn, table, key)?;
         let mut prep = self.dc.prepare_op(table, key, WriteIntent::Delete)?;
         let before = prep.before.take().expect("delete prepare returns a before-image");
         let rec = self.tc.log_delete(txn, table, key, prep.pid, before)?;
@@ -393,7 +434,7 @@ impl Engine {
     /// locking until the final leaf when `optimistic_writes` is on.
     pub fn read_for_update(&self, txn: TxnId, table: TableId, key: Key) -> Result<Option<Value>> {
         let _dp = self.enter_data_plane()?;
-        self.tc.lock(txn, table, key)?;
+        self.lock_traced(txn, table, key)?;
         self.dc.read(table, key)
     }
 
@@ -412,6 +453,7 @@ impl Engine {
     pub fn commit(&self, txn: TxnId) -> Result<()> {
         let _dp = self.enter_data_plane()?;
         let stable = self.tc.commit(txn)?;
+        self.trace.emit(EventKind::TxnCommit { txn: txn.0 });
         self.dc.eosl(stable);
         Ok(())
     }
@@ -422,6 +464,7 @@ impl Engine {
         let head = self.tc.last_lsn_of(txn)?;
         let mut stats = UndoStats::default();
         rollback_txn(&self.tc, self.dc.as_ref(), txn, head, &mut stats)?;
+        self.trace.emit(EventKind::TxnAbort { txn: txn.0 });
         Ok(stats)
     }
 
@@ -460,6 +503,7 @@ impl Engine {
         self.check_up()?;
         let aries_dpt = self.cfg.aries_ckpt_capture.then(|| self.dc.pool().runtime_dpt());
         let bckpt = self.tc.begin_checkpoint(aries_dpt);
+        self.trace.emit(EventKind::CheckpointBegin { lsn: bckpt.0 });
         // Every operation logged before bCkpt must be applied before the
         // generation flip inside rssp(), or it escapes both the checkpoint
         // flush and the redo scan window.
@@ -471,6 +515,7 @@ impl Engine {
         self.checkpoints_taken.fetch_add(1, Ordering::AcqRel);
         self.last_bckpt.store(bckpt.0, Ordering::Release);
         self.bytes_at_last_ckpt.store(self.wal.lock().byte_len(), Ordering::Release);
+        self.trace.emit(EventKind::CheckpointEnd { lsn: bckpt.0 });
         Ok(bckpt)
     }
 
@@ -530,6 +575,102 @@ impl Engine {
             read_restart_hist: dc_stats.read_restart_hist,
             write_restart_hist: dc_stats.write_restart_hist,
         }
+    }
+
+    /// The whole measurement surface as one [`MetricsSnapshot`]: every
+    /// [`EngineStats`] field under the `engine_` prefix, plus the pool /
+    /// DC / I/O counter structs (via their `counter_struct!`-generated
+    /// enumerations, so the export cannot drift from the definitions),
+    /// the TC's transaction counters, and the journal's drop counter.
+    /// Export with [`MetricsSnapshot::to_prometheus`] /
+    /// [`MetricsSnapshot::to_json_lines`]; window with
+    /// [`MetricsSnapshot::delta_since`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let s = self.stats();
+        let pool = self.dc.pool();
+        let pool_stats = pool.stats();
+        let dc_stats = self.dc.stats();
+        let io = pool.disk().stats();
+        let tc = self.tc.stats();
+        let mut m = MetricsSnapshot { at_us: self.clock.now_us(), ..MetricsSnapshot::new() };
+        m.push_counter("engine_checkpoints_taken", s.checkpoints_taken);
+        m.push_counter("engine_background_checkpoints", s.background_checkpoints);
+        m.push_counter("engine_cleaner_sweeps", s.cleaner_sweeps);
+        m.push_counter("engine_cleaner_pages_flushed", s.cleaner_pages_flushed);
+        m.push_counter("engine_maintenance_ticks", s.maintenance_ticks);
+        m.push_counter("engine_quiesced_ticks", s.quiesced_ticks);
+        m.push_gauge("engine_maintenance_running", u64::from(s.maintenance_running) as f64);
+        m.push_gauge("engine_dirty_pages", s.dirty_pages as f64);
+        m.push_gauge("engine_cached_pages", s.cached_pages as f64);
+        m.push_gauge("engine_pool_capacity", s.pool_capacity as f64);
+        m.push_gauge("engine_log_bytes", s.log_bytes as f64);
+        m.push_gauge("engine_log_bytes_since_checkpoint", s.log_bytes_since_checkpoint as f64);
+        m.push_counter("engine_group_commit_forces", s.group_commit.forces);
+        m.push_counter("engine_group_commit_piggybacked", s.group_commit.piggybacked);
+        m.push_counter("engine_optimistic_point_reads", s.optimistic_point_reads);
+        m.push_counter("engine_optimistic_range_scans", s.optimistic_range_scans);
+        m.push_counter("engine_read_fallbacks", s.read_fallbacks);
+        m.push_counter("engine_optimistic_validation_failures", s.optimistic_validation_failures);
+        m.push_counter("engine_optimistic_writes", s.optimistic_writes);
+        m.push_counter("engine_write_fallbacks", s.write_fallbacks);
+        m.push_counter("engine_write_restarts", s.write_restarts);
+        m.push_counter("engine_leaf_upgrades_failed", s.leaf_upgrades_failed);
+        m.push_counter("engine_epochs_advanced", s.epochs_advanced);
+        m.push_counter("engine_forced_epoch_advances", s.forced_epoch_advances);
+        m.push_counter("engine_frames_retired", s.frames_retired);
+        m.push_counter("engine_frames_recycled", s.frames_recycled);
+        m.push_hist("engine_read_restart_hist", s.read_restart_hist);
+        m.push_hist("engine_write_restart_hist", s.write_restart_hist);
+        m.push_counters("pool", &pool_stats.counters());
+        m.push_histograms("pool", &pool_stats.histograms());
+        m.push_counters("dc", &dc_stats.counters());
+        m.push_histograms("dc", &dc_stats.histograms());
+        m.push_counters("io", &io.counters());
+        m.push_counter("tc_begins", tc.begins);
+        m.push_counter("tc_commits", tc.commits);
+        m.push_counter("tc_aborts", tc.aborts);
+        m.push_counter("tc_data_ops_logged", tc.data_ops_logged);
+        m.push_counter("tc_clrs_logged", tc.clrs_logged);
+        m.push_counter("tc_checkpoints_completed", tc.checkpoints_completed);
+        m.push_counter("tc_eosl_sent", tc.eosl_sent);
+        m.push_counter("trace_dropped_events", self.trace.dropped_events());
+        m
+    }
+
+    /// The trace journal handle (a disabled no-op sink unless
+    /// [`EngineConfig::trace`] is set).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Drain the journal: every buffered event, globally ordered by
+    /// sequence number. Emitters may keep running; events emitted during
+    /// the drain land in the next one.
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        self.trace.drain()
+    }
+
+    /// [`Engine::drain_trace`] rendered as JSON lines.
+    pub fn drain_trace_json(&self) -> String {
+        self.trace.drain_json()
+    }
+
+    /// The sampled metrics time series (empty unless
+    /// [`EngineConfig::metrics_sample_ms`] is set and the maintenance
+    /// service is running).
+    pub fn metrics_history(&self) -> Vec<MetricsSnapshot> {
+        self.metrics_history.lock().clone()
+    }
+
+    /// Append one sample to the bounded in-memory time series (the
+    /// maintenance sampler's storage hook).
+    pub(crate) fn push_metrics_sample(&self, snap: MetricsSnapshot) {
+        const METRICS_HISTORY_CAP: usize = 1024;
+        let mut history = self.metrics_history.lock();
+        if history.len() >= METRICS_HISTORY_CAP {
+            history.remove(0);
+        }
+        history.push(snap);
     }
 
     // ------------------------------------------------------------------
@@ -631,6 +772,9 @@ impl Engine {
         // own `reopen`, never naming a concrete component type.
         let dc = self.dc.reopen(disk, wal.clone(), dcfg)?;
         let tc = TransactionComponent::new(wal.clone());
+        // The fork gets its own journal (when tracing): the reopened DC
+        // and the fresh WAL have empty trace slots to plumb.
+        let trace = plumb_trace(&cfg, dc.as_ref(), &wal);
         Ok(Engine {
             tc,
             dc,
@@ -646,6 +790,8 @@ impl Engine {
             maintenance: Mutex::new(None),
             maint: MaintCounters::default(),
             bytes_at_last_ckpt: AtomicU64::new(self.bytes_at_last_ckpt.load(Ordering::Acquire)),
+            trace,
+            metrics_history: Mutex::new(Vec::new()),
         })
     }
 

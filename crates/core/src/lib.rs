@@ -87,6 +87,7 @@ pub use config::{EngineConfig, DEFAULT_TABLE};
 pub use costmodel::{predicted_page_fetches, CostInputs};
 pub use engine::{CrashSnapshot, Engine, EngineStats};
 pub use lr_dc::{backend_names, backends, Backend, DcApi, DcIntrospect, TableSummary};
+pub use lr_obs::{EventKind, MetricValue, MetricsSnapshot, RecoveryPhase, TraceEvent, TraceSink};
 pub use precovery::RecoveryOptions;
 pub use recovery::{RecoveryMethod, RecoveryReport};
 pub use session::Session;

@@ -14,7 +14,11 @@
 //!   growth ([`crate::EngineConfig::ckpt_log_bytes`]);
 //! * **lr-lazywriter** sweeps cold dirty pages whenever the dirty fraction
 //!   exceeds the watermark ([`crate::EngineConfig::dirty_watermark`]),
-//!   [`crate::EngineConfig::cleaner_batch`] pages at a time.
+//!   [`crate::EngineConfig::cleaner_batch`] pages at a time;
+//! * **lr-metrics** (only when
+//!   [`crate::EngineConfig::metrics_sample_ms`] is non-zero) samples
+//!   [`crate::Engine::metrics`] into the in-memory time series behind
+//!   [`crate::Engine::metrics_history`].
 //!
 //! ## Lifecycle and crash interplay
 //!
@@ -120,6 +124,17 @@ impl Engine {
                     .name("lr-lazywriter".into())
                     .spawn(move || lazywriter_loop(weak, signal, tick))
                     .expect("spawn lazywriter"),
+            );
+        }
+        if self.cfg.metrics_sample_ms > 0 {
+            let weak = Arc::downgrade(self);
+            let signal = signal.clone();
+            let sample_ms = self.cfg.metrics_sample_ms;
+            threads.push(
+                std::thread::Builder::new()
+                    .name("lr-metrics".into())
+                    .spawn(move || metrics_loop(weak, signal, sample_ms))
+                    .expect("spawn metrics sampler"),
             );
         }
         *slot = Some(MaintenanceHandle { signal, threads });
@@ -235,7 +250,25 @@ fn lazywriter_loop(weak: Weak<Engine>, signal: Arc<Signal>, tick: Duration) {
         if pages > 0 {
             engine.maint.cleaner_sweeps.fetch_add(1, Ordering::Relaxed);
             engine.maint.cleaner_pages.fetch_add(pages, Ordering::Relaxed);
+            engine.trace.emit(lr_obs::EventKind::CleanerTick { pages_flushed: pages });
         }
+    }
+}
+
+/// Metrics sampler loop: append one [`Engine::metrics`] snapshot to the
+/// in-memory time series every `sample_ms` (only spawned when
+/// [`crate::EngineConfig::metrics_sample_ms`] is non-zero). Sampling is
+/// read-only, so it keeps running on a crashed engine — the flat-lined
+/// samples are part of the timeline.
+fn metrics_loop(weak: Weak<Engine>, signal: Arc<Signal>, sample_ms: u64) {
+    let period = Duration::from_millis(sample_ms.max(1));
+    loop {
+        if signal.park(period) {
+            return;
+        }
+        let Some(engine) = tick_engine(&weak) else { return };
+        let snap = engine.metrics();
+        engine.push_metrics_sample(snap);
     }
 }
 

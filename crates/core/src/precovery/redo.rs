@@ -11,6 +11,7 @@
 use crate::methods::{LogDrivenPrefetcher, LogicalCtx, LogicalPrefetch};
 use lr_common::{Error, IoModel, PageId, RecoveryBreakdown, Result};
 use lr_dc::{DcApi, Dpt, DptScreen};
+use lr_obs::{EventKind, RecoveryPhase, TraceSink};
 use lr_wal::{LogPayload, LogRecord};
 use std::sync::mpsc::{Receiver, SyncSender, TryRecvError, TrySendError};
 use std::time::Instant;
@@ -66,6 +67,7 @@ pub(crate) fn parallel_redo(
     window: &[LogRecord],
     family: RedoFamily<'_>,
     workers: usize,
+    trace: &TraceSink,
     bk: &mut RecoveryBreakdown,
 ) -> Result<()> {
     debug_assert!(workers >= 2, "serial redo handles workers <= 1");
@@ -81,9 +83,10 @@ pub(crate) fn parallel_redo(
     let (dispatch_result, worker_results) = std::thread::scope(|s| {
         let handles: Vec<_> = rxs
             .into_iter()
-            .map(|rx| {
+            .enumerate()
+            .map(|(w, rx)| {
                 let model = model.clone();
-                s.spawn(move || worker_loop(dc, window, rx, &model))
+                s.spawn(move || worker_loop(dc, window, rx, &model, trace, w as u64))
             })
             .collect();
         let dispatched = dispatch(dc, window, family, &txs, &model, bk);
@@ -278,8 +281,11 @@ fn worker_loop(
     window: &[LogRecord],
     rx: Receiver<RedoItem>,
     model: &IoModel,
+    trace: &TraceSink,
+    worker: u64,
 ) -> Result<WorkerShard> {
     let mut sh = WorkerShard::default();
+    trace.emit(EventKind::RecoveryPhaseStart { phase: RecoveryPhase::Redo, worker });
     loop {
         // Untimed try_recv fast path; only an empty queue pays for the
         // timestamps, so queue_stall_us is idle time, not bookkeeping.
@@ -310,5 +316,10 @@ fn worker_loop(
         dc.apply_at(item.pid, rec)?;
         sh.ops_reapplied += 1;
     }
+    trace.emit(EventKind::RecoveryPhaseEnd {
+        phase: RecoveryPhase::Redo,
+        worker,
+        busy_us: sh.busy_us,
+    });
     Ok(sh)
 }

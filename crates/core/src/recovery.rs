@@ -17,6 +17,7 @@ use lr_dc::{
     build_dpt_aries, build_dpt_logical, build_dpt_sqlserver, smo_barrier_physiological,
     DeltaDptMode, Dpt,
 };
+use lr_obs::{EventKind, RecoveryPhase};
 use lr_tc::{analyze_txns, undo_losers, undo_losers_parallel, UndoStats};
 use lr_wal::LogPayload;
 use std::fmt;
@@ -353,6 +354,8 @@ impl Engine {
         // then the method-specific DPT construction; logical methods also
         // run SMO redo here (§4.2: DC recovery precedes TC redo).
         let t0 = self.clock.now_us();
+        self.trace
+            .emit(EventKind::RecoveryPhaseStart { phase: RecoveryPhase::Analysis, worker: 0 });
         for _ in 0..log_pages {
             self.dc.pool().disk_mut().charge_log_page_read();
         }
@@ -397,10 +400,19 @@ impl Engine {
             }
             RecoveryMethod::Log0 => {
                 let s0 = self.clock.now_us();
+                self.trace.emit(EventKind::RecoveryPhaseStart {
+                    phase: RecoveryPhase::SmoRedo,
+                    worker: 0,
+                });
                 let (a, s) = self.dc.smo_redo(&window)?;
                 smo_pages_applied = a;
                 smo_pages_skipped = s;
                 smo_us = self.clock.now_us() - s0;
+                self.trace.emit(EventKind::RecoveryPhaseEnd {
+                    phase: RecoveryPhase::SmoRedo,
+                    worker: 0,
+                    busy_us: smo_us,
+                });
             }
             RecoveryMethod::Log1
             | RecoveryMethod::Log2
@@ -408,10 +420,19 @@ impl Engine {
             | RecoveryMethod::LogReduced
             | RecoveryMethod::Log2DptPrefetch => {
                 let s0 = self.clock.now_us();
+                self.trace.emit(EventKind::RecoveryPhaseStart {
+                    phase: RecoveryPhase::SmoRedo,
+                    worker: 0,
+                });
                 let (a, s) = self.dc.smo_redo(&window)?;
                 smo_pages_applied = a;
                 smo_pages_skipped = s;
                 smo_us = self.clock.now_us() - s0;
+                self.trace.emit(EventKind::RecoveryPhaseEnd {
+                    phase: RecoveryPhase::SmoRedo,
+                    worker: 0,
+                    busy_us: smo_us,
+                });
                 let mode = match method {
                     RecoveryMethod::LogPerfect => DeltaDptMode::Perfect,
                     RecoveryMethod::LogReduced => DeltaDptMode::Reduced,
@@ -428,16 +449,30 @@ impl Engine {
         bk.smo_redo_us = smo_us;
         bk.analysis_us = (self.clock.now_us() - t0).saturating_sub(smo_us);
         bk.dpt_size = dpt.as_ref().map(|d| d.len() as u64).unwrap_or(0);
+        self.trace.emit(EventKind::RecoveryPhaseEnd {
+            phase: RecoveryPhase::Analysis,
+            worker: 0,
+            busy_us: bk.analysis_us,
+        });
 
         // ---- phase 1.5: index preload (Log2, Appendix A.1) ----
         let mut index_pages_loaded = 0;
         if matches!(method, RecoveryMethod::Log2 | RecoveryMethod::Log2DptPrefetch) {
             let t = self.clock.now_us();
+            self.trace.emit(EventKind::RecoveryPhaseStart {
+                phase: RecoveryPhase::IndexPreload,
+                worker: 0,
+            });
             let pl = self.dc.preload_index()?;
             index_pages_loaded = pl.pages_loaded;
             bk.prefetch_ios += pl.prefetch_ios;
             bk.prefetch_pages += pl.prefetch_pages;
             bk.index_preload_us = self.clock.now_us() - t;
+            self.trace.emit(EventKind::RecoveryPhaseEnd {
+                phase: RecoveryPhase::IndexPreload,
+                worker: 0,
+                busy_us: bk.index_preload_us,
+            });
         }
 
         // ---- phase 2: redo ----
@@ -454,6 +489,8 @@ impl Engine {
         // method.
         let family = redo_family(method, dpt.as_ref(), last_delta_tc_lsn, &mut pf_list);
         if workers <= 1 {
+            self.trace
+                .emit(EventKind::RecoveryPhaseStart { phase: RecoveryPhase::Redo, worker: 0 });
             match family {
                 RedoFamily::Physiological { dpt, prefetch } => {
                     physiological_redo(self.dc.as_ref(), &window, dpt, prefetch, &mut bk)?;
@@ -463,6 +500,11 @@ impl Engine {
                 }
             }
             bk.redo_us = self.clock.now_us() - t_redo;
+            self.trace.emit(EventKind::RecoveryPhaseEnd {
+                phase: RecoveryPhase::Redo,
+                worker: 0,
+                busy_us: bk.redo_us,
+            });
         } else {
             // ---- partitioned redo (see crate::precovery) ----
             //
@@ -475,6 +517,10 @@ impl Engine {
             // parallel reports field-compatible.
             if !method.is_logical() {
                 let t_smo = self.clock.now_us();
+                self.trace.emit(EventKind::RecoveryPhaseStart {
+                    phase: RecoveryPhase::SmoRedo,
+                    worker: 0,
+                });
                 let out = smo_barrier_physiological(
                     self.dc.as_ref(),
                     &window,
@@ -485,8 +531,13 @@ impl Engine {
                 bk.skipped_rlsn += out.skipped_rlsn;
                 bk.skipped_plsn += out.skipped_plsn;
                 bk.smo_redo_us += self.clock.now_us() - t_smo;
+                self.trace.emit(EventKind::RecoveryPhaseEnd {
+                    phase: RecoveryPhase::SmoRedo,
+                    worker: 0,
+                    busy_us: self.clock.now_us() - t_smo,
+                });
             }
-            parallel_redo(self.dc.as_ref(), &window, family, workers, &mut bk)?;
+            parallel_redo(self.dc.as_ref(), &window, family, workers, &self.trace, &mut bk)?;
             // The dispatcher's log re-scan rides the sequential-read model,
             // like the serial pass's window re-read.
             bk.partition_us += log_pages * model.log_page_read_us;
@@ -511,11 +562,19 @@ impl Engine {
         // the now-final pages here, before undo re-locates by key; the
         // cost is reported as its own phase (a no-op for the B-tree).
         let t_rebuild = self.clock.now_us();
+        self.trace
+            .emit(EventKind::RecoveryPhaseStart { phase: RecoveryPhase::IndexRebuild, worker: 0 });
         self.dc.finish_redo()?;
         bk.index_rebuild_us = self.clock.now_us() - t_rebuild;
+        self.trace.emit(EventKind::RecoveryPhaseEnd {
+            phase: RecoveryPhase::IndexRebuild,
+            worker: 0,
+            busy_us: bk.index_rebuild_us,
+        });
 
         // ---- phase 3: transactional undo (common to all methods) ----
         let t_undo = self.clock.now_us();
+        self.trace.emit(EventKind::RecoveryPhaseStart { phase: RecoveryPhase::Undo, worker: 0 });
         let txn_analysis = analyze_txns(&window, &ckpt_active);
         let undo = if workers <= 1 {
             undo_losers(&self.tc, self.dc.as_ref(), &txn_analysis.losers)?
@@ -541,6 +600,11 @@ impl Engine {
         bk.losers_undone = undo.losers_undone;
         bk.undo_ops = undo.ops_undone;
         bk.workers = workers as u64;
+        self.trace.emit(EventKind::RecoveryPhaseEnd {
+            phase: RecoveryPhase::Undo,
+            worker: 0,
+            busy_us: bk.undo_us,
+        });
 
         // ---- finish: back to normal execution ----
         let pool = self.dc.pool().stats();

@@ -358,8 +358,14 @@ pub trait DcApi: DcIntrospect {
     }
 
     // ------------------------------------------------------------------
-    // lifecycle
+    // lifecycle / observability
     // ------------------------------------------------------------------
+
+    /// Attach the engine's trace journal. Backends forward the sink to
+    /// their buffer pool and internal hot paths (OLC fallbacks, wire
+    /// dispatch); the default is a no-op so minimal backends stay
+    /// untraced rather than broken.
+    fn set_trace(&self, _sink: lr_obs::TraceSink) {}
 
     /// Open a new DC of the **same backend** over `disk`/`wal` (the
     /// engine's crash-fork path). The new component starts cold, exactly

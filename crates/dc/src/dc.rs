@@ -57,6 +57,7 @@ use lr_btree::BTree;
 use lr_buffer::BufferPool;
 use lr_common::latch::{Latch, LatchReadGuard, LatchWriteGuard};
 use lr_common::{Error, Histogram, Key, Lsn, PageId, Result, TableId, Value};
+use lr_obs::{EventKind, TraceSink};
 use lr_storage::{Disk, SLOT_SIZE};
 use lr_wal::{ClrAction, LogPayload, LogRecord, SharedWal, SmoRecord};
 use parking_lot::{Mutex, RwLock};
@@ -157,38 +158,46 @@ pub struct PrepareInfo {
     pub before: Option<Value>,
 }
 
-/// Normal-execution overhead counters (the Figure 2(c) numerators), plus
-/// the optimistic-read-path outcome counters.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-pub struct DcStats {
-    pub delta_records_written: u64,
-    pub bw_records_written: u64,
-    pub smo_records_written: u64,
-    pub delta_bytes_logged: u64,
-    pub bw_bytes_logged: u64,
-    /// Point reads served fully latch-free (validated OLC descent).
-    pub optimistic_point_reads: u64,
-    /// Range scans served fully latch-free.
-    pub optimistic_range_scans: u64,
-    /// Point reads that exhausted their OLC attempts and fell back to the
-    /// latched path (cold pages, contention, racing SMOs).
-    pub read_fallbacks: u64,
-    /// Range scans that fell back to the latched path.
-    pub scan_fallbacks: u64,
-    /// Writes staged through the OLC prepare path (optimistic descent +
-    /// version-validated leaf upgrade).
-    pub optimistic_writes: u64,
-    /// Writes that exhausted their OLC prepare attempts (or needed an SMO
-    /// / a fetch) and fell back to the latched prepare path.
-    pub write_fallbacks: u64,
-    /// Per-operation OLC **read** restart distribution: how many wasted
-    /// descents each optimistic read/scan performed before resolving
-    /// (0 = validated first try; operations that fell back record every
-    /// descent they burned). The data the `olc_backoff` constants and
-    /// `OPT_READ_ATTEMPTS` are tuned from.
-    pub read_restart_hist: Histogram,
-    /// Same distribution for OLC **write** prepares.
-    pub write_restart_hist: Histogram,
+lr_common::counter_struct! {
+    /// Normal-execution overhead counters (the Figure 2(c) numerators), plus
+    /// the optimistic-read-path outcome counters. Defined through
+    /// [`lr_common::counter_struct!`], which also generates
+    /// `delta_since`/`merge_from` and the field enumeration the metrics
+    /// registry exports.
+    pub struct DcStats {
+        counters {
+            pub delta_records_written: u64,
+            pub bw_records_written: u64,
+            pub smo_records_written: u64,
+            pub delta_bytes_logged: u64,
+            pub bw_bytes_logged: u64,
+            /// Point reads served fully latch-free (validated OLC descent).
+            pub optimistic_point_reads: u64,
+            /// Range scans served fully latch-free.
+            pub optimistic_range_scans: u64,
+            /// Point reads that exhausted their OLC attempts and fell back to the
+            /// latched path (cold pages, contention, racing SMOs).
+            pub read_fallbacks: u64,
+            /// Range scans that fell back to the latched path.
+            pub scan_fallbacks: u64,
+            /// Writes staged through the OLC prepare path (optimistic descent +
+            /// version-validated leaf upgrade).
+            pub optimistic_writes: u64,
+            /// Writes that exhausted their OLC prepare attempts (or needed an SMO
+            /// / a fetch) and fell back to the latched prepare path.
+            pub write_fallbacks: u64,
+        }
+        histograms {
+            /// Per-operation OLC **read** restart distribution: how many wasted
+            /// descents each optimistic read/scan performed before resolving
+            /// (0 = validated first try; operations that fell back record every
+            /// descent they burned). The data the `olc_backoff` constants and
+            /// `OPT_READ_ATTEMPTS` are tuned from.
+            pub read_restart_hist: Histogram,
+            /// Same distribution for OLC **write** prepares.
+            pub write_restart_hist: Histogram,
+        }
+    }
 }
 
 /// Lock-free per-restart-count tallies for one OLC path. Restart counts
@@ -277,6 +286,7 @@ pub struct DataComponent {
     // releases them from whatever thread serves the release request.
     table_latches: Box<[Latch]>,
     page_latches: Box<[Latch]>,
+    trace: std::sync::OnceLock<TraceSink>,
 }
 
 impl DataComponent {
@@ -314,7 +324,22 @@ impl DataComponent {
             stats: DcCounters::default(),
             table_latches: (0..TABLE_LATCHES).map(|_| Latch::new()).collect::<Vec<_>>().into(),
             page_latches: (0..PAGE_LATCHES).map(|_| Latch::new()).collect::<Vec<_>>().into(),
+            trace: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Attach the trace journal (set once, at engine build): forwarded to
+    /// the buffer pool, and used here for OLC fallback events.
+    pub fn set_trace_sink(&self, sink: TraceSink) {
+        self.pool.set_trace(sink.clone());
+        let _ = self.trace.set(sink);
+    }
+
+    #[inline]
+    fn emit(&self, kind: EventKind) {
+        if let Some(t) = self.trace.get() {
+            t.emit(kind);
+        }
     }
 
     #[inline]
@@ -477,6 +502,7 @@ impl DataComponent {
             }
             self.stats.read_restarts.record(wasted);
             self.stats.read_fallbacks.fetch_add(1, Ordering::Relaxed);
+            self.emit(EventKind::OlcFallback { write: false });
         }
         let _t = self.lock_table_shared(table);
         let tree = self.tree(table)?;
@@ -515,6 +541,7 @@ impl DataComponent {
             }
             self.stats.read_restarts.record(wasted);
             self.stats.scan_fallbacks.fetch_add(1, Ordering::Relaxed);
+            self.emit(EventKind::OlcFallback { write: false });
         }
         let _t = self.lock_table_shared(table);
         let tree = self.tree(table)?;
@@ -656,6 +683,7 @@ impl DataComponent {
                 return Ok(op);
             }
             self.stats.write_fallbacks.fetch_add(1, Ordering::Relaxed);
+            self.emit(EventKind::OlcFallback { write: true });
         }
         // ---- shared attempt ----
         {
@@ -1211,6 +1239,10 @@ impl DcApi for DataComponent {
 
     fn preload_index(&self) -> Result<PreloadStats> {
         DataComponent::preload_index(self)
+    }
+
+    fn set_trace(&self, sink: TraceSink) {
+        DataComponent::set_trace_sink(self, sink);
     }
 
     fn reopen(&self, disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<Arc<dyn DcApi>> {

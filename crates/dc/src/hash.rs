@@ -993,6 +993,10 @@ impl DcApi for HashDc {
         Ok(out)
     }
 
+    fn set_trace(&self, sink: lr_obs::TraceSink) {
+        self.pool.set_trace(sink);
+    }
+
     fn reopen(&self, disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<Arc<dyn DcApi>> {
         Ok(Arc::new(HashDc::open(disk, wal, cfg)?))
     }

@@ -30,6 +30,7 @@ pub mod hash;
 pub mod recovery;
 pub mod remote;
 pub mod server;
+pub mod telemetry;
 pub mod trackers;
 pub mod wire;
 
@@ -54,5 +55,6 @@ pub use recovery::{
 };
 pub use remote::{remote_loopback, LoopbackTransport, RemoteDc, Transport};
 pub use server::DcServer;
+pub use telemetry::{WireOpStats, WireTelemetry, WireTelemetrySnapshot};
 pub use trackers::{BwTracker, DeltaTracker};
-pub use wire::{DcReply, DcRequest, WireError};
+pub use wire::{op_name, DcReply, DcRequest, WireError};

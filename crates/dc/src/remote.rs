@@ -30,15 +30,19 @@ use crate::api::{
 use crate::dc::{DcConfig, DcStats, PrepareInfo, WriteIntent};
 use crate::dpt::Dpt;
 use crate::recovery::SmoBarrierOutcome;
-use crate::server::{wire_error, DcServer};
+use crate::server::{envelope, open_envelope, wire_error, DcServer};
+use crate::telemetry::{WireTelemetry, WireTelemetrySnapshot};
 use crate::wire::{DcReply, DcRequest, WireDpt};
 use lr_buffer::BufferPool;
 use lr_common::codec::{frame, unframe};
 use lr_common::{Error, Key, Lsn, PageId, Result, TableId, Value};
+use lr_obs::{EventKind, TraceSink};
 use lr_storage::Disk;
 use lr_wal::{LogRecord, SharedWal, SmoRecord};
 use parking_lot::RwLock;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A synchronous request/reply byte transport: one framed request in, one
 /// framed reply out. Implementations move opaque frames — the protocol
@@ -46,6 +50,11 @@ use std::sync::Arc;
 pub trait Transport: Send + Sync {
     /// Deliver one framed request and return the framed reply.
     fn call(&self, request: &[u8]) -> Result<Vec<u8>>;
+
+    /// Attach a trace journal to the far side, if the transport can reach
+    /// it (the loopback hands it to its in-process server; a network
+    /// transport would negotiate tracing out of band). Default: no-op.
+    fn set_trace(&self, _sink: TraceSink) {}
 }
 
 /// In-process transport: frames go straight to a [`DcServer`], executing
@@ -62,11 +71,19 @@ impl LoopbackTransport {
 
     /// Drop the connection: subsequent calls fail with a broken-pipe
     /// error, and the server's parked guards are released — the cleanup a
-    /// network server performs when a client's connection dies.
+    /// network server performs when a client's connection dies. The
+    /// server traces the teardown as a `wire_disconnect` event carrying
+    /// the orphaned-guard count.
     pub fn disconnect(&self) {
         if let Some(server) = self.server.write().take() {
-            server.release_all();
+            server.disconnect();
         }
+    }
+
+    /// The attached server, if connected (tests use it to compare both
+    /// sides' telemetry).
+    pub fn server(&self) -> Option<Arc<DcServer>> {
+        self.server.read().clone()
     }
 
     /// Re-attach to a server (a client re-establishing its connection).
@@ -90,33 +107,104 @@ impl Transport for LoopbackTransport {
             ))),
         }
     }
+
+    fn set_trace(&self, sink: TraceSink) {
+        if let Some(server) = self.server.read().as_ref() {
+            server.set_trace(sink);
+        }
+    }
+}
+
+/// The client half of the wire: request-id stamping, round-trip timing,
+/// and per-op telemetry around a [`Transport`]. Shared (via `Arc`) by the
+/// proxy and its guard drops so *every* exchange — releases included —
+/// lands in one set of accumulators.
+struct WireClient {
+    transport: Arc<dyn Transport>,
+    /// Request-id source; starts at 1 so 0 only ever means "the server
+    /// could not read an id off the frame".
+    next_req_id: AtomicU64,
+    telemetry: WireTelemetry,
+    trace: std::sync::OnceLock<TraceSink>,
+}
+
+impl WireClient {
+    fn new(transport: Arc<dyn Transport>) -> WireClient {
+        WireClient {
+            transport,
+            next_req_id: AtomicU64::new(1),
+            telemetry: WireTelemetry::new(),
+            trace: std::sync::OnceLock::new(),
+        }
+    }
+
+    #[inline]
+    fn trace(&self) -> Option<&TraceSink> {
+        self.trace.get().filter(|s| s.is_enabled())
+    }
+
+    /// One framed round trip: stamp a fresh request id, time the
+    /// transport, check the echoed id, and record the exchange.
+    fn call(&self, req: &DcRequest) -> Result<DcReply> {
+        let tag = req.tag();
+        let req_id = self.next_req_id.fetch_add(1, Ordering::Relaxed);
+        let body = req.encode();
+        if let Some(t) = self.trace() {
+            t.emit(EventKind::WireRequest { req_id, op: tag as u64, bytes: body.len() as u64 });
+        }
+        let start = Instant::now();
+        let reply = self.transport.call(&frame(&envelope(req_id, &body)))?;
+        let lat_us = start.elapsed().as_micros() as u64;
+        let payload = unframe(&reply).map_err(wire_error)?;
+        let (echo, rep_body) =
+            open_envelope(payload).map_err(|e| Error::RecoveryInvariant(format!("wire: {e}")))?;
+        if echo != req_id {
+            return Err(Error::RecoveryInvariant(format!(
+                "wire: reply id {echo} does not match request id {req_id}"
+            )));
+        }
+        let rep = DcReply::decode(rep_body).map_err(wire_error)?;
+        let ok = !matches!(rep, DcReply::Err(_));
+        self.telemetry.record(tag, body.len(), rep_body.len(), lat_us, ok);
+        if let Some(t) = self.trace() {
+            t.emit(EventKind::WireReply {
+                req_id,
+                op: tag as u64,
+                bytes: rep_body.len() as u64,
+                lat_us,
+                ok,
+            });
+        }
+        match rep {
+            DcReply::Err(w) => Err(w.into()),
+            other => Ok(other),
+        }
+    }
 }
 
 /// Proxy guard for a server-parked [`PreparedOp`]: dropping it releases
 /// the token (best-effort — a dead transport means the disconnect cleanup
 /// already did it).
 struct RemoteOpGuard {
-    transport: Arc<dyn Transport>,
+    client: Arc<WireClient>,
     token: u64,
 }
 
 impl Drop for RemoteOpGuard {
     fn drop(&mut self) {
-        let req = DcRequest::ReleaseOp { token: self.token };
-        let _ = self.transport.call(&frame(&req.encode()));
+        let _ = self.client.call(&DcRequest::ReleaseOp { token: self.token });
     }
 }
 
 /// Proxy guard for a server-parked exclusive table latch.
 struct RemoteTableGuard {
-    transport: Arc<dyn Transport>,
+    client: Arc<WireClient>,
     token: u64,
 }
 
 impl Drop for RemoteTableGuard {
     fn drop(&mut self) {
-        let req = DcRequest::ReleaseTable { token: self.token };
-        let _ = self.transport.call(&frame(&req.encode()));
+        let _ = self.client.call(&DcRequest::ReleaseTable { token: self.token });
     }
 }
 
@@ -130,7 +218,7 @@ impl Drop for RemoteTableGuard {
 /// crosses the wire too: counter snapshots are plain data, and shipping
 /// them exercises the histogram codec a remote-node deployment needs.
 pub struct RemoteDc {
-    transport: Arc<dyn Transport>,
+    client: Arc<WireClient>,
     /// Deployment-local introspection handle (NOT used for operations).
     local: Arc<dyn DcApi>,
     name: &'static str,
@@ -142,16 +230,11 @@ impl RemoteDc {
         local: Arc<dyn DcApi>,
         name: &'static str,
     ) -> RemoteDc {
-        RemoteDc { transport, local, name }
+        RemoteDc { client: Arc::new(WireClient::new(transport)), local, name }
     }
 
     fn call(&self, req: DcRequest) -> Result<DcReply> {
-        let reply = self.transport.call(&frame(&req.encode()))?;
-        let body = unframe(&reply).map_err(wire_error)?;
-        match DcReply::decode(body).map_err(wire_error)? {
-            DcReply::Err(w) => Err(w.into()),
-            other => Ok(other),
-        }
+        self.client.call(&req)
     }
 
     /// A reply variant the request contract does not allow.
@@ -163,6 +246,22 @@ impl RemoteDc {
     /// failures surface on the next fallible operation instead.
     fn call_unit(&self, req: DcRequest) {
         let _ = self.call(req);
+    }
+
+    /// The client-side per-op accumulators: round-trip latencies as this
+    /// proxy observed them through the transport.
+    pub fn wire_telemetry(&self) -> WireTelemetrySnapshot {
+        self.client.telemetry.snapshot()
+    }
+
+    /// Pull the *server's* per-op accumulators across the boundary via
+    /// [`DcRequest::Introspect`] — dispatch-side latencies, so the gap to
+    /// [`RemoteDc::wire_telemetry`] is pure transport overhead.
+    pub fn server_telemetry(&self) -> Result<WireTelemetrySnapshot> {
+        match self.call(DcRequest::Introspect)? {
+            DcReply::WireTelemetry(snap) => Ok(snap),
+            other => Err(Self::protocol("introspect", other)),
+        }
     }
 }
 
@@ -228,7 +327,7 @@ impl DcApi for RemoteDc {
     fn prepare_op(&self, table: TableId, key: Key, intent: WriteIntent) -> Result<PreparedOp<'_>> {
         match self.call(DcRequest::PrepareOp { table, key, intent: intent.into() })? {
             DcReply::Prepared { token, pid, before } => {
-                let guard = RemoteOpGuard { transport: self.transport.clone(), token };
+                let guard = RemoteOpGuard { client: self.client.clone(), token };
                 Ok(PreparedOp::new(pid, before, guard))
             }
             other => Err(Self::protocol("prepare_op", other)),
@@ -350,7 +449,7 @@ impl DcApi for RemoteDc {
         // that needs an exclusive latch.
         match self.call(DcRequest::LockTableExclusive { table }) {
             Ok(DcReply::TableLocked { token }) => {
-                TableGuard::new(RemoteTableGuard { transport: self.transport.clone(), token })
+                TableGuard::new(RemoteTableGuard { client: self.client.clone(), token })
             }
             Ok(other) => panic!("wire: unexpected reply for lock_table_exclusive: {other:?}"),
             Err(e) => panic!("wire: lock_table_exclusive failed: {e}"),
@@ -419,6 +518,15 @@ impl DcApi for RemoteDc {
             DcReply::Unit => Ok(()),
             other => Err(Self::protocol("finish_redo", other)),
         }
+    }
+
+    fn set_trace(&self, sink: TraceSink) {
+        // Three parties see the sink: the client (round-trip events), the
+        // far side through the transport (dispatch events), and the local
+        // backend handle (pool/OLC events in this co-located deployment).
+        let _ = self.client.trace.set(sink.clone());
+        self.client.transport.set_trace(sink.clone());
+        self.local.set_trace(sink);
     }
 
     fn reopen(&self, disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<Arc<dyn DcApi>> {
@@ -511,6 +619,69 @@ mod tests {
         let op = remote.prepare_op(T, 2, WriteIntent::Insert { value_len: 8 }).unwrap();
         drop(op);
         assert_eq!(remote.read(T, 1).unwrap().unwrap(), vec![1; 8]);
+    }
+
+    #[test]
+    fn client_and_server_telemetry_agree_on_loopback() {
+        let (remote, transport) = deployment();
+        for k in 0..10u64 {
+            insert(remote.as_ref(), k, vec![0; 8]);
+        }
+        for k in 0..10u64 {
+            remote.read(T, k).unwrap();
+        }
+        let _ = remote.read(TableId(99), 1); // one error exchange
+        let client = remote.wire_telemetry();
+        let server = transport.server().unwrap().telemetry();
+        // Same ops, same counts, same byte totals on both sides; only the
+        // latencies differ (round-trip vs dispatch-only), so compare the
+        // histograms by recorded-sample count.
+        assert!(!client.ops.is_empty());
+        assert_eq!(client.ops.len(), server.ops.len());
+        for (c, s) in client.ops.iter().zip(&server.ops) {
+            assert_eq!(c.op, s.op, "op order diverged");
+            assert_eq!(c.count, s.count, "count for {}", c.name());
+            assert_eq!(c.errors, s.errors, "errors for {}", c.name());
+            assert_eq!(c.req_bytes, s.req_bytes, "req bytes for {}", c.name());
+            assert_eq!(c.rep_bytes, s.rep_bytes, "rep bytes for {}", c.name());
+            assert_eq!(c.lat_us.count(), s.lat_us.count(), "lat samples for {}", c.name());
+        }
+        let read = client.op(DcRequest::Read { table: T, key: 0 }.tag()).unwrap();
+        assert_eq!((read.count, read.errors), (11, 1));
+    }
+
+    #[test]
+    fn server_telemetry_crosses_the_wire_intact() {
+        let (remote, transport) = deployment();
+        for k in 0..5u64 {
+            insert(remote.as_ref(), k, vec![0; 8]);
+        }
+        // The introspect exchange is recorded only after its reply has
+        // been sized, so the shipped snapshot equals the server's local
+        // snapshot taken just before the call.
+        let local = transport.server().unwrap().telemetry();
+        let wired = remote.server_telemetry().unwrap();
+        assert_eq!(wired, local);
+        assert!(wired.total_count() > 0);
+    }
+
+    /// A transport that echoes the wrong request id on every reply.
+    struct WrongIdTransport;
+
+    impl Transport for WrongIdTransport {
+        fn call(&self, _request: &[u8]) -> Result<Vec<u8>> {
+            Ok(frame(&envelope(u64::MAX, &DcReply::Unit.encode())))
+        }
+    }
+
+    #[test]
+    fn mismatched_reply_id_is_a_protocol_error() {
+        let (remote, _transport) = deployment();
+        let broken = RemoteDc::new(Arc::new(WrongIdTransport), remote.local.clone(), "remote:bad");
+        match broken.read(T, 1) {
+            Err(Error::RecoveryInvariant(m)) => assert!(m.contains("does not match"), "{m}"),
+            other => panic!("expected a protocol error, got {other:?}"),
+        }
     }
 
     #[test]

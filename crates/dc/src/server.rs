@@ -20,13 +20,16 @@
 
 use crate::api::{DcApi, PreparedOp, TableGuard};
 use crate::recovery::SmoBarrierOutcome;
+use crate::telemetry::{WireTelemetry, WireTelemetrySnapshot};
 use crate::wire::{DcReply, DcRequest, WireError};
 use lr_common::codec::{frame, unframe};
 use lr_common::{Error, Result};
+use lr_obs::{EventKind, TraceSink};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// A parked [`PreparedOp`] with the `Arc` that keeps its borrowed backend
 /// alive. Field order is drop order: the guard must die before the owner
@@ -49,6 +52,10 @@ pub struct DcServer {
     held_tables: Mutex<HashMap<u64, HeldTable>>,
     /// Token source; starts at 1 so 0 never names a live guard.
     next_token: AtomicU64,
+    /// Per-op dispatch accumulators — the server's half of the wire
+    /// telemetry, pullable by a client through [`DcRequest::Introspect`].
+    telemetry: WireTelemetry,
+    trace: std::sync::OnceLock<TraceSink>,
 }
 
 impl DcServer {
@@ -58,7 +65,26 @@ impl DcServer {
             held_ops: Mutex::new(HashMap::new()),
             held_tables: Mutex::new(HashMap::new()),
             next_token: AtomicU64::new(1),
+            telemetry: WireTelemetry::new(),
+            trace: std::sync::OnceLock::new(),
         }
+    }
+
+    /// Attach a trace journal; wire request/reply/disconnect events are
+    /// emitted into it. First sink wins (matching the engine's one-shot
+    /// wiring); later calls are ignored.
+    pub fn set_trace(&self, sink: TraceSink) {
+        let _ = self.trace.set(sink);
+    }
+
+    #[inline]
+    fn trace(&self) -> Option<&TraceSink> {
+        self.trace.get().filter(|s| s.is_enabled())
+    }
+
+    /// The server's per-op wire accumulators (dispatch-side latencies).
+    pub fn telemetry(&self) -> WireTelemetrySnapshot {
+        self.telemetry.snapshot()
     }
 
     /// The backend this server fronts.
@@ -75,22 +101,91 @@ impl DcServer {
 
     /// Drop every parked guard — the connection-teardown duty. A transport
     /// that loses its client calls this so half-finished prepares release
-    /// their latches instead of wedging every later writer.
-    pub fn release_all(&self) {
-        self.held_ops.lock().clear();
-        self.held_tables.lock().clear();
+    /// their latches instead of wedging every later writer. Returns the
+    /// number of guards released; each release is traced.
+    pub fn release_all(&self) -> u64 {
+        let ops: Vec<u64> = {
+            let mut held = self.held_ops.lock();
+            let tokens = held.keys().copied().collect();
+            held.clear();
+            tokens
+        };
+        let tables: Vec<u64> = {
+            let mut held = self.held_tables.lock();
+            let tokens = held.keys().copied().collect();
+            held.clear();
+            tokens
+        };
+        let released = (ops.len() + tables.len()) as u64;
+        if let Some(t) = self.trace() {
+            for token in ops.into_iter().chain(tables) {
+                t.emit(EventKind::TokenRelease { token });
+            }
+        }
+        released
+    }
+
+    /// Connection-teardown entry point: release every parked guard and
+    /// trace the disconnect with the count of guards it orphaned.
+    pub fn disconnect(&self) {
+        let tokens_released = self.release_all();
+        if let Some(t) = self.trace() {
+            t.emit(EventKind::WireDisconnect { tokens_released });
+        }
     }
 
     /// Serve one framed request, returning the framed reply. Transport
     /// layers call only this. Codec failures (bad frame, bad tag) come
     /// back as framed `Err` replies, not panics — a corrupt message must
     /// not take the DC down.
+    ///
+    /// Inside the frame both directions carry the request-id envelope
+    /// ([`envelope`]): 8 little-endian bytes of client-chosen request id,
+    /// echoed verbatim on the reply so the client can pair responses and
+    /// detect protocol desync. Every exchange lands in the server's
+    /// [`WireTelemetry`] under its request tag (tag 0 collects frames too
+    /// corrupt to attribute).
     pub fn serve_frame(&self, request: &[u8]) -> Vec<u8> {
-        let reply = match unframe(request).and_then(DcRequest::decode) {
-            Ok(req) => self.serve(req),
-            Err(e) => DcReply::Err(WireError::RecoveryInvariant(format!("wire: {e}"))),
+        let start = Instant::now();
+        let mut req_id = 0u64;
+        let mut tag = 0u8;
+        let mut req_len = 0usize;
+        let parsed = unframe(request)
+            .map_err(|e| format!("wire: {e}"))
+            .and_then(|payload| open_envelope(payload).map_err(|e| format!("wire: {e}")))
+            .and_then(|(id, body)| {
+                req_id = id;
+                req_len = body.len();
+                DcRequest::decode(body).map_err(|e| format!("wire: {e}"))
+            });
+        let reply = match parsed {
+            Ok(req) => {
+                tag = req.tag();
+                if let Some(t) = self.trace() {
+                    t.emit(EventKind::WireRequest {
+                        req_id,
+                        op: tag as u64,
+                        bytes: req_len as u64,
+                    });
+                }
+                self.serve(req)
+            }
+            Err(msg) => DcReply::Err(WireError::RecoveryInvariant(msg)),
         };
-        frame(&reply.encode())
+        let rep_body = reply.encode();
+        let ok = !matches!(reply, DcReply::Err(_));
+        let lat_us = start.elapsed().as_micros() as u64;
+        self.telemetry.record(tag, req_len, rep_body.len(), lat_us, ok);
+        if let Some(t) = self.trace() {
+            t.emit(EventKind::WireReply {
+                req_id,
+                op: tag as u64,
+                bytes: rep_body.len() as u64,
+                lat_us,
+                ok,
+            });
+        }
+        frame(&envelope(req_id, &rep_body))
     }
 
     /// Dispatch one decoded request.
@@ -139,7 +234,11 @@ impl DcServer {
             DcRequest::ReleaseOp { token } => {
                 // Idempotent: a release raced by a disconnect cleanup finds
                 // nothing and that is fine.
-                self.held_ops.lock().remove(&token);
+                if self.held_ops.lock().remove(&token).is_some() {
+                    if let Some(t) = self.trace() {
+                        t.emit(EventKind::TokenRelease { token });
+                    }
+                }
                 DcReply::Unit
             }
             DcRequest::PrepareWrite { table, key, intent } => {
@@ -213,7 +312,11 @@ impl DcServer {
                 DcReply::TableLocked { token: self.park_table(guard) }
             }
             DcRequest::ReleaseTable { token } => {
-                self.held_tables.lock().remove(&token);
+                if self.held_tables.lock().remove(&token).is_some() {
+                    if let Some(t) = self.trace() {
+                        t.emit(EventKind::TokenRelease { token });
+                    }
+                }
                 DcReply::Unit
             }
             DcRequest::VerifyTable { table } => DcReply::Summary(dc.verify_table(table)?),
@@ -237,8 +340,27 @@ impl DcServer {
                 DcReply::Unit
             }
             DcRequest::Stats => DcReply::Stats(Box::new(dc.stats())),
+            DcRequest::Introspect => DcReply::WireTelemetry(self.telemetry.snapshot()),
         })
     }
+}
+
+/// Prefix `body` with the 8-byte little-endian request id — the payload
+/// shape both directions of the wire carry inside the frame.
+pub fn envelope(req_id: u64, body: &[u8]) -> Vec<u8> {
+    let mut p = Vec::with_capacity(8 + body.len());
+    p.extend_from_slice(&req_id.to_le_bytes());
+    p.extend_from_slice(body);
+    p
+}
+
+/// Split an unframed payload into its request id and message body.
+pub fn open_envelope(payload: &[u8]) -> std::result::Result<(u64, &[u8]), String> {
+    if payload.len() < 8 {
+        return Err("payload missing request id".to_string());
+    }
+    let (id, body) = payload.split_at(8);
+    Ok((u64::from_le_bytes(id.try_into().expect("8-byte split")), body))
 }
 
 /// Map a client-side codec failure (corrupt reply frame) into the
@@ -269,14 +391,21 @@ mod tests {
         srv
     }
 
+    /// One framed exchange with request id 7, asserting the id echoes.
+    fn call_frame(srv: &DcServer, req: &DcRequest) -> DcReply {
+        let framed = srv.serve_frame(&frame(&envelope(7, &req.encode())));
+        let (id, body) = open_envelope(unframe(&framed).unwrap()).unwrap();
+        assert_eq!(id, 7);
+        DcReply::decode(body).unwrap()
+    }
+
     #[test]
     fn framed_write_protocol_end_to_end() {
         let srv = server();
         // prepare → log → apply → release, all through frames.
         let req =
             DcRequest::PrepareOp { table: T, key: 7, intent: WireIntent::Insert { value_len: 3 } };
-        let reply = srv.serve_frame(&frame(&req.encode()));
-        let (token, pid) = match DcReply::decode(unframe(&reply).unwrap()).unwrap() {
+        let (token, pid) = match call_frame(&srv, &req) {
             DcReply::Prepared { token, pid, before } => {
                 assert!(before.is_none());
                 (token, pid)
@@ -295,10 +424,7 @@ mod tests {
         };
         let lsn = srv.backend().wal().append(&payload);
         let apply = DcRequest::Apply { rec: LogRecord { lsn, payload } };
-        assert_eq!(
-            DcReply::decode(unframe(&srv.serve_frame(&frame(&apply.encode()))).unwrap()).unwrap(),
-            DcReply::Unit
-        );
+        assert_eq!(call_frame(&srv, &apply), DcReply::Unit);
         srv.serve(DcRequest::ReleaseOp { token });
         assert_eq!(srv.held_guards(), 0);
 
@@ -320,17 +446,51 @@ mod tests {
     #[test]
     fn corrupt_frames_are_rejected_not_fatal() {
         let srv = server();
-        let mut corrupt = frame(&DcRequest::Tables.encode());
+        let mut corrupt = frame(&envelope(7, &DcRequest::Tables.encode()));
         let last = corrupt.len() - 1;
         corrupt[last] ^= 0xFF;
-        match DcReply::decode(unframe(&srv.serve_frame(&corrupt)).unwrap()).unwrap() {
+        let framed = srv.serve_frame(&corrupt);
+        let (_, body) = open_envelope(unframe(&framed).unwrap()).unwrap();
+        match DcReply::decode(body).unwrap() {
             DcReply::Err(WireError::RecoveryInvariant(m)) => {
                 assert!(m.contains("wire"), "{m}");
             }
             other => panic!("expected a wire error, got {other:?}"),
         }
+        // A payload too short for the request-id envelope is rejected the
+        // same way (reply echoes id 0).
+        let framed = srv.serve_frame(&frame(&[1, 2, 3]));
+        let (id, body) = open_envelope(unframe(&framed).unwrap()).unwrap();
+        assert_eq!(id, 0);
+        assert!(matches!(
+            DcReply::decode(body).unwrap(),
+            DcReply::Err(WireError::RecoveryInvariant(_))
+        ));
         // The server still works afterwards.
         assert!(matches!(srv.serve(DcRequest::Tables), DcReply::TableIds(_)));
+    }
+
+    #[test]
+    fn server_telemetry_attributes_ops_and_introspect_serves_it() {
+        let srv = server();
+        call_frame(&srv, &DcRequest::Tables);
+        call_frame(&srv, &DcRequest::Tables);
+        call_frame(&srv, &DcRequest::Read { table: TableId(99), key: 1 }); // error
+        let snap = srv.telemetry();
+        let tables = snap.op(DcRequest::Tables.tag()).unwrap();
+        assert_eq!((tables.count, tables.errors), (2, 0));
+        assert_eq!(tables.lat_us.count(), 2);
+        let read = snap.op(DcRequest::Read { table: T, key: 0 }.tag()).unwrap();
+        assert_eq!((read.count, read.errors), (1, 1));
+        // Introspect serves the accumulators over the wire; by the time
+        // the reply is sized the introspect op itself is being recorded,
+        // so compare against the pre-call snapshot.
+        match call_frame(&srv, &DcRequest::Introspect) {
+            DcReply::WireTelemetry(wired) => {
+                assert_eq!(wired, snap);
+            }
+            other => panic!("expected WireTelemetry, got {other:?}"),
+        }
     }
 
     #[test]

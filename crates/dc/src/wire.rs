@@ -28,6 +28,7 @@ use crate::api::{Located, PreloadStats, TableSummary};
 use crate::dc::{DcStats, PrepareInfo, WriteIntent};
 use crate::dpt::Dpt;
 use crate::recovery::SmoBarrierOutcome;
+use crate::telemetry::WireTelemetrySnapshot;
 use lr_common::codec::{CodecError, Decoder, Encoder};
 use lr_common::{Error, Histogram, Key, Lsn, PageId, TableId, Value};
 use lr_wal::{LogPayload, LogRecord, SmoRecord};
@@ -139,6 +140,9 @@ pub enum DcRequest {
     PreloadIndex,
     FinishRedo,
     Stats,
+    /// Pull the server's [`WireTelemetrySnapshot`] — its per-op view of
+    /// this conversation — across the boundary.
+    Introspect,
 }
 
 /// [`WriteIntent`] with a fixed-width length (the in-memory type uses
@@ -249,6 +253,8 @@ pub enum DcReply {
     // Boxed: a DcStats snapshot (two inline histograms) dwarfs every
     // other reply shape, and stats crossings are cold-path.
     Stats(Box<DcStats>),
+    /// The server's per-op wire accumulators ([`DcRequest::Introspect`]).
+    WireTelemetry(WireTelemetrySnapshot),
     Err(WireError),
 }
 
@@ -683,6 +689,53 @@ const REQ_LOCATE_KEY: u8 = 31;
 const REQ_PRELOAD_INDEX: u8 = 32;
 const REQ_FINISH_REDO: u8 = 33;
 const REQ_STATS: u8 = 34;
+const REQ_INTROSPECT: u8 = 35;
+
+/// The highest assigned request tag — sizes per-op telemetry tables.
+pub const MAX_REQ_TAG: u8 = REQ_INTROSPECT;
+
+/// Human-readable name of a request tag, for telemetry rows and trace
+/// events. Unknown tags render as `"unknown"`.
+pub fn op_name(tag: u8) -> &'static str {
+    match tag {
+        REQ_READ => "read",
+        REQ_READ_RANGE => "read_range",
+        REQ_SCAN_ALL => "scan_all",
+        REQ_PREPARE_OP => "prepare_op",
+        REQ_RELEASE_OP => "release_op",
+        REQ_PREPARE_WRITE => "prepare_write",
+        REQ_APPLY => "apply",
+        REQ_APPLY_AT => "apply_at",
+        REQ_EOSL => "eosl",
+        REQ_RSSP => "rssp",
+        REQ_DRAIN => "drain_in_flight_ops",
+        REQ_CRASH => "crash",
+        REQ_RELOAD_CATALOG => "reload_catalog",
+        REQ_PUMP_EVENTS => "pump_events",
+        REQ_FORCE_EMIT => "force_emit",
+        REQ_DISCARD_EVENTS => "discard_events",
+        REQ_CLEANER_PASS => "cleaner_pass",
+        REQ_OVER_WATERMARK => "over_dirty_watermark",
+        REQ_CREATE_TABLE => "create_table",
+        REQ_REGISTER_TABLE => "register_table",
+        REQ_TABLE_ROOT => "table_root",
+        REQ_SET_ROOT => "set_root",
+        REQ_SAVE_CATALOG => "save_catalog",
+        REQ_TABLES => "tables",
+        REQ_LOCK_TABLE => "lock_table_exclusive",
+        REQ_RELEASE_TABLE => "release_table",
+        REQ_VERIFY_TABLE => "verify_table",
+        REQ_SMO_REDO => "smo_redo",
+        REQ_REPLAY_SMO => "replay_smo_screened",
+        REQ_RESOLVE_REDO_PID => "resolve_redo_pid",
+        REQ_LOCATE_KEY => "locate_key",
+        REQ_PRELOAD_INDEX => "preload_index",
+        REQ_FINISH_REDO => "finish_redo",
+        REQ_STATS => "stats",
+        REQ_INTROSPECT => "introspect",
+        _ => "unknown",
+    }
+}
 
 impl DcRequest {
     /// Serialize (tag + fields, no frame — callers wrap with
@@ -805,8 +858,50 @@ impl DcRequest {
             DcRequest::PreloadIndex => e.put_u8(REQ_PRELOAD_INDEX),
             DcRequest::FinishRedo => e.put_u8(REQ_FINISH_REDO),
             DcRequest::Stats => e.put_u8(REQ_STATS),
+            DcRequest::Introspect => e.put_u8(REQ_INTROSPECT),
         }
         e.finish()
+    }
+
+    /// The wire tag this request encodes with — the telemetry op index.
+    pub fn tag(&self) -> u8 {
+        match self {
+            DcRequest::Read { .. } => REQ_READ,
+            DcRequest::ReadRange { .. } => REQ_READ_RANGE,
+            DcRequest::ScanAll { .. } => REQ_SCAN_ALL,
+            DcRequest::PrepareOp { .. } => REQ_PREPARE_OP,
+            DcRequest::ReleaseOp { .. } => REQ_RELEASE_OP,
+            DcRequest::PrepareWrite { .. } => REQ_PREPARE_WRITE,
+            DcRequest::Apply { .. } => REQ_APPLY,
+            DcRequest::ApplyAt { .. } => REQ_APPLY_AT,
+            DcRequest::Eosl { .. } => REQ_EOSL,
+            DcRequest::Rssp { .. } => REQ_RSSP,
+            DcRequest::DrainInFlightOps => REQ_DRAIN,
+            DcRequest::Crash => REQ_CRASH,
+            DcRequest::ReloadCatalog => REQ_RELOAD_CATALOG,
+            DcRequest::PumpEvents => REQ_PUMP_EVENTS,
+            DcRequest::ForceEmit => REQ_FORCE_EMIT,
+            DcRequest::DiscardEvents => REQ_DISCARD_EVENTS,
+            DcRequest::CleanerPass => REQ_CLEANER_PASS,
+            DcRequest::OverDirtyWatermark => REQ_OVER_WATERMARK,
+            DcRequest::CreateTable { .. } => REQ_CREATE_TABLE,
+            DcRequest::RegisterTable { .. } => REQ_REGISTER_TABLE,
+            DcRequest::TableRoot { .. } => REQ_TABLE_ROOT,
+            DcRequest::SetRoot { .. } => REQ_SET_ROOT,
+            DcRequest::SaveCatalog { .. } => REQ_SAVE_CATALOG,
+            DcRequest::Tables => REQ_TABLES,
+            DcRequest::LockTableExclusive { .. } => REQ_LOCK_TABLE,
+            DcRequest::ReleaseTable { .. } => REQ_RELEASE_TABLE,
+            DcRequest::VerifyTable { .. } => REQ_VERIFY_TABLE,
+            DcRequest::SmoRedo { .. } => REQ_SMO_REDO,
+            DcRequest::ReplaySmoScreened { .. } => REQ_REPLAY_SMO,
+            DcRequest::ResolveRedoPid { .. } => REQ_RESOLVE_REDO_PID,
+            DcRequest::LocateKey { .. } => REQ_LOCATE_KEY,
+            DcRequest::PreloadIndex => REQ_PRELOAD_INDEX,
+            DcRequest::FinishRedo => REQ_FINISH_REDO,
+            DcRequest::Stats => REQ_STATS,
+            DcRequest::Introspect => REQ_INTROSPECT,
+        }
     }
 
     pub fn decode(bytes: &[u8]) -> Result<DcRequest, CodecError> {
@@ -866,6 +961,7 @@ impl DcRequest {
             REQ_PRELOAD_INDEX => DcRequest::PreloadIndex,
             REQ_FINISH_REDO => DcRequest::FinishRedo,
             REQ_STATS => DcRequest::Stats,
+            REQ_INTROSPECT => DcRequest::Introspect,
             t => return Err(CodecError::BadTag { context: "dc request", tag: t }),
         };
         d.expect_done()?;
@@ -890,6 +986,7 @@ const REP_LOCATED: u8 = 14;
 const REP_PRELOAD: u8 = 15;
 const REP_STATS: u8 = 16;
 const REP_ERR: u8 = 17;
+const REP_WIRE_TELEMETRY: u8 = 18;
 
 impl DcReply {
     pub fn encode(&self) -> Vec<u8> {
@@ -971,6 +1068,10 @@ impl DcReply {
                 e.put_u8(REP_STATS);
                 put_stats(&mut e, s);
             }
+            DcReply::WireTelemetry(snap) => {
+                e.put_u8(REP_WIRE_TELEMETRY);
+                snap.encode_into(&mut e);
+            }
             DcReply::Err(w) => {
                 e.put_u8(REP_ERR);
                 put_error(&mut e, w);
@@ -1029,6 +1130,9 @@ impl DcReply {
                 prefetch_pages: d.get_u64()?,
             },
             REP_STATS => DcReply::Stats(Box::new(get_stats(&mut d)?)),
+            REP_WIRE_TELEMETRY => {
+                DcReply::WireTelemetry(WireTelemetrySnapshot::decode_from(&mut d)?)
+            }
             REP_ERR => DcReply::Err(get_error(&mut d)?),
             t => return Err(CodecError::BadTag { context: "dc reply", tag: t }),
         };
@@ -1116,8 +1220,25 @@ mod tests {
             DcRequest::PreloadIndex,
             DcRequest::FinishRedo,
             DcRequest::Stats,
+            DcRequest::Introspect,
         ] {
             roundtrip_req(req);
+        }
+    }
+
+    #[test]
+    fn every_request_tag_has_a_name() {
+        for tag in 1..=MAX_REQ_TAG {
+            assert_ne!(op_name(tag), "unknown", "tag {tag} has no op name");
+        }
+        assert_eq!(op_name(0), "unknown");
+        assert_eq!(op_name(MAX_REQ_TAG + 1), "unknown");
+    }
+
+    #[test]
+    fn tag_matches_encoded_first_byte() {
+        for req in [DcRequest::Read { table: TableId(1), key: 5 }, DcRequest::Introspect] {
+            assert_eq!(req.encode()[0], req.tag());
         }
     }
 
@@ -1156,6 +1277,11 @@ mod tests {
             DcReply::LocatedAt { pid: PageId(3), levels: 2, stall_us: 120 },
             DcReply::Preload { pages_loaded: 5, prefetch_ios: 1, prefetch_pages: 4 },
             DcReply::Stats(Box::new(stats)),
+            DcReply::WireTelemetry({
+                let t = crate::telemetry::WireTelemetry::new();
+                t.record(REQ_READ, 10, 20, 5, true);
+                t.snapshot()
+            }),
             DcReply::Err(WireError::KeyNotFound { table: TableId(1), key: 42 }),
         ] {
             roundtrip_rep(rep);

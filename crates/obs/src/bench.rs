@@ -1,0 +1,110 @@
+//! Shared machine-readable bench summary exporter.
+//!
+//! Every bench writes one `BENCH_<name>.json` file with the same
+//! top-level schema, so the perf trajectory can be tracked across PRs
+//! with one harvester:
+//!
+//! ```json
+//! {"bench":"throughput","schema_version":1,
+//!  "config":{"keys":50000,...},
+//!  "points":[{"threads":1,"txn_per_sec":1234.0,...},...],
+//!  "gates":[{"gate":"remote_margin","ratio":0.97,"margin":0.9,"pass":true}]}
+//! ```
+
+use crate::json::Json;
+use std::path::PathBuf;
+
+/// Builder for one bench run's `BENCH_<name>.json` summary.
+#[derive(Clone, Debug)]
+pub struct BenchSummary {
+    name: String,
+    config: Json,
+    points: Vec<Json>,
+    gates: Vec<Json>,
+}
+
+impl BenchSummary {
+    /// Start a summary for the bench called `name`.
+    pub fn new(name: &str) -> BenchSummary {
+        BenchSummary {
+            name: name.to_string(),
+            config: Json::obj(),
+            points: Vec::new(),
+            gates: Vec::new(),
+        }
+    }
+
+    /// Record one configuration knob (key space, force latency, ...).
+    pub fn config(&mut self, key: &str, value: Json) {
+        self.config.push(key, value);
+    }
+
+    /// Record one measurement point (an object of named values).
+    pub fn point(&mut self, point: Json) {
+        self.points.push(point);
+    }
+
+    /// Record one pass/fail gate outcome (an object; include a `gate`
+    /// name and a `pass` boolean).
+    pub fn gate(&mut self, gate: Json) {
+        self.gates.push(gate);
+    }
+
+    /// The whole summary as one JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .with("bench", Json::from(self.name.as_str()))
+            .with("schema_version", Json::from(1u64))
+            .with("config", self.config.clone())
+            .with("points", Json::Arr(self.points.clone()))
+            .with("gates", Json::Arr(self.gates.clone()))
+    }
+
+    /// The path this summary writes to: `BENCH_<name>.json` under
+    /// `$LR_BENCH_OUT` (default: the current directory).
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var("LR_BENCH_OUT").unwrap_or_else(|_| ".".to_string());
+        PathBuf::from(dir).join(format!("BENCH_{}.json", self.name))
+    }
+
+    /// Write the summary file and return its path.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = self.path();
+        std::fs::write(&path, self.to_json().render() + "\n")?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_renders_schema() {
+        let mut s = BenchSummary::new("throughput");
+        s.config("keys", Json::from(1000u64));
+        s.point(Json::obj().with("threads", 2u64.into()).with("txn_per_sec", 99.5.into()));
+        s.gate(Json::obj().with("gate", "obs_margin".into()).with("pass", true.into()));
+        let v = crate::json::parse(&s.to_json().render()).unwrap();
+        assert_eq!(v.get("bench").unwrap().as_str(), Some("throughput"));
+        assert_eq!(v.get("schema_version").unwrap().as_u64(), Some(1));
+        assert_eq!(v.get("config").unwrap().get("keys").unwrap().as_u64(), Some(1000));
+        let Json::Arr(points) = v.get("points").unwrap() else { panic!("points not an array") };
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].get("threads").unwrap().as_u64(), Some(2));
+    }
+
+    #[test]
+    fn write_lands_in_bench_out_dir() {
+        let dir = std::env::temp_dir().join(format!("lr_obs_bench_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("LR_BENCH_OUT", &dir);
+        let s = BenchSummary::new("unit");
+        let path = s.write().unwrap();
+        std::env::remove_var("LR_BENCH_OUT");
+        assert!(path.ends_with("BENCH_unit.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        crate::json::parse(text.trim()).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,273 @@
+//! Unified metrics registry.
+//!
+//! Every stats struct in the engine (engine, pool, DC, I/O, WAL)
+//! flattens into one [`MetricsSnapshot`]: an ordered list of named
+//! metrics, each a counter, gauge or histogram. Snapshots support
+//! windowed deltas ([`MetricsSnapshot::delta_since`]) and two export
+//! formats — Prometheus-style text and JSON lines — plus a text parser
+//! used by tests to prove every counter round-trips through the export.
+
+use crate::json::Json;
+use lr_common::Histogram;
+
+/// One metric's value.
+// Histogram dominates the size, but a snapshot is a few dozen values
+// built once per sample; boxing would cost an allocation per histogram
+// on every sample for no measurable win.
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing tally; deltas subtract.
+    Counter(u64),
+    /// Point-in-time level (pool fill, dirty pages); deltas keep the
+    /// later value.
+    Gauge(f64),
+    /// Log₂-bucketed distribution; deltas subtract per bucket.
+    Hist(Histogram),
+}
+
+impl MetricValue {
+    /// Kind name used in exports (`counter` / `gauge` / `histogram`).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Hist(_) => "histogram",
+        }
+    }
+}
+
+/// An ordered, named collection of metric values — the engine's whole
+/// measurement surface at one instant.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Microsecond timestamp the snapshot was taken at (engine-defined
+    /// epoch; 0 when untimed).
+    pub at_us: u64,
+    /// The metrics, in registration order. Names are
+    /// `<subsystem>_<field>`, e.g. `pool_hits`.
+    pub metrics: Vec<(String, MetricValue)>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot.
+    pub fn new() -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
+
+    /// Add one counter.
+    pub fn push_counter(&mut self, name: &str, value: u64) {
+        self.metrics.push((name.to_string(), MetricValue::Counter(value)));
+    }
+
+    /// Add one gauge.
+    pub fn push_gauge(&mut self, name: &str, value: f64) {
+        self.metrics.push((name.to_string(), MetricValue::Gauge(value)));
+    }
+
+    /// Add one histogram.
+    pub fn push_hist(&mut self, name: &str, value: Histogram) {
+        self.metrics.push((name.to_string(), MetricValue::Hist(value)));
+    }
+
+    /// Add every `(name, value)` counter under `prefix` — the bridge
+    /// from the `counter_struct!`-generated `counters()` enumerations,
+    /// so exports can't drift from the struct definitions.
+    pub fn push_counters(&mut self, prefix: &str, counters: &[(&'static str, u64)]) {
+        for (name, value) in counters {
+            self.push_counter(&format!("{prefix}_{name}"), *value);
+        }
+    }
+
+    /// Add every `(name, hist)` histogram under `prefix` (the
+    /// `counter_struct!` `histograms()` bridge).
+    pub fn push_histograms(&mut self, prefix: &str, hists: &[(&'static str, &Histogram)]) {
+        for (name, hist) in hists {
+            self.push_hist(&format!("{prefix}_{name}"), (*hist).clone());
+        }
+    }
+
+    /// Look up a metric by name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.metrics.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Counter value by name (None if absent or not a counter).
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Windowed difference `self - earlier`, matched by name: counters
+    /// and histograms subtract, gauges keep the later value, metrics
+    /// absent from `earlier` pass through unchanged.
+    pub fn delta_since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(name, value)| {
+                let delta = match (value, earlier.get(name)) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                        MetricValue::Counter(now.wrapping_sub(*then))
+                    }
+                    (MetricValue::Hist(now), Some(MetricValue::Hist(then))) => {
+                        MetricValue::Hist(now.delta_since(then))
+                    }
+                    (v, _) => v.clone(),
+                };
+                (name.clone(), delta)
+            })
+            .collect();
+        MetricsSnapshot { at_us: self.at_us, metrics }
+    }
+
+    /// Prometheus-style text exposition. Every metric name gets an
+    /// `lr_` namespace prefix, a `# TYPE` line, and — for histograms —
+    /// cumulative `_bucket{le="..."}` lines plus `_sum`/`_count`/`_max`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            match value {
+                MetricValue::Counter(v) => {
+                    out.push_str(&format!("# TYPE lr_{name} counter\nlr_{name} {v}\n"));
+                }
+                MetricValue::Gauge(v) => {
+                    out.push_str(&format!("# TYPE lr_{name} gauge\nlr_{name} {v}\n"));
+                }
+                MetricValue::Hist(h) => {
+                    out.push_str(&format!("# TYPE lr_{name} histogram\n"));
+                    let mut cumulative = 0;
+                    for (lower, count) in h.nonzero_buckets() {
+                        cumulative += count;
+                        // Upper bound of the log2 bucket [lower, 2*lower).
+                        let le = if lower == 0 { 1 } else { lower * 2 - 1 };
+                        out.push_str(&format!("lr_{name}_bucket{{le=\"{le}\"}} {cumulative}\n"));
+                    }
+                    out.push_str(&format!("lr_{name}_bucket{{le=\"+Inf\"}} {}\n", h.count()));
+                    out.push_str(&format!("lr_{name}_sum {}\n", h.sum()));
+                    out.push_str(&format!("lr_{name}_count {}\n", h.count()));
+                    out.push_str(&format!("lr_{name}_max {}\n", h.max()));
+                }
+            }
+        }
+        out
+    }
+
+    /// JSON-lines exposition: one object per metric, e.g.
+    /// `{"name":"pool_hits","kind":"counter","value":123}`. Histograms
+    /// carry `count`/`sum`/`max`/`mean` plus sparse `buckets` pairs.
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.metrics {
+            let mut obj = Json::obj()
+                .with("name", Json::from(name.as_str()))
+                .with("kind", Json::from(value.kind()));
+            match value {
+                MetricValue::Counter(v) => obj.push("value", (*v).into()),
+                MetricValue::Gauge(v) => obj.push("value", (*v).into()),
+                MetricValue::Hist(h) => {
+                    obj.push("count", h.count().into());
+                    obj.push("sum", h.sum().into());
+                    obj.push("max", h.max().into());
+                    obj.push("mean", h.mean().into());
+                    let buckets = h
+                        .nonzero_buckets()
+                        .into_iter()
+                        .map(|(lo, c)| Json::Arr(vec![lo.into(), c.into()]))
+                        .collect();
+                    obj.push("buckets", Json::Arr(buckets));
+                }
+            }
+            out.push_str(&obj.render());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse the plain samples out of a [`MetricsSnapshot::to_prometheus`]
+    /// exposition: every `lr_<name> <value>` line (comments and
+    /// histogram sub-series keep their suffixed names). The test suite
+    /// uses this to prove each counter survives the export byte-exactly.
+    pub fn parse_prometheus(text: &str) -> Vec<(String, f64)> {
+        text.lines()
+            .filter(|l| !l.starts_with('#') && !l.is_empty())
+            .filter_map(|l| {
+                let (name, value) = l.split_once(' ')?;
+                let name = name.strip_prefix("lr_")?;
+                // Histogram bucket series carry labels; keep the raw name.
+                let name = name.split('{').next()?;
+                Some((name.to_string(), value.parse().ok()?))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut h = Histogram::new();
+        h.record(3);
+        h.record(700);
+        let mut s = MetricsSnapshot::new();
+        s.push_counter("pool_hits", 10);
+        s.push_counter("pool_misses", 4);
+        s.push_gauge("engine_dirty_pages", 2.0);
+        s.push_hist("dc_read_restart_hist", h);
+        s
+    }
+
+    #[test]
+    fn delta_subtracts_counters_keeps_gauges() {
+        let earlier = sample();
+        let mut later = earlier.clone();
+        later.metrics[0].1 = MetricValue::Counter(25);
+        later.metrics[2].1 = MetricValue::Gauge(9.0);
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.counter("pool_hits"), Some(15));
+        assert_eq!(d.counter("pool_misses"), Some(0));
+        assert_eq!(d.get("engine_dirty_pages"), Some(&MetricValue::Gauge(9.0)));
+    }
+
+    #[test]
+    fn prometheus_roundtrips_counters_and_gauges() {
+        let s = sample();
+        let text = s.to_prometheus();
+        let parsed = MetricsSnapshot::parse_prometheus(&text);
+        assert!(parsed.contains(&("pool_hits".to_string(), 10.0)));
+        assert!(parsed.contains(&("pool_misses".to_string(), 4.0)));
+        assert!(parsed.contains(&("engine_dirty_pages".to_string(), 2.0)));
+        assert!(parsed.contains(&("dc_read_restart_hist_count".to_string(), 2.0)));
+        assert!(parsed.contains(&("dc_read_restart_hist_sum".to_string(), 703.0)));
+        assert!(text.contains("# TYPE lr_pool_hits counter"));
+        assert!(text.contains("lr_dc_read_restart_hist_bucket{le=\"+Inf\"} 2"));
+    }
+
+    #[test]
+    fn json_lines_parse_and_carry_kinds() {
+        let s = sample();
+        for line in s.to_json_lines().lines() {
+            let v = crate::json::parse(line).unwrap();
+            assert!(v.get("name").is_some());
+            let kind = v.get("kind").unwrap().as_str().unwrap();
+            assert!(["counter", "gauge", "histogram"].contains(&kind));
+            if kind == "histogram" {
+                assert!(v.get("count").unwrap().as_u64().is_some());
+            } else {
+                assert!(v.get("value").is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn push_counters_bridges_counter_structs() {
+        let io = lr_common::IoStats { page_writes: 6, ..Default::default() };
+        let mut s = MetricsSnapshot::new();
+        s.push_counters("io", &io.counters());
+        assert_eq!(s.counter("io_page_writes"), Some(6));
+        assert_eq!(s.metrics.len(), lr_common::IoStats::COUNTER_NAMES.len());
+    }
+}

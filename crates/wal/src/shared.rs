@@ -21,6 +21,7 @@
 use crate::log::Wal;
 use crate::record::LogPayload;
 use lr_common::Lsn;
+use lr_obs::{EventKind, TraceSink};
 use parking_lot::{Mutex, MutexGuard};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -51,6 +52,17 @@ struct WalShared {
     /// Modelled device latency of one log force, in real µs (0 = instant).
     /// Only the group-commit leader pays it; piggybacked commits share it.
     force_latency_us: AtomicU64,
+    /// Commits awaiting the next force — swapped to 0 by the leader so
+    /// each `group_commit_force` trace event carries its batch size.
+    commit_batch: AtomicU64,
+    trace: std::sync::OnceLock<TraceSink>,
+}
+
+impl WalShared {
+    #[inline]
+    fn trace(&self) -> Option<&TraceSink> {
+        self.trace.get().filter(|s| s.is_enabled())
+    }
 }
 
 /// Cloneable handle to the common log (TC and DC both append).
@@ -129,8 +141,16 @@ impl SharedWal {
                 forces: AtomicU64::new(0),
                 piggybacked: AtomicU64::new(0),
                 force_latency_us: AtomicU64::new(0),
+                commit_batch: AtomicU64::new(0),
+                trace: std::sync::OnceLock::new(),
             }),
         }
+    }
+
+    /// Attach the trace journal (set once, at engine build). Group-commit
+    /// forces and piggybacked commits are journaled through it.
+    pub fn set_trace(&self, sink: TraceSink) {
+        let _ = self.inner.trace.set(sink);
     }
 
     /// Model a per-force device latency (real time). The throughput bench
@@ -165,13 +185,22 @@ impl SharedWal {
         let s = self.stable_hint();
         if s > lsn {
             self.inner.piggybacked.fetch_add(1, Ordering::Relaxed);
+            if let Some(t) = self.inner.trace() {
+                t.emit(EventKind::GroupCommitPiggyback { lsn: lsn.0 });
+            }
             return s;
         }
+        // This commit needs the upcoming force; count it into that
+        // force's batch.
+        self.inner.commit_batch.fetch_add(1, Ordering::Relaxed);
         let mut g = self.inner.group.lock().unwrap_or_else(|e| e.into_inner());
         loop {
             let s = self.stable_hint();
             if s > lsn {
                 self.inner.piggybacked.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = self.inner.trace() {
+                    t.emit(EventKind::GroupCommitPiggyback { lsn: lsn.0 });
+                }
                 return s;
             }
             if !g.forcing {
@@ -202,6 +231,12 @@ impl SharedWal {
                     s
                 };
                 self.inner.forces.fetch_add(1, Ordering::Relaxed);
+                if let Some(t) = self.inner.trace() {
+                    let batch = self.inner.commit_batch.swap(0, Ordering::Relaxed);
+                    t.emit(EventKind::GroupCommitForce { batch, lsn: published.0 });
+                } else {
+                    self.inner.commit_batch.store(0, Ordering::Relaxed);
+                }
                 // `_lead` drops here: forcing is cleared and waiters woken.
                 return published;
             }
@@ -225,6 +260,12 @@ impl SharedWal {
         self.inner.stable_hint.store(stable.0, Ordering::Release);
         drop(log);
         self.inner.forces.fetch_add(1, Ordering::Relaxed);
+        if let Some(t) = self.inner.trace() {
+            let batch = self.inner.commit_batch.swap(0, Ordering::Relaxed);
+            t.emit(EventKind::GroupCommitForce { batch, lsn: stable.0 });
+        } else {
+            self.inner.commit_batch.store(0, Ordering::Relaxed);
+        }
         self.inner.cond.notify_all();
         stable
     }
