@@ -1,0 +1,208 @@
+//! **logwrite** — durable-write amplification of the log-structured DC
+//! vs the B-tree DC on the update-heavy §5.2 workload.
+//!
+//! ```sh
+//! cargo run --release -p lr-bench --bin logwrite
+//! LR_THREADS=4 LR_TXNS=4000 LR_KEYS=20000 \
+//!     cargo run --release -p lr-bench --bin logwrite
+//! ```
+//!
+//! The log backend's claim is a one-append write path: each committed
+//! write costs exactly its log record, data pages are never dirtied, and
+//! the only extra durable traffic is background compaction migrating live
+//! versions out of cold segments. The B-tree pays the same log record
+//! *plus* every flushed data page (cleaner sweeps, eviction, checkpoint).
+//! This bench runs the identical workload on both backends with the
+//! maintenance service on, then charges each backend its total durable
+//! bytes — log growth plus `page_writes × page_size` — per committed
+//! update.
+//!
+//! **CI gate:** exits nonzero unless the log backend's durable bytes per
+//! committed write is strictly below the B-tree's (scaled by
+//! `LR_LOGWRITE_MARGIN`, default 1.0 — strict).
+
+use lr_core::{Engine, EngineConfig};
+use lr_obs::{BenchSummary, Json};
+use lr_workload::{run_concurrent, ConcurrentScenario};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+struct BackendReport {
+    committed: u64,
+    writes: u64,
+    wall_s: f64,
+    log_bytes: u64,
+    page_write_bytes: u64,
+    durable_bytes: u64,
+    bytes_per_write: f64,
+    segments_compacted: u64,
+    live_bytes_migrated: u64,
+    dead_bytes_reclaimed: u64,
+    smo_records: u64,
+}
+
+/// One measured run: fresh engine on `backend`, the §5.2 update scenario
+/// with background maintenance (cleaner for the B-tree, compactor for the
+/// log backend), then the durable-byte bill.
+fn run_backend(backend: &str, threads: usize, txns: u64, keys: u64) -> BackendReport {
+    let cfg = EngineConfig {
+        initial_rows: keys,
+        pool_pages: (keys / 8).max(1_024) as usize,
+        io_model: lr_common::IoModel::zero(),
+        background_maintenance: true,
+        maint_tick_ms: 1,
+        backend: backend.to_string(),
+        ..EngineConfig::default()
+    };
+    let page_size = cfg.page_size as u64;
+    let engine = Engine::build(cfg).expect("engine build").into_shared();
+
+    // Bill only the workload: snapshot the durable counters after the
+    // bulk load settles.
+    let io0 = engine.dc().pool().disk().stats();
+    let log0 = engine.wal().lock().byte_len();
+
+    let scenario = ConcurrentScenario::paper_default(threads, txns / threads as u64, keys);
+    let t0 = std::time::Instant::now();
+    let report = run_concurrent(&engine, &scenario).expect("concurrent run");
+    let wall = t0.elapsed();
+    engine.tc().locks().assert_no_leaks();
+
+    // Quiesce maintenance before reading the bill so a mid-flight sweep
+    // can't smear bytes across the snapshot.
+    engine.checkpoint().expect("final checkpoint");
+    engine.stop_maintenance();
+
+    let io1 = engine.dc().pool().disk().stats();
+    let log1 = engine.wal().lock().byte_len();
+    let dc_stats = engine.dc().stats();
+
+    let log_bytes = log1.saturating_sub(log0);
+    let page_write_bytes = (io1.page_writes - io0.page_writes) * page_size;
+    let durable_bytes = log_bytes + page_write_bytes;
+    let writes = report.committed * scenario.spec.txn_ops as u64;
+    BackendReport {
+        committed: report.committed,
+        writes,
+        wall_s: wall.as_secs_f64(),
+        log_bytes,
+        page_write_bytes,
+        durable_bytes,
+        bytes_per_write: durable_bytes as f64 / writes.max(1) as f64,
+        segments_compacted: dc_stats.segments_compacted,
+        live_bytes_migrated: dc_stats.live_bytes_migrated,
+        dead_bytes_reclaimed: dc_stats.dead_bytes_reclaimed,
+        smo_records: dc_stats.smo_records_written,
+    }
+}
+
+fn emit(backend: &str, threads: usize, r: &BackendReport) {
+    println!(
+        "{{\"bench\":\"logwrite\",\"backend\":\"{backend}\",\"threads\":{threads},\
+         \"committed\":{},\"writes\":{},\"wall_s\":{:.3},\
+         \"log_bytes\":{},\"page_write_bytes\":{},\"durable_bytes\":{},\
+         \"bytes_per_write\":{:.1},\"segments_compacted\":{},\
+         \"live_bytes_migrated\":{},\"dead_bytes_reclaimed\":{}}}",
+        r.committed,
+        r.writes,
+        r.wall_s,
+        r.log_bytes,
+        r.page_write_bytes,
+        r.durable_bytes,
+        r.bytes_per_write,
+        r.segments_compacted,
+        r.live_bytes_migrated,
+        r.dead_bytes_reclaimed,
+    );
+}
+
+fn point(backend: &str, threads: usize, r: &BackendReport) -> Json {
+    Json::obj()
+        .with("backend", Json::from(backend))
+        .with("threads", Json::from(threads as u64))
+        .with("committed", Json::from(r.committed))
+        .with("writes", Json::from(r.writes))
+        .with("wall_s", Json::from(r.wall_s))
+        .with("log_bytes", Json::from(r.log_bytes))
+        .with("page_write_bytes", Json::from(r.page_write_bytes))
+        .with("durable_bytes", Json::from(r.durable_bytes))
+        .with("bytes_per_write", Json::from(r.bytes_per_write))
+        .with("segments_compacted", Json::from(r.segments_compacted))
+        .with("live_bytes_migrated", Json::from(r.live_bytes_migrated))
+        .with("dead_bytes_reclaimed", Json::from(r.dead_bytes_reclaimed))
+        .with("smo_records", Json::from(r.smo_records))
+}
+
+fn main() {
+    let threads = env_u64("LR_THREADS", 4) as usize;
+    // Enough update churn over the keyspace that the cold log's garbage
+    // fraction clears the default watermark and the compactor fires
+    // during the run (~4 versions per key → ~75% dead).
+    let txns = env_u64("LR_TXNS", 8_000);
+    let keys = env_u64("LR_KEYS", 20_000);
+    let margin = env_f64("LR_LOGWRITE_MARGIN", 1.0);
+
+    let mut summary = BenchSummary::new("logwrite");
+    summary.config("threads", Json::from(threads as u64));
+    summary.config("txns", Json::from(txns));
+    summary.config("keys", Json::from(keys));
+    summary.config("margin", Json::from(margin));
+
+    eprintln!(
+        "logwrite: §5.2 update workload, {threads} thread(s), {txns} txns, {keys} keys, \
+         maintenance on — durable bytes per committed write, btree vs log"
+    );
+
+    let btree = run_backend("btree", threads, txns, keys);
+    emit("btree", threads, &btree);
+    summary.point(point("btree", threads, &btree));
+
+    let log = run_backend("log", threads, txns, keys);
+    emit("log", threads, &log);
+    summary.point(point("log", threads, &log));
+
+    eprintln!(
+        "logwrite: btree {:.1} durable B/write ({} log + {} page bytes) vs \
+         log {:.1} B/write ({} log + {} page bytes, {} segments compacted, \
+         {} live migrated, {} dead reclaimed)",
+        btree.bytes_per_write,
+        btree.log_bytes,
+        btree.page_write_bytes,
+        log.bytes_per_write,
+        log.log_bytes,
+        log.page_write_bytes,
+        log.segments_compacted,
+        log.live_bytes_migrated,
+        log.dead_bytes_reclaimed,
+    );
+
+    let ratio = log.bytes_per_write / btree.bytes_per_write.max(1e-9);
+    let pass = log.bytes_per_write < btree.bytes_per_write * margin;
+    summary.gate(
+        Json::obj()
+            .with("gate", Json::from("append_amplification"))
+            .with("btree_bytes_per_write", Json::from(btree.bytes_per_write))
+            .with("log_bytes_per_write", Json::from(log.bytes_per_write))
+            .with("ratio", Json::from(ratio))
+            .with("margin", Json::from(margin))
+            .with("pass", Json::from(pass)),
+    );
+    match summary.write() {
+        Ok(path) => eprintln!("summary: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench summary: {e}"),
+    }
+    if !pass {
+        eprintln!(
+            "FAIL: log backend durable bytes per write not below the B-tree's \
+             (ratio {ratio:.2}, margin {margin})"
+        );
+        std::process::exit(1);
+    }
+    eprintln!("PASS: log backend writes fewer durable bytes per committed update ({ratio:.2}x)");
+}

@@ -68,14 +68,31 @@ pub struct EngineConfig {
     /// Which registered data-component backend serves this engine
     /// (`lr_dc::backend_names()`): `"btree"` — the default clustered
     /// B-tree DC — `"hash"`, the in-memory hash-index DC with
-    /// page-logical redo, or a `"remote:<inner>"` variant
-    /// (`"remote:btree"`, `"remote:hash"`) that puts the inner backend
-    /// behind the message boundary — every `DcApi` call travels the wire
-    /// codec through a `lr_dc::DcServer` over a loopback transport. The
-    /// TC↔DC contract (`lr_dc::DcApi`) is the same either way; recovery
-    /// equivalence across backends is asserted by
-    /// `tests/backend_equivalence.rs`.
+    /// page-logical redo, `"log"`, the log-structured DC where the WAL
+    /// is the store (one append per write, background compaction), or a
+    /// `"remote:<inner>"` variant (`"remote:btree"`, `"remote:hash"`,
+    /// `"remote:log"`) that puts the inner backend behind the message
+    /// boundary — every `DcApi` call travels the wire codec through a
+    /// `lr_dc::DcServer` over a loopback transport. The TC↔DC contract
+    /// (`lr_dc::DcApi`) is the same either way; recovery equivalence
+    /// across backends is asserted by `tests/backend_equivalence.rs`.
     pub backend: String,
+    /// Log-structured backend: garbage fraction of the cold log region
+    /// above which the background compactor migrates live versions into
+    /// the sealed store (see `lr_dc::DcConfig::garbage_watermark`).
+    pub garbage_watermark: f64,
+    /// Log-structured backend: segment granularity (bytes) for liveness
+    /// accounting and compaction horizons — only whole cold segments are
+    /// sealed.
+    pub log_segment_bytes: u64,
+    /// Log-structured backend: capacity (entries) of the offset-granular
+    /// read cache over log-resident versions. 0 disables the cache.
+    pub log_read_cache: usize,
+    /// Adapt the maintenance tick to load: the lazywriter/compactor
+    /// interval halves (toward `maint_tick_ms`) while sweeps find work
+    /// and doubles (toward 64× `maint_tick_ms`) while they find none,
+    /// instead of polling at a fixed rate.
+    pub adaptive_maintenance: bool,
     /// Device latency model.
     pub io_model: IoModel,
     /// Modelled real-time latency of one commit-time log force, in µs
@@ -120,6 +137,10 @@ impl Default for EngineConfig {
             optimistic_reads: true,
             optimistic_writes: true,
             backend: lr_dc::BTREE_BACKEND.to_string(),
+            garbage_watermark: 0.5,
+            log_segment_bytes: 64 << 10,
+            log_read_cache: 1024,
+            adaptive_maintenance: true,
             io_model: IoModel::default(),
             commit_force_us: 0,
             trace: false,

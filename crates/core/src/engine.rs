@@ -107,6 +107,11 @@ pub struct EngineStats {
     pub cleaner_sweeps: u64,
     /// Pages flushed by lazywriter sweeps.
     pub cleaner_pages_flushed: u64,
+    /// Compactor sweeps that reclaimed at least one log segment
+    /// (log-structured backend only).
+    pub compactor_sweeps: u64,
+    /// Cold log segments reclaimed by compactor sweeps.
+    pub compactor_segments: u64,
     /// Maintenance policy-loop iterations (both threads).
     pub maintenance_ticks: u64,
     /// Ticks spent quiesced because the engine was crashed.
@@ -190,6 +195,9 @@ fn dc_config(cfg: &EngineConfig) -> DcConfig {
         merge_min_fill: cfg.merge_min_fill,
         optimistic_reads: cfg.optimistic_reads,
         optimistic_writes: cfg.optimistic_writes,
+        garbage_watermark: cfg.garbage_watermark,
+        log_segment_bytes: cfg.log_segment_bytes,
+        log_read_cache: cfg.log_read_cache,
     }
 }
 
@@ -539,6 +547,15 @@ impl Engine {
         self.dc.cleaner_pass()
     }
 
+    /// One compactor activation on behalf of the maintenance service:
+    /// enters the data plane (same crash discipline as the lazywriter)
+    /// and runs the DC's compaction pass. Returns segments reclaimed —
+    /// always 0 on backends without log-structured storage.
+    pub(crate) fn compact_sweep(&self) -> Result<usize> {
+        let _dp = self.enter_data_plane()?;
+        self.dc.compact_pass()
+    }
+
     /// Aggregate observability snapshot (see [`EngineStats`]).
     pub fn stats(&self) -> EngineStats {
         let pool = self.dc.pool();
@@ -550,6 +567,8 @@ impl Engine {
             background_checkpoints: self.maint.bg_checkpoints.load(Ordering::Relaxed),
             cleaner_sweeps: self.maint.cleaner_sweeps.load(Ordering::Relaxed),
             cleaner_pages_flushed: self.maint.cleaner_pages.load(Ordering::Relaxed),
+            compactor_sweeps: self.maint.compactor_sweeps.load(Ordering::Relaxed),
+            compactor_segments: self.maint.compactor_segments.load(Ordering::Relaxed),
             maintenance_ticks: self.maint.ticks.load(Ordering::Relaxed),
             quiesced_ticks: self.maint.quiesced_ticks.load(Ordering::Relaxed),
             maintenance_running: self.maintenance_running(),
@@ -597,6 +616,8 @@ impl Engine {
         m.push_counter("engine_background_checkpoints", s.background_checkpoints);
         m.push_counter("engine_cleaner_sweeps", s.cleaner_sweeps);
         m.push_counter("engine_cleaner_pages_flushed", s.cleaner_pages_flushed);
+        m.push_counter("engine_compactor_sweeps", s.compactor_sweeps);
+        m.push_counter("engine_compactor_segments", s.compactor_segments);
         m.push_counter("engine_maintenance_ticks", s.maintenance_ticks);
         m.push_counter("engine_quiesced_ticks", s.quiesced_ticks);
         m.push_gauge("engine_maintenance_running", u64::from(s.maintenance_running) as f64);

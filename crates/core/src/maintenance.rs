@@ -52,6 +52,44 @@ pub(crate) struct MaintCounters {
     pub(crate) cleaner_sweeps: AtomicU64,
     /// Pages flushed by the lazywriter.
     pub(crate) cleaner_pages: AtomicU64,
+    /// Compactor sweeps that reclaimed at least one log segment.
+    pub(crate) compactor_sweeps: AtomicU64,
+    /// Cold log segments reclaimed by the compactor.
+    pub(crate) compactor_segments: AtomicU64,
+}
+
+/// Adaptive tick pacing for the lazywriter/compactor thread: the park
+/// interval halves (toward the configured floor) while sweeps find work
+/// and doubles (toward 64× the floor) while they find none — bursts get
+/// serviced at full rate, idle engines stop paying a fixed polling tax.
+/// With `adaptive` off the interval is pinned to the floor, which is the
+/// pre-existing fixed-tick behaviour.
+pub(crate) struct Pacing {
+    adaptive: bool,
+    min: Duration,
+    max: Duration,
+    cur: Duration,
+}
+
+impl Pacing {
+    pub(crate) fn new(min: Duration, adaptive: bool) -> Pacing {
+        let min = min.max(Duration::from_millis(1));
+        Pacing { adaptive, min, max: min * 64, cur: min }
+    }
+
+    /// The interval to park for before the next sweep.
+    pub(crate) fn tick(&self) -> Duration {
+        self.cur
+    }
+
+    /// Feed back whether the last sweep found work.
+    pub(crate) fn observe(&mut self, did_work: bool) {
+        if !self.adaptive {
+            return;
+        }
+        self.cur =
+            if did_work { (self.cur / 2).max(self.min) } else { (self.cur * 2).min(self.max) };
+    }
 }
 
 /// Shutdown flag + wakeup channel shared by the service threads.
@@ -119,10 +157,11 @@ impl Engine {
         {
             let weak = Arc::downgrade(self);
             let signal = signal.clone();
+            let pacing = Pacing::new(tick, self.cfg.adaptive_maintenance);
             threads.push(
                 std::thread::Builder::new()
                     .name("lr-lazywriter".into())
-                    .spawn(move || lazywriter_loop(weak, signal, tick))
+                    .spawn(move || lazywriter_loop(weak, signal, pacing))
                     .expect("spawn lazywriter"),
             );
         }
@@ -218,12 +257,15 @@ fn checkpointer_loop(
     }
 }
 
-/// Lazywriter loop: while the dirty fraction exceeds the watermark, flush
-/// cold batches. Each sweep re-enters the data plane separately, so a
-/// pending crash() is never held out for more than one batch.
-fn lazywriter_loop(weak: Weak<Engine>, signal: Arc<Signal>, tick: Duration) {
+/// Lazywriter + compactor loop: while the dirty fraction exceeds the
+/// watermark, flush cold batches; then give the DC one compaction pass
+/// (a no-op on backends without log-structured storage — the pass gates
+/// itself on the garbage watermark). Each sweep re-enters the data plane
+/// separately, so a pending crash() is never held out for more than one
+/// batch. The park interval adapts to load (see [`Pacing`]).
+fn lazywriter_loop(weak: Weak<Engine>, signal: Arc<Signal>, mut pacing: Pacing) {
     loop {
-        if signal.park(tick) {
+        if signal.park(pacing.tick()) {
             return;
         }
         let Some(engine) = tick_engine(&weak) else { return };
@@ -252,6 +294,14 @@ fn lazywriter_loop(weak: Weak<Engine>, signal: Arc<Signal>, tick: Duration) {
             engine.maint.cleaner_pages.fetch_add(pages, Ordering::Relaxed);
             engine.trace.emit(lr_obs::EventKind::CleanerTick { pages_flushed: pages });
         }
+        let segments =
+            if signal.stopped() { 0 } else { engine.compact_sweep().unwrap_or(0) as u64 };
+        if segments > 0 {
+            engine.maint.compactor_sweeps.fetch_add(1, Ordering::Relaxed);
+            engine.maint.compactor_segments.fetch_add(segments, Ordering::Relaxed);
+            engine.trace.emit(lr_obs::EventKind::CompactorTick { segments });
+        }
+        pacing.observe(pages > 0 || segments > 0);
     }
 }
 
@@ -344,6 +394,43 @@ mod tests {
             || engine.stats().background_checkpoints > resumed,
             "service resumed after recovery",
         );
+    }
+
+    #[test]
+    fn pacing_shortens_on_bursts_and_lengthens_when_idle() {
+        let floor = Duration::from_millis(4);
+        let mut p = super::Pacing::new(floor, true);
+        assert_eq!(p.tick(), floor, "starts at the floor");
+        // Idle: the interval doubles each quiet sweep, capped at 64×.
+        let mut last = p.tick();
+        for _ in 0..4 {
+            p.observe(false);
+            assert!(p.tick() > last, "idle must lengthen the tick");
+            last = p.tick();
+        }
+        for _ in 0..20 {
+            p.observe(false);
+        }
+        assert_eq!(p.tick(), floor * 64, "idle interval is capped");
+        // A burst of work collapses it back toward the floor.
+        p.observe(true);
+        assert_eq!(p.tick(), floor * 32, "work halves the interval");
+        for _ in 0..20 {
+            p.observe(true);
+        }
+        assert_eq!(p.tick(), floor, "sustained work pins the floor");
+    }
+
+    #[test]
+    fn fixed_pacing_ignores_observations() {
+        let floor = Duration::from_millis(4);
+        let mut p = super::Pacing::new(floor, false);
+        for _ in 0..10 {
+            p.observe(false);
+        }
+        assert_eq!(p.tick(), floor);
+        p.observe(true);
+        assert_eq!(p.tick(), floor);
     }
 
     #[test]

@@ -9,13 +9,17 @@
 //! drivers, undo, maintenance and the replica path all hold
 //! `Arc<dyn DcApi>` and never name a concrete data component.
 //!
-//! Two backends implement it:
+//! Three backends implement it:
 //!
 //! * [`crate::DataComponent`] — the default B-tree DC (clustered index,
 //!   logical redo re-traverses by key);
 //! * [`crate::HashDc`] — an in-memory hash-index DC over bucket-chain
 //!   pages (no B-tree; redo is page-logical: it replays at the logged
-//!   PID and rebuilds the volatile key index from the chains).
+//!   PID and rebuilds the volatile key index from the chains);
+//! * [`crate::LogDc`] — the log-structured DC (the WAL *is* the store:
+//!   one durable append per write, a volatile key → log-offset index,
+//!   recovery as pure re-indexing, background compaction of cold
+//!   segments).
 //!
 //! Backends register by name in [`crate::backend`]; the engine selects
 //! one through `EngineConfig::backend`.
@@ -272,6 +276,20 @@ pub trait DcApi: DcIntrospect {
 
     /// Is the cache dirtier than the lazywriter watermark right now?
     fn over_dirty_watermark(&self) -> bool;
+
+    /// One compactor activation (background maintenance entry point):
+    /// migrate live versions out of cold log segments if the garbage
+    /// ratio is over the watermark. Returns log segments retired. A
+    /// no-op for backends whose store is not the log.
+    fn compact_pass(&self) -> Result<usize> {
+        Ok(0)
+    }
+
+    /// Is the cold log region's garbage ratio over the compaction
+    /// watermark right now? Always `false` for page-store backends.
+    fn over_garbage_watermark(&self) -> bool {
+        false
+    }
 
     // ------------------------------------------------------------------
     // catalog operations

@@ -9,6 +9,7 @@
 use crate::api::DcApi;
 use crate::dc::{DataComponent, DcConfig};
 use crate::hash::{hash_bulk_load, HashDc};
+use crate::logdc::{log_bulk_load, LogDc};
 use lr_common::{Error, Key, PageId, Result, TableId, Value};
 use lr_storage::Disk;
 use lr_wal::SharedWal;
@@ -24,6 +25,10 @@ pub const HASH_BACKEND: &str = "hash";
 pub const REMOTE_BTREE_BACKEND: &str = "remote:btree";
 /// The hash backend behind the message boundary.
 pub const REMOTE_HASH_BACKEND: &str = "remote:hash";
+/// Name of the log-structured backend ([`LogDc`]): the WAL is the store.
+pub const LOG_BACKEND: &str = "log";
+/// The log-structured backend behind the message boundary.
+pub const REMOTE_LOG_BACKEND: &str = "remote:log";
 
 /// Offline initial-table loader: `(disk, table, rows, fill) → anchor`.
 pub type BulkLoadFn =
@@ -73,6 +78,15 @@ fn open_remote_hash(disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Resul
     Ok(crate::remote::remote_loopback(inner, REMOTE_HASH_BACKEND).0)
 }
 
+fn open_log(disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<Arc<dyn DcApi>> {
+    Ok(Arc::new(LogDc::open(disk, wal, cfg)?))
+}
+
+fn open_remote_log(disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<Arc<dyn DcApi>> {
+    let inner = open_log(disk, wal, cfg)?;
+    Ok(crate::remote::remote_loopback(inner, REMOTE_LOG_BACKEND).0)
+}
+
 /// The registry. Both backends share the disk format (`format_disk`
 /// installs the same empty catalog), so a formatted disk is
 /// backend-portable until the first bulk load.
@@ -89,6 +103,12 @@ static BACKENDS: &[Backend] = &[
         bulk_load: hash_bulk_load,
         open: open_hash,
     },
+    Backend {
+        name: LOG_BACKEND,
+        format: DataComponent::format_disk,
+        bulk_load: log_bulk_load,
+        open: open_log,
+    },
     // The remote backends share their inner backend's disk format and
     // bulk loader — only `open` differs, wrapping the component in a
     // DcServer + loopback connection.
@@ -103,6 +123,12 @@ static BACKENDS: &[Backend] = &[
         format: DataComponent::format_disk,
         bulk_load: hash_bulk_load,
         open: open_remote_hash,
+    },
+    Backend {
+        name: REMOTE_LOG_BACKEND,
+        format: DataComponent::format_disk,
+        bulk_load: log_bulk_load,
+        open: open_remote_log,
     },
 ];
 
@@ -136,7 +162,14 @@ mod tests {
     fn registry_knows_all_backends() {
         assert_eq!(
             backend_names(),
-            vec![BTREE_BACKEND, HASH_BACKEND, REMOTE_BTREE_BACKEND, REMOTE_HASH_BACKEND]
+            vec![
+                BTREE_BACKEND,
+                HASH_BACKEND,
+                LOG_BACKEND,
+                REMOTE_BTREE_BACKEND,
+                REMOTE_HASH_BACKEND,
+                REMOTE_LOG_BACKEND
+            ]
         );
         for name in backend_names() {
             assert!(backend(name).is_ok(), "{name} must resolve");

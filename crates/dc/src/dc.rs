@@ -122,6 +122,16 @@ pub struct DcConfig {
     /// every prepare through the latched descent (the `writepath` bench's
     /// A/B knob).
     pub optimistic_writes: bool,
+    /// Log-structured backend: compaction trigger — compact once the cold
+    /// log region's garbage fraction (1 − live/region) exceeds this.
+    pub garbage_watermark: f64,
+    /// Log-structured backend: the segment granule for liveness
+    /// accounting and compaction (compaction only seals whole segments;
+    /// the log's current segment is never compacted).
+    pub log_segment_bytes: u64,
+    /// Log-structured backend: capacity (entries) of the offset → value
+    /// read cache. 0 disables it.
+    pub log_read_cache: usize,
 }
 
 impl Default for DcConfig {
@@ -137,6 +147,9 @@ impl Default for DcConfig {
             merge_min_fill: 0.0,
             optimistic_reads: true,
             optimistic_writes: true,
+            garbage_watermark: 0.5,
+            log_segment_bytes: 64 << 10,
+            log_read_cache: 1024,
         }
     }
 }
@@ -186,6 +199,21 @@ lr_common::counter_struct! {
             /// Writes that exhausted their OLC prepare attempts (or needed an SMO
             /// / a fetch) and fell back to the latched prepare path.
             pub write_fallbacks: u64,
+            /// Log-structured backend: whole log segments retired by
+            /// compaction (their live versions migrated to sealed pages).
+            pub segments_compacted: u64,
+            /// Log-structured backend: bytes of live versions compaction
+            /// migrated out of cold segments / old sealed generations.
+            pub live_bytes_migrated: u64,
+            /// Log-structured backend: cold log bytes reclaimed as garbage
+            /// (region sealed minus live bytes migrated from it).
+            pub dead_bytes_reclaimed: u64,
+            /// Log-structured backend: point reads served by the offset →
+            /// value read cache.
+            pub log_read_cache_hits: u64,
+            /// Log-structured backend: point reads that fetched from the
+            /// log (then populated the cache).
+            pub log_read_cache_misses: u64,
         }
         histograms {
             /// Per-operation OLC **read** restart distribution: how many wasted
@@ -236,6 +264,11 @@ pub(crate) struct DcCounters {
     pub(crate) scan_fallbacks: AtomicU64,
     pub(crate) optimistic_writes: AtomicU64,
     pub(crate) write_fallbacks: AtomicU64,
+    pub(crate) segments_compacted: AtomicU64,
+    pub(crate) live_bytes_migrated: AtomicU64,
+    pub(crate) dead_bytes_reclaimed: AtomicU64,
+    pub(crate) log_read_cache_hits: AtomicU64,
+    pub(crate) log_read_cache_misses: AtomicU64,
     pub(crate) read_restarts: AttemptCounters,
     pub(crate) write_restarts: AttemptCounters,
 }
@@ -264,6 +297,11 @@ impl DcCounters {
             scan_fallbacks: self.scan_fallbacks.load(Ordering::Relaxed),
             optimistic_writes: self.optimistic_writes.load(Ordering::Relaxed),
             write_fallbacks: self.write_fallbacks.load(Ordering::Relaxed),
+            segments_compacted: self.segments_compacted.load(Ordering::Relaxed),
+            live_bytes_migrated: self.live_bytes_migrated.load(Ordering::Relaxed),
+            dead_bytes_reclaimed: self.dead_bytes_reclaimed.load(Ordering::Relaxed),
+            log_read_cache_hits: self.log_read_cache_hits.load(Ordering::Relaxed),
+            log_read_cache_misses: self.log_read_cache_misses.load(Ordering::Relaxed),
             read_restart_hist: self.read_restarts.histogram(),
             write_restart_hist: self.write_restarts.histogram(),
         }

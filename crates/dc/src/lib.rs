@@ -27,6 +27,7 @@ pub mod catalog;
 pub mod dc;
 pub mod dpt;
 pub mod hash;
+pub mod logdc;
 pub mod recovery;
 pub mod remote;
 pub mod server;
@@ -38,8 +39,8 @@ pub use api::{
     DcApi, DcIntrospect, Located, OpGuard, PreloadStats, PreparedOp, TableGuard, TableSummary,
 };
 pub use backend::{
-    backend, backend_names, backends, Backend, BTREE_BACKEND, HASH_BACKEND, REMOTE_BTREE_BACKEND,
-    REMOTE_HASH_BACKEND,
+    backend, backend_names, backends, Backend, BTREE_BACKEND, HASH_BACKEND, LOG_BACKEND,
+    REMOTE_BTREE_BACKEND, REMOTE_HASH_BACKEND, REMOTE_LOG_BACKEND,
 };
 pub use builders::{
     build_dpt_aries, build_dpt_logical, build_dpt_sqlserver, AnalysisCounts, DeltaDptMode,
@@ -49,6 +50,7 @@ pub use catalog::Catalog;
 pub use dc::{DataComponent, DcConfig, PrepareInfo, WriteIntent};
 pub use dpt::{Dpt, DptEntry, DptScreen};
 pub use hash::HashDc;
+pub use logdc::LogDc;
 pub use recovery::{
     dc_recover, find_recovery_window, replay_smo_screened, smo_barrier_physiological, smo_redo,
     DcRecoveryOutcome, SmoBarrierOutcome,

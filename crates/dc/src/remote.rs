@@ -404,6 +404,17 @@ impl DcApi for RemoteDc {
         matches!(self.call(DcRequest::OverDirtyWatermark), Ok(DcReply::Flag(true)))
     }
 
+    fn compact_pass(&self) -> Result<usize> {
+        match self.call(DcRequest::CompactPass)? {
+            DcReply::Count(c) => Ok(c as usize),
+            other => Err(Self::protocol("compact_pass", other)),
+        }
+    }
+
+    fn over_garbage_watermark(&self) -> bool {
+        matches!(self.call(DcRequest::OverGarbageWatermark), Ok(DcReply::Flag(true)))
+    }
+
     fn create_table(&self, table: TableId) -> Result<()> {
         match self.call(DcRequest::CreateTable { table })? {
             DcReply::Unit => Ok(()),

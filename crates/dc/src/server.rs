@@ -289,6 +289,8 @@ impl DcServer {
             }
             DcRequest::CleanerPass => DcReply::Count(dc.cleaner_pass()? as u64),
             DcRequest::OverDirtyWatermark => DcReply::Flag(dc.over_dirty_watermark()),
+            DcRequest::CompactPass => DcReply::Count(dc.compact_pass()? as u64),
+            DcRequest::OverGarbageWatermark => DcReply::Flag(dc.over_garbage_watermark()),
             DcRequest::CreateTable { table } => {
                 dc.create_table(table)?;
                 DcReply::Unit

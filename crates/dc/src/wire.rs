@@ -92,6 +92,8 @@ pub enum DcRequest {
     DiscardEvents,
     CleanerPass,
     OverDirtyWatermark,
+    CompactPass,
+    OverGarbageWatermark,
     CreateTable {
         table: TableId,
     },
@@ -536,6 +538,11 @@ fn put_stats(e: &mut Encoder, s: &DcStats) {
     e.put_u64(s.scan_fallbacks);
     e.put_u64(s.optimistic_writes);
     e.put_u64(s.write_fallbacks);
+    e.put_u64(s.segments_compacted);
+    e.put_u64(s.live_bytes_migrated);
+    e.put_u64(s.dead_bytes_reclaimed);
+    e.put_u64(s.log_read_cache_hits);
+    e.put_u64(s.log_read_cache_misses);
     s.read_restart_hist.encode_into(e);
     s.write_restart_hist.encode_into(e);
 }
@@ -553,6 +560,11 @@ fn get_stats(d: &mut Decoder<'_>) -> Result<DcStats, CodecError> {
         scan_fallbacks: d.get_u64()?,
         optimistic_writes: d.get_u64()?,
         write_fallbacks: d.get_u64()?,
+        segments_compacted: d.get_u64()?,
+        live_bytes_migrated: d.get_u64()?,
+        dead_bytes_reclaimed: d.get_u64()?,
+        log_read_cache_hits: d.get_u64()?,
+        log_read_cache_misses: d.get_u64()?,
         read_restart_hist: Histogram::decode_from(d)?,
         write_restart_hist: Histogram::decode_from(d)?,
     })
@@ -690,9 +702,11 @@ const REQ_PRELOAD_INDEX: u8 = 32;
 const REQ_FINISH_REDO: u8 = 33;
 const REQ_STATS: u8 = 34;
 const REQ_INTROSPECT: u8 = 35;
+const REQ_COMPACT_PASS: u8 = 36;
+const REQ_OVER_GARBAGE: u8 = 37;
 
 /// The highest assigned request tag — sizes per-op telemetry tables.
-pub const MAX_REQ_TAG: u8 = REQ_INTROSPECT;
+pub const MAX_REQ_TAG: u8 = REQ_OVER_GARBAGE;
 
 /// Human-readable name of a request tag, for telemetry rows and trace
 /// events. Unknown tags render as `"unknown"`.
@@ -733,6 +747,8 @@ pub fn op_name(tag: u8) -> &'static str {
         REQ_FINISH_REDO => "finish_redo",
         REQ_STATS => "stats",
         REQ_INTROSPECT => "introspect",
+        REQ_COMPACT_PASS => "compact_pass",
+        REQ_OVER_GARBAGE => "over_garbage_watermark",
         _ => "unknown",
     }
 }
@@ -799,6 +815,8 @@ impl DcRequest {
             DcRequest::DiscardEvents => e.put_u8(REQ_DISCARD_EVENTS),
             DcRequest::CleanerPass => e.put_u8(REQ_CLEANER_PASS),
             DcRequest::OverDirtyWatermark => e.put_u8(REQ_OVER_WATERMARK),
+            DcRequest::CompactPass => e.put_u8(REQ_COMPACT_PASS),
+            DcRequest::OverGarbageWatermark => e.put_u8(REQ_OVER_GARBAGE),
             DcRequest::CreateTable { table } => {
                 e.put_u8(REQ_CREATE_TABLE);
                 e.put_table(*table);
@@ -884,6 +902,8 @@ impl DcRequest {
             DcRequest::DiscardEvents => REQ_DISCARD_EVENTS,
             DcRequest::CleanerPass => REQ_CLEANER_PASS,
             DcRequest::OverDirtyWatermark => REQ_OVER_WATERMARK,
+            DcRequest::CompactPass => REQ_COMPACT_PASS,
+            DcRequest::OverGarbageWatermark => REQ_OVER_GARBAGE,
             DcRequest::CreateTable { .. } => REQ_CREATE_TABLE,
             DcRequest::RegisterTable { .. } => REQ_REGISTER_TABLE,
             DcRequest::TableRoot { .. } => REQ_TABLE_ROOT,
@@ -935,6 +955,8 @@ impl DcRequest {
             REQ_DISCARD_EVENTS => DcRequest::DiscardEvents,
             REQ_CLEANER_PASS => DcRequest::CleanerPass,
             REQ_OVER_WATERMARK => DcRequest::OverDirtyWatermark,
+            REQ_COMPACT_PASS => DcRequest::CompactPass,
+            REQ_OVER_GARBAGE => DcRequest::OverGarbageWatermark,
             REQ_CREATE_TABLE => DcRequest::CreateTable { table: d.get_table()? },
             REQ_REGISTER_TABLE => {
                 DcRequest::RegisterTable { table: d.get_table()?, root: d.get_pid()? }
@@ -1200,6 +1222,8 @@ mod tests {
             DcRequest::DiscardEvents,
             DcRequest::CleanerPass,
             DcRequest::OverDirtyWatermark,
+            DcRequest::CompactPass,
+            DcRequest::OverGarbageWatermark,
             DcRequest::CreateTable { table: TableId(3) },
             DcRequest::RegisterTable { table: TableId(3), root: PageId(11) },
             DcRequest::TableRoot { table: TableId(3) },

@@ -150,6 +150,12 @@ pub enum EventKind {
         /// Pages flushed by this sweep.
         pages_flushed: u64,
     },
+    /// One background log-compactor sweep finished (log-structured
+    /// backend).
+    CompactorTick {
+        /// Cold log segments reclaimed by this sweep.
+        segments: u64,
+    },
     /// A recovery phase started on one worker (worker 0 = the serial
     /// pipeline or the coordinating thread).
     RecoveryPhaseStart {
@@ -221,6 +227,7 @@ pub const EVENT_NAMES: &[&str] = &[
     "checkpoint_begin",
     "checkpoint_end",
     "cleaner_tick",
+    "compactor_tick",
     "recovery_phase_start",
     "recovery_phase_end",
     "wire_request",
@@ -250,6 +257,7 @@ impl EventKind {
             EventKind::CheckpointBegin { .. } => "checkpoint_begin",
             EventKind::CheckpointEnd { .. } => "checkpoint_end",
             EventKind::CleanerTick { .. } => "cleaner_tick",
+            EventKind::CompactorTick { .. } => "compactor_tick",
             EventKind::RecoveryPhaseStart { .. } => "recovery_phase_start",
             EventKind::RecoveryPhaseEnd { .. } => "recovery_phase_end",
             EventKind::WireRequest { .. } => "wire_request",
@@ -294,6 +302,7 @@ impl EventKind {
             EventKind::CleanerTick { pages_flushed } => {
                 vec![("pages_flushed", pages_flushed.into())]
             }
+            EventKind::CompactorTick { segments } => vec![("segments", segments.into())],
             EventKind::RecoveryPhaseStart { phase, worker } => {
                 vec![("phase", phase.name().into()), ("worker", worker.into())]
             }
@@ -667,6 +676,7 @@ mod tests {
             EventKind::CheckpointBegin { lsn: 0 },
             EventKind::CheckpointEnd { lsn: 0 },
             EventKind::CleanerTick { pages_flushed: 0 },
+            EventKind::CompactorTick { segments: 0 },
             EventKind::RecoveryPhaseStart { phase: RecoveryPhase::Analysis, worker: 0 },
             EventKind::RecoveryPhaseEnd { phase: RecoveryPhase::Undo, worker: 0, busy_us: 0 },
             EventKind::WireRequest { req_id: 0, op: 0, bytes: 0 },

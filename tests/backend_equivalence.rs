@@ -1,10 +1,11 @@
 //! The `DcApi` contract, proven across backends: the B-tree DC, the
-//! hash-index DC, and their `remote:*` proxies (the same components
-//! behind the message boundary — every call crossing the wire codec
-//! through a `DcServer` over a loopback transport) must expose
-//! **identical committed state** after any crash, for every recovery
-//! method — the Deuteronomy claim that the TC neither knows nor cares
-//! how, or *where*, the DC places data.
+//! hash-index DC, the log-structured DC (the WAL is the store), and
+//! their `remote:*` proxies (the same components behind the message
+//! boundary — every call crossing the wire codec through a `DcServer`
+//! over a loopback transport) must expose **identical committed state**
+//! after any crash, for every recovery method — the Deuteronomy claim
+//! that the TC neither knows nor cares how, or *where*, the DC places
+//! data.
 //!
 //! The suites riding the same harness:
 //!
@@ -28,8 +29,8 @@ use lr_core::{
 };
 use std::sync::Arc;
 
-const BACKENDS: [&str; 4] = ["btree", "hash", "remote:btree", "remote:hash"];
-const REMOTE_BACKENDS: [&str; 2] = ["remote:btree", "remote:hash"];
+const BACKENDS: [&str; 6] = ["btree", "hash", "log", "remote:btree", "remote:hash", "remote:log"];
+const REMOTE_BACKENDS: [&str; 3] = ["remote:btree", "remote:hash", "remote:log"];
 
 fn config_for(backend: &str) -> EngineConfig {
     EngineConfig {
@@ -285,6 +286,71 @@ fn concurrent_bank_conserves_money_on_both_backends() {
             fork.verify_table(DEFAULT_TABLE).unwrap();
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// background compaction racing live writers (log backend)
+// ---------------------------------------------------------------------
+
+#[test]
+fn compactor_races_writers_without_losing_updates_on_the_log_backend() {
+    const ROUNDS: u64 = 30;
+    let cfg = EngineConfig {
+        initial_rows: 200,
+        pool_pages: 48,
+        row_value_size: 64,
+        io_model: IoModel::zero(),
+        backend: "log".to_string(),
+        background_maintenance: true,
+        maint_tick_ms: 1,
+        // Small segments + a low watermark so update churn trips the
+        // compactor repeatedly while the writers are still running.
+        log_segment_bytes: 8 << 10,
+        garbage_watermark: 0.3,
+        ..EngineConfig::default()
+    };
+    let rows = cfg.initial_rows;
+    let vsize = cfg.row_value_size;
+    let engine = Engine::build(cfg).unwrap().into_shared();
+    assert!(engine.maintenance_running());
+
+    // 4 writers over disjoint key ranges: every key's final version is
+    // ROUNDS, so a single stale read-back proves a lost update.
+    std::thread::scope(|s| {
+        for th in 0..4u64 {
+            let mut session: Session = Engine::session(&engine);
+            s.spawn(move || {
+                for round in 1..=ROUNDS {
+                    for i in 0..50u64 {
+                        let k = (th * 50 + i) % rows;
+                        let v = deterministic_value(k, round, vsize);
+                        session
+                            .run_txn(1_000, |s| s.update_in(DEFAULT_TABLE, k, v.clone()))
+                            .unwrap();
+                    }
+                }
+            });
+        }
+    });
+
+    // The churn left far more dead than live bytes in the cold log; give
+    // the background compactor a moment to notice if it has not already.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while engine.dc().stats().segments_compacted == 0 {
+        assert!(std::time::Instant::now() < deadline, "compactor never reclaimed a segment");
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+    let dc_stats = engine.dc().stats();
+    assert!(dc_stats.segments_compacted > 0, "segments_compacted must be nonzero under churn");
+    assert!(dc_stats.live_bytes_migrated > 0, "live_bytes_migrated must be nonzero under churn");
+    assert!(dc_stats.dead_bytes_reclaimed > 0, "dead_bytes_reclaimed must be nonzero under churn");
+
+    // No lost updates: every key reads back its final round's value.
+    for k in 0..rows {
+        let got = engine.read(DEFAULT_TABLE, k).unwrap().expect("key survived the churn");
+        assert_eq!(got, deterministic_value(k, ROUNDS, vsize), "key {k}: lost update");
+    }
+    engine.verify_table(DEFAULT_TABLE).unwrap();
 }
 
 #[test]
