@@ -1,0 +1,402 @@
+//! **Server load generator** — N client connections against one
+//! [`lr_server::Server`] over real loopback TCP, on a bank-transfer
+//! workload whose invariant (total balance is constant) catches any
+//! isolation or atomicity break the wire path could introduce.
+//!
+//! ```sh
+//! cargo run --release -p lr-bench --bin loadgen
+//! LR_CONNS=1,8 LR_TXNS=4000 LR_ACCOUNTS=2048 \
+//!     cargo run --release -p lr-bench --bin loadgen
+//! ```
+//!
+//! Each point starts a fresh engine + TCP server, connects the clients,
+//! and runs transfer transactions (read-for-update two accounts, move a
+//! few units, commit) with the client-side no-wait retry helper. Reported
+//! per point: aggregate committed txn/s and per-connection p50/p99
+//! latency. Three gates:
+//!
+//! * **scaling** — the widest connection count must commit at least
+//!   `LR_SCALE_MARGIN`× (default 2×) the single-connection rate (group
+//!   commit shares the modelled force latency across connections);
+//! * **admission** — a cap-2 server must refuse the third connection with
+//!   a typed `ServerBusy`, never a hang;
+//! * **disconnect-abort** — a connection dropped mid-transaction must
+//!   have its transaction aborted server-side so a fresh connection can
+//!   immediately write the same keys.
+
+use lr_common::Histogram;
+use lr_core::{Engine, EngineConfig, DEFAULT_TABLE};
+use lr_obs::{BenchSummary, Json};
+use lr_server::{Client, Server, ServerConfig};
+use lr_workload::report::Table;
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn env_list(name: &str, default: &[usize]) -> Vec<usize> {
+    match std::env::var(name) {
+        Ok(v) => {
+            let parsed: Vec<usize> =
+                v.split(',').filter_map(|s| s.trim().parse().ok()).filter(|&n| n > 0).collect();
+            if parsed.is_empty() {
+                eprintln!(
+                    "warning: {name}={v:?} has no valid connection counts; using {default:?}"
+                );
+                default.to_vec()
+            } else {
+                parsed
+            }
+        }
+        Err(_) => default.to_vec(),
+    }
+}
+
+fn print_help() {
+    println!("loadgen — N TCP client connections vs one server, bank-transfer workload\n");
+    println!("env knobs:");
+    println!("  LR_CONNS=1,8           connection counts to sweep");
+    println!("  LR_TXNS=4000           transfer transactions per point (split across conns)");
+    println!("  LR_ACCOUNTS=2048       bank accounts (keys)");
+    println!("  LR_FORCE_US=400        modelled commit-force latency (µs; group commit shares it)");
+    println!("  LR_SCALE_MARGIN=2.0    widest point must reach this multiple of 1-conn txn/s");
+    println!("  LR_BENCH_OUT=dir       where BENCH_loadgen.json lands (default .)");
+    println!("  LR_BACKEND=<name>      data-component backend; registered:");
+    for b in lr_core::backends() {
+        println!("                           {}", b.name);
+    }
+}
+
+const INITIAL_BALANCE: u64 = 1_000;
+
+fn balance_bytes(v: u64) -> Vec<u8> {
+    v.to_le_bytes().to_vec()
+}
+
+fn read_balance(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes.try_into().expect("8-byte balance"))
+}
+
+/// Start a fresh engine + TCP server for one measurement point, with the
+/// accounts seeded through the front door. The returned client (the
+/// seeder) keeps one admission slot for invariant checks.
+fn start_server(
+    accounts: u64,
+    force_us: u64,
+    backend: &str,
+    cap: usize,
+) -> (Server, std::net::SocketAddr, Client) {
+    let engine = Engine::build(EngineConfig {
+        initial_rows: 0,
+        pool_pages: ((accounts / 4).max(1_024)) as usize,
+        io_model: lr_common::IoModel::zero(),
+        commit_force_us: force_us,
+        backend: backend.to_string(),
+        ..EngineConfig::default()
+    })
+    .expect("engine build")
+    .into_shared();
+    let (server, addr) =
+        Server::start_tcp(engine, ServerConfig { max_sessions: cap }).expect("server start");
+    // Seed in batches: one giant transaction would make a single abort
+    // undo the whole load.
+    let mut seeder = Client::connect_tcp(addr).expect("seeder connect");
+    for batch in (0..accounts).collect::<Vec<_>>().chunks(256) {
+        let keys: Vec<u64> = batch.to_vec();
+        seeder
+            .run_txn(10, |c| {
+                for &k in &keys {
+                    c.insert(DEFAULT_TABLE, k, balance_bytes(INITIAL_BALANCE))?;
+                }
+                Ok(())
+            })
+            .expect("seed batch");
+    }
+    (server, addr, seeder)
+}
+
+/// Sum of all account balances, read through a client scan.
+fn total_balance(client: &mut Client, accounts: u64) -> u64 {
+    let rows = client.scan_range(DEFAULT_TABLE, 0, accounts - 1).expect("invariant scan");
+    assert_eq!(rows.len() as u64, accounts, "an account vanished");
+    rows.iter().map(|(_, v)| read_balance(v)).sum()
+}
+
+struct ConnReport {
+    committed: u64,
+    retries: u64,
+    wall_s: f64,
+    latency_us: Histogram,
+}
+
+/// One measurement point: `conns` clients, `txns` transfers split evenly.
+fn run_point(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    txns: u64,
+    accounts: u64,
+) -> Vec<ConnReport> {
+    let per_conn = (txns / conns as u64).max(1);
+    let barrier = Arc::new(Barrier::new(conns));
+    let threads: Vec<_> = (0..conns)
+        .map(|i| {
+            let barrier = barrier.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect_tcp(addr).expect("client connect");
+                let mut rng = 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1);
+                let mut latency_us = Histogram::new();
+                let mut retries = 0u64;
+                barrier.wait();
+                let started = Instant::now();
+                for _ in 0..per_conn {
+                    // Cheap xorshift — distinct streams per connection.
+                    let mut next = || {
+                        rng ^= rng << 13;
+                        rng ^= rng >> 7;
+                        rng ^= rng << 17;
+                        rng
+                    };
+                    let from = next() % accounts;
+                    let to = {
+                        let t = next() % accounts;
+                        if t == from {
+                            (t + 1) % accounts
+                        } else {
+                            t
+                        }
+                    };
+                    let amount = 1 + next() % 5;
+                    let t0 = Instant::now();
+                    let r = client
+                        .run_txn(200, |c| {
+                            let a = c
+                                .read_for_update(DEFAULT_TABLE, from)?
+                                .map(|v| read_balance(&v))
+                                .expect("account exists");
+                            let b = c
+                                .read_for_update(DEFAULT_TABLE, to)?
+                                .map(|v| read_balance(&v))
+                                .expect("account exists");
+                            let moved = amount.min(a);
+                            c.update(DEFAULT_TABLE, from, balance_bytes(a - moved))?;
+                            c.update(DEFAULT_TABLE, to, balance_bytes(b + moved))?;
+                            Ok(())
+                        })
+                        .expect("transfer txn");
+                    retries += r as u64;
+                    latency_us.record(t0.elapsed().as_micros() as u64);
+                }
+                ConnReport {
+                    committed: per_conn,
+                    retries,
+                    wall_s: started.elapsed().as_secs_f64(),
+                    latency_us,
+                }
+            })
+        })
+        .collect();
+    threads.into_iter().map(|t| t.join().expect("client thread")).collect()
+}
+
+/// Admission gate: a cap-2 server must refuse the third connection with a
+/// typed ServerBusy carrying the occupancy.
+fn admission_probe(summary: &mut BenchSummary) -> bool {
+    let engine = Engine::build(EngineConfig {
+        initial_rows: 16,
+        pool_pages: 1_024,
+        io_model: lr_common::IoModel::zero(),
+        ..EngineConfig::default()
+    })
+    .expect("engine build")
+    .into_shared();
+    let (server, addr) =
+        Server::start_tcp(engine, ServerConfig { max_sessions: 2 }).expect("server start");
+    let _c1 = Client::connect_tcp(addr).expect("first connection");
+    let _c2 = Client::connect_tcp(addr).expect("second connection");
+    let third = Client::connect_tcp(addr);
+    let rejected_typed = matches!(third, Err(lr_common::Error::ServerBusy { active: 2, cap: 2 }));
+    let counted = server.stats().connections_rejected >= 1;
+    let pass = rejected_typed && counted;
+    println!(
+        "admission probe: cap 2, third connection {} ({} rejection(s) counted)",
+        if rejected_typed { "refused with typed ServerBusy" } else { "NOT refused correctly" },
+        server.stats().connections_rejected,
+    );
+    summary.gate(
+        Json::obj()
+            .with("gate", Json::from("admission"))
+            .with("cap", Json::from(2u64))
+            .with("typed_rejection", Json::from(rejected_typed))
+            .with("rejections_counted", Json::from(counted))
+            .with("pass", Json::from(pass)),
+    );
+    pass
+}
+
+/// Disconnect gate: dropping a connection mid-transaction must abort it
+/// server-side, leaving its keys writable by a fresh connection.
+fn disconnect_probe(summary: &mut BenchSummary) -> bool {
+    let (server, addr, mut seeder) = start_server(16, 0, "btree", 8);
+    let mut doomed = Client::connect_tcp(addr).expect("doomed connection");
+    doomed.begin().expect("begin");
+    doomed.update(DEFAULT_TABLE, 5, balance_bytes(0)).expect("uncommitted write");
+    drop(doomed); // vanish mid-transaction: the server must abort for us
+                  // The abort runs on the handler thread as it tears down; the no-wait
+                  // retry loop absorbs the race.
+    seeder
+        .run_txn(500, |c| c.update(DEFAULT_TABLE, 5, balance_bytes(INITIAL_BALANCE)))
+        .expect("rewrite after disconnect");
+    let rewritten = seeder.read(DEFAULT_TABLE, 5).expect("readback").expect("present");
+    let aborted = server.stats().disconnect_aborts >= 1;
+    let unharmed = read_balance(&rewritten) == INITIAL_BALANCE;
+    server.engine().tc().locks().assert_no_leaks();
+    let pass = aborted && unharmed;
+    println!(
+        "disconnect probe: mid-txn drop {} ({} disconnect abort(s) counted)",
+        if pass { "aborted server-side, key immediately rewritable" } else { "FAILED" },
+        server.stats().disconnect_aborts,
+    );
+    summary.gate(
+        Json::obj()
+            .with("gate", Json::from("disconnect_abort"))
+            .with("disconnect_aborts", Json::from(server.stats().disconnect_aborts))
+            .with("rewrite_ok", Json::from(unharmed))
+            .with("pass", Json::from(pass)),
+    );
+    pass
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+    let conn_counts = env_list("LR_CONNS", &[1, 8]);
+    let txns = env_u64("LR_TXNS", 4_000);
+    let accounts = env_u64("LR_ACCOUNTS", 2_048);
+    // High enough that the modelled device force dominates a commit, so
+    // the scaling gate measures group-commit sharing — the one lever that
+    // scales with connection count even on a single core.
+    let force_us = env_u64("LR_FORCE_US", 400);
+    let margin = env_f64("LR_SCALE_MARGIN", 2.0);
+    let backend = std::env::var("LR_BACKEND").unwrap_or_else(|_| "btree".to_string());
+
+    let mut summary = BenchSummary::new("loadgen");
+    summary.config("backend", Json::from(backend.as_str()));
+    summary.config("txns", Json::from(txns));
+    summary.config("accounts", Json::from(accounts));
+    summary.config("force_us", Json::from(force_us));
+    summary.config("scale_margin", Json::from(margin));
+
+    println!("Server loadgen: bank-transfer workload over loopback TCP,");
+    println!("{accounts} accounts, {txns} transfers per point (LR_TXNS, split across conns),");
+    println!("commit force latency {force_us} µs (LR_FORCE_US; group commit shares it),");
+    println!("backend {backend} (LR_BACKEND).\n");
+
+    let mut table =
+        Table::new(&["conns", "committed", "wall_ms", "txn/s", "retries", "p50_us", "p99_us"]);
+    let mut first_rate: Option<f64> = None;
+    let mut last: Option<(usize, f64)> = None;
+
+    for &conns in &conn_counts {
+        let (server, addr, mut seeder) = start_server(accounts, force_us, &backend, conns + 8);
+        let reports = run_point(addr, conns, txns, accounts);
+
+        let committed: u64 = reports.iter().map(|r| r.committed).sum();
+        let retries: u64 = reports.iter().map(|r| r.retries).sum();
+        let wall_s = reports.iter().map(|r| r.wall_s).fold(0.0f64, f64::max);
+        let mut latency = Histogram::new();
+        for r in &reports {
+            latency.merge(&r.latency_us);
+        }
+        let rate = committed as f64 / wall_s.max(1e-9);
+        let p50 = latency.quantile(0.5);
+        let p99 = latency.quantile(0.99);
+
+        // The invariant the wire path must not break: money moved, none
+        // was created or destroyed.
+        assert_eq!(
+            total_balance(&mut seeder, accounts),
+            accounts * INITIAL_BALANCE,
+            "bank invariant broken at {conns} connection(s)"
+        );
+        server.engine().tc().locks().assert_no_leaks();
+        let sstats = server.stats();
+        assert_eq!(sstats.disconnect_aborts, 0, "no workload txn should die with its conn");
+
+        if first_rate.is_none() {
+            first_rate = Some(rate);
+        }
+        last = Some((conns, rate));
+        table.row(vec![
+            conns.to_string(),
+            committed.to_string(),
+            format!("{:.1}", wall_s * 1e3),
+            format!("{rate:.0}"),
+            retries.to_string(),
+            p50.to_string(),
+            p99.to_string(),
+        ]);
+        eprintln!("  finished {conns} connection(s): {rate:.0} txn/s");
+        println!(
+            "{{\"bench\":\"loadgen\",\"backend\":\"{backend}\",\"conns\":{conns},\
+             \"committed\":{committed},\"wall_ms\":{:.1},\"txn_per_sec\":{rate:.0},\
+             \"retries\":{retries},\"p50_us\":{p50},\"p99_us\":{p99}}}",
+            wall_s * 1e3,
+        );
+        summary.point(
+            Json::obj()
+                .with("backend", Json::from(backend.as_str()))
+                .with("conns", Json::from(conns as u64))
+                .with("committed", Json::from(committed))
+                .with("wall_ms", Json::from(wall_s * 1e3))
+                .with("txn_per_sec", Json::from(rate))
+                .with("retries", Json::from(retries))
+                .with("p50_us", Json::from(p50))
+                .with("p99_us", Json::from(p99)),
+        );
+    }
+    println!("{}", table.render());
+
+    let mut failed = false;
+
+    // Scaling gate.
+    if let (Some(one), Some((conns, wide))) = (first_rate, last) {
+        if conns > 1 {
+            let speedup = wide / one.max(1e-9);
+            let pass = speedup >= margin;
+            println!(
+                "{conns}-connection speedup over 1: {speedup:.2}x (margin {margin:.2}): {}",
+                if pass { "PASS" } else { "FAIL" }
+            );
+            summary.gate(
+                Json::obj()
+                    .with("gate", Json::from("scaling"))
+                    .with("conns", Json::from(conns as u64))
+                    .with("one_conn_txn_per_sec", Json::from(one))
+                    .with("wide_txn_per_sec", Json::from(wide))
+                    .with("speedup", Json::from(speedup))
+                    .with("margin", Json::from(margin))
+                    .with("pass", Json::from(pass)),
+            );
+            failed |= !pass;
+        }
+    }
+
+    failed |= !admission_probe(&mut summary);
+    failed |= !disconnect_probe(&mut summary);
+
+    match summary.write() {
+        Ok(path) => println!("summary: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write bench summary: {e}"),
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

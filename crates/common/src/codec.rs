@@ -76,6 +76,72 @@ pub fn unframe(buf: &[u8]) -> Result<&[u8], CodecError> {
     Ok(body)
 }
 
+/// Largest frame body a stream reader will accept (64 MiB). A corrupt or
+/// hostile length prefix beyond this is treated as stream corruption
+/// instead of an allocation request — the reader errors out and the
+/// connection dies cleanly rather than OOMing the server.
+pub const MAX_FRAME_BODY: usize = 64 << 20;
+
+/// Write one frame (`[len][crc32][body]`, as [`frame`]) to a byte stream.
+pub fn write_frame_to(w: &mut dyn std::io::Write, body: &[u8]) -> std::io::Result<()> {
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&crate::crc::crc32(body).to_le_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// Read one frame off a byte stream *without* CRC validation, returning
+/// the complete frame bytes (`[len][crc][body]`) so the receiver can run
+/// them through [`unframe`] itself — servers do this to turn a checksum
+/// failure into a typed error reply instead of a dropped connection.
+///
+/// `Ok(None)` means the stream closed cleanly *between* frames (EOF
+/// before any header byte). A header promising more than
+/// [`MAX_FRAME_BODY`] or EOF mid-frame comes back as `InvalidData` /
+/// `UnexpectedEof`, which callers treat as a dead connection.
+pub fn read_raw_frame_from(r: &mut dyn std::io::Read) -> std::io::Result<Option<Vec<u8>>> {
+    let mut header = [0u8; FRAME_HEADER];
+    // EOF on the very first byte is a clean close; EOF later is a torn
+    // frame.
+    let mut filled = 0;
+    while filled < header.len() {
+        match r.read(&mut header[filled..])? {
+            0 if filled == 0 => return Ok(None),
+            0 => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "stream closed mid frame header",
+                ))
+            }
+            n => filled += n,
+        }
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_FRAME_BODY {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME_BODY}"),
+        ));
+    }
+    let mut whole = vec![0u8; FRAME_HEADER + len];
+    whole[..FRAME_HEADER].copy_from_slice(&header);
+    r.read_exact(&mut whole[FRAME_HEADER..])?;
+    Ok(Some(whole))
+}
+
+/// Read one frame off a byte stream, validating length and CRC, and
+/// return its body. Same EOF/corruption contract as
+/// [`read_raw_frame_from`], with CRC failures surfacing as `InvalidData`.
+pub fn read_frame_from(r: &mut dyn std::io::Read) -> std::io::Result<Option<Vec<u8>>> {
+    match read_raw_frame_from(r)? {
+        None => Ok(None),
+        Some(whole) => match unframe(&whole) {
+            Ok(body) => Ok(Some(body.to_vec())),
+            Err(e) => Err(std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())),
+        },
+    }
+}
+
 /// Growable little-endian encoder.
 #[derive(Default)]
 pub struct Encoder {
@@ -353,6 +419,45 @@ mod tests {
                 "flip at {byte} undetected"
             );
         }
+    }
+
+    #[test]
+    fn stream_frames_roundtrip_and_reject_corruption() {
+        // Two frames back to back on one stream.
+        let mut stream = Vec::new();
+        write_frame_to(&mut stream, b"first").unwrap();
+        write_frame_to(&mut stream, b"").unwrap();
+        let mut r = &stream[..];
+        assert_eq!(read_frame_from(&mut r).unwrap().unwrap(), b"first");
+        assert_eq!(read_frame_from(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame_from(&mut r).unwrap().is_none(), "clean EOF between frames");
+
+        // EOF inside the header and inside the body are torn frames.
+        let mut torn = &stream[..3];
+        assert_eq!(
+            read_frame_from(&mut torn).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+        let mut torn = &stream[..FRAME_HEADER + 2];
+        assert_eq!(
+            read_frame_from(&mut torn).unwrap_err().kind(),
+            std::io::ErrorKind::UnexpectedEof
+        );
+
+        // A flipped body bit fails the CRC.
+        let mut corrupt = stream.clone();
+        corrupt[FRAME_HEADER] ^= 0x01;
+        let mut r = &corrupt[..];
+        assert_eq!(read_frame_from(&mut r).unwrap_err().kind(), std::io::ErrorKind::InvalidData);
+
+        // An oversized length prefix is rejected before any allocation.
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        huge.extend_from_slice(&0u32.to_le_bytes());
+        let mut r = &huge[..];
+        let err = read_frame_from(&mut r).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("exceeds cap"), "{err}");
     }
 
     #[test]

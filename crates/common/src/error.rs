@@ -39,6 +39,10 @@ pub enum Error {
     TreeCorrupt(String),
     /// Recovery-internal invariant violation.
     RecoveryInvariant(String),
+    /// A server refused a new connection: the max-session admission cap
+    /// is already occupied. Carries the occupancy so clients can report
+    /// (and tests can assert) the exact admission state.
+    ServerBusy { active: u64, cap: u64 },
     /// Underlying file I/O failure (file-backed disk only).
     Io(std::io::Error),
 }
@@ -75,6 +79,9 @@ impl fmt::Display for Error {
             }
             Error::TreeCorrupt(msg) => write!(f, "B-tree corrupt: {msg}"),
             Error::RecoveryInvariant(msg) => write!(f, "recovery invariant violated: {msg}"),
+            Error::ServerBusy { active, cap } => {
+                write!(f, "server busy: {active} of {cap} sessions in use")
+            }
             Error::Io(e) => write!(f, "I/O error: {e}"),
         }
     }

@@ -73,7 +73,11 @@ pub struct EngineConfig {
     /// `"remote:<inner>"` variant (`"remote:btree"`, `"remote:hash"`,
     /// `"remote:log"`) that puts the inner backend behind the message
     /// boundary — every `DcApi` call travels the wire codec through a
-    /// `lr_dc::DcServer` over a loopback transport. The TC↔DC contract
+    /// `lr_dc::DcServer` over a loopback transport — or a
+    /// `"tcp:<inner>"` variant (`"tcp:btree"`, `"tcp:hash"`,
+    /// `"tcp:log"`) that runs the same `DcServer` behind a real
+    /// loopback TCP socket (`lr_dc::TcpTransport`, thread-per-connection
+    /// server, pooled client streams). The TC↔DC contract
     /// (`lr_dc::DcApi`) is the same either way; recovery equivalence
     /// across backends is asserted by `tests/backend_equivalence.rs`.
     pub backend: String,

@@ -29,6 +29,14 @@ pub const REMOTE_HASH_BACKEND: &str = "remote:hash";
 pub const LOG_BACKEND: &str = "log";
 /// The log-structured backend behind the message boundary.
 pub const REMOTE_LOG_BACKEND: &str = "remote:log";
+/// The B-tree backend behind a *real socket*: a [`crate::tcp::TcpDcServer`]
+/// accepting on loopback TCP, dialed by a [`crate::tcp::TcpTransport`] —
+/// every operation crosses the kernel's network stack.
+pub const TCP_BTREE_BACKEND: &str = "tcp:btree";
+/// The hash backend behind a real socket.
+pub const TCP_HASH_BACKEND: &str = "tcp:hash";
+/// The log-structured backend behind a real socket.
+pub const TCP_LOG_BACKEND: &str = "tcp:log";
 
 /// Offline initial-table loader: `(disk, table, rows, fill) → anchor`.
 pub type BulkLoadFn =
@@ -87,6 +95,21 @@ fn open_remote_log(disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result
     Ok(crate::remote::remote_loopback(inner, REMOTE_LOG_BACKEND).0)
 }
 
+fn open_tcp_btree(disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<Arc<dyn DcApi>> {
+    let inner = open_btree(disk, wal, cfg)?;
+    Ok(crate::tcp::tcp_deploy(inner, TCP_BTREE_BACKEND)?.0)
+}
+
+fn open_tcp_hash(disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<Arc<dyn DcApi>> {
+    let inner = open_hash(disk, wal, cfg)?;
+    Ok(crate::tcp::tcp_deploy(inner, TCP_HASH_BACKEND)?.0)
+}
+
+fn open_tcp_log(disk: Box<dyn Disk>, wal: SharedWal, cfg: DcConfig) -> Result<Arc<dyn DcApi>> {
+    let inner = open_log(disk, wal, cfg)?;
+    Ok(crate::tcp::tcp_deploy(inner, TCP_LOG_BACKEND)?.0)
+}
+
 /// The registry. Both backends share the disk format (`format_disk`
 /// installs the same empty catalog), so a formatted disk is
 /// backend-portable until the first bulk load.
@@ -130,6 +153,27 @@ static BACKENDS: &[Backend] = &[
         bulk_load: log_bulk_load,
         open: open_remote_log,
     },
+    // The tcp backends are the remote backends with the loopback channel
+    // swapped for a real socket: DcServer in its own accept/connection
+    // threads, TC dialing over TCP.
+    Backend {
+        name: TCP_BTREE_BACKEND,
+        format: DataComponent::format_disk,
+        bulk_load: bulk_load_btree,
+        open: open_tcp_btree,
+    },
+    Backend {
+        name: TCP_HASH_BACKEND,
+        format: DataComponent::format_disk,
+        bulk_load: hash_bulk_load,
+        open: open_tcp_hash,
+    },
+    Backend {
+        name: TCP_LOG_BACKEND,
+        format: DataComponent::format_disk,
+        bulk_load: log_bulk_load,
+        open: open_tcp_log,
+    },
 ];
 
 /// Look a backend up by name. Unknown names list the valid ones.
@@ -168,7 +212,10 @@ mod tests {
                 LOG_BACKEND,
                 REMOTE_BTREE_BACKEND,
                 REMOTE_HASH_BACKEND,
-                REMOTE_LOG_BACKEND
+                REMOTE_LOG_BACKEND,
+                TCP_BTREE_BACKEND,
+                TCP_HASH_BACKEND,
+                TCP_LOG_BACKEND
             ]
         );
         for name in backend_names() {

@@ -31,6 +31,7 @@ pub mod logdc;
 pub mod recovery;
 pub mod remote;
 pub mod server;
+pub mod tcp;
 pub mod telemetry;
 pub mod trackers;
 pub mod wire;
@@ -40,7 +41,8 @@ pub use api::{
 };
 pub use backend::{
     backend, backend_names, backends, Backend, BTREE_BACKEND, HASH_BACKEND, LOG_BACKEND,
-    REMOTE_BTREE_BACKEND, REMOTE_HASH_BACKEND, REMOTE_LOG_BACKEND,
+    REMOTE_BTREE_BACKEND, REMOTE_HASH_BACKEND, REMOTE_LOG_BACKEND, TCP_BTREE_BACKEND,
+    TCP_HASH_BACKEND, TCP_LOG_BACKEND,
 };
 pub use builders::{
     build_dpt_aries, build_dpt_logical, build_dpt_sqlserver, AnalysisCounts, DeltaDptMode,
@@ -57,6 +59,7 @@ pub use recovery::{
 };
 pub use remote::{remote_loopback, LoopbackTransport, RemoteDc, Transport};
 pub use server::DcServer;
+pub use tcp::{tcp_deploy, TcpDcServer, TcpTransport};
 pub use telemetry::{WireOpStats, WireTelemetry, WireTelemetrySnapshot};
 pub use trackers::{BwTracker, DeltaTracker};
 pub use wire::{op_name, DcReply, DcRequest, WireError};

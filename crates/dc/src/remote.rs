@@ -222,6 +222,18 @@ pub struct RemoteDc {
     /// Deployment-local introspection handle (NOT used for operations).
     local: Arc<dyn DcApi>,
     name: &'static str,
+    /// How [`DcApi::reopen`] stands a fresh deployment up around the
+    /// reopened backend: loopback by default, a fresh socket dial for the
+    /// TCP deployments.
+    redeploy: RedeployFn,
+}
+
+/// Deployment constructor a crash fork uses to rebuild the server +
+/// transport pair around a reopened backend.
+pub type RedeployFn = fn(Arc<dyn DcApi>, &'static str) -> Result<Arc<dyn DcApi>>;
+
+fn loopback_redeploy(inner: Arc<dyn DcApi>, name: &'static str) -> Result<Arc<dyn DcApi>> {
+    Ok(remote_loopback(inner, name).0)
 }
 
 impl RemoteDc {
@@ -230,7 +242,18 @@ impl RemoteDc {
         local: Arc<dyn DcApi>,
         name: &'static str,
     ) -> RemoteDc {
-        RemoteDc { client: Arc::new(WireClient::new(transport)), local, name }
+        RemoteDc::with_redeploy(transport, local, name, loopback_redeploy)
+    }
+
+    /// As [`RemoteDc::new`], with an explicit reopen strategy (the TCP
+    /// deployment re-dials instead of falling back to loopback).
+    pub fn with_redeploy(
+        transport: Arc<dyn Transport>,
+        local: Arc<dyn DcApi>,
+        name: &'static str,
+        redeploy: RedeployFn,
+    ) -> RemoteDc {
+        RemoteDc { client: Arc::new(WireClient::new(transport)), local, name, redeploy }
     }
 
     fn call(&self, req: DcRequest) -> Result<DcReply> {
@@ -545,7 +568,7 @@ impl DcApi for RemoteDc {
         // around it — a crash fork gets its own deployment, exactly as a
         // restarted TC process would re-dial the DC.
         let inner = self.local.reopen(disk, wal, cfg)?;
-        Ok(remote_loopback(inner, self.name).0)
+        (self.redeploy)(inner, self.name)
     }
 }
 

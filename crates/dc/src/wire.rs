@@ -300,6 +300,7 @@ pub enum WireError {
     WalViolation { pid: PageId, plsn: Lsn, elsn: Lsn },
     TreeCorrupt(String),
     RecoveryInvariant(String),
+    ServerBusy { active: u64, cap: u64 },
     Io(String),
 }
 
@@ -335,6 +336,9 @@ impl From<&Error> for WireError {
             }
             Error::TreeCorrupt(m) => WireError::TreeCorrupt(m.clone()),
             Error::RecoveryInvariant(m) => WireError::RecoveryInvariant(m.clone()),
+            Error::ServerBusy { active, cap } => {
+                WireError::ServerBusy { active: *active, cap: *cap }
+            }
             Error::Io(e) => WireError::Io(e.to_string()),
         }
     }
@@ -360,6 +364,7 @@ impl From<WireError> for Error {
             WireError::WalViolation { pid, plsn, elsn } => Error::WalViolation { pid, plsn, elsn },
             WireError::TreeCorrupt(m) => Error::TreeCorrupt(m),
             WireError::RecoveryInvariant(m) => Error::RecoveryInvariant(m),
+            WireError::ServerBusy { active, cap } => Error::ServerBusy { active, cap },
             WireError::Io(m) => Error::Io(std::io::Error::other(m)),
         }
     }
@@ -570,7 +575,9 @@ fn get_stats(d: &mut Decoder<'_>) -> Result<DcStats, CodecError> {
     })
 }
 
-fn put_error(e: &mut Encoder, w: &WireError) {
+/// Encode a [`WireError`] into an encoder — shared by the DC reply codec
+/// and the client-protocol crate, so both wires carry one error format.
+pub fn put_error(e: &mut Encoder, w: &WireError) {
     match w {
         WireError::PageOutOfRange { pid, pages } => {
             e.put_u8(1);
@@ -638,10 +645,16 @@ fn put_error(e: &mut Encoder, w: &WireError) {
             e.put_u8(14);
             put_string(e, m);
         }
+        WireError::ServerBusy { active, cap } => {
+            e.put_u8(15);
+            e.put_u64(*active);
+            e.put_u64(*cap);
+        }
     }
 }
 
-fn get_error(d: &mut Decoder<'_>) -> Result<WireError, CodecError> {
+/// Decode a [`WireError`] (inverse of [`put_error`]).
+pub fn get_error(d: &mut Decoder<'_>) -> Result<WireError, CodecError> {
     Ok(match d.get_u8()? {
         1 => WireError::PageOutOfRange { pid: d.get_pid()?, pages: d.get_u64()? },
         2 => WireError::PageFull { pid: d.get_pid()?, needed: d.get_u64()?, free: d.get_u64()? },
@@ -659,6 +672,7 @@ fn get_error(d: &mut Decoder<'_>) -> Result<WireError, CodecError> {
         12 => WireError::TreeCorrupt(get_string(d)?),
         13 => WireError::RecoveryInvariant(get_string(d)?),
         14 => WireError::Io(get_string(d)?),
+        15 => WireError::ServerBusy { active: d.get_u64()?, cap: d.get_u64()? },
         t => return Err(CodecError::BadTag { context: "wire error", tag: t }),
     })
 }
@@ -1328,6 +1342,7 @@ mod tests {
             Error::WalViolation { pid: PageId(1), plsn: Lsn(100), elsn: Lsn(50) },
             Error::TreeCorrupt("bad link".into()),
             Error::RecoveryInvariant("oops".into()),
+            Error::ServerBusy { active: 8, cap: 8 },
             Error::Io(std::io::Error::other("disk gone")),
         ];
         for err in errors {

@@ -206,6 +206,21 @@ pub enum EventKind {
         /// The released token.
         token: u64,
     },
+    /// A client connection was admitted by the session server and mapped
+    /// to an engine session.
+    ClientConnect {
+        /// Server-assigned connection id.
+        conn: u64,
+        /// Sessions active after this admit (this one included).
+        active: u64,
+    },
+    /// A client connection ended (clean close or vanished socket).
+    ClientDisconnect {
+        /// Server-assigned connection id.
+        conn: u64,
+        /// True when teardown had to abort an open transaction.
+        aborted_txn: bool,
+    },
 }
 
 /// Every event name that can appear in a journal's `event` field, for
@@ -234,6 +249,8 @@ pub const EVENT_NAMES: &[&str] = &[
     "wire_reply",
     "wire_disconnect",
     "token_release",
+    "client_connect",
+    "client_disconnect",
 ];
 
 impl EventKind {
@@ -264,6 +281,8 @@ impl EventKind {
             EventKind::WireReply { .. } => "wire_reply",
             EventKind::WireDisconnect { .. } => "wire_disconnect",
             EventKind::TokenRelease { .. } => "token_release",
+            EventKind::ClientConnect { .. } => "client_connect",
+            EventKind::ClientDisconnect { .. } => "client_disconnect",
         }
     }
 
@@ -325,6 +344,12 @@ impl EventKind {
                 vec![("tokens_released", tokens_released.into())]
             }
             EventKind::TokenRelease { token } => vec![("token", token.into())],
+            EventKind::ClientConnect { conn, active } => {
+                vec![("conn", conn.into()), ("active", active.into())]
+            }
+            EventKind::ClientDisconnect { conn, aborted_txn } => {
+                vec![("conn", conn.into()), ("aborted_txn", aborted_txn.into())]
+            }
         }
     }
 }
@@ -683,6 +708,8 @@ mod tests {
             EventKind::WireReply { req_id: 0, op: 0, bytes: 0, lat_us: 0, ok: false },
             EventKind::WireDisconnect { tokens_released: 0 },
             EventKind::TokenRelease { token: 0 },
+            EventKind::ClientConnect { conn: 0, active: 0 },
+            EventKind::ClientDisconnect { conn: 0, aborted_txn: false },
         ];
         assert_eq!(samples.len(), EVENT_NAMES.len());
         for ev in samples {

@@ -1,0 +1,233 @@
+//! The client half of the protocol: a [`Client`] is a remote
+//! [`lr_core::Session`] — same method surface, same typed errors, every
+//! call one framed round trip.
+
+use crate::conn::{ChannelConnector, Conn, TcpConn};
+use crate::protocol::{ClientReply, ClientRequest};
+use lr_common::codec::unframe;
+use lr_common::{Error, Key, Lsn, Result, TableId, TxnId, Value};
+use lr_dc::server::{envelope, open_envelope, wire_error};
+use std::net::SocketAddr;
+
+/// A connected client session. Holds one connection, runs one request at
+/// a time (mirroring the one-transaction-at-a-time session invariant).
+///
+/// Dropping the client closes the connection; the server aborts any
+/// transaction left open — so, like a local session, a panicking client
+/// thread cannot strand key locks.
+pub struct Client {
+    conn: Box<dyn Conn>,
+    next_req_id: u64,
+    session_id: u64,
+    max_sessions: u64,
+}
+
+impl Client {
+    /// Dial a TCP server and run the handshake. A server at capacity
+    /// answers the handshake with [`Error::ServerBusy`].
+    pub fn connect_tcp(addr: SocketAddr) -> Result<Client> {
+        Client::connect(Box::new(TcpConn::dial(addr)?))
+    }
+
+    /// Connect through an in-process channel front.
+    pub fn connect_channel(connector: &ChannelConnector) -> Result<Client> {
+        Client::connect(Box::new(connector.connect()?))
+    }
+
+    /// Run the handshake on an established connection.
+    pub fn connect(conn: Box<dyn Conn>) -> Result<Client> {
+        let mut client = Client { conn, next_req_id: 1, session_id: 0, max_sessions: 0 };
+        match client.call(&ClientRequest::Hello)? {
+            ClientReply::Welcome { session_id, max_sessions } => {
+                client.session_id = session_id;
+                client.max_sessions = max_sessions;
+                Ok(client)
+            }
+            other => Err(protocol("hello", &other)),
+        }
+    }
+
+    /// The server-assigned session id (1-based, unique per server).
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// The server's admission cap, as reported in the handshake.
+    pub fn max_sessions(&self) -> u64 {
+        self.max_sessions
+    }
+
+    /// One framed round trip. Replies must echo the request id — except
+    /// id 0, which the server uses when it could not trust the request
+    /// frame (corruption) or refused admission (busy); those carry a
+    /// typed error we surface directly.
+    fn call(&mut self, req: &ClientRequest) -> Result<ClientReply> {
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        self.conn.send_frame(&envelope(req_id, &req.encode()))?;
+        let raw = self.conn.recv_frame()?.ok_or_else(|| {
+            Error::Io(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "server closed the connection",
+            ))
+        })?;
+        let payload = unframe(&raw).map_err(wire_error)?;
+        let (echo, body) =
+            open_envelope(payload).map_err(|e| Error::RecoveryInvariant(format!("wire: {e}")))?;
+        let rep = ClientReply::decode(body).map_err(wire_error)?;
+        match rep {
+            ClientReply::Err(w) => Err(w.into()),
+            rep if echo == req_id => Ok(rep),
+            _ => Err(Error::RecoveryInvariant(format!(
+                "wire: reply id {echo} does not match request id {req_id}"
+            ))),
+        }
+    }
+
+    pub fn begin(&mut self) -> Result<TxnId> {
+        match self.call(&ClientRequest::Begin)? {
+            ClientReply::Txn(txn) => Ok(txn),
+            other => Err(protocol("begin", &other)),
+        }
+    }
+
+    pub fn read(&mut self, table: TableId, key: Key) -> Result<Option<Value>> {
+        match self.call(&ClientRequest::Read { table, key })? {
+            ClientReply::Value(v) => Ok(v),
+            other => Err(protocol("read", &other)),
+        }
+    }
+
+    pub fn read_for_update(&mut self, table: TableId, key: Key) -> Result<Option<Value>> {
+        match self.call(&ClientRequest::ReadForUpdate { table, key })? {
+            ClientReply::Value(v) => Ok(v),
+            other => Err(protocol("read_for_update", &other)),
+        }
+    }
+
+    pub fn update(&mut self, table: TableId, key: Key, value: Value) -> Result<()> {
+        match self.call(&ClientRequest::Update { table, key, value })? {
+            ClientReply::Unit => Ok(()),
+            other => Err(protocol("update", &other)),
+        }
+    }
+
+    pub fn insert(&mut self, table: TableId, key: Key, value: Value) -> Result<()> {
+        match self.call(&ClientRequest::Insert { table, key, value })? {
+            ClientReply::Unit => Ok(()),
+            other => Err(protocol("insert", &other)),
+        }
+    }
+
+    pub fn delete(&mut self, table: TableId, key: Key) -> Result<()> {
+        match self.call(&ClientRequest::Delete { table, key })? {
+            ClientReply::Unit => Ok(()),
+            other => Err(protocol("delete", &other)),
+        }
+    }
+
+    pub fn scan_range(&mut self, table: TableId, from: Key, to: Key) -> Result<Vec<(Key, Value)>> {
+        match self.call(&ClientRequest::ScanRange { table, from, to })? {
+            ClientReply::Rows(rows) => Ok(rows),
+            other => Err(protocol("scan_range", &other)),
+        }
+    }
+
+    pub fn commit(&mut self) -> Result<()> {
+        match self.call(&ClientRequest::Commit)? {
+            ClientReply::Unit => Ok(()),
+            other => Err(protocol("commit", &other)),
+        }
+    }
+
+    /// Abort the open transaction; returns the number of operations
+    /// undone.
+    pub fn abort(&mut self) -> Result<u64> {
+        match self.call(&ClientRequest::Abort)? {
+            ClientReply::Undone { ops } => Ok(ops),
+            other => Err(protocol("abort", &other)),
+        }
+    }
+
+    pub fn savepoint(&mut self) -> Result<Lsn> {
+        match self.call(&ClientRequest::Savepoint)? {
+            ClientReply::SavepointAt(lsn) => Ok(lsn),
+            other => Err(protocol("savepoint", &other)),
+        }
+    }
+
+    /// Partial rollback; returns the number of operations undone.
+    pub fn rollback_to(&mut self, sp: Lsn) -> Result<u64> {
+        match self.call(&ClientRequest::RollbackTo { sp })? {
+            ClientReply::Undone { ops } => Ok(ops),
+            other => Err(protocol("rollback_to", &other)),
+        }
+    }
+
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call(&ClientRequest::Ping)? {
+            ClientReply::Pong => Ok(()),
+            other => Err(protocol("ping", &other)),
+        }
+    }
+
+    /// Engine + server metrics as JSON lines.
+    pub fn server_stats_json(&mut self) -> Result<String> {
+        match self.call(&ClientRequest::Stats)? {
+            ClientReply::Text(s) => Ok(s),
+            other => Err(protocol("stats", &other)),
+        }
+    }
+
+    /// Engine + server metrics in Prometheus exposition format.
+    pub fn server_metrics_prometheus(&mut self) -> Result<String> {
+        match self.call(&ClientRequest::Metrics)? {
+            ClientReply::Text(s) => Ok(s),
+            other => Err(protocol("metrics", &other)),
+        }
+    }
+
+    /// Run `body` as one transaction with no-wait conflict retry — the
+    /// client-side analog of [`lr_core::Session::run_txn`]: on
+    /// [`Error::LockConflict`] the transaction is aborted and retried (up
+    /// to `max_retries` times) with the same yield-then-exponential
+    /// backoff. Returns the number of retries that were needed.
+    pub fn run_txn<F>(&mut self, max_retries: usize, mut body: F) -> Result<usize>
+    where
+        F: FnMut(&mut Client) -> Result<()>,
+    {
+        let mut retries = 0;
+        loop {
+            self.begin()?;
+            match body(self) {
+                Ok(()) => return self.commit().map(|()| retries),
+                Err(Error::LockConflict { .. }) if retries < max_retries => {
+                    self.abort()?;
+                    retries += 1;
+                    conflict_backoff(retries);
+                }
+                Err(e) => {
+                    let _ = self.abort();
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+/// Same shape as the session layer's conflict backoff: the first few
+/// retries just yield, persistent conflicts sleep exponentially longer
+/// (capped at ~1.3 ms).
+fn conflict_backoff(attempt: usize) {
+    const YIELD_ATTEMPTS: usize = 3;
+    if attempt <= YIELD_ATTEMPTS {
+        std::thread::yield_now();
+    } else {
+        let exp = (attempt - YIELD_ATTEMPTS).min(7) as u32;
+        std::thread::sleep(std::time::Duration::from_micros(10u64 << exp));
+    }
+}
+
+fn protocol(ctx: &'static str, got: &ClientReply) -> Error {
+    Error::RecoveryInvariant(format!("wire: unexpected reply for {ctx}: {got:?}"))
+}

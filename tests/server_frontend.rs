@@ -1,0 +1,235 @@
+//! Acceptance tests for the networked server front-end: the full
+//! session surface over both the in-process channel front and real
+//! loopback TCP, typed admission rejection at the cap, abort-on-
+//! disconnect (a vanished client strands no key locks), and the
+//! `server_`-prefixed metrics the server folds into the engine export.
+
+use lr_common::{Error, IoModel};
+use lr_core::{Engine, EngineConfig, EventKind, DEFAULT_TABLE};
+use lr_server::{Client, Server, ServerConfig, ServerStats};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn test_engine(initial_rows: u64, trace: bool) -> Arc<Engine> {
+    Engine::build(EngineConfig {
+        initial_rows,
+        pool_pages: 64,
+        io_model: IoModel::zero(),
+        trace,
+        ..EngineConfig::default()
+    })
+    .expect("engine build")
+    .into_shared()
+}
+
+/// Poll until `cond` holds; the server tears sessions down on its own
+/// handler threads, so observable effects of a disconnect are async.
+fn wait_for(what: &str, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Every session operation, one round trip each, over one connection.
+fn exercise_full_surface(client: &mut Client) {
+    client.ping().unwrap();
+
+    // Insert + read + scan inside one transaction.
+    client.begin().unwrap();
+    client.insert(DEFAULT_TABLE, 1_000, b"alpha".to_vec()).unwrap();
+    client.insert(DEFAULT_TABLE, 1_001, b"beta".to_vec()).unwrap();
+    assert_eq!(client.read(DEFAULT_TABLE, 1_000).unwrap().unwrap(), b"alpha");
+    let rows = client.scan_range(DEFAULT_TABLE, 1_000, 1_001).unwrap();
+    assert_eq!(rows.len(), 2);
+    client.commit().unwrap();
+
+    // Savepoint + partial rollback: the rolled-back update vanishes,
+    // the pre-savepoint update survives the commit.
+    client.begin().unwrap();
+    client.update(DEFAULT_TABLE, 1_000, b"alpha-2".to_vec()).unwrap();
+    let sp = client.savepoint().unwrap();
+    client.update(DEFAULT_TABLE, 1_001, b"beta-2".to_vec()).unwrap();
+    assert_eq!(client.rollback_to(sp).unwrap(), 1, "one op undone");
+    client.commit().unwrap();
+    assert_eq!(client.read(DEFAULT_TABLE, 1_000).unwrap().unwrap(), b"alpha-2");
+    assert_eq!(client.read(DEFAULT_TABLE, 1_001).unwrap().unwrap(), b"beta");
+
+    // Abort undoes everything since begin.
+    client.begin().unwrap();
+    client.update(DEFAULT_TABLE, 1_000, b"doomed".to_vec()).unwrap();
+    client.delete(DEFAULT_TABLE, 1_001).unwrap();
+    assert_eq!(client.abort().unwrap(), 2);
+    assert_eq!(client.read(DEFAULT_TABLE, 1_000).unwrap().unwrap(), b"alpha-2");
+    assert_eq!(client.read(DEFAULT_TABLE, 1_001).unwrap().unwrap(), b"beta");
+
+    // read_for_update locks; run_txn drives a whole retried transaction.
+    client
+        .run_txn(10, |c| {
+            let v = c.read_for_update(DEFAULT_TABLE, 1_000)?.unwrap();
+            c.update(DEFAULT_TABLE, 1_000, [v, b"!".to_vec()].concat())
+        })
+        .unwrap();
+    assert_eq!(client.read(DEFAULT_TABLE, 1_000).unwrap().unwrap(), b"alpha-2!");
+
+    // Typed engine errors cross the wire and leave the connection fine:
+    // commit with no open transaction is an error, not a hangup.
+    assert!(client.commit().is_err(), "commit without begin is a typed error");
+    client.ping().unwrap();
+
+    // Metrics endpoints answer with text carrying the server_ prefix.
+    let prom = client.server_metrics_prometheus().unwrap();
+    assert!(prom.contains("server_requests"), "prometheus export lacks server_requests");
+    let json = client.server_stats_json().unwrap();
+    assert!(json.contains("server_requests"), "json export lacks server_requests");
+}
+
+#[test]
+fn full_session_surface_over_the_channel_front() {
+    let (server, connector) =
+        Server::start_channel(test_engine(16, false), ServerConfig::default())
+            .expect("server start");
+    let mut client = Client::connect_channel(&connector).unwrap();
+    assert!(client.session_id() >= 1);
+    exercise_full_surface(&mut client);
+    drop(client);
+    wait_for("teardown", || server.active_sessions() == 0);
+    assert_eq!(server.stats().connections_accepted, 1);
+    server.engine().tc().locks().assert_no_leaks();
+}
+
+#[test]
+fn full_session_surface_over_loopback_tcp() {
+    let (server, addr) =
+        Server::start_tcp(test_engine(16, false), ServerConfig::default()).expect("server start");
+    let mut client = Client::connect_tcp(addr).unwrap();
+    exercise_full_surface(&mut client);
+    drop(client);
+    wait_for("teardown", || server.active_sessions() == 0);
+    server.engine().tc().locks().assert_no_leaks();
+}
+
+#[test]
+fn concurrent_tcp_clients_each_get_their_own_session() {
+    let (server, addr) =
+        Server::start_tcp(test_engine(0, false), ServerConfig::default()).expect("server start");
+    std::thread::scope(|s| {
+        for t in 0..4u64 {
+            s.spawn(move || {
+                let mut c = Client::connect_tcp(addr).unwrap();
+                for i in 0..20u64 {
+                    let k = t * 1_000 + i;
+                    c.run_txn(100, |c| c.insert(DEFAULT_TABLE, k, k.to_le_bytes().to_vec()))
+                        .unwrap();
+                }
+            });
+        }
+    });
+    wait_for("teardown", || server.active_sessions() == 0);
+    let mut check = Client::connect_tcp(addr).unwrap();
+    for t in 0..4u64 {
+        for i in 0..20u64 {
+            let k = t * 1_000 + i;
+            assert_eq!(check.read(DEFAULT_TABLE, k).unwrap().unwrap(), k.to_le_bytes());
+        }
+    }
+    assert_eq!(server.stats().connections_accepted, 5);
+    server.engine().tc().locks().assert_no_leaks();
+}
+
+#[test]
+fn admission_cap_refuses_the_third_connection_with_typed_busy() {
+    let (server, addr) =
+        Server::start_tcp(test_engine(16, false), ServerConfig { max_sessions: 2 })
+            .expect("server start");
+    let c1 = Client::connect_tcp(addr).unwrap();
+    let c2 = Client::connect_tcp(addr).unwrap();
+    assert_eq!(c1.max_sessions(), 2);
+    wait_for("both admitted", || server.active_sessions() == 2);
+
+    // The third connection is refused during the handshake with the
+    // typed busy error — not a hangup, not a timeout.
+    match Client::connect_tcp(addr) {
+        Err(Error::ServerBusy { active: 2, cap: 2 }) => {}
+        Err(other) => panic!("expected ServerBusy {{active: 2, cap: 2}}, got {other:?}"),
+        Ok(_) => panic!("third connection was admitted past the cap"),
+    }
+    assert_eq!(server.stats().connections_rejected, 1);
+
+    // Capacity freed by a disconnect is immediately reusable.
+    drop(c2);
+    wait_for("slot freed", || server.active_sessions() == 1);
+    let mut c3 = Client::connect_tcp(addr).unwrap();
+    c3.ping().unwrap();
+    drop((c1, c3));
+    wait_for("teardown", || server.active_sessions() == 0);
+}
+
+#[test]
+fn disconnect_mid_transaction_aborts_and_strands_no_locks() {
+    let (server, addr) =
+        Server::start_tcp(test_engine(16, true), ServerConfig::default()).expect("server start");
+
+    // Seed a key, then die with an uncommitted update against it.
+    let mut doomed = Client::connect_tcp(addr).unwrap();
+    doomed.run_txn(10, |c| c.insert(DEFAULT_TABLE, 7_777, b"seed".to_vec())).unwrap();
+    doomed.begin().unwrap();
+    doomed.update(DEFAULT_TABLE, 7_777, b"uncommitted".to_vec()).unwrap();
+    drop(doomed); // connection dies mid-transaction
+
+    wait_for("disconnect abort", || server.stats().disconnect_aborts == 1);
+    wait_for("teardown", || server.active_sessions() == 0);
+    server.engine().tc().locks().assert_no_leaks();
+
+    // A fresh connection can immediately rewrite the same key — the
+    // dead client's write lock did not leak — and the uncommitted
+    // update is gone.
+    let mut fresh = Client::connect_tcp(addr).unwrap();
+    fresh.begin().unwrap();
+    assert_eq!(fresh.read_for_update(DEFAULT_TABLE, 7_777).unwrap().unwrap(), b"seed");
+    fresh.update(DEFAULT_TABLE, 7_777, b"rewritten".to_vec()).unwrap();
+    fresh.commit().unwrap();
+    assert_eq!(fresh.read(DEFAULT_TABLE, 7_777).unwrap().unwrap(), b"rewritten");
+    drop(fresh);
+    wait_for("teardown", || server.active_sessions() == 0);
+
+    // The trace journal recorded both lifecycles, with the abort flagged.
+    let events = server.engine().drain_trace();
+    let connects =
+        events.iter().filter(|e| matches!(e.kind, EventKind::ClientConnect { .. })).count();
+    let aborted_disconnects = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::ClientDisconnect { aborted_txn: true, .. }))
+        .count();
+    assert_eq!(connects, 2, "both connections traced");
+    assert_eq!(aborted_disconnects, 1, "exactly one disconnect aborted a transaction");
+}
+
+#[test]
+fn server_metrics_enumerate_every_counter_under_the_server_prefix() {
+    let (server, connector) =
+        Server::start_channel(test_engine(16, false), ServerConfig::default())
+            .expect("server start");
+    let mut client = Client::connect_channel(&connector).unwrap();
+    client.run_txn(10, |c| c.insert(DEFAULT_TABLE, 5_000, b"x".to_vec())).unwrap();
+
+    // Tripwire: every ServerStats counter and histogram must appear in
+    // the export under the server_ prefix, alongside the gauges — a new
+    // field that skips the export fails here by name.
+    let prom = server.metrics().to_prometheus();
+    for name in ServerStats::COUNTER_NAMES {
+        assert!(prom.contains(&format!("server_{name}")), "export lacks server_{name}");
+    }
+    for name in ServerStats::HISTOGRAM_NAMES {
+        assert!(prom.contains(&format!("server_{name}")), "export lacks server_{name}");
+    }
+    assert!(prom.contains("server_active_sessions"), "export lacks server_active_sessions");
+    assert!(prom.contains("server_max_sessions"), "export lacks server_max_sessions");
+
+    // And the counters move: this connection performed requests.
+    let stats = server.stats();
+    assert!(stats.requests >= 4, "requests counted: {}", stats.requests);
+    assert!(stats.bytes_in > 0 && stats.bytes_out > 0, "byte counters move");
+    assert!(stats.request_latency_us.count() >= 4, "latency histogram records");
+}
